@@ -1,0 +1,36 @@
+//! # quma-baseline — the APS2-style waveform-sequencer comparator
+//!
+//! Section 6 of the QuMA paper compares its centralized,
+//! codeword-triggered architecture against the Raytheon BBN APS2: a
+//! distributed system of waveform-sequencer modules synchronized by a
+//! trigger distribution module. This crate models that baseline — full
+//! combination waveforms in module memory, per-module binaries, and
+//! barrier-style trigger synchronization — so every comparison axis the
+//! paper argues on (memory, upload latency, binary count, reconfiguration
+//! cost, synchronization stalls) can be measured rather than asserted.
+//!
+//! ```
+//! use quma_baseline::prelude::*;
+//!
+//! let report = compare(ExperimentShape::allxy(), UploadModel::usb(), 9);
+//! assert_eq!(report.quma_memory_bytes, 420);      // §5.1.1
+//! assert_eq!(report.baseline_memory_bytes, 2520); // §5.1.1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod sequencer;
+pub mod waveform_memory;
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::compare::{
+        allxy_pairs, build_allxy_bank, compare, ComparisonReport, ExperimentShape,
+    };
+    pub use crate::sequencer::{
+        Aps2Module, Aps2System, ModuleStats, OutputInstruction, RunStop, SequencerError,
+        SystemStats,
+    };
+    pub use crate::waveform_memory::{SequenceCompiler, UploadModel, WaveformBank};
+}

@@ -1,0 +1,384 @@
+//! The APS2-style distributed sequencer (Section 6).
+//!
+//! The Raytheon BBN APS2 system the paper compares against consists of
+//! up to nine output modules plus a trigger distribution module (TDM).
+//! Each module runs its *own* binary of low-level output instructions —
+//! play-waveform-at-address, idle, wait-for-trigger — and parallelism /
+//! synchronization is achieved by the TDM distributing triggers over an
+//! interconnect network. The paper's noted drawback: "no output
+//! instructions can be processed when synchronization is required", and the
+//! interconnect becomes cumbersome as qubit counts grow.
+//!
+//! This model executes per-module instruction streams in sample time and
+//! counts the stall samples modules spend blocked at `WaitTrigger`.
+
+use crate::waveform_memory::WaveformBank;
+
+/// A low-level APS2-style output instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputInstruction {
+    /// Play the waveform at a bank address.
+    Play {
+        /// Waveform index in the module's bank.
+        waveform: usize,
+    },
+    /// Output idle samples (how the baseline realizes timing).
+    Idle {
+        /// Idle length in samples.
+        samples: u64,
+    },
+    /// Block until the next trigger from the TDM arrives.
+    WaitTrigger,
+    /// Jump to an instruction index (loops).
+    Goto {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Stop.
+    Halt,
+}
+
+/// Per-module execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Samples spent playing waveforms.
+    pub play_samples: u64,
+    /// Samples spent in programmed idles.
+    pub idle_samples: u64,
+    /// Samples spent stalled at `WaitTrigger` (synchronization overhead).
+    pub stall_samples: u64,
+    /// Waveform play count.
+    pub plays: u64,
+    /// Triggers consumed.
+    pub triggers: u64,
+}
+
+/// One APS2-style output module: its own binary and waveform bank.
+#[derive(Debug, Clone)]
+pub struct Aps2Module {
+    program: Vec<OutputInstruction>,
+    bank: WaveformBank,
+    pc: usize,
+    /// Local time in samples.
+    clock: u64,
+    halted: bool,
+    stats: ModuleStats,
+}
+
+/// Errors from module execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequencerError {
+    /// `Play` referenced a missing waveform address.
+    BadWaveform(usize),
+    /// `Goto` jumped outside the program.
+    BadTarget(usize),
+    /// The program ran past its end without `Halt`.
+    RanOffEnd,
+}
+
+impl std::fmt::Display for SequencerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SequencerError::BadWaveform(a) => write!(f, "no waveform at address {a}"),
+            SequencerError::BadTarget(t) => write!(f, "goto target {t} out of bounds"),
+            SequencerError::RanOffEnd => write!(f, "program ran past its end"),
+        }
+    }
+}
+
+impl std::error::Error for SequencerError {}
+
+/// What stopped a module's free run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStop {
+    /// Blocked at `WaitTrigger`.
+    AwaitingTrigger,
+    /// Executed `Halt`.
+    Halted,
+}
+
+impl Aps2Module {
+    /// A module with its binary and waveform bank.
+    pub fn new(program: Vec<OutputInstruction>, bank: WaveformBank) -> Self {
+        Self {
+            program,
+            bank,
+            pc: 0,
+            clock: 0,
+            halted: false,
+            stats: ModuleStats::default(),
+        }
+    }
+
+    /// Local sample clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> ModuleStats {
+        self.stats
+    }
+
+    /// True after `Halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Runs until the next `WaitTrigger` or `Halt`.
+    pub fn run_free(&mut self) -> Result<RunStop, SequencerError> {
+        loop {
+            if self.halted {
+                return Ok(RunStop::Halted);
+            }
+            let insn = *self.program.get(self.pc).ok_or(SequencerError::RanOffEnd)?;
+            match insn {
+                OutputInstruction::Play { waveform } => {
+                    let w = self
+                        .bank
+                        .get(waveform)
+                        .ok_or(SequencerError::BadWaveform(waveform))?;
+                    let n = w.len() as u64;
+                    self.clock += n;
+                    self.stats.play_samples += n;
+                    self.stats.plays += 1;
+                    self.pc += 1;
+                }
+                OutputInstruction::Idle { samples } => {
+                    self.clock += samples;
+                    self.stats.idle_samples += samples;
+                    self.pc += 1;
+                }
+                OutputInstruction::WaitTrigger => {
+                    return Ok(RunStop::AwaitingTrigger);
+                }
+                OutputInstruction::Goto { target } => {
+                    if target >= self.program.len() {
+                        return Err(SequencerError::BadTarget(target));
+                    }
+                    self.pc = target;
+                }
+                OutputInstruction::Halt => {
+                    self.halted = true;
+                    return Ok(RunStop::Halted);
+                }
+            }
+        }
+    }
+
+    /// Delivers a trigger arriving at absolute sample time `at`: the module
+    /// stalls from its current clock to `at`, then resumes past the
+    /// `WaitTrigger`.
+    pub fn deliver_trigger(&mut self, at: u64) {
+        debug_assert!(matches!(
+            self.program.get(self.pc),
+            Some(OutputInstruction::WaitTrigger)
+        ));
+        if at > self.clock {
+            self.stats.stall_samples += at - self.clock;
+            self.clock = at;
+        }
+        self.stats.triggers += 1;
+        self.pc += 1;
+    }
+}
+
+/// The trigger distribution module plus interconnect: triggers reach module
+/// `m` with latency `(m + 1) · hop_latency_samples` (a daisy-chain network).
+#[derive(Debug, Clone)]
+pub struct Aps2System {
+    modules: Vec<Aps2Module>,
+    /// Interconnect latency per hop, in samples.
+    pub hop_latency_samples: u64,
+}
+
+/// System-level run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStats {
+    /// Wall-clock samples until every module halted.
+    pub makespan_samples: u64,
+    /// Per-module statistics.
+    pub modules: Vec<ModuleStats>,
+    /// Total triggers distributed.
+    pub triggers_sent: u64,
+}
+
+impl Aps2System {
+    /// Builds a system from modules.
+    pub fn new(modules: Vec<Aps2Module>, hop_latency_samples: u64) -> Self {
+        Self {
+            modules,
+            hop_latency_samples,
+        }
+    }
+
+    /// Runs every module to completion, distributing a trigger whenever all
+    /// non-halted modules are blocked at `WaitTrigger` (barrier-style
+    /// synchronization, as used for lock-step sequence steps).
+    pub fn run(&mut self) -> Result<SystemStats, SequencerError> {
+        let mut triggers = 0u64;
+        loop {
+            let mut any_waiting = false;
+            let mut all_done = true;
+            for m in &mut self.modules {
+                match m.run_free()? {
+                    RunStop::AwaitingTrigger => {
+                        any_waiting = true;
+                        all_done = false;
+                    }
+                    RunStop::Halted => {}
+                }
+            }
+            if all_done && !any_waiting {
+                break;
+            }
+            // TDM waits for the slowest module, then distributes.
+            let barrier = self
+                .modules
+                .iter()
+                .map(Aps2Module::clock)
+                .max()
+                .unwrap_or(0);
+            triggers += 1;
+            for (i, m) in self.modules.iter_mut().enumerate() {
+                if !m.halted() {
+                    let arrival = barrier + (i as u64 + 1) * self.hop_latency_samples;
+                    m.deliver_trigger(arrival);
+                }
+            }
+        }
+        Ok(SystemStats {
+            makespan_samples: self.modules.iter().map(Aps2Module::clock).max().unwrap_or(0),
+            modules: self.modules.iter().map(Aps2Module::stats).collect(),
+            triggers_sent: triggers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform_memory::SequenceCompiler;
+    use quma_qsim::gates::PrimitiveGate;
+
+    fn one_pulse_bank() -> WaveformBank {
+        let c = SequenceCompiler::paper_default();
+        let mut bank = WaveformBank::new();
+        bank.add(c.compile(&[PrimitiveGate::X180]));
+        bank
+    }
+
+    #[test]
+    fn module_plays_and_idles() {
+        let mut m = Aps2Module::new(
+            vec![
+                OutputInstruction::Play { waveform: 0 },
+                OutputInstruction::Idle { samples: 100 },
+                OutputInstruction::Halt,
+            ],
+            one_pulse_bank(),
+        );
+        assert_eq!(m.run_free().unwrap(), RunStop::Halted);
+        assert_eq!(m.clock(), 120);
+        assert_eq!(m.stats().plays, 1);
+        assert_eq!(m.stats().idle_samples, 100);
+    }
+
+    #[test]
+    fn bad_waveform_address_errors() {
+        let mut m = Aps2Module::new(
+            vec![OutputInstruction::Play { waveform: 9 }],
+            one_pulse_bank(),
+        );
+        assert_eq!(m.run_free(), Err(SequencerError::BadWaveform(9)));
+    }
+
+    #[test]
+    fn trigger_stall_is_counted() {
+        let mut m = Aps2Module::new(
+            vec![
+                OutputInstruction::WaitTrigger,
+                OutputInstruction::Play { waveform: 0 },
+                OutputInstruction::Halt,
+            ],
+            one_pulse_bank(),
+        );
+        assert_eq!(m.run_free().unwrap(), RunStop::AwaitingTrigger);
+        m.deliver_trigger(50);
+        assert_eq!(m.stats().stall_samples, 50);
+        assert_eq!(m.run_free().unwrap(), RunStop::Halted);
+        assert_eq!(m.clock(), 70);
+    }
+
+    #[test]
+    fn goto_loops_with_trigger_per_round() {
+        // Two rounds: WaitTrigger; Play; loop — terminated by a counter
+        // encoded as unrolled instructions instead (hardware has repeat
+        // counters; we just unroll two rounds).
+        let prog = vec![
+            OutputInstruction::WaitTrigger,
+            OutputInstruction::Play { waveform: 0 },
+            OutputInstruction::WaitTrigger,
+            OutputInstruction::Play { waveform: 0 },
+            OutputInstruction::Halt,
+        ];
+        let mut sys = Aps2System::new(vec![Aps2Module::new(prog, one_pulse_bank())], 8);
+        let stats = sys.run().unwrap();
+        assert_eq!(stats.triggers_sent, 2);
+        assert_eq!(stats.modules[0].plays, 2);
+        assert!(stats.modules[0].stall_samples >= 16, "two hops of latency");
+    }
+
+    #[test]
+    fn sync_stall_grows_with_module_distance() {
+        // Three modules doing identical work: the daisy-chained trigger
+        // arrives later at higher-numbered modules, so stall grows with
+        // position — the paper's "cumbersome interconnect" effect.
+        let prog = vec![
+            OutputInstruction::WaitTrigger,
+            OutputInstruction::Play { waveform: 0 },
+            OutputInstruction::Halt,
+        ];
+        let modules: Vec<Aps2Module> = (0..3)
+            .map(|_| Aps2Module::new(prog.clone(), one_pulse_bank()))
+            .collect();
+        let mut sys = Aps2System::new(modules, 10);
+        let stats = sys.run().unwrap();
+        assert_eq!(stats.modules[0].stall_samples, 10);
+        assert_eq!(stats.modules[1].stall_samples, 20);
+        assert_eq!(stats.modules[2].stall_samples, 30);
+    }
+
+    #[test]
+    fn unbalanced_modules_stall_at_barrier() {
+        // Module 0 idles 1000 samples before its WaitTrigger; module 1 is
+        // immediately ready and must stall ≥ 1000 waiting for the barrier.
+        let prog0 = vec![
+            OutputInstruction::Idle { samples: 1000 },
+            OutputInstruction::WaitTrigger,
+            OutputInstruction::Play { waveform: 0 },
+            OutputInstruction::Halt,
+        ];
+        let prog1 = vec![
+            OutputInstruction::WaitTrigger,
+            OutputInstruction::Play { waveform: 0 },
+            OutputInstruction::Halt,
+        ];
+        let mut sys = Aps2System::new(
+            vec![
+                Aps2Module::new(prog0, one_pulse_bank()),
+                Aps2Module::new(prog1, one_pulse_bank()),
+            ],
+            1,
+        );
+        let stats = sys.run().unwrap();
+        assert!(stats.modules[1].stall_samples >= 1000);
+        assert_eq!(stats.triggers_sent, 1);
+    }
+
+    #[test]
+    fn running_off_end_is_an_error() {
+        let mut m = Aps2Module::new(vec![OutputInstruction::Idle { samples: 1 }], one_pulse_bank());
+        assert_eq!(m.run_free(), Err(SequencerError::RanOffEnd));
+    }
+}

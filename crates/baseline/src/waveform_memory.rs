@@ -1,0 +1,196 @@
+//! The waveform-memory model of the arbitrary-waveform-generator baseline
+//! (Section 4.2.2 and Section 6).
+//!
+//! Conventional AWGs — and the APS2-style sequencer modeled in this crate —
+//! upload one long waveform per *combination of operations*: the AllXY
+//! experiment needs 21 waveforms, each containing two gate pulses, where
+//! QuMA's codeword scheme stores just the 7 primitive pulses. This module
+//! implements the baseline's memory accounting so the §5.1.1 comparison
+//! (420 B vs 2520 B) and its scaling with the number of combinations can be
+//! regenerated.
+
+use quma_qsim::gates::PrimitiveGate;
+use quma_signal::dac::memory_bytes;
+use quma_signal::envelope::Envelope;
+use quma_signal::waveform::IqWaveform;
+
+/// Compiles gate combinations into full sequence waveforms, the baseline's
+/// unit of upload.
+#[derive(Debug, Clone)]
+pub struct SequenceCompiler {
+    /// Sample rate (paper: 1 GS/s).
+    pub sample_rate: f64,
+    /// Gate-pulse duration in seconds (paper: 20 ns).
+    pub gate_duration: f64,
+    /// Idle gap between pulses in samples (0 = back-to-back).
+    pub gap_samples: usize,
+}
+
+impl SequenceCompiler {
+    /// The paper's parameters: 20 ns pulses at 1 GS/s, back-to-back.
+    pub fn paper_default() -> Self {
+        Self {
+            sample_rate: 1e9,
+            gate_duration: 20e-9,
+            gap_samples: 0,
+        }
+    }
+
+    /// Compiles one combination (a list of gates) into a single waveform,
+    /// as an AWG upload would contain.
+    pub fn compile(&self, gates: &[PrimitiveGate]) -> IqWaveform {
+        let mut out = IqWaveform::zeros(0, self.sample_rate);
+        for (i, g) in gates.iter().enumerate() {
+            if i > 0 {
+                out.append_idle(self.gap_samples);
+            }
+            let env = if g.angle() == 0.0 {
+                Envelope::Zero {
+                    duration: self.gate_duration,
+                }
+            } else {
+                Envelope::standard_gaussian(
+                    self.gate_duration,
+                    (g.angle().abs() / std::f64::consts::PI).min(1.0),
+                )
+            };
+            let phase = match g.axis() {
+                quma_qsim::gates::Axis::Y => std::f64::consts::FRAC_PI_2,
+                _ => 0.0,
+            } + if g.angle() < 0.0 {
+                std::f64::consts::PI
+            } else {
+                0.0
+            };
+            out.append(&IqWaveform::from_envelope(&env, phase, self.sample_rate));
+        }
+        out
+    }
+}
+
+/// A bank of uploaded sequence waveforms.
+#[derive(Debug, Clone, Default)]
+pub struct WaveformBank {
+    waveforms: Vec<IqWaveform>,
+}
+
+impl WaveformBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a waveform; returns its index (the address the sequencer's
+    /// `Play` instruction uses).
+    pub fn add(&mut self, w: IqWaveform) -> usize {
+        self.waveforms.push(w);
+        self.waveforms.len() - 1
+    }
+
+    /// The waveform at an index.
+    pub fn get(&self, idx: usize) -> Option<&IqWaveform> {
+        self.waveforms.get(idx)
+    }
+
+    /// Number of waveforms.
+    pub fn len(&self) -> usize {
+        self.waveforms.len()
+    }
+
+    /// True when no waveforms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.waveforms.is_empty()
+    }
+
+    /// Total stored samples (I and Q counted separately, matching the
+    /// paper's accounting).
+    pub fn total_samples(&self) -> usize {
+        self.waveforms.iter().map(|w| 2 * w.len()).sum()
+    }
+
+    /// Memory footprint at `bits` per sample.
+    pub fn memory_bytes(&self, bits: u8) -> usize {
+        memory_bytes(self.total_samples(), bits)
+    }
+}
+
+/// A model of the upload link between the host PC and the instrument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UploadModel {
+    /// Link throughput in bits per second (the paper's control box talks
+    /// USB; 100 Mbit/s is representative).
+    pub link_bits_per_second: f64,
+    /// Fixed per-waveform overhead in seconds (headers, handshakes).
+    pub per_waveform_overhead: f64,
+}
+
+impl UploadModel {
+    /// A representative USB-class link.
+    pub fn usb() -> Self {
+        Self {
+            link_bits_per_second: 100e6,
+            per_waveform_overhead: 1e-3,
+        }
+    }
+
+    /// Upload time for `bytes` split across `waveforms` transfers.
+    pub fn upload_time(&self, bytes: usize, waveforms: usize) -> f64 {
+        bytes as f64 * 8.0 / self.link_bits_per_second
+            + waveforms as f64 * self.per_waveform_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_waveform_concatenates_pulses() {
+        let c = SequenceCompiler::paper_default();
+        let w = c.compile(&[PrimitiveGate::X180, PrimitiveGate::Y90]);
+        assert_eq!(w.len(), 40, "two 20 ns pulses back to back");
+        assert!(w.peak() > 0.5);
+    }
+
+    #[test]
+    fn gap_inserts_idle_samples() {
+        let mut c = SequenceCompiler::paper_default();
+        c.gap_samples = 10;
+        let w = c.compile(&[PrimitiveGate::X90, PrimitiveGate::X90]);
+        assert_eq!(w.len(), 50);
+    }
+
+    #[test]
+    fn allxy_bank_matches_paper_2520_bytes() {
+        // 21 combinations × 2 ops × 2 quadratures × 20 samples at 12 bits.
+        let c = SequenceCompiler::paper_default();
+        let mut bank = WaveformBank::new();
+        for _ in 0..21 {
+            bank.add(c.compile(&[PrimitiveGate::X180, PrimitiveGate::Y180]));
+        }
+        assert_eq!(bank.total_samples(), 21 * 2 * 2 * 20);
+        assert_eq!(bank.memory_bytes(12), 2520);
+    }
+
+    #[test]
+    fn upload_time_scales_with_bytes_and_count() {
+        let m = UploadModel::usb();
+        let t1 = m.upload_time(420, 7);
+        let t2 = m.upload_time(2520, 21);
+        assert!(t2 > t1);
+        // Overheads dominate at these sizes: 21 ms vs 7 ms approx.
+        assert!((t1 - (420.0 * 8.0 / 100e6 + 7e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_indexing() {
+        let c = SequenceCompiler::paper_default();
+        let mut bank = WaveformBank::new();
+        let idx = bank.add(c.compile(&[PrimitiveGate::I]));
+        assert_eq!(idx, 0);
+        assert!(bank.get(0).is_some());
+        assert!(bank.get(1).is_none());
+        assert_eq!(bank.len(), 1);
+        assert!(!bank.is_empty());
+    }
+}

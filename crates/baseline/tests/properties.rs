@@ -1,0 +1,56 @@
+//! Property tests over the comparison model: the baseline's memory always
+//! dominates QuMA's once combinations exceed the primitive-pulse count,
+//! and the sequencer's accounting is self-consistent.
+
+use proptest::prelude::*;
+use quma_baseline::prelude::*;
+
+proptest! {
+    #[test]
+    fn baseline_memory_dominates_when_combinations_exceed_primitives(
+        combinations in 1usize..2000,
+        ops in 1usize..4,
+        samples in 1usize..100,
+    ) {
+        let shape = ExperimentShape {
+            combinations,
+            ops_per_combination: ops,
+            primitive_pulses: 7,
+            samples_per_pulse: samples,
+            sample_bits: 12,
+        };
+        let r = compare(shape, UploadModel::usb(), 9);
+        if combinations * ops >= 7 {
+            prop_assert!(r.baseline_memory_bytes >= r.quma_memory_bytes);
+        }
+        // QuMA memory is independent of the combination count.
+        let mut bigger = shape;
+        bigger.combinations = combinations + 100;
+        let r2 = compare(bigger, UploadModel::usb(), 9);
+        prop_assert_eq!(r.quma_memory_bytes, r2.quma_memory_bytes);
+        prop_assert!(r2.baseline_memory_bytes >= r.baseline_memory_bytes);
+    }
+
+    #[test]
+    fn module_accounting_is_consistent(
+        plays in 1usize..20,
+        idle in 0u64..1000,
+    ) {
+        let compiler = SequenceCompiler::paper_default();
+        let mut bank = WaveformBank::new();
+        bank.add(compiler.compile(&[quma_qsim::gates::PrimitiveGate::X180]));
+        let mut program = Vec::new();
+        for _ in 0..plays {
+            program.push(OutputInstruction::Play { waveform: 0 });
+            program.push(OutputInstruction::Idle { samples: idle });
+        }
+        program.push(OutputInstruction::Halt);
+        let mut m = Aps2Module::new(program, bank);
+        m.run_free().expect("runs");
+        let stats = m.stats();
+        prop_assert_eq!(stats.plays, plays as u64);
+        prop_assert_eq!(stats.idle_samples, idle * plays as u64);
+        prop_assert_eq!(m.clock(), stats.play_samples + stats.idle_samples);
+        prop_assert_eq!(stats.stall_samples, 0);
+    }
+}

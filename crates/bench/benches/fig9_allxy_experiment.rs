@@ -1,0 +1,48 @@
+//! Figure 9 — the AllXY staircase.
+//!
+//! Regenerates the measured-vs-ideal staircase and deviation metric on the
+//! paper-profile chip, and measures the wall-clock cost of the experiment
+//! at several averaging depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quma_core::prelude::ChipProfile;
+use quma_experiments::prelude::*;
+
+fn print_figure9() {
+    let cfg = AllxyConfig {
+        averages: 128,
+        chip: ChipProfile::Paper,
+        ..AllxyConfig::default()
+    };
+    let result = run_allxy(&cfg);
+    println!("\n=== Figure 9: AllXY staircase (N = 128; paper N = 25600) ===");
+    println!("{}", allxy_table(&result));
+    println!("paper deviation at N = 25600: 0.012; measured here: {:.4}\n", result.deviation);
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure9();
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for averages in [4u32, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("allxy_full_stack", averages),
+            &averages,
+            |b, &n| {
+                b.iter(|| {
+                    let cfg = AllxyConfig {
+                        averages: n,
+                        chip: ChipProfile::Paper,
+                        ..AllxyConfig::default()
+                    };
+                    run_allxy(&cfg)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

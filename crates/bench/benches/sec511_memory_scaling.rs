@@ -1,0 +1,55 @@
+//! §5.1.1 — codeword-scheme memory vs full-waveform memory.
+//!
+//! Regenerates the 420 B vs 2520 B comparison and its scaling with the
+//! number of operation combinations, and measures the cost of building
+//! both artifacts (pulse library vs waveform bank).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quma_baseline::prelude::*;
+use quma_core::prelude::PulseLibraryBuilder;
+use std::hint::black_box;
+
+fn print_scaling() {
+    println!("\n=== §5.1.1: memory scaling ===");
+    println!("{:>14} {:>12} {:>14} {:>8}", "combinations", "QuMA (B)", "baseline (B)", "ratio");
+    for combos in [21usize, 42, 84, 168, 336, 672, 1344] {
+        let shape = ExperimentShape { combinations: combos, ..ExperimentShape::allxy() };
+        let r = compare(shape, UploadModel::usb(), 9);
+        println!(
+            "{:>14} {:>12} {:>14} {:>7.1}x",
+            combos,
+            r.quma_memory_bytes,
+            r.baseline_memory_bytes,
+            r.baseline_memory_bytes as f64 / r.quma_memory_bytes as f64
+        );
+    }
+    let r = compare(ExperimentShape::allxy(), UploadModel::usb(), 9);
+    assert_eq!(r.quma_memory_bytes, 420);
+    assert_eq!(r.baseline_memory_bytes, 2520);
+    println!("paper: 420 B vs 2520 B for AllXY — reproduced exactly\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_scaling();
+
+    c.bench_function("sec511/build_quma_library", |b| {
+        let builder = PulseLibraryBuilder::paper_default(std::f64::consts::PI / 8e-9);
+        b.iter(|| black_box(builder.build_table1()))
+    });
+
+    c.bench_function("sec511/build_aps2_bank", |b| {
+        b.iter(|| black_box(build_allxy_bank()))
+    });
+
+    let mut g = c.benchmark_group("sec511/analytic_compare");
+    for combos in [21usize, 168, 1344] {
+        g.bench_with_input(BenchmarkId::from_parameter(combos), &combos, |b, &n| {
+            let shape = ExperimentShape { combinations: n, ..ExperimentShape::allxy() };
+            b.iter(|| black_box(compare(shape, UploadModel::usb(), 9)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

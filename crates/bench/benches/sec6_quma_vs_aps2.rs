@@ -1,0 +1,85 @@
+//! Section 6 — QuMA vs the APS2-style distributed sequencer.
+//!
+//! Regenerates the architectural comparison (binaries, reconfiguration,
+//! synchronization stalls vs module count) and measures both simulators on
+//! matched workloads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use quma_baseline::prelude::*;
+use quma_core::prelude::*;
+use quma_qsim::gates::PrimitiveGate;
+use std::hint::black_box;
+
+fn aps2_system(n_modules: usize, rounds: usize) -> Aps2System {
+    let compiler = SequenceCompiler::paper_default();
+    let mut program = Vec::new();
+    for _ in 0..rounds {
+        program.push(OutputInstruction::WaitTrigger);
+        program.push(OutputInstruction::Play { waveform: 0 });
+        program.push(OutputInstruction::Idle { samples: 380 });
+    }
+    program.push(OutputInstruction::Halt);
+    let modules = (0..n_modules)
+        .map(|_| {
+            let mut bank = WaveformBank::new();
+            bank.add(compiler.compile(&[PrimitiveGate::X180]));
+            Aps2Module::new(program.clone(), bank)
+        })
+        .collect();
+    Aps2System::new(modules, 8)
+}
+
+fn print_comparison() {
+    println!("\n=== Section 6: architectural comparison ===");
+    let r = compare(ExperimentShape::allxy(), UploadModel::usb(), 9);
+    println!("binaries: QuMA {} vs APS2 {}", r.quma_binaries, r.baseline_binaries);
+    println!(
+        "reconfig after one gate recalibration: {} B vs {} B",
+        r.quma_reconfig_bytes, r.baseline_reconfig_bytes
+    );
+    println!("\nsync stalls (10 lock-step rounds, 8-sample hop latency):");
+    for n in [2usize, 4, 8] {
+        let stats = aps2_system(n, 10).run().expect("runs");
+        let total: u64 = stats.modules.iter().map(|m| m.stall_samples).sum();
+        println!("  {n} modules: {total} stall samples total");
+    }
+    println!("QuMA: 0 sync stalls by construction (shared time points)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+
+    // Matched workload on QuMA: 10 rounds of pulse + measure.
+    let mut quma_src = String::from("mov r15, 400\n");
+    for _ in 0..10 {
+        quma_src.push_str("QNopReg r15\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\n");
+    }
+    quma_src.push_str("halt\n");
+
+    let mut g = c.benchmark_group("sec6");
+    g.bench_function("quma_10_rounds", |b| {
+        b.iter_batched(
+            || Device::new(DeviceConfig { trace: TraceLevel::Off, ..DeviceConfig::default() }).expect("device"),
+            |mut dev| black_box(dev.run_assembly(&quma_src).expect("runs")),
+            BatchSize::SmallInput,
+        )
+    });
+
+    for n_modules in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("aps2_10_rounds", n_modules),
+            &n_modules,
+            |b, &n| {
+                b.iter_batched(
+                    || aps2_system(n, 10),
+                    |mut sys| black_box(sys.run().expect("runs")),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Section 8 — the validation experiments (T1, T2 Ramsey, T2 echo,
+//! randomized benchmarking) through the full QuMA pipeline.
+//!
+//! Regenerates the fitted figures against the chip's ground truth and
+//! measures each experiment's simulation cost at CI-friendly sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quma_experiments::prelude::*;
+
+fn print_fits() {
+    println!("\n=== Section 8: characterization fits (chip truth: T1 = 20 us, T2 = 25 us) ===");
+    let t1 = run_t1(&T1Config { averages: 100, ..T1Config::default() }).expect("T1");
+    println!("T1     = {:.2} us", t1.t1() * 1e6);
+    let ramsey = run_ramsey(&RamseyConfig { averages: 100, ..RamseyConfig::default() }).expect("Ramsey");
+    println!(
+        "T2*    = {:.2} us, fringe = {:.1} kHz (detuning set: 100 kHz)",
+        ramsey.t2_star() * 1e6,
+        ramsey.fringe_frequency() / 1e3
+    );
+    let echo = run_echo(&EchoConfig { averages: 100, ..EchoConfig::default() }).expect("echo");
+    println!("T2echo = {:.2} us", echo.t2_echo() * 1e6);
+    let rb = run_rb(&RbConfig {
+        lengths: vec![2, 16, 64, 256],
+        sequences_per_length: 2,
+        averages: 40,
+        ..RbConfig::default()
+    })
+    .expect("RB");
+    println!(
+        "RB: p = {:.5}, error/Clifford = {:.2e} (decoherence limit ~{:.2e})\n",
+        rb.p(),
+        rb.error_per_clifford(),
+        quma_experiments::rb::decoherence_limited_epc(1.875, 20e-9, 20e-6, 25e-6)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_fits();
+
+    let mut g = c.benchmark_group("sec8");
+    g.sample_size(10);
+
+    g.bench_function("t1_sweep_small", |b| {
+        b.iter(|| {
+            run_t1(&T1Config {
+                delays_cycles: (0..=5).map(|k| k * 1600).collect(),
+                averages: 20,
+                ..T1Config::default()
+            })
+            .expect("T1")
+        })
+    });
+
+    g.bench_function("ramsey_sweep_small", |b| {
+        b.iter(|| {
+            run_ramsey(&RamseyConfig {
+                delays_cycles: (0..=12).map(|k| k * 400).collect(),
+                averages: 20,
+                ..RamseyConfig::default()
+            })
+            .expect("Ramsey")
+        })
+    });
+
+    g.bench_function("echo_sweep_small", |b| {
+        b.iter(|| {
+            run_echo(&EchoConfig {
+                delays_cycles: (0..=5).map(|k| k * 1600).collect(),
+                averages: 20,
+                ..EchoConfig::default()
+            })
+            .expect("echo")
+        })
+    });
+
+    g.bench_function("rb_small", |b| {
+        b.iter(|| {
+            run_rb(&RbConfig {
+                lengths: vec![2, 16, 64],
+                sequences_per_length: 1,
+                averages: 10,
+                ..RbConfig::default()
+            })
+            .expect("RB")
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table 1 — the codeword → pulse lookup table of the CTPG.
+//!
+//! Regenerates the table (codeword order, stored pulses, memory bytes) and
+//! measures library build + trigger dispatch cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quma_core::prelude::*;
+use quma_qsim::gates::PrimitiveGate;
+use std::hint::black_box;
+
+fn print_table1(lib: &PulseLibrary) {
+    println!("\n=== Table 1: CTPG lookup table ===");
+    println!("{:>8}  {:<6} {:>8} {:>10}", "codeword", "pulse", "samples", "peak");
+    for (cw, gate) in PrimitiveGate::ALL.iter().enumerate() {
+        let w = lib.get(cw as u16).expect("populated");
+        println!(
+            "{:>8}  {:<6} {:>8} {:>10.3}",
+            cw,
+            gate.mnemonic(),
+            w.len(),
+            w.peak()
+        );
+    }
+    println!(
+        "total: {} pulses, {} samples, {} bytes at 12 bit (paper: 420 B)",
+        lib.populated(),
+        lib.total_samples(),
+        lib.memory_bytes(12)
+    );
+    assert_eq!(lib.memory_bytes(12), 420);
+}
+
+fn bench(c: &mut Criterion) {
+    let builder = PulseLibraryBuilder::paper_default(std::f64::consts::PI / 8e-9);
+    print_table1(&builder.build_table1());
+
+    c.bench_function("table1/build_pulse_library", |b| {
+        b.iter(|| black_box(builder.build_table1()))
+    });
+
+    c.bench_function("table1/ctpg_trigger_dispatch", |b| {
+        b.iter_batched(
+            || Ctpg::new(builder.build_table1(), 16, 5e-9),
+            |mut ctpg| {
+                for cw in 0..7u16 {
+                    black_box(ctpg.trigger(cw, 40000).expect("known codeword"));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("table1/memory_accounting", |b| {
+        let lib = builder.build_table1();
+        b.iter(|| black_box(lib.memory_bytes(black_box(12))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

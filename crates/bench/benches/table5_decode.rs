@@ -1,0 +1,90 @@
+//! Table 5 — multilevel instruction decoding.
+//!
+//! Regenerates the four-level decode trace of the AllXY program prefix and
+//! measures decode throughput level by level: QIS expansion in the
+//! physical microcode unit, QMB decomposition, and the whole pipeline on
+//! the device.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quma_core::prelude::*;
+use quma_isa::prelude::*;
+use std::hint::black_box;
+
+const TABLE5: &str = "\
+    mov r15, 40000\nQNopReg r15\nPulse {q0}, I\nWait 4\nPulse {q0}, I\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\n\
+    QNopReg r15\nPulse {q0}, X180\nWait 4\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n";
+
+fn print_decode_trace() {
+    let mut dev = Device::new(DeviceConfig::default()).expect("device");
+    let report = dev.run_assembly(TABLE5).expect("runs");
+    println!("\n=== Table 5: decode levels (deterministic-domain times) ===");
+    println!("µ-ops:");
+    for e in report.trace.events() {
+        if let TraceKind::MicroOp { qubit, uop } = e.kind {
+            println!("  TD = {:>6}: uop {uop} -> µ-op unit {qubit}", e.td);
+        }
+    }
+    println!("codeword triggers:");
+    for (td, q, cw) in report.trace.codeword_timeline() {
+        println!("  TD = {td:>6}: CW {cw} -> CTPG{q}");
+    }
+    println!("pulses out (after the 80 ns CTPG delay):");
+    for (td, q, cw) in report.trace.pulse_timeline() {
+        println!("  TD = {td:>6}: pulse cw{cw} on q{q}");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_decode_trace();
+
+    // Level 1: QIS Apply/Measure expansion through the Q control store.
+    c.bench_function("table5/microcode_expand_apply", |b| {
+        let store = QControlStore::paper_default();
+        let insn = Instruction::Apply {
+            gate: GateId(1),
+            qubits: QubitMask::single(0),
+        };
+        b.iter(|| black_box(expand(&store, black_box(&insn)).expect("known gate")))
+    });
+
+    c.bench_function("table5/microcode_expand_cnot", |b| {
+        let store = QControlStore::paper_default();
+        let insn = Instruction::Apply {
+            gate: GateId(quma_core::microcode::GATE_CNOT),
+            qubits: QubitMask::of(&[0, 1]),
+        };
+        b.iter(|| black_box(expand(&store, black_box(&insn)).expect("known gate")))
+    });
+
+    // Level 2: µ-op → codeword sequence.
+    c.bench_function("table5/uop_unit_fire_seq_z", |b| {
+        b.iter_batched(
+            || {
+                let mut u = MicroOpUnit::with_table1(0);
+                u.define(UopId(8), seq_z());
+                u
+            },
+            |mut u| {
+                u.fire(UopId(8), 1000).expect("defined");
+                black_box(u.drain_due(2000))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Whole pipeline: the two-round Table 5 program end to end.
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(20);
+    g.bench_function("full_pipeline_two_rounds", |b| {
+        b.iter_batched(
+            || Device::new(DeviceConfig { trace: TraceLevel::Off, ..DeviceConfig::default() }).expect("device"),
+            |mut dev| black_box(dev.run_assembly(TABLE5).expect("runs")),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

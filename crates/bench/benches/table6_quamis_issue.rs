@@ -1,0 +1,69 @@
+//! Table 6 — the QuMIS instruction set.
+//!
+//! Regenerates the instruction table and measures the software costs that
+//! bound instruction issue rate (Section 6's scalability concern):
+//! assembly, binary encoding, and decoding of QuMIS instructions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quma_isa::prelude::*;
+use std::hint::black_box;
+
+fn print_table6() {
+    println!("\n=== Table 6: QuMIS instructions ===");
+    let rows = [
+        ("Wait Interval", "advance the timeline by Interval cycles"),
+        ("Pulse (QAddr, uOp), ...", "apply µ-ops on addressed qubits (horizontal)"),
+        ("MPG QAddr, D", "measurement pulse of D cycles"),
+        ("MD QAddr, $rd", "discriminate; result to $rd"),
+    ];
+    for (asm, desc) in rows {
+        println!("  {asm:<26} {desc}");
+    }
+    println!();
+}
+
+fn sample_program() -> String {
+    let mut src = String::from("mov r15, 40000\n");
+    for i in 0..200 {
+        src.push_str("QNopReg r15\n");
+        src.push_str(&format!("Pulse {{q{}}}, X90\n", i % 4));
+        src.push_str("Wait 4\n");
+        src.push_str("MPG {q0}, 300\n");
+        src.push_str("MD {q0}, r7\n");
+    }
+    src.push_str("halt\n");
+    src
+}
+
+fn bench(c: &mut Criterion) {
+    print_table6();
+    let src = sample_program();
+    let asm = Assembler::new();
+    let prog = asm.assemble(&src).expect("assembles");
+    let words = prog.encode().expect("encodes");
+    println!(
+        "sample program: {} instructions -> {} binary words ({} bytes)",
+        prog.len(),
+        words.len(),
+        words.len() * 4
+    );
+
+    c.bench_function("table6/assemble_1001_insns", |b| {
+        b.iter(|| black_box(asm.assemble(black_box(&src)).expect("assembles")))
+    });
+
+    c.bench_function("table6/encode_binary", |b| {
+        b.iter(|| black_box(prog.encode().expect("encodes")))
+    });
+
+    c.bench_function("table6/decode_binary", |b| {
+        b.iter(|| black_box(decode_program(black_box(&words)).expect("decodes")))
+    });
+
+    c.bench_function("table6/disassemble", |b| {
+        b.iter(|| black_box(prog.disassemble(asm.uops())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Tables 2–4 — queue-based event timing control.
+//!
+//! Regenerates the queue-state evolution of the AllXY prefix and measures
+//! the timing control unit's fill and fire throughput (the Section 6
+//! scalability axis: how fast can the ND domain fill queues, and how
+//! cheaply does the deterministic domain drain them).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quma_core::prelude::*;
+use quma_isa::prelude::*;
+use std::hint::black_box;
+
+const PREFIX: &str = "\
+    Wait 40000\nPulse {q0}, I\nWait 4\nPulse {q0}, I\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\n\
+    Wait 40000\nPulse {q0}, X180\nWait 4\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\n";
+
+fn loaded() -> (QuantumMicroinstructionBuffer, TimingControlUnit, Program) {
+    let prog = Assembler::new().assemble(PREFIX).expect("assembles");
+    let mut qmb = QuantumMicroinstructionBuffer::new();
+    let mut tcu = TimingControlUnit::new(1024);
+    for insn in prog.instructions() {
+        assert!(qmb.push(insn, &mut tcu).expect("QuMIS"));
+    }
+    (qmb, tcu, prog)
+}
+
+fn print_tables() {
+    let (_, mut tcu, _) = loaded();
+    tcu.start();
+    for (name, target) in [("Table 2 (T_D = 0)", 0u64), ("Table 3 (T_D = 40000)", 40000), ("Table 4 (T_D = 40008)", 40008)] {
+        let current = tcu.td();
+        tcu.advance(target - current);
+        let s = tcu.snapshot();
+        println!("\n=== {name} ===");
+        println!("timing queue: {:?}", s.timing.iter().map(|tp| (tp.interval, tp.label)).collect::<Vec<_>>());
+        println!("pulse queue:  {:?}", s.pulse.iter().map(|&(_, l)| l).collect::<Vec<_>>());
+        println!("MPG queue:    {:?}", s.mpg.iter().map(|&(_, l)| l).collect::<Vec<_>>());
+        println!("MD queue:     {:?}", s.md.iter().map(|&(_, l)| l).collect::<Vec<_>>());
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+
+    c.bench_function("tables2_4/fill_queues_one_round", |b| {
+        let prog = Assembler::new().assemble(PREFIX).expect("assembles");
+        b.iter_batched(
+            || (QuantumMicroinstructionBuffer::new(), TimingControlUnit::new(1024)),
+            |(mut qmb, mut tcu)| {
+                for insn in prog.instructions() {
+                    black_box(qmb.push(insn, &mut tcu).expect("QuMIS"));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("tables2_4/drain_two_rounds", |b| {
+        b.iter_batched(
+            || {
+                let (_, mut tcu, _) = loaded();
+                tcu.start();
+                tcu
+            },
+            |mut tcu| black_box(tcu.advance(80016)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Sustained throughput: how many events/second can the queues move —
+    // the instruction-issue-rate ceiling discussed in Section 6.
+    c.bench_function("tables2_4/sustained_1k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut qmb = QuantumMicroinstructionBuffer::new();
+                let mut tcu = TimingControlUnit::new(4096);
+                let pulse = Instruction::Pulse {
+                    ops: vec![PulseOp { qubits: QubitMask::single(0), uop: UopId(1) }],
+                };
+                let wait = Instruction::Wait { interval: 4 };
+                for _ in 0..1000 {
+                    assert!(qmb.push(&wait, &mut tcu).unwrap());
+                    assert!(qmb.push(&pulse, &mut tcu).unwrap());
+                }
+                tcu.start();
+                tcu
+            },
+            |mut tcu| black_box(tcu.advance(4000)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,315 @@
+//! Code generation: lowers kernels to the auxiliary-classical + QuMIS
+//! program shape of the paper's Algorithm 3.
+//!
+//! The emitted program is exactly the prototype's input format (Section
+//! 7.2): `mov` setup of the init-time and loop registers, one unrolled
+//! QuMIS block per kernel, and an `addi`/`bne` averaging loop around the
+//! whole experiment.
+
+use crate::gateset::GateSet;
+use crate::kernel::{Kernel, KernelOp};
+use quma_isa::prelude::{Assembler, Program, Reg};
+use std::fmt::Write as _;
+
+/// Compiler settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompilerConfig {
+    /// Initialization idle time in cycles, loaded into `r15` (paper:
+    /// 40000 = 200 µs).
+    pub init_cycles: u32,
+    /// Number of averaging rounds `N`; 0 or 1 emits no loop (paper AllXY:
+    /// 25600).
+    pub averages: u32,
+    /// Register holding the init time.
+    pub init_reg: Reg,
+    /// Loop counter register.
+    pub counter_reg: Reg,
+    /// Loop bound register.
+    pub bound_reg: Reg,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        Self {
+            init_cycles: 40000,
+            averages: 1,
+            init_reg: Reg::r(15),
+            counter_reg: Reg::r(1),
+            bound_reg: Reg::r(2),
+        }
+    }
+}
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A kernel referenced a gate missing from the gate set; carries the
+    /// gate name and the available names.
+    UnknownGate {
+        /// The missing gate.
+        name: String,
+        /// What the gate set offers.
+        available: Vec<String>,
+    },
+    /// The generated assembly failed to assemble (an internal error).
+    Internal(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnknownGate { name, available } => {
+                write!(f, "unknown gate '{name}'; gate set has {available:?}")
+            }
+            CompileError::Internal(e) => write!(f, "internal codegen error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An OpenQL-like program: kernels plus configuration, compiled to QuMIS.
+#[derive(Debug, Clone, Default)]
+pub struct QuantumProgram {
+    /// Program name (appears in a header comment).
+    pub name: String,
+    kernels: Vec<Kernel>,
+}
+
+impl QuantumProgram {
+    /// A new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Appends a kernel.
+    pub fn add_kernel(&mut self, k: Kernel) -> &mut Self {
+        self.kernels.push(k);
+        self
+    }
+
+    /// The kernels.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Emits the assembly text.
+    pub fn emit(&self, gates: &GateSet, cfg: &CompilerConfig) -> Result<String, CompileError> {
+        let mut out = String::new();
+        let _ = writeln!(out, "# program: {}", self.name);
+        let _ = writeln!(out, "mov {}, {}", cfg.init_reg, cfg.init_cycles);
+        let looped = cfg.averages > 1;
+        if looped {
+            let _ = writeln!(out, "mov {}, 0", cfg.counter_reg);
+            let _ = writeln!(out, "mov {}, {}", cfg.bound_reg, cfg.averages);
+            let _ = writeln!(out, "Outer_Loop:");
+        }
+        for k in &self.kernels {
+            let _ = writeln!(out, "# kernel: {}", k.name);
+            self.emit_kernel(k, gates, cfg, &mut out)?;
+        }
+        if looped {
+            let _ = writeln!(out, "addi {c}, {c}, 1", c = cfg.counter_reg);
+            let _ = writeln!(
+                out,
+                "bne {}, {}, Outer_Loop",
+                cfg.counter_reg, cfg.bound_reg
+            );
+        }
+        let _ = writeln!(out, "halt");
+        Ok(out)
+    }
+
+    fn emit_kernel(
+        &self,
+        k: &Kernel,
+        gates: &GateSet,
+        cfg: &CompilerConfig,
+        out: &mut String,
+    ) -> Result<(), CompileError> {
+        let lookup = |name: &str| {
+            gates.gate(name).ok_or_else(|| CompileError::UnknownGate {
+                name: name.to_string(),
+                available: gates.names().iter().map(|s| s.to_string()).collect(),
+            })
+        };
+        let mask = |qs: &[usize]| {
+            let inner: Vec<String> = qs.iter().map(|q| format!("q{q}")).collect();
+            format!("{{{}}}", inner.join(", "))
+        };
+        for op in k.ops() {
+            match op {
+                KernelOp::Init => {
+                    let _ = writeln!(out, "QNopReg {}", cfg.init_reg);
+                }
+                KernelOp::Gate { name, qubits } => {
+                    let spec = lookup(name)?;
+                    let _ = writeln!(out, "Pulse {}, {}", mask(qubits), spec.name);
+                    let _ = writeln!(out, "Wait {}", spec.duration);
+                }
+                KernelOp::Simultaneous { gates: pairs } => {
+                    let mut parts = Vec::new();
+                    let mut longest = 0;
+                    for (name, q) in pairs {
+                        let spec = lookup(name)?;
+                        longest = longest.max(spec.duration);
+                        parts.push(format!("{{q{q}}}, {}", spec.name));
+                    }
+                    let _ = writeln!(out, "Pulse {}", parts.join(", "));
+                    let _ = writeln!(out, "Wait {longest}");
+                }
+                KernelOp::Wait(cycles) => {
+                    let _ = writeln!(out, "Wait {cycles}");
+                }
+                KernelOp::Measure { qubits, rd } => {
+                    let m = mask(qubits);
+                    let _ = writeln!(out, "MPG {m}, {}", gates.measure_duration);
+                    match rd {
+                        Some(r) => {
+                            let _ = writeln!(out, "MD {m}, {r}");
+                        }
+                        None => {
+                            let _ = writeln!(out, "MD {m}");
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles to an executable [`Program`].
+    pub fn compile(
+        &self,
+        gates: &GateSet,
+        cfg: &CompilerConfig,
+    ) -> Result<Program, CompileError> {
+        let text = self.emit(gates, cfg)?;
+        Assembler::new()
+            .assemble(&text)
+            .map_err(|e| CompileError::Internal(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quma_isa::prelude::Instruction;
+
+    fn x180_pair_program() -> QuantumProgram {
+        let mut p = QuantumProgram::new("test");
+        let mut k = Kernel::new("x180-x180");
+        k.init().gate("X180", 2).gate("X180", 2).measure(2);
+        p.add_kernel(k);
+        p
+    }
+
+    #[test]
+    fn emits_algorithm3_shape() {
+        let p = x180_pair_program();
+        let cfg = CompilerConfig {
+            averages: 25600,
+            ..CompilerConfig::default()
+        };
+        let text = p.emit(&GateSet::paper_default(), &cfg).unwrap();
+        // The exact instruction skeleton of Algorithm 3.
+        assert!(text.contains("mov r15, 40000"));
+        assert!(text.contains("mov r1, 0"));
+        assert!(text.contains("mov r2, 25600"));
+        assert!(text.contains("Outer_Loop:"));
+        assert!(text.contains("QNopReg r15"));
+        assert!(text.contains("Pulse {q2}, X180"));
+        assert!(text.contains("Wait 4"));
+        assert!(text.contains("MPG {q2}, 300"));
+        assert!(text.contains("MD {q2}"));
+        assert!(text.contains("addi r1, r1, 1"));
+        assert!(text.contains("bne r1, r2, Outer_Loop"));
+        assert!(text.trim_end().ends_with("halt"));
+    }
+
+    #[test]
+    fn compiles_to_program() {
+        let p = x180_pair_program();
+        let prog = p
+            .compile(&GateSet::paper_default(), &CompilerConfig::default())
+            .unwrap();
+        // mov r15 + QNopReg + (Pulse+Wait)×2 + MPG + MD + halt = 9
+        assert_eq!(prog.len(), 9);
+        assert!(matches!(
+            prog.instructions()[0],
+            Instruction::Mov { imm: 40000, .. }
+        ));
+    }
+
+    #[test]
+    fn no_loop_for_single_average() {
+        let p = x180_pair_program();
+        let text = p
+            .emit(&GateSet::paper_default(), &CompilerConfig::default())
+            .unwrap();
+        assert!(!text.contains("Outer_Loop"));
+        assert!(!text.contains("bne"));
+    }
+
+    #[test]
+    fn unknown_gate_reports_alternatives() {
+        let mut p = QuantumProgram::new("bad");
+        let mut k = Kernel::new("k");
+        k.gate("Hadamard", 0);
+        p.add_kernel(k);
+        let err = p
+            .emit(&GateSet::paper_default(), &CompilerConfig::default())
+            .unwrap_err();
+        match err {
+            CompileError::UnknownGate { name, available } => {
+                assert_eq!(name, "Hadamard");
+                assert!(available.contains(&"X180".to_string()));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn simultaneous_emits_horizontal_pulse() {
+        let mut p = QuantumProgram::new("par");
+        let mut k = Kernel::new("k");
+        k.simultaneous(&[("X90", 0), ("Y180", 1)]).measure(0);
+        p.add_kernel(k);
+        let text = p
+            .emit(&GateSet::paper_default(), &CompilerConfig::default())
+            .unwrap();
+        assert!(text.contains("Pulse {q0}, X90, {q1}, Y180"));
+    }
+
+    #[test]
+    fn measure_into_register_emits_md_rd() {
+        let mut p = QuantumProgram::new("m");
+        let mut k = Kernel::new("k");
+        k.gate("X180", 0).measure_into(0, Reg::r(7));
+        p.add_kernel(k);
+        let text = p
+            .emit(&GateSet::paper_default(), &CompilerConfig::default())
+            .unwrap();
+        assert!(text.contains("MD {q0}, r7"));
+    }
+
+    #[test]
+    fn compiled_program_runs_on_device() {
+        use quma_core::prelude::{Device, DeviceConfig};
+        let mut p = QuantumProgram::new("e2e");
+        let mut k = Kernel::new("k");
+        k.init().gate("X180", 0).measure_into(0, Reg::r(7));
+        p.add_kernel(k);
+        let cfg = CompilerConfig {
+            init_cycles: 2000,
+            ..CompilerConfig::default()
+        };
+        let prog = p.compile(&GateSet::paper_default(), &cfg).unwrap();
+        let mut dev = Device::new(DeviceConfig::default()).unwrap();
+        let report = dev.run(&prog).unwrap();
+        assert_eq!(report.registers[7], 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The target gate set: names, µ-op bindings, and durations used by the
+//! compiler when lowering kernels to QuMIS.
+
+use quma_isa::prelude::{UopId, UopTable};
+use std::collections::HashMap;
+
+/// One physical gate the target supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateSpec {
+    /// Gate name, e.g. `X180`.
+    pub name: String,
+    /// The µ-op the CTPG path implements it with.
+    pub uop: UopId,
+    /// Gate duration in cycles (the `Wait` emitted after the pulse).
+    pub duration: u32,
+}
+
+/// The compiler's view of the target device.
+#[derive(Debug, Clone)]
+pub struct GateSet {
+    gates: HashMap<String, GateSpec>,
+    /// Measurement-pulse duration in cycles.
+    pub measure_duration: u32,
+    /// The µ-op table for assembling/disassembling.
+    pub uops: UopTable,
+}
+
+impl GateSet {
+    /// The paper's single-qubit target: the seven Table 1 primitives, each
+    /// 20 ns (4 cycles), 300-cycle measurement.
+    pub fn paper_default() -> Self {
+        let uops = UopTable::table1();
+        let mut gates = HashMap::new();
+        for name in quma_isa::prelude::TABLE1_NAMES {
+            gates.insert(
+                name.to_string(),
+                GateSpec {
+                    name: name.to_string(),
+                    uop: uops.lookup(name).expect("table1 name"),
+                    duration: 4,
+                },
+            );
+        }
+        Self {
+            gates,
+            measure_duration: 300,
+            uops,
+        }
+    }
+
+    /// Looks up a gate by name.
+    pub fn gate(&self, name: &str) -> Option<&GateSpec> {
+        self.gates.get(name)
+    }
+
+    /// Registers an additional gate (e.g. a CZ flux pulse bound to a
+    /// custom µ-op).
+    pub fn register(&mut self, spec: GateSpec) {
+        self.gates.insert(spec.name.clone(), spec);
+    }
+
+    /// Gate names, sorted (for error messages).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.gates.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for GateSet {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_table1() {
+        let gs = GateSet::paper_default();
+        for name in ["I", "X180", "X90", "mX90", "Y180", "Y90", "mY90"] {
+            let g = gs.gate(name).unwrap();
+            assert_eq!(g.duration, 4);
+        }
+        assert_eq!(gs.measure_duration, 300);
+        assert!(gs.gate("CZ").is_none());
+    }
+
+    #[test]
+    fn register_extends_the_set() {
+        let mut gs = GateSet::paper_default();
+        gs.register(GateSpec {
+            name: "CZ".into(),
+            uop: UopId(7),
+            duration: 8,
+        });
+        assert_eq!(gs.gate("CZ").unwrap().duration, 8);
+        assert!(gs.names().contains(&"CZ"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Kernels: straight-line sequences of quantum operations, the unit the
+//! OpenQL-like frontend composes programs from.
+
+use quma_isa::prelude::Reg;
+
+/// One operation inside a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelOp {
+    /// Re-initialize by idling for the program's configured init time
+    /// (emits `QNopReg r15`, evaluated at runtime as in the paper).
+    Init,
+    /// A named gate on one or more qubits, played simultaneously
+    /// (a horizontal `Pulse`).
+    Gate {
+        /// Gate name resolved against the gate set.
+        name: String,
+        /// Target qubits.
+        qubits: Vec<usize>,
+    },
+    /// Simultaneous different gates on different qubits (one horizontal
+    /// `Pulse` with several pairs). The wait emitted afterwards is the
+    /// longest of the gates' durations.
+    Simultaneous {
+        /// `(gate name, qubit)` pairs.
+        gates: Vec<(String, usize)>,
+    },
+    /// Explicit idle time in cycles.
+    Wait(u32),
+    /// Measure qubits; optionally write the binary result to a register.
+    Measure {
+        /// Target qubits.
+        qubits: Vec<usize>,
+        /// Destination register.
+        rd: Option<Reg>,
+    },
+}
+
+/// A kernel: a name plus its operations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Kernel {
+    /// Kernel name (becomes a comment in the emitted assembly).
+    pub name: String,
+    ops: Vec<KernelOp>,
+}
+
+impl Kernel {
+    /// A new, empty kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an init (idle-to-ground) step.
+    pub fn init(&mut self) -> &mut Self {
+        self.ops.push(KernelOp::Init);
+        self
+    }
+
+    /// Appends a gate on one qubit.
+    pub fn gate(&mut self, name: impl Into<String>, qubit: usize) -> &mut Self {
+        self.ops.push(KernelOp::Gate {
+            name: name.into(),
+            qubits: vec![qubit],
+        });
+        self
+    }
+
+    /// Appends the same gate on several qubits at once.
+    pub fn gate_multi(&mut self, name: impl Into<String>, qubits: &[usize]) -> &mut Self {
+        self.ops.push(KernelOp::Gate {
+            name: name.into(),
+            qubits: qubits.to_vec(),
+        });
+        self
+    }
+
+    /// Appends different gates on different qubits at the same time point.
+    pub fn simultaneous(&mut self, gates: &[(&str, usize)]) -> &mut Self {
+        self.ops.push(KernelOp::Simultaneous {
+            gates: gates
+                .iter()
+                .map(|&(n, q)| (n.to_string(), q))
+                .collect(),
+        });
+        self
+    }
+
+    /// Appends an explicit wait.
+    pub fn wait(&mut self, cycles: u32) -> &mut Self {
+        self.ops.push(KernelOp::Wait(cycles));
+        self
+    }
+
+    /// Appends a measurement without register write-back (data collection
+    /// only, as in Algorithm 3's bare `MD {q2}`).
+    pub fn measure(&mut self, qubit: usize) -> &mut Self {
+        self.ops.push(KernelOp::Measure {
+            qubits: vec![qubit],
+            rd: None,
+        });
+        self
+    }
+
+    /// Appends a simultaneous measurement of several qubits (one MPG/MD
+    /// pair addressing all of them).
+    pub fn measure_multi(&mut self, qubits: &[usize]) -> &mut Self {
+        self.ops.push(KernelOp::Measure {
+            qubits: qubits.to_vec(),
+            rd: None,
+        });
+        self
+    }
+
+    /// Appends a measurement with register write-back.
+    pub fn measure_into(&mut self, qubit: usize, rd: Reg) -> &mut Self {
+        self.ops.push(KernelOp::Measure {
+            qubits: vec![qubit],
+            rd: Some(rd),
+        });
+        self
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[KernelOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the kernel has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut k = Kernel::new("pair");
+        k.init().gate("X180", 2).gate("I", 2).measure(2);
+        assert_eq!(k.len(), 4);
+        assert_eq!(k.ops()[0], KernelOp::Init);
+        assert!(matches!(&k.ops()[1], KernelOp::Gate { name, qubits } if name == "X180" && qubits == &vec![2]));
+        assert!(matches!(&k.ops()[3], KernelOp::Measure { rd: None, .. }));
+    }
+
+    #[test]
+    fn simultaneous_records_pairs() {
+        let mut k = Kernel::new("par");
+        k.simultaneous(&[("X90", 0), ("Y90", 1)]);
+        match &k.ops()[0] {
+            KernelOp::Simultaneous { gates } => {
+                assert_eq!(gates.len(), 2);
+                assert_eq!(gates[0], ("X90".to_string(), 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn measure_into_register() {
+        let mut k = Kernel::new("m");
+        k.measure_into(0, Reg::r(7));
+        assert!(matches!(&k.ops()[0], KernelOp::Measure { rd: Some(r), .. } if *r == Reg::r(7)));
+    }
+
+    #[test]
+    fn empty_kernel() {
+        let k = Kernel::new("e");
+        assert!(k.is_empty());
+        assert_eq!(k.len(), 0);
+    }
+}

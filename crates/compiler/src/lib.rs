@@ -1,0 +1,36 @@
+//! # quma-compiler — an OpenQL-like frontend for QuMA
+//!
+//! The paper drives its prototype from a C++-embedded language, OpenQL,
+//! whose compiler emits "a combination of the auxiliary classical
+//! instructions and QuMIS instructions" (Section 7.2). This crate is the
+//! equivalent Rust frontend: programs are built from [`kernel::Kernel`]s of
+//! named gates, and [`codegen::QuantumProgram::compile`] lowers them to the
+//! exact Algorithm 3 program shape — `mov` register setup, unrolled QuMIS
+//! kernels, and an `addi`/`bne` averaging loop.
+//!
+//! ```
+//! use quma_compiler::prelude::*;
+//!
+//! let mut program = QuantumProgram::new("demo");
+//! let mut k = Kernel::new("x90-x90");
+//! k.init().gate("X90", 2).gate("X90", 2).measure(2);
+//! program.add_kernel(k);
+//!
+//! let text = program
+//!     .emit(&GateSet::paper_default(), &CompilerConfig::default())
+//!     .unwrap();
+//! assert!(text.contains("Pulse {q2}, X90"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod gateset;
+pub mod kernel;
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::codegen::{CompileError, CompilerConfig, QuantumProgram};
+    pub use crate::gateset::{GateSet, GateSpec};
+    pub use crate::kernel::{Kernel, KernelOp};
+}

@@ -1,0 +1,61 @@
+//! Property test: any program built from valid kernels emits assembly that
+//! the assembler accepts and whose instruction stream round-trips through
+//! the binary encoding.
+
+use proptest::prelude::*;
+use quma_compiler::prelude::*;
+use quma_isa::prelude::{decode_program, Assembler};
+
+const GATES: [&str; 7] = ["I", "X180", "X90", "mX90", "Y180", "Y90", "mY90"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Init,
+    Gate(usize, usize),
+    Wait(u32),
+    Measure(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Init),
+        (0usize..7, 0usize..4).prop_map(|(g, q)| Op::Gate(g, q)),
+        (1u32..10_000).prop_map(Op::Wait),
+        (0usize..4).prop_map(Op::Measure),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_programs_always_assemble(
+        kernels in proptest::collection::vec(proptest::collection::vec(arb_op(), 0..12), 1..4),
+        averages in 1u32..1000,
+        init in 1u32..100_000,
+    ) {
+        let mut program = QuantumProgram::new("prop");
+        for (i, ops) in kernels.iter().enumerate() {
+            let mut k = Kernel::new(format!("k{i}"));
+            for op in ops {
+                match op {
+                    Op::Init => { k.init(); }
+                    Op::Gate(g, q) => { k.gate(GATES[*g], *q); }
+                    Op::Wait(c) => { k.wait(*c); }
+                    Op::Measure(q) => { k.measure(*q); }
+                }
+            }
+            program.add_kernel(k);
+        }
+        let cfg = CompilerConfig { init_cycles: init, averages, ..CompilerConfig::default() };
+        let gates = GateSet::paper_default();
+        let text = program.emit(&gates, &cfg).expect("all gates known");
+        let compiled = Assembler::new().assemble(&text).expect("emitted assembly is valid");
+        // Binary round trip.
+        let words = compiled.encode().expect("encodes");
+        prop_assert_eq!(
+            decode_program(&words).expect("decodes"),
+            compiled.instructions().to_vec()
+        );
+    }
+}

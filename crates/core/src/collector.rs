@@ -1,0 +1,122 @@
+//! The data collection unit (Section 7.1): collects `K` consecutive
+//! integration results of a qubit for `N` rounds and maintains the running
+//! averages `S̄_i = (Σ_j S_{i,j}) / N` the PC retrieves after the run.
+
+/// Accumulates integration results cyclically over `K` slots.
+#[derive(Debug, Clone)]
+pub struct DataCollector {
+    k: usize,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+    next: usize,
+}
+
+impl DataCollector {
+    /// A collector with `k` slots (AllXY: K = 42).
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "K must be positive");
+        Self {
+            k,
+            sums: vec![0.0; k],
+            counts: vec![0; k],
+            next: 0,
+        }
+    }
+
+    /// Number of slots `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Records one integration result into the next slot (wrapping every
+    /// `K` results, i.e. one slot per combination per round).
+    pub fn record(&mut self, s: f64) {
+        self.sums[self.next] += s;
+        self.counts[self.next] += 1;
+        self.next = (self.next + 1) % self.k;
+    }
+
+    /// Completed rounds (minimum count over all slots).
+    pub fn rounds(&self) -> u64 {
+        self.counts.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Total results recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The averages `S̄_i`; slots that never received a result report 0.
+    pub fn averages(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+            .collect()
+    }
+
+    /// Clears all accumulators.
+    pub fn reset(&mut self) {
+        self.sums.fill(0.0);
+        self.counts.fill(0);
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_rounds() {
+        let mut c = DataCollector::new(3);
+        // Round 0: 1, 2, 3. Round 1: 3, 4, 5.
+        for s in [1.0, 2.0, 3.0, 3.0, 4.0, 5.0] {
+            c.record(s);
+        }
+        assert_eq!(c.averages(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(c.rounds(), 2);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn partial_round_counts_correctly() {
+        let mut c = DataCollector::new(4);
+        c.record(8.0);
+        assert_eq!(c.rounds(), 0, "no complete round yet");
+        assert_eq!(c.averages(), vec![8.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = DataCollector::new(2);
+        c.record(1.0);
+        c.record(2.0);
+        c.reset();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.averages(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be positive")]
+    fn zero_k_rejected() {
+        DataCollector::new(0);
+    }
+
+    #[test]
+    fn allxy_shape() {
+        // K = 42, N = 3 rounds of constant data per slot.
+        let mut c = DataCollector::new(42);
+        for _round in 0..3 {
+            for i in 0..42 {
+                c.record(i as f64);
+            }
+        }
+        let avg = c.averages();
+        assert_eq!(avg.len(), 42);
+        for (i, a) in avg.iter().enumerate() {
+            assert!((a - i as f64).abs() < 1e-12);
+        }
+        assert_eq!(c.rounds(), 3);
+    }
+}

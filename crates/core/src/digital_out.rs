@@ -1,0 +1,159 @@
+//! The digital output unit of the master controller (Section 7.1):
+//! "converts the measurement operation tuple `(QAddr, D)` received from the
+//! QuMA core into a '1' state with a duration of `D` cycles for the eight
+//! digital outputs masked by `QAddr`". In the experiment these marker
+//! lines trigger the pulse-modulated measurement carrier generators.
+
+use quma_isa::prelude::QubitMask;
+
+/// Number of digital output channels on the master controller.
+pub const NUM_CHANNELS: usize = 8;
+
+/// One marker assertion: channels held high for a window of cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerPulse {
+    /// Asserted channels (one per addressed qubit).
+    pub channels: QubitMask,
+    /// First cycle the lines are high.
+    pub start: u64,
+    /// Number of cycles held high.
+    pub duration: u32,
+}
+
+impl MarkerPulse {
+    /// Last cycle (exclusive) of the assertion.
+    pub fn end(&self) -> u64 {
+        self.start + u64::from(self.duration)
+    }
+}
+
+/// The digital output unit: records assertions and answers level queries.
+#[derive(Debug, Clone, Default)]
+pub struct DigitalOutputUnit {
+    pulses: Vec<MarkerPulse>,
+}
+
+impl DigitalOutputUnit {
+    /// A unit with no assertions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles an `(QAddr, D)` tuple at `cycle`: asserts the masked
+    /// channels for `duration` cycles. Channels above [`NUM_CHANNELS`] are
+    /// ignored (the hardware has eight lines).
+    pub fn assert_channels(&mut self, channels: QubitMask, cycle: u64, duration: u32) {
+        let clipped = QubitMask(channels.0 & ((1 << NUM_CHANNELS) - 1));
+        self.pulses.push(MarkerPulse {
+            channels: clipped,
+            start: cycle,
+            duration,
+        });
+    }
+
+    /// Level of channel `ch` at `cycle` (true = high). Overlapping
+    /// assertions OR together, as wired-or marker lines do.
+    pub fn level(&self, ch: usize, cycle: u64) -> bool {
+        self.pulses.iter().any(|p| {
+            p.channels.contains(ch) && (p.start..p.end()).contains(&cycle)
+        })
+    }
+
+    /// Every recorded assertion, in issue order.
+    pub fn pulses(&self) -> &[MarkerPulse] {
+        &self.pulses
+    }
+
+    /// Total high-time of a channel in cycles (for duty-cycle accounting).
+    pub fn high_cycles(&self, ch: usize) -> u64 {
+        // Merge overlapping windows on this channel before summing.
+        let mut windows: Vec<(u64, u64)> = self
+            .pulses
+            .iter()
+            .filter(|p| p.channels.contains(ch))
+            .map(|p| (p.start, p.end()))
+            .collect();
+        windows.sort_unstable();
+        let mut total = 0;
+        let mut current: Option<(u64, u64)> = None;
+        for (s, e) in windows {
+            match current {
+                Some((cs, ce)) if s <= ce => current = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    total += ce - cs;
+                    current = Some((s, e));
+                }
+                None => current = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = current {
+            total += ce - cs;
+        }
+        total
+    }
+
+    /// Clears all recorded assertions.
+    pub fn clear(&mut self) {
+        self.pulses.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assertion_window_levels() {
+        let mut dout = DigitalOutputUnit::new();
+        dout.assert_channels(QubitMask::single(2), 100, 300);
+        assert!(!dout.level(2, 99));
+        assert!(dout.level(2, 100));
+        assert!(dout.level(2, 399));
+        assert!(!dout.level(2, 400));
+        assert!(!dout.level(1, 200), "other channels stay low");
+    }
+
+    #[test]
+    fn masked_channels_assert_together() {
+        let mut dout = DigitalOutputUnit::new();
+        dout.assert_channels(QubitMask::of(&[0, 3]), 10, 5);
+        assert!(dout.level(0, 12));
+        assert!(dout.level(3, 12));
+        assert!(!dout.level(1, 12));
+    }
+
+    #[test]
+    fn overlapping_windows_or_together() {
+        let mut dout = DigitalOutputUnit::new();
+        dout.assert_channels(QubitMask::single(0), 0, 10);
+        dout.assert_channels(QubitMask::single(0), 5, 10);
+        assert!(dout.level(0, 12));
+        assert_eq!(dout.high_cycles(0), 15, "merged 0..15");
+    }
+
+    #[test]
+    fn disjoint_windows_sum() {
+        let mut dout = DigitalOutputUnit::new();
+        dout.assert_channels(QubitMask::single(0), 0, 10);
+        dout.assert_channels(QubitMask::single(0), 100, 20);
+        assert_eq!(dout.high_cycles(0), 30);
+        assert_eq!(dout.pulses().len(), 2);
+    }
+
+    #[test]
+    fn channels_above_eight_are_clipped() {
+        let mut dout = DigitalOutputUnit::new();
+        dout.assert_channels(QubitMask::of(&[1, 9]), 0, 4);
+        assert!(dout.level(1, 0));
+        assert!(!dout.level(9, 0), "only eight physical lines");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut dout = DigitalOutputUnit::new();
+        dout.assert_channels(QubitMask::single(0), 0, 4);
+        dout.clear();
+        assert!(dout.pulses().is_empty());
+        assert_eq!(dout.high_cycles(0), 0);
+    }
+}

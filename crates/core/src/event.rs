@@ -1,0 +1,71 @@
+//! Events flowing through the deterministic timing domain.
+
+use quma_isa::prelude::{QubitMask, Reg, UopId};
+
+/// An event buffered in one of the timing control unit's event queues.
+///
+/// "An event can be a quantum gate, measurement, or any other operation"
+/// (Section 5.2). Pulse events carry the micro-operation to trigger; MPG
+/// and MD events bypass the micro-operation unit (Section 5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Trigger micro-operation `uop` on the addressed qubits.
+    Pulse {
+        /// Target qubits.
+        qubits: QubitMask,
+        /// Micro-operation to trigger.
+        uop: UopId,
+    },
+    /// Generate a measurement pulse of `duration` cycles.
+    Mpg {
+        /// Target qubits.
+        qubits: QubitMask,
+        /// Duration in cycles.
+        duration: u32,
+    },
+    /// Start measurement discrimination; optionally write the binary
+    /// result to `rd`.
+    Md {
+        /// Target qubits.
+        qubits: QubitMask,
+        /// Destination register, if any.
+        rd: Option<Reg>,
+    },
+}
+
+/// An event fired by the timing controller, stamped with its exact
+/// deterministic-domain time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredEvent {
+    /// Deterministic-domain time `T_D` in cycles at which the event fired.
+    pub td: u64,
+    /// The timing label that released it.
+    pub label: u32,
+    /// Which queue it came from.
+    pub queue: crate::timing::QueueId,
+    /// The event payload.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable() {
+        let a = Event::Pulse {
+            qubits: QubitMask::single(0),
+            uop: UopId(1),
+        };
+        let b = Event::Pulse {
+            qubits: QubitMask::single(0),
+            uop: UopId(1),
+        };
+        assert_eq!(a, b);
+        let c = Event::Mpg {
+            qubits: QubitMask::single(0),
+            duration: 300,
+        };
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,171 @@
+//! The measurement discrimination unit (Sections 4.2.1, 5.1.2):
+//! hardware-based weighted integration and thresholding of readout traces,
+//! replacing the slow software path so real-time feedback is possible.
+
+use quma_qsim::resonator::{Discriminator, ReadoutParams, ReadoutTrace};
+use quma_signal::adc::Adc;
+
+/// A completed discrimination: the integrated value and the binary result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discrimination {
+    /// Weighted integration result `S_q`.
+    pub s: f64,
+    /// Binary result `M_q = (S_q > T_q)`.
+    pub bit: u8,
+}
+
+/// The MDU for one qubit: digitizes the incoming analog trace with the
+/// acquisition ADC, integrates against the calibrated weight function, and
+/// thresholds.
+#[derive(Debug, Clone)]
+pub struct MeasurementDiscriminationUnit {
+    discriminator: Discriminator,
+    adc: Adc,
+    /// Processing latency in cycles from end-of-trace to result-valid
+    /// (the paper reports total readout latency < 1 µs on their FPGA).
+    latency_cycles: u32,
+    /// Trace latched by the most recent measurement pulse, awaiting an MD
+    /// trigger.
+    latched: Option<ReadoutTrace>,
+    discriminations: u64,
+}
+
+/// Error: an MD trigger arrived with no latched measurement trace (an MD
+/// without a preceding MPG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoTraceLatched;
+
+impl std::fmt::Display for NoTraceLatched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MD trigger with no latched measurement trace (missing MPG?)")
+    }
+}
+
+impl std::error::Error for NoTraceLatched {}
+
+impl MeasurementDiscriminationUnit {
+    /// Calibrates an MDU for a readout chain, integrating traces of
+    /// `integration_time` seconds.
+    pub fn calibrate(readout: &ReadoutParams, integration_time: f64, latency_cycles: u32) -> Self {
+        Self {
+            discriminator: Discriminator::calibrate(readout, integration_time),
+            adc: Adc::paper_acquisition(),
+            latency_cycles,
+            latched: None,
+            discriminations: 0,
+        }
+    }
+
+    /// The calibrated discriminator (weights, threshold, calibration
+    /// points).
+    pub fn discriminator(&self) -> &Discriminator {
+        &self.discriminator
+    }
+
+    /// Result latency in cycles after the integration window closes.
+    pub fn latency_cycles(&self) -> u32 {
+        self.latency_cycles
+    }
+
+    /// Number of completed discriminations.
+    pub fn discriminations(&self) -> u64 {
+        self.discriminations
+    }
+
+    /// Latches the analog trace produced by a measurement pulse.
+    pub fn latch_trace(&mut self, trace: ReadoutTrace) {
+        self.latched = Some(trace);
+    }
+
+    /// True when a trace is waiting for discrimination.
+    pub fn has_trace(&self) -> bool {
+        self.latched.is_some()
+    }
+
+    /// Runs the discrimination on the latched trace (consuming it):
+    /// digitize → weighted integrate → threshold.
+    pub fn discriminate(&mut self) -> Result<Discrimination, NoTraceLatched> {
+        let trace = self.latched.take().ok_or(NoTraceLatched)?;
+        let digitized = ReadoutTrace {
+            samples: self.adc.digitize(&trace.samples),
+            sample_period: trace.sample_period,
+            f_if: trace.f_if,
+        };
+        let s = self.discriminator.integrate(&digitized);
+        let bit = u8::from(s > self.discriminator.threshold);
+        self.discriminations += 1;
+        Ok(Discrimination { s, bit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quma_qsim::resonator::synthesize_trace;
+
+    fn unit() -> (ReadoutParams, MeasurementDiscriminationUnit) {
+        let p = ReadoutParams::paper_default();
+        let mdu = MeasurementDiscriminationUnit::calibrate(&p, 1.5e-6, 60);
+        (p, mdu)
+    }
+
+    #[test]
+    fn discriminates_noiseless_states() {
+        let p = ReadoutParams::noiseless();
+        let mut mdu = MeasurementDiscriminationUnit::calibrate(&p, 1.5e-6, 60);
+        for s in [0u8, 1u8] {
+            mdu.latch_trace(synthesize_trace(&p, s, 1.5e-6, || 0.0));
+            let d = mdu.discriminate().unwrap();
+            assert_eq!(d.bit, s);
+        }
+        assert_eq!(mdu.discriminations(), 2);
+    }
+
+    #[test]
+    fn discriminates_noisy_states_reliably() {
+        let (p, mut mdu) = unit();
+        let mut seed = 77u64;
+        let mut lcg = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for round in 0..40 {
+            for s in [0u8, 1u8] {
+                mdu.latch_trace(synthesize_trace(&p, s, 1.5e-6, &mut lcg));
+                let d = mdu.discriminate().unwrap();
+                assert_eq!(d.bit, s, "round {round}, state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn md_without_mpg_is_an_error() {
+        let (_, mut mdu) = unit();
+        assert_eq!(mdu.discriminate(), Err(NoTraceLatched));
+    }
+
+    #[test]
+    fn trace_is_consumed() {
+        let (p, mut mdu) = unit();
+        mdu.latch_trace(synthesize_trace(&p, 0, 1.5e-6, || 0.0));
+        assert!(mdu.has_trace());
+        mdu.discriminate().unwrap();
+        assert!(!mdu.has_trace());
+        assert_eq!(mdu.discriminate(), Err(NoTraceLatched));
+    }
+
+    #[test]
+    fn integration_value_is_monotone_in_state() {
+        let p = ReadoutParams::noiseless();
+        let mut mdu = MeasurementDiscriminationUnit::calibrate(&p, 1.0e-6, 0);
+        mdu.latch_trace(synthesize_trace(&p, 0, 1.0e-6, || 0.0));
+        let s0 = mdu.discriminate().unwrap().s;
+        mdu.latch_trace(synthesize_trace(&p, 1, 1.0e-6, || 0.0));
+        let s1 = mdu.discriminate().unwrap().s;
+        assert!(s1 > s0, "matched filter orients 1 above 0");
+        let t = mdu.discriminator().threshold;
+        assert!(s0 < t && t < s1);
+    }
+}

@@ -1,0 +1,363 @@
+//! The quantum microinstruction buffer (Section 5.3.2): decomposes QuMIS
+//! microinstructions into micro-operations with timing labels and pushes
+//! them into the timing control unit's queues.
+//!
+//! Label assignment follows the paper's Tables 2–4 exactly: each `Wait`
+//! creates a new time point `(interval, label)` with a monotonically
+//! increasing label; `Pulse` events take the label of the most recent time
+//! point; `MPG`/`MD` bypass the micro-operation stage but queue the same
+//! way, tagged with the current label.
+
+use crate::event::Event;
+use crate::timing::{QueueId, TimePoint, TimingControlUnit};
+use quma_isa::prelude::Instruction;
+
+/// The QMB: tracks the current timing label while streaming
+/// microinstructions into the queues.
+#[derive(Debug, Clone, Default)]
+pub struct QuantumMicroinstructionBuffer {
+    label_counter: u32,
+    current: Option<u32>,
+}
+
+/// Error: a non-QuMIS instruction reached the QMB (the physical microcode
+/// unit must expand `Apply`/`Measure` first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotMicrocode(pub Instruction);
+
+impl std::fmt::Display for NotMicrocode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instruction '{}' is not a QuMIS microinstruction", self.0)
+    }
+}
+
+impl std::error::Error for NotMicrocode {}
+
+impl QuantumMicroinstructionBuffer {
+    /// A fresh buffer (labels start at 1, as in the paper's tables).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The label events are currently tagged with (`None` before the first
+    /// time point).
+    pub fn current_label(&self) -> Option<u32> {
+        self.current
+    }
+
+    /// True when the current label is missing or its time point has
+    /// already fired (e.g. a feedback pulse pushed after the measurement's
+    /// label was broadcast) — a fresh zero-interval time point is needed.
+    fn needs_new_label(&self, tcu: &TimingControlUnit) -> bool {
+        match self.current {
+            None => true,
+            Some(l) => l <= tcu.fired_watermark(),
+        }
+    }
+
+    /// Queue slots required to push `insn`: `(timing, pulse, mpg, md)`.
+    /// Accounts for the implicit zero-interval time point created when an
+    /// event arrives before any `Wait` or after its label already fired.
+    pub fn required_slots(
+        &self,
+        insn: &Instruction,
+        tcu: &TimingControlUnit,
+    ) -> (usize, usize, usize, usize) {
+        let implicit = usize::from(self.needs_new_label(tcu));
+        match insn {
+            Instruction::Wait { .. } => (1, 0, 0, 0),
+            Instruction::Pulse { ops } => (implicit, ops.len(), 0, 0),
+            Instruction::Mpg { .. } => (implicit, 0, 1, 0),
+            Instruction::Md { .. } => (implicit, 0, 0, 1),
+            _ => (0, 0, 0, 0),
+        }
+    }
+
+    /// True when the timing unit currently has room for `insn`.
+    pub fn can_push(&self, insn: &Instruction, tcu: &TimingControlUnit) -> bool {
+        let (t, p, m, d) = self.required_slots(insn, tcu);
+        tcu.timing_free() >= t
+            && tcu.event_free(QueueId::Pulse) >= p
+            && tcu.event_free(QueueId::Mpg) >= m
+            && tcu.event_free(QueueId::Md) >= d
+    }
+
+    /// Pushes one QuMIS microinstruction into the queues. Returns `false`
+    /// (and pushes nothing) when there is not enough room — the caller
+    /// retries later, giving the execution controller backpressure.
+    pub fn push(
+        &mut self,
+        insn: &Instruction,
+        tcu: &mut TimingControlUnit,
+    ) -> Result<bool, NotMicrocode> {
+        match insn {
+            Instruction::Wait { .. }
+            | Instruction::Pulse { .. }
+            | Instruction::Mpg { .. }
+            | Instruction::Md { .. } => {}
+            other => return Err(NotMicrocode(other.clone())),
+        }
+        if !self.can_push(insn, tcu) {
+            return Ok(false);
+        }
+        match insn {
+            Instruction::Wait { interval } => {
+                self.new_time_point(*interval, tcu);
+            }
+            Instruction::Pulse { ops } => {
+                let label = self.ensure_label(tcu);
+                for op in ops {
+                    let ok = tcu.push_event(
+                        QueueId::Pulse,
+                        Event::Pulse {
+                            qubits: op.qubits,
+                            uop: op.uop,
+                        },
+                        label,
+                    );
+                    debug_assert!(ok, "capacity was pre-checked");
+                }
+            }
+            Instruction::Mpg { qubits, duration } => {
+                let label = self.ensure_label(tcu);
+                let ok = tcu.push_event(
+                    QueueId::Mpg,
+                    Event::Mpg {
+                        qubits: *qubits,
+                        duration: *duration,
+                    },
+                    label,
+                );
+                debug_assert!(ok, "capacity was pre-checked");
+            }
+            Instruction::Md { qubits, rd } => {
+                let label = self.ensure_label(tcu);
+                let ok = tcu.push_event(
+                    QueueId::Md,
+                    Event::Md {
+                        qubits: *qubits,
+                        rd: *rd,
+                    },
+                    label,
+                );
+                debug_assert!(ok, "capacity was pre-checked");
+            }
+            _ => unreachable!("validated above"),
+        }
+        Ok(true)
+    }
+
+    fn new_time_point(&mut self, interval: u32, tcu: &mut TimingControlUnit) -> u32 {
+        self.label_counter += 1;
+        let label = self.label_counter;
+        let ok = tcu.push_time_point(TimePoint { interval, label });
+        debug_assert!(ok, "capacity was pre-checked");
+        self.current = Some(label);
+        label
+    }
+
+    fn ensure_label(&mut self, tcu: &mut TimingControlUnit) -> u32 {
+        if self.needs_new_label(tcu) {
+            self.new_time_point(0, tcu)
+        } else {
+            self.current.expect("checked by needs_new_label")
+        }
+    }
+
+    /// Resets label state for a new run.
+    pub fn reset(&mut self) {
+        self.label_counter = 0;
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quma_isa::prelude::{Assembler, QubitMask, Reg, UopId};
+
+    fn push_program(src: &str, capacity: usize) -> (QuantumMicroinstructionBuffer, TimingControlUnit) {
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut qmb = QuantumMicroinstructionBuffer::new();
+        let mut tcu = TimingControlUnit::new(capacity);
+        for insn in prog.instructions() {
+            assert!(qmb.push(insn, &mut tcu).unwrap(), "capacity exceeded");
+        }
+        (qmb, tcu)
+    }
+
+    #[test]
+    fn allxy_prefix_reproduces_table2_labels() {
+        // Two rounds of the AllXY inner body (I,I then X180,X180), exactly
+        // the program prefix behind the paper's Table 2 snapshot.
+        let src = "\
+            Wait 40000\n\
+            Pulse {q0}, I\n\
+            Wait 4\n\
+            Pulse {q0}, I\n\
+            Wait 4\n\
+            MPG {q0}, 300\n\
+            MD {q0}, r7\n\
+            Wait 40000\n\
+            Pulse {q0}, X180\n\
+            Wait 4\n\
+            Pulse {q0}, X180\n\
+            Wait 4\n\
+            MPG {q0}, 300\n\
+            MD {q0}, r7\n";
+        let (_, tcu) = push_program(src, 64);
+        let s = tcu.snapshot();
+        assert_eq!(
+            s.timing,
+            vec![
+                TimePoint { interval: 40000, label: 1 },
+                TimePoint { interval: 4, label: 2 },
+                TimePoint { interval: 4, label: 3 },
+                TimePoint { interval: 40000, label: 4 },
+                TimePoint { interval: 4, label: 5 },
+                TimePoint { interval: 4, label: 6 },
+            ]
+        );
+        let pulse_labels: Vec<u32> = s.pulse.iter().map(|&(_, l)| l).collect();
+        assert_eq!(pulse_labels, vec![1, 2, 4, 5]);
+        let mpg_labels: Vec<u32> = s.mpg.iter().map(|&(_, l)| l).collect();
+        assert_eq!(mpg_labels, vec![3, 6]);
+        let md_labels: Vec<u32> = s.md.iter().map(|&(_, l)| l).collect();
+        assert_eq!(md_labels, vec![3, 6]);
+        // Pulse events carry the right µ-ops: I, I, X180, X180.
+        let uops: Vec<UopId> = s
+            .pulse
+            .iter()
+            .map(|(e, _)| match e {
+                Event::Pulse { uop, .. } => *uop,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(uops, vec![UopId(0), UopId(0), UopId(1), UopId(1)]);
+    }
+
+    #[test]
+    fn event_before_wait_gets_zero_interval_time_point() {
+        let (qmb, tcu) = push_program("Pulse {q0}, X180\n", 8);
+        let s = tcu.snapshot();
+        assert_eq!(s.timing, vec![TimePoint { interval: 0, label: 1 }]);
+        assert_eq!(s.pulse.len(), 1);
+        assert_eq!(qmb.current_label(), Some(1));
+    }
+
+    #[test]
+    fn md_register_is_preserved() {
+        let (_, tcu) = push_program("Wait 1\nMD {q2}, r7\n", 8);
+        let s = tcu.snapshot();
+        assert_eq!(
+            s.md[0].0,
+            Event::Md {
+                qubits: QubitMask::single(2),
+                rd: Some(Reg::r(7))
+            }
+        );
+    }
+
+    #[test]
+    fn horizontal_pulse_pushes_one_event_per_pair() {
+        let (_, tcu) = push_program("Wait 1\nPulse {q0}, X90, {q1}, Y90\n", 8);
+        let s = tcu.snapshot();
+        assert_eq!(s.pulse.len(), 2);
+        assert_eq!(s.pulse[0].1, s.pulse[1].1, "same label");
+    }
+
+    #[test]
+    fn backpressure_pushes_nothing_partially() {
+        let mut qmb = QuantumMicroinstructionBuffer::new();
+        let mut tcu = TimingControlUnit::new(1);
+        // First pulse: needs implicit time point (1 slot) + 1 pulse slot: fits.
+        let p = Assembler::new().assemble("Pulse {q0}, I, {q1}, I").unwrap();
+        // Two pulse events needed but capacity is 1 → refused atomically.
+        let pushed = qmb.push(&p.instructions()[0], &mut tcu).unwrap();
+        assert!(!pushed);
+        assert!(tcu.snapshot().pulse.is_empty(), "nothing partially pushed");
+        assert!(tcu.snapshot().timing.is_empty());
+    }
+
+    #[test]
+    fn classical_instruction_is_rejected() {
+        let mut qmb = QuantumMicroinstructionBuffer::new();
+        let mut tcu = TimingControlUnit::new(8);
+        let err = qmb
+            .push(&Instruction::Halt, &mut tcu)
+            .unwrap_err();
+        assert_eq!(err, NotMicrocode(Instruction::Halt));
+    }
+
+    #[test]
+    fn reset_restarts_labels() {
+        let (mut qmb, _) = push_program("Wait 5\n", 8);
+        assert_eq!(qmb.current_label(), Some(1));
+        qmb.reset();
+        assert_eq!(qmb.current_label(), None);
+        let mut tcu = TimingControlUnit::new(8);
+        qmb.push(&Instruction::Wait { interval: 9 }, &mut tcu)
+            .unwrap();
+        assert_eq!(qmb.current_label(), Some(1), "labels restart at 1");
+    }
+
+    #[test]
+    fn required_slots_accounting() {
+        let qmb = QuantumMicroinstructionBuffer::new();
+        let tcu = TimingControlUnit::new(8);
+        assert_eq!(
+            qmb.required_slots(&Instruction::Wait { interval: 4 }, &tcu),
+            (1, 0, 0, 0)
+        );
+        // Before any Wait, events also need an implicit timing slot.
+        assert_eq!(
+            qmb.required_slots(
+                &Instruction::Mpg {
+                    qubits: QubitMask::single(0),
+                    duration: 300
+                },
+                &tcu
+            ),
+            (1, 0, 1, 0)
+        );
+    }
+
+    #[test]
+    fn stale_label_reopens_a_time_point() {
+        // Push Wait + Pulse, fire them, then push another Pulse without a
+        // Wait: it must get a fresh zero-interval time point (the feedback
+        // case), not the already-broadcast label.
+        let mut qmb = QuantumMicroinstructionBuffer::new();
+        let mut tcu = TimingControlUnit::new(16);
+        qmb.push(&Instruction::Wait { interval: 10 }, &mut tcu).unwrap();
+        qmb.push(
+            &Instruction::Pulse {
+                ops: vec![quma_isa::prelude::PulseOp {
+                    qubits: QubitMask::single(0),
+                    uop: UopId(1),
+                }],
+            },
+            &mut tcu,
+        )
+        .unwrap();
+        tcu.start();
+        let fired = tcu.advance(10);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(tcu.fired_watermark(), 1);
+        // Feedback pulse with no Wait in between.
+        qmb.push(
+            &Instruction::Pulse {
+                ops: vec![quma_isa::prelude::PulseOp {
+                    qubits: QubitMask::single(0),
+                    uop: UopId(4),
+                }],
+            },
+            &mut tcu,
+        )
+        .unwrap();
+        let fired = tcu.advance(0);
+        assert_eq!(fired.len(), 1, "the feedback pulse fires immediately");
+        assert_eq!(fired[0].td, 10);
+        assert!(tcu.is_drained());
+    }
+}

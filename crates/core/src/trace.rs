@@ -1,0 +1,227 @@
+//! Event traces: a cycle-stamped record of everything that happened in the
+//! deterministic timing domain during a run.
+//!
+//! Traces are the primary validation artifact: the Table 5 decode golden
+//! test, the Figure 3/5 timeline reproduction, and the jitter-invariance
+//! property test all compare traces. Timestamps are deterministic-domain
+//! cycles (`T_D`), so two runs with different non-deterministic-domain
+//! timing produce identical traces — the paper's core claim.
+
+use quma_isa::prelude::{QubitMask, Reg};
+use std::fmt;
+
+/// How much to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Record nothing (fastest; large-N experiment runs).
+    Off,
+    /// Record everything.
+    #[default]
+    Full,
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Deterministic-domain time in cycles.
+    pub td: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Trace event payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// A timing label was broadcast.
+    TimePoint {
+        /// The label.
+        label: u32,
+    },
+    /// A micro-operation was sent to a µ-op unit.
+    MicroOp {
+        /// Target qubit.
+        qubit: usize,
+        /// The µ-op id.
+        uop: u8,
+    },
+    /// A codeword trigger reached a CTPG.
+    Codeword {
+        /// Target qubit (CTPG index).
+        qubit: usize,
+        /// The codeword.
+        codeword: u16,
+    },
+    /// A pulse started playing on the analog output (after the CTPG fixed
+    /// delay).
+    PulseStart {
+        /// Target qubit.
+        qubit: usize,
+        /// The codeword that produced it.
+        codeword: u16,
+    },
+    /// A measurement pulse started (digital output asserted).
+    MsmtPulse {
+        /// Addressed qubits.
+        qubits: QubitMask,
+        /// Duration in cycles.
+        duration: u32,
+    },
+    /// A CZ flux pulse reached a coupled pair.
+    FluxPulse {
+        /// The two addressed qubits.
+        qubits: QubitMask,
+    },
+    /// Measurement discrimination started.
+    MdStart {
+        /// Addressed qubits.
+        qubits: QubitMask,
+    },
+    /// A discrimination result was produced and written back.
+    MdResult {
+        /// The qubit.
+        qubit: usize,
+        /// The binary result.
+        bit: u8,
+        /// Destination register, if any.
+        rd: Option<Reg>,
+    },
+}
+
+/// A full run trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    level: TraceLevel,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A trace sink at the given level.
+    pub fn new(level: TraceLevel) -> Self {
+        Self {
+            level,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records one event (no-op at `TraceLevel::Off`).
+    pub fn record(&mut self, td: u64, kind: TraceKind) {
+        if self.level == TraceLevel::Full {
+            self.events.push(TraceEvent { td, kind });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of a particular kind, filtered by a predicate.
+    pub fn filter<'a>(
+        &'a self,
+        pred: impl Fn(&TraceKind) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| pred(&e.kind))
+    }
+
+    /// The pulse-start timeline: `(td, qubit, codeword)` triples — the
+    /// Figure 3/5 waveform timing.
+    pub fn pulse_timeline(&self) -> Vec<(u64, usize, u16)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::PulseStart { qubit, codeword } => Some((e.td, qubit, codeword)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The codeword-trigger timeline (the last row of Table 5).
+    pub fn codeword_timeline(&self) -> Vec<(u64, usize, u16)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Codeword { qubit, codeword } => Some((e.td, qubit, codeword)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "TD={:>8}: {:?}", e.td, e.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_level_records_nothing() {
+        let mut t = Trace::new(TraceLevel::Off);
+        t.record(1, TraceKind::TimePoint { label: 1 });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn full_level_records_in_order() {
+        let mut t = Trace::new(TraceLevel::Full);
+        t.record(1, TraceKind::TimePoint { label: 1 });
+        t.record(
+            5,
+            TraceKind::Codeword {
+                qubit: 0,
+                codeword: 3,
+            },
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].td, 1);
+        assert_eq!(t.codeword_timeline(), vec![(5, 0, 3)]);
+    }
+
+    #[test]
+    fn pulse_timeline_filters() {
+        let mut t = Trace::new(TraceLevel::Full);
+        t.record(
+            16,
+            TraceKind::PulseStart {
+                qubit: 2,
+                codeword: 1,
+            },
+        );
+        t.record(20, TraceKind::TimePoint { label: 9 });
+        assert_eq!(t.pulse_timeline(), vec![(16, 2, 1)]);
+        assert_eq!(
+            t.filter(|k| matches!(k, TraceKind::TimePoint { .. })).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_is_line_per_event() {
+        let mut t = Trace::new(TraceLevel::Full);
+        t.record(7, TraceKind::TimePoint { label: 2 });
+        let s = t.to_string();
+        assert!(s.contains("TD="));
+        assert!(s.contains("label: 2"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Rabi amplitude calibration — the step the paper performs before every
+//! experiment ("Prior to the experiment, the qubit pulses are calibrated
+//! and uploaded into control box AWG 2", Section 8).
+//!
+//! Protocol: scale the whole pulse library by a factor `s`, play one
+//! nominal X180, and measure. The excited-state population follows
+//! `p₁(s) = ½ − ½·cos(π·k·s)` where `k` is the true rotation fraction of
+//! the nominal π pulse. Fitting `k` yields the amplitude correction `1/k`
+//! that re-calibrates the library.
+
+use crate::fit::{levenberg_marquardt, FitError};
+use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
+use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+
+/// Rabi-calibration configuration.
+#[derive(Debug, Clone)]
+pub struct RabiConfig {
+    /// Library scale factors to sweep (keep ≤ ~1.3 so the DAC never clips).
+    pub scales: Vec<f64>,
+    /// Averaging rounds per scale point.
+    pub averages: u32,
+    /// Initialization idle in cycles.
+    pub init_cycles: u32,
+    /// Chip seed.
+    pub seed: u64,
+}
+
+impl Default for RabiConfig {
+    fn default() -> Self {
+        Self {
+            scales: (1..=13).map(|k| k as f64 * 0.1).collect(),
+            averages: 100,
+            init_cycles: 40000,
+            seed: 0x2AB1,
+        }
+    }
+}
+
+/// Rabi sweep result.
+#[derive(Debug, Clone)]
+pub struct RabiResult {
+    /// The swept scales.
+    pub scales: Vec<f64>,
+    /// Measured `p₁` per scale.
+    pub p1: Vec<f64>,
+    /// Fitted rotation fraction `k` of the nominal π pulse.
+    pub k: f64,
+}
+
+impl RabiResult {
+    /// The multiplicative amplitude correction that calibrates the
+    /// library: scaling by this factor makes the nominal X180 a true π.
+    pub fn correction(&self) -> f64 {
+        1.0 / self.k.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn single_x180_program(cfg: &RabiConfig) -> quma_isa::program::Program {
+    let mut program = QuantumProgram::new("rabi");
+    let mut k = Kernel::new("x180");
+    k.init().gate("X180", 0).measure(0);
+    program.add_kernel(k);
+    let ccfg = CompilerConfig {
+        init_cycles: cfg.init_cycles,
+        averages: cfg.averages,
+        ..CompilerConfig::default()
+    };
+    program
+        .compile(&GateSet::paper_default(), &ccfg)
+        .expect("well-formed")
+}
+
+/// Runs the Rabi sweep against a device whose pulse library is secretly
+/// miscalibrated by `miscalibration` (1.0 = perfect), and fits `k`.
+///
+/// `k ≈ miscalibration` when the sweep covers enough of the fringe.
+pub fn run(cfg: &RabiConfig, miscalibration: f64) -> Result<RabiResult, FitError> {
+    let program = single_x180_program(cfg);
+    let mut p1 = Vec::with_capacity(cfg.scales.len());
+    for (i, &scale) in cfg.scales.iter().enumerate() {
+        let dev_cfg = DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: cfg.seed.wrapping_add(i as u64),
+            collector_k: 1,
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        };
+        let mut dev = Device::new(dev_cfg).expect("valid config");
+        let lib = dev
+            .ctpg(0)
+            .library()
+            .with_amplitude_scale(scale * miscalibration);
+        dev.ctpg_mut(0).upload(lib);
+        let report = dev.run(&program).expect("runs");
+        let ones = report.md_results.iter().filter(|m| m.bit == 1).count();
+        p1.push(ones as f64 / report.md_results.len().max(1) as f64);
+    }
+    // p₁(s) = ½ − ½·cos(π·k·s), one parameter.
+    let model = |s: f64, p: &[f64]| 0.5 - 0.5 * (std::f64::consts::PI * p[0].abs() * s).cos();
+    let fit = levenberg_marquardt(&cfg.scales, &p1, model, &[1.0])?;
+    Ok(RabiResult {
+        scales: cfg.scales.clone(),
+        p1,
+        k: fit.params[0].abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_library_fits_k_near_one() {
+        let result = run(&RabiConfig::default(), 1.0).expect("fit");
+        assert!(
+            (result.k - 1.0).abs() < 0.05,
+            "k = {} for a calibrated library",
+            result.k
+        );
+    }
+
+    #[test]
+    fn miscalibration_is_recovered_and_corrected() {
+        let miscal = 0.85;
+        let result = run(&RabiConfig::default(), miscal).expect("fit");
+        assert!(
+            (result.k - miscal).abs() < 0.05,
+            "k = {} should track the 0.85 miscalibration",
+            result.k
+        );
+        let corrected = miscal * result.correction();
+        assert!(
+            (corrected - 1.0).abs() < 0.06,
+            "correction restores unity: {corrected}"
+        );
+    }
+
+    #[test]
+    fn calibration_repairs_the_allxy_staircase() {
+        // The closed loop: a 12% power error ruins AllXY; applying the
+        // Rabi-fit correction restores it.
+        use crate::allxy::{run as run_allxy, AllxyConfig, PulseError};
+        let miscal = 0.88;
+        let rabi = run(
+            &RabiConfig {
+                averages: 80,
+                ..RabiConfig::default()
+            },
+            miscal,
+        )
+        .expect("fit");
+        let base = AllxyConfig {
+            averages: 48,
+            ..AllxyConfig::default()
+        };
+        let broken = run_allxy(&AllxyConfig {
+            error: PulseError::AmplitudeScale(miscal),
+            ..base.clone()
+        });
+        let repaired = run_allxy(&AllxyConfig {
+            error: PulseError::AmplitudeScale(miscal * rabi.correction()),
+            ..base
+        });
+        assert!(
+            repaired.deviation < broken.deviation * 0.6,
+            "correction must repair the staircase: {} -> {}",
+            broken.deviation,
+            repaired.deviation
+        );
+    }
+}

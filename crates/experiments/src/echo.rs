@@ -1,0 +1,212 @@
+//! T2 echo (Hahn echo) experiment (Section 8 lists "T2 Echo" among the
+//! validation experiments).
+//!
+//! Protocol: `X90` — τ/2 — `Y180` — τ/2 — `X90` — measure. The refocusing
+//! π pulse cancels static detuning, so no fringes appear even with a
+//! detuned drive; the contrast decays from `p₁(0) ≈ 1` towards 0.5 with
+//! the echo time constant. In this substrate the dephasing channel is
+//! Markovian (white noise), so the echo recovers T2 rather than exceeding
+//! it — EXPERIMENTS.md discusses the difference from slow-noise-limited
+//! hardware.
+
+use crate::fit::{fit_exponential_decay_fixed, FitError};
+use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
+use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+
+/// Echo experiment configuration.
+#[derive(Debug, Clone)]
+pub struct EchoConfig {
+    /// Number of refocusing π pulses: 1 = Hahn echo, n > 1 = CPMG.
+    pub refocusing_pulses: u32,
+    /// Total free-evolution times τ in cycles (each must be a multiple of
+    /// `8 · refocusing_pulses` so every sub-interval keeps SSB alignment).
+    pub delays_cycles: Vec<u32>,
+    /// Static detuning in Hz (the echo should suppress it).
+    pub detuning: f64,
+    /// Averaging rounds.
+    pub averages: u32,
+    /// Initialization idle in cycles.
+    pub init_cycles: u32,
+    /// Chip seed.
+    pub seed: u64,
+}
+
+impl Default for EchoConfig {
+    fn default() -> Self {
+        Self {
+            refocusing_pulses: 1,
+            // 0 to 48 µs in 4.8 µs steps, all multiples of 8 cycles.
+            delays_cycles: (0..=10).map(|k| k * 960).collect(),
+            detuning: 100e3,
+            averages: 150,
+            init_cycles: 40000,
+            seed: 0x73,
+        }
+    }
+}
+
+/// Echo experiment result.
+#[derive(Debug, Clone)]
+pub struct EchoResult {
+    /// Total delays τ in seconds.
+    pub delays: Vec<f64>,
+    /// Measured `p₁` per delay.
+    pub p1: Vec<f64>,
+    /// Fitted `(A, T2echo, B)`.
+    pub fit: (f64, f64, f64),
+}
+
+impl EchoResult {
+    /// The fitted echo time constant in seconds.
+    pub fn t2_echo(&self) -> f64 {
+        self.fit.1
+    }
+}
+
+/// Builds the echo sweep program.
+pub fn build_program(cfg: &EchoConfig) -> quma_isa::program::Program {
+    let mut program = QuantumProgram::new("T2-Echo");
+    let n = cfg.refocusing_pulses.max(1);
+    for (i, &d) in cfg.delays_cycles.iter().enumerate() {
+        assert_eq!(
+            d % (8 * n),
+            0,
+            "echo delays must be multiples of 8·n cycles"
+        );
+        // CPMG spacing: τ/2n before the first and after the last π pulse,
+        // τ/n between consecutive π pulses.
+        let edge = d / (2 * n);
+        let inner = d / n;
+        let mut k = Kernel::new(format!("tau{i}"));
+        k.init();
+        k.gate("X90", 0);
+        for p in 0..n {
+            let gap = if p == 0 { edge } else { inner };
+            if gap > 0 {
+                k.wait(gap);
+            }
+            k.gate("Y180", 0);
+        }
+        if edge > 0 {
+            k.wait(edge);
+        }
+        k.gate("X90", 0);
+        k.measure(0);
+        program.add_kernel(k);
+    }
+    let ccfg = CompilerConfig {
+        init_cycles: cfg.init_cycles,
+        averages: cfg.averages,
+        ..CompilerConfig::default()
+    };
+    program
+        .compile(&GateSet::paper_default(), &ccfg)
+        .expect("echo program is well-formed")
+}
+
+/// Runs the echo experiment and fits the exponential contrast decay.
+pub fn run(cfg: &EchoConfig) -> Result<EchoResult, FitError> {
+    let dev_cfg = DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: cfg.seed,
+        collector_k: cfg.delays_cycles.len(),
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    };
+    let mut dev = Device::new(dev_cfg).expect("valid config");
+    dev.chip_mut().qubit_mut(0).transmon.params_mut().detuning = cfg.detuning;
+    let program = build_program(cfg);
+    let report = dev.run(&program).expect("echo program runs");
+    let k = cfg.delays_cycles.len();
+    let mut ones = vec![0u64; k];
+    let mut counts = vec![0u64; k];
+    for (i, md) in report.md_results.iter().enumerate() {
+        ones[i % k] += u64::from(md.bit);
+        counts[i % k] += 1;
+    }
+    let p1: Vec<f64> = ones
+        .iter()
+        .zip(counts.iter())
+        .map(|(&o, &n)| o as f64 / n.max(1) as f64)
+        .collect();
+    let cycle = dev.config().cycle_time;
+    let delays: Vec<f64> = cfg
+        .delays_cycles
+        .iter()
+        .map(|&d| f64::from(d) * cycle)
+        .collect();
+    // The echo contrast decays to the maximally mixed 0.5; pinning the
+    // asymptote keeps short sweeps from trading T against B.
+    let (a, t) = fit_exponential_decay_fixed(&delays, &p1, 0.5)?;
+    Ok(EchoResult {
+        delays,
+        p1,
+        fit: (a, t, 0.5),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_rejects_unaligned_delays() {
+        let cfg = EchoConfig {
+            delays_cycles: vec![4],
+            ..EchoConfig::default()
+        };
+        let result = std::panic::catch_unwind(|| build_program(&cfg));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cpmg_matches_hahn_under_markovian_noise() {
+        // With memoryless dephasing, adding refocusing pulses cannot
+        // extend the echo time (there is no slow noise to filter out) —
+        // a deliberate property of this substrate, documented in
+        // EXPERIMENTS.md.
+        let hahn = run(&EchoConfig {
+            averages: 100,
+            ..EchoConfig::default()
+        })
+        .expect("fit");
+        let cpmg = run(&EchoConfig {
+            refocusing_pulses: 4,
+            delays_cycles: (0..=10).map(|k| k * 960).collect(), // multiples of 32
+            averages: 100,
+            seed: 0x74,
+            ..EchoConfig::default()
+        })
+        .expect("fit");
+        let ratio = cpmg.t2_echo() / hahn.t2_echo();
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "CPMG/Hahn ratio {ratio} should be ~1 for white noise"
+        );
+    }
+
+    #[test]
+    fn echo_suppresses_detuning_and_recovers_t2() {
+        let cfg = EchoConfig {
+            averages: 120,
+            ..EchoConfig::default()
+        };
+        let result = run(&cfg).expect("fit succeeds");
+        // Contrast starts high and decays smoothly (no fringes despite the
+        // 100 kHz detuning — the π pulse refocuses it).
+        assert!(result.p1[0] > 0.9, "p1(0) = {}", result.p1[0]);
+        let t2e = result.t2_echo();
+        assert!(
+            t2e > 12e-6 && t2e < 60e-6,
+            "fitted T2echo = {t2e:.3e}, expected ≈ 25 µs (Markovian noise)"
+        );
+        // Fringe check: successive points decrease or stay flat within
+        // noise; a detuned Ramsey would swing through ~full contrast.
+        let max_rise = result
+            .p1
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::MIN, f64::max);
+        assert!(max_rise < 0.2, "echo curve should not oscillate: {max_rise}");
+    }
+}

@@ -1,0 +1,395 @@
+//! Least-squares curve fitting (Levenberg–Marquardt) for the
+//! characterization experiments: exponential decay (T1, echo), damped
+//! cosine (Ramsey), and randomized-benchmarking decay.
+
+/// Result of a fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Best-fit parameters.
+    pub params: Vec<f64>,
+    /// Residual sum of squares at the optimum.
+    pub rss: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the convergence criterion was met.
+    pub converged: bool,
+}
+
+/// Fitting errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer data points than parameters.
+    TooFewPoints,
+    /// `xs` and `ys` lengths differ.
+    LengthMismatch,
+    /// The normal-equation solve became singular.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewPoints => write!(f, "fewer data points than parameters"),
+            FitError::LengthMismatch => write!(f, "x and y lengths differ"),
+            FitError::Singular => write!(f, "singular normal equations"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Levenberg–Marquardt with a numerical Jacobian.
+///
+/// `model(x, params)` evaluates the model; `p0` is the initial guess.
+pub fn levenberg_marquardt(
+    xs: &[f64],
+    ys: &[f64],
+    model: impl Fn(f64, &[f64]) -> f64,
+    p0: &[f64],
+) -> Result<FitResult, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let n = xs.len();
+    let k = p0.len();
+    if n < k {
+        return Err(FitError::TooFewPoints);
+    }
+    let rss_of = |p: &[f64]| -> f64 {
+        xs.iter()
+            .zip(ys.iter())
+            .map(|(&x, &y)| {
+                let r = y - model(x, p);
+                r * r
+            })
+            .sum()
+    };
+    let mut p = p0.to_vec();
+    let mut rss = rss_of(&p);
+    let mut lambda = 1e-3;
+    let max_iter = 200;
+    let mut converged = false;
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Numerical Jacobian.
+        let mut jt_j = vec![vec![0.0; k]; k];
+        let mut jt_r = vec![0.0; k];
+        let mut jac_row = vec![0.0; k];
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            let f0 = model(x, &p);
+            for j in 0..k {
+                let h = (p[j].abs() * 1e-6).max(1e-9);
+                let mut pj = p.clone();
+                pj[j] += h;
+                jac_row[j] = (model(x, &pj) - f0) / h;
+            }
+            let r = y - f0;
+            for a in 0..k {
+                jt_r[a] += jac_row[a] * r;
+                for b in 0..k {
+                    jt_j[a][b] += jac_row[a] * jac_row[b];
+                }
+            }
+        }
+        // Try damped steps, adapting lambda.
+        let mut improved = false;
+        for _ in 0..12 {
+            let mut m = jt_j.clone();
+            for (a, row) in m.iter_mut().enumerate() {
+                row[a] += lambda * (jt_j[a][a].max(1e-12));
+            }
+            let Some(step) = solve(&mut m, &jt_r) else {
+                return Err(FitError::Singular);
+            };
+            let candidate: Vec<f64> = p.iter().zip(step.iter()).map(|(a, d)| a + d).collect();
+            let new_rss = rss_of(&candidate);
+            if new_rss.is_finite() && new_rss < rss {
+                let rel = (rss - new_rss) / rss.max(1e-300);
+                p = candidate;
+                rss = new_rss;
+                lambda = (lambda * 0.3).max(1e-12);
+                improved = true;
+                if rel < 1e-10 {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 10.0;
+            if lambda > 1e12 {
+                break;
+            }
+        }
+        if !improved {
+            converged = true;
+            break;
+        }
+        if converged {
+            break;
+        }
+    }
+    Ok(FitResult {
+        params: p,
+        rss,
+        iterations,
+        converged,
+    })
+}
+
+/// Gaussian elimination with partial pivoting for the small normal systems.
+fn solve(m: &mut [Vec<f64>], rhs: &[f64]) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    let mut b = rhs.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&a, &bi| {
+            m[a][col]
+                .abs()
+                .partial_cmp(&m[bi][col].abs())
+                .expect("finite")
+        })?;
+        if m[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = m[row][col] / m[col][col];
+            let (pivot_rows, rest) = m.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (c, cell) in rest[0].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot[c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= m[row][c] * x[c];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Exponential decay `y = A·exp(−x/T) + B`. Returns `(A, T, B)`.
+pub fn fit_exponential_decay(xs: &[f64], ys: &[f64]) -> Result<(f64, f64, f64), FitError> {
+    let (min, max) = min_max(ys);
+    let b0 = min;
+    let a0 = (max - min).max(1e-12);
+    // Half-life guess: first x where y drops below B + A/2.
+    let t0 = xs
+        .iter()
+        .zip(ys.iter())
+        .find(|&(_, &y)| y < b0 + a0 / 2.0)
+        .map(|(&x, _)| (x / std::f64::consts::LN_2).max(1e-12))
+        .unwrap_or_else(|| xs.last().copied().unwrap_or(1.0).max(1e-12));
+    let model = |x: f64, p: &[f64]| p[0] * (-x / p[1].abs().max(1e-300)).exp() + p[2];
+    let fit = levenberg_marquardt(xs, ys, model, &[a0, t0, b0])?;
+    Ok((fit.params[0], fit.params[1].abs(), fit.params[2]))
+}
+
+/// Exponential decay with a pinned asymptote: `y = A·exp(−x/T) + b`.
+/// Returns `(A, T)`. Used where the asymptote is known physically (echo
+/// contrast decays to the maximally mixed 0.5) and freeing it would make
+/// the fit degenerate on short sweeps.
+pub fn fit_exponential_decay_fixed(
+    xs: &[f64],
+    ys: &[f64],
+    b: f64,
+) -> Result<(f64, f64), FitError> {
+    let (_, max) = min_max(ys);
+    let a0 = (max - b).max(1e-12);
+    let t0 = xs
+        .iter()
+        .zip(ys.iter())
+        .find(|&(_, &y)| y < b + a0 / 2.0)
+        .map(|(&x, _)| (x / std::f64::consts::LN_2).max(1e-12))
+        .unwrap_or_else(|| xs.last().copied().unwrap_or(1.0).max(1e-12));
+    let model = move |x: f64, p: &[f64]| p[0] * (-x / p[1].abs().max(1e-300)).exp() + b;
+    let fit = levenberg_marquardt(xs, ys, model, &[a0, t0])?;
+    Ok((fit.params[0], fit.params[1].abs()))
+}
+
+/// Damped cosine `y = A·exp(−x/T)·cos(2πf·x + φ) + B`.
+/// Returns `(A, T, f, φ, B)`. The frequency is seeded by a coarse grid
+/// search, which makes the fit robust for the Ramsey fringes.
+pub fn fit_damped_cosine(
+    xs: &[f64],
+    ys: &[f64],
+) -> Result<(f64, f64, f64, f64, f64), FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if xs.len() < 5 {
+        return Err(FitError::TooFewPoints);
+    }
+    let (min, max) = min_max(ys);
+    let b0 = (min + max) / 2.0;
+    let a0 = ((max - min) / 2.0).max(1e-12);
+    let span = xs.last().unwrap() - xs.first().unwrap();
+    let t0 = (span / 2.0).max(1e-12);
+    // Coarse frequency grid: 0.25 to n/2 oscillations over the span.
+    let mut best = (0.0, f64::INFINITY);
+    let model = |x: f64, p: &[f64]| {
+        p[0] * (-x / p[1].abs().max(1e-300)).exp()
+            * (2.0 * std::f64::consts::PI * p[2] * x + p[3]).cos()
+            + p[4]
+    };
+    let steps = 200;
+    for i in 1..=steps {
+        let f = i as f64 / steps as f64 * (xs.len() as f64 / 2.0) / span;
+        let rss: f64 = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(&x, &y)| {
+                let r = y - model(x, &[a0, t0, f, 0.0, b0]);
+                r * r
+            })
+            .sum();
+        if rss < best.1 {
+            best = (f, rss);
+        }
+    }
+    let fit = levenberg_marquardt(xs, ys, model, &[a0, t0, best.0, 0.0, b0])?;
+    Ok((
+        fit.params[0],
+        fit.params[1].abs(),
+        fit.params[2].abs(),
+        fit.params[3],
+        fit.params[4],
+    ))
+}
+
+/// Randomized-benchmarking decay `y = A·p^m + 0.5` over sequence length
+/// `m`, with the asymptote pinned at 0.5 (the standard single-qubit RB
+/// convention — a fully depolarized qubit reads 0/1 with equal
+/// probability, and freeing `B` makes the three-parameter fit degenerate
+/// for short length sweeps). Returns `(A, p, B = 0.5)`.
+pub fn fit_rb_decay(ms: &[f64], ys: &[f64]) -> Result<(f64, f64, f64), FitError> {
+    const B: f64 = 0.5;
+    let (_, max) = min_max(ys);
+    let a0 = (max - B).max(1e-12);
+    // Parametrize p = e^{−|q|} so the optimizer cannot leave (0, 1] and
+    // stall on a clamped flat region.
+    let q0 = -0.99f64.ln();
+    let model = |m: f64, p: &[f64]| p[0] * (-p[1].abs() * m).exp() + B;
+    let fit = levenberg_marquardt(ms, ys, model, &[a0, q0])?;
+    Ok((fit.params[0], (-fit.params[1].abs()).exp(), B))
+}
+
+/// Three-parameter RB decay `y = A·p^m + B` with a free asymptote, for
+/// long sweeps where `B` is identifiable. Returns `(A, p, B)`.
+pub fn fit_rb_decay_free(ms: &[f64], ys: &[f64]) -> Result<(f64, f64, f64), FitError> {
+    let (min, max) = min_max(ys);
+    let b0 = 0.5_f64.min(min + 1e-3);
+    let a0 = (max - b0).max(1e-12);
+    let q0 = -0.99f64.ln();
+    let model = |m: f64, p: &[f64]| p[0] * (-p[1].abs() * m).exp() + p[2];
+    let fit = levenberg_marquardt(ms, ys, model, &[a0, q0, b0])?;
+    Ok((
+        fit.params[0],
+        (-fit.params[1].abs()).exp(),
+        fit.params[2],
+    ))
+}
+
+fn min_max(ys: &[f64]) -> (f64, f64) {
+    ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+        (lo.min(y), hi.max(y))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| a + (b - a) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exponential_parameters() {
+        let xs = linspace(0.0, 100e-6, 40);
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.9 * (-x / 20e-6).exp() + 0.05).collect();
+        let (a, t, b) = fit_exponential_decay(&xs, &ys).unwrap();
+        assert!((a - 0.9).abs() < 1e-6, "A = {a}");
+        assert!((t - 20e-6).abs() < 1e-10, "T = {t}");
+        assert!((b - 0.05).abs() < 1e-6, "B = {b}");
+    }
+
+    #[test]
+    fn exponential_with_noise() {
+        let xs = linspace(0.0, 80e-6, 60);
+        let mut seed = 9u64;
+        let mut noise = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.01
+        };
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| (-x / 25e-6).exp() * 0.8 + 0.1 + noise())
+            .collect();
+        let (_, t, _) = fit_exponential_decay(&xs, &ys).unwrap();
+        assert!((t - 25e-6).abs() / 25e-6 < 0.05, "T = {t}");
+    }
+
+    #[test]
+    fn recovers_damped_cosine() {
+        let xs = linspace(0.0, 40e-6, 160);
+        let truth = |x: f64| 0.45 * (-x / 12e-6).exp() * (2.0 * std::f64::consts::PI * 250e3 * x).cos() + 0.5;
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let (a, t, f, phi, b) = fit_damped_cosine(&xs, &ys).unwrap();
+        assert!((a.abs() - 0.45).abs() < 1e-3, "A = {a}");
+        assert!((t - 12e-6).abs() / 12e-6 < 0.02, "T = {t}");
+        assert!((f - 250e3).abs() / 250e3 < 0.01, "f = {f}");
+        assert!(phi.abs() < 0.05 || (phi.abs() - std::f64::consts::PI).abs() < 0.05);
+        assert!((b - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn recovers_rb_decay() {
+        let ms: Vec<f64> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0].to_vec();
+        let ys: Vec<f64> = ms.iter().map(|&m| 0.48 * 0.985f64.powf(m) + 0.5).collect();
+        let (a, p, b) = fit_rb_decay(&ms, &ys).unwrap();
+        assert!((p - 0.985).abs() < 1e-4, "p = {p}");
+        assert!((a - 0.48).abs() < 1e-3);
+        assert_eq!(b, 0.5);
+        let (a3, p3, b3) = fit_rb_decay_free(&ms, &ys).unwrap();
+        assert!((p3 - 0.985).abs() < 1e-3, "p = {p3}");
+        assert!((a3 - 0.48).abs() < 0.02);
+        assert!((b3 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert_eq!(
+            fit_exponential_decay(&[1.0, 2.0], &[1.0]),
+            Err(FitError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert_eq!(
+            levenberg_marquardt(&[1.0], &[1.0], |x, p| p[0] * x + p[1], &[1.0, 0.0]),
+            Err(FitError::TooFewPoints)
+        );
+    }
+
+    #[test]
+    fn linear_model_exact() {
+        let xs = linspace(0.0, 10.0, 20);
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 7.0).collect();
+        let fit = levenberg_marquardt(&xs, &ys, |x, p| p[0] * x + p[1], &[1.0, 0.0]).unwrap();
+        assert!((fit.params[0] - 3.0).abs() < 1e-8);
+        assert!((fit.params[1] + 7.0).abs() < 1e-7);
+        assert!(fit.rss < 1e-12);
+    }
+}

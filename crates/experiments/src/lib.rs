@@ -1,0 +1,56 @@
+//! # quma-experiments — the paper's validation experiments on the QuMA
+//! reproduction
+//!
+//! Section 8: "We have performed various quantum experiments on a qubit to
+//! validate and verify the design of QuMA and QuMIS, including T1,
+//! T2 Ramsey, T2 Echo, AllXY, and randomized benchmarking." This crate
+//! implements all five, each as an OpenQL-style program compiled to QuMIS
+//! and executed on the full simulated control box, plus the curve-fitting
+//! machinery their analyses need.
+//!
+//! * [`allxy`] — the Figure 9 staircase with calibration-point rescaling,
+//!   the deviation metric, and error-signature injection;
+//! * [`t1`], [`ramsey`], [`echo`] — coherence characterization with
+//!   exponential / damped-cosine fits;
+//! * [`rb`] — pulse-level single-qubit randomized benchmarking;
+//! * [`fit`] — Levenberg–Marquardt least squares;
+//! * [`stats`] — small statistics helpers.
+
+#![warn(missing_docs)]
+
+pub mod allxy;
+pub mod calibrate;
+pub mod echo;
+pub mod fit;
+pub mod ramsey;
+pub mod readout;
+pub mod rb;
+pub mod stats;
+pub mod t1;
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::allxy::{
+        analyze as allxy_analyze, build_program as allxy_program, format_table as allxy_table,
+        ideal_fidelity, labels as allxy_labels, pairs as allxy_pairs, run as run_allxy,
+        AllxyConfig, AllxyResult, PulseError,
+    };
+    pub use crate::calibrate::{run as run_rabi, RabiConfig, RabiResult};
+    pub use crate::echo::{run as run_echo, EchoConfig, EchoResult};
+    pub use crate::fit::{
+        fit_damped_cosine, fit_exponential_decay, fit_exponential_decay_fixed, fit_rb_decay,
+        fit_rb_decay_free,
+        levenberg_marquardt, FitError,
+        FitResult,
+    };
+    pub use crate::ramsey::{run as run_ramsey, RamseyConfig, RamseyResult};
+    pub use crate::readout::{
+        run as run_readout, ReadoutConfig, ReadoutPoint, ReadoutResult,
+    };
+    pub use crate::rb::{
+        find_single_pulse_clifford, run as run_rb, run_interleaved, InterleavedRbResult,
+        RbConfig, RbResult,
+    };
+    pub use crate::stats::{mean, mean_abs_deviation, sem, std_dev, variance};
+    pub use crate::t1::{run as run_t1, T1Config, T1Result};
+}

@@ -1,0 +1,76 @@
+//! Small statistics helpers shared by the experiments.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Standard error of the mean.
+pub fn sem(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Mean absolute deviation between two equal-length series.
+pub fn mean_abs_deviation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(sem(&[]), 0.0);
+        assert_eq!(mean_abs_deviation(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn deviation_between_series() {
+        assert!((mean_abs_deviation(&[1.0, 2.0], &[2.0, 0.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "series lengths differ")]
+    fn deviation_length_mismatch() {
+        mean_abs_deviation(&[1.0], &[1.0, 2.0]);
+    }
+}

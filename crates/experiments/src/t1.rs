@@ -1,0 +1,151 @@
+//! T1 relaxation measurement (Section 8 lists T1 among the validation
+//! experiments run through QuMA).
+//!
+//! Protocol: excite with `X180`, idle for a variable delay `τ`, measure.
+//! The excited-state population decays as `p₁(τ) = A·e^{−τ/T1} + B`.
+
+use crate::fit::{fit_exponential_decay, FitError};
+use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
+use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+
+/// T1 experiment configuration.
+#[derive(Debug, Clone)]
+pub struct T1Config {
+    /// Delay sweep in cycles (must be multiples of the SSB alignment, 4).
+    pub delays_cycles: Vec<u32>,
+    /// Averaging rounds per delay.
+    pub averages: u32,
+    /// Initialization idle in cycles between points.
+    pub init_cycles: u32,
+    /// Chip seed.
+    pub seed: u64,
+}
+
+impl Default for T1Config {
+    fn default() -> Self {
+        Self {
+            // 0 to 60 µs in 4 µs steps (T1 = 20 µs on the paper chip).
+            delays_cycles: (0..=15).map(|k| k * 800).collect(),
+            averages: 200,
+            init_cycles: 40000,
+            seed: 0x71,
+        }
+    }
+}
+
+/// T1 experiment result.
+#[derive(Debug, Clone)]
+pub struct T1Result {
+    /// Delays in seconds.
+    pub delays: Vec<f64>,
+    /// Measured `p₁` per delay (bit averages).
+    pub p1: Vec<f64>,
+    /// Fitted `(A, T1, B)`.
+    pub fit: (f64, f64, f64),
+}
+
+impl T1Result {
+    /// The fitted T1 in seconds.
+    pub fn t1(&self) -> f64 {
+        self.fit.1
+    }
+}
+
+/// Builds the sweep program: one kernel per delay, all looped `averages`
+/// times (the collector-style cyclic layout).
+pub fn build_program(cfg: &T1Config) -> quma_isa::program::Program {
+    let mut program = QuantumProgram::new("T1");
+    for (i, &d) in cfg.delays_cycles.iter().enumerate() {
+        let mut k = Kernel::new(format!("delay{i}"));
+        k.init();
+        k.gate("X180", 0);
+        if d > 0 {
+            k.wait(d);
+        }
+        k.measure(0);
+        program.add_kernel(k);
+    }
+    let ccfg = CompilerConfig {
+        init_cycles: cfg.init_cycles,
+        averages: cfg.averages,
+        ..CompilerConfig::default()
+    };
+    program
+        .compile(&GateSet::paper_default(), &ccfg)
+        .expect("T1 program is well-formed")
+}
+
+/// Runs the T1 experiment on a paper-profile device and fits the decay.
+pub fn run(cfg: &T1Config) -> Result<T1Result, FitError> {
+    let dev_cfg = DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: cfg.seed,
+        collector_k: cfg.delays_cycles.len(),
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    };
+    let mut dev = Device::new(dev_cfg).expect("valid config");
+    let program = build_program(cfg);
+    let report = dev.run(&program).expect("T1 program runs");
+    let k = cfg.delays_cycles.len();
+    // Bit averages per slot from the MD records (completion order cycles
+    // through the K delays).
+    let mut ones = vec![0u64; k];
+    let mut counts = vec![0u64; k];
+    for (i, md) in report.md_results.iter().enumerate() {
+        ones[i % k] += u64::from(md.bit);
+        counts[i % k] += 1;
+    }
+    let p1: Vec<f64> = ones
+        .iter()
+        .zip(counts.iter())
+        .map(|(&o, &n)| o as f64 / n.max(1) as f64)
+        .collect();
+    let cycle = dev.config().cycle_time;
+    let delays: Vec<f64> = cfg
+        .delays_cycles
+        .iter()
+        .map(|&d| f64::from(d) * cycle)
+        .collect();
+    let fit = fit_exponential_decay(&delays, &p1)?;
+    Ok(T1Result { delays, p1, fit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_shape() {
+        let cfg = T1Config {
+            delays_cycles: vec![0, 400, 800],
+            averages: 2,
+            ..T1Config::default()
+        };
+        let prog = build_program(&cfg);
+        // Kernel without wait (delay 0) has 5 instructions, the others 6;
+        // plus 3 movs + addi + bne + halt.
+        assert_eq!(prog.len(), 5 + 6 + 6 + 6);
+    }
+
+    #[test]
+    fn recovers_t1_within_tolerance() {
+        // The paper chip has T1 = 20 µs; a modest sweep should recover it
+        // within ~20% with 150 averages.
+        let cfg = T1Config {
+            delays_cycles: (0..=10).map(|k| k * 1200).collect(), // 0–60 µs
+            averages: 150,
+            init_cycles: 40000,
+            seed: 0x71,
+        };
+        let result = run(&cfg).expect("fit succeeds");
+        let t1 = result.t1();
+        assert!(
+            (t1 - 20e-6).abs() / 20e-6 < 0.25,
+            "fitted T1 = {t1:.3e}, expected ≈ 20 µs"
+        );
+        // Decay is monotone-ish: first point well above last.
+        assert!(result.p1[0] > 0.8);
+        assert!(*result.p1.last().unwrap() < 0.3);
+    }
+}

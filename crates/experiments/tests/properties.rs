@@ -1,0 +1,73 @@
+//! Property tests for the fitting machinery: parameter recovery on random
+//! synthetic data, within noise-appropriate tolerances.
+
+use proptest::prelude::*;
+use quma_experiments::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exponential_fit_recovers_random_parameters(
+        a in 0.2f64..1.0,
+        t_us in 5.0f64..80.0,
+        b in 0.0f64..0.3,
+    ) {
+        let t = t_us * 1e-6;
+        let xs: Vec<f64> = (0..40).map(|k| k as f64 * 4.0 * t / 39.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a * (-x / t).exp() + b).collect();
+        let (fa, ft, fb) = fit_exponential_decay(&xs, &ys).expect("fit");
+        prop_assert!((fa - a).abs() < 1e-4, "A: {fa} vs {a}");
+        prop_assert!((ft - t).abs() / t < 1e-4, "T: {ft} vs {t}");
+        prop_assert!((fb - b).abs() < 1e-4, "B: {fb} vs {b}");
+    }
+
+    #[test]
+    fn rb_fit_recovers_random_decay(
+        a in 0.3f64..0.5,
+        p_thousandths in 950u32..999,
+    ) {
+        let p = f64::from(p_thousandths) / 1000.0;
+        let ms: Vec<f64> = (0..10).map(|k| f64::from(1u32 << k)).collect();
+        let ys: Vec<f64> = ms.iter().map(|&m| a * p.powf(m) + 0.5).collect();
+        let (fa, fp, _) = fit_rb_decay(&ms, &ys).expect("fit");
+        prop_assert!((fp - p).abs() < 1e-4, "p: {fp} vs {p}");
+        prop_assert!((fa - a).abs() < 1e-3, "A: {fa} vs {a}");
+    }
+
+    #[test]
+    fn damped_cosine_fit_recovers_frequency(
+        f_khz in 50.0f64..400.0,
+        t_us in 8.0f64..40.0,
+    ) {
+        let f = f_khz * 1e3;
+        let t = t_us * 1e-6;
+        // Sample densely enough for the highest frequency (0.5 µs steps).
+        let xs: Vec<f64> = (0..80).map(|k| k as f64 * 0.5e-6).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 0.5 * (-x / t).exp() * (2.0 * std::f64::consts::PI * f * x).cos() + 0.5)
+            .collect();
+        let (_, ft, ff, _, _) = fit_damped_cosine(&xs, &ys).expect("fit");
+        prop_assert!((ff - f).abs() / f < 0.02, "f: {ff} vs {f}");
+        prop_assert!((ft - t).abs() / t < 0.1, "T: {ft} vs {t}");
+    }
+
+    #[test]
+    fn allxy_analysis_is_scale_invariant(
+        offset in -100.0f64..100.0,
+        scale in 0.1f64..50.0,
+    ) {
+        // Rescaling raw collector values by any affine map leaves the
+        // calibrated fidelities unchanged (the point of the calibration
+        // points).
+        let raw: Vec<f64> = (0..42).map(|i| ideal_fidelity(i / 2)).collect();
+        let mapped: Vec<f64> = raw.iter().map(|&s| offset + scale * s).collect();
+        let r1 = allxy_analyze(&raw, true);
+        let r2 = allxy_analyze(&mapped, true);
+        for (a, b) in r1.fidelity.iter().zip(r2.fidelity.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        prop_assert!((r1.deviation - r2.deviation).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,620 @@
+//! Two-pass assembler for the textual QuMIS + auxiliary-classical syntax of
+//! the paper's program listings (Algorithm 3).
+//!
+//! Accepted syntax, one instruction per line:
+//!
+//! ```text
+//! mov r15, 40000     # 200 us
+//! Outer_Loop:
+//! QNopReg r15
+//! Pulse {q2}, X180
+//! Wait 4
+//! MPG {q2}, 300
+//! MD {q2}
+//! addi r1, r1, 1
+//! bne r1, r2, Outer_Loop
+//! halt
+//! ```
+//!
+//! `#` starts a comment; labels end with `:`; mnemonics are
+//! case-insensitive; µ-op and gate names are resolved against a
+//! [`UopTable`] / gate-name table.
+
+use crate::instruction::{GateId, Instruction, PulseOp};
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::uop::{QubitMask, UopTable};
+use std::collections::HashMap;
+
+/// An assembler error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// Kinds of assembler errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Unknown mnemonic.
+    UnknownMnemonic(String),
+    /// Wrong operand count or shape; carries a hint.
+    BadOperands(String),
+    /// Unknown register name.
+    BadRegister(String),
+    /// Unparsable qubit address.
+    BadQubitMask(String),
+    /// Unknown µ-op name.
+    UnknownUop(String),
+    /// Unknown gate name (for `Apply`).
+    UnknownGate(String),
+    /// Unparsable immediate.
+    BadImmediate(String),
+    /// A label was used but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic '{m}'"),
+            AsmErrorKind::BadOperands(h) => write!(f, "bad operands: {h}"),
+            AsmErrorKind::BadRegister(r) => write!(f, "bad register '{r}'"),
+            AsmErrorKind::BadQubitMask(m) => write!(f, "bad qubit address '{m}'"),
+            AsmErrorKind::UnknownUop(u) => write!(f, "unknown µ-op '{u}'"),
+            AsmErrorKind::UnknownGate(g) => write!(f, "unknown gate '{g}'"),
+            AsmErrorKind::BadImmediate(i) => write!(f, "bad immediate '{i}'"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label '{l}'"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label '{l}'"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The assembler, parameterized by the µ-op and gate name tables.
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    uops: UopTable,
+    gates: HashMap<String, GateId>,
+}
+
+impl Assembler {
+    /// An assembler with the default Table 1 µ-ops and gate names matching
+    /// them (gate `X180` = id of the µ-op, etc.).
+    pub fn new() -> Self {
+        let uops = UopTable::table1();
+        let mut gates = HashMap::new();
+        for (i, name) in crate::uop::TABLE1_NAMES.iter().enumerate() {
+            gates.insert((*name).to_string(), GateId(i as u8));
+        }
+        Self { uops, gates }
+    }
+
+    /// An assembler with custom tables.
+    pub fn with_tables(uops: UopTable, gates: HashMap<String, GateId>) -> Self {
+        Self { uops, gates }
+    }
+
+    /// The µ-op table in use.
+    pub fn uops(&self) -> &UopTable {
+        &self.uops
+    }
+
+    /// Registers an additional gate name for `Apply`.
+    pub fn register_gate(&mut self, name: &str, id: GateId) {
+        self.gates.insert(name.to_string(), id);
+    }
+
+    /// Assembles source text into a [`Program`].
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        // Pass 1: strip comments, collect labels and raw statements.
+        struct Stmt<'a> {
+            line: usize,
+            text: &'a str,
+        }
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        let mut stmts: Vec<Stmt> = Vec::new();
+        for (idx, raw) in source.lines().enumerate() {
+            let line = idx + 1;
+            let mut text = raw;
+            if let Some(pos) = text.find('#') {
+                text = &text[..pos];
+            }
+            let mut text = text.trim();
+            // A line may carry `label:` followed by an instruction.
+            while let Some(colon) = text.find(':') {
+                let (label, rest) = text.split_at(colon);
+                let label = label.trim();
+                if label.is_empty() || !is_label(label) {
+                    break;
+                }
+                if labels
+                    .insert(label.to_string(), stmts.len() as u32)
+                    .is_some()
+                {
+                    return Err(AsmError {
+                        line,
+                        kind: AsmErrorKind::DuplicateLabel(label.to_string()),
+                    });
+                }
+                text = rest[1..].trim();
+            }
+            if !text.is_empty() {
+                stmts.push(Stmt { line, text });
+            }
+        }
+        // Pass 2: parse statements with label resolution.
+        let mut insns = Vec::with_capacity(stmts.len());
+        for (addr, stmt) in stmts.iter().enumerate() {
+            let insn = self
+                .parse_statement(stmt.text, &labels)
+                .map_err(|kind| AsmError {
+                    line: stmt.line,
+                    kind,
+                })?;
+            let _ = addr;
+            insns.push(insn);
+        }
+        Ok(Program::with_labels(insns, labels))
+    }
+
+    fn parse_statement(
+        &self,
+        text: &str,
+        labels: &HashMap<String, u32>,
+    ) -> Result<Instruction, AsmErrorKind> {
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = split_operands(rest);
+        let m = mnemonic.to_ascii_lowercase();
+        match m.as_str() {
+            "mov" => {
+                let [rd, imm] = two(&ops)?;
+                Ok(Instruction::Mov {
+                    rd: reg(rd)?,
+                    imm: immediate(imm)?,
+                })
+            }
+            "add" => {
+                let [rd, rs, rt] = three(&ops)?;
+                Ok(Instruction::Add {
+                    rd: reg(rd)?,
+                    rs: reg(rs)?,
+                    rt: reg(rt)?,
+                })
+            }
+            "addi" => {
+                let [rd, rs, imm] = three(&ops)?;
+                Ok(Instruction::Addi {
+                    rd: reg(rd)?,
+                    rs: reg(rs)?,
+                    imm: immediate(imm)?,
+                })
+            }
+            "sub" => {
+                let [rd, rs, rt] = three(&ops)?;
+                Ok(Instruction::Sub {
+                    rd: reg(rd)?,
+                    rs: reg(rs)?,
+                    rt: reg(rt)?,
+                })
+            }
+            "and" => {
+                let [rd, rs, rt] = three(&ops)?;
+                Ok(Instruction::And {
+                    rd: reg(rd)?,
+                    rs: reg(rs)?,
+                    rt: reg(rt)?,
+                })
+            }
+            "or" => {
+                let [rd, rs, rt] = three(&ops)?;
+                Ok(Instruction::Or {
+                    rd: reg(rd)?,
+                    rs: reg(rs)?,
+                    rt: reg(rt)?,
+                })
+            }
+            "xor" => {
+                let [rd, rs, rt] = three(&ops)?;
+                Ok(Instruction::Xor {
+                    rd: reg(rd)?,
+                    rs: reg(rs)?,
+                    rt: reg(rt)?,
+                })
+            }
+            "load" => {
+                let [rd, mem] = two(&ops)?;
+                let (base, offset) = mem_operand(mem)?;
+                Ok(Instruction::Load {
+                    rd: reg(rd)?,
+                    base,
+                    offset,
+                })
+            }
+            "store" => {
+                let [rs, mem] = two(&ops)?;
+                let (base, offset) = mem_operand(mem)?;
+                Ok(Instruction::Store {
+                    rs: reg(rs)?,
+                    base,
+                    offset,
+                })
+            }
+            "beq" | "bne" => {
+                let [rs, rt, target] = three(&ops)?;
+                let target = branch_target(target, labels)?;
+                let (rs, rt) = (reg(rs)?, reg(rt)?);
+                Ok(if m == "beq" {
+                    Instruction::Beq { rs, rt, target }
+                } else {
+                    Instruction::Bne { rs, rt, target }
+                })
+            }
+            "jump" | "j" => {
+                let [target] = one_op(&ops)?;
+                Ok(Instruction::Jump {
+                    target: branch_target(target, labels)?,
+                })
+            }
+            "halt" => {
+                if !ops.is_empty() {
+                    return Err(AsmErrorKind::BadOperands("halt takes none".into()));
+                }
+                Ok(Instruction::Halt)
+            }
+            "apply" => {
+                let [gate, mask] = two(&ops)?;
+                // Named gates resolve through the table; the raw `gateN`
+                // form (as printed by the disassembler for unnamed ids) is
+                // always accepted.
+                let gate = match self.gates.get(gate).copied() {
+                    Some(g) => g,
+                    None => gate
+                        .strip_prefix("gate")
+                        .and_then(|n| n.parse::<u8>().ok())
+                        .map(GateId)
+                        .ok_or_else(|| AsmErrorKind::UnknownGate(gate.to_string()))?,
+                };
+                Ok(Instruction::Apply {
+                    gate,
+                    qubits: mask_op(mask)?,
+                })
+            }
+            "measure" => {
+                let [mask, rd] = two(&ops)?;
+                Ok(Instruction::Measure {
+                    qubits: mask_op(mask)?,
+                    rd: reg(rd)?,
+                })
+            }
+            "qnopreg" => {
+                let [rs] = one_op(&ops)?;
+                Ok(Instruction::QNopReg { rs: reg(rs)? })
+            }
+            "wait" => {
+                let [interval] = one_op(&ops)?;
+                let v = immediate(interval)?;
+                if v < 0 {
+                    return Err(AsmErrorKind::BadImmediate(interval.to_string()));
+                }
+                Ok(Instruction::Wait { interval: v as u32 })
+            }
+            "pulse" => {
+                if ops.is_empty() || !ops.len().is_multiple_of(2) {
+                    return Err(AsmErrorKind::BadOperands(
+                        "Pulse takes (QAddr, uOp) pairs".into(),
+                    ));
+                }
+                let mut pairs = Vec::with_capacity(ops.len() / 2);
+                for chunk in ops.chunks(2) {
+                    let qubits = mask_op(chunk[0])?;
+                    let uop = self
+                        .uops
+                        .lookup(chunk[1])
+                        .ok_or_else(|| AsmErrorKind::UnknownUop(chunk[1].to_string()))?;
+                    pairs.push(PulseOp { qubits, uop });
+                }
+                Ok(Instruction::Pulse { ops: pairs })
+            }
+            "mpg" => {
+                let [mask, d] = two(&ops)?;
+                let v = immediate(d)?;
+                if v < 0 {
+                    return Err(AsmErrorKind::BadImmediate(d.to_string()));
+                }
+                Ok(Instruction::Mpg {
+                    qubits: mask_op(mask)?,
+                    duration: v as u32,
+                })
+            }
+            "md" => match ops.as_slice() {
+                [mask] => Ok(Instruction::Md {
+                    qubits: mask_op(mask)?,
+                    rd: None,
+                }),
+                [mask, rd] => Ok(Instruction::Md {
+                    qubits: mask_op(mask)?,
+                    rd: Some(reg(rd)?),
+                }),
+                _ => Err(AsmErrorKind::BadOperands("MD QAddr [, $rd]".into())),
+            },
+            _ => Err(AsmErrorKind::UnknownMnemonic(mnemonic.to_string())),
+        }
+    }
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn is_label(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits operands on commas, but keeps `{q0, q2}` masks intact.
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                let piece = s[start..i].trim();
+                if !piece.is_empty() {
+                    out.push(piece);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let piece = s[start..].trim();
+    if !piece.is_empty() {
+        out.push(piece);
+    }
+    out
+}
+
+fn one_op<'a>(ops: &[&'a str]) -> Result<[&'a str; 1], AsmErrorKind> {
+    match ops {
+        [a] => Ok([a]),
+        _ => Err(AsmErrorKind::BadOperands(format!(
+            "expected 1 operand, got {}",
+            ops.len()
+        ))),
+    }
+}
+
+fn two<'a>(ops: &[&'a str]) -> Result<[&'a str; 2], AsmErrorKind> {
+    match ops {
+        [a, b] => Ok([a, b]),
+        _ => Err(AsmErrorKind::BadOperands(format!(
+            "expected 2 operands, got {}",
+            ops.len()
+        ))),
+    }
+}
+
+fn three<'a>(ops: &[&'a str]) -> Result<[&'a str; 3], AsmErrorKind> {
+    match ops {
+        [a, b, c] => Ok([a, b, c]),
+        _ => Err(AsmErrorKind::BadOperands(format!(
+            "expected 3 operands, got {}",
+            ops.len()
+        ))),
+    }
+}
+
+fn reg(s: &str) -> Result<Reg, AsmErrorKind> {
+    let s = s.strip_prefix('$').unwrap_or(s);
+    Reg::parse(s).ok_or_else(|| AsmErrorKind::BadRegister(s.to_string()))
+}
+
+fn immediate(s: &str) -> Result<i32, AsmErrorKind> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<i64>()
+    };
+    parsed
+        .ok()
+        .and_then(|v| i32::try_from(v).ok())
+        .ok_or_else(|| AsmErrorKind::BadImmediate(s.to_string()))
+}
+
+fn mask_op(s: &str) -> Result<QubitMask, AsmErrorKind> {
+    QubitMask::parse(s).ok_or_else(|| AsmErrorKind::BadQubitMask(s.to_string()))
+}
+
+fn mem_operand(s: &str) -> Result<(Reg, i32), AsmErrorKind> {
+    // `r3[0]` or `r3[-2]`.
+    let open = s
+        .find('[')
+        .ok_or_else(|| AsmErrorKind::BadOperands(format!("expected rN[offset], got '{s}'")))?;
+    if !s.ends_with(']') {
+        return Err(AsmErrorKind::BadOperands(format!(
+            "expected rN[offset], got '{s}'"
+        )));
+    }
+    let base = reg(&s[..open])?;
+    let offset = immediate(&s[open + 1..s.len() - 1])?;
+    Ok((base, offset))
+}
+
+fn branch_target(s: &str, labels: &HashMap<String, u32>) -> Result<u32, AsmErrorKind> {
+    if let Some(&addr) = labels.get(s) {
+        return Ok(addr);
+    }
+    if let Ok(v) = s.parse::<u32>() {
+        return Ok(v);
+    }
+    Err(AsmErrorKind::UndefinedLabel(s.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::UopId;
+
+    #[test]
+    fn assembles_algorithm3_prefix() {
+        let src = r#"
+            mov r15 , 40000 # 200 us
+            mov r1, 0       # loop counter
+            mov r2, 25600   # number of averages
+
+            Outer_Loop:
+            QNopReg r15     # Identity , Identity
+            Pulse {q2}, I
+            Wait 4
+            Pulse {q2}, I
+            Wait 4
+            MPG {q2}, 300
+            MD {q2}
+            addi r1, r1, 1
+            bne r1, r2, Outer_Loop
+            halt
+        "#;
+        let prog = Assembler::new().assemble(src).expect("assembles");
+        assert_eq!(prog.len(), 13);
+        assert_eq!(prog.label("Outer_Loop"), Some(3));
+        assert_eq!(
+            prog.instructions()[3],
+            Instruction::QNopReg { rs: Reg::r(15) }
+        );
+        assert_eq!(
+            prog.instructions()[12],
+            Instruction::Halt
+        );
+        match &prog.instructions()[11] {
+            Instruction::Bne { target, .. } => assert_eq!(*target, 3),
+            other => panic!("expected bne, got {other}"),
+        }
+    }
+
+    #[test]
+    fn horizontal_pulse_pairs() {
+        let prog = Assembler::new()
+            .assemble("Pulse {q0}, Y90, {q1, q2}, X180")
+            .unwrap();
+        assert_eq!(
+            prog.instructions()[0],
+            Instruction::Pulse {
+                ops: vec![
+                    PulseOp {
+                        qubits: QubitMask::single(0),
+                        uop: UopId(5)
+                    },
+                    PulseOp {
+                        qubits: QubitMask::of(&[1, 2]),
+                        uop: UopId(1)
+                    },
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn md_with_register() {
+        let prog = Assembler::new().assemble("MD {q0}, $r7").unwrap();
+        assert_eq!(
+            prog.instructions()[0],
+            Instruction::Md {
+                qubits: QubitMask::single(0),
+                rd: Some(Reg::r(7)),
+            }
+        );
+    }
+
+    #[test]
+    fn load_store_bracket_syntax() {
+        let prog = Assembler::new()
+            .assemble("load r9, r3[0]\nstore r9, r3[1]")
+            .unwrap();
+        assert_eq!(
+            prog.instructions()[0],
+            Instruction::Load {
+                rd: Reg::r(9),
+                base: Reg::r(3),
+                offset: 0
+            }
+        );
+        assert_eq!(
+            prog.instructions()[1],
+            Instruction::Store {
+                rs: Reg::r(9),
+                base: Reg::r(3),
+                offset: 1
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Assembler::new()
+            .assemble("mov r1, 0\nfrobnicate r2")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let err = Assembler::new().assemble("bne r1, r2, Nowhere").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedLabel(_)));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let err = Assembler::new()
+            .assemble("L: halt\nL: halt")
+            .unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn unknown_uop_reported() {
+        let err = Assembler::new().assemble("Pulse {q0}, WARP").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownUop(_)));
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let prog = Assembler::new().assemble("Loop: Wait 4\njump Loop").unwrap();
+        assert_eq!(prog.label("Loop"), Some(0));
+        assert_eq!(prog.instructions()[1], Instruction::Jump { target: 0 });
+    }
+
+    #[test]
+    fn numeric_branch_targets_allowed() {
+        let prog = Assembler::new().assemble("jump 7").unwrap();
+        assert_eq!(prog.instructions()[0], Instruction::Jump { target: 7 });
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let prog = Assembler::new().assemble("mov r1, 0x10").unwrap();
+        assert_eq!(
+            prog.instructions()[0],
+            Instruction::Mov {
+                rd: Reg::r(1),
+                imm: 16
+            }
+        );
+    }
+}

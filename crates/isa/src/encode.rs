@@ -1,0 +1,561 @@
+//! 32-bit binary encoding of the instruction set.
+//!
+//! The paper's prototype loads "a combination of the auxiliary classical
+//! instructions and QuMIS instructions" into the quantum instruction cache
+//! as a single binary (Sections 6 and 7.2). This module defines that binary
+//! format: one 32-bit word per instruction, with horizontal `Pulse`
+//! instructions encoded as a chain of words linked by a continuation bit.
+//!
+//! Field layout (MSB-first):
+//!
+//! | Instruction | opcode(6) | fields |
+//! |---|---|---|
+//! | `mov`   | 0x01 | rd(4), imm(20, signed) |
+//! | `add`   | 0x02 | rd(4), rs(4), rt(4) |
+//! | `addi`  | 0x03 | rd(4), rs(4), imm(16, signed) |
+//! | `sub`   | 0x04 | rd(4), rs(4), rt(4) |
+//! | `load`  | 0x05 | rd(4), base(4), offset(16, signed) |
+//! | `store` | 0x06 | rs(4), base(4), offset(16, signed) |
+//! | `beq`   | 0x07 | rs(4), rt(4), target(18) |
+//! | `bne`   | 0x08 | rs(4), rt(4), target(18) |
+//! | `jump`  | 0x09 | target(18) |
+//! | `halt`  | 0x0A | — |
+//! | `Apply` | 0x10 | gate(8), mask(16) |
+//! | `Measure` | 0x11 | mask(16), rd(4) |
+//! | `QNopReg` | 0x12 | rs(4) |
+//! | `Wait`  | 0x18 | interval(26) |
+//! | `Pulse` | 0x19 | cont(1), mask(16), uop(6) |
+//! | `MPG`   | 0x1A | mask(16), duration(10) |
+//! | `MD`    | 0x1B | mask(16), has_rd(1), rd(4) |
+
+use crate::instruction::{GateId, Instruction, PulseOp};
+use crate::reg::Reg;
+use crate::uop::{QubitMask, UopId};
+
+/// Opcode constants (6-bit).
+mod op {
+    pub const MOV: u32 = 0x01;
+    pub const ADD: u32 = 0x02;
+    pub const ADDI: u32 = 0x03;
+    pub const SUB: u32 = 0x04;
+    pub const LOAD: u32 = 0x05;
+    pub const STORE: u32 = 0x06;
+    pub const BEQ: u32 = 0x07;
+    pub const BNE: u32 = 0x08;
+    pub const JUMP: u32 = 0x09;
+    pub const HALT: u32 = 0x0A;
+    pub const AND: u32 = 0x0B;
+    pub const OR: u32 = 0x0C;
+    pub const XOR: u32 = 0x0D;
+    pub const APPLY: u32 = 0x10;
+    pub const MEASURE: u32 = 0x11;
+    pub const QNOPREG: u32 = 0x12;
+    pub const WAIT: u32 = 0x18;
+    pub const PULSE: u32 = 0x19;
+    pub const MPG: u32 = 0x1A;
+    pub const MD: u32 = 0x1B;
+}
+
+/// Errors from encoding an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit its field; carries the value and the field
+    /// width in bits.
+    ImmediateOverflow(i64, u8),
+    /// A `Pulse` instruction had no `(QAddr, uOp)` pairs.
+    EmptyPulse,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::ImmediateOverflow(v, bits) => {
+                write!(f, "value {v} does not fit in {bits} bits")
+            }
+            EncodeError::EmptyPulse => write!(f, "Pulse instruction with no operations"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors from decoding a word stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode; carries the raw word.
+    UnknownOpcode(u32),
+    /// A `Pulse` continuation chain ended mid-stream.
+    TruncatedPulseChain,
+    /// A register field decoded out of range (cannot happen with 4-bit
+    /// fields, kept for forward compatibility).
+    BadRegister(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(w) => write!(f, "unknown opcode in word {w:#010x}"),
+            DecodeError::TruncatedPulseChain => write!(f, "Pulse continuation chain truncated"),
+            DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn check_unsigned(v: u32, bits: u8) -> Result<u32, EncodeError> {
+    if bits >= 32 || v < (1u32 << bits) {
+        Ok(v)
+    } else {
+        Err(EncodeError::ImmediateOverflow(v as i64, bits))
+    }
+}
+
+fn check_signed(v: i32, bits: u8) -> Result<u32, EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if (v as i64) < min || (v as i64) > max {
+        return Err(EncodeError::ImmediateOverflow(v as i64, bits));
+    }
+    Ok((v as u32) & ((1u32 << bits) - 1))
+}
+
+fn sign_extend(v: u32, bits: u8) -> i32 {
+    let shift = 32 - bits as u32;
+    ((v << shift) as i32) >> shift
+}
+
+/// Encodes one instruction into one or more 32-bit words (only `Pulse` may
+/// produce more than one).
+pub fn encode(insn: &Instruction) -> Result<Vec<u32>, EncodeError> {
+    let one = |w: u32| Ok(vec![w]);
+    let opc = |o: u32| o << 26;
+    match insn {
+        Instruction::Mov { rd, imm } => {
+            let imm = check_signed(*imm, 20)?;
+            one(opc(op::MOV) | u32::from(rd.index()) << 22 | imm)
+        }
+        Instruction::Add { rd, rs, rt } => one(opc(op::ADD)
+            | u32::from(rd.index()) << 22
+            | u32::from(rs.index()) << 18
+            | u32::from(rt.index()) << 14),
+        Instruction::Addi { rd, rs, imm } => {
+            let imm = check_signed(*imm, 16)?;
+            one(opc(op::ADDI)
+                | u32::from(rd.index()) << 22
+                | u32::from(rs.index()) << 18
+                | imm)
+        }
+        Instruction::Sub { rd, rs, rt } => one(opc(op::SUB)
+            | u32::from(rd.index()) << 22
+            | u32::from(rs.index()) << 18
+            | u32::from(rt.index()) << 14),
+        Instruction::And { rd, rs, rt } => one(opc(op::AND)
+            | u32::from(rd.index()) << 22
+            | u32::from(rs.index()) << 18
+            | u32::from(rt.index()) << 14),
+        Instruction::Or { rd, rs, rt } => one(opc(op::OR)
+            | u32::from(rd.index()) << 22
+            | u32::from(rs.index()) << 18
+            | u32::from(rt.index()) << 14),
+        Instruction::Xor { rd, rs, rt } => one(opc(op::XOR)
+            | u32::from(rd.index()) << 22
+            | u32::from(rs.index()) << 18
+            | u32::from(rt.index()) << 14),
+        Instruction::Load { rd, base, offset } => {
+            let off = check_signed(*offset, 16)?;
+            one(opc(op::LOAD)
+                | u32::from(rd.index()) << 22
+                | u32::from(base.index()) << 18
+                | off)
+        }
+        Instruction::Store { rs, base, offset } => {
+            let off = check_signed(*offset, 16)?;
+            one(opc(op::STORE)
+                | u32::from(rs.index()) << 22
+                | u32::from(base.index()) << 18
+                | off)
+        }
+        Instruction::Beq { rs, rt, target } => {
+            let t = check_unsigned(*target, 18)?;
+            one(opc(op::BEQ)
+                | u32::from(rs.index()) << 22
+                | u32::from(rt.index()) << 18
+                | t)
+        }
+        Instruction::Bne { rs, rt, target } => {
+            let t = check_unsigned(*target, 18)?;
+            one(opc(op::BNE)
+                | u32::from(rs.index()) << 22
+                | u32::from(rt.index()) << 18
+                | t)
+        }
+        Instruction::Jump { target } => {
+            let t = check_unsigned(*target, 18)?;
+            one(opc(op::JUMP) | t)
+        }
+        Instruction::Halt => one(opc(op::HALT)),
+        Instruction::Apply { gate, qubits } => one(opc(op::APPLY)
+            | u32::from(gate.0) << 18
+            | u32::from(qubits.0) << 2),
+        Instruction::Measure { qubits, rd } => one(opc(op::MEASURE)
+            | u32::from(qubits.0) << 10
+            | u32::from(rd.index()) << 6),
+        Instruction::QNopReg { rs } => one(opc(op::QNOPREG) | u32::from(rs.index()) << 22),
+        Instruction::Wait { interval } => {
+            let i = check_unsigned(*interval, 26)?;
+            one(opc(op::WAIT) | i)
+        }
+        Instruction::Pulse { ops } => {
+            if ops.is_empty() {
+                return Err(EncodeError::EmptyPulse);
+            }
+            let mut words = Vec::with_capacity(ops.len());
+            for (k, p) in ops.iter().enumerate() {
+                let cont = u32::from(k + 1 < ops.len());
+                words.push(
+                    opc(op::PULSE)
+                        | cont << 25
+                        | u32::from(p.qubits.0) << 9
+                        | u32::from(p.uop.raw()) << 3,
+                );
+            }
+            Ok(words)
+        }
+        Instruction::Mpg { qubits, duration } => {
+            let d = check_unsigned(*duration, 10)?;
+            one(opc(op::MPG) | u32::from(qubits.0) << 10 | d)
+        }
+        Instruction::Md { qubits, rd } => {
+            let (has, idx) = match rd {
+                Some(r) => (1u32, u32::from(r.index())),
+                None => (0, 0),
+            };
+            one(opc(op::MD) | u32::from(qubits.0) << 10 | has << 9 | idx << 5)
+        }
+    }
+}
+
+/// Encodes a whole program into its binary image.
+pub fn encode_program(insns: &[Instruction]) -> Result<Vec<u32>, EncodeError> {
+    let mut words = Vec::with_capacity(insns.len());
+    for insn in insns {
+        words.extend(encode(insn)?);
+    }
+    Ok(words)
+}
+
+fn reg4(w: u32, shift: u32) -> Reg {
+    Reg::new(((w >> shift) & 0xF) as u8).expect("4-bit register field is always in range")
+}
+
+/// Decodes a binary image back into instructions.
+pub fn decode_program(words: &[u32]) -> Result<Vec<Instruction>, DecodeError> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < words.len() {
+        let w = words[i];
+        let opcode = w >> 26;
+        let insn = match opcode {
+            op::MOV => Instruction::Mov {
+                rd: reg4(w, 22),
+                imm: sign_extend(w & 0xFFFFF, 20),
+            },
+            op::ADD => Instruction::Add {
+                rd: reg4(w, 22),
+                rs: reg4(w, 18),
+                rt: reg4(w, 14),
+            },
+            op::ADDI => Instruction::Addi {
+                rd: reg4(w, 22),
+                rs: reg4(w, 18),
+                imm: sign_extend(w & 0xFFFF, 16),
+            },
+            op::SUB => Instruction::Sub {
+                rd: reg4(w, 22),
+                rs: reg4(w, 18),
+                rt: reg4(w, 14),
+            },
+            op::AND => Instruction::And {
+                rd: reg4(w, 22),
+                rs: reg4(w, 18),
+                rt: reg4(w, 14),
+            },
+            op::OR => Instruction::Or {
+                rd: reg4(w, 22),
+                rs: reg4(w, 18),
+                rt: reg4(w, 14),
+            },
+            op::XOR => Instruction::Xor {
+                rd: reg4(w, 22),
+                rs: reg4(w, 18),
+                rt: reg4(w, 14),
+            },
+            op::LOAD => Instruction::Load {
+                rd: reg4(w, 22),
+                base: reg4(w, 18),
+                offset: sign_extend(w & 0xFFFF, 16),
+            },
+            op::STORE => Instruction::Store {
+                rs: reg4(w, 22),
+                base: reg4(w, 18),
+                offset: sign_extend(w & 0xFFFF, 16),
+            },
+            op::BEQ => Instruction::Beq {
+                rs: reg4(w, 22),
+                rt: reg4(w, 18),
+                target: w & 0x3FFFF,
+            },
+            op::BNE => Instruction::Bne {
+                rs: reg4(w, 22),
+                rt: reg4(w, 18),
+                target: w & 0x3FFFF,
+            },
+            op::JUMP => Instruction::Jump {
+                target: w & 0x3FFFF,
+            },
+            op::HALT => Instruction::Halt,
+            op::APPLY => Instruction::Apply {
+                gate: GateId(((w >> 18) & 0xFF) as u8),
+                qubits: QubitMask(((w >> 2) & 0xFFFF) as u16),
+            },
+            op::MEASURE => Instruction::Measure {
+                qubits: QubitMask(((w >> 10) & 0xFFFF) as u16),
+                rd: reg4(w, 6),
+            },
+            op::QNOPREG => Instruction::QNopReg { rs: reg4(w, 22) },
+            op::WAIT => Instruction::Wait {
+                interval: w & 0x3FF_FFFF,
+            },
+            op::PULSE => {
+                let mut ops = Vec::new();
+                loop {
+                    let w = *words.get(i).ok_or(DecodeError::TruncatedPulseChain)?;
+                    if w >> 26 != op::PULSE {
+                        return Err(DecodeError::TruncatedPulseChain);
+                    }
+                    ops.push(PulseOp {
+                        qubits: QubitMask(((w >> 9) & 0xFFFF) as u16),
+                        uop: UopId::new(((w >> 3) & 0x3F) as u8)
+                            .expect("6-bit field is always in range"),
+                    });
+                    let cont = (w >> 25) & 1 == 1;
+                    if !cont {
+                        break;
+                    }
+                    i += 1;
+                }
+                Instruction::Pulse { ops }
+            }
+            op::MPG => Instruction::Mpg {
+                qubits: QubitMask(((w >> 10) & 0xFFFF) as u16),
+                duration: w & 0x3FF,
+            },
+            op::MD => {
+                let has = (w >> 9) & 1 == 1;
+                Instruction::Md {
+                    qubits: QubitMask(((w >> 10) & 0xFFFF) as u16),
+                    rd: has.then(|| reg4(w, 5)),
+                }
+            }
+            _ => return Err(DecodeError::UnknownOpcode(w)),
+        };
+        out.push(insn);
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(insn: Instruction) {
+        let words = encode(&insn).expect("encodes");
+        let back = decode_program(&words).expect("decodes");
+        assert_eq!(back, vec![insn]);
+    }
+
+    #[test]
+    fn all_forms_round_trip() {
+        roundtrip(Instruction::Mov {
+            rd: Reg::r(15),
+            imm: 40000,
+        });
+        roundtrip(Instruction::Mov {
+            rd: Reg::r(2),
+            imm: -40000,
+        });
+        roundtrip(Instruction::Add {
+            rd: Reg::r(9),
+            rs: Reg::r(9),
+            rt: Reg::r(7),
+        });
+        roundtrip(Instruction::Addi {
+            rd: Reg::r(1),
+            rs: Reg::r(1),
+            imm: 1,
+        });
+        roundtrip(Instruction::Sub {
+            rd: Reg::r(4),
+            rs: Reg::r(5),
+            rt: Reg::r(6),
+        });
+        roundtrip(Instruction::Load {
+            rd: Reg::r(9),
+            base: Reg::r(3),
+            offset: 20,
+        });
+        roundtrip(Instruction::Store {
+            rs: Reg::r(9),
+            base: Reg::r(3),
+            offset: -2,
+        });
+        roundtrip(Instruction::Beq {
+            rs: Reg::r(0),
+            rt: Reg::r(1),
+            target: 1234,
+        });
+        roundtrip(Instruction::Bne {
+            rs: Reg::r(1),
+            rt: Reg::r(2),
+            target: 4,
+        });
+        roundtrip(Instruction::Jump { target: 99 });
+        roundtrip(Instruction::Halt);
+        roundtrip(Instruction::Apply {
+            gate: GateId(200),
+            qubits: QubitMask(0b101),
+        });
+        roundtrip(Instruction::Measure {
+            qubits: QubitMask::single(2),
+            rd: Reg::r(7),
+        });
+        roundtrip(Instruction::QNopReg { rs: Reg::r(15) });
+        roundtrip(Instruction::Wait { interval: 40000 });
+        roundtrip(Instruction::Mpg {
+            qubits: QubitMask::single(2),
+            duration: 300,
+        });
+        roundtrip(Instruction::Md {
+            qubits: QubitMask::single(2),
+            rd: None,
+        });
+        roundtrip(Instruction::Md {
+            qubits: QubitMask::single(0),
+            rd: Some(Reg::r(7)),
+        });
+    }
+
+    #[test]
+    fn single_pulse_is_one_word() {
+        let insn = Instruction::Pulse {
+            ops: vec![PulseOp {
+                qubits: QubitMask::single(2),
+                uop: UopId(1),
+            }],
+        };
+        assert_eq!(encode(&insn).unwrap().len(), 1);
+        roundtrip(insn);
+    }
+
+    #[test]
+    fn horizontal_pulse_chains_words() {
+        let insn = Instruction::Pulse {
+            ops: vec![
+                PulseOp {
+                    qubits: QubitMask::single(0),
+                    uop: UopId(5),
+                },
+                PulseOp {
+                    qubits: QubitMask::of(&[0, 1]),
+                    uop: UopId(7),
+                },
+                PulseOp {
+                    qubits: QubitMask::single(3),
+                    uop: UopId(63),
+                },
+            ],
+        };
+        assert_eq!(encode(&insn).unwrap().len(), 3);
+        roundtrip(insn);
+    }
+
+    #[test]
+    fn truncated_chain_is_an_error() {
+        let insn = Instruction::Pulse {
+            ops: vec![
+                PulseOp {
+                    qubits: QubitMask::single(0),
+                    uop: UopId(5),
+                },
+                PulseOp {
+                    qubits: QubitMask::single(1),
+                    uop: UopId(6),
+                },
+            ],
+        };
+        let mut words = encode(&insn).unwrap();
+        words.pop();
+        assert_eq!(
+            decode_program(&words),
+            Err(DecodeError::TruncatedPulseChain)
+        );
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        assert!(matches!(
+            encode(&Instruction::Mov {
+                rd: Reg::r(0),
+                imm: 600_000
+            }),
+            Err(EncodeError::ImmediateOverflow(600_000, 20))
+        ));
+        assert!(matches!(
+            encode(&Instruction::Mpg {
+                qubits: QubitMask::single(0),
+                duration: 1024
+            }),
+            Err(EncodeError::ImmediateOverflow(1024, 10))
+        ));
+        assert!(encode(&Instruction::Pulse { ops: vec![] }).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        assert!(matches!(
+            decode_program(&[0xFFFF_FFFF]),
+            Err(DecodeError::UnknownOpcode(_))
+        ));
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let prog = vec![
+            Instruction::Mov {
+                rd: Reg::r(15),
+                imm: 40000,
+            },
+            Instruction::QNopReg { rs: Reg::r(15) },
+            Instruction::Pulse {
+                ops: vec![PulseOp {
+                    qubits: QubitMask::single(2),
+                    uop: UopId(0),
+                }],
+            },
+            Instruction::Wait { interval: 4 },
+            Instruction::Mpg {
+                qubits: QubitMask::single(2),
+                duration: 300,
+            },
+            Instruction::Md {
+                qubits: QubitMask::single(2),
+                rd: None,
+            },
+            Instruction::Halt,
+        ];
+        let words = encode_program(&prog).unwrap();
+        assert_eq!(decode_program(&words).unwrap(), prog);
+    }
+}

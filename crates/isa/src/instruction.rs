@@ -1,0 +1,399 @@
+//! The QuMA instruction set: auxiliary classical instructions, high-level
+//! quantum instructions (QIS), and the quantum microinstruction set (QuMIS,
+//! Table 6).
+//!
+//! The paper's prototype executes "a combination of the auxiliary classical
+//! instructions in the QIS and QuMIS instructions" (Section 7.2); the
+//! high-level `Apply`/`Measure` forms additionally exist so the physical
+//! microcode unit can expand them through the Q control store (Section 5.3).
+
+use crate::reg::Reg;
+use crate::uop::{QubitMask, UopId};
+use std::fmt;
+
+/// A gate identifier for high-level QIS `Apply` instructions, resolved by
+/// the physical microcode unit against the Q control store (e.g. `X180`,
+/// `CNOT`, `Z`). 8 bits in the binary encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u8);
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gate{}", self.0)
+    }
+}
+
+/// One `(QAddr, uOp)` pair of a horizontal `Pulse` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PulseOp {
+    /// Target qubits.
+    pub qubits: QubitMask,
+    /// Micro-operation to apply on each of them.
+    pub uop: UopId,
+}
+
+/// A QuMA instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    // ---- auxiliary classical instructions -------------------------------
+    /// `mov rd, imm` — load a 16-bit signed immediate.
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// `add rd, rs, rt` — register addition (wrapping).
+    Add {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// `addi rd, rs, imm` — add immediate (wrapping).
+    Addi {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// `sub rd, rs, rt` — register subtraction (wrapping).
+    Sub {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// `and rd, rs, rt` — bitwise AND.
+    And {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// `or rd, rs, rt` — bitwise OR.
+    Or {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// `xor rd, rs, rt` — bitwise XOR.
+    Xor {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// `load rd, rs[offset]` — load from data memory.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// `store rs, rt[offset]` — store to data memory.
+    Store {
+        /// Source register (value).
+        rs: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// `beq rs, rt, target` — branch to absolute instruction address when
+    /// equal.
+    Beq {
+        /// First comparand.
+        rs: Reg,
+        /// Second comparand.
+        rt: Reg,
+        /// Absolute target address.
+        target: u32,
+    },
+    /// `bne rs, rt, target` — branch when not equal.
+    Bne {
+        /// First comparand.
+        rs: Reg,
+        /// Second comparand.
+        rt: Reg,
+        /// Absolute target address.
+        target: u32,
+    },
+    /// `jump target` — unconditional branch.
+    Jump {
+        /// Absolute target address.
+        target: u32,
+    },
+    /// `halt` — stop execution.
+    Halt,
+
+    // ---- high-level QIS quantum instructions ----------------------------
+    /// `Apply gate, {qubits}` — a technology-independent quantum gate,
+    /// expanded by the physical microcode unit.
+    Apply {
+        /// Gate identifier (Q control store index).
+        gate: GateId,
+        /// Target qubits.
+        qubits: QubitMask,
+    },
+    /// `Measure {qubits}, rd` — measure and write the result to `rd`
+    /// (expands to `MPG` + `MD`).
+    Measure {
+        /// Target qubits.
+        qubits: QubitMask,
+        /// Destination register for the binary result.
+        rd: Reg,
+    },
+    /// `QNopReg rs` — wait for the number of cycles held in `rs`,
+    /// evaluated at issue time (Section 5.3.2: "every time it is issued,
+    /// it reads a waiting time from the register").
+    QNopReg {
+        /// Register holding the wait in cycles.
+        rs: Reg,
+    },
+
+    // ---- QuMIS (Table 6) -------------------------------------------------
+    /// `Wait interval` — advance the deterministic timeline by `interval`
+    /// cycles before the next event.
+    Wait {
+        /// Interval in cycles (immediate).
+        interval: u32,
+    },
+    /// `Pulse (QAddr, uOp), …` — trigger micro-operations; horizontal
+    /// (all pairs fire at the same time point).
+    Pulse {
+        /// The `(QAddr, uOp)` pairs.
+        ops: Vec<PulseOp>,
+    },
+    /// `MPG QAddr, D` — generate a measurement pulse of `D` cycles on the
+    /// addressed qubits.
+    Mpg {
+        /// Target qubits.
+        qubits: QubitMask,
+        /// Measurement-pulse duration in cycles.
+        duration: u32,
+    },
+    /// `MD QAddr, $rd` — start measurement discrimination; the result is
+    /// written to `rd` when available (`None` discards it into the data
+    /// collector only, as in Algorithm 3's bare `MD {q2}`).
+    Md {
+        /// Target qubits.
+        qubits: QubitMask,
+        /// Destination register, if any.
+        rd: Option<Reg>,
+    },
+}
+
+impl Instruction {
+    /// True for the QuMIS + quantum QIS instructions (everything the
+    /// execution controller streams to the physical microcode unit rather
+    /// than executing itself).
+    pub fn is_quantum(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Apply { .. }
+                | Instruction::Measure { .. }
+                | Instruction::QNopReg { .. }
+                | Instruction::Wait { .. }
+                | Instruction::Pulse { .. }
+                | Instruction::Mpg { .. }
+                | Instruction::Md { .. }
+        )
+    }
+
+    /// True for control-flow instructions.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Beq { .. } | Instruction::Bne { .. } | Instruction::Jump { .. }
+        )
+    }
+
+    /// Formats the instruction, resolving µ-op and gate ids through `names`
+    /// when provided.
+    pub fn display_with<'a>(&'a self, names: Option<&'a crate::uop::UopTable>) -> InsnDisplay<'a> {
+        InsnDisplay { insn: self, names }
+    }
+}
+
+/// Helper returned by [`Instruction::display_with`].
+pub struct InsnDisplay<'a> {
+    insn: &'a Instruction,
+    names: Option<&'a crate::uop::UopTable>,
+}
+
+impl fmt::Display for InsnDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let uop_name = |id: UopId| -> String {
+            self.names
+                .and_then(|t| t.name(id))
+                .map(str::to_string)
+                .unwrap_or_else(|| id.to_string())
+        };
+        match self.insn {
+            Instruction::Mov { rd, imm } => write!(f, "mov {rd}, {imm}"),
+            Instruction::Add { rd, rs, rt } => write!(f, "add {rd}, {rs}, {rt}"),
+            Instruction::Addi { rd, rs, imm } => write!(f, "addi {rd}, {rs}, {imm}"),
+            Instruction::Sub { rd, rs, rt } => write!(f, "sub {rd}, {rs}, {rt}"),
+            Instruction::And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Instruction::Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Instruction::Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Instruction::Load { rd, base, offset } => write!(f, "load {rd}, {base}[{offset}]"),
+            Instruction::Store { rs, base, offset } => {
+                write!(f, "store {rs}, {base}[{offset}]")
+            }
+            Instruction::Beq { rs, rt, target } => write!(f, "beq {rs}, {rt}, {target}"),
+            Instruction::Bne { rs, rt, target } => write!(f, "bne {rs}, {rt}, {target}"),
+            Instruction::Jump { target } => write!(f, "jump {target}"),
+            Instruction::Halt => write!(f, "halt"),
+            Instruction::Apply { gate, qubits } => write!(f, "Apply {gate}, {qubits}"),
+            Instruction::Measure { qubits, rd } => write!(f, "Measure {qubits}, {rd}"),
+            Instruction::QNopReg { rs } => write!(f, "QNopReg {rs}"),
+            Instruction::Wait { interval } => write!(f, "Wait {interval}"),
+            Instruction::Pulse { ops } => {
+                write!(f, "Pulse ")?;
+                for (k, op) in ops.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}, {}", op.qubits, uop_name(op.uop))?;
+                }
+                Ok(())
+            }
+            Instruction::Mpg { qubits, duration } => write!(f, "MPG {qubits}, {duration}"),
+            Instruction::Md { qubits, rd } => match rd {
+                Some(rd) => write!(f, "MD {qubits}, {rd}"),
+                None => write!(f, "MD {qubits}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::UopTable;
+
+    #[test]
+    fn quantum_classification() {
+        assert!(Instruction::Wait { interval: 4 }.is_quantum());
+        assert!(Instruction::QNopReg { rs: Reg::r(15) }.is_quantum());
+        assert!(!Instruction::Halt.is_quantum());
+        assert!(!Instruction::Mov {
+            rd: Reg::r(1),
+            imm: 0
+        }
+        .is_quantum());
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Instruction::Jump { target: 3 }.is_branch());
+        assert!(Instruction::Bne {
+            rs: Reg::r(1),
+            rt: Reg::r(2),
+            target: 0
+        }
+        .is_branch());
+        assert!(!Instruction::Halt.is_branch());
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let t = UopTable::table1();
+        let pulse = Instruction::Pulse {
+            ops: vec![PulseOp {
+                qubits: QubitMask::single(2),
+                uop: t.lookup("X180").unwrap(),
+            }],
+        };
+        assert_eq!(pulse.display_with(Some(&t)).to_string(), "Pulse {q2}, X180");
+        let mpg = Instruction::Mpg {
+            qubits: QubitMask::single(2),
+            duration: 300,
+        };
+        assert_eq!(mpg.to_string(), "MPG {q2}, 300");
+        let md = Instruction::Md {
+            qubits: QubitMask::single(2),
+            rd: None,
+        };
+        assert_eq!(md.to_string(), "MD {q2}");
+        let md7 = Instruction::Md {
+            qubits: QubitMask::single(0),
+            rd: Some(Reg::r(7)),
+        };
+        assert_eq!(md7.to_string(), "MD {q0}, r7");
+    }
+
+    #[test]
+    fn display_horizontal_pulse() {
+        let t = UopTable::table1();
+        let pulse = Instruction::Pulse {
+            ops: vec![
+                PulseOp {
+                    qubits: QubitMask::single(0),
+                    uop: t.lookup("Y90").unwrap(),
+                },
+                PulseOp {
+                    qubits: QubitMask::single(1),
+                    uop: t.lookup("X180").unwrap(),
+                },
+            ],
+        };
+        assert_eq!(
+            pulse.display_with(Some(&t)).to_string(),
+            "Pulse {q0}, Y90, {q1}, X180"
+        );
+    }
+
+    #[test]
+    fn display_classical_forms() {
+        assert_eq!(
+            Instruction::Mov {
+                rd: Reg::r(15),
+                imm: 40000
+            }
+            .to_string(),
+            "mov r15, 40000"
+        );
+        assert_eq!(
+            Instruction::Load {
+                rd: Reg::r(9),
+                base: Reg::r(3),
+                offset: 1
+            }
+            .to_string(),
+            "load r9, r3[1]"
+        );
+        assert_eq!(
+            Instruction::Bne {
+                rs: Reg::r(1),
+                rt: Reg::r(2),
+                target: 4
+            }
+            .to_string(),
+            "bne r1, r2, 4"
+        );
+    }
+}

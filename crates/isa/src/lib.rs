@@ -1,0 +1,46 @@
+//! # quma-isa — the QuMA instruction sets
+//!
+//! The auxiliary classical instructions, the high-level quantum
+//! instructions (QIS), and the quantum microinstruction set QuMIS of
+//! Table 6 (`Wait`, `Pulse`, `MPG`, `MD`), together with a 32-bit binary
+//! encoding, a two-pass assembler for the paper's textual syntax
+//! (Algorithm 3), and a disassembler.
+//!
+//! ```
+//! use quma_isa::prelude::*;
+//!
+//! let prog = Assembler::new().assemble(
+//!     "mov r15, 40000\n\
+//!      Loop: QNopReg r15\n\
+//!      Pulse {q2}, X180\n\
+//!      Wait 4\n\
+//!      MPG {q2}, 300\n\
+//!      MD {q2}\n\
+//!      bne r1, r2, Loop\n\
+//!      halt",
+//! ).unwrap();
+//! assert_eq!(prog.len(), 8);
+//! let binary = prog.encode().unwrap();
+//! assert_eq!(Program::decode(&binary).unwrap().instructions(), prog.instructions());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encode;
+pub mod instruction;
+pub mod program;
+pub mod reg;
+pub mod uop;
+pub mod verify;
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::asm::{AsmError, AsmErrorKind, Assembler};
+    pub use crate::encode::{decode_program, encode, encode_program, DecodeError, EncodeError};
+    pub use crate::instruction::{GateId, Instruction, PulseOp};
+    pub use crate::program::Program;
+    pub use crate::reg::{Reg, RegisterFile, NUM_REGS};
+    pub use crate::uop::{QubitMask, UopId, UopTable, UopTableError, MAX_UOP, TABLE1_NAMES};
+    pub use crate::verify::{is_loadable, verify, Diagnostic, DiagnosticKind, Severity, VerifyConfig};
+}

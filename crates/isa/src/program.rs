@@ -1,0 +1,149 @@
+//! A program: instructions plus label metadata, with disassembly.
+
+use crate::instruction::Instruction;
+use crate::uop::UopTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled program as loaded into the quantum instruction cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    insns: Vec<Instruction>,
+    labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// A program from bare instructions.
+    pub fn new(insns: Vec<Instruction>) -> Self {
+        Self {
+            insns,
+            labels: HashMap::new(),
+        }
+    }
+
+    /// A program with label metadata (addresses are instruction indices).
+    pub fn with_labels(insns: Vec<Instruction>, labels: HashMap<String, u32>) -> Self {
+        Self { insns, labels }
+    }
+
+    /// The instructions.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.insns
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True when the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Resolves a label to its instruction address.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels, sorted by address.
+    pub fn labels(&self) -> Vec<(&str, u32)> {
+        let mut v: Vec<(&str, u32)> = self
+            .labels
+            .iter()
+            .map(|(k, &a)| (k.as_str(), a))
+            .collect();
+        v.sort_by_key(|&(_, a)| a);
+        v
+    }
+
+    /// Encodes to the 32-bit binary image.
+    pub fn encode(&self) -> Result<Vec<u32>, crate::encode::EncodeError> {
+        crate::encode::encode_program(&self.insns)
+    }
+
+    /// Decodes a binary image (labels are lost).
+    pub fn decode(words: &[u32]) -> Result<Self, crate::encode::DecodeError> {
+        Ok(Self::new(crate::encode::decode_program(words)?))
+    }
+
+    /// Disassembles with µ-op names and label comments.
+    pub fn disassemble(&self, uops: &UopTable) -> String {
+        let mut by_addr: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, &addr) in &self.labels {
+            by_addr.entry(addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            if let Some(names) = by_addr.get(&(i as u32)) {
+                for n in names {
+                    out.push_str(n);
+                    out.push_str(":\n");
+                }
+            }
+            out.push_str("    ");
+            out.push_str(&insn.display_with(Some(uops)).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.disassemble(&UopTable::table1()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    #[test]
+    fn disassembly_round_trips_through_assembler() {
+        let src = "mov r15, 40000\nLoop: Pulse {q2}, X180\nWait 4\nbne r1, r2, 1\nhalt";
+        let asm = Assembler::new();
+        let prog = asm.assemble(src).unwrap();
+        let dis = prog.disassemble(asm.uops());
+        let prog2 = asm.assemble(&dis).unwrap();
+        assert_eq!(prog.instructions(), prog2.instructions());
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_instructions() {
+        let src = "mov r1, 0\nPulse {q0}, I, {q1}, Y90\nMD {q0}, r7\nhalt";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let words = prog.encode().unwrap();
+        let back = Program::decode(&words).unwrap();
+        assert_eq!(prog.instructions(), back.instructions());
+    }
+
+    #[test]
+    fn labels_sorted_by_address() {
+        let src = "A: halt\nB: halt\nC: halt";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let labels = prog.labels();
+        assert_eq!(
+            labels,
+            vec![("A", 0), ("B", 1), ("C", 2)]
+        );
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let src = "Loop: Wait 4\njump Loop";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let text = prog.to_string();
+        assert!(text.contains("Loop:"));
+        assert!(text.contains("Wait 4"));
+    }
+
+    #[test]
+    fn empty_program() {
+        let prog = Program::default();
+        assert!(prog.is_empty());
+        assert_eq!(prog.len(), 0);
+        assert!(prog.encode().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Register names for the auxiliary classical instruction set.
+//!
+//! The paper's execution controller contains a register file holding
+//! "runtime information related to quantum program execution" (Section 7.2);
+//! its programs use registers `r1`, `r2`, `r3`, `r7`, `r9`, `r15`, so a
+//! 16-entry file of 32-bit registers suffices and matches the encodable
+//! 4-bit register fields.
+
+use std::fmt;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 16;
+
+/// A register index `r0..r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register; returns `None` for indices ≥ 16.
+    pub const fn new(index: u8) -> Option<Self> {
+        if index < NUM_REGS as u8 {
+            Some(Self(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register, panicking on out-of-range indices. Useful for
+    /// literals in tests and generated code.
+    pub const fn r(index: u8) -> Self {
+        assert!(index < NUM_REGS as u8, "register index out of range");
+        Self(index)
+    }
+
+    /// The register index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Parses `rN` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        let rest = s.strip_prefix('r').or_else(|| s.strip_prefix('R'))?;
+        let idx: u8 = rest.parse().ok()?;
+        Self::new(idx)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The architectural register file: sixteen 32-bit signed registers.
+///
+/// `r0` is a genuine register (not hard-wired zero); the paper's programs
+/// never rely on a zero register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterFile {
+    regs: [i32; NUM_REGS],
+}
+
+impl RegisterFile {
+    /// All-zero register file.
+    pub fn new() -> Self {
+        Self {
+            regs: [0; NUM_REGS],
+        }
+    }
+
+    /// Reads a register.
+    pub fn read(&self, r: Reg) -> i32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, r: Reg, value: i32) {
+        self.regs[r.index() as usize] = value;
+    }
+
+    /// Snapshot of all registers (for traces and debugging).
+    pub fn snapshot(&self) -> [i32; NUM_REGS] {
+        self.regs
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Reg::new(0).is_some());
+        assert!(Reg::new(15).is_some());
+        assert!(Reg::new(16).is_none());
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for i in 0..16u8 {
+            let r = Reg::r(i);
+            assert_eq!(Reg::parse(&r.to_string()), Some(r));
+        }
+        assert_eq!(Reg::parse("R7"), Some(Reg::r(7)));
+        assert_eq!(Reg::parse("r16"), None);
+        assert_eq!(Reg::parse("x3"), None);
+        assert_eq!(Reg::parse("r"), None);
+    }
+
+    #[test]
+    fn register_file_read_write() {
+        let mut rf = RegisterFile::new();
+        assert_eq!(rf.read(Reg::r(15)), 0);
+        rf.write(Reg::r(15), 40000);
+        assert_eq!(rf.read(Reg::r(15)), 40000);
+        rf.write(Reg::r(0), -1);
+        assert_eq!(rf.read(Reg::r(0)), -1);
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut rf = RegisterFile::new();
+        rf.write(Reg::r(3), 7);
+        let snap = rf.snapshot();
+        assert_eq!(snap[3], 7);
+        assert_eq!(snap[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn r_macro_panics_out_of_range() {
+        Reg::r(16);
+    }
+}

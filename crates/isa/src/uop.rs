@@ -1,0 +1,319 @@
+//! Micro-operation identifiers and qubit address masks.
+//!
+//! The `Pulse` microinstruction of Table 6 carries `(QAddr, uOp)` pairs: a
+//! qubit address (here a bitmask over the device's qubits, so one pair can
+//! target several qubits — the instruction is *horizontal*) and the
+//! micro-operation to apply. Micro-operation identity is a small integer
+//! resolved against a device-level table; the default numbering follows the
+//! paper's Table 1 codeword order.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A micro-operation identifier (6 bits in the binary encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UopId(pub u8);
+
+/// Maximum encodable micro-operation id.
+pub const MAX_UOP: u8 = 63;
+
+impl UopId {
+    /// Creates an id; returns `None` above [`MAX_UOP`].
+    pub const fn new(id: u8) -> Option<Self> {
+        if id <= MAX_UOP {
+            Some(Self(id))
+        } else {
+            None
+        }
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for UopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uop{}", self.0)
+    }
+}
+
+/// A qubit address: a bitmask over up to 16 qubits, as used by the
+/// horizontal `Pulse`/`MPG`/`MD` instructions (`{q0}`, `{q2}`,
+/// `{q0, q1}`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QubitMask(pub u16);
+
+impl QubitMask {
+    /// The empty mask.
+    pub const EMPTY: QubitMask = QubitMask(0);
+
+    /// Mask selecting a single qubit.
+    pub fn single(q: usize) -> Self {
+        assert!(q < 16, "qubit index out of range");
+        Self(1 << q)
+    }
+
+    /// Mask selecting several qubits.
+    pub fn of(qs: &[usize]) -> Self {
+        let mut m = 0u16;
+        for &q in qs {
+            assert!(q < 16, "qubit index out of range");
+            m |= 1 << q;
+        }
+        Self(m)
+    }
+
+    /// True when qubit `q` is selected.
+    pub fn contains(self, q: usize) -> bool {
+        q < 16 && self.0 & (1 << q) != 0
+    }
+
+    /// Iterates over selected qubit indices, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..16).filter(move |&q| self.contains(q))
+    }
+
+    /// Number of selected qubits.
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no qubit is selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses `{q0}`, `{q0, q2}`, `{q0,q2}`, or a bare `q3`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let inner = s.trim();
+        let inner = if inner.starts_with('{') && inner.ends_with('}') {
+            &inner[1..inner.len() - 1]
+        } else {
+            inner
+        };
+        let mut mask = 0u16;
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let idx: u16 = part
+                .strip_prefix('q')
+                .or_else(|| part.strip_prefix('Q'))?
+                .parse()
+                .ok()?;
+            if idx >= 16 {
+                return None;
+            }
+            mask |= 1 << idx;
+        }
+        Some(Self(mask))
+    }
+}
+
+impl fmt::Display for QubitMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for q in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "q{q}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Symbolic names for micro-operations, used by the assembler and
+/// disassembler. Pre-populated with the paper's Table 1 primitives in
+/// codeword order: `I`=0, `X180`=1, `X90`=2, `mX90`=3, `Y180`=4, `Y90`=5,
+/// `mY90`=6.
+#[derive(Debug, Clone)]
+pub struct UopTable {
+    by_name: HashMap<String, UopId>,
+    by_id: HashMap<UopId, String>,
+}
+
+/// The default primitive names in Table 1 order.
+pub const TABLE1_NAMES: [&str; 7] = ["I", "X180", "X90", "mX90", "Y180", "Y90", "mY90"];
+
+impl UopTable {
+    /// An empty table.
+    pub fn empty() -> Self {
+        Self {
+            by_name: HashMap::new(),
+            by_id: HashMap::new(),
+        }
+    }
+
+    /// The default table with the Table 1 primitives.
+    pub fn table1() -> Self {
+        let mut t = Self::empty();
+        for (i, name) in TABLE1_NAMES.iter().enumerate() {
+            t.register(name, UopId(i as u8))
+                .expect("default table is well-formed");
+        }
+        t
+    }
+
+    /// Registers a name → id mapping; errors on conflicts.
+    pub fn register(&mut self, name: &str, id: UopId) -> Result<(), UopTableError> {
+        if id.raw() > MAX_UOP {
+            return Err(UopTableError::IdOutOfRange(id.raw()));
+        }
+        if let Some(&existing) = self.by_name.get(name) {
+            if existing != id {
+                return Err(UopTableError::NameConflict(name.to_string()));
+            }
+            return Ok(());
+        }
+        if self.by_id.contains_key(&id) {
+            return Err(UopTableError::IdConflict(id.raw()));
+        }
+        self.by_name.insert(name.to_string(), id);
+        self.by_id.insert(id, name.to_string());
+        Ok(())
+    }
+
+    /// Registers with the next free id; returns the id.
+    pub fn register_next(&mut self, name: &str) -> Result<UopId, UopTableError> {
+        if let Some(&id) = self.by_name.get(name) {
+            return Ok(id);
+        }
+        let next = (0..=MAX_UOP)
+            .map(UopId)
+            .find(|id| !self.by_id.contains_key(id))
+            .ok_or(UopTableError::Full)?;
+        self.register(name, next)?;
+        Ok(next)
+    }
+
+    /// Resolves a name.
+    pub fn lookup(&self, name: &str) -> Option<UopId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id to its name.
+    pub fn name(&self, id: UopId) -> Option<&str> {
+        self.by_id.get(&id).map(String::as_str)
+    }
+
+    /// Number of registered micro-operations.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True when no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+impl Default for UopTable {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// Errors from building a [`UopTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UopTableError {
+    /// The name is already bound to a different id.
+    NameConflict(String),
+    /// The id is already bound to a different name.
+    IdConflict(u8),
+    /// The id exceeds [`MAX_UOP`].
+    IdOutOfRange(u8),
+    /// All 64 ids are taken.
+    Full,
+}
+
+impl fmt::Display for UopTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UopTableError::NameConflict(n) => write!(f, "µ-op name '{n}' already registered"),
+            UopTableError::IdConflict(i) => write!(f, "µ-op id {i} already registered"),
+            UopTableError::IdOutOfRange(i) => write!(f, "µ-op id {i} exceeds {MAX_UOP}"),
+            UopTableError::Full => write!(f, "µ-op table is full"),
+        }
+    }
+}
+
+impl std::error::Error for UopTableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_codeword_order() {
+        let t = UopTable::table1();
+        assert_eq!(t.lookup("I"), Some(UopId(0)));
+        assert_eq!(t.lookup("X180"), Some(UopId(1)));
+        assert_eq!(t.lookup("X90"), Some(UopId(2)));
+        assert_eq!(t.lookup("mX90"), Some(UopId(3)));
+        assert_eq!(t.lookup("Y180"), Some(UopId(4)));
+        assert_eq!(t.lookup("Y90"), Some(UopId(5)));
+        assert_eq!(t.lookup("mY90"), Some(UopId(6)));
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn mask_parse_variants() {
+        assert_eq!(QubitMask::parse("{q0}"), Some(QubitMask(1)));
+        assert_eq!(QubitMask::parse("{q2}"), Some(QubitMask(4)));
+        assert_eq!(QubitMask::parse("{q0, q2}"), Some(QubitMask(5)));
+        assert_eq!(QubitMask::parse("{q0,q2}"), Some(QubitMask(5)));
+        assert_eq!(QubitMask::parse("q3"), Some(QubitMask(8)));
+        assert_eq!(QubitMask::parse("{q16}"), None);
+        assert_eq!(QubitMask::parse("{banana}"), None);
+    }
+
+    #[test]
+    fn mask_display_round_trip() {
+        let m = QubitMask::of(&[0, 2, 5]);
+        assert_eq!(m.to_string(), "{q0, q2, q5}");
+        assert_eq!(QubitMask::parse(&m.to_string()), Some(m));
+    }
+
+    #[test]
+    fn mask_iteration_and_count() {
+        let m = QubitMask::of(&[1, 3]);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(m.count(), 2);
+        assert!(!m.is_empty());
+        assert!(QubitMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn register_conflicts_detected() {
+        let mut t = UopTable::table1();
+        assert!(t.register("I", UopId(0)).is_ok(), "re-register same is fine");
+        assert_eq!(
+            t.register("I", UopId(9)),
+            Err(UopTableError::NameConflict("I".into()))
+        );
+        assert_eq!(t.register("CZ", UopId(0)), Err(UopTableError::IdConflict(0)));
+        assert!(t.register("CZ", UopId(7)).is_ok());
+        assert_eq!(t.name(UopId(7)), Some("CZ"));
+    }
+
+    #[test]
+    fn register_next_finds_free_slot() {
+        let mut t = UopTable::table1();
+        let id = t.register_next("CZ").unwrap();
+        assert_eq!(id, UopId(7));
+        // Idempotent.
+        assert_eq!(t.register_next("CZ").unwrap(), UopId(7));
+    }
+
+    #[test]
+    fn uop_id_bounds() {
+        assert!(UopId::new(63).is_some());
+        assert!(UopId::new(64).is_none());
+    }
+}

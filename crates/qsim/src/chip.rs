@@ -1,0 +1,413 @@
+//! The simulated quantum chip: transmons with dedicated readout resonators
+//! all coupled to a common feedline, as in the paper's 10-qubit validation
+//! device (Section 8, Figure 8).
+//!
+//! The chip is the boundary of the QuMA simulation: the control box sends
+//! it DAC sample streams (gate pulses) and measurement-pulse triggers, and
+//! receives heterodyne readout traces in return. All randomness (projection
+//! noise, readout noise) is drawn from a seedable RNG so whole experiments
+//! are reproducible.
+
+use crate::complex::C64;
+use crate::gates::{rotation, Axis};
+use crate::noise::{amplitude_damping_kraus, phase_damping_kraus};
+use crate::resonator::{synthesize_trace, ReadoutParams, ReadoutTrace};
+use crate::transmon::{rotation_from_pulse, Transmon, TransmonParams};
+use crate::twoqubit::{Mat4, TwoQubitState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Index of a qubit on the chip.
+pub type QubitId = usize;
+
+/// A transmon plus its readout chain.
+#[derive(Debug, Clone)]
+pub struct ChipQubit {
+    /// The driven transmon.
+    pub transmon: Transmon,
+    /// Its readout resonator / measurement chain.
+    pub readout: ReadoutParams,
+}
+
+/// A coupled pair holding a joint two-qubit state. Formed lazily when a
+/// flux (CZ) pulse first addresses the pair.
+#[derive(Debug, Clone)]
+struct JointRegister {
+    /// Lower-indexed member (first tensor factor).
+    a: QubitId,
+    /// Higher-indexed member (second tensor factor).
+    b: QubitId,
+    state: TwoQubitState,
+    /// Lab time up to which decoherence has been applied.
+    clock: f64,
+}
+
+/// The simulated multi-qubit device.
+#[derive(Debug)]
+pub struct QuantumChip {
+    qubits: Vec<ChipQubit>,
+    joints: Vec<JointRegister>,
+    /// Per-qubit membership in `joints`.
+    membership: Vec<Option<usize>>,
+    rng: StdRng,
+    measurements: u64,
+}
+
+impl QuantumChip {
+    /// Creates an empty chip with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            qubits: Vec::new(),
+            joints: Vec::new(),
+            membership: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            measurements: 0,
+        }
+    }
+
+    /// Builds the paper's validation configuration: `n` qubits with the
+    /// qubit-2 parameters and default readout chain.
+    pub fn paper_device(n: usize, seed: u64) -> Self {
+        let mut chip = Self::new(seed);
+        for _ in 0..n {
+            chip.add_qubit(TransmonParams::paper_qubit2(), ReadoutParams::paper_default());
+        }
+        chip
+    }
+
+    /// An ideal (noise-free) device for microarchitecture tests.
+    pub fn ideal_device(n: usize, seed: u64) -> Self {
+        let mut chip = Self::new(seed);
+        for _ in 0..n {
+            chip.add_qubit(TransmonParams::ideal(), ReadoutParams::noiseless());
+        }
+        chip
+    }
+
+    /// Adds a qubit; returns its id.
+    pub fn add_qubit(&mut self, transmon: TransmonParams, readout: ReadoutParams) -> QubitId {
+        self.qubits.push(ChipQubit {
+            transmon: Transmon::new(transmon),
+            readout,
+        });
+        self.membership.push(None);
+        self.qubits.len() - 1
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Immutable access to a qubit.
+    pub fn qubit(&self, id: QubitId) -> &ChipQubit {
+        &self.qubits[id]
+    }
+
+    /// Mutable access to a qubit (used by experiments to inject calibrated
+    /// pulse errors).
+    pub fn qubit_mut(&mut self, id: QubitId) -> &mut ChipQubit {
+        &mut self.qubits[id]
+    }
+
+    /// Total number of measurement pulses played so far.
+    pub fn measurement_count(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Resets every qubit to `|0⟩` at lab time `at`, dissolving any
+    /// coupled pairs.
+    pub fn reset_all(&mut self, at: f64) {
+        for q in &mut self.qubits {
+            q.transmon.reset(at);
+        }
+        self.joints.clear();
+        self.membership.fill(None);
+    }
+
+    /// True when qubit `id` is currently part of a joint (possibly
+    /// entangled) register.
+    pub fn is_coupled(&self, id: QubitId) -> bool {
+        self.membership[id].is_some()
+    }
+
+    /// `p(|1⟩)` of a qubit, resolving joint membership (use this instead of
+    /// `qubit(id).transmon.p1()` when CZ pulses may have run).
+    pub fn p1(&self, id: QubitId) -> f64 {
+        match self.membership[id] {
+            Some(j) => {
+                let joint = &self.joints[j];
+                joint.state.p1_of(usize::from(id == joint.b))
+            }
+            None => self.qubits[id].transmon.p1(),
+        }
+    }
+
+    /// Forms (or finds) the joint register of a pair, merging the two
+    /// current single-qubit states as a product state.
+    fn couple(&mut self, a: QubitId, b: QubitId, at: f64) -> usize {
+        assert!(a != b, "cannot couple a qubit to itself");
+        let (a, b) = (a.min(b), a.max(b));
+        if let (Some(ja), Some(jb)) = (self.membership[a], self.membership[b]) {
+            assert_eq!(
+                ja, jb,
+                "qubits q{a} and q{b} belong to different joint registers"
+            );
+            return ja;
+        }
+        assert!(
+            self.membership[a].is_none() && self.membership[b].is_none(),
+            "re-pairing a coupled qubit is not supported"
+        );
+        // Bring both qubits to the same lab time, then take the product.
+        self.qubits[a].transmon.idle_until(at);
+        self.qubits[b].transmon.idle_until(at);
+        let state = TwoQubitState::product(
+            self.qubits[a].transmon.state(),
+            self.qubits[b].transmon.state(),
+        );
+        let idx = self.joints.len();
+        self.joints.push(JointRegister {
+            a,
+            b,
+            state,
+            clock: at,
+        });
+        self.membership[a] = Some(idx);
+        self.membership[b] = Some(idx);
+        idx
+    }
+
+    /// Evolves a joint register under both members' local decoherence (and
+    /// detuning precession) up to lab time `until`.
+    fn joint_idle(&mut self, j: usize, until: f64) {
+        let dt = until - self.joints[j].clock;
+        if dt <= 0.0 {
+            return;
+        }
+        let (qa, qb) = (self.joints[j].a, self.joints[j].b);
+        for (slot, qid) in [(0usize, qa), (1usize, qb)] {
+            let params = self.qubits[qid].transmon.params().clone();
+            let joint = &mut self.joints[j];
+            let p_relax = 1.0 - (-dt / params.decoherence.t1).exp();
+            joint
+                .state
+                .apply_local_kraus(&amplitude_damping_kraus(p_relax), slot);
+            let gamma_phi = params.decoherence.pure_dephasing_rate();
+            if gamma_phi > 0.0 {
+                let p_phi = 0.5 * (1.0 - (-2.0 * gamma_phi * dt).exp());
+                joint
+                    .state
+                    .apply_local_kraus(&phase_damping_kraus(p_phi), slot);
+            }
+            if params.detuning != 0.0 {
+                let phase = 2.0 * std::f64::consts::PI * params.detuning * dt;
+                joint.state.apply_local(&rotation(Axis::Z, phase), slot);
+            }
+        }
+        self.joints[j].clock = until;
+    }
+
+    /// Applies a CZ flux pulse to a pair at lab time `at`, lasting
+    /// `duration` seconds (paper: ~40 ns). Couples the pair on first use.
+    pub fn apply_cz(&mut self, a: QubitId, b: QubitId, at: f64, duration: f64) {
+        let j = self.couple(a, b, at);
+        self.joint_idle(j, at);
+        self.joints[j].state.apply_unitary(&Mat4::cz());
+        self.joint_idle(j, at + duration);
+    }
+
+    /// Drives qubit `id` with a complex baseband sample stream starting at
+    /// absolute lab time `start` (seconds) with sample period `dt`. Works
+    /// transparently on coupled qubits (local rotation on the joint state).
+    pub fn drive(&mut self, id: QubitId, samples: &[C64], start: f64, dt: f64) {
+        match self.membership[id] {
+            None => self.qubits[id].transmon.drive(samples, start, dt),
+            Some(j) => {
+                self.joint_idle(j, start);
+                let params = self.qubits[id].transmon.params().clone();
+                let u = rotation_from_pulse(&params, samples, start, dt);
+                let joint = &mut self.joints[j];
+                let slot = usize::from(id == joint.b);
+                joint.state.apply_local(&u, slot);
+                let duration = samples.len() as f64 * dt;
+                self.joint_idle(j, start + duration);
+            }
+        }
+    }
+
+    /// Plays a measurement pulse on qubit `id` at lab time `start` for
+    /// `duration` seconds: projects the qubit and returns the heterodyne
+    /// trace the ADCs would digitize.
+    pub fn measure(&mut self, id: QubitId, start: f64, duration: f64) -> ReadoutTrace {
+        self.measure_with_truth(id, start, duration).0
+    }
+
+    /// Like [`Self::measure`] but also reports the projected outcome, for
+    /// tests that want ground truth alongside the analog trace.
+    pub fn measure_with_truth(
+        &mut self,
+        id: QubitId,
+        start: f64,
+        duration: f64,
+    ) -> (ReadoutTrace, u8) {
+        self.measurements += 1;
+        let u: f64 = self.rng.random();
+        let outcome = match self.membership[id] {
+            None => {
+                let q = &mut self.qubits[id];
+                q.transmon.idle_until(start);
+                let outcome = q.transmon.project_with(u);
+                // Readout takes `duration`; the qubit idles (and decoheres)
+                // during it.
+                q.transmon.idle_until(start + duration);
+                outcome
+            }
+            Some(j) => {
+                self.joint_idle(j, start);
+                let joint = &mut self.joints[j];
+                let slot = usize::from(id == joint.b);
+                let outcome = u8::from(u < joint.state.p1_of(slot));
+                joint.state.project(slot, outcome);
+                self.joint_idle(j, start + duration);
+                outcome
+            }
+        };
+        let readout = self.qubits[id].readout.clone();
+        let mut gauss = GaussianSource::new(&mut self.rng);
+        let trace = synthesize_trace(&readout, outcome, duration, || gauss.next());
+        (trace, outcome)
+    }
+}
+
+/// Box–Muller standard-normal source over a borrowed RNG.
+struct GaussianSource<'a> {
+    rng: &'a mut StdRng,
+    cached: Option<f64>,
+}
+
+impl<'a> GaussianSource<'a> {
+    fn new(rng: &'a mut StdRng) -> Self {
+        Self { rng, cached: None }
+    }
+
+    fn next(&mut self) -> f64 {
+        if let Some(v) = self.cached.take() {
+            return v;
+        }
+        // Box–Muller transform.
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resonator::Discriminator;
+    use std::f64::consts::PI;
+
+    fn ssb_pulse(amp: f64, ssb: f64, start: f64, n: usize, dt: f64) -> Vec<C64> {
+        (0..n)
+            .map(|k| {
+                let t = start + (k as f64 + 0.5) * dt;
+                C64::from_polar(amp, -2.0 * PI * ssb * t)
+            })
+            .collect()
+    }
+
+    fn calibrated_chip(n: usize, seed: u64) -> QuantumChip {
+        let mut chip = QuantumChip::ideal_device(n, seed);
+        for i in 0..n {
+            chip.qubit_mut(i).transmon.params_mut().rabi_coefficient = PI / 20e-9;
+        }
+        chip
+    }
+
+    #[test]
+    fn ground_state_measures_zero() {
+        let mut chip = calibrated_chip(1, 7);
+        let d = Discriminator::calibrate(&chip.qubit(0).readout, 1.5e-6);
+        let trace = chip.measure(0, 0.0, 1.5e-6);
+        assert_eq!(d.discriminate(&trace), 0);
+    }
+
+    #[test]
+    fn pi_pulse_then_measure_reads_one() {
+        let mut chip = calibrated_chip(1, 7);
+        let ssb = chip.qubit(0).transmon.params().ssb_frequency;
+        let pulse = ssb_pulse(1.0, ssb, 0.0, 20, 1e-9);
+        chip.drive(0, &pulse, 0.0, 1e-9);
+        let d = Discriminator::calibrate(&chip.qubit(0).readout, 1.5e-6);
+        let trace = chip.measure(0, 20e-9, 1.5e-6);
+        assert_eq!(d.discriminate(&trace), 1);
+    }
+
+    #[test]
+    fn superposition_measurement_statistics() {
+        let mut chip = calibrated_chip(1, 42);
+        let ssb = chip.qubit(0).transmon.params().ssb_frequency;
+        let d = Discriminator::calibrate(&chip.qubit(0).readout, 1.0e-6);
+        let mut ones = 0u32;
+        let n = 400;
+        for round in 0..n {
+            chip.reset_all(0.0);
+            let pulse = ssb_pulse(0.5, ssb, 0.0, 20, 1e-9);
+            chip.drive(0, &pulse, 0.0, 1e-9);
+            let trace = chip.measure(0, 20e-9, 1.0e-6);
+            ones += u32::from(d.discriminate(&trace) == 1);
+            let _ = round;
+        }
+        let f = ones as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.1, "π/2 pulse should give ~50% ones, got {f}");
+    }
+
+    #[test]
+    fn measurement_projects_the_state() {
+        let mut chip = calibrated_chip(1, 3);
+        let ssb = chip.qubit(0).transmon.params().ssb_frequency;
+        let pulse = ssb_pulse(0.5, ssb, 0.0, 20, 1e-9);
+        chip.drive(0, &pulse, 0.0, 1e-9);
+        let (_, first) = chip.measure_with_truth(0, 20e-9, 1.0e-6);
+        // Immediately measuring again must give the same outcome (ideal
+        // device: no relaxation between measurements).
+        let (_, second) = chip.measure_with_truth(0, 20e-9 + 1.0e-6, 1.0e-6);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reproducible_under_fixed_seed() {
+        let run = |seed: u64| {
+            let mut chip = calibrated_chip(1, seed);
+            let ssb = chip.qubit(0).transmon.params().ssb_frequency;
+            let pulse = ssb_pulse(0.5, ssb, 0.0, 20, 1e-9);
+            chip.drive(0, &pulse, 0.0, 1e-9);
+            let (trace, outcome) = chip.measure_with_truth(0, 20e-9, 0.5e-6);
+            (trace.samples, outcome)
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn qubits_are_independent() {
+        let mut chip = calibrated_chip(2, 5);
+        let ssb = chip.qubit(0).transmon.params().ssb_frequency;
+        let pulse = ssb_pulse(1.0, ssb, 0.0, 20, 1e-9);
+        chip.drive(0, &pulse, 0.0, 1e-9);
+        assert!(chip.qubit(0).transmon.p1() > 0.999);
+        assert!(chip.qubit(1).transmon.p1() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_counter_increments() {
+        let mut chip = calibrated_chip(1, 1);
+        assert_eq!(chip.measurement_count(), 0);
+        chip.measure(0, 0.0, 0.3e-6);
+        chip.measure(0, 1e-6, 0.3e-6);
+        assert_eq!(chip.measurement_count(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Minimal complex-number arithmetic used throughout the quantum substrate.
+//!
+//! The paper's physics (single- and two-qubit density matrices, heterodyne
+//! signals) only needs `f64` complex scalars, so we provide a small,
+//! dependency-free [`C64`] instead of pulling in an external crate.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity.
+pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// The multiplicative identity.
+pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+/// The imaginary unit.
+pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r · e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit phasor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaN components for zero input.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Returns true when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within an absolute tolerance on both components.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b computed as a·b⁻¹
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> Self {
+        iter.fold(ZERO, |acc, z| acc + z)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -4.0);
+        assert!((a + b).approx_eq(C64::new(4.0, -2.0), TOL));
+        assert!((a - b).approx_eq(C64::new(-2.0, 6.0), TOL));
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -4.0);
+        // (1+2i)(3-4i) = 3 - 4i + 6i - 8i² = 11 + 2i
+        assert!((a * b).approx_eq(C64::new(11.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(0.3, -0.7);
+        let b = C64::new(-1.5, 2.5);
+        let c = a * b;
+        assert!((c / b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert!((z * z.conj()).approx_eq(C64::real(25.0), TOL));
+        assert!((z.abs() - 5.0).abs() < TOL);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - 0.7).abs() < TOL);
+    }
+
+    #[test]
+    fn cis_is_unit_phasor() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn imaginary_unit_squares_to_minus_one() {
+        assert!((I * I).approx_eq(C64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert!(total.approx_eq(C64::new(6.0, 4.0), TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1.000000-2.000000i");
+    }
+}

@@ -1,0 +1,266 @@
+//! Single-qubit gates as rotations on the Bloch sphere.
+//!
+//! Section 2.1 of the paper: every single-qubit gate is a rotation `R_n̂(θ)`
+//! about an axis `n̂` by an angle `θ`. The AllXY experiment and the QuMA
+//! codeword lookup table (Table 1) only need rotations about equatorial axes
+//! (x, y, and arbitrary azimuth φ), plus z-rotations for completeness.
+
+use crate::complex::C64;
+use crate::mat2::Mat2;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// A rotation axis on (or off) the Bloch-sphere equator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Axis {
+    /// The x axis (azimuth 0).
+    X,
+    /// The y axis (azimuth π/2).
+    Y,
+    /// The z axis (polar).
+    Z,
+    /// An equatorial axis at azimuthal angle φ measured from x towards y.
+    Equatorial(f64),
+}
+
+impl Axis {
+    /// Cartesian unit vector of the axis.
+    pub fn unit_vector(self) -> [f64; 3] {
+        match self {
+            Axis::X => [1.0, 0.0, 0.0],
+            Axis::Y => [0.0, 1.0, 0.0],
+            Axis::Z => [0.0, 0.0, 1.0],
+            Axis::Equatorial(phi) => [phi.cos(), phi.sin(), 0.0],
+        }
+    }
+}
+
+/// Returns the unitary for a rotation of `theta` radians about `axis`:
+/// `R_n̂(θ) = cos(θ/2)·I − i·sin(θ/2)·(n̂·σ⃗)`.
+pub fn rotation(axis: Axis, theta: f64) -> Mat2 {
+    let [nx, ny, nz] = axis.unit_vector();
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    // -i * s * (nx X + ny Y + nz Z) + c I
+    Mat2::new(
+        C64::new(c, -s * nz),
+        C64::new(-s * ny, -s * nx),
+        C64::new(s * ny, -s * nx),
+        C64::new(c, s * nz),
+    )
+}
+
+/// `R_x(θ)`.
+pub fn rx(theta: f64) -> Mat2 {
+    rotation(Axis::X, theta)
+}
+
+/// `R_y(θ)`.
+pub fn ry(theta: f64) -> Mat2 {
+    rotation(Axis::Y, theta)
+}
+
+/// `R_z(θ)`.
+pub fn rz(theta: f64) -> Mat2 {
+    rotation(Axis::Z, theta)
+}
+
+/// The identity gate.
+pub fn identity() -> Mat2 {
+    Mat2::identity()
+}
+
+/// The Hadamard gate (useful in tests and examples; decomposable into the
+/// primitive x/y rotations per Section 2.2).
+pub fn hadamard() -> Mat2 {
+    let s = 1.0 / 2.0f64.sqrt();
+    Mat2::new(C64::real(s), C64::real(s), C64::real(s), C64::real(-s))
+}
+
+/// The named primitive operations of the paper's Table 1 plus the two
+/// 180° gates, i.e. the pulses a codeword-triggered pulse generation unit
+/// stores for single-qubit control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimitiveGate {
+    /// Identity (no rotation; a placeholder pulse slot).
+    I,
+    /// `R_x(π)`, written X180 / Xπ in the paper.
+    X180,
+    /// `R_x(π/2)` (x90).
+    X90,
+    /// `R_x(−π/2)` (mX90).
+    Xm90,
+    /// `R_y(π)` (Y180 / Yπ).
+    Y180,
+    /// `R_y(π/2)` (y90).
+    Y90,
+    /// `R_y(−π/2)` (mY90).
+    Ym90,
+}
+
+impl PrimitiveGate {
+    /// All seven primitives, in Table 1 codeword order.
+    pub const ALL: [PrimitiveGate; 7] = [
+        PrimitiveGate::I,
+        PrimitiveGate::X180,
+        PrimitiveGate::X90,
+        PrimitiveGate::Xm90,
+        PrimitiveGate::Y180,
+        PrimitiveGate::Y90,
+        PrimitiveGate::Ym90,
+    ];
+
+    /// Rotation axis of the primitive (identity reports x with zero angle).
+    pub fn axis(self) -> Axis {
+        match self {
+            PrimitiveGate::I | PrimitiveGate::X180 | PrimitiveGate::X90 | PrimitiveGate::Xm90 => {
+                Axis::X
+            }
+            PrimitiveGate::Y180 | PrimitiveGate::Y90 | PrimitiveGate::Ym90 => Axis::Y,
+        }
+    }
+
+    /// Rotation angle in radians.
+    pub fn angle(self) -> f64 {
+        match self {
+            PrimitiveGate::I => 0.0,
+            PrimitiveGate::X180 | PrimitiveGate::Y180 => PI,
+            PrimitiveGate::X90 | PrimitiveGate::Y90 => FRAC_PI_2,
+            PrimitiveGate::Xm90 | PrimitiveGate::Ym90 => -FRAC_PI_2,
+        }
+    }
+
+    /// The unitary matrix of the primitive.
+    pub fn matrix(self) -> Mat2 {
+        rotation(self.axis(), self.angle())
+    }
+
+    /// Assembly mnemonic used by the QuMIS programs in the paper
+    /// (Algorithm 3 writes `I`, `X180`, `Y180`, `X90`, `Y90`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            PrimitiveGate::I => "I",
+            PrimitiveGate::X180 => "X180",
+            PrimitiveGate::X90 => "X90",
+            PrimitiveGate::Xm90 => "mX90",
+            PrimitiveGate::Y180 => "Y180",
+            PrimitiveGate::Y90 => "Y90",
+            PrimitiveGate::Ym90 => "mY90",
+        }
+    }
+
+    /// Parses a mnemonic back into a primitive.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|g| g.mnemonic() == s)
+    }
+}
+
+/// Returns the special-unitary representative of `u` (determinant 1), used
+/// for comparing decompositions that differ by a global phase.
+pub fn to_su2(u: &Mat2) -> Mat2 {
+    let det = u.det();
+    let phase = C64::cis(-det.arg() / 2.0);
+    u.scale_c(phase)
+}
+
+/// The π-pulse about the axis at azimuth φ (used when checking that timing
+/// skew under single-sideband modulation rotates the drive axis).
+pub fn equatorial_pi(phi: f64) -> Mat2 {
+    rotation(Axis::Equatorial(phi), PI)
+}
+
+/// Z gate expressed exactly, `diag(1, −1)`.
+pub fn z_gate() -> Mat2 {
+    Mat2::pauli_z()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn rotations_are_unitary() {
+        for k in 0..12 {
+            let theta = k as f64 * PI / 6.0;
+            assert!(rx(theta).is_unitary(TOL));
+            assert!(ry(theta).is_unitary(TOL));
+            assert!(rz(theta).is_unitary(TOL));
+        }
+    }
+
+    #[test]
+    fn x180_equals_pauli_x_up_to_phase() {
+        assert!(rx(PI).approx_eq_up_to_phase(&Mat2::pauli_x(), 1e-12));
+        assert!(ry(PI).approx_eq_up_to_phase(&Mat2::pauli_y(), 1e-12));
+        assert!(rz(PI).approx_eq_up_to_phase(&Mat2::pauli_z(), 1e-12));
+    }
+
+    #[test]
+    fn two_x90_make_an_x180() {
+        let two = rx(FRAC_PI_2) * rx(FRAC_PI_2);
+        assert!(two.approx_eq(&rx(PI), TOL));
+    }
+
+    #[test]
+    fn opposite_rotations_cancel() {
+        let u = ry(FRAC_PI_2) * ry(-FRAC_PI_2);
+        assert!(u.approx_eq(&Mat2::identity(), TOL));
+    }
+
+    #[test]
+    fn z_decomposes_into_x_times_y_up_to_phase() {
+        // Section 5.3.2: Z = X · Y up to an irrelevant global phase;
+        // this identity is what Seq_Z = ([0,1]; [4,4]) relies on.
+        let xy = rx(PI) * ry(PI);
+        assert!(xy.approx_eq_up_to_phase(&z_gate(), 1e-12));
+    }
+
+    #[test]
+    fn equatorial_axis_interpolates_x_and_y() {
+        assert!(equatorial_pi(0.0).approx_eq(&rx(PI), TOL));
+        assert!(equatorial_pi(FRAC_PI_2).approx_eq(&ry(PI), TOL));
+    }
+
+    #[test]
+    fn primitive_mnemonics_round_trip() {
+        for g in PrimitiveGate::ALL {
+            assert_eq!(PrimitiveGate::from_mnemonic(g.mnemonic()), Some(g));
+        }
+        assert_eq!(PrimitiveGate::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn primitive_matrices_match_rotations() {
+        assert!(PrimitiveGate::X180.matrix().approx_eq(&rx(PI), TOL));
+        assert!(PrimitiveGate::Ym90.matrix().approx_eq(&ry(-FRAC_PI_2), TOL));
+        assert!(PrimitiveGate::I.matrix().approx_eq(&Mat2::identity(), TOL));
+    }
+
+    #[test]
+    fn hadamard_is_unitary_and_self_inverse() {
+        let h = hadamard();
+        assert!(h.is_unitary(TOL));
+        assert!((h * h).approx_eq(&Mat2::identity(), TOL));
+    }
+
+    #[test]
+    fn su2_normalization_has_unit_determinant() {
+        let u = to_su2(&Mat2::pauli_x());
+        assert!((u.det().abs() - 1.0).abs() < TOL);
+        assert!((u.det().arg()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cnot_decomposition_identity_holds_on_target() {
+        // Section 5.3.2: CNOT_{c,t} = Ry(π/2)_t · CZ · Ry(−π/2)_t.
+        // At the single-qubit level we can check that conjugating Z-control
+        // branches reproduces X on the target: Ry(π/2)·Z·Ry(−π/2) = X
+        // (up to phase), which is the |c⟩=|1⟩ branch of the identity.
+        let u = ry(FRAC_PI_2) * Mat2::pauli_z() * ry(-FRAC_PI_2);
+        assert!(u.approx_eq_up_to_phase(&Mat2::pauli_x(), 1e-12));
+        // |c⟩=|0⟩ branch: Ry(π/2)·I·Ry(−π/2) = I.
+        let v = ry(FRAC_PI_2) * ry(-FRAC_PI_2);
+        assert!(v.approx_eq(&Mat2::identity(), TOL));
+    }
+}

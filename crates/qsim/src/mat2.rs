@@ -1,0 +1,319 @@
+//! 2×2 complex matrices and 2-vectors: the workhorse of single-qubit algebra.
+
+use crate::complex::{C64, ONE, ZERO};
+use std::ops::{Add, Mul, Sub};
+
+/// A complex 2-vector, used for pure single-qubit states `α|0⟩ + β|1⟩`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec2 {
+    /// Amplitude of `|0⟩`.
+    pub a: C64,
+    /// Amplitude of `|1⟩`.
+    pub b: C64,
+}
+
+impl Vec2 {
+    /// Creates a vector from its two components.
+    pub const fn new(a: C64, b: C64) -> Self {
+        Self { a, b }
+    }
+
+    /// The computational basis state `|0⟩`.
+    pub const fn ket0() -> Self {
+        Self { a: ONE, b: ZERO }
+    }
+
+    /// The computational basis state `|1⟩`.
+    pub const fn ket1() -> Self {
+        Self { a: ZERO, b: ONE }
+    }
+
+    /// Squared norm `|a|² + |b|²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.a.norm_sqr() + self.b.norm_sqr()
+    }
+
+    /// Returns the normalized vector. Panics on the zero vector.
+    pub fn normalized(&self) -> Self {
+        let n = self.norm_sqr().sqrt();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        Self::new(self.a / n, self.b / n)
+    }
+
+    /// Inner product `⟨self|other⟩` (conjugate-linear in `self`).
+    pub fn dot(&self, other: &Vec2) -> C64 {
+        self.a.conj() * other.a + self.b.conj() * other.b
+    }
+
+    /// Outer product `|self⟩⟨other|`.
+    pub fn outer(&self, other: &Vec2) -> Mat2 {
+        Mat2::new(
+            self.a * other.a.conj(),
+            self.a * other.b.conj(),
+            self.b * other.a.conj(),
+            self.b * other.b.conj(),
+        )
+    }
+}
+
+/// A complex 2×2 matrix in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2 {
+    /// Row 0, column 0.
+    pub m00: C64,
+    /// Row 0, column 1.
+    pub m01: C64,
+    /// Row 1, column 0.
+    pub m10: C64,
+    /// Row 1, column 1.
+    pub m11: C64,
+}
+
+impl Mat2 {
+    /// Creates a matrix from its four entries (row-major).
+    pub const fn new(m00: C64, m01: C64, m10: C64, m11: C64) -> Self {
+        Self { m00, m01, m10, m11 }
+    }
+
+    /// The zero matrix.
+    pub const fn zero() -> Self {
+        Self::new(ZERO, ZERO, ZERO, ZERO)
+    }
+
+    /// The identity matrix.
+    pub const fn identity() -> Self {
+        Self::new(ONE, ZERO, ZERO, ONE)
+    }
+
+    /// Pauli X.
+    pub const fn pauli_x() -> Self {
+        Self::new(ZERO, ONE, ONE, ZERO)
+    }
+
+    /// Pauli Y.
+    pub const fn pauli_y() -> Self {
+        Self::new(
+            ZERO,
+            C64::new(0.0, -1.0),
+            C64::new(0.0, 1.0),
+            ZERO,
+        )
+    }
+
+    /// Pauli Z.
+    pub const fn pauli_z() -> Self {
+        Self::new(ONE, ZERO, ZERO, C64::new(-1.0, 0.0))
+    }
+
+    /// Matrix trace.
+    pub fn trace(&self) -> C64 {
+        self.m00 + self.m11
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> C64 {
+        self.m00 * self.m11 - self.m01 * self.m10
+    }
+
+    /// Conjugate transpose (dagger).
+    pub fn dagger(&self) -> Self {
+        Self::new(
+            self.m00.conj(),
+            self.m10.conj(),
+            self.m01.conj(),
+            self.m11.conj(),
+        )
+    }
+
+    /// Scales every entry by a real factor.
+    pub fn scale(&self, k: f64) -> Self {
+        Self::new(
+            self.m00 * k,
+            self.m01 * k,
+            self.m10 * k,
+            self.m11 * k,
+        )
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale_c(&self, k: C64) -> Self {
+        Self::new(self.m00 * k, self.m01 * k, self.m10 * k, self.m11 * k)
+    }
+
+    /// Applies the matrix to a vector.
+    pub fn apply(&self, v: &Vec2) -> Vec2 {
+        Vec2::new(
+            self.m00 * v.a + self.m01 * v.b,
+            self.m10 * v.a + self.m11 * v.b,
+        )
+    }
+
+    /// Conjugation `U · self · U†`, the similarity transform used for
+    /// density-matrix evolution.
+    pub fn conjugate_by(&self, u: &Mat2) -> Self {
+        *u * *self * u.dagger()
+    }
+
+    /// Checks unitarity: `U·U† ≈ 1` within `tol` on each entry.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        (*self * self.dagger()).approx_eq(&Mat2::identity(), tol)
+    }
+
+    /// Checks Hermiticity within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.approx_eq(&self.dagger(), tol)
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        self.m00.approx_eq(other.m00, tol)
+            && self.m01.approx_eq(other.m01, tol)
+            && self.m10.approx_eq(other.m10, tol)
+            && self.m11.approx_eq(other.m11, tol)
+    }
+
+    /// Entry-wise approximate equality up to a global phase.
+    ///
+    /// Gates that differ only by `e^{iφ}` are physically identical; this is
+    /// the right comparison for decomposition identities such as `Z = X·Y`.
+    pub fn approx_eq_up_to_phase(&self, other: &Mat2, tol: f64) -> bool {
+        // Find the entry of `other` with the largest magnitude to estimate
+        // the relative phase robustly.
+        let pairs = [
+            (self.m00, other.m00),
+            (self.m01, other.m01),
+            (self.m10, other.m10),
+            (self.m11, other.m11),
+        ];
+        let (s, o) = pairs
+            .iter()
+            .max_by(|x, y| {
+                x.1.norm_sqr()
+                    .partial_cmp(&y.1.norm_sqr())
+                    .expect("finite magnitudes")
+            })
+            .copied()
+            .expect("four entries");
+        if o.norm_sqr() < tol * tol {
+            return self.approx_eq(other, tol);
+        }
+        let phase = s / o;
+        if (phase.abs() - 1.0).abs() > tol {
+            return false;
+        }
+        self.approx_eq(&other.scale_c(phase), tol)
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Mat2;
+    fn add(self, rhs: Mat2) -> Mat2 {
+        Mat2::new(
+            self.m00 + rhs.m00,
+            self.m01 + rhs.m01,
+            self.m10 + rhs.m10,
+            self.m11 + rhs.m11,
+        )
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Mat2;
+    fn sub(self, rhs: Mat2) -> Mat2 {
+        Mat2::new(
+            self.m00 - rhs.m00,
+            self.m01 - rhs.m01,
+            self.m10 - rhs.m10,
+            self.m11 - rhs.m11,
+        )
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    fn mul(self, rhs: Mat2) -> Mat2 {
+        Mat2::new(
+            self.m00 * rhs.m00 + self.m01 * rhs.m10,
+            self.m00 * rhs.m01 + self.m01 * rhs.m11,
+            self.m10 * rhs.m00 + self.m11 * rhs.m10,
+            self.m10 * rhs.m01 + self.m11 * rhs.m11,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn pauli_matrices_are_unitary_and_hermitian() {
+        for p in [Mat2::pauli_x(), Mat2::pauli_y(), Mat2::pauli_z()] {
+            assert!(p.is_unitary(TOL));
+            assert!(p.is_hermitian(TOL));
+            assert!((p * p).approx_eq(&Mat2::identity(), TOL));
+        }
+    }
+
+    #[test]
+    fn pauli_commutation_xy_equals_iz() {
+        let xy = Mat2::pauli_x() * Mat2::pauli_y();
+        let iz = Mat2::pauli_z().scale_c(crate::complex::I);
+        assert!(xy.approx_eq(&iz, TOL));
+    }
+
+    #[test]
+    fn trace_and_det_of_identity() {
+        let i = Mat2::identity();
+        assert!(i.trace().approx_eq(C64::real(2.0), TOL));
+        assert!(i.det().approx_eq(C64::real(1.0), TOL));
+    }
+
+    #[test]
+    fn apply_x_flips_basis_states() {
+        let x = Mat2::pauli_x();
+        let v = x.apply(&Vec2::ket0());
+        assert!(v.a.approx_eq(ZERO, TOL) && v.b.approx_eq(ONE, TOL));
+    }
+
+    #[test]
+    fn outer_product_of_ket0_is_projector() {
+        let p = Vec2::ket0().outer(&Vec2::ket0());
+        assert!((p * p).approx_eq(&p, TOL));
+        assert!(p.trace().approx_eq(C64::real(1.0), TOL));
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = Mat2::new(
+            C64::new(1.0, 1.0),
+            C64::new(0.5, -0.25),
+            C64::new(-2.0, 0.0),
+            C64::new(0.0, 3.0),
+        );
+        let b = Mat2::pauli_y();
+        assert!((a * b).dagger().approx_eq(&(b.dagger() * a.dagger()), TOL));
+    }
+
+    #[test]
+    fn phase_insensitive_comparison() {
+        let z = Mat2::pauli_z();
+        let z_phased = z.scale_c(C64::cis(1.234));
+        assert!(z.approx_eq_up_to_phase(&z_phased, 1e-9));
+        assert!(!z.approx_eq_up_to_phase(&Mat2::pauli_x(), 1e-9));
+    }
+
+    #[test]
+    fn dot_is_conjugate_linear() {
+        let v = Vec2::new(C64::new(0.0, 1.0), ZERO);
+        let w = Vec2::ket0();
+        assert!(v.dot(&w).approx_eq(C64::new(0.0, -1.0), TOL));
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Vec2::new(C64::new(3.0, 0.0), C64::new(0.0, 4.0)).normalized();
+        assert!((v.norm_sqr() - 1.0).abs() < TOL);
+    }
+}

@@ -1,0 +1,244 @@
+//! Decoherence channels: amplitude damping (T1), pure dephasing (Tφ), and
+//! depolarizing noise, expressed as Kraus maps on the density matrix.
+//!
+//! The paper's validation qubit idles for 200 µs between AllXY rounds to
+//! re-initialize by T1 relaxation (Algorithm 1: "Init the qubit by waiting
+//! multiple T1"); these channels make that initialization physical in the
+//! simulated chip.
+
+use crate::complex::{C64, ZERO};
+use crate::mat2::Mat2;
+use crate::state::DensityMatrix;
+
+/// Decoherence parameters of a qubit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decoherence {
+    /// Amplitude-damping (relaxation) time constant, seconds.
+    pub t1: f64,
+    /// Total dephasing time constant, seconds. Must satisfy `t2 ≤ 2·t1`.
+    pub t2: f64,
+}
+
+impl Decoherence {
+    /// Creates a decoherence model, validating `t2 ≤ 2·t1`.
+    pub fn new(t1: f64, t2: f64) -> Result<Self, NoiseError> {
+        if t1 <= 0.0 || t2 <= 0.0 || t1.is_nan() || t2.is_nan() {
+            return Err(NoiseError::NonPositiveTime);
+        }
+        if t2 > 2.0 * t1 + 1e-15 {
+            return Err(NoiseError::T2ExceedsTwiceT1 { t1, t2 });
+        }
+        Ok(Self { t1, t2 })
+    }
+
+    /// An effectively noiseless qubit (times far beyond any experiment).
+    pub fn ideal() -> Self {
+        Self { t1: 1e3, t2: 1e3 }
+    }
+
+    /// Typical transmon figures of the paper's era (T1 ≈ 20 µs, T2 ≈ 25 µs;
+    /// cf. the < 100 µs coherence-time remark in Section 4.2.1).
+    pub fn typical_transmon() -> Self {
+        Self { t1: 20e-6, t2: 25e-6 }
+    }
+
+    /// Pure-dephasing rate `1/Tφ = 1/T2 − 1/(2·T1)` (non-negative by the
+    /// constructor invariant).
+    pub fn pure_dephasing_rate(&self) -> f64 {
+        (1.0 / self.t2 - 0.5 / self.t1).max(0.0)
+    }
+
+    /// Evolves `rho` under free decoherence for `dt` seconds.
+    pub fn idle(&self, rho: &mut DensityMatrix, dt: f64) {
+        assert!(dt >= 0.0, "idle duration must be non-negative");
+        if dt == 0.0 {
+            return;
+        }
+        let p_relax = 1.0 - (-dt / self.t1).exp();
+        rho.apply_kraus(&amplitude_damping_kraus(p_relax));
+        let gamma_phi = self.pure_dephasing_rate();
+        if gamma_phi > 0.0 {
+            let p_phi = 0.5 * (1.0 - (-2.0 * gamma_phi * dt).exp());
+            rho.apply_kraus(&phase_damping_kraus(p_phi));
+        }
+    }
+}
+
+/// Errors from constructing noise models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseError {
+    /// A time constant was zero or negative.
+    NonPositiveTime,
+    /// The physical bound `T2 ≤ 2·T1` was violated.
+    T2ExceedsTwiceT1 {
+        /// Provided T1.
+        t1: f64,
+        /// Provided T2.
+        t2: f64,
+    },
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability(f64),
+}
+
+impl std::fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NoiseError::NonPositiveTime => write!(f, "time constants must be positive"),
+            NoiseError::T2ExceedsTwiceT1 { t1, t2 } => {
+                write!(f, "T2 = {t2} exceeds 2·T1 = {}", 2.0 * t1)
+            }
+            NoiseError::InvalidProbability(p) => write!(f, "probability {p} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}
+
+/// Kraus operators of the amplitude-damping channel with decay
+/// probability `p`.
+pub fn amplitude_damping_kraus(p: f64) -> [Mat2; 2] {
+    let p = p.clamp(0.0, 1.0);
+    let k0 = Mat2::new(
+        C64::real(1.0),
+        ZERO,
+        ZERO,
+        C64::real((1.0 - p).sqrt()),
+    );
+    let k1 = Mat2::new(ZERO, C64::real(p.sqrt()), ZERO, ZERO);
+    [k0, k1]
+}
+
+/// Kraus operators of the phase-damping channel with dephasing
+/// probability `p` (probability that a phase flip has occurred).
+pub fn phase_damping_kraus(p: f64) -> [Mat2; 2] {
+    let p = p.clamp(0.0, 0.5);
+    let k0 = Mat2::identity().scale((1.0 - p).sqrt());
+    let k1 = Mat2::pauli_z().scale(p.sqrt());
+    [k0, k1]
+}
+
+/// Kraus operators of the single-qubit depolarizing channel with error
+/// probability `p` (used by the randomized-benchmarking experiment to model
+/// gate-independent error).
+pub fn depolarizing_kraus(p: f64) -> Result<[Mat2; 4], NoiseError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(NoiseError::InvalidProbability(p));
+    }
+    let k0 = Mat2::identity().scale((1.0 - p).sqrt());
+    let kp = (p / 3.0).sqrt();
+    Ok([
+        k0,
+        Mat2::pauli_x().scale(kp),
+        Mat2::pauli_y().scale(kp),
+        Mat2::pauli_z().scale(kp),
+    ])
+}
+
+/// Verifies the completeness relation `Σ K_k† K_k = I` within `tol`.
+pub fn kraus_complete(kraus: &[Mat2], tol: f64) -> bool {
+    let mut sum = Mat2::zero();
+    for k in kraus {
+        sum = sum + k.dagger() * *k;
+    }
+    sum.approx_eq(&Mat2::identity(), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::rx;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn kraus_sets_are_complete() {
+        for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert!(kraus_complete(&amplitude_damping_kraus(p), TOL));
+            assert!(kraus_complete(&depolarizing_kraus(p).unwrap(), TOL));
+        }
+        for p in [0.0, 0.2, 0.5] {
+            assert!(kraus_complete(&phase_damping_kraus(p), TOL));
+        }
+    }
+
+    #[test]
+    fn t2_bound_is_enforced() {
+        assert!(Decoherence::new(10e-6, 20e-6).is_ok());
+        assert!(matches!(
+            Decoherence::new(10e-6, 21e-6),
+            Err(NoiseError::T2ExceedsTwiceT1 { .. })
+        ));
+        assert_eq!(
+            Decoherence::new(0.0, 1e-6),
+            Err(NoiseError::NonPositiveTime)
+        );
+    }
+
+    #[test]
+    fn excited_state_relaxes_exponentially() {
+        let noise = Decoherence::new(20e-6, 25e-6).unwrap();
+        let mut rho = DensityMatrix::excited();
+        noise.idle(&mut rho, 20e-6); // one T1
+        let expected = (-1.0f64).exp();
+        assert!((rho.p1() - expected).abs() < 1e-9);
+        assert!(rho.is_valid(1e-9));
+    }
+
+    #[test]
+    fn idle_in_steps_matches_single_idle() {
+        // Divisibility of the channel: idling 2×t/2 equals idling t.
+        let noise = Decoherence::new(15e-6, 18e-6).unwrap();
+        let mut a = DensityMatrix::excited();
+        a.apply_unitary(&rx(PI / 3.0));
+        let mut b = a;
+        noise.idle(&mut a, 4e-6);
+        noise.idle(&mut b, 2e-6);
+        noise.idle(&mut b, 2e-6);
+        assert!(a.trace_distance(&b) < 1e-9);
+    }
+
+    #[test]
+    fn dephasing_shrinks_coherence_not_populations() {
+        let noise = Decoherence::new(1.0, 0.01).unwrap(); // dephasing-dominated
+        let mut rho = DensityMatrix::ground();
+        rho.apply_unitary(&rx(PI / 2.0));
+        let p1_before = rho.p1();
+        noise.idle(&mut rho, 0.05);
+        let [x, y, _] = rho.bloch_vector();
+        assert!(x.abs() < 0.01 && y.abs() < 0.01, "coherences should decay");
+        assert!((rho.p1() - p1_before).abs() < 0.05, "populations preserved");
+    }
+
+    #[test]
+    fn initialization_by_waiting_multiple_t1() {
+        // The AllXY init: waiting 200 µs = 10·T1 returns the qubit to |0⟩.
+        let noise = Decoherence::new(20e-6, 25e-6).unwrap();
+        let mut rho = DensityMatrix::excited();
+        noise.idle(&mut rho, 200e-6);
+        assert!(rho.p0() > 0.9999);
+    }
+
+    #[test]
+    fn depolarizing_moves_towards_maximally_mixed() {
+        let mut rho = DensityMatrix::ground();
+        rho.apply_kraus(&depolarizing_kraus(0.75).unwrap());
+        // p = 0.75 fully depolarizes a qubit: ρ → I/2.
+        assert!((rho.p0() - 0.5).abs() < TOL);
+        assert!((rho.purity() - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn invalid_depolarizing_probability_rejected() {
+        assert!(matches!(
+            depolarizing_kraus(1.5),
+            Err(NoiseError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn pure_dephasing_rate_zero_when_t1_limited() {
+        let noise = Decoherence::new(10e-6, 20e-6).unwrap(); // T2 = 2 T1
+        assert!(noise.pure_dephasing_rate().abs() < 1e-6);
+    }
+}

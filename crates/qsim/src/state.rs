@@ -1,0 +1,306 @@
+//! Single-qubit quantum state as a 2×2 density matrix.
+//!
+//! A density matrix (rather than a pure state vector) is required because
+//! the substrate models T1/T2 decoherence during the long initialization
+//! waits of the AllXY experiment (Section 4.1: "Init the qubit by waiting
+//! multiple T1").
+
+use crate::complex::C64;
+use crate::mat2::{Mat2, Vec2};
+
+/// A single-qubit density matrix `ρ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityMatrix {
+    rho: Mat2,
+}
+
+impl DensityMatrix {
+    /// The ground state `|0⟩⟨0|`.
+    pub fn ground() -> Self {
+        Self::from_pure(&Vec2::ket0())
+    }
+
+    /// The excited state `|1⟩⟨1|`.
+    pub fn excited() -> Self {
+        Self::from_pure(&Vec2::ket1())
+    }
+
+    /// The maximally mixed state `I/2`.
+    pub fn maximally_mixed() -> Self {
+        Self {
+            rho: Mat2::identity().scale(0.5),
+        }
+    }
+
+    /// Builds `ρ = |ψ⟩⟨ψ|` from a (normalized) pure state.
+    pub fn from_pure(psi: &Vec2) -> Self {
+        let psi = psi.normalized();
+        Self {
+            rho: psi.outer(&psi),
+        }
+    }
+
+    /// Builds a density matrix directly from a matrix, validating the
+    /// density-matrix axioms (Hermitian, unit trace, positive) within `tol`.
+    pub fn from_matrix(rho: Mat2, tol: f64) -> Result<Self, StateError> {
+        if !rho.is_hermitian(tol) {
+            return Err(StateError::NotHermitian);
+        }
+        if (rho.trace().re - 1.0).abs() > tol || rho.trace().im.abs() > tol {
+            return Err(StateError::TraceNotOne(rho.trace().re));
+        }
+        let s = Self { rho };
+        let [x, y, z] = s.bloch_vector();
+        if x * x + y * y + z * z > 1.0 + 4.0 * tol {
+            return Err(StateError::NotPositive);
+        }
+        Ok(s)
+    }
+
+    /// Builds ρ from a Bloch vector `(x, y, z)` with `‖v‖ ≤ 1`.
+    pub fn from_bloch(x: f64, y: f64, z: f64) -> Result<Self, StateError> {
+        if x * x + y * y + z * z > 1.0 + 1e-12 {
+            return Err(StateError::NotPositive);
+        }
+        let rho = Mat2::new(
+            C64::real((1.0 + z) / 2.0),
+            C64::new(x / 2.0, -y / 2.0),
+            C64::new(x / 2.0, y / 2.0),
+            C64::real((1.0 - z) / 2.0),
+        );
+        Ok(Self { rho })
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Mat2 {
+        &self.rho
+    }
+
+    /// Population of `|0⟩` (probability of measuring 0).
+    pub fn p0(&self) -> f64 {
+        self.rho.m00.re.clamp(0.0, 1.0)
+    }
+
+    /// Population of `|1⟩` (probability of measuring 1).
+    pub fn p1(&self) -> f64 {
+        self.rho.m11.re.clamp(0.0, 1.0)
+    }
+
+    /// The Bloch vector `(⟨X⟩, ⟨Y⟩, ⟨Z⟩)`.
+    pub fn bloch_vector(&self) -> [f64; 3] {
+        let x = 2.0 * self.rho.m01.re;
+        let y = -2.0 * self.rho.m01.im;
+        let z = (self.rho.m00 - self.rho.m11).re;
+        [x, y, z]
+    }
+
+    /// Purity `Tr(ρ²)`, 1 for pure states, 1/2 for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        (self.rho * self.rho).trace().re
+    }
+
+    /// Applies a unitary gate: `ρ ← U ρ U†`.
+    pub fn apply_unitary(&mut self, u: &Mat2) {
+        self.rho = self.rho.conjugate_by(u);
+    }
+
+    /// Applies a general quantum channel given by Kraus operators:
+    /// `ρ ← Σ_k K_k ρ K_k†`.
+    pub fn apply_kraus(&mut self, kraus: &[Mat2]) {
+        let mut out = Mat2::zero();
+        for k in kraus {
+            out = out + self.rho.conjugate_by(k);
+        }
+        self.rho = out;
+    }
+
+    /// Fidelity with a pure state `|ψ⟩`: `⟨ψ|ρ|ψ⟩`.
+    pub fn fidelity_with_pure(&self, psi: &Vec2) -> f64 {
+        let psi = psi.normalized();
+        let rpsi = self.rho.apply(&psi);
+        psi.dot(&rpsi).re.clamp(0.0, 1.0)
+    }
+
+    /// Projects the state after a Z-basis measurement with `outcome`
+    /// (0 or 1), renormalizing. Returns the pre-measurement probability
+    /// of that outcome.
+    pub fn project_z(&mut self, outcome: u8) -> f64 {
+        let (p, proj) = match outcome {
+            0 => (self.p0(), Vec2::ket0().outer(&Vec2::ket0())),
+            1 => (self.p1(), Vec2::ket1().outer(&Vec2::ket1())),
+            _ => panic!("measurement outcome must be 0 or 1"),
+        };
+        if p <= f64::EPSILON {
+            // Project onto the orthogonal state to keep ρ valid.
+            self.rho = if outcome == 0 {
+                Vec2::ket0().outer(&Vec2::ket0())
+            } else {
+                Vec2::ket1().outer(&Vec2::ket1())
+            };
+            return 0.0;
+        }
+        self.rho = self.rho.conjugate_by(&proj).scale(1.0 / p);
+        p
+    }
+
+    /// Trace distance to another state, `½·Tr|ρ−σ|` (computed from the
+    /// Bloch representation: half the Euclidean Bloch distance).
+    pub fn trace_distance(&self, other: &DensityMatrix) -> f64 {
+        let a = self.bloch_vector();
+        let b = other.bloch_vector();
+        let d2: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+        d2.sqrt() / 2.0
+    }
+
+    /// Checks the density-matrix axioms within `tol`.
+    pub fn is_valid(&self, tol: f64) -> bool {
+        DensityMatrix::from_matrix(self.rho, tol).is_ok()
+    }
+}
+
+/// Errors produced when validating a density matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StateError {
+    /// The matrix is not Hermitian.
+    NotHermitian,
+    /// The trace differs from one; carries the observed real trace.
+    TraceNotOne(f64),
+    /// The matrix has a negative eigenvalue (Bloch vector outside sphere).
+    NotPositive,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::NotHermitian => write!(f, "density matrix is not Hermitian"),
+            StateError::TraceNotOne(t) => write!(f, "density matrix trace is {t}, expected 1"),
+            StateError::NotPositive => write!(f, "density matrix is not positive semidefinite"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl Default for DensityMatrix {
+    fn default() -> Self {
+        Self::ground()
+    }
+}
+
+/// Convenience: the superposition `(|0⟩ + e^{iφ}|1⟩)/√2` that the AllXY
+/// pairs 5–16 ideally prepare.
+pub fn equator_state(phi: f64) -> Vec2 {
+    let inv = 1.0 / 2.0f64.sqrt();
+    Vec2::new(C64::real(inv), C64::cis(phi) * inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::{rx, ry};
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn ground_state_has_unit_p0() {
+        let rho = DensityMatrix::ground();
+        assert!((rho.p0() - 1.0).abs() < TOL);
+        assert!(rho.p1() < TOL);
+        assert!((rho.purity() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x180_excites_the_qubit() {
+        let mut rho = DensityMatrix::ground();
+        rho.apply_unitary(&rx(PI));
+        assert!((rho.p1() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x90_reaches_the_equator() {
+        let mut rho = DensityMatrix::ground();
+        rho.apply_unitary(&rx(FRAC_PI_2));
+        assert!((rho.p1() - 0.5).abs() < TOL);
+        let [x, y, z] = rho.bloch_vector();
+        assert!(x.abs() < TOL);
+        assert!((y + 1.0).abs() < TOL, "Rx(π/2) maps +z to −y, got y={y}");
+        assert!(z.abs() < TOL);
+    }
+
+    #[test]
+    fn bloch_round_trip() {
+        let rho = DensityMatrix::from_bloch(0.3, -0.4, 0.5).unwrap();
+        let [x, y, z] = rho.bloch_vector();
+        assert!((x - 0.3).abs() < TOL && (y + 0.4).abs() < TOL && (z - 0.5).abs() < TOL);
+        assert!(rho.is_valid(1e-9));
+    }
+
+    #[test]
+    fn bloch_outside_sphere_is_rejected() {
+        assert_eq!(
+            DensityMatrix::from_bloch(1.0, 1.0, 0.0),
+            Err(StateError::NotPositive)
+        );
+    }
+
+    #[test]
+    fn unitaries_preserve_validity_and_purity() {
+        let mut rho = DensityMatrix::from_bloch(0.2, 0.1, -0.3).unwrap();
+        let p = rho.purity();
+        rho.apply_unitary(&ry(0.777));
+        assert!(rho.is_valid(1e-9));
+        assert!((rho.purity() - p).abs() < TOL);
+    }
+
+    #[test]
+    fn projection_renormalizes() {
+        let mut rho = DensityMatrix::ground();
+        rho.apply_unitary(&rx(FRAC_PI_2));
+        let p = rho.project_z(1);
+        assert!((p - 0.5).abs() < TOL);
+        assert!((rho.p1() - 1.0).abs() < TOL);
+        assert!(rho.is_valid(1e-9));
+    }
+
+    #[test]
+    fn fidelity_with_target_states() {
+        let mut rho = DensityMatrix::ground();
+        rho.apply_unitary(&ry(FRAC_PI_2));
+        // Ry(π/2)|0⟩ = (|0⟩+|1⟩)/√2 → equator at φ=0.
+        let f = rho.fidelity_with_pure(&equator_state(0.0));
+        assert!((f - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn maximally_mixed_has_half_purity() {
+        let rho = DensityMatrix::maximally_mixed();
+        assert!((rho.purity() - 0.5).abs() < TOL);
+        assert!((rho.p0() - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn trace_distance_between_poles_is_one() {
+        let d = DensityMatrix::ground().trace_distance(&DensityMatrix::excited());
+        assert!((d - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn invalid_matrices_are_rejected() {
+        let not_herm = Mat2::new(
+            C64::real(0.5),
+            C64::new(0.1, 0.1),
+            C64::new(0.3, 0.3),
+            C64::real(0.5),
+        );
+        assert_eq!(
+            DensityMatrix::from_matrix(not_herm, 1e-9),
+            Err(StateError::NotHermitian)
+        );
+        let bad_trace = Mat2::identity();
+        assert!(matches!(
+            DensityMatrix::from_matrix(bad_trace, 1e-9),
+            Err(StateError::TraceNotOne(_))
+        ));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the quantum algebra substrate.
+
+use proptest::prelude::*;
+use quma_qsim::prelude::*;
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![
+        Just(Axis::X),
+        Just(Axis::Y),
+        Just(Axis::Z),
+        (-3.2f64..3.2).prop_map(Axis::Equatorial),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rotations_compose_additively_on_shared_axis(
+        axis in arb_axis(),
+        a in -6.3f64..6.3,
+        b in -6.3f64..6.3,
+    ) {
+        let lhs = rotation(axis, a) * rotation(axis, b);
+        let rhs = rotation(axis, a + b);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn rotations_are_always_unitary(axis in arb_axis(), theta in -20.0f64..20.0) {
+        prop_assert!(rotation(axis, theta).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn unitaries_preserve_purity_and_trace(
+        axis in arb_axis(),
+        theta in -6.3f64..6.3,
+        x in -0.5f64..0.5,
+        y in -0.5f64..0.5,
+        z in -0.5f64..0.5,
+    ) {
+        let mut rho = DensityMatrix::from_bloch(x, y, z).expect("inside ball");
+        let purity = rho.purity();
+        rho.apply_unitary(&rotation(axis, theta));
+        prop_assert!(rho.is_valid(1e-8));
+        prop_assert!((rho.purity() - purity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kraus_channels_fix_the_maximally_mixed_state(p in 0.0f64..1.0) {
+        let mut rho = DensityMatrix::maximally_mixed();
+        rho.apply_kraus(&quma_qsim::noise::depolarizing_kraus(p).expect("valid p"));
+        prop_assert!((rho.purity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_statistics_match_born_rule(theta in 0.0f64..3.14159) {
+        let mut rho = DensityMatrix::ground();
+        rho.apply_unitary(&rx(theta));
+        let expected = (theta / 2.0).sin().powi(2);
+        prop_assert!((rho.p1() - expected).abs() < 1e-9);
+        prop_assert!((rho.p0() + rho.p1() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decoherence_is_divisible(
+        t1_us in 5.0f64..50.0,
+        ratio in 0.1f64..1.0,
+        dt_us in 0.1f64..30.0,
+        theta in 0.0f64..3.14,
+    ) {
+        let t1 = t1_us * 1e-6;
+        let t2 = (t1 * 2.0 * ratio).max(1e-7);
+        let noise = Decoherence::new(t1, t2).expect("valid");
+        let dt = dt_us * 1e-6;
+        let mut a = DensityMatrix::ground();
+        a.apply_unitary(&rx(theta));
+        let mut b = a;
+        noise.idle(&mut a, dt);
+        noise.idle(&mut b, dt / 3.0);
+        noise.idle(&mut b, 2.0 * dt / 3.0);
+        prop_assert!(a.trace_distance(&b) < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+//! Digital-to-analog conversion and waveform-memory sample packing.
+//!
+//! Each QuMA AWG board drives two 14-bit DACs (Section 7.1); the paper's
+//! §5.1.1 memory accounting uses ~12-bit samples when computing the 420-byte
+//! vs 2520-byte comparison, so both widths appear here. The packing helpers
+//! compute the exact byte footprints the paper reports.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A DAC with a given resolution and symmetric full-scale range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dac {
+    /// Resolution in bits (paper AWGs: 14).
+    pub bits: u8,
+    /// Full-scale amplitude: inputs are clipped to `[-full_scale, +full_scale]`.
+    pub full_scale: f64,
+}
+
+impl Dac {
+    /// Creates a DAC; panics unless `1 ≤ bits ≤ 24`.
+    pub fn new(bits: u8, full_scale: f64) -> Self {
+        assert!((1..=24).contains(&bits), "unsupported DAC resolution");
+        assert!(full_scale > 0.0);
+        Self { bits, full_scale }
+    }
+
+    /// The paper's 14-bit AWG DAC with unit full scale.
+    pub fn paper_awg() -> Self {
+        Self::new(14, 1.0)
+    }
+
+    /// Number of distinct output codes.
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Quantizes one sample to a signed code in
+    /// `[-levels/2, levels/2 - 1]`.
+    pub fn quantize(&self, x: f64) -> i32 {
+        let half = (self.levels() / 2) as f64;
+        let clipped = x.clamp(-self.full_scale, self.full_scale);
+        let code = (clipped / self.full_scale * half).round();
+        (code as i32).clamp(-(half as i32), half as i32 - 1)
+    }
+
+    /// Converts a code back to an analog value.
+    pub fn dequantize(&self, code: i32) -> f64 {
+        let half = (self.levels() / 2) as f64;
+        code as f64 / half * self.full_scale
+    }
+
+    /// Quantize-and-reconstruct: the analog output the DAC actually plays.
+    pub fn convert(&self, x: f64) -> f64 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Applies the converter to a whole sample vector.
+    pub fn convert_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.convert(x)).collect()
+    }
+
+    /// Worst-case quantization error (half an LSB).
+    pub fn lsb(&self) -> f64 {
+        2.0 * self.full_scale / self.levels() as f64
+    }
+}
+
+/// Packs `n_samples` samples of `bits_per_sample` bits into the number of
+/// bytes a waveform memory must provide: `⌈n·b / 8⌉`.
+///
+/// With the paper's numbers — 7 pulses × 2 quadratures × 20 ns × 1 GS/s =
+/// 280 samples at 12 bits — this gives exactly 420 bytes (Section 5.1.1).
+pub fn memory_bytes(n_samples: usize, bits_per_sample: u8) -> usize {
+    (n_samples * bits_per_sample as usize).div_ceil(8)
+}
+
+/// Bit-packs signed sample codes into a byte buffer (MSB-first), the layout
+/// a dense waveform memory would use.
+pub fn pack_codes(codes: &[i32], bits_per_sample: u8) -> Bytes {
+    assert!((1..=24).contains(&bits_per_sample));
+    let b = bits_per_sample as u32;
+    let mask = (1u64 << b) - 1;
+    let mut out = BytesMut::with_capacity(memory_bytes(codes.len(), bits_per_sample));
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for &c in codes {
+        acc = (acc << b) | (c as i64 as u64 & mask);
+        acc_bits += b;
+        while acc_bits >= 8 {
+            acc_bits -= 8;
+            out.put_u8(((acc >> acc_bits) & 0xFF) as u8);
+        }
+    }
+    if acc_bits > 0 {
+        out.put_u8(((acc << (8 - acc_bits)) & 0xFF) as u8);
+    }
+    out.freeze()
+}
+
+/// Unpacks bit-packed sample codes (inverse of [`pack_codes`]), sign-
+/// extending each field.
+pub fn unpack_codes(bytes: &[u8], bits_per_sample: u8, n_samples: usize) -> Vec<i32> {
+    let b = bits_per_sample as u32;
+    let mut out = Vec::with_capacity(n_samples);
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    let mut iter = bytes.iter();
+    for _ in 0..n_samples {
+        while acc_bits < b {
+            acc = (acc << 8) | u64::from(*iter.next().expect("enough packed bytes"));
+            acc_bits += 8;
+        }
+        acc_bits -= b;
+        let raw = ((acc >> acc_bits) & ((1u64 << b) - 1)) as u32;
+        // Sign-extend from `b` bits.
+        let shift = 32 - b;
+        out.push(((raw << shift) as i32) >> shift);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_error_bounded_by_one_lsb() {
+        // Half an LSB in the interior; a full LSB at the positive clip edge
+        // (the top code is `levels/2 − 1`).
+        let dac = Dac::paper_awg();
+        for k in 0..100 {
+            let x = -1.0 + 2.0 * k as f64 / 99.0;
+            let err = (dac.convert(x) - x).abs();
+            let bound = if x > 1.0 - dac.lsb() {
+                dac.lsb()
+            } else {
+                dac.lsb() / 2.0
+            };
+            assert!(err <= bound + 1e-12, "x={x}, err={err}");
+        }
+    }
+
+    #[test]
+    fn clipping_at_full_scale() {
+        let dac = Dac::new(8, 1.0);
+        assert_eq!(dac.quantize(2.0), 127);
+        assert_eq!(dac.quantize(-2.0), -128);
+    }
+
+    #[test]
+    fn levels_count() {
+        assert_eq!(Dac::new(12, 1.0).levels(), 4096);
+        assert_eq!(Dac::paper_awg().levels(), 16384);
+    }
+
+    #[test]
+    fn paper_memory_footprints() {
+        // §5.1.1: 7 pulses × 2 × 20 ns × 1 GS/s = 280 samples → 420 bytes.
+        let codeword_samples = 7 * 2 * 20;
+        assert_eq!(memory_bytes(codeword_samples, 12), 420);
+        // 21 waveforms × 2 ops × 2 × 20 ns × 1 GS/s = 1680 samples → 2520 B.
+        let waveform_samples = 21 * 2 * 2 * 20;
+        assert_eq!(memory_bytes(waveform_samples, 12), 2520);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_12bit() {
+        let codes: Vec<i32> = (-40..40).map(|k| k * 51).collect();
+        let packed = pack_codes(&codes, 12);
+        assert_eq!(packed.len(), memory_bytes(codes.len(), 12));
+        let back = unpack_codes(&packed, 12, codes.len());
+        assert_eq!(codes, back);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_14bit_negative() {
+        let codes = vec![-8192, -1, 0, 1, 8191, -4096, 4095];
+        let packed = pack_codes(&codes, 14);
+        let back = unpack_codes(&packed, 14, codes.len());
+        assert_eq!(codes, back);
+    }
+
+    #[test]
+    fn odd_bit_packing_is_dense() {
+        let codes = vec![1i32; 8];
+        assert_eq!(pack_codes(&codes, 12).len(), 12); // 8 × 12 bits = 12 B
+        assert_eq!(pack_codes(&codes, 8).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported DAC resolution")]
+    fn zero_bits_rejected() {
+        Dac::new(0, 1.0);
+    }
+}

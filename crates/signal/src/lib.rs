@@ -1,0 +1,38 @@
+//! # quma-signal — analog/mixed-signal substrate for the QuMA reproduction
+//!
+//! Everything between the digital codeword world and the quantum chip:
+//! pulse envelopes (Gaussian/DRAG), I/Q waveforms, single-sideband
+//! modulation with a global phase reference, DAC/ADC quantization at the
+//! paper's bit widths, waveform-memory bit packing (the §5.1.1 byte
+//! accounting), and digital demodulation/integration of readout traces.
+//!
+//! ```
+//! use quma_signal::prelude::*;
+//!
+//! // The paper's 20 ns Gaussian gate pulse, modulated at −50 MHz SSB.
+//! let env = Envelope::standard_gaussian(20e-9, 1.0);
+//! let baseband = IqWaveform::from_envelope(&env, 0.0, 1e9);
+//! let rf = SsbModulator::paper_default().modulate(&baseband, 0.0);
+//! assert_eq!(rf.len(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod dac;
+pub mod demod;
+pub mod envelope;
+pub mod mixer;
+pub mod ssb;
+pub mod waveform;
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::adc::Adc;
+    pub use crate::dac::{memory_bytes, pack_codes, unpack_codes, Dac};
+    pub use crate::demod::Demodulator;
+    pub use crate::envelope::Envelope;
+    pub use crate::mixer::{boxcar, Carrier, IqMixer};
+    pub use crate::ssb::SsbModulator;
+    pub use crate::waveform::IqWaveform;
+}

@@ -1,0 +1,190 @@
+//! In-phase/quadrature waveforms — the digital representation of a pulse as
+//! stored in AWG memory and played through a pair of DACs.
+
+use crate::envelope::Envelope;
+use quma_qsim::complex::C64;
+
+/// A sampled I/Q waveform at a fixed sample rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IqWaveform {
+    /// In-phase samples.
+    pub i: Vec<f64>,
+    /// Quadrature samples.
+    pub q: Vec<f64>,
+    /// Sample rate in samples/second.
+    pub sample_rate: f64,
+}
+
+impl IqWaveform {
+    /// Creates a waveform from sample vectors; panics if lengths differ.
+    pub fn new(i: Vec<f64>, q: Vec<f64>, sample_rate: f64) -> Self {
+        assert_eq!(i.len(), q.len(), "I and Q must have equal length");
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        Self { i, q, sample_rate }
+    }
+
+    /// An all-zero waveform of `n` samples.
+    pub fn zeros(n: usize, sample_rate: f64) -> Self {
+        Self::new(vec![0.0; n], vec![0.0; n], sample_rate)
+    }
+
+    /// Samples an envelope with a given drive-axis phase φ:
+    /// `I = env_i·cos φ − env_q·sin φ`, `Q = env_i·sin φ + env_q·cos φ`.
+    pub fn from_envelope(env: &Envelope, phase: f64, sample_rate: f64) -> Self {
+        let (c, s) = (phase.cos(), phase.sin());
+        let samples = env.sample(sample_rate);
+        let i = samples.iter().map(|&(ei, eq)| ei * c - eq * s).collect();
+        let q = samples.iter().map(|&(ei, eq)| ei * s + eq * c).collect();
+        Self::new(i, q, sample_rate)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.i.len()
+    }
+
+    /// True when the waveform contains no samples.
+    pub fn is_empty(&self) -> bool {
+        self.i.is_empty()
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.len() as f64 / self.sample_rate
+    }
+
+    /// Sample period in seconds.
+    pub fn sample_period(&self) -> f64 {
+        1.0 / self.sample_rate
+    }
+
+    /// Returns the waveform as a complex baseband stream `I + iQ`.
+    pub fn to_complex(&self) -> Vec<C64> {
+        self.i
+            .iter()
+            .zip(self.q.iter())
+            .map(|(&i, &q)| C64::new(i, q))
+            .collect()
+    }
+
+    /// Builds a waveform from a complex stream.
+    pub fn from_complex(samples: &[C64], sample_rate: f64) -> Self {
+        Self::new(
+            samples.iter().map(|z| z.re).collect(),
+            samples.iter().map(|z| z.im).collect(),
+            sample_rate,
+        )
+    }
+
+    /// Appends another waveform (must share the sample rate).
+    pub fn append(&mut self, other: &IqWaveform) {
+        assert_eq!(
+            self.sample_rate, other.sample_rate,
+            "sample rates must match"
+        );
+        self.i.extend_from_slice(&other.i);
+        self.q.extend_from_slice(&other.q);
+    }
+
+    /// Appends `n` zero samples (idle time — how the APS2-style baseline
+    /// encodes waits inside uploaded waveforms).
+    pub fn append_idle(&mut self, n: usize) {
+        self.i.extend(std::iter::repeat_n(0.0, n));
+        self.q.extend(std::iter::repeat_n(0.0, n));
+    }
+
+    /// Peak magnitude `max |I + iQ|`.
+    pub fn peak(&self) -> f64 {
+        self.i
+            .iter()
+            .zip(self.q.iter())
+            .map(|(&i, &q)| (i * i + q * q).sqrt())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total energy `Σ (I² + Q²)·dt`.
+    pub fn energy(&self) -> f64 {
+        let dt = self.sample_period();
+        self.i
+            .iter()
+            .zip(self.q.iter())
+            .map(|(&i, &q)| (i * i + q * q) * dt)
+            .sum()
+    }
+
+    /// Scales all samples by `k`.
+    pub fn scaled(&self, k: f64) -> Self {
+        Self::new(
+            self.i.iter().map(|x| x * k).collect(),
+            self.q.iter().map(|x| x * k).collect(),
+            self.sample_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 1e9;
+
+    #[test]
+    fn from_envelope_phase_zero_is_pure_i() {
+        let env = Envelope::standard_gaussian(20e-9, 1.0);
+        let w = IqWaveform::from_envelope(&env, 0.0, FS);
+        assert_eq!(w.len(), 20);
+        assert!(w.q.iter().all(|&q| q.abs() < 1e-15));
+        assert!(w.i.iter().any(|&i| i > 0.5));
+    }
+
+    #[test]
+    fn from_envelope_phase_pi_over_2_is_pure_q() {
+        let env = Envelope::standard_gaussian(20e-9, 1.0);
+        let w = IqWaveform::from_envelope(&env, std::f64::consts::FRAC_PI_2, FS);
+        assert!(w.i.iter().all(|&i| i.abs() < 1e-12));
+        assert!(w.q.iter().any(|&q| q > 0.5));
+    }
+
+    #[test]
+    fn complex_round_trip() {
+        let env = Envelope::standard_gaussian(20e-9, 0.7);
+        let w = IqWaveform::from_envelope(&env, 1.1, FS);
+        let back = IqWaveform::from_complex(&w.to_complex(), FS);
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn append_and_idle_extend_duration() {
+        let mut w = IqWaveform::zeros(10, FS);
+        let env = Envelope::standard_gaussian(20e-9, 1.0);
+        w.append(&IqWaveform::from_envelope(&env, 0.0, FS));
+        w.append_idle(5);
+        assert_eq!(w.len(), 35);
+        assert!((w.duration() - 35e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn peak_and_energy_scale_correctly() {
+        let env = Envelope::Square {
+            duration: 10e-9,
+            amplitude: 2.0,
+        };
+        let w = IqWaveform::from_envelope(&env, 0.0, FS);
+        assert!((w.peak() - 2.0).abs() < 1e-12);
+        assert!((w.energy() - 4.0 * 10e-9).abs() < 1e-15);
+        let half = w.scaled(0.5);
+        assert!((half.peak() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        IqWaveform::new(vec![0.0; 3], vec![0.0; 4], FS);
+    }
+
+    #[test]
+    fn is_empty_reflects_contents() {
+        assert!(IqWaveform::zeros(0, FS).is_empty());
+        assert!(!IqWaveform::zeros(1, FS).is_empty());
+    }
+}

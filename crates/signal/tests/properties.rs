@@ -1,0 +1,57 @@
+//! Property tests for the signal chain: dense bit packing, envelope
+//! scaling, and SSB phase coherence.
+
+use proptest::prelude::*;
+use quma_signal::prelude::*;
+
+proptest! {
+    #[test]
+    fn pack_unpack_round_trips(
+        bits in 2u8..=16,
+        values in proptest::collection::vec(-30000i32..30000, 0..200),
+    ) {
+        // Clamp values into the signed field range for the chosen width.
+        let max = (1i32 << (bits - 1)) - 1;
+        let min = -(1i32 << (bits - 1));
+        let codes: Vec<i32> = values.iter().map(|&v| v.clamp(min, max)).collect();
+        let packed = pack_codes(&codes, bits);
+        prop_assert_eq!(packed.len(), memory_bytes(codes.len(), bits));
+        let back = unpack_codes(&packed, bits, codes.len());
+        prop_assert_eq!(back, codes);
+    }
+
+    #[test]
+    fn memory_bytes_is_monotone_and_exact(
+        n in 0usize..10_000,
+        bits in 1u8..=24,
+    ) {
+        let b = memory_bytes(n, bits);
+        prop_assert_eq!(b, (n * bits as usize).div_ceil(8));
+        prop_assert!(memory_bytes(n + 1, bits) >= b);
+    }
+
+    #[test]
+    fn envelope_area_scales_linearly(amp in 0.01f64..4.0, k in 0.01f64..4.0) {
+        let e = Envelope::standard_gaussian(20e-9, amp);
+        let a1 = e.area(1e9);
+        let a2 = e.scaled(k).area(1e9);
+        prop_assert!((a2 - k * a1).abs() < 1e-18 * k.max(1.0));
+    }
+
+    #[test]
+    fn dac_is_idempotent(bits in 4u8..=16, x in -2.0f64..2.0) {
+        // Quantizing a reconstructed value must be a fixed point.
+        let dac = Dac::new(bits, 1.0);
+        let once = dac.convert(x);
+        let twice = dac.convert(once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn ssb_modulation_preserves_energy(phase in 0.0f64..6.3, start in 0.0f64..1e-6) {
+        let env = Envelope::standard_gaussian(20e-9, 1.0);
+        let bb = IqWaveform::from_envelope(&env, phase, 1e9);
+        let m = SsbModulator::paper_default().modulate(&bb, start);
+        prop_assert!((bb.energy() - m.energy()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! The rest of the paper's Section 8 validation suite: T1, T2 Ramsey,
+//! T2 echo, and randomized benchmarking, each through the full QuMA
+//! pipeline, with fitted figures against the chip's ground truth
+//! (T1 = 20 µs, T2 = 25 µs).
+//!
+//! ```sh
+//! cargo run --release --example characterization
+//! ```
+
+use quma::experiments::prelude::*;
+
+fn sparkline(ys: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (lo, hi) = ys
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &y| {
+            (a.min(y), b.max(y))
+        });
+    let span = (hi - lo).max(1e-12);
+    ys.iter()
+        .map(|&y| GLYPHS[(((y - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    println!("== QuMA characterization suite (chip truth: T1 = 20 us, T2 = 25 us) ==\n");
+
+    // ---- T1 ---------------------------------------------------------
+    let t1 = run_t1(&T1Config::default()).expect("T1 fit");
+    println!("T1 relaxation:");
+    println!("  p1(tau): {}", sparkline(&t1.p1));
+    println!(
+        "  fitted T1 = {:.2} us  (A = {:.3}, B = {:.3})",
+        t1.t1() * 1e6,
+        t1.fit.0,
+        t1.fit.2
+    );
+
+    // ---- T2 Ramsey ---------------------------------------------------
+    let ramsey = run_ramsey(&RamseyConfig::default()).expect("Ramsey fit");
+    println!("\nT2* Ramsey (100 kHz artificial detuning):");
+    println!("  p1(tau): {}", sparkline(&ramsey.p1));
+    println!(
+        "  fitted T2* = {:.2} us, fringe = {:.1} kHz",
+        ramsey.t2_star() * 1e6,
+        ramsey.fringe_frequency() / 1e3
+    );
+
+    // ---- T2 echo ------------------------------------------------------
+    let echo = run_echo(&EchoConfig::default()).expect("echo fit");
+    println!("\nT2 echo (same detuning, refocused by the Y180):");
+    println!("  p1(tau): {}", sparkline(&echo.p1));
+    println!("  fitted T2echo = {:.2} us", echo.t2_echo() * 1e6);
+
+    // ---- Randomized benchmarking --------------------------------------
+    let rb = run_rb(&RbConfig::default()).expect("RB fit");
+    println!("\nRandomized benchmarking (pulse-level Cliffords):");
+    for (m, s) in rb.lengths.iter().zip(rb.survival.iter()) {
+        println!("  m = {m:>4}: survival = {s:.4}");
+    }
+    println!(
+        "  fitted p = {:.5}  ->  error per Clifford r = {:.2e}",
+        rb.p(),
+        rb.error_per_clifford()
+    );
+    let epc_limit = quma::experiments::rb::decoherence_limited_epc(1.875, 20e-9, 20e-6, 25e-6);
+    println!("  decoherence-limited estimate: r ~ {epc_limit:.2e}");
+}

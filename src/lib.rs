@@ -1,0 +1,11 @@
+//! # quma — facade crate for the QuMA reproduction
+//!
+//! Re-exports the full public API of the workspace.
+
+pub use quma_baseline as baseline;
+pub use quma_compiler as compiler;
+pub use quma_core as core;
+pub use quma_experiments as experiments;
+pub use quma_isa as isa;
+pub use quma_qsim as qsim;
+pub use quma_signal as signal;

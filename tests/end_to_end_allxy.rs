@@ -1,0 +1,109 @@
+//! End-to-end AllXY: OpenQL-style program → compiler → QuMA device →
+//! collector → calibration rescaling → staircase + error signatures.
+//! This is the paper's Section 8 validation, shrunk to CI size.
+
+use quma::core::prelude::ChipProfile;
+use quma::experiments::prelude::*;
+
+fn small_cfg() -> AllxyConfig {
+    AllxyConfig {
+        averages: 48,
+        init_cycles: 40000,
+        double_points: true,
+        error: PulseError::None,
+        chip: ChipProfile::Paper,
+        seed: 0xA11,
+    }
+}
+
+#[test]
+fn staircase_emerges_from_the_full_stack() {
+    let result = run_allxy(&small_cfg());
+    assert_eq!(result.fidelity.len(), 42);
+    // Ground plateau, equator plateau, excited plateau.
+    let ground: f64 = result.fidelity[..10].iter().sum::<f64>() / 10.0;
+    let equator: f64 = result.fidelity[10..34].iter().sum::<f64>() / 24.0;
+    let excited: f64 = result.fidelity[34..].iter().sum::<f64>() / 8.0;
+    assert!(ground < 0.15, "ground plateau at {ground}");
+    assert!((equator - 0.5).abs() < 0.12, "equator plateau at {equator}");
+    assert!(excited > 0.85, "excited plateau at {excited}");
+    assert!(
+        result.deviation < 0.08,
+        "deviation {} (paper: 0.012 at N = 25600)",
+        result.deviation
+    );
+}
+
+#[test]
+fn amplitude_error_bends_the_equator_plateau() {
+    // A 10% power error leaves pairs built from {I, 180} pairs mostly
+    // intact but tilts the equator points — the classic AllXY signature.
+    let mut cfg = small_cfg();
+    cfg.error = PulseError::AmplitudeScale(0.90);
+    let bad = run_allxy(&cfg);
+    cfg.error = PulseError::None;
+    let good = run_allxy(&cfg);
+    assert!(
+        bad.deviation > 2.0 * good.deviation,
+        "10% amplitude error must be clearly visible: {} vs {}",
+        bad.deviation,
+        good.deviation
+    );
+}
+
+#[test]
+fn timing_skew_is_catastrophic_under_ssb() {
+    // One cycle (5 ns) of skew on the second pulse rotates its axis by 90°
+    // at −50 MHz SSB (Section 4.2.3): pairs like (X180, X180) stop
+    // composing to identity and the staircase collapses.
+    let mut cfg = small_cfg();
+    cfg.error = PulseError::TimingSkewCycles(1);
+    let skewed = run_allxy(&cfg);
+    assert!(
+        skewed.deviation > 0.12,
+        "5 ns skew must wreck the staircase, deviation = {}",
+        skewed.deviation
+    );
+    // Pair 1 (X180, X180) should no longer return to fidelity ~0: with the
+    // second pulse now a Y-axis π, XY drives |0⟩→|0⟩... in fact X then Y
+    // still returns |0⟩ to |0⟩; the visible damage is on the equator and
+    // π/2 pairs. Check a π/2 pair: pair 19 (x, x) ideally reaches |1⟩.
+    let p19 = (skewed.fidelity[38] + skewed.fidelity[39]) / 2.0;
+    assert!(
+        (p19 - 1.0).abs() > 0.2,
+        "pair 19 (X90,X90) must miss |1⟩ under skew, got {p19}"
+    );
+}
+
+#[test]
+fn detuning_error_is_visible() {
+    // 5 MHz of drive detuning accumulates 36° of spurious z-rotation in
+    // the 20 ns between the two pulses — clearly visible on the staircase.
+    let mut cfg = small_cfg();
+    cfg.error = PulseError::Detuning(5.0e6);
+    let detuned = run_allxy(&cfg);
+    cfg.error = PulseError::None;
+    let clean = run_allxy(&cfg);
+    assert!(
+        detuned.deviation > 1.5 * clean.deviation && detuned.deviation > 0.05,
+        "5 MHz detuning must be visible: {} vs clean {}",
+        detuned.deviation,
+        clean.deviation
+    );
+}
+
+#[test]
+fn four_hundred_rounds_tighten_the_staircase() {
+    // More averaging → smaller deviation (statistics, not systematics).
+    let mut cfg = small_cfg();
+    cfg.averages = 12;
+    let rough = run_allxy(&cfg);
+    cfg.averages = 192;
+    let fine = run_allxy(&cfg);
+    assert!(
+        fine.deviation < rough.deviation + 0.01,
+        "averaging should not hurt: {} vs {}",
+        fine.deviation,
+        rough.deviation
+    );
+}

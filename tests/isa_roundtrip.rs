@@ -1,0 +1,101 @@
+//! Property tests for the instruction set: binary encode/decode and
+//! assemble/disassemble round trips over randomly generated programs.
+
+use proptest::prelude::*;
+use quma::isa::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::r)
+}
+
+fn arb_mask() -> impl Strategy<Value = QubitMask> {
+    (1u16..=0xFFFF).prop_map(QubitMask)
+}
+
+fn arb_uop() -> impl Strategy<Value = UopId> {
+    (0u8..7).prop_map(UopId)
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_reg(), -500_000i32..500_000).prop_map(|(rd, imm)| Instruction::Mov { rd, imm }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, rs, rt)| Instruction::Add { rd, rs, rt }),
+        (arb_reg(), arb_reg(), -30_000i32..30_000)
+            .prop_map(|(rd, rs, imm)| Instruction::Addi { rd, rs, imm }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, rs, rt)| Instruction::Sub { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, rs, rt)| Instruction::And { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, rs, rt)| Instruction::Or { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, rs, rt)| Instruction::Xor { rd, rs, rt }),
+        (arb_reg(), arb_reg(), -30_000i32..30_000)
+            .prop_map(|(rd, base, offset)| Instruction::Load { rd, base, offset }),
+        (arb_reg(), arb_reg(), -30_000i32..30_000)
+            .prop_map(|(rs, base, offset)| Instruction::Store { rs, base, offset }),
+        (arb_reg(), arb_reg(), 0u32..200_000)
+            .prop_map(|(rs, rt, target)| Instruction::Beq { rs, rt, target }),
+        (arb_reg(), arb_reg(), 0u32..200_000)
+            .prop_map(|(rs, rt, target)| Instruction::Bne { rs, rt, target }),
+        (0u32..200_000).prop_map(|target| Instruction::Jump { target }),
+        Just(Instruction::Halt),
+        (0u8..=255, arb_mask())
+            .prop_map(|(g, qubits)| Instruction::Apply { gate: GateId(g), qubits }),
+        (arb_mask(), arb_reg()).prop_map(|(qubits, rd)| Instruction::Measure { qubits, rd }),
+        arb_reg().prop_map(|rs| Instruction::QNopReg { rs }),
+        (0u32..60_000_000).prop_map(|interval| Instruction::Wait { interval }),
+        proptest::collection::vec((arb_mask(), arb_uop()), 1..4).prop_map(|pairs| {
+            Instruction::Pulse {
+                ops: pairs
+                    .into_iter()
+                    .map(|(qubits, uop)| PulseOp { qubits, uop })
+                    .collect(),
+            }
+        }),
+        (arb_mask(), 0u32..1024)
+            .prop_map(|(qubits, duration)| Instruction::Mpg { qubits, duration }),
+        (arb_mask(), proptest::option::of(arb_reg()))
+            .prop_map(|(qubits, rd)| Instruction::Md { qubits, rd }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binary_encoding_round_trips(insns in proptest::collection::vec(arb_instruction(), 0..40)) {
+        let words = encode_program(&insns).expect("all generated values fit their fields");
+        let decoded = decode_program(&words).expect("well-formed stream decodes");
+        prop_assert_eq!(decoded, insns);
+    }
+
+    #[test]
+    fn disassembly_reassembles_identically(insns in proptest::collection::vec(arb_instruction(), 0..30)) {
+        let asm = Assembler::new();
+        let prog = Program::new(insns);
+        let text = prog.disassemble(asm.uops());
+        let prog2 = asm.assemble(&text).expect("disassembly is valid assembly");
+        prop_assert_eq!(prog.instructions(), prog2.instructions());
+    }
+
+    #[test]
+    fn single_word_per_non_pulse_instruction(insn in arb_instruction()) {
+        let words = encode(&insn).expect("encodes");
+        match &insn {
+            Instruction::Pulse { ops } => prop_assert_eq!(words.len(), ops.len()),
+            _ => prop_assert_eq!(words.len(), 1),
+        }
+    }
+}
+
+#[test]
+fn branch_targets_survive_via_numeric_form() {
+    // Disassembly prints absolute targets; reassembly accepts them.
+    let src = "mov r1, 0\nmov r2, 2\nL: addi r1, r1, 1\nbne r1, r2, L\nhalt";
+    let asm = Assembler::new();
+    let p1 = asm.assemble(src).unwrap();
+    let p2 = asm.assemble(&p1.disassemble(asm.uops())).unwrap();
+    assert_eq!(p1.instructions(), p2.instructions());
+}

@@ -1,0 +1,238 @@
+//! Property tests over the core invariants of the reproduction:
+//!
+//! * the timing control unit's behaviour is independent of how `advance`
+//!   is chunked (the basis of the event-driven fast-forward);
+//! * events fire in FIFO order at monotonically non-decreasing `T_D`;
+//! * density matrices stay physical under arbitrary gate/noise sequences;
+//! * two-qubit states stay trace-one and their reduced states valid;
+//! * the Clifford group closure invariants used by RB.
+
+use proptest::prelude::*;
+use quma::core::prelude::*;
+use quma::isa::prelude::{QubitMask, UopId};
+use quma::qsim::prelude::*;
+
+// --------------------------------------------------------------------
+// Timing control unit
+// --------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Load {
+    intervals: Vec<u16>,
+    events_per_point: Vec<u8>,
+}
+
+fn arb_load() -> impl Strategy<Value = Load> {
+    (
+        proptest::collection::vec(0u16..200, 1..30),
+        proptest::collection::vec(0u8..4, 1..30),
+    )
+        .prop_map(|(intervals, events_per_point)| Load {
+            intervals,
+            events_per_point,
+        })
+}
+
+fn build_unit(load: &Load) -> TimingControlUnit {
+    let mut tcu = TimingControlUnit::new(4096);
+    for (i, &interval) in load.intervals.iter().enumerate() {
+        assert!(tcu.push_time_point(TimePoint {
+            interval: u32::from(interval),
+            label: i as u32 + 1,
+        }));
+        let n = load
+            .events_per_point
+            .get(i)
+            .copied()
+            .unwrap_or(1);
+        for k in 0..n {
+            assert!(tcu.push_event(
+                QueueId::Pulse,
+                Event::Pulse {
+                    qubits: QubitMask::single(usize::from(k % 4)),
+                    uop: UopId(k % 7),
+                },
+                i as u32 + 1,
+            ));
+        }
+    }
+    tcu.start();
+    tcu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn advance_chunking_is_irrelevant(load in arb_load(), chunks in proptest::collection::vec(1u64..500, 1..40)) {
+        let total: u64 = load.intervals.iter().map(|&i| u64::from(i)).sum::<u64>() + 10;
+        // One big advance.
+        let mut a = build_unit(&load);
+        let fired_a = a.advance(total);
+        // Random chunking covering at least the same span.
+        let mut b = build_unit(&load);
+        let mut fired_b = Vec::new();
+        let mut advanced = 0;
+        for c in chunks {
+            fired_b.extend(b.advance(c));
+            advanced += c;
+        }
+        if advanced < total {
+            fired_b.extend(b.advance(total - advanced));
+        }
+        prop_assert_eq!(fired_a, fired_b);
+    }
+
+    #[test]
+    fn fired_events_are_time_ordered_and_fifo(load in arb_load()) {
+        let total: u64 = load.intervals.iter().map(|&i| u64::from(i)).sum::<u64>() + 1;
+        let mut tcu = build_unit(&load);
+        let fired = tcu.advance(total);
+        // Times non-decreasing, labels strictly increasing across points.
+        for w in fired.windows(2) {
+            prop_assert!(w[0].td <= w[1].td);
+            prop_assert!(w[0].label <= w[1].label);
+        }
+        // Everything fired; unit drained.
+        prop_assert!(tcu.is_drained());
+        let expected: u64 = load
+            .intervals
+            .iter()
+            .enumerate()
+            .map(|(i, _)| u64::from(load.events_per_point.get(i).copied().unwrap_or(1)))
+            .sum();
+        prop_assert_eq!(fired.len() as u64, expected);
+        prop_assert_eq!(tcu.stats().underruns, 0);
+    }
+
+    #[test]
+    fn td_equals_sum_of_elapsed_intervals(load in arb_load()) {
+        let total: u64 = load.intervals.iter().map(|&i| u64::from(i)).sum();
+        let mut tcu = build_unit(&load);
+        tcu.advance(total);
+        prop_assert_eq!(tcu.td(), total);
+        prop_assert_eq!(tcu.stats().time_points_fired, load.intervals.len() as u64);
+    }
+}
+
+// --------------------------------------------------------------------
+// Quantum state validity
+// --------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum RandomOp {
+    Rot(u8, f64),
+    AmpDamp(f64),
+    PhaseDamp(f64),
+    Project(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = RandomOp> {
+    prop_oneof![
+        (0u8..3, -6.3f64..6.3).prop_map(|(axis, theta)| RandomOp::Rot(axis, theta)),
+        (0.0f64..1.0).prop_map(RandomOp::AmpDamp),
+        (0.0f64..0.5).prop_map(RandomOp::PhaseDamp),
+        (0u8..2).prop_map(RandomOp::Project),
+    ]
+}
+
+fn axis_of(code: u8) -> Axis {
+    match code {
+        0 => Axis::X,
+        1 => Axis::Y,
+        _ => Axis::Z,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn density_matrix_stays_physical(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut rho = DensityMatrix::ground();
+        for op in ops {
+            match op {
+                RandomOp::Rot(axis, theta) => {
+                    rho.apply_unitary(&rotation(axis_of(axis), theta))
+                }
+                RandomOp::AmpDamp(p) => {
+                    rho.apply_kraus(&quma::qsim::noise::amplitude_damping_kraus(p))
+                }
+                RandomOp::PhaseDamp(p) => {
+                    rho.apply_kraus(&quma::qsim::noise::phase_damping_kraus(p))
+                }
+                RandomOp::Project(outcome) => {
+                    let _ = rho.project_z(outcome);
+                }
+            }
+            prop_assert!(rho.is_valid(1e-7), "state left the Bloch ball: {rho:?}");
+        }
+    }
+
+    #[test]
+    fn two_qubit_state_stays_physical(
+        ops in proptest::collection::vec((arb_op(), 0usize..2), 0..25),
+        cz_every in 1usize..5,
+    ) {
+        let mut s = TwoQubitState::ground();
+        for (i, (op, which)) in ops.into_iter().enumerate() {
+            match op {
+                RandomOp::Rot(axis, theta) => {
+                    s.apply_local(&rotation(axis_of(axis), theta), which)
+                }
+                RandomOp::AmpDamp(p) => s.apply_local_kraus(
+                    &quma::qsim::noise::amplitude_damping_kraus(p),
+                    which,
+                ),
+                RandomOp::PhaseDamp(p) => s.apply_local_kraus(
+                    &quma::qsim::noise::phase_damping_kraus(p),
+                    which,
+                ),
+                RandomOp::Project(outcome) => {
+                    let _ = s.project(which, outcome);
+                }
+            }
+            if i % cz_every == 0 {
+                s.apply_unitary(&Mat4::cz());
+            }
+            prop_assert!((s.trace() - 1.0).abs() < 1e-7, "trace drifted: {}", s.trace());
+            // Reduced states must remain valid density matrices.
+            prop_assert!(s.reduced(0).is_valid(1e-5));
+            prop_assert!(s.reduced(1).is_valid(1e-5));
+        }
+    }
+
+    #[test]
+    fn clifford_recovery_always_restores_identity(
+        seq in proptest::collection::vec(0usize..24, 0..60)
+    ) {
+        // Shared group across cases would be nicer but generation is fast
+        // enough (< 5 ms) for 64 cases.
+        let group = CliffordGroup::generate();
+        let recovery = group.recovery(&seq);
+        let mut acc = 0usize;
+        for &c in &seq {
+            acc = group.compose(c, acc);
+        }
+        prop_assert_eq!(group.compose(recovery, acc), 0);
+    }
+
+    #[test]
+    fn pulse_rotation_angle_scales_with_amplitude(amp in 0.01f64..1.0) {
+        // The demodulated-area model: doubling amplitude doubles the angle
+        // (up to the 2π wrap, avoided by the amplitude range).
+        let params = TransmonParams::ideal();
+        let dt = 1e-9;
+        let samples: Vec<C64> = (0..20)
+            .map(|k| {
+                let t = (k as f64 + 0.5) * dt;
+                C64::from_polar(amp, -2.0 * std::f64::consts::PI * params.ssb_frequency * t)
+            })
+            .collect();
+        let u = rotation_from_pulse(&params, &samples, 0.0, dt);
+        let expected = params.rabi_coefficient * amp * 20.0 * dt;
+        // Extract the rotation angle from the trace: Tr(U) = 2 cos(θ/2).
+        let cos_half = (u.m00 + u.m11).re / 2.0;
+        prop_assert!((cos_half - (expected / 2.0).cos()).abs() < 1e-9);
+    }
+}

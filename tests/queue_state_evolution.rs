@@ -1,0 +1,118 @@
+//! Golden test for Tables 2–4: the queue states of the timing control unit
+//! during the AllXY experiment, built by streaming the actual assembled
+//! program through the QMB (integration across `quma-isa` and `quma-core`).
+
+use quma::core::prelude::*;
+use quma::isa::prelude::*;
+
+/// The round-0/1 prefix of Algorithm 3, as QuMIS.
+const PREFIX: &str = "\
+    Wait 40000
+    Pulse {q0}, I
+    Wait 4
+    Pulse {q0}, I
+    Wait 4
+    MPG {q0}, 300
+    MD {q0}, r7
+    Wait 40000
+    Pulse {q0}, X180
+    Wait 4
+    Pulse {q0}, X180
+    Wait 4
+    MPG {q0}, 300
+    MD {q0}, r7
+";
+
+fn loaded_unit() -> (QuantumMicroinstructionBuffer, TimingControlUnit) {
+    let prog = Assembler::new().assemble(PREFIX).expect("assembles");
+    let mut qmb = QuantumMicroinstructionBuffer::new();
+    let mut tcu = TimingControlUnit::new(64);
+    for insn in prog.instructions() {
+        assert!(qmb.push(insn, &mut tcu).expect("QuMIS only"));
+    }
+    (qmb, tcu)
+}
+
+fn timing_labels(s: &QueueSnapshot) -> Vec<(u32, u32)> {
+    s.timing.iter().map(|tp| (tp.interval, tp.label)).collect()
+}
+
+fn event_labels(entries: &[(Event, u32)]) -> Vec<u32> {
+    entries.iter().map(|&(_, l)| l).collect()
+}
+
+#[test]
+fn table2_state_at_td_zero() {
+    let (_, mut tcu) = loaded_unit();
+    tcu.start();
+    let s = tcu.snapshot();
+    assert_eq!(s.td, 0);
+    assert_eq!(
+        timing_labels(&s),
+        vec![(40000, 1), (4, 2), (4, 3), (40000, 4), (4, 5), (4, 6)]
+    );
+    assert_eq!(event_labels(&s.pulse), vec![1, 2, 4, 5]);
+    assert_eq!(event_labels(&s.mpg), vec![3, 6]);
+    assert_eq!(event_labels(&s.md), vec![3, 6]);
+}
+
+#[test]
+fn table3_state_at_td_40000() {
+    let (_, mut tcu) = loaded_unit();
+    tcu.start();
+    let fired = tcu.advance(40000);
+    assert_eq!(fired.len(), 1, "the first I pulse fires");
+    let s = tcu.snapshot();
+    assert_eq!(s.td, 40000);
+    assert_eq!(
+        timing_labels(&s),
+        vec![(4, 2), (4, 3), (40000, 4), (4, 5), (4, 6)]
+    );
+    assert_eq!(event_labels(&s.pulse), vec![2, 4, 5]);
+    assert_eq!(event_labels(&s.mpg), vec![3, 6]);
+    assert_eq!(event_labels(&s.md), vec![3, 6]);
+}
+
+#[test]
+fn table4_state_at_td_40008() {
+    let (_, mut tcu) = loaded_unit();
+    tcu.start();
+    let fired = tcu.advance(40008);
+    // I (label 1), I (label 2), MPG+MD (label 3).
+    assert_eq!(fired.len(), 4);
+    let s = tcu.snapshot();
+    assert_eq!(s.td, 40008);
+    assert_eq!(timing_labels(&s), vec![(40000, 4), (4, 5), (4, 6)]);
+    assert_eq!(event_labels(&s.pulse), vec![4, 5]);
+    assert_eq!(event_labels(&s.mpg), vec![6]);
+    assert_eq!(event_labels(&s.md), vec![6]);
+}
+
+#[test]
+fn full_drain_takes_exactly_80016_cycles() {
+    // Two rounds: 40000+4+4 + 40000+4+4 = 80016 cycles of timeline.
+    let (_, mut tcu) = loaded_unit();
+    tcu.start();
+    let fired = tcu.advance(80016);
+    assert_eq!(fired.len(), 8, "4 pulses + 2 MPG + 2 MD");
+    assert!(tcu.is_drained());
+    assert_eq!(tcu.stats().time_points_fired, 6);
+    assert_eq!(tcu.stats().underruns, 0);
+    // The last events fire exactly at 80016.
+    assert_eq!(fired.last().unwrap().td, 80016);
+}
+
+#[test]
+fn md_events_carry_the_destination_register() {
+    let (_, tcu) = loaded_unit();
+    let s = tcu.snapshot();
+    for (e, _) in &s.md {
+        match e {
+            Event::Md { qubits, rd } => {
+                assert_eq!(*qubits, QubitMask::single(0));
+                assert_eq!(*rd, Some(Reg::r(7)));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Golden test for Table 5: the four-level decode of the AllXY program —
+//! QIS/aux-classical input → QuMIS microinstructions → micro-operations →
+//! codeword triggers, with the exact deterministic-domain timestamps the
+//! paper prints.
+
+use quma::core::prelude::*;
+
+/// The first two AllXY rounds exactly as the "QuMIS" column of Table 5
+/// (after the execution controller turned `QNopReg r15` into `Wait 40000`).
+const TABLE5_SOURCE: &str = "\
+    mov r15, 40000
+    # round 0:
+    QNopReg r15
+    Pulse {q0}, I
+    Wait 4
+    Pulse {q0}, I
+    Wait 4
+    MPG {q0}, 300
+    MD {q0}, r7
+    # round 1:
+    QNopReg r15
+    Pulse {q0}, X180
+    Wait 4
+    Pulse {q0}, X180
+    Wait 4
+    MPG {q0}, 300
+    MD {q0}, r7
+    halt
+";
+
+fn run_with_uop_delay(uop_delay: u32) -> RunReport {
+    let cfg = DeviceConfig {
+        uop_delay_cycles: uop_delay,
+        ..DeviceConfig::default()
+    };
+    let mut dev = Device::new(cfg).expect("valid config");
+    dev.run_assembly(TABLE5_SOURCE).expect("program runs")
+}
+
+#[test]
+fn micro_operations_match_table5_times() {
+    // Table 5, "Micro-operations" column:
+    //   TD = 40000: I sent to µ-op unit 0
+    //   TD = 40004: I sent to µ-op unit 0
+    //   TD = 80008: Xπ sent to µ-op unit 0
+    //   TD = 80012: Xπ sent to µ-op unit 0
+    let report = run_with_uop_delay(0);
+    let uops: Vec<(u64, usize, u8)> = report
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::MicroOp { qubit, uop } => Some((e.td, qubit, uop)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        uops,
+        vec![
+            (40000, 0, 0), // I
+            (40004, 0, 0), // I
+            (80008, 0, 1), // Xπ
+            (80012, 0, 1), // Xπ
+        ]
+    );
+}
+
+#[test]
+fn codeword_triggers_match_table5_times_with_delta() {
+    // Table 5, "Codeword Triggers" column with ∆ = the µ-op unit delay:
+    //   TD = 40000 + ∆: CW 0 → CTPG0     (gate path)
+    //   TD = 40004 + ∆: CW 0 → CTPG0
+    //   TD = 40008:     MPG/MD (bypass the µ-op stage, no ∆)
+    //   TD = 80008 + ∆: CW 1 → CTPG0
+    //   TD = 80012 + ∆: CW 1 → CTPG0
+    //   TD = 80016:     MPG/MD
+    for delta in [0u32, 2, 5] {
+        let report = run_with_uop_delay(delta);
+        let d = u64::from(delta);
+        assert_eq!(
+            report.trace.codeword_timeline(),
+            vec![
+                (40000 + d, 0, 0),
+                (40004 + d, 0, 0),
+                (80008 + d, 0, 1),
+                (80012 + d, 0, 1),
+            ],
+            "∆ = {delta}"
+        );
+        let msmt: Vec<u64> = report
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::MsmtPulse { .. } => Some(e.td),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(msmt, vec![40008, 80016], "MPG bypasses the µ-op stage");
+        let md: Vec<u64> = report
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::MdStart { .. } => Some(e.td),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(md, vec![40008, 80016]);
+    }
+}
+
+#[test]
+fn qnopreg_reads_r15_at_each_issue() {
+    // The same QNopReg instruction issues twice, each time reading r15 —
+    // Table 5's point that the wait is computed at runtime. Change r15
+    // between rounds and check the second round moves.
+    let src = "\
+        mov r15, 40000
+        QNopReg r15
+        Pulse {q0}, I
+        Wait 4
+        mov r15, 20000
+        QNopReg r15
+        Pulse {q0}, X180
+        Wait 4
+        halt
+    ";
+    let mut dev = Device::new(DeviceConfig::default()).expect("valid config");
+    let report = dev.run_assembly(src).expect("program runs");
+    let uops: Vec<u64> = report
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::MicroOp { .. } => Some(e.td),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(uops, vec![40000, 60004], "second wait shrank to 20000");
+}
+
+#[test]
+fn full_decode_produces_correct_measurement_results() {
+    // End of the pipeline: round 0 (I, I) measures |0⟩ and round 1
+    // (X180, X180) composes to identity, also measuring |0⟩ — the first
+    // two steps of the AllXY staircase.
+    let report = run_with_uop_delay(0);
+    let bits: Vec<u8> = report.md_results.iter().map(|m| m.bit).collect();
+    assert_eq!(bits, vec![0, 0]);
+    assert_eq!(report.registers[7], 0, "r7 holds the last result");
+    assert_eq!(report.stats.measurements, 2);
+    assert_eq!(report.stats.ctpg_triggers, vec![4]);
+}
