@@ -69,8 +69,7 @@ pub fn compare(
 ) -> ComparisonReport {
     let per_pulse_samples = 2 * shape.samples_per_pulse; // I and Q
     let quma_samples = shape.primitive_pulses * per_pulse_samples;
-    let baseline_samples =
-        shape.combinations * shape.ops_per_combination * per_pulse_samples;
+    let baseline_samples = shape.combinations * shape.ops_per_combination * per_pulse_samples;
     let bits = shape.sample_bits;
     let quma_memory_bytes = quma_signal::dac::memory_bytes(quma_samples, bits);
     let baseline_memory_bytes = quma_signal::dac::memory_bytes(baseline_samples, bits);

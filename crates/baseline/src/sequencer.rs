@@ -248,7 +248,12 @@ impl Aps2System {
             }
         }
         Ok(SystemStats {
-            makespan_samples: self.modules.iter().map(Aps2Module::clock).max().unwrap_or(0),
+            makespan_samples: self
+                .modules
+                .iter()
+                .map(Aps2Module::clock)
+                .max()
+                .unwrap_or(0),
             modules: self.modules.iter().map(Aps2Module::stats).collect(),
             triggers_sent: triggers,
         })
@@ -378,7 +383,10 @@ mod tests {
 
     #[test]
     fn running_off_end_is_an_error() {
-        let mut m = Aps2Module::new(vec![OutputInstruction::Idle { samples: 1 }], one_pulse_bank());
+        let mut m = Aps2Module::new(
+            vec![OutputInstruction::Idle { samples: 1 }],
+            one_pulse_bank(),
+        );
         assert_eq!(m.run_free(), Err(SequencerError::RanOffEnd));
     }
 }

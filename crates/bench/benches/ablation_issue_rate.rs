@@ -57,15 +57,16 @@ fn run(src: &str, n_qubits: usize) -> RunReport {
 
 fn print_underruns() {
     println!("\n=== issue-rate ablation: underruns over 200 rounds at 4-cycle spacing ===");
-    println!("{:>8} {:>18} {:>18}", "qubits", "scalar underruns", "VLIW underruns");
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "qubits", "scalar underruns", "VLIW underruns"
+    );
     for n in [1usize, 2, 4, 8] {
         let scalar = run(&scalar_program(n, 200), n);
         let vliw = run(&vliw_program(n, 200), n);
         println!(
             "{:>8} {:>18} {:>18}",
-            n,
-            scalar.stats.timing.underruns,
-            vliw.stats.timing.underruns
+            n, scalar.stats.timing.underruns, vliw.stats.timing.underruns
         );
     }
     println!("(scalar issue cannot sustain N pulses per 4 cycles once N outruns");

@@ -17,7 +17,12 @@ fn print_timeline() {
     let report = dev.run_assembly(ROUND).expect("runs");
     println!("\n=== Figure 5: one AllXY round ===");
     for e in report.trace.events() {
-        println!("  TD = {:>6} ({:>9.3} us): {:?}", e.td, e.td as f64 * 0.005, e.kind);
+        println!(
+            "  TD = {:>6} ({:>9.3} us): {:?}",
+            e.td,
+            e.td as f64 * 0.005,
+            e.kind
+        );
     }
     println!();
 }
@@ -28,7 +33,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5");
     g.bench_function("one_allxy_round_cycle_exact", |b| {
         b.iter_batched(
-            || Device::new(DeviceConfig { trace: TraceLevel::Off, ..DeviceConfig::default() }).expect("device"),
+            || {
+                Device::new(DeviceConfig {
+                    trace: TraceLevel::Off,
+                    ..DeviceConfig::default()
+                })
+                .expect("device")
+            },
             |mut dev| black_box(dev.run_assembly(ROUND).expect("runs")),
             BatchSize::SmallInput,
         )

@@ -17,7 +17,10 @@ fn print_figure9() {
     let result = run_allxy(&cfg);
     println!("\n=== Figure 9: AllXY staircase (N = 128; paper N = 25600) ===");
     println!("{}", allxy_table(&result));
-    println!("paper deviation at N = 25600: 0.012; measured here: {:.4}\n", result.deviation);
+    println!(
+        "paper deviation at N = 25600: 0.012; measured here: {:.4}\n",
+        result.deviation
+    );
 }
 
 fn bench(c: &mut Criterion) {

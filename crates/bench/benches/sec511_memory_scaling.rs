@@ -11,9 +11,15 @@ use std::hint::black_box;
 
 fn print_scaling() {
     println!("\n=== §5.1.1: memory scaling ===");
-    println!("{:>14} {:>12} {:>14} {:>8}", "combinations", "QuMA (B)", "baseline (B)", "ratio");
+    println!(
+        "{:>14} {:>12} {:>14} {:>8}",
+        "combinations", "QuMA (B)", "baseline (B)", "ratio"
+    );
     for combos in [21usize, 42, 84, 168, 336, 672, 1344] {
-        let shape = ExperimentShape { combinations: combos, ..ExperimentShape::allxy() };
+        let shape = ExperimentShape {
+            combinations: combos,
+            ..ExperimentShape::allxy()
+        };
         let r = compare(shape, UploadModel::usb(), 9);
         println!(
             "{:>14} {:>12} {:>14} {:>7.1}x",
@@ -44,7 +50,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("sec511/analytic_compare");
     for combos in [21usize, 168, 1344] {
         g.bench_with_input(BenchmarkId::from_parameter(combos), &combos, |b, &n| {
-            let shape = ExperimentShape { combinations: n, ..ExperimentShape::allxy() };
+            let shape = ExperimentShape {
+                combinations: n,
+                ..ExperimentShape::allxy()
+            };
             b.iter(|| black_box(compare(shape, UploadModel::usb(), 9)))
         });
     }

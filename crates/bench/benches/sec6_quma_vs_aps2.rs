@@ -32,7 +32,10 @@ fn aps2_system(n_modules: usize, rounds: usize) -> Aps2System {
 fn print_comparison() {
     println!("\n=== Section 6: architectural comparison ===");
     let r = compare(ExperimentShape::allxy(), UploadModel::usb(), 9);
-    println!("binaries: QuMA {} vs APS2 {}", r.quma_binaries, r.baseline_binaries);
+    println!(
+        "binaries: QuMA {} vs APS2 {}",
+        r.quma_binaries, r.baseline_binaries
+    );
     println!(
         "reconfig after one gate recalibration: {} B vs {} B",
         r.quma_reconfig_bytes, r.baseline_reconfig_bytes
@@ -59,7 +62,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("sec6");
     g.bench_function("quma_10_rounds", |b| {
         b.iter_batched(
-            || Device::new(DeviceConfig { trace: TraceLevel::Off, ..DeviceConfig::default() }).expect("device"),
+            || {
+                Device::new(DeviceConfig {
+                    trace: TraceLevel::Off,
+                    ..DeviceConfig::default()
+                })
+                .expect("device")
+            },
             |mut dev| black_box(dev.run_assembly(&quma_src).expect("runs")),
             BatchSize::SmallInput,
         )

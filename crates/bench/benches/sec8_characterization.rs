@@ -9,15 +9,27 @@ use quma_experiments::prelude::*;
 
 fn print_fits() {
     println!("\n=== Section 8: characterization fits (chip truth: T1 = 20 us, T2 = 25 us) ===");
-    let t1 = run_t1(&T1Config { averages: 100, ..T1Config::default() }).expect("T1");
+    let t1 = run_t1(&T1Config {
+        averages: 100,
+        ..T1Config::default()
+    })
+    .expect("T1");
     println!("T1     = {:.2} us", t1.t1() * 1e6);
-    let ramsey = run_ramsey(&RamseyConfig { averages: 100, ..RamseyConfig::default() }).expect("Ramsey");
+    let ramsey = run_ramsey(&RamseyConfig {
+        averages: 100,
+        ..RamseyConfig::default()
+    })
+    .expect("Ramsey");
     println!(
         "T2*    = {:.2} us, fringe = {:.1} kHz (detuning set: 100 kHz)",
         ramsey.t2_star() * 1e6,
         ramsey.fringe_frequency() / 1e3
     );
-    let echo = run_echo(&EchoConfig { averages: 100, ..EchoConfig::default() }).expect("echo");
+    let echo = run_echo(&EchoConfig {
+        averages: 100,
+        ..EchoConfig::default()
+    })
+    .expect("echo");
     println!("T2echo = {:.2} us", echo.t2_echo() * 1e6);
     let rb = run_rb(&RbConfig {
         lengths: vec![2, 16, 64, 256],

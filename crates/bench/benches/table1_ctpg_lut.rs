@@ -10,7 +10,10 @@ use std::hint::black_box;
 
 fn print_table1(lib: &PulseLibrary) {
     println!("\n=== Table 1: CTPG lookup table ===");
-    println!("{:>8}  {:<6} {:>8} {:>10}", "codeword", "pulse", "samples", "peak");
+    println!(
+        "{:>8}  {:<6} {:>8} {:>10}",
+        "codeword", "pulse", "samples", "peak"
+    );
     for (cw, gate) in PrimitiveGate::ALL.iter().enumerate() {
         let w = lib.get(cw as u16).expect("populated");
         println!(

@@ -78,7 +78,13 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("full_pipeline_two_rounds", |b| {
         b.iter_batched(
-            || Device::new(DeviceConfig { trace: TraceLevel::Off, ..DeviceConfig::default() }).expect("device"),
+            || {
+                Device::new(DeviceConfig {
+                    trace: TraceLevel::Off,
+                    ..DeviceConfig::default()
+                })
+                .expect("device")
+            },
             |mut dev| black_box(dev.run_assembly(TABLE5).expect("runs")),
             BatchSize::SmallInput,
         )

@@ -12,7 +12,10 @@ fn print_table6() {
     println!("\n=== Table 6: QuMIS instructions ===");
     let rows = [
         ("Wait Interval", "advance the timeline by Interval cycles"),
-        ("Pulse (QAddr, uOp), ...", "apply µ-ops on addressed qubits (horizontal)"),
+        (
+            "Pulse (QAddr, uOp), ...",
+            "apply µ-ops on addressed qubits (horizontal)",
+        ),
         ("MPG QAddr, D", "measurement pulse of D cycles"),
         ("MD QAddr, $rd", "discriminate; result to $rd"),
     ];

@@ -27,15 +27,34 @@ fn loaded() -> (QuantumMicroinstructionBuffer, TimingControlUnit, Program) {
 fn print_tables() {
     let (_, mut tcu, _) = loaded();
     tcu.start();
-    for (name, target) in [("Table 2 (T_D = 0)", 0u64), ("Table 3 (T_D = 40000)", 40000), ("Table 4 (T_D = 40008)", 40008)] {
+    for (name, target) in [
+        ("Table 2 (T_D = 0)", 0u64),
+        ("Table 3 (T_D = 40000)", 40000),
+        ("Table 4 (T_D = 40008)", 40008),
+    ] {
         let current = tcu.td();
         tcu.advance(target - current);
         let s = tcu.snapshot();
         println!("\n=== {name} ===");
-        println!("timing queue: {:?}", s.timing.iter().map(|tp| (tp.interval, tp.label)).collect::<Vec<_>>());
-        println!("pulse queue:  {:?}", s.pulse.iter().map(|&(_, l)| l).collect::<Vec<_>>());
-        println!("MPG queue:    {:?}", s.mpg.iter().map(|&(_, l)| l).collect::<Vec<_>>());
-        println!("MD queue:     {:?}", s.md.iter().map(|&(_, l)| l).collect::<Vec<_>>());
+        println!(
+            "timing queue: {:?}",
+            s.timing
+                .iter()
+                .map(|tp| (tp.interval, tp.label))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "pulse queue:  {:?}",
+            s.pulse.iter().map(|&(_, l)| l).collect::<Vec<_>>()
+        );
+        println!(
+            "MPG queue:    {:?}",
+            s.mpg.iter().map(|&(_, l)| l).collect::<Vec<_>>()
+        );
+        println!(
+            "MD queue:     {:?}",
+            s.md.iter().map(|&(_, l)| l).collect::<Vec<_>>()
+        );
     }
     println!();
 }
@@ -46,7 +65,12 @@ fn bench(c: &mut Criterion) {
     c.bench_function("tables2_4/fill_queues_one_round", |b| {
         let prog = Assembler::new().assemble(PREFIX).expect("assembles");
         b.iter_batched(
-            || (QuantumMicroinstructionBuffer::new(), TimingControlUnit::new(1024)),
+            || {
+                (
+                    QuantumMicroinstructionBuffer::new(),
+                    TimingControlUnit::new(1024),
+                )
+            },
             |(mut qmb, mut tcu)| {
                 for insn in prog.instructions() {
                     black_box(qmb.push(insn, &mut tcu).expect("QuMIS"));
@@ -76,7 +100,10 @@ fn bench(c: &mut Criterion) {
                 let mut qmb = QuantumMicroinstructionBuffer::new();
                 let mut tcu = TimingControlUnit::new(4096);
                 let pulse = Instruction::Pulse {
-                    ops: vec![PulseOp { qubits: QubitMask::single(0), uop: UopId(1) }],
+                    ops: vec![PulseOp {
+                        qubits: QubitMask::single(0),
+                        uop: UopId(1),
+                    }],
                 };
                 let wait = Instruction::Wait { interval: 4 };
                 for _ in 0..1000 {

@@ -1,0 +1,21 @@
+//! # quma-bench — paper-figure benchmarks for the QuMA reproduction
+//!
+//! This crate holds no library code: it exists to host the ten criterion
+//! benches under `benches/`, one per table/figure/section of Fu et al.
+//! (MICRO 2017) that reports a measurable quantity:
+//!
+//! | Bench | Paper artifact |
+//! |---|---|
+//! | `table1_ctpg_lut` | Table 1 — CTPG lookup-table sizing |
+//! | `tables2_4_timing_queues` | Tables 2–4 — timing/event queue traffic |
+//! | `table5_decode` | Table 5 — multilevel QuMIS decode |
+//! | `table6_quamis_issue` | Table 6 — QuMIS encode/assemble/issue |
+//! | `fig5_allxy_round` | Fig. 5 — one AllXY round on the device |
+//! | `fig9_allxy_experiment` | Fig. 9 — the full AllXY experiment |
+//! | `sec511_memory_scaling` | §5.1.1 — waveform-memory byte accounting |
+//! | `sec6_quma_vs_aps2` | §6 — QuMA vs. APS2 baseline comparison |
+//! | `sec8_characterization` | §8 — T1/Ramsey/echo characterization |
+//! | `ablation_issue_rate` | Ablation — instruction-issue-rate sweep |
+//!
+//! Run them with `cargo bench -p quma-bench`; CI compiles them with
+//! `cargo bench --no-run`.

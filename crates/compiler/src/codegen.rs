@@ -182,11 +182,7 @@ impl QuantumProgram {
     }
 
     /// Compiles to an executable [`Program`].
-    pub fn compile(
-        &self,
-        gates: &GateSet,
-        cfg: &CompilerConfig,
-    ) -> Result<Program, CompileError> {
+    pub fn compile(&self, gates: &GateSet, cfg: &CompilerConfig) -> Result<Program, CompileError> {
         let text = self.emit(gates, cfg)?;
         Assembler::new()
             .assemble(&text)

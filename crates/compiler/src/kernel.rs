@@ -79,10 +79,7 @@ impl Kernel {
     /// Appends different gates on different qubits at the same time point.
     pub fn simultaneous(&mut self, gates: &[(&str, usize)]) -> &mut Self {
         self.ops.push(KernelOp::Simultaneous {
-            gates: gates
-                .iter()
-                .map(|&(n, q)| (n.to_string(), q))
-                .collect(),
+            gates: gates.iter().map(|&(n, q)| (n.to_string(), q)).collect(),
         });
         self
     }
@@ -148,7 +145,9 @@ mod tests {
         k.init().gate("X180", 2).gate("I", 2).measure(2);
         assert_eq!(k.len(), 4);
         assert_eq!(k.ops()[0], KernelOp::Init);
-        assert!(matches!(&k.ops()[1], KernelOp::Gate { name, qubits } if name == "X180" && qubits == &vec![2]));
+        assert!(
+            matches!(&k.ops()[1], KernelOp::Gate { name, qubits } if name == "X180" && qubits == &vec![2])
+        );
         assert!(matches!(&k.ops()[3], KernelOp::Measure { rd: None, .. }));
     }
 

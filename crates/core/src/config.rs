@@ -149,10 +149,22 @@ mod tests {
     #[test]
     fn validation_rejects_nonsense() {
         let broken = [
-            DeviceConfig { num_qubits: 0, ..DeviceConfig::default() },
-            DeviceConfig { num_qubits: 17, ..DeviceConfig::default() },
-            DeviceConfig { collector_k: 0, ..DeviceConfig::default() },
-            DeviceConfig { queue_capacity: 0, ..DeviceConfig::default() },
+            DeviceConfig {
+                num_qubits: 0,
+                ..DeviceConfig::default()
+            },
+            DeviceConfig {
+                num_qubits: 17,
+                ..DeviceConfig::default()
+            },
+            DeviceConfig {
+                collector_k: 0,
+                ..DeviceConfig::default()
+            },
+            DeviceConfig {
+                queue_capacity: 0,
+                ..DeviceConfig::default()
+            },
         ];
         for c in broken {
             assert!(c.validate().is_err(), "{c:?} should be rejected");

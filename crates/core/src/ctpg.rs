@@ -64,11 +64,7 @@ impl PulseLibrary {
     /// Total stored samples across both quadratures (I and Q count
     /// separately, as in the paper's §5.1.1 accounting).
     pub fn total_samples(&self) -> usize {
-        self.entries
-            .iter()
-            .flatten()
-            .map(|w| 2 * w.len())
-            .sum()
+        self.entries.iter().flatten().map(|w| 2 * w.len()).sum()
     }
 
     /// Wave-memory footprint in bytes at `bits` per sample (the paper uses

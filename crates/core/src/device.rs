@@ -142,10 +142,16 @@ impl std::fmt::Display for DeviceError {
             DeviceError::UndefinedUop(e) => write!(f, "{e}"),
             DeviceError::UnknownCodeword(e) => write!(f, "{e}"),
             DeviceError::CzArity { qubits, td } => {
-                write!(f, "CZ at TD={td} must address exactly two qubits, got {qubits}")
+                write!(
+                    f,
+                    "CZ at TD={td} must address exactly two qubits, got {qubits}"
+                )
             }
             DeviceError::MdWithoutMpg { qubit, td } => {
-                write!(f, "MD on qubit {qubit} at TD={td} with no measurement trace")
+                write!(
+                    f,
+                    "MD on qubit {qubit} at TD={td} with no measurement trace"
+                )
             }
             DeviceError::ChronologyViolation { qubit, at, last } => write!(
                 f,
@@ -284,10 +290,7 @@ impl Device {
                 device.config.cycle_time,
             ));
             let mut uops = MicroOpUnit::with_table1(device.config.uop_delay_cycles);
-            uops.define(
-                quma_isa::uop::UopId(crate::microcode::UOP_Z),
-                seq_z(),
-            );
+            uops.define(quma_isa::uop::UopId(crate::microcode::UOP_Z), seq_z());
             device.uop_units.push(uops);
         }
         Ok(device)
@@ -481,17 +484,12 @@ impl Device {
                 last_label = Some(ev.label);
             }
             match ev.event {
-                Event::Pulse { qubits, uop }
-                    if uop.raw() == crate::microcode::UOP_CZ =>
-                {
+                Event::Pulse { qubits, uop } if uop.raw() == crate::microcode::UOP_CZ => {
                     // Two-qubit flux path: the CZ pulse goes to the shared
                     // flux-bias line, not through the per-qubit µ-op units.
                     let qs: Vec<usize> = qubits.iter().collect();
                     let [a, b] = qs.as_slice() else {
-                        return Err(DeviceError::CzArity {
-                            qubits,
-                            td: ev.td,
-                        });
+                        return Err(DeviceError::CzArity { qubits, td: ev.td });
                     };
                     self.trace.record(ev.td, TraceKind::FluxPulse { qubits });
                     actions.push(ChipAction::Cz {
@@ -515,20 +513,13 @@ impl Device {
                     }
                 }
                 Event::Mpg { qubits, duration } => {
-                    self.trace.record(
-                        ev.td,
-                        TraceKind::MsmtPulse {
-                            qubits,
-                            duration,
-                        },
-                    );
+                    self.trace
+                        .record(ev.td, TraceKind::MsmtPulse { qubits, duration });
                     // Figure 6: the digital output unit raises the masked
                     // marker lines for D cycles, triggering the measurement
                     // carrier generators.
                     self.digital_out.assert_channels(qubits, ev.td, duration);
-                    let at = start
-                        + ev.td
-                        + u64::from(self.config.msmt_trigger_delay_cycles);
+                    let at = start + ev.td + u64::from(self.config.msmt_trigger_delay_cycles);
                     for q in qubits.iter() {
                         actions.push(ChipAction::Measure {
                             qubit: q,
@@ -561,7 +552,10 @@ impl Device {
                                 match pending {
                                     Some(d) => (d, ()),
                                     None => {
-                                        return Err(DeviceError::MdWithoutMpg { qubit: q, td: ev.td })
+                                        return Err(DeviceError::MdWithoutMpg {
+                                            qubit: q,
+                                            td: ev.td,
+                                        })
                                     }
                                 }
                             }
@@ -571,12 +565,15 @@ impl Device {
                             + u64::from(self.config.msmt_trigger_delay_cycles)
                             + u64::from(duration)
                             + u64::from(self.config.mdu_latency_cycles);
-                        self.writebacks.entry(complete).or_default().push(Writeback {
-                            qubit: q,
-                            rd,
-                            bit: 0, // filled at completion
-                            s: 0.0,
-                        });
+                        self.writebacks
+                            .entry(complete)
+                            .or_default()
+                            .push(Writeback {
+                                qubit: q,
+                                rd,
+                                bit: 0, // filled at completion
+                                s: 0.0,
+                            });
                     }
                 }
             }
@@ -662,11 +659,7 @@ impl Device {
     }
 
     fn apply_writebacks(&mut self, cycle: u64) -> Result<(), DeviceError> {
-        let due: Vec<u64> = self
-            .writebacks
-            .range(..=cycle)
-            .map(|(&c, _)| c)
-            .collect();
+        let due: Vec<u64> = self.writebacks.range(..=cycle).map(|(&c, _)| c).collect();
         for c in due {
             let wbs = self.writebacks.remove(&c).expect("key exists");
             for mut wb in wbs {
@@ -710,15 +703,17 @@ impl Device {
         Ok(())
     }
 
-    fn mdu_for(&mut self, qubit: usize, duration_cycles: u32) -> &mut MeasurementDiscriminationUnit {
+    fn mdu_for(
+        &mut self,
+        qubit: usize,
+        duration_cycles: u32,
+    ) -> &mut MeasurementDiscriminationUnit {
         let readout = self.chip.qubit(qubit).readout.clone();
         let integration = f64::from(duration_cycles) * self.config.cycle_time;
         let latency = self.config.mdu_latency_cycles;
-        self.mdus[qubit]
-            .entry(duration_cycles)
-            .or_insert_with(|| {
-                MeasurementDiscriminationUnit::calibrate(&readout, integration, latency)
-            })
+        self.mdus[qubit].entry(duration_cycles).or_insert_with(|| {
+            MeasurementDiscriminationUnit::calibrate(&readout, integration, latency)
+        })
     }
 
     fn report(&mut self, cycle: u64) -> RunReport {
@@ -729,7 +724,11 @@ impl Device {
         RunReport {
             registers,
             memory: self.exec.memory().to_vec(),
-            collector_averages: self.collectors.iter().map(DataCollector::averages).collect(),
+            collector_averages: self
+                .collectors
+                .iter()
+                .map(DataCollector::averages)
+                .collect(),
             md_results: std::mem::take(&mut self.md_results),
             stats: RunStats {
                 host_cycles: cycle,
@@ -931,7 +930,10 @@ mod tests {
         let mut dev = device();
         let report = dev.run_assembly(src).unwrap();
         assert_eq!(report.registers[2], 42);
-        assert_eq!(report.stats.td_final, 0, "deterministic clock never started");
+        assert_eq!(
+            report.stats.td_final, 0,
+            "deterministic clock never started"
+        );
     }
 
     #[test]

@@ -54,9 +54,9 @@ impl DigitalOutputUnit {
     /// Level of channel `ch` at `cycle` (true = high). Overlapping
     /// assertions OR together, as wired-or marker lines do.
     pub fn level(&self, ch: usize, cycle: u64) -> bool {
-        self.pulses.iter().any(|p| {
-            p.channels.contains(ch) && (p.start..p.end()).contains(&cycle)
-        })
+        self.pulses
+            .iter()
+            .any(|p| p.channels.contains(ch) && (p.start..p.end()).contains(&cycle))
     }
 
     /// Every recorded assertion, in issue order.

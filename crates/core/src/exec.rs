@@ -281,12 +281,15 @@ impl ExecutionController {
                 let addr = i64::from(self.rf.read(*base)) + i64::from(*offset);
                 let v = *self
                     .mem
-                    .get(usize::try_from(addr).ok().filter(|&a| a < self.mem.len()).ok_or(
-                        ExecError::MemOutOfBounds {
-                            addr,
-                            size: self.mem.len(),
-                        },
-                    )?)
+                    .get(
+                        usize::try_from(addr)
+                            .ok()
+                            .filter(|&a| a < self.mem.len())
+                            .ok_or(ExecError::MemOutOfBounds {
+                                addr,
+                                size: self.mem.len(),
+                            })?,
+                    )
                     .expect("bounds checked");
                 self.rf.write(*rd, v);
                 StepOutcome::RetiredClassical
@@ -464,10 +467,7 @@ mod tests {
             StepOutcome::RetiredClassical
         ));
         // Quantum stalls.
-        assert_eq!(
-            ec.step(1, 0).unwrap(),
-            StepOutcome::StalledBackpressure
-        );
+        assert_eq!(ec.step(1, 0).unwrap(), StepOutcome::StalledBackpressure);
         assert!(matches!(
             ec.step(2, 1).unwrap(),
             StepOutcome::ForwardedQuantum(_)
@@ -477,9 +477,7 @@ mod tests {
 
     #[test]
     fn pending_register_stalls_reader() {
-        let prog = Assembler::new()
-            .assemble("add r2, r7, r7\nhalt")
-            .unwrap();
+        let prog = Assembler::new().assemble("add r2, r7, r7\nhalt").unwrap();
         let mut ec = controller();
         ec.load(&prog);
         ec.mark_pending(Reg::r(7));

@@ -38,6 +38,7 @@
 pub mod collector;
 pub mod config;
 pub mod ctpg;
+pub mod device;
 pub mod digital_out;
 pub mod event;
 pub mod exec;
@@ -47,15 +48,14 @@ pub mod qmb;
 pub mod timing;
 pub mod trace;
 pub mod uop_unit;
-pub mod device;
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::collector::DataCollector;
     pub use crate::config::{ChipProfile, DeviceConfig};
     pub use crate::ctpg::{Ctpg, PulseLibrary, PulseLibraryBuilder};
-    pub use crate::digital_out::{DigitalOutputUnit, MarkerPulse, NUM_CHANNELS};
     pub use crate::device::{Device, DeviceError, MdRecord, RunReport, RunStats};
+    pub use crate::digital_out::{DigitalOutputUnit, MarkerPulse, NUM_CHANNELS};
     pub use crate::event::{Event, FiredEvent};
     pub use crate::exec::{ExecStats, ExecutionController, StepOutcome};
     pub use crate::mdu::MeasurementDiscriminationUnit;

@@ -37,7 +37,10 @@ pub struct NoTraceLatched;
 
 impl std::fmt::Display for NoTraceLatched {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MD trigger with no latched measurement trace (missing MPG?)")
+        write!(
+            f,
+            "MD trigger with no latched measurement trace (missing MPG?)"
+        )
     }
 }
 

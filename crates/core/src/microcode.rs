@@ -216,10 +216,7 @@ impl std::error::Error for UnknownGate {}
 /// microinstructions. `Wait`/`Pulse`/`MPG`/`MD` pass through unchanged;
 /// `Apply` expands via the Q control store; `Measure` expands to
 /// `MPG` + `MD` with the store's default duration.
-pub fn expand(
-    store: &QControlStore,
-    insn: &Instruction,
-) -> Result<Vec<Instruction>, UnknownGate> {
+pub fn expand(store: &QControlStore, insn: &Instruction) -> Result<Vec<Instruction>, UnknownGate> {
     match insn {
         Instruction::Apply { gate, qubits } => {
             let prog = store.program(*gate).ok_or(UnknownGate(*gate))?;
@@ -400,7 +397,10 @@ mod tests {
         assert_eq!(QubitSel::All.resolve(m), m);
         assert_eq!(QubitSel::First.resolve(m), QubitMask::single(3));
         assert_eq!(QubitSel::Second.resolve(m), QubitMask::single(5));
-        assert_eq!(QubitSel::Second.resolve(QubitMask::single(1)), QubitMask::EMPTY);
+        assert_eq!(
+            QubitSel::Second.resolve(QubitMask::single(1)),
+            QubitMask::EMPTY
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct NotMicrocode(pub Instruction);
 
 impl std::fmt::Display for NotMicrocode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "instruction '{}' is not a QuMIS microinstruction", self.0)
+        write!(
+            f,
+            "instruction '{}' is not a QuMIS microinstruction",
+            self.0
+        )
     }
 }
 
@@ -176,7 +180,10 @@ mod tests {
     use super::*;
     use quma_isa::prelude::{Assembler, QubitMask, Reg, UopId};
 
-    fn push_program(src: &str, capacity: usize) -> (QuantumMicroinstructionBuffer, TimingControlUnit) {
+    fn push_program(
+        src: &str,
+        capacity: usize,
+    ) -> (QuantumMicroinstructionBuffer, TimingControlUnit) {
         let prog = Assembler::new().assemble(src).unwrap();
         let mut qmb = QuantumMicroinstructionBuffer::new();
         let mut tcu = TimingControlUnit::new(capacity);
@@ -210,12 +217,30 @@ mod tests {
         assert_eq!(
             s.timing,
             vec![
-                TimePoint { interval: 40000, label: 1 },
-                TimePoint { interval: 4, label: 2 },
-                TimePoint { interval: 4, label: 3 },
-                TimePoint { interval: 40000, label: 4 },
-                TimePoint { interval: 4, label: 5 },
-                TimePoint { interval: 4, label: 6 },
+                TimePoint {
+                    interval: 40000,
+                    label: 1
+                },
+                TimePoint {
+                    interval: 4,
+                    label: 2
+                },
+                TimePoint {
+                    interval: 4,
+                    label: 3
+                },
+                TimePoint {
+                    interval: 40000,
+                    label: 4
+                },
+                TimePoint {
+                    interval: 4,
+                    label: 5
+                },
+                TimePoint {
+                    interval: 4,
+                    label: 6
+                },
             ]
         );
         let pulse_labels: Vec<u32> = s.pulse.iter().map(|&(_, l)| l).collect();
@@ -240,7 +265,13 @@ mod tests {
     fn event_before_wait_gets_zero_interval_time_point() {
         let (qmb, tcu) = push_program("Pulse {q0}, X180\n", 8);
         let s = tcu.snapshot();
-        assert_eq!(s.timing, vec![TimePoint { interval: 0, label: 1 }]);
+        assert_eq!(
+            s.timing,
+            vec![TimePoint {
+                interval: 0,
+                label: 1
+            }]
+        );
         assert_eq!(s.pulse.len(), 1);
         assert_eq!(qmb.current_label(), Some(1));
     }
@@ -283,9 +314,7 @@ mod tests {
     fn classical_instruction_is_rejected() {
         let mut qmb = QuantumMicroinstructionBuffer::new();
         let mut tcu = TimingControlUnit::new(8);
-        let err = qmb
-            .push(&Instruction::Halt, &mut tcu)
-            .unwrap_err();
+        let err = qmb.push(&Instruction::Halt, &mut tcu).unwrap_err();
         assert_eq!(err, NotMicrocode(Instruction::Halt));
     }
 
@@ -329,7 +358,8 @@ mod tests {
         // case), not the already-broadcast label.
         let mut qmb = QuantumMicroinstructionBuffer::new();
         let mut tcu = TimingControlUnit::new(16);
-        qmb.push(&Instruction::Wait { interval: 10 }, &mut tcu).unwrap();
+        qmb.push(&Instruction::Wait { interval: 10 }, &mut tcu)
+            .unwrap();
         qmb.push(
             &Instruction::Pulse {
                 ops: vec![quma_isa::prelude::PulseOp {

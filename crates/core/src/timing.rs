@@ -249,11 +249,7 @@ impl TimingControlUnit {
             for q in QueueId::ALL {
                 let queue = self.queue_mut(q);
                 let mut popped = 0u64;
-                while queue
-                    .entries
-                    .front()
-                    .is_some_and(|&(_, l)| l == head.label)
-                {
+                while queue.entries.front().is_some_and(|&(_, l)| l == head.label) {
                     let (event, _) = queue.entries.pop_front().expect("front checked");
                     fired.push(FiredEvent {
                         td: now,

@@ -211,7 +211,8 @@ mod tests {
         t.record(20, TraceKind::TimePoint { label: 9 });
         assert_eq!(t.pulse_timeline(), vec![(16, 2, 1)]);
         assert_eq!(
-            t.filter(|k| matches!(k, TraceKind::TimePoint { .. })).count(),
+            t.filter(|k| matches!(k, TraceKind::TimePoint { .. }))
+                .count(),
             1
         );
     }

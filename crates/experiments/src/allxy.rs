@@ -46,8 +46,8 @@ pub fn pairs() -> [[PrimitiveGate; 2]; 21] {
 /// Figure 9's x-axis labels: uppercase = π rotations, lowercase = π/2.
 pub fn labels() -> [&'static str; 21] {
     [
-        "II", "XX", "YY", "XY", "YX", "xI", "yI", "xy", "yx", "xY", "yX", "Xy", "Yx", "xX",
-        "Xx", "yY", "Yy", "XI", "YI", "xx", "yy",
+        "II", "XX", "YY", "XY", "YX", "xI", "yI", "xy", "yx", "xY", "yX", "Xy", "Yx", "xX", "Xx",
+        "yY", "Yy", "XI", "YI", "xx", "yy",
     ]
 }
 
@@ -180,11 +180,7 @@ pub fn build_device(cfg: &AllxyConfig) -> Device {
             dev.ctpg_mut(0).upload(lib);
         }
         PulseError::Detuning(d) => {
-            dev.chip_mut()
-                .qubit_mut(0)
-                .transmon
-                .params_mut()
-                .detuning = d;
+            dev.chip_mut().qubit_mut(0).transmon.params_mut().detuning = d;
         }
     }
     dev
@@ -205,9 +201,8 @@ pub fn run(cfg: &AllxyConfig) -> AllxyResult {
 pub fn analyze(raw: &[f64], double_points: bool) -> AllxyResult {
     let ppp = if double_points { 2 } else { 1 };
     assert_eq!(raw.len(), 21 * ppp, "unexpected collector shape");
-    let pair_mean = |pair: usize| -> f64 {
-        (0..ppp).map(|r| raw[pair * ppp + r]).sum::<f64>() / ppp as f64
-    };
+    let pair_mean =
+        |pair: usize| -> f64 { (0..ppp).map(|r| raw[pair * ppp + r]).sum::<f64>() / ppp as f64 };
     let s0 = pair_mean(0);
     let s1 = (pair_mean(17) + pair_mean(18)) / 2.0;
     let span = s1 - s0;
@@ -232,7 +227,11 @@ pub fn analyze(raw: &[f64], double_points: bool) -> AllxyResult {
 pub fn format_table(result: &AllxyResult) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:>4} {:>5} {:>10} {:>7}", "idx", "pair", "measured", "ideal");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>5} {:>10} {:>7}",
+        "idx", "pair", "measured", "ideal"
+    );
     for (i, f) in result.fidelity.iter().enumerate() {
         let pair = i / result.points_per_pair;
         let _ = writeln!(

@@ -207,6 +207,9 @@ mod tests {
             .windows(2)
             .map(|w| w[1] - w[0])
             .fold(f64::MIN, f64::max);
-        assert!(max_rise < 0.2, "echo curve should not oscillate: {max_rise}");
+        assert!(
+            max_rise < 0.2,
+            "echo curve should not oscillate: {max_rise}"
+        );
     }
 }

@@ -23,8 +23,8 @@ pub mod calibrate;
 pub mod echo;
 pub mod fit;
 pub mod ramsey;
-pub mod readout;
 pub mod rb;
+pub mod readout;
 pub mod stats;
 pub mod t1;
 
@@ -39,18 +39,14 @@ pub mod prelude {
     pub use crate::echo::{run as run_echo, EchoConfig, EchoResult};
     pub use crate::fit::{
         fit_damped_cosine, fit_exponential_decay, fit_exponential_decay_fixed, fit_rb_decay,
-        fit_rb_decay_free,
-        levenberg_marquardt, FitError,
-        FitResult,
+        fit_rb_decay_free, levenberg_marquardt, FitError, FitResult,
     };
     pub use crate::ramsey::{run as run_ramsey, RamseyConfig, RamseyResult};
-    pub use crate::readout::{
-        run as run_readout, ReadoutConfig, ReadoutPoint, ReadoutResult,
-    };
     pub use crate::rb::{
-        find_single_pulse_clifford, run as run_rb, run_interleaved, InterleavedRbResult,
-        RbConfig, RbResult,
+        find_single_pulse_clifford, run as run_rb, run_interleaved, InterleavedRbResult, RbConfig,
+        RbResult,
     };
+    pub use crate::readout::{run as run_readout, ReadoutConfig, ReadoutPoint, ReadoutResult};
     pub use crate::stats::{mean, mean_abs_deviation, sem, std_dev, variance};
     pub use crate::t1::{run as run_t1, T1Config, T1Result};
 }

@@ -109,28 +109,24 @@ pub fn run(cfg: &RbConfig) -> Result<RbResult, FitError> {
         let mut acc = 0.0;
         for s in 0..cfg.sequences_per_length {
             let sequence: Vec<usize> = (0..m).map(|_| rng.random_range(0..24)).collect();
-            let program =
-                build_sequence_program(&group, &sequence, cfg.init_cycles, cfg.averages);
+            let program = build_sequence_program(&group, &sequence, cfg.init_cycles, cfg.averages);
             let dev_cfg = DeviceConfig {
                 chip: ChipProfile::Paper,
-                chip_seed: cfg
-                    .chip_seed
-                    .wrapping_add(li as u64 * 1000 + s as u64),
+                chip_seed: cfg.chip_seed.wrapping_add(li as u64 * 1000 + s as u64),
                 collector_k: 1,
                 trace: TraceLevel::Off,
                 ..DeviceConfig::default()
             };
             let mut dev = Device::new(dev_cfg).expect("valid config");
             if (cfg.amplitude_scale - 1.0).abs() > f64::EPSILON {
-                let lib = dev.ctpg(0).library().with_amplitude_scale(cfg.amplitude_scale);
+                let lib = dev
+                    .ctpg(0)
+                    .library()
+                    .with_amplitude_scale(cfg.amplitude_scale);
                 dev.ctpg_mut(0).upload(lib);
             }
             let report = dev.run(&program).expect("RB program runs");
-            let zeros = report
-                .md_results
-                .iter()
-                .filter(|md| md.bit == 0)
-                .count();
+            let zeros = report.md_results.iter().filter(|md| md.bit == 0).count();
             acc += zeros as f64 / report.md_results.len().max(1) as f64;
         }
         survival.push(acc / cfg.sequences_per_length as f64);
@@ -174,10 +170,7 @@ pub fn build_interleaved_program(
     init_cycles: u32,
     averages: u32,
 ) -> quma_isa::program::Program {
-    let full: Vec<usize> = sequence
-        .iter()
-        .flat_map(|&c| [c, interleaved])
-        .collect();
+    let full: Vec<usize> = sequence.iter().flat_map(|&c| [c, interleaved]).collect();
     build_sequence_program(group, &full, init_cycles, averages)
 }
 
@@ -210,15 +203,14 @@ pub fn run_interleaved(cfg: &RbConfig, gate_index: usize) -> Result<InterleavedR
             };
             let mut dev = Device::new(dev_cfg).expect("valid config");
             if (cfg.amplitude_scale - 1.0).abs() > f64::EPSILON {
-                let lib = dev.ctpg(0).library().with_amplitude_scale(cfg.amplitude_scale);
+                let lib = dev
+                    .ctpg(0)
+                    .library()
+                    .with_amplitude_scale(cfg.amplitude_scale);
                 dev.ctpg_mut(0).upload(lib);
             }
             let report = dev.run(&program).expect("RB program runs");
-            let zeros = report
-                .md_results
-                .iter()
-                .filter(|md| md.bit == 0)
-                .count();
+            let zeros = report.md_results.iter().filter(|md| md.bit == 0).count();
             acc += zeros as f64 / report.md_results.len().max(1) as f64;
         }
         survival.push(acc / cfg.sequences_per_length as f64);

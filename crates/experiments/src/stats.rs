@@ -1,4 +1,6 @@
-//! Small statistics helpers shared by the experiments.
+//! Small statistics helpers shared by the Section 8 experiments
+//! (averaging the per-point measurement records the data collection unit
+//! of Section 7.1 returns).
 
 /// Arithmetic mean; 0 for empty input.
 pub fn mean(xs: &[f64]) -> f64 {

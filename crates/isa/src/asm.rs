@@ -497,10 +497,7 @@ mod tests {
             prog.instructions()[3],
             Instruction::QNopReg { rs: Reg::r(15) }
         );
-        assert_eq!(
-            prog.instructions()[12],
-            Instruction::Halt
-        );
+        assert_eq!(prog.instructions()[12], Instruction::Halt);
         match &prog.instructions()[11] {
             Instruction::Bne { target, .. } => assert_eq!(*target, 3),
             other => panic!("expected bne, got {other}"),
@@ -575,15 +572,15 @@ mod tests {
 
     #[test]
     fn undefined_label_reported() {
-        let err = Assembler::new().assemble("bne r1, r2, Nowhere").unwrap_err();
+        let err = Assembler::new()
+            .assemble("bne r1, r2, Nowhere")
+            .unwrap_err();
         assert!(matches!(err.kind, AsmErrorKind::UndefinedLabel(_)));
     }
 
     #[test]
     fn duplicate_label_reported() {
-        let err = Assembler::new()
-            .assemble("L: halt\nL: halt")
-            .unwrap_err();
+        let err = Assembler::new().assemble("L: halt\nL: halt").unwrap_err();
         assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
     }
 
@@ -595,7 +592,9 @@ mod tests {
 
     #[test]
     fn label_on_same_line_as_instruction() {
-        let prog = Assembler::new().assemble("Loop: Wait 4\njump Loop").unwrap();
+        let prog = Assembler::new()
+            .assemble("Loop: Wait 4\njump Loop")
+            .unwrap();
         assert_eq!(prog.label("Loop"), Some(0));
         assert_eq!(prog.instructions()[1], Instruction::Jump { target: 0 });
     }

@@ -141,10 +141,7 @@ pub fn encode(insn: &Instruction) -> Result<Vec<u32>, EncodeError> {
             | u32::from(rt.index()) << 14),
         Instruction::Addi { rd, rs, imm } => {
             let imm = check_signed(*imm, 16)?;
-            one(opc(op::ADDI)
-                | u32::from(rd.index()) << 22
-                | u32::from(rs.index()) << 18
-                | imm)
+            one(opc(op::ADDI) | u32::from(rd.index()) << 22 | u32::from(rs.index()) << 18 | imm)
         }
         Instruction::Sub { rd, rs, rt } => one(opc(op::SUB)
             | u32::from(rd.index()) << 22
@@ -164,43 +161,31 @@ pub fn encode(insn: &Instruction) -> Result<Vec<u32>, EncodeError> {
             | u32::from(rt.index()) << 14),
         Instruction::Load { rd, base, offset } => {
             let off = check_signed(*offset, 16)?;
-            one(opc(op::LOAD)
-                | u32::from(rd.index()) << 22
-                | u32::from(base.index()) << 18
-                | off)
+            one(opc(op::LOAD) | u32::from(rd.index()) << 22 | u32::from(base.index()) << 18 | off)
         }
         Instruction::Store { rs, base, offset } => {
             let off = check_signed(*offset, 16)?;
-            one(opc(op::STORE)
-                | u32::from(rs.index()) << 22
-                | u32::from(base.index()) << 18
-                | off)
+            one(opc(op::STORE) | u32::from(rs.index()) << 22 | u32::from(base.index()) << 18 | off)
         }
         Instruction::Beq { rs, rt, target } => {
             let t = check_unsigned(*target, 18)?;
-            one(opc(op::BEQ)
-                | u32::from(rs.index()) << 22
-                | u32::from(rt.index()) << 18
-                | t)
+            one(opc(op::BEQ) | u32::from(rs.index()) << 22 | u32::from(rt.index()) << 18 | t)
         }
         Instruction::Bne { rs, rt, target } => {
             let t = check_unsigned(*target, 18)?;
-            one(opc(op::BNE)
-                | u32::from(rs.index()) << 22
-                | u32::from(rt.index()) << 18
-                | t)
+            one(opc(op::BNE) | u32::from(rs.index()) << 22 | u32::from(rt.index()) << 18 | t)
         }
         Instruction::Jump { target } => {
             let t = check_unsigned(*target, 18)?;
             one(opc(op::JUMP) | t)
         }
         Instruction::Halt => one(opc(op::HALT)),
-        Instruction::Apply { gate, qubits } => one(opc(op::APPLY)
-            | u32::from(gate.0) << 18
-            | u32::from(qubits.0) << 2),
-        Instruction::Measure { qubits, rd } => one(opc(op::MEASURE)
-            | u32::from(qubits.0) << 10
-            | u32::from(rd.index()) << 6),
+        Instruction::Apply { gate, qubits } => {
+            one(opc(op::APPLY) | u32::from(gate.0) << 18 | u32::from(qubits.0) << 2)
+        }
+        Instruction::Measure { qubits, rd } => {
+            one(opc(op::MEASURE) | u32::from(qubits.0) << 10 | u32::from(rd.index()) << 6)
+        }
         Instruction::QNopReg { rs } => one(opc(op::QNOPREG) | u32::from(rs.index()) << 22),
         Instruction::Wait { interval } => {
             let i = check_unsigned(*interval, 26)?;

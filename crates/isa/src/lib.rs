@@ -42,5 +42,7 @@ pub mod prelude {
     pub use crate::program::Program;
     pub use crate::reg::{Reg, RegisterFile, NUM_REGS};
     pub use crate::uop::{QubitMask, UopId, UopTable, UopTableError, MAX_UOP, TABLE1_NAMES};
-    pub use crate::verify::{is_loadable, verify, Diagnostic, DiagnosticKind, Severity, VerifyConfig};
+    pub use crate::verify::{
+        is_loadable, verify, Diagnostic, DiagnosticKind, Severity, VerifyConfig,
+    };
 }

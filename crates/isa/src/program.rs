@@ -48,11 +48,7 @@ impl Program {
 
     /// All labels, sorted by address.
     pub fn labels(&self) -> Vec<(&str, u32)> {
-        let mut v: Vec<(&str, u32)> = self
-            .labels
-            .iter()
-            .map(|(k, &a)| (k.as_str(), a))
-            .collect();
+        let mut v: Vec<(&str, u32)> = self.labels.iter().map(|(k, &a)| (k.as_str(), a)).collect();
         v.sort_by_key(|&(_, a)| a);
         v
     }
@@ -124,10 +120,7 @@ mod tests {
         let src = "A: halt\nB: halt\nC: halt";
         let prog = Assembler::new().assemble(src).unwrap();
         let labels = prog.labels();
-        assert_eq!(
-            labels,
-            vec![("A", 0), ("B", 1), ("C", 2)]
-        );
+        assert_eq!(labels, vec![("A", 0), ("B", 1), ("C", 2)]);
     }
 
     #[test]

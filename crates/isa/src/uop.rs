@@ -292,12 +292,18 @@ mod tests {
     #[test]
     fn register_conflicts_detected() {
         let mut t = UopTable::table1();
-        assert!(t.register("I", UopId(0)).is_ok(), "re-register same is fine");
+        assert!(
+            t.register("I", UopId(0)).is_ok(),
+            "re-register same is fine"
+        );
         assert_eq!(
             t.register("I", UopId(9)),
             Err(UopTableError::NameConflict("I".into()))
         );
-        assert_eq!(t.register("CZ", UopId(0)), Err(UopTableError::IdConflict(0)));
+        assert_eq!(
+            t.register("CZ", UopId(0)),
+            Err(UopTableError::IdConflict(0))
+        );
         assert!(t.register("CZ", UopId(7)).is_ok());
         assert_eq!(t.name(UopId(7)), Some("CZ"));
     }

@@ -83,7 +83,10 @@ impl std::fmt::Display for Diagnostic {
             DiagnosticKind::MissingHalt => {
                 write!(f, "no halt on the final path (implicit halt applies)")
             }
-            DiagnosticKind::UnalignedWait { interval, alignment } => write!(
+            DiagnosticKind::UnalignedWait {
+                interval,
+                alignment,
+            } => write!(
                 f,
                 "Wait {interval} breaks the {alignment}-cycle SSB alignment: \
                  later pulses rotate about a shifted axis"
@@ -134,16 +137,17 @@ pub fn verify(program: &Program, cfg: &VerifyConfig) -> Vec<Diagnostic> {
             Instruction::Beq { target, .. }
             | Instruction::Bne { target, .. }
             | Instruction::Jump { target }
-                if *target as usize >= len => {
-                    out.push(Diagnostic {
-                        index: Some(i),
-                        severity: Severity::Error,
-                        kind: DiagnosticKind::BranchOutOfRange {
-                            target: *target,
-                            len,
-                        },
-                    });
-                }
+                if *target as usize >= len =>
+            {
+                out.push(Diagnostic {
+                    index: Some(i),
+                    severity: Severity::Error,
+                    kind: DiagnosticKind::BranchOutOfRange {
+                        target: *target,
+                        len,
+                    },
+                });
+            }
             Instruction::Halt => has_halt = true,
             Instruction::Wait { interval } => {
                 let a = cfg.ssb_alignment_cycles;
@@ -245,7 +249,10 @@ mod tests {
         assert_eq!(d[0].severity, Severity::Warning);
         assert!(matches!(
             d[0].kind,
-            DiagnosticKind::UnalignedWait { interval: 5, alignment: 4 }
+            DiagnosticKind::UnalignedWait {
+                interval: 5,
+                alignment: 4
+            }
         ));
         // Still loadable: warnings don't block.
         let prog = Assembler::new()
@@ -271,7 +278,11 @@ mod tests {
         let d = diags("Wait 4\nMD {q2}, r7\nhalt");
         assert!(d.iter().any(|d| matches!(
             d.kind,
-            DiagnosticKind::MdWithoutMpg { qubit: 2, mpg: 0, md: 1 }
+            DiagnosticKind::MdWithoutMpg {
+                qubit: 2,
+                mpg: 0,
+                md: 1
+            }
         )));
     }
 

@@ -70,7 +70,10 @@ impl QuantumChip {
     pub fn paper_device(n: usize, seed: u64) -> Self {
         let mut chip = Self::new(seed);
         for _ in 0..n {
-            chip.add_qubit(TransmonParams::paper_qubit2(), ReadoutParams::paper_default());
+            chip.add_qubit(
+                TransmonParams::paper_qubit2(),
+                ReadoutParams::paper_default(),
+            );
         }
         chip
     }
@@ -363,7 +366,10 @@ mod tests {
             let _ = round;
         }
         let f = ones as f64 / n as f64;
-        assert!((f - 0.5).abs() < 0.1, "π/2 pulse should give ~50% ones, got {f}");
+        assert!(
+            (f - 0.5).abs() < 0.1,
+            "π/2 pulse should give ~50% ones, got {f}"
+        );
     }
 
     #[test]

@@ -49,9 +49,7 @@ pub mod prelude {
     };
     pub use crate::mat2::{Mat2, Vec2};
     pub use crate::noise::{Decoherence, NoiseError};
-    pub use crate::resonator::{
-        synthesize_trace, Discriminator, ReadoutParams, ReadoutTrace,
-    };
+    pub use crate::resonator::{synthesize_trace, Discriminator, ReadoutParams, ReadoutTrace};
     pub use crate::state::{equator_state, DensityMatrix, StateError};
     pub use crate::transmon::{calibrate_rabi, rotation_from_pulse, Transmon, TransmonParams};
     pub use crate::twoqubit::{Mat4, TwoQubitState};

@@ -1,4 +1,6 @@
-//! 2×2 complex matrices and 2-vectors: the workhorse of single-qubit algebra.
+//! 2×2 complex matrices and 2-vectors: the workhorse of single-qubit
+//! algebra behind every gate and density matrix in the substrate the
+//! QuMA control box (Section 7) drives.
 
 use crate::complex::{C64, ONE, ZERO};
 use std::ops::{Add, Mul, Sub};
@@ -92,12 +94,7 @@ impl Mat2 {
 
     /// Pauli Y.
     pub const fn pauli_y() -> Self {
-        Self::new(
-            ZERO,
-            C64::new(0.0, -1.0),
-            C64::new(0.0, 1.0),
-            ZERO,
-        )
+        Self::new(ZERO, C64::new(0.0, -1.0), C64::new(0.0, 1.0), ZERO)
     }
 
     /// Pauli Z.
@@ -127,12 +124,7 @@ impl Mat2 {
 
     /// Scales every entry by a real factor.
     pub fn scale(&self, k: f64) -> Self {
-        Self::new(
-            self.m00 * k,
-            self.m01 * k,
-            self.m10 * k,
-            self.m11 * k,
-        )
+        Self::new(self.m00 * k, self.m01 * k, self.m10 * k, self.m11 * k)
     }
 
     /// Scales every entry by a complex factor.

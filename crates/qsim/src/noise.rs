@@ -39,7 +39,10 @@ impl Decoherence {
     /// Typical transmon figures of the paper's era (T1 ≈ 20 µs, T2 ≈ 25 µs;
     /// cf. the < 100 µs coherence-time remark in Section 4.2.1).
     pub fn typical_transmon() -> Self {
-        Self { t1: 20e-6, t2: 25e-6 }
+        Self {
+            t1: 20e-6,
+            t2: 25e-6,
+        }
     }
 
     /// Pure-dephasing rate `1/Tφ = 1/T2 − 1/(2·T1)` (non-negative by the
@@ -98,12 +101,7 @@ impl std::error::Error for NoiseError {}
 /// probability `p`.
 pub fn amplitude_damping_kraus(p: f64) -> [Mat2; 2] {
     let p = p.clamp(0.0, 1.0);
-    let k0 = Mat2::new(
-        C64::real(1.0),
-        ZERO,
-        ZERO,
-        C64::real((1.0 - p).sqrt()),
-    );
+    let k0 = Mat2::new(C64::real(1.0), ZERO, ZERO, C64::real((1.0 - p).sqrt()));
     let k1 = Mat2::new(ZERO, C64::real(p.sqrt()), ZERO, ZERO);
     [k0, k1]
 }

@@ -180,11 +180,7 @@ impl Discriminator {
 }
 
 fn integrate(samples: &[f64], weights: &[f64]) -> f64 {
-    samples
-        .iter()
-        .zip(weights.iter())
-        .map(|(v, w)| v * w)
-        .sum()
+    samples.iter().zip(weights.iter()).map(|(v, w)| v * w).sum()
 }
 
 #[cfg(test)]
@@ -240,7 +236,9 @@ mod tests {
         let d = Discriminator::calibrate(&p, 1.5e-6);
         let mut seed = 0x2545F491u64;
         let mut lcg = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut errors = 0;

@@ -26,9 +26,7 @@ pub struct Mat4 {
 impl Mat4 {
     /// The zero matrix.
     pub fn zero() -> Self {
-        Self {
-            m: [[ZERO; 4]; 4],
-        }
+        Self { m: [[ZERO; 4]; 4] }
     }
 
     /// The identity matrix.
@@ -249,7 +247,10 @@ impl TwoQubitState {
             };
             bit == usize::from(outcome)
         };
-        let p: f64 = (0..4).filter(|&i| keep(i)).map(|i| self.rho.m[i][i].re).sum();
+        let p: f64 = (0..4)
+            .filter(|&i| keep(i))
+            .map(|i| self.rho.m[i][i].re)
+            .sum();
         let p = p.clamp(0.0, 1.0);
         let mut out = Mat4::zero();
         if p <= f64::EPSILON {
@@ -382,7 +383,10 @@ mod tests {
         // Both qubits maximally mixed individually...
         assert!((s.p1_of(0) - 0.5).abs() < TOL);
         assert!((s.p1_of(1) - 0.5).abs() < TOL);
-        assert!((s.reduced_purity(0) - 0.5).abs() < TOL, "maximal entanglement");
+        assert!(
+            (s.reduced_purity(0) - 0.5).abs() < TOL,
+            "maximal entanglement"
+        );
         // ...but perfectly correlated: projecting one pins the other.
         let mut s0 = s.clone();
         s0.project(0, 0);
@@ -433,7 +437,10 @@ mod tests {
         let s = TwoQubitState::product(&a, &b);
         assert!((s.p1_of(0) - 0.5).abs() < TOL);
         assert!((s.p1_of(1) - 1.0).abs() < TOL);
-        assert!((s.reduced_purity(0) - 1.0).abs() < TOL, "product = unentangled");
+        assert!(
+            (s.reduced_purity(0) - 1.0).abs() < TOL,
+            "product = unentangled"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ proptest! {
     }
 
     #[test]
-    fn measurement_statistics_match_born_rule(theta in 0.0f64..3.14159) {
+    fn measurement_statistics_match_born_rule(theta in 0.0f64..std::f64::consts::PI) {
         let mut rho = DensityMatrix::ground();
         rho.apply_unitary(&rx(theta));
         let expected = (theta / 2.0).sin().powi(2);
@@ -65,7 +65,7 @@ proptest! {
         t1_us in 5.0f64..50.0,
         ratio in 0.1f64..1.0,
         dt_us in 0.1f64..30.0,
-        theta in 0.0f64..3.14,
+        theta in 0.0f64..std::f64::consts::PI,
     ) {
         let t1 = t1_us * 1e-6;
         let t2 = (t1 * 2.0 * ratio).max(1e-7);

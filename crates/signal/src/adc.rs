@@ -33,8 +33,7 @@ impl Adc {
     pub fn sample(&self, v: f64) -> i32 {
         let half = (self.levels() / 2) as f64;
         let clipped = v.clamp(-self.full_scale, self.full_scale);
-        ((clipped / self.full_scale * half).round() as i32)
-            .clamp(-(half as i32), half as i32 - 1)
+        ((clipped / self.full_scale * half).round() as i32).clamp(-(half as i32), half as i32 - 1)
     }
 
     /// Converts a code back to volts.
@@ -46,7 +45,10 @@ impl Adc {
     /// Digitizes a whole trace, returning reconstructed voltages (the values
     /// downstream digital processing actually sees).
     pub fn digitize(&self, trace: &[f64]) -> Vec<f64> {
-        trace.iter().map(|&v| self.to_volts(self.sample(v))).collect()
+        trace
+            .iter()
+            .map(|&v| self.to_volts(self.sample(v)))
+            .collect()
     }
 
     /// Raw code stream for a trace.
@@ -67,9 +69,7 @@ mod tests {
     #[test]
     fn digitization_error_bounded() {
         let adc = Adc::paper_acquisition();
-        let trace: Vec<f64> = (0..200)
-            .map(|k| (k as f64 * 0.13).sin() * 1.5)
-            .collect();
+        let trace: Vec<f64> = (0..200).map(|k| (k as f64 * 0.13).sin() * 1.5).collect();
         let out = adc.digitize(&trace);
         for (a, b) in trace.iter().zip(out.iter()) {
             assert!((a - b).abs() <= adc.lsb() / 2.0 + 1e-12);

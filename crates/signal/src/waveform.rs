@@ -1,5 +1,6 @@
-//! In-phase/quadrature waveforms — the digital representation of a pulse as
-//! stored in AWG memory and played through a pair of DACs.
+//! In-phase/quadrature waveforms — the digital representation of a pulse
+//! as stored in AWG waveform memory (§5.1.1) and played through a pair of
+//! DACs at the prototype's 1 GS/s (Section 7.1).
 
 use crate::envelope::Envelope;
 use quma_qsim::complex::C64;

@@ -55,7 +55,11 @@ fn main() {
     let clean = run_case("calibrated pulses", PulseError::None, averages);
     ascii_plot(&clean);
 
-    let amp = run_case("10% amplitude error", PulseError::AmplitudeScale(0.9), averages);
+    let amp = run_case(
+        "10% amplitude error",
+        PulseError::AmplitudeScale(0.9),
+        averages,
+    );
     let det = run_case("5 MHz detuning", PulseError::Detuning(5e6), averages);
     let skew = run_case(
         "5 ns timing skew on the 2nd pulse",
@@ -66,7 +70,13 @@ fn main() {
     println!("== summary ==");
     println!("paper Figure 9 reports deviation 0.012 at N = 25600");
     println!("{:<38} deviation = {:.4}", "calibrated:", clean.deviation);
-    println!("{:<38} deviation = {:.4}", "10% amplitude error:", amp.deviation);
+    println!(
+        "{:<38} deviation = {:.4}",
+        "10% amplitude error:", amp.deviation
+    );
     println!("{:<38} deviation = {:.4}", "5 MHz detuning:", det.deviation);
-    println!("{:<38} deviation = {:.4}", "5 ns skew (50 MHz SSB!):", skew.deviation);
+    println!(
+        "{:<38} deviation = {:.4}",
+        "5 ns skew (50 MHz SSB!):", skew.deviation
+    );
 }

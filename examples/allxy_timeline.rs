@@ -60,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's Figure 5 timing invariants.
     let pulses = report.trace.pulse_timeline();
-    assert_eq!(pulses[0].0 + 4, pulses[1].0, "gates are back-to-back (20 ns)");
+    assert_eq!(
+        pulses[0].0 + 4,
+        pulses[1].0,
+        "gates are back-to-back (20 ns)"
+    );
     println!("\nOK: gate pulses are exactly back-to-back, one 20 ns slot apart.");
     Ok(())
 }

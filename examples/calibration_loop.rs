@@ -19,7 +19,10 @@ fn main() {
     // ---- 1. readout window --------------------------------------------
     let sweep = readout::run(&readout::ReadoutConfig::default());
     println!("readout assignment fidelity vs integration window:");
-    println!("{:>10} {:>10} {:>9} {:>9}", "cycles", "f", "P(1|0)", "P(0|1)");
+    println!(
+        "{:>10} {:>10} {:>9} {:>9}",
+        "cycles", "f", "P(1|0)", "P(0|1)"
+    );
     for p in &sweep.points {
         println!(
             "{:>10} {:>10.4} {:>9.4} {:>9.4}",
@@ -39,7 +42,10 @@ fn main() {
     // The device secretly under-drives by 12%.
     let miscal = 0.88;
     let rabi = run_rabi(&RabiConfig::default(), miscal).expect("Rabi fit");
-    println!("Rabi sweep with a hidden {:.0}% power deficit:", (1.0 - miscal) * 100.0);
+    println!(
+        "Rabi sweep with a hidden {:.0}% power deficit:",
+        (1.0 - miscal) * 100.0
+    );
     for (s, p) in rabi.scales.iter().zip(rabi.p1.iter()) {
         let bar: String = std::iter::repeat_n('#', (p * 40.0) as usize).collect();
         println!("  scale {s:>4.1}: p1 = {p:>5.3} |{bar}");
@@ -64,7 +70,10 @@ fn main() {
         ..base
     });
     println!("AllXY deviation before correction: {:.4}", broken.deviation);
-    println!("AllXY deviation after  correction: {:.4}", repaired.deviation);
+    println!(
+        "AllXY deviation after  correction: {:.4}",
+        repaired.deviation
+    );
     assert!(repaired.deviation < broken.deviation);
     println!("\nOK: the Rabi-fit amplitude correction repaired the staircase.");
 }

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flips += u32::from(acted);
         println!(
             "trial {seed:>2}: measured |{first}> -> {} -> verified |{second}>",
-            if acted { "X180 applied " } else { "no correction" },
+            if acted {
+                "X180 applied "
+            } else {
+                "no correction"
+            },
         );
         assert_eq!(second, 0, "active reset must always end in |0>");
     }

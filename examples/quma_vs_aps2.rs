@@ -38,7 +38,10 @@ fn main() {
 
     // ---- memory scaling with combinations ------------------------------
     println!("\nmemory vs number of operation combinations:");
-    println!("{:>14} {:>12} {:>14} {:>8}", "combinations", "QuMA (B)", "baseline (B)", "ratio");
+    println!(
+        "{:>14} {:>12} {:>14} {:>8}",
+        "combinations", "QuMA (B)", "baseline (B)", "ratio"
+    );
     for combos in [21usize, 42, 84, 168, 336, 672] {
         let shape = ExperimentShape {
             combinations: combos,
@@ -56,7 +59,10 @@ fn main() {
 
     // ---- synchronization stalls on the distributed baseline ------------
     println!("\nAPS2 trigger-synchronization stalls (10 rounds of lock-step sequencing):");
-    println!("{:>9} {:>16} {:>18}", "modules", "stall samples", "stall per module");
+    println!(
+        "{:>9} {:>16} {:>18}",
+        "modules", "stall samples", "stall per module"
+    );
     for n_modules in [2usize, 4, 8] {
         let compiler = SequenceCompiler::paper_default();
         let mut program = Vec::new();

@@ -85,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, label) in ["|00>", "|01>", "|10>", "|11>"].iter().enumerate() {
         println!("  {label}: {:>3}", histogram[i]);
     }
-    assert_eq!(histogram[1] + histogram[2], 0, "Bell pair never anticorrelates");
+    assert_eq!(
+        histogram[1] + histogram[2],
+        0,
+        "Bell pair never anticorrelates"
+    );
     println!("\nOK: outcomes are perfectly correlated — entanglement through");
     println!("the complete codeword-triggered control stack.");
     Ok(())

@@ -45,8 +45,13 @@ fn run_one(seed: u64) -> Signature {
 fn parallel_devices_reproduce_serial_results() {
     let serial: Vec<_> = (0..8u64).map(run_one).collect();
     let parallel: Vec<_> = thread::scope(|s| {
-        let handles: Vec<_> = (0..8u64).map(|seed| s.spawn(move |_| run_one(seed))).collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        let handles: Vec<_> = (0..8u64)
+            .map(|seed| s.spawn(move |_| run_one(seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     })
     .expect("scope");
     assert_eq!(serial, parallel);

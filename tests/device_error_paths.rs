@@ -89,7 +89,8 @@ fn verifier_catches_what_the_device_would_fault_on() {
 
 #[test]
 fn verifier_passes_what_the_device_runs() {
-    let src = "mov r15, 40000\nQNopReg r15\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt";
+    let src =
+        "mov r15, 40000\nQNopReg r15\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt";
     let prog = Assembler::new().assemble(src).unwrap();
     assert!(is_loadable(&prog, &VerifyConfig::default()));
     assert!(verify(&prog, &VerifyConfig::default()).is_empty());

@@ -59,7 +59,10 @@ fn both_branch_outcomes_occur() {
         let report = dev.run_assembly(ACTIVE_RESET).expect("program runs");
         saw[report.registers[7] as usize & 1] = true;
     }
-    assert!(saw[0] && saw[1], "an X90 should randomize the first outcome");
+    assert!(
+        saw[0] && saw[1],
+        "an X90 should randomize the first outcome"
+    );
 }
 
 #[test]
@@ -123,6 +126,9 @@ fn accumulating_results_in_memory_matches_md_records() {
     let mut dev = Device::new(cfg).expect("valid config");
     let report = dev.run_assembly(src).expect("program runs");
     let ones: i32 = report.md_results.iter().map(|m| i32::from(m.bit)).sum();
-    assert_eq!(report.memory[64], ones, "memory accumulation matches MD log");
+    assert_eq!(
+        report.memory[64], ones,
+        "memory accumulation matches MD log"
+    );
     assert_eq!(report.md_results.len(), 8);
 }

@@ -19,30 +19,36 @@ fn arb_uop() -> impl Strategy<Value = UopId> {
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (arb_reg(), -500_000i32..500_000).prop_map(|(rd, imm)| Instruction::Mov { rd, imm }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Instruction::Add { rd, rs, rt }),
-        (arb_reg(), arb_reg(), -30_000i32..30_000)
-            .prop_map(|(rd, rs, imm)| Instruction::Addi { rd, rs, imm }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Instruction::Sub { rd, rs, rt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Instruction::And { rd, rs, rt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Instruction::Or { rd, rs, rt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Instruction::Xor { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instruction::Add { rd, rs, rt }),
+        (arb_reg(), arb_reg(), -30_000i32..30_000).prop_map(|(rd, rs, imm)| Instruction::Addi {
+            rd,
+            rs,
+            imm
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instruction::Sub { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instruction::And { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instruction::Or { rd, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instruction::Xor { rd, rs, rt }),
         (arb_reg(), arb_reg(), -30_000i32..30_000)
             .prop_map(|(rd, base, offset)| Instruction::Load { rd, base, offset }),
         (arb_reg(), arb_reg(), -30_000i32..30_000)
             .prop_map(|(rs, base, offset)| Instruction::Store { rs, base, offset }),
-        (arb_reg(), arb_reg(), 0u32..200_000)
-            .prop_map(|(rs, rt, target)| Instruction::Beq { rs, rt, target }),
-        (arb_reg(), arb_reg(), 0u32..200_000)
-            .prop_map(|(rs, rt, target)| Instruction::Bne { rs, rt, target }),
+        (arb_reg(), arb_reg(), 0u32..200_000).prop_map(|(rs, rt, target)| Instruction::Beq {
+            rs,
+            rt,
+            target
+        }),
+        (arb_reg(), arb_reg(), 0u32..200_000).prop_map(|(rs, rt, target)| Instruction::Bne {
+            rs,
+            rt,
+            target
+        }),
         (0u32..200_000).prop_map(|target| Instruction::Jump { target }),
         Just(Instruction::Halt),
-        (0u8..=255, arb_mask())
-            .prop_map(|(g, qubits)| Instruction::Apply { gate: GateId(g), qubits }),
+        (0u8..=255, arb_mask()).prop_map(|(g, qubits)| Instruction::Apply {
+            gate: GateId(g),
+            qubits
+        }),
         (arb_mask(), arb_reg()).prop_map(|(qubits, rd)| Instruction::Measure { qubits, rd }),
         arb_reg().prop_map(|rs| Instruction::QNopReg { rs }),
         (0u32..60_000_000).prop_map(|interval| Instruction::Wait { interval }),

@@ -73,8 +73,16 @@ fn horizontal_pulses_share_time_points() {
     let mut dev = Device::new(cfg).expect("device");
     let report = dev.run(&program).expect("runs");
     let pulses = report.trace.pulse_timeline();
-    let q0: Vec<u64> = pulses.iter().filter(|&&(_, q, _)| q == 0).map(|&(t, _, _)| t).collect();
-    let q1: Vec<u64> = pulses.iter().filter(|&&(_, q, _)| q == 1).map(|&(t, _, _)| t).collect();
+    let q0: Vec<u64> = pulses
+        .iter()
+        .filter(|&&(_, q, _)| q == 0)
+        .map(|&(t, _, _)| t)
+        .collect();
+    let q1: Vec<u64> = pulses
+        .iter()
+        .filter(|&&(_, q, _)| q == 1)
+        .map(|&(t, _, _)| t)
+        .collect();
     assert_eq!(q0, q1, "horizontal pulses must be cycle-simultaneous");
     assert_eq!(q0.len(), 42, "21 pairs × 2 gates");
 }

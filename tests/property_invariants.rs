@@ -40,11 +40,7 @@ fn build_unit(load: &Load) -> TimingControlUnit {
             interval: u32::from(interval),
             label: i as u32 + 1,
         }));
-        let n = load
-            .events_per_point
-            .get(i)
-            .copied()
-            .unwrap_or(1);
+        let n = load.events_per_point.get(i).copied().unwrap_or(1);
         for k in 0..n {
             assert!(tcu.push_event(
                 QueueId::Pulse,

@@ -49,14 +49,18 @@ fn cnot_program(prepare_control: bool) -> String {
 fn cnot_truth_table_through_the_pipeline() {
     // Control |0⟩: target stays |0⟩.
     let mut dev = two_qubit_device(11);
-    let prog = assembler().assemble(&cnot_program(false)).expect("assembles");
+    let prog = assembler()
+        .assemble(&cnot_program(false))
+        .expect("assembles");
     let report = dev.run(&prog).expect("runs");
     assert_eq!(report.registers[7], 0, "target unchanged for control |0⟩");
     assert_eq!(report.registers[9], 0, "control unchanged");
 
     // Control |1⟩: target flips.
     let mut dev = two_qubit_device(12);
-    let prog = assembler().assemble(&cnot_program(true)).expect("assembles");
+    let prog = assembler()
+        .assemble(&cnot_program(true))
+        .expect("assembles");
     let report = dev.run(&prog).expect("runs");
     assert_eq!(report.registers[7], 1, "target flipped for control |1⟩");
     assert_eq!(report.registers[9], 1, "control unchanged");
@@ -65,7 +69,9 @@ fn cnot_truth_table_through_the_pipeline() {
 #[test]
 fn cnot_decode_produces_algorithm2_pulse_sequence() {
     let mut dev = two_qubit_device(1);
-    let prog = assembler().assemble(&cnot_program(false)).expect("assembles");
+    let prog = assembler()
+        .assemble(&cnot_program(false))
+        .expect("assembles");
     let report = dev.run(&prog).expect("runs");
     // Gate pulses on the target (q0): mY90 (cw 6) then Y90 (cw 5).
     let pulses = report.trace.pulse_timeline();
@@ -85,7 +91,10 @@ fn cnot_decode_produces_algorithm2_pulse_sequence() {
     // Algorithm 2 timing: Ym90 at t, CZ at t+4, Y90 at t+12.
     let t0 = pulses[0].0 - 16; // trigger time of the first pulse
     assert_eq!(flux[0], t0 + 4);
-    let y90 = pulses.iter().find(|&&(_, q, cw)| q == 0 && cw == 5).unwrap();
+    let y90 = pulses
+        .iter()
+        .find(|&&(_, q, cw)| q == 0 && cw == 5)
+        .unwrap();
     assert_eq!(y90.0 - 16, t0 + 12);
 }
 

@@ -1,0 +1,66 @@
+//! Workspace smoke test: pins the facade crate's re-export surface.
+//!
+//! Every assertion here exercises a path that only resolves when the root
+//! `quma` package and all seven member crates are wired correctly in the
+//! Cargo manifests. If a manifest regression drops a crate (or renames a
+//! re-export), this file fails to compile — the fastest possible signal
+//! that the workspace graph broke.
+
+use quma::baseline::prelude::{compare, ExperimentShape, UploadModel};
+use quma::compiler::prelude::{Kernel, QuantumProgram};
+use quma::core::prelude::{Device, DeviceConfig};
+use quma::experiments::prelude::mean;
+use quma::isa::prelude::{Assembler, Program, Reg, NUM_REGS};
+use quma::qsim::prelude::{DensityMatrix, C64};
+use quma::signal::prelude::{memory_bytes, Dac, Envelope};
+
+#[test]
+fn facade_reexports_resolve_and_construct() {
+    // quma::core — the control box boots and runs a trivial program.
+    let mut dev = Device::new(DeviceConfig::default()).expect("device boots");
+    let report = dev
+        .run_assembly("Wait 10\nhalt")
+        .expect("trivial program runs");
+    assert_eq!(report.registers.len(), NUM_REGS);
+
+    // quma::isa — the assembler round-trips a one-instruction program.
+    let asm = Assembler::new();
+    let prog: Program = asm.assemble("Wait 10\nhalt").expect("assembles");
+    assert!(prog.instructions().len() >= 2);
+    let _: Option<Reg> = None;
+
+    // quma::qsim — ground state is pure.
+    let rho = DensityMatrix::ground();
+    assert!((rho.purity() - 1.0).abs() < 1e-12);
+    let _ = C64::new(0.0, 1.0);
+
+    // quma::signal — the paper's §5.1.1 byte accounting.
+    assert_eq!(memory_bytes(280, 12), 420);
+    let _ = Dac::paper_awg();
+    let _ = Envelope::standard_gaussian(20e-9, 1.0);
+
+    // quma::baseline — §5.1.1 QuMA vs APS2 memory comparison.
+    let cmp = compare(ExperimentShape::allxy(), UploadModel::usb(), 9);
+    assert_eq!(cmp.quma_memory_bytes, 420);
+    assert_eq!(cmp.baseline_memory_bytes, 2520);
+
+    // quma::compiler — an empty kernel still compiles to a program.
+    let _ = Kernel::new("smoke");
+    let _ = QuantumProgram::new("smoke");
+
+    // quma::experiments — the stats helpers are callable.
+    assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+}
+
+/// Compile-time-only check that each facade module path exists as a module
+/// (`use quma::<crate> as _` fails if the manifest drops a member crate).
+#[allow(unused_imports)]
+mod facade_modules {
+    use quma::baseline as _;
+    use quma::compiler as _;
+    use quma::core as _;
+    use quma::experiments as _;
+    use quma::isa as _;
+    use quma::qsim as _;
+    use quma::signal as _;
+}

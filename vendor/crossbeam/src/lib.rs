@@ -1,0 +1,69 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the one crossbeam API its tests use: [`thread::scope`] with
+//! [`thread::Scope::spawn`]. The vendored version is backed by plain
+//! `std::thread::spawn`, so spawned closures must be `'static` — which
+//! every use in this workspace is (they capture only `Copy` seeds).
+
+pub mod thread {
+    //! Scoped-thread API (a miniature of `crossbeam::thread`).
+
+    use std::any::Any;
+
+    /// Handle to a thread spawned through a [`Scope`].
+    pub struct ScopedJoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// Waits for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawns threads that the surrounding [`scope`] call accounts for.
+    pub struct Scope {
+        _private: (),
+    }
+
+    impl Scope {
+        /// Spawns a thread. The closure receives a nested [`Scope`] (which
+        /// this vendored subset does not track) to match crossbeam's
+        /// signature; unlike real crossbeam the closure must be `'static`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope) -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            ScopedJoinHandle {
+                inner: std::thread::spawn(move || f(&Scope { _private: () })),
+            }
+        }
+    }
+
+    /// Runs `f` with a [`Scope`] it can spawn threads through.
+    ///
+    /// The vendored subset requires callers to join every handle they
+    /// spawn (all workspace uses do); it returns `Ok` with `f`'s result.
+    pub fn scope<F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope) -> R,
+    {
+        Ok(f(&Scope { _private: () }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_run_and_join() {
+            let results: Vec<u64> = super::scope(|s| {
+                let handles: Vec<_> = (0..4u64).map(|i| s.spawn(move |_| i * i)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            assert_eq!(results, vec![0, 1, 4, 9]);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of proptest the QuMA property tests use: the [`proptest!`]
+//! test macro with `#![proptest_config(..)]`, range/tuple/`Just` strategies,
+//! [`strategy::Strategy::prop_map`], [`prop_oneof!`], [`collection::vec`],
+//! [`option::of`], [`strategy::any`], and the `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. A failing case panics immediately with the generated inputs'
+//! `Debug` rendering, which is enough to reproduce (generation is
+//! deterministic per test name).
+
+pub mod strategy {
+    //! Value-generation strategies (a miniature of `proptest::strategy`).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: `generate`
+    /// draws one value directly from the RNG.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (mirrors `Strategy::prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (mirrors `Strategy::boxed`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy (mirrors `proptest::strategy::BoxedStrategy`).
+    pub struct BoxedStrategy<V>(std::rc::Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value (mirrors `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice among type-erased strategies; backs [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        /// Uniform choice among `arms`.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            Self::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Choice among `arms` proportional to each arm's weight.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(
+                total > 0,
+                "prop_oneof! needs at least one arm with weight > 0"
+            );
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let mut pick = rng.random_range(0..self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights summed to total")
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Full-domain strategy behind [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Full<T>(core::marker::PhantomData<T>);
+
+    /// Types usable with [`any`] (a miniature of `proptest::arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Returns the canonical full-domain strategy for `Self`.
+        fn full() -> Full<Self> {
+            Full(core::marker::PhantomData)
+        }
+    }
+
+    macro_rules! arbitrary_std {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {}
+            impl Strategy for Full<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    arbitrary_std!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Mirrors `proptest::prelude::any`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Full<T> {
+        T::full()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (a miniature of `proptest::collection`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s of `elem`-generated values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies (a miniature of `proptest::option`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `Some(inner)` most of the time and `None` occasionally
+    /// (real proptest defaults to the same 4:1 bias).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_range(0u32..5) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration (a miniature of `proptest::test_runner`).
+
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// FNV-1a, used to derive a deterministic RNG seed per test name.
+    pub fn seed_for(name: &str) -> u64 {
+        name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, SeedableRng};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the subset of real proptest syntax the workspace uses:
+/// an optional leading `#![proptest_config(expr)]`, then any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = <$crate::prelude::StdRng as $crate::prelude::SeedableRng>::seed_from_u64(
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (panics on failure; the
+/// vendored runner does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the assumption fails. The vendored runner
+/// cannot resample, so it simply moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Chooses among strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(
+            vec![$(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+],
+        )
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            vec![$($crate::strategy::Strategy::boxed($strat)),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn map_and_ranges_compose(x in arb_even(), v in crate::collection::vec(0u8..4, 1..30)) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
+            prop_assert!((1..5).contains(&v));
+        }
+
+        #[test]
+        fn options_eventually_none(opts in crate::collection::vec(crate::option::of(any::<u64>()), 40..60)) {
+            // With a 1-in-5 None bias, 40+ draws virtually always hit both.
+            prop_assert!(opts.iter().any(Option::is_some));
+        }
+    }
+}
