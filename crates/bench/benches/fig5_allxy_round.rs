@@ -61,6 +61,24 @@ fn bench(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // The same round as a session shot: construction amortized away, only
+    // the per-shot reset + run remains (compare against the two above).
+    g.bench_function("one_allxy_round_session_shot", |b| {
+        let mut session = Session::new(DeviceConfig {
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        })
+        .expect("session");
+        let program = session.load_assembly(ROUND).expect("round assembles");
+        let plan = session.seed_plan();
+        let mut i = 0u64;
+        b.iter(|| {
+            let seeds = plan.shot(i);
+            i += 1;
+            black_box(session.run_shot(&program, seeds).expect("runs"))
+        })
+    });
     g.finish();
 }
 

@@ -220,6 +220,12 @@ impl Ctpg {
         self.triggers
     }
 
+    /// Zeroes the trigger counter (called on device reset so run statistics
+    /// are per-run, matching a freshly built device).
+    pub fn reset_triggers(&mut self) {
+        self.triggers = 0;
+    }
+
     /// Handles a codeword trigger arriving at absolute cycle `cycle`:
     /// returns the pulse that will play `delay_cycles` later.
     pub fn trigger(&mut self, cw: Codeword, cycle: u64) -> Result<PlayedPulse, UnknownCodeword> {

@@ -1,39 +1,33 @@
 //! The quantum control box (Section 7): the full QuMA pipeline wired to the
 //! simulated quantum chip.
 //!
-//! Execution follows the paper's Figure 4 left-to-right: the execution
-//! controller retires auxiliary classical instructions and streams quantum
-//! instructions into a decode FIFO; the physical microcode unit expands
-//! them to QuMIS through the Q control store; the quantum microinstruction
-//! buffer decomposes QuMIS into labeled micro-operations filling the timing
-//! control unit's queues; the timing controller fires events at exact
-//! deterministic-domain cycles; micro-operations expand to codeword
-//! triggers in the µ-op units; CTPGs convert codewords to analog pulses
-//! with a fixed 80 ns delay; MPG events play measurement pulses; MDUs
-//! integrate and threshold readout traces, writing results back to the
-//! register file and the data collection units.
+//! Execution follows the paper's Figure 4 left-to-right, split structurally
+//! into the two timing domains of §5.2: the [`crate::pipeline::Frontend`]
+//! (execution controller → decode FIFO → physical microcode unit → quantum
+//! microinstruction buffer) fills the timing queues best-effort, and the
+//! [`crate::pipeline::Backend`] (timing control unit → µ-op units → CTPGs →
+//! chip → MPG/MDU/collectors → write-backs) fires events at exact
+//! deterministic-domain cycles. [`Device`] is the thin composition that
+//! steps both domains against a shared host-cycle clock.
 //!
 //! The simulation is event-driven but cycle-exact: the main loop jumps
 //! between "interesting" cycles (instruction retirement, time-point expiry,
 //! codeword emission, result write-back), so 200 µs initialization waits
 //! cost nothing while every pulse still lands on its exact 5 ns cycle.
+//!
+//! For running many shots of one program, prefer [`crate::engine::Session`],
+//! which reuses the calibrated device across shots instead of paying the
+//! per-qubit pulse-library synthesis on every run.
 
-use crate::collector::DataCollector;
-use crate::config::{ChipProfile, DeviceConfig};
-use crate::ctpg::{Ctpg, PulseLibraryBuilder};
-use crate::digital_out::DigitalOutputUnit;
-use crate::event::Event;
-use crate::exec::{ExecStats, ExecutionController, StepOutcome};
-use crate::mdu::MeasurementDiscriminationUnit;
-use crate::microcode::{expand, QControlStore};
-use crate::qmb::QuantumMicroinstructionBuffer;
-use crate::timing::{TimingControlUnit, TimingStats};
-use crate::trace::{Trace, TraceKind};
-use crate::uop_unit::{seq_z, MicroOpUnit};
-use quma_isa::prelude::{Instruction, Program, Reg};
+use crate::config::DeviceConfig;
+use crate::ctpg::Ctpg;
+use crate::exec::{ExecStats, StepOutcome};
+use crate::microcode::QControlStore;
+use crate::pipeline::{Backend, Frontend};
+use crate::trace::Trace;
+use crate::uop_unit::MicroOpUnit;
+use quma_isa::prelude::{Program, Reg};
 use quma_qsim::chip::QuantumChip;
-use quma_qsim::resonator::ReadoutTrace;
-use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// A completed measurement-discrimination record.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,7 +54,7 @@ pub struct RunStats {
     /// Execution-controller statistics.
     pub exec: ExecStats,
     /// Timing-control-unit statistics.
-    pub timing: TimingStats,
+    pub timing: crate::timing::TimingStats,
     /// Codeword triggers delivered per CTPG.
     pub ctpg_triggers: Vec<u64>,
     /// Measurement pulses played.
@@ -91,6 +85,8 @@ pub struct RunReport {
 pub enum DeviceError {
     /// Invalid configuration.
     Config(String),
+    /// The source program failed to assemble.
+    Assemble(quma_isa::asm::AsmError),
     /// Execution-controller fault.
     Exec(crate::exec::ExecError),
     /// `Apply` with no microprogram.
@@ -137,6 +133,7 @@ impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeviceError::Config(s) => write!(f, "invalid configuration: {s}"),
+            DeviceError::Assemble(e) => write!(f, "assembly failed: {e}"),
             DeviceError::Exec(e) => write!(f, "execution fault: {e}"),
             DeviceError::UnknownGate(e) => write!(f, "{e}"),
             DeviceError::UndefinedUop(e) => write!(f, "{e}"),
@@ -171,71 +168,18 @@ impl From<crate::exec::ExecError> for DeviceError {
     }
 }
 
-/// A chip-facing action with its effect cycle, ordered before execution.
-#[derive(Debug)]
-enum ChipAction {
-    Drive {
-        qubit: usize,
-        pulse: crate::ctpg::PlayedPulse,
-        at: u64,
-        trigger_td: u64,
-    },
-    Measure {
-        qubit: usize,
-        duration_cycles: u32,
-        at: u64,
-    },
-    Cz {
-        a: usize,
-        b: usize,
-        at: u64,
-    },
-}
-
-impl ChipAction {
-    fn at(&self) -> u64 {
-        match self {
-            ChipAction::Drive { at, .. }
-            | ChipAction::Measure { at, .. }
-            | ChipAction::Cz { at, .. } => *at,
-        }
+impl From<quma_isa::asm::AsmError> for DeviceError {
+    fn from(e: quma_isa::asm::AsmError) -> Self {
+        DeviceError::Assemble(e)
     }
 }
 
-/// A scheduled result write-back.
-#[derive(Debug, Clone, Copy)]
-struct Writeback {
-    qubit: usize,
-    rd: Option<Reg>,
-    bit: u8,
-    s: f64,
-}
-
-/// The control box.
-#[derive(Debug)]
+/// The control box: a thin composition of the two pipeline domains.
+#[derive(Debug, Clone)]
 pub struct Device {
     config: DeviceConfig,
-    exec: ExecutionController,
-    store: QControlStore,
-    decode_fifo: VecDeque<Instruction>,
-    expanded: VecDeque<Instruction>,
-    qmb: QuantumMicroinstructionBuffer,
-    tcu: TimingControlUnit,
-    uop_units: Vec<MicroOpUnit>,
-    ctpgs: Vec<Ctpg>,
-    chip: QuantumChip,
-    mdus: Vec<HashMap<u32, MeasurementDiscriminationUnit>>,
-    latched: Vec<Option<(ReadoutTrace, u32)>>,
-    collectors: Vec<DataCollector>,
-    digital_out: DigitalOutputUnit,
-    writebacks: BTreeMap<u64, Vec<Writeback>>,
-    md_results: Vec<MdRecord>,
-    /// Host cycle at which T_D = 0, once the deterministic clock started.
-    td_start: Option<u64>,
-    /// Last committed chip-action cycle per qubit (chronology guard).
-    last_chip_cycle: Vec<u64>,
-    trace: Trace,
-    measurements: u64,
+    frontend: Frontend,
+    backend: Backend,
 }
 
 impl Device {
@@ -244,56 +188,18 @@ impl Device {
     /// control store (with `Seq_Z` defined in every µ-op unit).
     pub fn new(config: DeviceConfig) -> Result<Self, DeviceError> {
         config.validate().map_err(DeviceError::Config)?;
-        let chip = match config.chip {
-            ChipProfile::Ideal => QuantumChip::ideal_device(config.num_qubits, config.chip_seed),
-            ChipProfile::Paper => QuantumChip::paper_device(config.num_qubits, config.chip_seed),
-        };
-        let mut device = Self {
-            exec: ExecutionController::new(
-                config.mem_words,
-                config.max_jitter_cycles,
-                config.jitter_seed,
-            ),
-            store: QControlStore::paper_default(),
-            decode_fifo: VecDeque::new(),
-            expanded: VecDeque::new(),
-            qmb: QuantumMicroinstructionBuffer::new(),
-            tcu: TimingControlUnit::new(config.queue_capacity),
-            uop_units: Vec::new(),
-            ctpgs: Vec::new(),
-            chip,
-            mdus: vec![HashMap::new(); config.num_qubits],
-            latched: vec![None; config.num_qubits],
-            collectors: (0..config.num_qubits)
-                .map(|_| DataCollector::new(config.collector_k))
-                .collect(),
-            digital_out: DigitalOutputUnit::new(),
-            writebacks: BTreeMap::new(),
-            md_results: Vec::new(),
-            td_start: None,
-            last_chip_cycle: vec![0; config.num_qubits],
-            trace: Trace::new(config.trace),
-            measurements: 0,
+        let frontend = Frontend::new(
+            config.mem_words,
+            config.max_jitter_cycles,
+            config.jitter_seed,
+            config.decode_fifo_capacity,
+        );
+        let backend = Backend::new(&config);
+        Ok(Self {
             config,
-        };
-        for q in 0..device.config.num_qubits {
-            // Calibrate each qubit's pulse library against its own Rabi
-            // coefficient and SSB frequency.
-            let params = device.chip.qubit(q).transmon.params().clone();
-            let mut builder = PulseLibraryBuilder::paper_default(params.rabi_coefficient);
-            builder.sample_rate = device.config.sample_rate;
-            builder.ssb = quma_signal::ssb::SsbModulator::new(params.ssb_frequency);
-            let library = builder.build_table1();
-            device.ctpgs.push(Ctpg::new(
-                library,
-                device.config.ctpg_delay_cycles,
-                device.config.cycle_time,
-            ));
-            let mut uops = MicroOpUnit::with_table1(device.config.uop_delay_cycles);
-            uops.define(quma_isa::uop::UopId(crate::microcode::UOP_Z), seq_z());
-            device.uop_units.push(uops);
-        }
-        Ok(device)
+            frontend,
+            backend,
+        })
     }
 
     /// The configuration.
@@ -303,38 +209,49 @@ impl Device {
 
     /// The simulated chip (for error injection and inspection).
     pub fn chip_mut(&mut self) -> &mut QuantumChip {
-        &mut self.chip
+        self.backend.chip_mut()
     }
 
     /// The simulated chip, immutable.
     pub fn chip(&self) -> &QuantumChip {
-        &self.chip
+        self.backend.chip()
     }
 
     /// A qubit's CTPG (to re-upload pulse libraries).
     pub fn ctpg_mut(&mut self, qubit: usize) -> &mut Ctpg {
-        &mut self.ctpgs[qubit]
+        self.backend.ctpg_mut(qubit)
     }
 
     /// A qubit's CTPG, immutable.
     pub fn ctpg(&self, qubit: usize) -> &Ctpg {
-        &self.ctpgs[qubit]
+        self.backend.ctpg(qubit)
     }
 
     /// A qubit's µ-op unit (to define emulated operations).
     pub fn uop_unit_mut(&mut self, qubit: usize) -> &mut MicroOpUnit {
-        &mut self.uop_units[qubit]
+        self.backend.uop_unit_mut(qubit)
     }
 
     /// The Q control store (to upload microprograms).
     pub fn control_store_mut(&mut self) -> &mut QControlStore {
-        &mut self.store
+        self.frontend.store_mut()
+    }
+
+    /// Reseeds both stochastic sources — the chip's projection/readout RNG
+    /// and the execution controller's jitter RNG — so the next run behaves
+    /// bit-identically to a freshly built device whose *config* carries
+    /// these seeds. The config itself keeps its construction-time seeds
+    /// (it describes how to rebuild this device, not the current RNG
+    /// position). The engine layer uses this for cheap per-shot resets.
+    pub fn reseed(&mut self, chip_seed: u64, jitter_seed: u64) {
+        self.backend.reseed(chip_seed);
+        self.frontend.reseed(jitter_seed);
     }
 
     /// Assembles and runs a source program.
-    pub fn run_assembly(&mut self, source: &str) -> Result<RunReport, Box<dyn std::error::Error>> {
+    pub fn run_assembly(&mut self, source: &str) -> Result<RunReport, DeviceError> {
         let program = quma_isa::asm::Assembler::new().assemble(source)?;
-        Ok(self.run(&program)?)
+        self.run(&program)
     }
 
     /// Runs a program to completion.
@@ -346,65 +263,25 @@ impl Device {
                 return Err(DeviceError::MaxCyclesExceeded(self.config.max_host_cycles));
             }
             // --- Deterministic domain: advance T_D to `cycle`. ----------
-            self.advance_deterministic(cycle)?;
-            // --- Write-backs due now. -----------------------------------
-            self.apply_writebacks(cycle)?;
+            self.backend.advance_deterministic(cycle, &self.config)?;
+            // --- Write-backs due now cross back to the scoreboard. ------
+            for (rd, value) in self.backend.apply_writebacks(cycle, &self.config)? {
+                self.frontend.complete_pending(rd, value);
+            }
             // --- Non-deterministic domain. ------------------------------
             // Physical microcode unit: decode one instruction per cycle.
-            if self.expanded.len() < 16 {
-                if let Some(insn) = self.decode_fifo.pop_front() {
-                    let micro = expand(&self.store, &insn).map_err(DeviceError::UnknownGate)?;
-                    self.expanded.extend(micro);
-                }
-            }
+            self.frontend
+                .decode_step()
+                .map_err(DeviceError::UnknownGate)?;
             // QMB: push as many expanded microinstructions as fit.
-            while let Some(front) = self.expanded.front() {
-                let pushed = self
-                    .qmb
-                    .push(front, &mut self.tcu)
-                    .expect("microcode expansion yields only QuMIS");
-                if pushed {
-                    self.expanded.pop_front();
-                } else {
-                    break;
-                }
-            }
+            self.frontend.fill_queues(self.backend.tcu_mut());
             // Start the deterministic clock on the first buffered work,
             // on a carrier-phase-aligned cycle.
-            let mut pending_start: Option<u64> = None;
-            if self.td_start.is_none() && !self.tcu.is_drained() {
-                let align = u64::from(self.config.start_alignment_cycles.max(1));
-                if cycle.is_multiple_of(align) {
-                    self.tcu.start();
-                    self.td_start = Some(cycle);
-                } else {
-                    pending_start = Some(cycle.next_multiple_of(align));
-                }
-            }
+            let pending_start = self.backend.maybe_start_clock(cycle, &self.config);
             // Execution controller: one retire opportunity per cycle.
-            let fifo_free = self
-                .config
-                .decode_fifo_capacity
-                .saturating_sub(self.decode_fifo.len());
-            let exec_outcome = self.exec.step(cycle, fifo_free)?;
-            if let StepOutcome::ForwardedQuantum(q) = &exec_outcome {
-                // Scoreboard: a measurement destination register becomes
-                // pending at issue time.
-                match q {
-                    Instruction::Measure { rd, .. } => self.exec.mark_pending(*rd),
-                    Instruction::Md { rd: Some(rd), .. } => self.exec.mark_pending(*rd),
-                    _ => {}
-                }
-                self.decode_fifo.push_back(q.clone());
-            }
+            let exec_outcome = self.frontend.exec_step(cycle)?;
             // --- Termination. -------------------------------------------
-            if self.exec.halted()
-                && self.decode_fifo.is_empty()
-                && self.expanded.is_empty()
-                && self.tcu.is_drained()
-                && self.uop_units.iter().all(MicroOpUnit::is_drained)
-                && self.writebacks.is_empty()
-            {
+            if self.frontend.is_drained() && self.backend.is_drained() {
                 return Ok(self.report(cycle));
             }
             // --- Next interesting cycle. --------------------------------
@@ -422,21 +299,19 @@ impl Device {
                 | StepOutcome::StalledPending(_)
                 | StepOutcome::StalledBackpressure => {}
             }
-            if !self.decode_fifo.is_empty() && self.expanded.len() < 16 {
+            if self.frontend.decode_can_progress() {
                 consider(cycle + 1);
             }
             if let Some(p) = pending_start {
                 consider(p);
             }
-            if let (Some(start), Some(until)) = (self.td_start, self.tcu.cycles_until_fire()) {
-                consider(start + self.tcu.td() + until);
+            if let Some(c) = self.backend.next_fire_cycle() {
+                consider(c);
             }
-            for u in &self.uop_units {
-                if let Some(c) = u.next_trigger_cycle() {
-                    consider(c);
-                }
+            if let Some(c) = self.backend.next_uop_trigger() {
+                consider(c);
             }
-            if let Some((&c, _)) = self.writebacks.first_key_value() {
+            if let Some(c) = self.backend.next_writeback() {
                 consider(c);
             }
             match next {
@@ -447,299 +322,30 @@ impl Device {
     }
 
     fn reset(&mut self, program: &Program) {
-        self.exec.load(program);
-        self.decode_fifo.clear();
-        self.expanded.clear();
-        self.qmb.reset();
-        self.tcu = TimingControlUnit::new(self.config.queue_capacity);
-        for q in 0..self.config.num_qubits {
-            self.latched[q] = None;
-            self.collectors[q].reset();
-            self.last_chip_cycle[q] = 0;
-        }
-        self.writebacks.clear();
-        self.md_results.clear();
-        self.td_start = None;
-        self.digital_out.clear();
-        self.trace.clear();
-        self.measurements = 0;
-        self.chip.reset_all(0.0);
-    }
-
-    /// Advances the timing control unit so its `T_D` corresponds to host
-    /// cycle `cycle`, dispatching every event that fires on the way.
-    fn advance_deterministic(&mut self, cycle: u64) -> Result<(), DeviceError> {
-        let Some(start) = self.td_start else {
-            return Ok(());
-        };
-        let target_td = cycle.saturating_sub(start);
-        let delta = target_td.saturating_sub(self.tcu.td());
-        let fired = self.tcu.advance(delta);
-        let mut actions: Vec<ChipAction> = Vec::new();
-        let mut last_label = None;
-        for ev in fired {
-            if last_label != Some(ev.label) {
-                self.trace
-                    .record(ev.td, TraceKind::TimePoint { label: ev.label });
-                last_label = Some(ev.label);
-            }
-            match ev.event {
-                Event::Pulse { qubits, uop } if uop.raw() == crate::microcode::UOP_CZ => {
-                    // Two-qubit flux path: the CZ pulse goes to the shared
-                    // flux-bias line, not through the per-qubit µ-op units.
-                    let qs: Vec<usize> = qubits.iter().collect();
-                    let [a, b] = qs.as_slice() else {
-                        return Err(DeviceError::CzArity { qubits, td: ev.td });
-                    };
-                    self.trace.record(ev.td, TraceKind::FluxPulse { qubits });
-                    actions.push(ChipAction::Cz {
-                        a: *a,
-                        b: *b,
-                        at: start + ev.td + u64::from(self.config.ctpg_delay_cycles),
-                    });
-                }
-                Event::Pulse { qubits, uop } => {
-                    for q in qubits.iter() {
-                        self.trace.record(
-                            ev.td,
-                            TraceKind::MicroOp {
-                                qubit: q,
-                                uop: uop.raw(),
-                            },
-                        );
-                        self.uop_units[q]
-                            .fire(uop, start + ev.td)
-                            .map_err(DeviceError::UndefinedUop)?;
-                    }
-                }
-                Event::Mpg { qubits, duration } => {
-                    self.trace
-                        .record(ev.td, TraceKind::MsmtPulse { qubits, duration });
-                    // Figure 6: the digital output unit raises the masked
-                    // marker lines for D cycles, triggering the measurement
-                    // carrier generators.
-                    self.digital_out.assert_channels(qubits, ev.td, duration);
-                    let at = start + ev.td + u64::from(self.config.msmt_trigger_delay_cycles);
-                    for q in qubits.iter() {
-                        actions.push(ChipAction::Measure {
-                            qubit: q,
-                            duration_cycles: duration,
-                            at,
-                        });
-                    }
-                }
-                Event::Md { qubits, rd } => {
-                    self.trace.record(ev.td, TraceKind::MdStart { qubits });
-                    for q in qubits.iter() {
-                        // Discrimination runs when the integration window
-                        // (opened by the matching MPG at the same label)
-                        // closes; defer via the writeback schedule. The
-                        // latched trace is bound at completion time.
-                        let (duration, _) = match &self.latched[q] {
-                            Some((_, d)) => ((*d), ()),
-                            None => {
-                                // The matching MPG may be in this same batch
-                                // (same label fires MPG before MD); the
-                                // measure action is pending in `actions`.
-                                let pending = actions.iter().rev().find_map(|a| match a {
-                                    ChipAction::Measure {
-                                        qubit,
-                                        duration_cycles,
-                                        ..
-                                    } if *qubit == q => Some(*duration_cycles),
-                                    _ => None,
-                                });
-                                match pending {
-                                    Some(d) => (d, ()),
-                                    None => {
-                                        return Err(DeviceError::MdWithoutMpg {
-                                            qubit: q,
-                                            td: ev.td,
-                                        })
-                                    }
-                                }
-                            }
-                        };
-                        let complete = start
-                            + ev.td
-                            + u64::from(self.config.msmt_trigger_delay_cycles)
-                            + u64::from(duration)
-                            + u64::from(self.config.mdu_latency_cycles);
-                        self.writebacks
-                            .entry(complete)
-                            .or_default()
-                            .push(Writeback {
-                                qubit: q,
-                                rd,
-                                bit: 0, // filled at completion
-                                s: 0.0,
-                            });
-                    }
-                }
-            }
-        }
-        // µ-op units: codeword triggers due by now.
-        for q in 0..self.uop_units.len() {
-            for trig in self.uop_units[q].drain_due(cycle) {
-                self.trace.record(
-                    trig.cycle - start,
-                    TraceKind::Codeword {
-                        qubit: q,
-                        codeword: trig.codeword,
-                    },
-                );
-                let pulse = self.ctpgs[q]
-                    .trigger(trig.codeword, trig.cycle)
-                    .map_err(DeviceError::UnknownCodeword)?;
-                let at = trig.cycle + u64::from(self.ctpgs[q].delay_cycles());
-                actions.push(ChipAction::Drive {
-                    qubit: q,
-                    pulse,
-                    at,
-                    trigger_td: trig.cycle - start,
-                });
-            }
-        }
-        // Apply chip actions in chronological order.
-        actions.sort_by_key(ChipAction::at);
-        for action in actions {
-            let (touched, at): (Vec<usize>, u64) = match &action {
-                ChipAction::Drive { qubit, at, .. } => (vec![*qubit], *at),
-                ChipAction::Measure { qubit, at, .. } => (vec![*qubit], *at),
-                ChipAction::Cz { a, b, at } => (vec![*a, *b], *at),
-            };
-            for &qubit in &touched {
-                if at < self.last_chip_cycle[qubit] {
-                    return Err(DeviceError::ChronologyViolation {
-                        qubit,
-                        at,
-                        last: self.last_chip_cycle[qubit],
-                    });
-                }
-                self.last_chip_cycle[qubit] = at;
-            }
-            match action {
-                ChipAction::Drive {
-                    qubit,
-                    pulse,
-                    at,
-                    trigger_td,
-                } => {
-                    self.trace.record(
-                        trigger_td + u64::from(self.config.ctpg_delay_cycles),
-                        TraceKind::PulseStart {
-                            qubit,
-                            codeword: pulse.codeword,
-                        },
-                    );
-                    self.chip
-                        .drive(qubit, &pulse.samples, pulse.start, pulse.sample_period);
-                    let _ = at;
-                }
-                ChipAction::Measure {
-                    qubit,
-                    duration_cycles,
-                    at,
-                } => {
-                    self.measurements += 1;
-                    let t0 = at as f64 * self.config.cycle_time;
-                    let dur = f64::from(duration_cycles) * self.config.cycle_time;
-                    let trace = self.chip.measure(qubit, t0, dur);
-                    self.latched[qubit] = Some((trace, duration_cycles));
-                }
-                ChipAction::Cz { a, b, at } => {
-                    let t0 = at as f64 * self.config.cycle_time;
-                    // The paper quotes ~40 ns (8 cycles) for CZ flux pulses.
-                    let dur = 8.0 * self.config.cycle_time;
-                    self.chip.apply_cz(a, b, t0, dur);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn apply_writebacks(&mut self, cycle: u64) -> Result<(), DeviceError> {
-        let due: Vec<u64> = self.writebacks.range(..=cycle).map(|(&c, _)| c).collect();
-        for c in due {
-            let wbs = self.writebacks.remove(&c).expect("key exists");
-            for mut wb in wbs {
-                // Bind the latched trace now: the integration window has
-                // closed.
-                let start = self.td_start.unwrap_or(0);
-                let (trace, duration) =
-                    self.latched[wb.qubit]
-                        .take()
-                        .ok_or(DeviceError::MdWithoutMpg {
-                            qubit: wb.qubit,
-                            td: c.saturating_sub(start),
-                        })?;
-                let mdu = self.mdu_for(wb.qubit, duration);
-                mdu.latch_trace(trace);
-                let d = mdu.discriminate().expect("trace latched above");
-                wb.bit = d.bit;
-                wb.s = d.s;
-                let td = c.saturating_sub(start);
-                if let Some(rd) = wb.rd {
-                    self.exec.complete_pending(rd, i32::from(d.bit));
-                }
-                self.collectors[wb.qubit].record(d.s);
-                self.trace.record(
-                    td,
-                    TraceKind::MdResult {
-                        qubit: wb.qubit,
-                        bit: d.bit,
-                        rd: wb.rd,
-                    },
-                );
-                self.md_results.push(MdRecord {
-                    td,
-                    qubit: wb.qubit,
-                    bit: d.bit,
-                    s: d.s,
-                    rd: wb.rd,
-                });
-            }
-        }
-        Ok(())
-    }
-
-    fn mdu_for(
-        &mut self,
-        qubit: usize,
-        duration_cycles: u32,
-    ) -> &mut MeasurementDiscriminationUnit {
-        let readout = self.chip.qubit(qubit).readout.clone();
-        let integration = f64::from(duration_cycles) * self.config.cycle_time;
-        let latency = self.config.mdu_latency_cycles;
-        self.mdus[qubit].entry(duration_cycles).or_insert_with(|| {
-            MeasurementDiscriminationUnit::calibrate(&readout, integration, latency)
-        })
+        self.frontend.load(program);
+        self.backend.reset(&self.config);
     }
 
     fn report(&mut self, cycle: u64) -> RunReport {
         let mut registers = [0i32; quma_isa::reg::NUM_REGS];
         for (i, slot) in registers.iter_mut().enumerate() {
-            *slot = self.exec.registers().read(Reg::r(i as u8));
+            *slot = self.frontend.exec().registers().read(Reg::r(i as u8));
         }
         RunReport {
             registers,
-            memory: self.exec.memory().to_vec(),
-            collector_averages: self
-                .collectors
-                .iter()
-                .map(DataCollector::averages)
-                .collect(),
-            md_results: std::mem::take(&mut self.md_results),
+            memory: self.frontend.exec().memory().to_vec(),
+            collector_averages: self.backend.collector_averages(),
+            md_results: self.backend.take_md_results(),
             stats: RunStats {
                 host_cycles: cycle,
-                td_final: self.tcu.td(),
-                exec: self.exec.stats(),
-                timing: self.tcu.stats(),
-                ctpg_triggers: self.ctpgs.iter().map(Ctpg::triggers).collect(),
-                measurements: self.measurements,
-                marker_pulses: self.digital_out.pulses().to_vec(),
+                td_final: self.backend.td_final(),
+                exec: self.frontend.exec_stats(),
+                timing: self.backend.timing_stats(),
+                ctpg_triggers: self.backend.ctpg_triggers(),
+                measurements: self.backend.measurements(),
+                marker_pulses: self.backend.marker_pulses(),
             },
-            trace: std::mem::replace(&mut self.trace, Trace::new(self.config.trace)),
+            trace: self.backend.take_trace(self.config.trace),
         }
     }
 }
@@ -747,6 +353,7 @@ impl Device {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DeviceConfig;
     use crate::trace::TraceKind;
 
     fn device() -> Device {
@@ -925,6 +532,14 @@ mod tests {
     }
 
     #[test]
+    fn assembly_error_is_a_device_error() {
+        let mut dev = device();
+        let err = dev.run_assembly("frobnicate r1\nhalt\n").unwrap_err();
+        assert!(matches!(err, DeviceError::Assemble(_)));
+        assert!(err.to_string().contains("assembly failed"), "{err}");
+    }
+
+    #[test]
     fn classical_only_program_runs() {
         let src = "mov r1, 21\nadd r2, r1, r1\nhalt\n";
         let mut dev = device();
@@ -1048,6 +663,53 @@ mod tests {
         let b = dev.run_assembly(SEGMENT).unwrap();
         assert_eq!(a.registers[7], b.registers[7]);
         assert_eq!(a.trace.pulse_timeline(), b.trace.pulse_timeline());
+    }
+
+    #[test]
+    fn failed_run_leaves_no_stale_uop_triggers() {
+        // A long µ-op delay keeps the X180 codeword trigger pending when
+        // the bare MD (no MPG) aborts the run; the next run on the same
+        // device must not replay the ghost trigger.
+        let cfg = DeviceConfig {
+            uop_delay_cycles: 100,
+            ..DeviceConfig::default()
+        };
+        let bad = "Wait 4\nPulse {q0}, X180\nMD {q0}, r7\nhalt\n";
+        let mut reused = Device::new(cfg.clone()).unwrap();
+        assert!(matches!(
+            reused.run_assembly(bad),
+            Err(DeviceError::MdWithoutMpg { .. })
+        ));
+        let got = reused.run_assembly(SEGMENT).unwrap();
+        let mut fresh = Device::new(cfg).unwrap();
+        let want = fresh.run_assembly(SEGMENT).unwrap();
+        assert_eq!(got.trace.pulse_timeline(), want.trace.pulse_timeline());
+        assert_eq!(got.registers, want.registers);
+    }
+
+    #[test]
+    fn reseed_reproduces_a_fresh_device() {
+        // A reseeded, reused device must be bit-identical to a fresh one
+        // built with the same seeds — the engine layer's contract.
+        let cfg = DeviceConfig {
+            chip: crate::config::ChipProfile::Paper,
+            chip_seed: 0xAA,
+            ..DeviceConfig::default()
+        };
+        let mut fresh = Device::new(DeviceConfig {
+            chip_seed: 0xBB,
+            ..cfg.clone()
+        })
+        .unwrap();
+        let want = fresh.run_assembly(SEGMENT).unwrap();
+        let mut reused = Device::new(cfg).unwrap();
+        reused.run_assembly(SEGMENT).unwrap(); // advance the RNGs
+        reused.reseed(0xBB, DeviceConfig::default().jitter_seed);
+        let got = reused.run_assembly(SEGMENT).unwrap();
+        assert_eq!(got.registers, want.registers);
+        assert_eq!(got.md_results, want.md_results);
+        assert_eq!(got.trace.pulse_timeline(), want.trace.pulse_timeline());
+        assert_eq!(got.stats.ctpg_triggers, want.stats.ctpg_triggers);
     }
 
     #[test]

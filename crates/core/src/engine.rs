@@ -1,0 +1,504 @@
+//! The shot engine: reusable batched execution on top of [`Device`].
+//!
+//! [`Device::new`] is expensive — it synthesizes one Table 1 pulse library
+//! per qubit (Gaussian envelopes, area calibration, SSB modulation) and
+//! seeds the whole control box — while an individual shot only needs the
+//! architectural state cleared and the stochastic sources reseeded. The
+//! engine layer separates the two costs:
+//!
+//! * [`Session`] owns a calibrated device and keeps it alive across shots;
+//! * [`Session::load`] assembles/validates a program once into a
+//!   [`LoadedProgram`] that batches reuse;
+//! * [`Session::run_shot`] / [`Session::run_shots`] / [`Session::run_sweep`]
+//!   execute batches with a cheap per-shot reset ([`Device::reseed`] plus
+//!   the ordinary run reset) instead of reconstruction;
+//! * [`Session::run_shots_parallel`] shards a batch across per-thread
+//!   device clones with the same derived seeds, producing bit-identical
+//!   results to the sequential batch.
+//!
+//! Determinism contract: shot `i` of a batch is bit-identical to a freshly
+//! built device whose config carries the seeds of [`SeedPlan::shot`]`(i)`
+//! — the property `tests/concurrent_runs.rs` locks in.
+
+use crate::config::DeviceConfig;
+use crate::device::{Device, DeviceError, RunReport};
+use crossbeam::thread;
+use quma_isa::prelude::Program;
+
+/// The two per-shot random seeds: the chip's projection/readout RNG and
+/// the execution controller's instruction-jitter RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShotSeeds {
+    /// Seed for the quantum chip (projection + readout noise).
+    pub chip: u64,
+    /// Seed for the execution-controller jitter model.
+    pub jitter: u64,
+}
+
+/// Derives per-shot seeds from a pair of base seeds, via splitmix64.
+///
+/// The derivation is a pure function of `(base, index)`, so a batch shot
+/// can be reproduced on a fresh device by copying its derived seeds into
+/// the device configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedPlan {
+    /// Base seed for the chip RNG stream.
+    pub chip_base: u64,
+    /// Base seed for the jitter RNG stream.
+    pub jitter_base: u64,
+}
+
+/// splitmix64: the standard 64-bit finalizer (Steele et al.), used here to
+/// decorrelate consecutive shot indices into independent seed values.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed for `index` from a base seed (exposed so tests and
+/// fresh-device reproductions can mirror a batch exactly).
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    splitmix64(base ^ index.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+impl SeedPlan {
+    /// A plan whose base seeds come from the device configuration.
+    pub fn from_config(cfg: &DeviceConfig) -> Self {
+        Self {
+            chip_base: cfg.chip_seed,
+            jitter_base: cfg.jitter_seed,
+        }
+    }
+
+    /// The seeds for shot `index`.
+    pub fn shot(&self, index: u64) -> ShotSeeds {
+        ShotSeeds {
+            chip: derive_seed(self.chip_base, index),
+            jitter: derive_seed(self.jitter_base ^ 0x6A09_E667_F3BC_C909, index),
+        }
+    }
+}
+
+/// A program prepared for repeated execution: assembled once (if from
+/// source), so the per-shot path never re-parses. Gate resolution still
+/// happens in the decode pipeline at run time.
+#[derive(Debug, Clone)]
+pub struct LoadedProgram {
+    program: Program,
+}
+
+impl LoadedProgram {
+    /// The underlying instruction sequence.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.program.len() == 0
+    }
+}
+
+/// A batch of completed shots, in shot order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One report per shot, index-aligned with the seed plan.
+    pub shots: Vec<RunReport>,
+}
+
+impl BatchReport {
+    /// Number of shots.
+    pub fn len(&self) -> usize {
+        self.shots.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shots.is_empty()
+    }
+
+    /// Fraction of discrimination results reading `|1⟩` on `qubit`,
+    /// pooled across every shot in the batch.
+    pub fn ones_fraction(&self, qubit: usize) -> f64 {
+        let (ones, total) = self
+            .shots
+            .iter()
+            .flat_map(|r| r.md_results.iter())
+            .filter(|m| m.qubit == qubit)
+            .fold((0u64, 0u64), |(o, t), m| (o + u64::from(m.bit), t + 1));
+        ones as f64 / total.max(1) as f64
+    }
+
+    /// Total discrimination results across the batch.
+    pub fn total_md_results(&self) -> usize {
+        self.shots.iter().map(|r| r.md_results.len()).sum()
+    }
+}
+
+/// A long-lived execution context: one calibrated device, many programs,
+/// many shots.
+#[derive(Debug, Clone)]
+pub struct Session {
+    device: Device,
+    /// Base seed plan, captured from the device config at construction.
+    plan: SeedPlan,
+    /// Shot indices consumed so far: successive batches continue the seed
+    /// sequence instead of replaying it, so pooling two batches never
+    /// double-counts the same noise realizations.
+    next_shot: u64,
+}
+
+impl Session {
+    /// Builds a session around a freshly calibrated device.
+    pub fn new(config: DeviceConfig) -> Result<Self, DeviceError> {
+        Ok(Self::from_device(Device::new(config)?))
+    }
+
+    /// Wraps an existing (possibly error-injected) device. The seed plan
+    /// derives from the device's construction-time config seeds.
+    pub fn from_device(device: Device) -> Self {
+        let plan = SeedPlan::from_config(device.config());
+        Self {
+            device,
+            plan,
+            next_shot: 0,
+        }
+    }
+
+    /// The owned device, for inspection.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The owned device, mutable — for calibration uploads and error
+    /// injection between batches.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Releases the device.
+    pub fn into_device(self) -> Device {
+        self.device
+    }
+
+    /// The session's base seed plan (captured when the session was built).
+    pub fn seed_plan(&self) -> SeedPlan {
+        self.plan
+    }
+
+    /// Number of batch shot indices consumed so far; the next
+    /// [`Session::run_shots`] / [`Session::run_shots_parallel`] batch
+    /// starts its seed derivation here.
+    pub fn shots_run(&self) -> u64 {
+        self.next_shot
+    }
+
+    /// Prepares a program for batched execution. Loading just captures
+    /// the instruction sequence — gate resolution against the Q control
+    /// store stays a run-time concern (an unknown gate surfaces as
+    /// [`DeviceError::UnknownGate`] on the first shot).
+    pub fn load(&self, program: &Program) -> LoadedProgram {
+        LoadedProgram {
+            program: program.clone(),
+        }
+    }
+
+    /// Assembles source into a [`LoadedProgram`] once; batches then skip
+    /// the assembler entirely.
+    pub fn load_assembly(&self, source: &str) -> Result<LoadedProgram, DeviceError> {
+        let program = quma_isa::asm::Assembler::new().assemble(source)?;
+        Ok(self.load(&program))
+    }
+
+    /// Runs a loaded program once *without* reseeding: continues the
+    /// device's current RNG streams, exactly like [`Device::run`]. The
+    /// first run of a fresh session is therefore bit-identical to the
+    /// legacy one-device-one-run path.
+    pub fn run(&mut self, program: &LoadedProgram) -> Result<RunReport, DeviceError> {
+        self.device.run(&program.program)
+    }
+
+    /// Runs one shot with explicit seeds: cheap per-shot reset (reseed +
+    /// architectural clear), no reconstruction.
+    pub fn run_shot(
+        &mut self,
+        program: &LoadedProgram,
+        seeds: ShotSeeds,
+    ) -> Result<RunReport, DeviceError> {
+        self.device.reseed(seeds.chip, seeds.jitter);
+        self.device.run(&program.program)
+    }
+
+    /// Runs `shots` shots sequentially with seeds derived from the
+    /// session's seed plan, continuing from where the previous batch left
+    /// off (shot `i` of the session's lifetime uses `seed_plan().shot(i)`).
+    /// The shot counter advances only when the whole batch succeeds, so a
+    /// retried batch replays the same seed indices — matching
+    /// [`Session::run_shots_parallel`] on the error path too.
+    pub fn run_shots(
+        &mut self,
+        program: &LoadedProgram,
+        shots: u64,
+    ) -> Result<BatchReport, DeviceError> {
+        let plan = self.seed_plan();
+        let first = self.next_shot;
+        let mut reports = Vec::with_capacity(shots as usize);
+        for i in first..first + shots {
+            reports.push(self.run_shot(program, plan.shot(i))?);
+        }
+        self.next_shot = first + shots;
+        Ok(BatchReport { shots: reports })
+    }
+
+    /// Runs a sweep: each point is a prepared program with its own shot
+    /// seeds, executed back-to-back on the one calibrated device.
+    pub fn run_sweep(
+        &mut self,
+        points: &[(LoadedProgram, ShotSeeds)],
+    ) -> Result<Vec<RunReport>, DeviceError> {
+        points
+            .iter()
+            .map(|(program, seeds)| self.run_shot(program, *seeds))
+            .collect()
+    }
+
+    /// Runs `shots` shots sharded across `threads` worker threads, each
+    /// working on a clone of the calibrated device. Seeds come from the
+    /// same plan and the same continuing shot indices as
+    /// [`Session::run_shots`], so the result is bit-identical to the
+    /// sequential batch (and is returned in shot order). The session's
+    /// shot counter advances only when the whole batch succeeds.
+    ///
+    /// Only the clones run: the owned device's RNG streams stay where
+    /// they were, unlike [`Session::run_shots`] which leaves them at the
+    /// last shot's position. Code mixing batches with non-reseeded
+    /// [`Session::run`] calls should not rely on the RNG position the
+    /// previous batch left behind — use [`Session::run_shot`] with
+    /// explicit seeds when reproducibility matters.
+    pub fn run_shots_parallel(
+        &mut self,
+        program: &LoadedProgram,
+        shots: u64,
+        threads: usize,
+    ) -> Result<BatchReport, DeviceError> {
+        let workers = threads.clamp(1, shots.max(1) as usize);
+        let plan = self.seed_plan();
+        let first = self.next_shot;
+        let per_thread: Vec<Result<Vec<(u64, RunReport)>, DeviceError>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    // The vendored crossbeam subset requires 'static
+                    // closures, so each worker owns a device clone and a
+                    // program clone outright.
+                    let mut device = self.device.clone();
+                    let program = program.clone();
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        let mut i = t as u64;
+                        while i < shots {
+                            let seeds = plan.shot(first + i);
+                            device.reseed(seeds.chip, seeds.jitter);
+                            out.push((i, device.run(program.program())?));
+                            i += workers as u64;
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shot worker panicked"))
+                .collect()
+        })
+        .expect("thread scope");
+        let mut indexed = Vec::with_capacity(shots as usize);
+        for r in per_thread {
+            indexed.extend(r?);
+        }
+        indexed.sort_by_key(|&(i, _)| i);
+        self.next_shot = first + shots;
+        Ok(BatchReport {
+            shots: indexed.into_iter().map(|(_, r)| r).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChipProfile, DeviceConfig};
+    use crate::trace::TraceLevel;
+
+    const SEGMENT: &str = "\
+        Wait 40000\n\
+        Pulse {q0}, X90\n\
+        Wait 4\n\
+        Pulse {q0}, X90\n\
+        Wait 4\n\
+        MPG {q0}, 300\n\
+        MD {q0}, r7\n\
+        halt\n";
+
+    fn config() -> DeviceConfig {
+        DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: 0x5E55,
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_session_run_matches_legacy_device_run() {
+        let mut dev = Device::new(config()).unwrap();
+        let want = dev.run_assembly(SEGMENT).unwrap();
+        let mut session = Session::new(config()).unwrap();
+        let loaded = session.load_assembly(SEGMENT).unwrap();
+        let got = session.run(&loaded).unwrap();
+        assert_eq!(got.registers, want.registers);
+        assert_eq!(got.md_results, want.md_results);
+    }
+
+    #[test]
+    fn batch_shot_matches_fresh_device_with_derived_seeds() {
+        let mut session = Session::new(config()).unwrap();
+        let loaded = session.load_assembly(SEGMENT).unwrap();
+        let batch = session.run_shots(&loaded, 4).unwrap();
+        let plan = SeedPlan::from_config(&config());
+        for (i, shot) in batch.shots.iter().enumerate() {
+            let seeds = plan.shot(i as u64);
+            let mut fresh = Device::new(DeviceConfig {
+                chip_seed: seeds.chip,
+                jitter_seed: seeds.jitter,
+                ..config()
+            })
+            .unwrap();
+            let want = fresh.run_assembly(SEGMENT).unwrap();
+            assert_eq!(shot.registers, want.registers, "shot {i}");
+            assert_eq!(shot.md_results, want.md_results, "shot {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let mut session = Session::new(config()).unwrap();
+        let loaded = session.load_assembly(SEGMENT).unwrap();
+        let sequential = session.run_shots(&loaded, 6).unwrap();
+        // A second session starts the shot counter at 0 again, so the
+        // parallel batch covers the same seed indices.
+        let mut session = Session::new(config()).unwrap();
+        let parallel = session.run_shots_parallel(&loaded, 6, 3).unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        assert_eq!(session.shots_run(), 6);
+        for (a, b) in sequential.shots.iter().zip(parallel.shots.iter()) {
+            assert_eq!(a.registers, b.registers);
+            assert_eq!(a.md_results, b.md_results);
+        }
+    }
+
+    #[test]
+    fn successive_batches_continue_the_seed_sequence() {
+        // Two 2-shot batches must equal one 4-shot batch, never a replay
+        // of the first two seeds.
+        let mut split = Session::new(config()).unwrap();
+        let loaded = split.load_assembly(SEGMENT).unwrap();
+        let first = split.run_shots(&loaded, 2).unwrap();
+        let second = split.run_shots(&loaded, 2).unwrap();
+        let mut whole = Session::new(config()).unwrap();
+        let all = whole.run_shots(&loaded, 4).unwrap();
+        for (i, (a, b)) in first
+            .shots
+            .iter()
+            .chain(second.shots.iter())
+            .zip(all.shots.iter())
+            .enumerate()
+        {
+            assert_eq!(a.md_results, b.md_results, "shot {i}");
+        }
+        assert_ne!(
+            first.shots[0].md_results, second.shots[0].md_results,
+            "the second batch must draw fresh noise realizations"
+        );
+    }
+
+    #[test]
+    fn sweep_runs_each_point_with_its_seeds() {
+        let mut session = Session::new(config()).unwrap();
+        let plan = session.seed_plan();
+        let points: Vec<(LoadedProgram, ShotSeeds)> = (0..3)
+            .map(|i| (session.load_assembly(SEGMENT).unwrap(), plan.shot(i as u64)))
+            .collect();
+        let reports = session.run_sweep(&points).unwrap();
+        assert_eq!(reports.len(), 3);
+        // Same seeds, same program → the sweep repeats the batch exactly.
+        let loaded = session.load_assembly(SEGMENT).unwrap();
+        let batch = session.run_shots(&loaded, 3).unwrap();
+        for (a, b) in reports.iter().zip(batch.shots.iter()) {
+            assert_eq!(a.md_results, b.md_results);
+        }
+    }
+
+    #[test]
+    fn retuned_readout_invalidates_the_mdu_cache() {
+        // Re-tuning the readout chain between batches must re-calibrate
+        // the cached MDUs, keeping session shots bit-identical to fresh
+        // devices with the same injection applied.
+        let mut session = Session::new(config()).unwrap();
+        let loaded = session.load_assembly(SEGMENT).unwrap();
+        let seeds = session.seed_plan().shot(0);
+        session.run_shot(&loaded, seeds).unwrap(); // populate the cache
+        session
+            .device_mut()
+            .chip_mut()
+            .qubit_mut(0)
+            .readout
+            .noise_sigma = 0.8;
+        let got = session.run_shot(&loaded, seeds).unwrap();
+        let mut fresh = Device::new(DeviceConfig {
+            chip_seed: seeds.chip,
+            jitter_seed: seeds.jitter,
+            ..config()
+        })
+        .unwrap();
+        fresh.chip_mut().qubit_mut(0).readout.noise_sigma = 0.8;
+        let want = fresh.run_assembly(SEGMENT).unwrap();
+        assert_eq!(got.md_results, want.md_results);
+    }
+
+    #[test]
+    fn load_assembly_surfaces_assembler_errors() {
+        let session = Session::new(config()).unwrap();
+        let err = session.load_assembly("not an instruction\n").unwrap_err();
+        assert!(matches!(err, DeviceError::Assemble(_)));
+    }
+
+    #[test]
+    fn ones_fraction_pools_across_shots() {
+        let mut session = Session::new(DeviceConfig::default()).unwrap();
+        let loaded = session.load_assembly(SEGMENT).unwrap();
+        // Ideal chip: X90·X90 = X180 always measures 1.
+        let batch = session.run_shots(&loaded, 3).unwrap();
+        assert_eq!(batch.total_md_results(), 3);
+        assert!((batch.ones_fraction(0) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn derived_seeds_are_decorrelated() {
+        let plan = SeedPlan {
+            chip_base: 1,
+            jitter_base: 1,
+        };
+        let a = plan.shot(0);
+        let b = plan.shot(1);
+        assert_ne!(a.chip, b.chip);
+        assert_ne!(a.jitter, b.jitter);
+        assert_ne!(a.chip, a.jitter, "streams must differ even at one base");
+    }
+}

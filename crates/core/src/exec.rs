@@ -114,6 +114,13 @@ impl ExecutionController {
         }
     }
 
+    /// Replaces the jitter RNG with a freshly seeded one, making future
+    /// instruction latencies identical to a newly built controller with
+    /// this seed.
+    pub fn reseed(&mut self, jitter_seed: u64) {
+        self.rng = StdRng::seed_from_u64(jitter_seed);
+    }
+
     /// Loads a program and resets architectural state.
     pub fn load(&mut self, program: &Program) {
         self.program = program.instructions().to_vec();

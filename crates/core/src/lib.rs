@@ -15,8 +15,13 @@
 //! * **Multilevel instruction decoding** — [`exec`] → [`microcode`] →
 //!   [`qmb`] → [`uop_unit`], the four decode levels of Table 5.
 //!
-//! [`device::Device`] assembles the whole control box and runs QuMIS
+//! [`device::Device`] assembles the whole control box — structurally split
+//! into the two timing domains by [`pipeline`] (frontend: fetch/decode;
+//! backend: deterministic events and the analog path) — and runs QuMIS
 //! programs end to end against the physics substrate in `quma-qsim`.
+//! [`engine::Session`] layers a reusable batched shot engine on top:
+//! calibrate once, load programs once, run shot batches (sequential or
+//! parallel) with cheap per-shot resets and derived seeds.
 //!
 //! ```
 //! use quma_core::prelude::*;
@@ -40,10 +45,12 @@ pub mod config;
 pub mod ctpg;
 pub mod device;
 pub mod digital_out;
+pub mod engine;
 pub mod event;
 pub mod exec;
 pub mod mdu;
 pub mod microcode;
+pub mod pipeline;
 pub mod qmb;
 pub mod timing;
 pub mod trace;
@@ -56,6 +63,9 @@ pub mod prelude {
     pub use crate::ctpg::{Ctpg, PulseLibrary, PulseLibraryBuilder};
     pub use crate::device::{Device, DeviceError, MdRecord, RunReport, RunStats};
     pub use crate::digital_out::{DigitalOutputUnit, MarkerPulse, NUM_CHANNELS};
+    pub use crate::engine::{
+        derive_seed, BatchReport, LoadedProgram, SeedPlan, Session, ShotSeeds,
+    };
     pub use crate::event::{Event, FiredEvent};
     pub use crate::exec::{ExecStats, ExecutionController, StepOutcome};
     pub use crate::mdu::MeasurementDiscriminationUnit;

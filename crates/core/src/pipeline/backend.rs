@@ -1,0 +1,561 @@
+//! The deterministic timing domain and analog path (paper Figure 4,
+//! right half).
+//!
+//! Timing control unit → µ-op units → CTPGs → simulated chip →
+//! MPG/MDU/data collectors → result write-backs. Every action in here
+//! lands on an exact deterministic-domain cycle; the only way the
+//! frontend's scheduling can reach this side is through the labeled
+//! queues of the timing control unit.
+
+use crate::collector::DataCollector;
+use crate::config::{ChipProfile, DeviceConfig};
+use crate::ctpg::{Ctpg, PulseLibraryBuilder};
+use crate::device::{DeviceError, MdRecord};
+use crate::digital_out::DigitalOutputUnit;
+use crate::event::Event;
+use crate::mdu::MeasurementDiscriminationUnit;
+use crate::timing::{TimingControlUnit, TimingStats};
+use crate::trace::{Trace, TraceKind, TraceLevel};
+use crate::uop_unit::{seq_z, MicroOpUnit};
+use quma_isa::prelude::Reg;
+use quma_qsim::chip::QuantumChip;
+use quma_qsim::resonator::{ReadoutParams, ReadoutTrace};
+use std::collections::{BTreeMap, HashMap};
+
+/// A chip-facing action with its effect cycle, ordered before execution.
+#[derive(Debug)]
+enum ChipAction {
+    Drive {
+        qubit: usize,
+        pulse: crate::ctpg::PlayedPulse,
+        at: u64,
+        trigger_td: u64,
+    },
+    Measure {
+        qubit: usize,
+        duration_cycles: u32,
+        at: u64,
+    },
+    Cz {
+        a: usize,
+        b: usize,
+        at: u64,
+    },
+}
+
+impl ChipAction {
+    fn at(&self) -> u64 {
+        match self {
+            ChipAction::Drive { at, .. }
+            | ChipAction::Measure { at, .. }
+            | ChipAction::Cz { at, .. } => *at,
+        }
+    }
+}
+
+/// A scheduled result write-back.
+#[derive(Debug, Clone, Copy)]
+struct Writeback {
+    qubit: usize,
+    rd: Option<Reg>,
+    bit: u8,
+    s: f64,
+}
+
+/// The deterministic half of the pipeline.
+#[derive(Debug, Clone)]
+pub struct Backend {
+    tcu: TimingControlUnit,
+    uop_units: Vec<MicroOpUnit>,
+    ctpgs: Vec<Ctpg>,
+    chip: QuantumChip,
+    /// Per-qubit MDU calibration cache, keyed by integration duration and
+    /// tagged with the readout parameters it was calibrated against (a
+    /// parameter change between batches invalidates the entry).
+    mdus: Vec<HashMap<u32, (ReadoutParams, MeasurementDiscriminationUnit)>>,
+    latched: Vec<Option<(ReadoutTrace, u32)>>,
+    collectors: Vec<DataCollector>,
+    digital_out: DigitalOutputUnit,
+    writebacks: BTreeMap<u64, Vec<Writeback>>,
+    md_results: Vec<MdRecord>,
+    /// Host cycle at which T_D = 0, once the deterministic clock started.
+    td_start: Option<u64>,
+    /// Last committed chip-action cycle per qubit (chronology guard).
+    last_chip_cycle: Vec<u64>,
+    trace: Trace,
+    measurements: u64,
+}
+
+impl Backend {
+    /// Builds the backend: creates the chip per profile and calibrates one
+    /// pulse library + CTPG + µ-op unit per qubit (with `Seq_Z` defined in
+    /// every µ-op unit). This is the expensive construction step the
+    /// engine layer amortizes across shots.
+    pub fn new(config: &DeviceConfig) -> Self {
+        let chip = match config.chip {
+            ChipProfile::Ideal => QuantumChip::ideal_device(config.num_qubits, config.chip_seed),
+            ChipProfile::Paper => QuantumChip::paper_device(config.num_qubits, config.chip_seed),
+        };
+        let mut backend = Self {
+            tcu: TimingControlUnit::new(config.queue_capacity),
+            uop_units: Vec::new(),
+            ctpgs: Vec::new(),
+            chip,
+            mdus: vec![HashMap::new(); config.num_qubits],
+            latched: vec![None; config.num_qubits],
+            collectors: (0..config.num_qubits)
+                .map(|_| DataCollector::new(config.collector_k))
+                .collect(),
+            digital_out: DigitalOutputUnit::new(),
+            writebacks: BTreeMap::new(),
+            md_results: Vec::new(),
+            td_start: None,
+            last_chip_cycle: vec![0; config.num_qubits],
+            trace: Trace::new(config.trace),
+            measurements: 0,
+        };
+        for q in 0..config.num_qubits {
+            // Calibrate each qubit's pulse library against its own Rabi
+            // coefficient and SSB frequency.
+            let params = backend.chip.qubit(q).transmon.params().clone();
+            let mut builder = PulseLibraryBuilder::paper_default(params.rabi_coefficient);
+            builder.sample_rate = config.sample_rate;
+            builder.ssb = quma_signal::ssb::SsbModulator::new(params.ssb_frequency);
+            let library = builder.build_table1();
+            backend.ctpgs.push(Ctpg::new(
+                library,
+                config.ctpg_delay_cycles,
+                config.cycle_time,
+            ));
+            let mut uops = MicroOpUnit::with_table1(config.uop_delay_cycles);
+            uops.define(quma_isa::uop::UopId(crate::microcode::UOP_Z), seq_z());
+            backend.uop_units.push(uops);
+        }
+        backend
+    }
+
+    /// Resets all run state for a fresh program, keeping the calibrated
+    /// pulse libraries, µ-op definitions, and MDU calibration cache.
+    pub fn reset(&mut self, config: &DeviceConfig) {
+        self.tcu = TimingControlUnit::new(config.queue_capacity);
+        for q in 0..config.num_qubits {
+            self.latched[q] = None;
+            self.collectors[q].reset();
+            self.last_chip_cycle[q] = 0;
+            self.ctpgs[q].reset_triggers();
+            // An aborted run (e.g. MaxCyclesExceeded) can leave triggers
+            // scheduled at stale absolute cycles; they must never replay
+            // into the next run.
+            self.uop_units[q].clear_pending();
+        }
+        self.writebacks.clear();
+        self.md_results.clear();
+        self.td_start = None;
+        self.digital_out.clear();
+        self.trace.clear();
+        self.measurements = 0;
+        self.chip.reset_all(0.0);
+    }
+
+    /// Reseeds the chip's RNG (per-shot reset): future projection and
+    /// readout noise match a freshly built chip with this seed.
+    pub fn reseed(&mut self, chip_seed: u64) {
+        self.chip.reseed(chip_seed);
+    }
+
+    /// The simulated chip (for error injection and inspection).
+    pub fn chip_mut(&mut self) -> &mut QuantumChip {
+        &mut self.chip
+    }
+
+    /// The simulated chip, immutable.
+    pub fn chip(&self) -> &QuantumChip {
+        &self.chip
+    }
+
+    /// A qubit's CTPG (to re-upload pulse libraries).
+    pub fn ctpg_mut(&mut self, qubit: usize) -> &mut Ctpg {
+        &mut self.ctpgs[qubit]
+    }
+
+    /// A qubit's CTPG, immutable.
+    pub fn ctpg(&self, qubit: usize) -> &Ctpg {
+        &self.ctpgs[qubit]
+    }
+
+    /// A qubit's µ-op unit (to define emulated operations).
+    pub fn uop_unit_mut(&mut self, qubit: usize) -> &mut MicroOpUnit {
+        &mut self.uop_units[qubit]
+    }
+
+    /// The timing control unit (queue inspection).
+    pub fn tcu(&self) -> &TimingControlUnit {
+        &self.tcu
+    }
+
+    /// Mutable timing control unit, for the frontend's queue fills.
+    pub fn tcu_mut(&mut self) -> &mut TimingControlUnit {
+        &mut self.tcu
+    }
+
+    /// Starts the deterministic clock on the first buffered work, on a
+    /// carrier-phase-aligned host cycle. Returns the aligned future cycle
+    /// to revisit when `cycle` itself is not aligned.
+    pub fn maybe_start_clock(&mut self, cycle: u64, config: &DeviceConfig) -> Option<u64> {
+        if self.td_start.is_none() && !self.tcu.is_drained() {
+            let align = u64::from(config.start_alignment_cycles.max(1));
+            if cycle.is_multiple_of(align) {
+                self.tcu.start();
+                self.td_start = Some(cycle);
+            } else {
+                return Some(cycle.next_multiple_of(align));
+            }
+        }
+        None
+    }
+
+    /// True when every timing queue, µ-op unit, and pending write-back has
+    /// drained.
+    pub fn is_drained(&self) -> bool {
+        self.tcu.is_drained()
+            && self.uop_units.iter().all(MicroOpUnit::is_drained)
+            && self.writebacks.is_empty()
+    }
+
+    /// Host cycle of the next timing-queue fire, if the clock runs.
+    pub fn next_fire_cycle(&self) -> Option<u64> {
+        let start = self.td_start?;
+        let until = self.tcu.cycles_until_fire()?;
+        Some(start + self.tcu.td() + until)
+    }
+
+    /// Earliest pending codeword trigger across all µ-op units.
+    pub fn next_uop_trigger(&self) -> Option<u64> {
+        self.uop_units
+            .iter()
+            .filter_map(MicroOpUnit::next_trigger_cycle)
+            .min()
+    }
+
+    /// Host cycle of the earliest scheduled write-back.
+    pub fn next_writeback(&self) -> Option<u64> {
+        self.writebacks.first_key_value().map(|(&c, _)| c)
+    }
+
+    /// Advances the timing control unit so its `T_D` corresponds to host
+    /// cycle `cycle`, dispatching every event that fires on the way.
+    pub fn advance_deterministic(
+        &mut self,
+        cycle: u64,
+        config: &DeviceConfig,
+    ) -> Result<(), DeviceError> {
+        let Some(start) = self.td_start else {
+            return Ok(());
+        };
+        let target_td = cycle.saturating_sub(start);
+        let delta = target_td.saturating_sub(self.tcu.td());
+        let fired = self.tcu.advance(delta);
+        let mut actions: Vec<ChipAction> = Vec::new();
+        let mut last_label = None;
+        for ev in fired {
+            if last_label != Some(ev.label) {
+                self.trace
+                    .record(ev.td, TraceKind::TimePoint { label: ev.label });
+                last_label = Some(ev.label);
+            }
+            match ev.event {
+                Event::Pulse { qubits, uop } if uop.raw() == crate::microcode::UOP_CZ => {
+                    // Two-qubit flux path: the CZ pulse goes to the shared
+                    // flux-bias line, not through the per-qubit µ-op units.
+                    let qs: Vec<usize> = qubits.iter().collect();
+                    let [a, b] = qs.as_slice() else {
+                        return Err(DeviceError::CzArity { qubits, td: ev.td });
+                    };
+                    self.trace.record(ev.td, TraceKind::FluxPulse { qubits });
+                    actions.push(ChipAction::Cz {
+                        a: *a,
+                        b: *b,
+                        at: start + ev.td + u64::from(config.ctpg_delay_cycles),
+                    });
+                }
+                Event::Pulse { qubits, uop } => {
+                    for q in qubits.iter() {
+                        self.trace.record(
+                            ev.td,
+                            TraceKind::MicroOp {
+                                qubit: q,
+                                uop: uop.raw(),
+                            },
+                        );
+                        self.uop_units[q]
+                            .fire(uop, start + ev.td)
+                            .map_err(DeviceError::UndefinedUop)?;
+                    }
+                }
+                Event::Mpg { qubits, duration } => {
+                    self.trace
+                        .record(ev.td, TraceKind::MsmtPulse { qubits, duration });
+                    // Figure 6: the digital output unit raises the masked
+                    // marker lines for D cycles, triggering the measurement
+                    // carrier generators.
+                    self.digital_out.assert_channels(qubits, ev.td, duration);
+                    let at = start + ev.td + u64::from(config.msmt_trigger_delay_cycles);
+                    for q in qubits.iter() {
+                        actions.push(ChipAction::Measure {
+                            qubit: q,
+                            duration_cycles: duration,
+                            at,
+                        });
+                    }
+                }
+                Event::Md { qubits, rd } => {
+                    self.trace.record(ev.td, TraceKind::MdStart { qubits });
+                    for q in qubits.iter() {
+                        // Discrimination runs when the integration window
+                        // (opened by the matching MPG at the same label)
+                        // closes; defer via the writeback schedule. The
+                        // latched trace is bound at completion time.
+                        let (duration, _) = match &self.latched[q] {
+                            Some((_, d)) => ((*d), ()),
+                            None => {
+                                // The matching MPG may be in this same batch
+                                // (same label fires MPG before MD); the
+                                // measure action is pending in `actions`.
+                                let pending = actions.iter().rev().find_map(|a| match a {
+                                    ChipAction::Measure {
+                                        qubit,
+                                        duration_cycles,
+                                        ..
+                                    } if *qubit == q => Some(*duration_cycles),
+                                    _ => None,
+                                });
+                                match pending {
+                                    Some(d) => (d, ()),
+                                    None => {
+                                        return Err(DeviceError::MdWithoutMpg {
+                                            qubit: q,
+                                            td: ev.td,
+                                        })
+                                    }
+                                }
+                            }
+                        };
+                        let complete = start
+                            + ev.td
+                            + u64::from(config.msmt_trigger_delay_cycles)
+                            + u64::from(duration)
+                            + u64::from(config.mdu_latency_cycles);
+                        self.writebacks
+                            .entry(complete)
+                            .or_default()
+                            .push(Writeback {
+                                qubit: q,
+                                rd,
+                                bit: 0, // filled at completion
+                                s: 0.0,
+                            });
+                    }
+                }
+            }
+        }
+        // µ-op units: codeword triggers due by now.
+        for q in 0..self.uop_units.len() {
+            for trig in self.uop_units[q].drain_due(cycle) {
+                self.trace.record(
+                    trig.cycle - start,
+                    TraceKind::Codeword {
+                        qubit: q,
+                        codeword: trig.codeword,
+                    },
+                );
+                let pulse = self.ctpgs[q]
+                    .trigger(trig.codeword, trig.cycle)
+                    .map_err(DeviceError::UnknownCodeword)?;
+                let at = trig.cycle + u64::from(self.ctpgs[q].delay_cycles());
+                actions.push(ChipAction::Drive {
+                    qubit: q,
+                    pulse,
+                    at,
+                    trigger_td: trig.cycle - start,
+                });
+            }
+        }
+        // Apply chip actions in chronological order.
+        actions.sort_by_key(ChipAction::at);
+        for action in actions {
+            let (touched, at): (Vec<usize>, u64) = match &action {
+                ChipAction::Drive { qubit, at, .. } => (vec![*qubit], *at),
+                ChipAction::Measure { qubit, at, .. } => (vec![*qubit], *at),
+                ChipAction::Cz { a, b, at } => (vec![*a, *b], *at),
+            };
+            for &qubit in &touched {
+                if at < self.last_chip_cycle[qubit] {
+                    return Err(DeviceError::ChronologyViolation {
+                        qubit,
+                        at,
+                        last: self.last_chip_cycle[qubit],
+                    });
+                }
+                self.last_chip_cycle[qubit] = at;
+            }
+            match action {
+                ChipAction::Drive {
+                    qubit,
+                    pulse,
+                    at,
+                    trigger_td,
+                } => {
+                    self.trace.record(
+                        trigger_td + u64::from(config.ctpg_delay_cycles),
+                        TraceKind::PulseStart {
+                            qubit,
+                            codeword: pulse.codeword,
+                        },
+                    );
+                    self.chip
+                        .drive(qubit, &pulse.samples, pulse.start, pulse.sample_period);
+                    let _ = at;
+                }
+                ChipAction::Measure {
+                    qubit,
+                    duration_cycles,
+                    at,
+                } => {
+                    self.measurements += 1;
+                    let t0 = at as f64 * config.cycle_time;
+                    let dur = f64::from(duration_cycles) * config.cycle_time;
+                    let trace = self.chip.measure(qubit, t0, dur);
+                    self.latched[qubit] = Some((trace, duration_cycles));
+                }
+                ChipAction::Cz { a, b, at } => {
+                    let t0 = at as f64 * config.cycle_time;
+                    // The paper quotes ~40 ns (8 cycles) for CZ flux pulses.
+                    let dur = 8.0 * config.cycle_time;
+                    self.chip.apply_cz(a, b, t0, dur);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Completes every write-back due by `cycle`: binds the latched trace,
+    /// runs the MDU, records collector and trace entries, and returns the
+    /// `(register, value)` completions that must cross back to the
+    /// frontend's scoreboard.
+    pub fn apply_writebacks(
+        &mut self,
+        cycle: u64,
+        config: &DeviceConfig,
+    ) -> Result<Vec<(Reg, i32)>, DeviceError> {
+        let due: Vec<u64> = self.writebacks.range(..=cycle).map(|(&c, _)| c).collect();
+        let mut completions = Vec::new();
+        for c in due {
+            let wbs = self.writebacks.remove(&c).expect("key exists");
+            for mut wb in wbs {
+                // Bind the latched trace now: the integration window has
+                // closed.
+                let start = self.td_start.unwrap_or(0);
+                let (trace, duration) =
+                    self.latched[wb.qubit]
+                        .take()
+                        .ok_or(DeviceError::MdWithoutMpg {
+                            qubit: wb.qubit,
+                            td: c.saturating_sub(start),
+                        })?;
+                let mdu = self.mdu_for(wb.qubit, duration, config);
+                mdu.latch_trace(trace);
+                let d = mdu.discriminate().expect("trace latched above");
+                wb.bit = d.bit;
+                wb.s = d.s;
+                let td = c.saturating_sub(start);
+                if let Some(rd) = wb.rd {
+                    completions.push((rd, i32::from(d.bit)));
+                }
+                self.collectors[wb.qubit].record(d.s);
+                self.trace.record(
+                    td,
+                    TraceKind::MdResult {
+                        qubit: wb.qubit,
+                        bit: d.bit,
+                        rd: wb.rd,
+                    },
+                );
+                self.md_results.push(MdRecord {
+                    td,
+                    qubit: wb.qubit,
+                    bit: d.bit,
+                    s: d.s,
+                    rd: wb.rd,
+                });
+            }
+        }
+        Ok(completions)
+    }
+
+    fn mdu_for(
+        &mut self,
+        qubit: usize,
+        duration_cycles: u32,
+        config: &DeviceConfig,
+    ) -> &mut MeasurementDiscriminationUnit {
+        let readout = self.chip.qubit(qubit).readout.clone();
+        let integration = f64::from(duration_cycles) * config.cycle_time;
+        let latency = config.mdu_latency_cycles;
+        let entry = self.mdus[qubit].entry(duration_cycles).or_insert_with(|| {
+            let mdu = MeasurementDiscriminationUnit::calibrate(&readout, integration, latency);
+            (readout.clone(), mdu)
+        });
+        // The readout chain may have been retuned between batches (e.g.
+        // noise injection through `device_mut`); a stale calibration would
+        // silently diverge from what a fresh device computes.
+        if entry.0 != readout {
+            entry.1 = MeasurementDiscriminationUnit::calibrate(&readout, integration, latency);
+            entry.0 = readout;
+        }
+        &mut entry.1
+    }
+
+    /// Final deterministic-domain time.
+    pub fn td_final(&self) -> u64 {
+        self.tcu.td()
+    }
+
+    /// Timing statistics.
+    pub fn timing_stats(&self) -> TimingStats {
+        self.tcu.stats()
+    }
+
+    /// Codeword triggers delivered per CTPG this run.
+    pub fn ctpg_triggers(&self) -> Vec<u64> {
+        self.ctpgs.iter().map(Ctpg::triggers).collect()
+    }
+
+    /// Measurement pulses played this run.
+    pub fn measurements(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Marker pulses asserted by the digital output unit this run.
+    pub fn marker_pulses(&self) -> Vec<crate::digital_out::MarkerPulse> {
+        self.digital_out.pulses().to_vec()
+    }
+
+    /// Data-collection averages per qubit.
+    pub fn collector_averages(&self) -> Vec<Vec<f64>> {
+        self.collectors
+            .iter()
+            .map(DataCollector::averages)
+            .collect()
+    }
+
+    /// Takes the accumulated discrimination records.
+    pub fn take_md_results(&mut self) -> Vec<MdRecord> {
+        std::mem::take(&mut self.md_results)
+    }
+
+    /// Takes the deterministic-domain trace, leaving an empty one at the
+    /// given level.
+    pub fn take_trace(&mut self, level: TraceLevel) -> Trace {
+        std::mem::replace(&mut self.trace, Trace::new(level))
+    }
+}

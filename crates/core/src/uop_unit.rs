@@ -136,6 +136,12 @@ impl MicroOpUnit {
     pub fn is_drained(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// Discards all pending triggers (device reset between runs), keeping
+    /// the defined sequences and the emitted counter.
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
 }
 
 /// Error: a micro-operation with no defined codeword sequence was fired.

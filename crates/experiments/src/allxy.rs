@@ -11,7 +11,7 @@
 
 use crate::fit::FitError;
 use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+use quma_core::prelude::{ChipProfile, Device, DeviceConfig, Session, TraceLevel};
 use quma_qsim::gates::PrimitiveGate;
 use quma_qsim::state::DensityMatrix;
 
@@ -186,12 +186,19 @@ pub fn build_device(cfg: &AllxyConfig) -> Device {
     dev
 }
 
-/// Runs the full experiment: program generation, device run, calibration
-/// rescaling, and deviation extraction.
+/// Builds a session around the error-injected device — the preferred
+/// entry point for repeated AllXY batches (calibration loops re-upload
+/// libraries between batches instead of rebuilding).
+pub fn build_session(cfg: &AllxyConfig) -> Session {
+    Session::from_device(build_device(cfg))
+}
+
+/// Runs the full experiment: program generation, one session run,
+/// calibration rescaling, and deviation extraction.
 pub fn run(cfg: &AllxyConfig) -> AllxyResult {
-    let program = build_program(cfg);
-    let mut dev = build_device(cfg);
-    let report = dev.run(&program).expect("AllXY runs to completion");
+    let mut session = build_session(cfg);
+    let program = session.load(&build_program(cfg));
+    let report = session.run(&program).expect("AllXY runs to completion");
     let raw = report.collector_averages[0].clone();
     analyze(&raw, cfg.double_points)
 }

@@ -10,7 +10,7 @@
 
 use crate::fit::{levenberg_marquardt, FitError};
 use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+use quma_core::prelude::{ChipProfile, DeviceConfig, Session, ShotSeeds, TraceLevel};
 
 /// Rabi-calibration configuration.
 #[derive(Debug, Clone)]
@@ -75,23 +75,30 @@ fn single_x180_program(cfg: &RabiConfig) -> quma_isa::program::Program {
 ///
 /// `k ≈ miscalibration` when the sweep covers enough of the fringe.
 pub fn run(cfg: &RabiConfig, miscalibration: f64) -> Result<RabiResult, FitError> {
-    let program = single_x180_program(cfg);
+    let dev_cfg = DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: cfg.seed,
+        collector_k: 1,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    };
+    let mut session = Session::new(dev_cfg).expect("valid config");
+    let jitter = session.device().config().jitter_seed;
+    // The pristine calibrated library: every sweep point rescales this
+    // copy, never the previously uploaded one.
+    let base_library = session.device().ctpg(0).library().clone();
+    let program = session.load(&single_x180_program(cfg));
     let mut p1 = Vec::with_capacity(cfg.scales.len());
     for (i, &scale) in cfg.scales.iter().enumerate() {
-        let dev_cfg = DeviceConfig {
-            chip: ChipProfile::Paper,
-            chip_seed: cfg.seed.wrapping_add(i as u64),
-            collector_k: 1,
-            trace: TraceLevel::Off,
-            ..DeviceConfig::default()
+        session
+            .device_mut()
+            .ctpg_mut(0)
+            .upload(base_library.with_amplitude_scale(scale * miscalibration));
+        let seeds = ShotSeeds {
+            chip: cfg.seed.wrapping_add(i as u64),
+            jitter,
         };
-        let mut dev = Device::new(dev_cfg).expect("valid config");
-        let lib = dev
-            .ctpg(0)
-            .library()
-            .with_amplitude_scale(scale * miscalibration);
-        dev.ctpg_mut(0).upload(lib);
-        let report = dev.run(&program).expect("runs");
+        let report = session.run_shot(&program, seeds).expect("runs");
         let ones = report.md_results.iter().filter(|m| m.bit == 1).count();
         p1.push(ones as f64 / report.md_results.len().max(1) as f64);
     }

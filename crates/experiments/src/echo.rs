@@ -10,8 +10,9 @@
 //! hardware.
 
 use crate::fit::{fit_exponential_decay_fixed, FitError};
+use crate::sweep::bit_averages_cyclic;
 use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+use quma_core::prelude::{ChipProfile, DeviceConfig, Session, TraceLevel};
 
 /// Echo experiment configuration.
 #[derive(Debug, Clone)]
@@ -113,23 +114,18 @@ pub fn run(cfg: &EchoConfig) -> Result<EchoResult, FitError> {
         trace: TraceLevel::Off,
         ..DeviceConfig::default()
     };
-    let mut dev = Device::new(dev_cfg).expect("valid config");
-    dev.chip_mut().qubit_mut(0).transmon.params_mut().detuning = cfg.detuning;
-    let program = build_program(cfg);
-    let report = dev.run(&program).expect("echo program runs");
-    let k = cfg.delays_cycles.len();
-    let mut ones = vec![0u64; k];
-    let mut counts = vec![0u64; k];
-    for (i, md) in report.md_results.iter().enumerate() {
-        ones[i % k] += u64::from(md.bit);
-        counts[i % k] += 1;
-    }
-    let p1: Vec<f64> = ones
-        .iter()
-        .zip(counts.iter())
-        .map(|(&o, &n)| o as f64 / n.max(1) as f64)
-        .collect();
-    let cycle = dev.config().cycle_time;
+    let mut session = Session::new(dev_cfg).expect("valid config");
+    session
+        .device_mut()
+        .chip_mut()
+        .qubit_mut(0)
+        .transmon
+        .params_mut()
+        .detuning = cfg.detuning;
+    let program = session.load(&build_program(cfg));
+    let report = session.run(&program).expect("echo program runs");
+    let p1 = bit_averages_cyclic(&report, cfg.delays_cycles.len());
+    let cycle = session.device().config().cycle_time;
     let delays: Vec<f64> = cfg
         .delays_cycles
         .iter()

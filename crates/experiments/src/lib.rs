@@ -26,14 +26,15 @@ pub mod ramsey;
 pub mod rb;
 pub mod readout;
 pub mod stats;
+pub mod sweep;
 pub mod t1;
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::allxy::{
-        analyze as allxy_analyze, build_program as allxy_program, format_table as allxy_table,
-        ideal_fidelity, labels as allxy_labels, pairs as allxy_pairs, run as run_allxy,
-        AllxyConfig, AllxyResult, PulseError,
+        analyze as allxy_analyze, build_program as allxy_program, build_session as allxy_session,
+        format_table as allxy_table, ideal_fidelity, labels as allxy_labels, pairs as allxy_pairs,
+        run as run_allxy, AllxyConfig, AllxyResult, PulseError,
     };
     pub use crate::calibrate::{run as run_rabi, RabiConfig, RabiResult};
     pub use crate::echo::{run as run_echo, EchoConfig, EchoResult};
@@ -48,5 +49,6 @@ pub mod prelude {
     };
     pub use crate::readout::{run as run_readout, ReadoutConfig, ReadoutPoint, ReadoutResult};
     pub use crate::stats::{mean, mean_abs_deviation, sem, std_dev, variance};
+    pub use crate::sweep::{bit_averages_cyclic, ones_fraction};
     pub use crate::t1::{run as run_t1, T1Config, T1Result};
 }

@@ -8,8 +8,9 @@
 //! Clifford is `r = (1 − p)/2`.
 
 use crate::fit::{fit_rb_decay, FitError};
+use crate::sweep::ones_fraction;
 use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+use quma_core::prelude::{ChipProfile, DeviceConfig, Session, ShotSeeds, TraceLevel};
 use quma_qsim::clifford::CliffordGroup;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,37 +101,67 @@ pub fn build_sequence_program(
         .expect("RB program uses only Table 1 gates")
 }
 
-/// Runs randomized benchmarking through the full device pipeline.
-pub fn run(cfg: &RbConfig) -> Result<RbResult, FitError> {
-    let group = CliffordGroup::generate();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+/// Builds the one calibrated session an RB run reuses for every sequence
+/// and length: paper chip, collector off to the side, and the configured
+/// amplitude miscalibration uploaded once.
+fn rb_session(cfg: &RbConfig) -> Session {
+    let dev_cfg = DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: cfg.chip_seed,
+        collector_k: 1,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    };
+    let mut session = Session::new(dev_cfg).expect("valid config");
+    if (cfg.amplitude_scale - 1.0).abs() > f64::EPSILON {
+        let lib = session
+            .device()
+            .ctpg(0)
+            .library()
+            .with_amplitude_scale(cfg.amplitude_scale);
+        session.device_mut().ctpg_mut(0).upload(lib);
+    }
+    session
+}
+
+/// The per-sweep-point survival loop shared by standard and interleaved
+/// RB: one session, one shot per (length, sequence) with a derived chip
+/// seed — no device reconstruction anywhere in the sweep.
+fn survival_sweep(
+    cfg: &RbConfig,
+    rng: &mut StdRng,
+    seed_offset: u64,
+    build: impl Fn(&[usize]) -> quma_isa::program::Program,
+) -> Vec<f64> {
+    let mut session = rb_session(cfg);
+    let jitter = session.device().config().jitter_seed;
     let mut survival = Vec::with_capacity(cfg.lengths.len());
     for (li, &m) in cfg.lengths.iter().enumerate() {
         let mut acc = 0.0;
         for s in 0..cfg.sequences_per_length {
             let sequence: Vec<usize> = (0..m).map(|_| rng.random_range(0..24)).collect();
-            let program = build_sequence_program(&group, &sequence, cfg.init_cycles, cfg.averages);
-            let dev_cfg = DeviceConfig {
-                chip: ChipProfile::Paper,
-                chip_seed: cfg.chip_seed.wrapping_add(li as u64 * 1000 + s as u64),
-                collector_k: 1,
-                trace: TraceLevel::Off,
-                ..DeviceConfig::default()
+            let program = session.load(&build(&sequence));
+            let seeds = ShotSeeds {
+                chip: cfg
+                    .chip_seed
+                    .wrapping_add(seed_offset + li as u64 * 1000 + s as u64),
+                jitter,
             };
-            let mut dev = Device::new(dev_cfg).expect("valid config");
-            if (cfg.amplitude_scale - 1.0).abs() > f64::EPSILON {
-                let lib = dev
-                    .ctpg(0)
-                    .library()
-                    .with_amplitude_scale(cfg.amplitude_scale);
-                dev.ctpg_mut(0).upload(lib);
-            }
-            let report = dev.run(&program).expect("RB program runs");
-            let zeros = report.md_results.iter().filter(|md| md.bit == 0).count();
-            acc += zeros as f64 / report.md_results.len().max(1) as f64;
+            let report = session.run_shot(&program, seeds).expect("RB program runs");
+            acc += 1.0 - ones_fraction(&report);
         }
         survival.push(acc / cfg.sequences_per_length as f64);
     }
+    survival
+}
+
+/// Runs randomized benchmarking through the full device pipeline.
+pub fn run(cfg: &RbConfig) -> Result<RbResult, FitError> {
+    let group = CliffordGroup::generate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let survival = survival_sweep(cfg, &mut rng, 0, |sequence| {
+        build_sequence_program(&group, sequence, cfg.init_cycles, cfg.averages)
+    });
     let ms: Vec<f64> = cfg.lengths.iter().map(|&m| m as f64).collect();
     let fit = fit_rb_decay(&ms, &survival)?;
     Ok(RbResult {
@@ -180,41 +211,9 @@ pub fn run_interleaved(cfg: &RbConfig, gate_index: usize) -> Result<InterleavedR
     let reference = run(cfg)?;
     let group = CliffordGroup::generate();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1217);
-    let mut survival = Vec::with_capacity(cfg.lengths.len());
-    for (li, &m) in cfg.lengths.iter().enumerate() {
-        let mut acc = 0.0;
-        for s in 0..cfg.sequences_per_length {
-            let sequence: Vec<usize> = (0..m).map(|_| rng.random_range(0..24)).collect();
-            let program = build_interleaved_program(
-                &group,
-                &sequence,
-                gate_index,
-                cfg.init_cycles,
-                cfg.averages,
-            );
-            let dev_cfg = DeviceConfig {
-                chip: ChipProfile::Paper,
-                chip_seed: cfg
-                    .chip_seed
-                    .wrapping_add(0x9000 + li as u64 * 1000 + s as u64),
-                collector_k: 1,
-                trace: TraceLevel::Off,
-                ..DeviceConfig::default()
-            };
-            let mut dev = Device::new(dev_cfg).expect("valid config");
-            if (cfg.amplitude_scale - 1.0).abs() > f64::EPSILON {
-                let lib = dev
-                    .ctpg(0)
-                    .library()
-                    .with_amplitude_scale(cfg.amplitude_scale);
-                dev.ctpg_mut(0).upload(lib);
-            }
-            let report = dev.run(&program).expect("RB program runs");
-            let zeros = report.md_results.iter().filter(|md| md.bit == 0).count();
-            acc += zeros as f64 / report.md_results.len().max(1) as f64;
-        }
-        survival.push(acc / cfg.sequences_per_length as f64);
-    }
+    let survival = survival_sweep(cfg, &mut rng, 0x9000, |sequence| {
+        build_interleaved_program(&group, sequence, gate_index, cfg.init_cycles, cfg.averages)
+    });
     let ms: Vec<f64> = cfg.lengths.iter().map(|&m| m as f64).collect();
     let fit = fit_rb_decay(&ms, &survival)?;
     Ok(InterleavedRbResult {
@@ -277,15 +276,15 @@ mod tests {
         // m identity Cliffords: recovery is identity; survival ~ 1 apart
         // from decoherence during the (empty) sequence.
         let group = CliffordGroup::generate();
-        let prog = build_sequence_program(&group, &[0, 0, 0, 0], 40000, 20);
         let dev_cfg = DeviceConfig {
             chip: ChipProfile::Paper,
             chip_seed: 7,
             trace: TraceLevel::Off,
             ..DeviceConfig::default()
         };
-        let mut dev = Device::new(dev_cfg).unwrap();
-        let report = dev.run(&prog).unwrap();
+        let mut session = Session::new(dev_cfg).unwrap();
+        let prog = session.load(&build_sequence_program(&group, &[0, 0, 0, 0], 40000, 20));
+        let report = session.run(&prog).unwrap();
         let zeros = report.md_results.iter().filter(|m| m.bit == 0).count();
         assert!(zeros as f64 / report.md_results.len() as f64 > 0.9);
     }

@@ -10,7 +10,7 @@
 //! `1 − (P(1||0⟩) + P(0||1⟩))/2`.
 
 use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+use quma_core::prelude::{ChipProfile, DeviceConfig, Session, ShotSeeds, TraceLevel};
 
 /// Readout-fidelity experiment configuration.
 #[derive(Debug, Clone)]
@@ -97,21 +97,32 @@ fn program_for(duration: u32, cfg: &ReadoutConfig) -> quma_isa::program::Program
     program.compile(&gates, &ccfg).expect("well-formed")
 }
 
-/// Runs the sweep.
+/// Runs the sweep: one calibrated session, one shot per integration
+/// window, each reseeded exactly as the per-point devices used to be.
 pub fn run(cfg: &ReadoutConfig) -> ReadoutResult {
+    let dev_cfg = DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: cfg.seed,
+        collector_k: 2,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    };
+    let mut session = Session::new(dev_cfg).expect("valid config");
+    session
+        .device_mut()
+        .chip_mut()
+        .qubit_mut(0)
+        .readout
+        .noise_sigma = cfg.noise_sigma;
+    let jitter = session.device().config().jitter_seed;
     let mut points = Vec::with_capacity(cfg.durations_cycles.len());
     for (i, &duration) in cfg.durations_cycles.iter().enumerate() {
-        let dev_cfg = DeviceConfig {
-            chip: ChipProfile::Paper,
-            chip_seed: cfg.seed.wrapping_add(i as u64),
-            collector_k: 2,
-            trace: TraceLevel::Off,
-            ..DeviceConfig::default()
+        let program = session.load(&program_for(duration, cfg));
+        let seeds = ShotSeeds {
+            chip: cfg.seed.wrapping_add(i as u64),
+            jitter,
         };
-        let mut dev = Device::new(dev_cfg).expect("valid config");
-        dev.chip_mut().qubit_mut(0).readout.noise_sigma = cfg.noise_sigma;
-        let program = program_for(duration, cfg);
-        let report = dev.run(&program).expect("runs");
+        let report = session.run_shot(&program, seeds).expect("runs");
         // Slot 0 prepared |0⟩, slot 1 prepared |1⟩ (cyclic order).
         let mut wrong = [0u32; 2];
         let mut total = [0u32; 2];

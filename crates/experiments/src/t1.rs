@@ -5,8 +5,9 @@
 //! The excited-state population decays as `p₁(τ) = A·e^{−τ/T1} + B`.
 
 use crate::fit::{fit_exponential_decay, FitError};
+use crate::sweep::bit_averages_cyclic;
 use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, Device, DeviceConfig, TraceLevel};
+use quma_core::prelude::{ChipProfile, DeviceConfig, Session, TraceLevel};
 
 /// T1 experiment configuration.
 #[derive(Debug, Clone)]
@@ -75,7 +76,7 @@ pub fn build_program(cfg: &T1Config) -> quma_isa::program::Program {
         .expect("T1 program is well-formed")
 }
 
-/// Runs the T1 experiment on a paper-profile device and fits the decay.
+/// Runs the T1 experiment on a paper-profile session and fits the decay.
 pub fn run(cfg: &T1Config) -> Result<T1Result, FitError> {
     let dev_cfg = DeviceConfig {
         chip: ChipProfile::Paper,
@@ -84,24 +85,13 @@ pub fn run(cfg: &T1Config) -> Result<T1Result, FitError> {
         trace: TraceLevel::Off,
         ..DeviceConfig::default()
     };
-    let mut dev = Device::new(dev_cfg).expect("valid config");
-    let program = build_program(cfg);
-    let report = dev.run(&program).expect("T1 program runs");
-    let k = cfg.delays_cycles.len();
+    let mut session = Session::new(dev_cfg).expect("valid config");
+    let program = session.load(&build_program(cfg));
+    let report = session.run(&program).expect("T1 program runs");
     // Bit averages per slot from the MD records (completion order cycles
     // through the K delays).
-    let mut ones = vec![0u64; k];
-    let mut counts = vec![0u64; k];
-    for (i, md) in report.md_results.iter().enumerate() {
-        ones[i % k] += u64::from(md.bit);
-        counts[i % k] += 1;
-    }
-    let p1: Vec<f64> = ones
-        .iter()
-        .zip(counts.iter())
-        .map(|(&o, &n)| o as f64 / n.max(1) as f64)
-        .collect();
-    let cycle = dev.config().cycle_time;
+    let p1 = bit_averages_cyclic(&report, cfg.delays_cycles.len());
+    let cycle = session.device().config().cycle_time;
     let delays: Vec<f64> = cfg
         .delays_cycles
         .iter()

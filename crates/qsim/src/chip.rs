@@ -43,7 +43,7 @@ struct JointRegister {
 }
 
 /// The simulated multi-qubit device.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QuantumChip {
     qubits: Vec<ChipQubit>,
     joints: Vec<JointRegister>,
@@ -116,6 +116,15 @@ impl QuantumChip {
     /// Total number of measurement pulses played so far.
     pub fn measurement_count(&self) -> u64 {
         self.measurements
+    }
+
+    /// Replaces the RNG with a freshly seeded one and zeroes the
+    /// measurement counter, making the chip's future stochastic behaviour
+    /// identical to a newly built chip with this seed (qubit states and
+    /// parameters are untouched — combine with [`Self::reset_all`]).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.measurements = 0;
     }
 
     /// Resets every qubit to `|0⟩` at lab time `at`, dissolving any

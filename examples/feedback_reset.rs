@@ -33,15 +33,15 @@ const ACTIVE_RESET: &str = "\
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Active reset by measurement feedback ==\n");
+    // One calibrated session, one cheap reseed per trial: the batch-engine
+    // pattern for repeated shots of the same program.
+    let mut session = Session::new(DeviceConfig::default())?;
+    let jitter = session.device().config().jitter_seed;
+    let program = session.load_assembly(ACTIVE_RESET)?;
     let mut flips = 0u32;
     let trials = 20;
     for seed in 0..trials {
-        let cfg = DeviceConfig {
-            chip_seed: seed,
-            ..DeviceConfig::default()
-        };
-        let mut device = Device::new(cfg)?;
-        let report = device.run_assembly(ACTIVE_RESET)?;
+        let report = session.run_shot(&program, ShotSeeds { chip: seed, jitter })?;
         let first = report.registers[7];
         let second = report.registers[9];
         let acted = first == 1;

@@ -23,9 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ";
 
     // The default device is the paper's prototype: 5 ns cycle, 1 GS/s AWGs,
-    // 80 ns codeword-to-pulse delay, one ideal transmon.
-    let mut device = Device::new(DeviceConfig::default())?;
-    let report = device.run_assembly(source)?;
+    // 80 ns codeword-to-pulse delay, one ideal transmon. The session owns
+    // it and amortizes the construction across every run below.
+    let mut session = Session::new(DeviceConfig::default())?;
+    let program = session.load_assembly(source)?;
+    let report = session.run(&program)?;
 
     println!("== QuMA quickstart ==");
     println!("measurement result (r7): {}", report.registers[7]);
@@ -47,5 +49,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     assert_eq!(report.registers[7], 1, "two X90 pulses compose to a π flip");
     println!("\nOK: two X90 pulses measured the qubit in |1>.");
+
+    // Batched shots: the loaded program re-runs with a cheap per-shot
+    // reset (derived seeds, no device reconstruction).
+    let batch = session.run_shots(&program, 8)?;
+    println!(
+        "batch of {} shots: |1> fraction = {:.2}",
+        batch.len(),
+        batch.ones_fraction(0)
+    );
+    assert!((batch.ones_fraction(0) - 1.0).abs() < f64::EPSILON);
+    println!("OK: all batched shots agree on the ideal chip.");
     Ok(())
 }

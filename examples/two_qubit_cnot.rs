@@ -23,6 +23,14 @@ fn assembler() -> Assembler {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== CNOT via Algorithm 2 through the full pipeline ==\n");
 
+    // One calibrated two-qubit session drives the whole example; each run
+    // only reseeds instead of paying a device construction.
+    let mut session = Session::new(DeviceConfig {
+        num_qubits: 2,
+        ..DeviceConfig::default()
+    })?;
+    let jitter = session.device().config().jitter_seed;
+
     // Truth table.
     for control in [0u8, 1u8] {
         let src = format!(
@@ -34,13 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ""
             }
         );
-        let prog = assembler().assemble(&src)?;
-        let mut dev = Device::new(DeviceConfig {
-            num_qubits: 2,
-            chip_seed: 5 + u64::from(control),
-            ..DeviceConfig::default()
-        })?;
-        let report = dev.run(&prog)?;
+        let prog = session.load(&assembler().assemble(&src)?);
+        let report = session.run_shot(
+            &prog,
+            ShotSeeds {
+                chip: 5 + u64::from(control),
+                jitter,
+            },
+        )?;
         println!(
             "control |{control}>: target measured |{}>, control measured |{}>",
             report.registers[7], report.registers[9]
@@ -68,16 +77,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mov r15, 1000\nQNopReg r15\nPulse {q1}, Y90\nWait 4\n\
         Apply CNOT, {q0, q1}\nWait 40\n\
         MPG {q0, q1}, 300\nMD {q0}, r7\nMD {q1}, r9\nhalt\n";
-    let prog = assembler().assemble(src)?;
+    let prog = session.load(&assembler().assemble(src)?);
     let mut histogram = [0u32; 4];
     let shots = 50;
     for seed in 0..shots {
-        let mut dev = Device::new(DeviceConfig {
-            num_qubits: 2,
-            chip_seed: 100 + seed,
-            ..DeviceConfig::default()
-        })?;
-        let report = dev.run(&prog)?;
+        let report = session.run_shot(
+            &prog,
+            ShotSeeds {
+                chip: 100 + seed,
+                jitter,
+            },
+        )?;
         let key = (report.registers[7] * 2 + report.registers[9]) as usize;
         histogram[key] += 1;
     }
