@@ -176,15 +176,38 @@ impl QuantumProgram {
                         }
                     }
                 }
+                KernelOp::MeasureFanout { qubits, rds } => {
+                    let _ = writeln!(out, "MPG {}, {}", mask(qubits), gates.measure_duration);
+                    for (q, r) in qubits.iter().zip(rds.iter()) {
+                        let _ = writeln!(out, "MD {{q{q}}}, {r}");
+                    }
+                }
+                KernelOp::Label(name) => {
+                    let _ = writeln!(out, "{name}:");
+                }
+                KernelOp::BranchEq { rs, rt, label } => {
+                    let _ = writeln!(out, "beq {rs}, {rt}, {label}");
+                }
+                KernelOp::BranchNe { rs, rt, label } => {
+                    let _ = writeln!(out, "bne {rs}, {rt}, {label}");
+                }
+                KernelOp::Jump { label, scratch } => {
+                    let _ = writeln!(out, "beq {scratch}, {scratch}, {label}");
+                }
+                KernelOp::MovImm { rd, imm } => {
+                    let _ = writeln!(out, "mov {rd}, {imm}");
+                }
             }
         }
         Ok(())
     }
 
-    /// Compiles to an executable [`Program`].
+    /// Compiles to an executable [`Program`]. The assembler uses the gate
+    /// set's µ-op table, so extended sets (e.g. the CZ flux µ-op of
+    /// [`GateSet::paper_two_qubit`]) assemble without extra registration.
     pub fn compile(&self, gates: &GateSet, cfg: &CompilerConfig) -> Result<Program, CompileError> {
         let text = self.emit(gates, cfg)?;
-        Assembler::new()
+        Assembler::with_uops(gates.uops.clone())
             .assemble(&text)
             .map_err(|e| CompileError::Internal(e.to_string()))
     }

@@ -4,6 +4,11 @@
 use quma_isa::prelude::{UopId, UopTable};
 use std::collections::HashMap;
 
+/// µ-op id of the CZ flux pulse. Must match the backend's dispatch
+/// constant (`quma_core::microcode::UOP_CZ`); the workspace smoke test
+/// pins the two together.
+pub const UOP_CZ_ID: u8 = 7;
+
 /// One physical gate the target supports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GateSpec {
@@ -46,6 +51,22 @@ impl GateSet {
             measure_duration: 300,
             uops,
         }
+    }
+
+    /// The two-qubit target: Table 1 plus the `CZ` flux pulse (µ-op
+    /// [`UOP_CZ_ID`], ~40 ns = 8 cycles), registered in both the gate set
+    /// and its µ-op table so emitted `Pulse {qa, qb}, CZ` lines assemble.
+    pub fn paper_two_qubit() -> Self {
+        let mut set = Self::paper_default();
+        set.uops
+            .register("CZ", UopId(UOP_CZ_ID))
+            .expect("µ-op slot 7 is free in Table 1");
+        set.register(GateSpec {
+            name: "CZ".into(),
+            uop: UopId(UOP_CZ_ID),
+            duration: 8,
+        });
+        set
     }
 
     /// Looks up a gate by name.

@@ -33,6 +33,52 @@ pub enum KernelOp {
         /// Destination register.
         rd: Option<Reg>,
     },
+    /// One measurement pulse over all the qubits, then one discrimination
+    /// per qubit into its own register (the syndrome-readout shape:
+    /// `MPG {q1, q3}` followed by `MD {q1}, r4` / `MD {q3}, r5`).
+    MeasureFanout {
+        /// Target qubits, index-aligned with `rds`.
+        qubits: Vec<usize>,
+        /// Destination register per qubit.
+        rds: Vec<Reg>,
+    },
+    /// A branch target (must be unique across the whole program).
+    Label(String),
+    /// `beq rs, rt, label` — the feedback primitive: conditional control
+    /// flow on registers the MDU wrote.
+    BranchEq {
+        /// First compare operand.
+        rs: Reg,
+        /// Second compare operand.
+        rt: Reg,
+        /// Branch target label.
+        label: String,
+    },
+    /// `bne rs, rt, label`.
+    BranchNe {
+        /// First compare operand.
+        rs: Reg,
+        /// Second compare operand.
+        rt: Reg,
+        /// Branch target label.
+        label: String,
+    },
+    /// Unconditional jump (lowered as `beq r, r, label` on a scratch
+    /// register — always taken).
+    Jump {
+        /// Branch target label.
+        label: String,
+        /// Register compared against itself.
+        scratch: Reg,
+    },
+    /// `mov rd, imm` — load a constant (e.g. the zero the branch decoder
+    /// compares syndrome bits against).
+    MovImm {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
 }
 
 /// A kernel: a name plus its operations.
@@ -116,6 +162,68 @@ impl Kernel {
             qubits: vec![qubit],
             rd: Some(rd),
         });
+        self
+    }
+
+    /// Appends one measurement pulse over `qubits` with per-qubit
+    /// discrimination into `rds` (index-aligned).
+    pub fn measure_fanout(&mut self, qubits: &[usize], rds: &[Reg]) -> &mut Self {
+        assert_eq!(
+            qubits.len(),
+            rds.len(),
+            "one destination register per measured qubit"
+        );
+        self.ops.push(KernelOp::MeasureFanout {
+            qubits: qubits.to_vec(),
+            rds: rds.to_vec(),
+        });
+        self
+    }
+
+    /// Appends a two-qubit CZ flux pulse (requires a gate set with `CZ`,
+    /// e.g. [`crate::gateset::GateSet::paper_two_qubit`]).
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate_multi("CZ", &[a, b])
+    }
+
+    /// Appends a branch target label (program-unique).
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        self.ops.push(KernelOp::Label(name.into()));
+        self
+    }
+
+    /// Appends `beq rs, rt, label`.
+    pub fn branch_eq(&mut self, rs: Reg, rt: Reg, label: impl Into<String>) -> &mut Self {
+        self.ops.push(KernelOp::BranchEq {
+            rs,
+            rt,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Appends `bne rs, rt, label`.
+    pub fn branch_ne(&mut self, rs: Reg, rt: Reg, label: impl Into<String>) -> &mut Self {
+        self.ops.push(KernelOp::BranchNe {
+            rs,
+            rt,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Appends an unconditional jump (`beq scratch, scratch, label`).
+    pub fn jump(&mut self, label: impl Into<String>, scratch: Reg) -> &mut Self {
+        self.ops.push(KernelOp::Jump {
+            label: label.into(),
+            scratch,
+        });
+        self
+    }
+
+    /// Appends `mov rd, imm`.
+    pub fn mov_imm(&mut self, rd: Reg, imm: i32) -> &mut Self {
+        self.ops.push(KernelOp::MovImm { rd, imm });
         self
     }
 

@@ -27,10 +27,14 @@
 pub mod codegen;
 pub mod gateset;
 pub mod kernel;
+pub mod qec;
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::codegen::{CompileError, CompilerConfig, QuantumProgram};
     pub use crate::gateset::{GateSet, GateSpec};
     pub use crate::kernel::{Kernel, KernelOp};
+    pub use crate::qec::{
+        data_reg, decode_lut, syndrome_reg, InjectedX, Layout, RepetitionCode, ZERO_REG,
+    };
 }

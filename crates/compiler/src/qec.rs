@@ -1,0 +1,419 @@
+//! Repetition-code QEC workload builder: the canonical multi-qubit
+//! feedback program.
+//!
+//! A distance-`d` bit-flip repetition code lays `d` data qubits and
+//! `d − 1` syndrome ancillas on a line; each round extracts every parity
+//! `d_i ⊕ d_{i+1}` onto ancilla `i` (mY90 / CZ / CZ / Y90, the
+//! Algorithm 2 CNOT decomposition with the middle basis changes
+//! cancelled), measures the ancillas, and — the part that exercises the
+//! paper's feedback path — *branches on the syndrome registers* to apply
+//! corrective X180 pulses and reset the ancillas, all inside the running
+//! program via the auxiliary `beq`/`bne` instructions. The decoder is a
+//! minimum-weight lookup table lowered to a binary branch tree over the
+//! syndrome registers.
+//!
+//! Register convention (16-register file, distance ≤ 5):
+//!
+//! * `r0` — constant zero (the branch comparand);
+//! * `r4 + i` — syndrome bit of ancilla `i`, rewritten every round;
+//! * `r8 + j` — final readout of data qubit `j`;
+//! * `r15` — init idle time (the compiler's default).
+
+use crate::codegen::{CompilerConfig, QuantumProgram};
+use crate::gateset::GateSet;
+use crate::kernel::Kernel;
+use quma_isa::prelude::{Program, Reg};
+
+/// The constant-zero register the decoder branches against.
+pub const ZERO_REG: Reg = Reg::r(0);
+
+/// Register holding ancilla `i`'s most recent syndrome bit.
+pub fn syndrome_reg(i: usize) -> Reg {
+    assert!(i < 4, "at most 4 ancillas (distance ≤ 5)");
+    Reg::r(4 + i as u8)
+}
+
+/// Register holding data qubit `j`'s final readout.
+pub fn data_reg(j: usize) -> Reg {
+    assert!(j < 5, "at most 5 data qubits (distance ≤ 5)");
+    Reg::r(8 + j as u8)
+}
+
+/// Linear qubit layout: data and ancilla qubits interleaved along the
+/// coupling chain, `d0 a0 d1 a1 d2 …`, so every CZ addresses physical
+/// neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Code distance (number of data qubits).
+    pub distance: usize,
+}
+
+impl Layout {
+    /// Physical qubit of data index `j`.
+    pub fn data(&self, j: usize) -> usize {
+        assert!(j < self.distance);
+        2 * j
+    }
+
+    /// Physical qubit of ancilla index `i` (between data `i` and `i+1`).
+    pub fn ancilla(&self, i: usize) -> usize {
+        assert!(i < self.distance - 1);
+        2 * i + 1
+    }
+
+    /// All data qubits, in order.
+    pub fn data_qubits(&self) -> Vec<usize> {
+        (0..self.distance).map(|j| self.data(j)).collect()
+    }
+
+    /// All ancilla qubits, in order.
+    pub fn ancilla_qubits(&self) -> Vec<usize> {
+        (0..self.distance - 1).map(|i| self.ancilla(i)).collect()
+    }
+
+    /// Total physical qubits (`2d − 1`).
+    pub fn num_qubits(&self) -> usize {
+        2 * self.distance - 1
+    }
+}
+
+/// An X error deliberately compiled into the program (error injection for
+/// deterministic recovery tests and logical-error-rate sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedX {
+    /// Syndrome round before whose extraction the flip happens.
+    pub round: usize,
+    /// Data qubit index the X180 hits.
+    pub data: usize,
+}
+
+/// The repetition-code program builder.
+#[derive(Debug, Clone)]
+pub struct RepetitionCode {
+    /// Code distance: odd, 3 or 5 (register-file bound).
+    pub distance: usize,
+    /// Number of syndrome-extraction rounds (≥ 1).
+    pub rounds: usize,
+    /// Prepare logical `|1⟩` (X180 on every data qubit) instead of `|0⟩`.
+    pub logical_one: bool,
+    /// Emit the feedback decoder (branch-tree corrections + conditional
+    /// ancilla reset). Without it the program only records syndromes —
+    /// the ablation the experiment driver compares against.
+    pub feedback: bool,
+    /// Deterministically injected X errors.
+    pub injected_x: Vec<InjectedX>,
+    /// Initialization idle time in cycles.
+    pub init_cycles: u32,
+    /// Idle emitted after a syndrome readout when `feedback` is off (no
+    /// branch stalls the stream then), covering integration + trigger +
+    /// MDU latency under the default device timings.
+    pub readout_drain_cycles: u32,
+}
+
+impl RepetitionCode {
+    /// A distance-`d` code with `rounds` rounds, feedback on, no injected
+    /// errors, logical `|0⟩`.
+    pub fn new(distance: usize, rounds: usize) -> Self {
+        Self {
+            distance,
+            rounds,
+            logical_one: false,
+            feedback: true,
+            injected_x: Vec::new(),
+            init_cycles: 2000,
+            readout_drain_cycles: 400,
+        }
+    }
+
+    /// The qubit layout.
+    pub fn layout(&self) -> Layout {
+        Layout {
+            distance: self.distance,
+        }
+    }
+
+    /// The gate set the emitted program targets.
+    pub fn gate_set() -> GateSet {
+        GateSet::paper_two_qubit()
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.distance % 2 == 1 && (3..=5).contains(&self.distance),
+            "distance must be 3 or 5 (register-file bound), got {}",
+            self.distance
+        );
+        assert!(self.rounds >= 1, "at least one syndrome round");
+        for inj in &self.injected_x {
+            assert!(
+                inj.round < self.rounds && inj.data < self.distance,
+                "injection {inj:?} outside {} rounds × {} data qubits",
+                self.rounds,
+                self.distance
+            );
+        }
+    }
+
+    /// Builds the kernel-level program.
+    pub fn build(&self) -> QuantumProgram {
+        self.validate();
+        let lay = self.layout();
+        let lut = decode_lut(self.distance);
+        let mut program = QuantumProgram::new(format!(
+            "repetition_d{}_r{}{}",
+            self.distance,
+            self.rounds,
+            if self.feedback { "" } else { "_nofb" }
+        ));
+        let mut k = Kernel::new("qec_cycle");
+        k.init();
+        k.mov_imm(ZERO_REG, 0);
+        if self.logical_one {
+            k.gate_multi("X180", &lay.data_qubits());
+        }
+        let synd: Vec<Reg> = (0..self.distance - 1).map(syndrome_reg).collect();
+        for round in 0..self.rounds {
+            // Deliberate errors land before this round's extraction.
+            let injected: Vec<usize> = self
+                .injected_x
+                .iter()
+                .filter(|inj| inj.round == round)
+                .map(|inj| lay.data(inj.data))
+                .collect();
+            if !injected.is_empty() {
+                k.gate_multi("X180", &injected);
+            }
+            // Parity extraction: basis change on all ancillas at once,
+            // CZs along the chain (the two per-CNOT basis changes cancel
+            // between the ancilla's two CZs), undo, measure.
+            k.gate_multi("mY90", &lay.ancilla_qubits());
+            for i in 0..self.distance - 1 {
+                k.cz(lay.data(i), lay.ancilla(i));
+            }
+            for i in 0..self.distance - 1 {
+                k.cz(lay.data(i + 1), lay.ancilla(i));
+            }
+            k.gate_multi("Y90", &lay.ancilla_qubits());
+            k.measure_fanout(&lay.ancilla_qubits(), &synd);
+            if !self.feedback {
+                // Without the decoder there is no branch reading the
+                // syndrome registers, so nothing stalls the instruction
+                // stream: drain the readout window (integration + trigger
+                // + MDU latency) explicitly before the ancillas are
+                // reused, as Algorithm 3 does with its init idle.
+                k.wait(self.readout_drain_cycles);
+            }
+            if self.feedback {
+                self.emit_corrections(&mut k, round, &lut, &lay, &synd);
+                // Active ancilla reset by feedback (the feedback_reset
+                // pattern, one branch per ancilla), readying the next
+                // round without waiting out T1.
+                for (i, &s) in synd.iter().enumerate() {
+                    let skip = format!("qec_r{round}_areset{i}");
+                    k.branch_eq(s, ZERO_REG, &skip);
+                    k.gate("X180", lay.ancilla(i));
+                    k.label(skip);
+                }
+            }
+        }
+        let data_regs: Vec<Reg> = (0..self.distance).map(data_reg).collect();
+        k.measure_fanout(&lay.data_qubits(), &data_regs);
+        program.add_kernel(k);
+        program
+    }
+
+    /// Lowers the decoder LUT for one round as a binary branch tree over
+    /// the syndrome registers: internal nodes are `beq synd[i], r0, …`,
+    /// leaves are the minimum-weight X180 corrections for the decided
+    /// pattern.
+    fn emit_corrections(
+        &self,
+        k: &mut Kernel,
+        round: usize,
+        lut: &[Vec<usize>],
+        lay: &Layout,
+        synd: &[Reg],
+    ) {
+        let done = format!("qec_r{round}_done");
+        // Explicit stack of (depth, decided-prefix, emit-label-first).
+        self.emit_node(k, round, 0, 0, lut, lay, synd, &done);
+        k.label(&done);
+    }
+
+    #[allow(clippy::too_many_arguments)] // recursive lowering context
+    fn emit_node(
+        &self,
+        k: &mut Kernel,
+        round: usize,
+        depth: usize,
+        prefix: usize,
+        lut: &[Vec<usize>],
+        lay: &Layout,
+        synd: &[Reg],
+        done: &str,
+    ) {
+        if depth == synd.len() {
+            for &j in &lut[prefix] {
+                k.gate("X180", lay.data(j));
+            }
+            k.jump(done, ZERO_REG);
+            return;
+        }
+        let zero_path = format!("qec_r{round}_n{depth}p{prefix}");
+        k.branch_eq(synd[depth], ZERO_REG, &zero_path);
+        // Fall-through: syndrome bit `depth` is 1.
+        self.emit_node(
+            k,
+            round,
+            depth + 1,
+            prefix | (1 << depth),
+            lut,
+            lay,
+            synd,
+            done,
+        );
+        k.label(&zero_path);
+        self.emit_node(k, round, depth + 1, prefix, lut, lay, synd, done);
+    }
+
+    /// Emits the QuMIS assembly text.
+    pub fn assembly(&self) -> String {
+        let cfg = CompilerConfig {
+            init_cycles: self.init_cycles,
+            averages: 1,
+            ..CompilerConfig::default()
+        };
+        self.build()
+            .emit(&Self::gate_set(), &cfg)
+            .expect("repetition-code program is well-formed")
+    }
+
+    /// Compiles to an executable program.
+    pub fn compile(&self) -> Program {
+        let cfg = CompilerConfig {
+            init_cycles: self.init_cycles,
+            averages: 1,
+            ..CompilerConfig::default()
+        };
+        self.build()
+            .compile(&Self::gate_set(), &cfg)
+            .expect("repetition-code program assembles")
+    }
+}
+
+/// Minimum-weight decoder lookup table: for every syndrome pattern
+/// (bit `i` = ancilla `i` fired), the set of data qubits to flip. Built
+/// by brute force over all `2^d` error patterns, so any single X error —
+/// and any error of weight ≤ ⌊(d−1)/2⌋ — decodes to an exact correction.
+pub fn decode_lut(distance: usize) -> Vec<Vec<usize>> {
+    let n_synd = distance - 1;
+    (0..1usize << n_synd)
+        .map(|pattern| {
+            let mut best: Option<usize> = None;
+            for e in 0..1usize << distance {
+                let syndrome =
+                    (0..n_synd).fold(0usize, |s, i| s | ((((e >> i) ^ (e >> (i + 1))) & 1) << i));
+                if syndrome == pattern && best.is_none_or(|b| e.count_ones() < b.count_ones()) {
+                    best = Some(e);
+                }
+            }
+            let e = best.expect("every syndrome pattern is reachable");
+            (0..distance).filter(|j| (e >> j) & 1 == 1).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_interleaves_data_and_ancillas() {
+        let lay = Layout { distance: 3 };
+        assert_eq!(lay.data_qubits(), vec![0, 2, 4]);
+        assert_eq!(lay.ancilla_qubits(), vec![1, 3]);
+        assert_eq!(lay.num_qubits(), 5);
+    }
+
+    #[test]
+    fn decoder_lut_corrects_every_single_error() {
+        for d in [3usize, 5] {
+            let lut = decode_lut(d);
+            assert_eq!(lut[0], Vec::<usize>::new(), "clean syndrome, d={d}");
+            for j in 0..d {
+                // A single X on data j fires ancillas j-1 and j.
+                let mut pattern = 0usize;
+                if j > 0 {
+                    pattern |= 1 << (j - 1);
+                }
+                if j < d - 1 {
+                    pattern |= 1 << j;
+                }
+                assert_eq!(lut[pattern], vec![j], "single X on d{j}, d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_lut_is_minimum_weight() {
+        let lut = decode_lut(5);
+        for corr in &lut {
+            assert!(corr.len() <= 2, "weight ≤ ⌊(d−1)/2⌋: {corr:?}");
+        }
+    }
+
+    #[test]
+    fn assembly_has_the_feedback_shape() {
+        let code = RepetitionCode::new(3, 2);
+        let text = code.assembly();
+        // Syndrome extraction on the interleaved layout.
+        assert!(text.contains("Pulse {q1, q3}, mY90"), "{text}");
+        assert!(text.contains("Pulse {q0, q1}, CZ"));
+        assert!(text.contains("Pulse {q2, q3}, CZ"));
+        assert!(text.contains("Pulse {q2, q1}, CZ") || text.contains("Pulse {q1, q2}, CZ"));
+        // Fanout measurement into the syndrome registers.
+        assert!(text.contains("MPG {q1, q3}, 300"));
+        assert!(text.contains("MD {q1}, r4"));
+        assert!(text.contains("MD {q3}, r5"));
+        // The decoder branches on them, both rounds.
+        assert!(text.contains("beq r4, r0, qec_r0_n0p0"));
+        assert!(text.contains("beq r4, r0, qec_r1_n0p0"));
+        // Final data readout.
+        assert!(text.contains("MPG {q0, q2, q4}, 300"));
+        assert!(text.contains("MD {q0}, r8"));
+        assert!(text.contains("MD {q4}, r10"));
+    }
+
+    #[test]
+    fn no_feedback_means_no_branches_but_still_syndromes() {
+        let mut code = RepetitionCode::new(3, 1);
+        code.feedback = false;
+        let text = code.assembly();
+        assert!(!text.contains("beq"));
+        assert!(text.contains("MD {q1}, r4"));
+    }
+
+    #[test]
+    fn injected_errors_appear_before_their_round() {
+        let mut code = RepetitionCode::new(3, 2);
+        code.injected_x.push(InjectedX { round: 1, data: 2 });
+        let text = code.assembly();
+        let inj = text.find("Pulse {q4}, X180").expect("injection emitted");
+        let round1 = text.find("qec_r1").expect("round 1 labels");
+        assert!(inj < round1, "injection precedes round-1 decode");
+    }
+
+    #[test]
+    fn compiles_to_an_executable_program() {
+        let prog = RepetitionCode::new(3, 2).compile();
+        assert!(prog.len() > 40);
+        let prog5 = RepetitionCode::new(5, 1).compile();
+        assert!(prog5.len() > prog.len() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be 3 or 5")]
+    fn even_distance_rejected() {
+        RepetitionCode::new(4, 1).build();
+    }
+}

@@ -83,10 +83,12 @@ impl SeedPlan {
 
 /// A program prepared for repeated execution: assembled once (if from
 /// source), so the per-shot path never re-parses. Gate resolution still
-/// happens in the decode pipeline at run time.
+/// happens in the decode pipeline at run time. The instruction sequence
+/// is shared behind an [`std::sync::Arc`], so cloning a loaded program
+/// (per sweep point, per worker shard) is a pointer copy.
 #[derive(Debug, Clone)]
 pub struct LoadedProgram {
-    program: Program,
+    program: std::sync::Arc<Program>,
 }
 
 impl LoadedProgram {
@@ -206,7 +208,7 @@ impl Session {
     /// [`DeviceError::UnknownGate`] on the first shot).
     pub fn load(&self, program: &Program) -> LoadedProgram {
         LoadedProgram {
-            program: program.clone(),
+            program: std::sync::Arc::new(program.clone()),
         }
     }
 
@@ -267,6 +269,48 @@ impl Session {
             .iter()
             .map(|(program, seeds)| self.run_shot(program, *seeds))
             .collect()
+    }
+
+    /// Runs a sweep sharded across `threads` worker threads, each on a
+    /// clone of the calibrated device; point `i` runs with exactly the
+    /// seeds of the sequential [`Session::run_sweep`], so the reports
+    /// (returned in point order) are bit-identical to it. Like
+    /// [`Session::run_shots_parallel`], only the clones run — the owned
+    /// device's RNG streams stay where they were.
+    pub fn run_sweep_parallel(
+        &mut self,
+        points: &[(LoadedProgram, ShotSeeds)],
+        threads: usize,
+    ) -> Result<Vec<RunReport>, DeviceError> {
+        let workers = threads.clamp(1, points.len().max(1));
+        let per_thread: Vec<Result<Vec<(usize, RunReport)>, DeviceError>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    let mut device = self.device.clone();
+                    let points: Vec<(LoadedProgram, ShotSeeds)> =
+                        points.iter().skip(t).step_by(workers).cloned().collect();
+                    s.spawn(move |_| {
+                        let mut out = Vec::with_capacity(points.len());
+                        for (k, (program, seeds)) in points.iter().enumerate() {
+                            device.reseed(seeds.chip, seeds.jitter);
+                            out.push((t + k * workers, device.run(program.program())?));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("thread scope");
+        let mut indexed = Vec::with_capacity(points.len());
+        for r in per_thread {
+            indexed.extend(r?);
+        }
+        indexed.sort_by_key(|&(i, _)| i);
+        Ok(indexed.into_iter().map(|(_, r)| r).collect())
     }
 
     /// Runs `shots` shots sharded across `threads` worker threads, each
@@ -426,6 +470,22 @@ mod tests {
             first.shots[0].md_results, second.shots[0].md_results,
             "the second batch must draw fresh noise realizations"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let mut session = Session::new(config()).unwrap();
+        let plan = session.seed_plan();
+        let points: Vec<(LoadedProgram, ShotSeeds)> = (0..5)
+            .map(|i| (session.load_assembly(SEGMENT).unwrap(), plan.shot(i)))
+            .collect();
+        let sequential = session.run_sweep(&points).unwrap();
+        let parallel = session.run_sweep_parallel(&points, 3).unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (i, (a, b)) in sequential.iter().zip(parallel.iter()).enumerate() {
+            assert_eq!(a.registers, b.registers, "point {i}");
+            assert_eq!(a.md_results, b.md_results, "point {i}");
+        }
     }
 
     #[test]

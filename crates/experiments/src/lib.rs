@@ -13,6 +13,8 @@
 //! * [`t1`], [`ramsey`], [`echo`] — coherence characterization with
 //!   exponential / damped-cosine fits;
 //! * [`rb`] — pulse-level single-qubit randomized benchmarking;
+//! * [`qec`] — the repetition-code QEC workload on the feedback path
+//!   (beyond the paper's single-qubit validation);
 //! * [`fit`] — Levenberg–Marquardt least squares;
 //! * [`stats`] — small statistics helpers.
 
@@ -22,6 +24,7 @@ pub mod allxy;
 pub mod calibrate;
 pub mod echo;
 pub mod fit;
+pub mod qec;
 pub mod ramsey;
 pub mod rb;
 pub mod readout;
@@ -41,6 +44,10 @@ pub mod prelude {
     pub use crate::fit::{
         fit_damped_cosine, fit_exponential_decay, fit_exponential_decay_fixed, fit_rb_decay,
         fit_rb_decay_free, levenberg_marquardt, FitError, FitResult,
+    };
+    pub use crate::qec::{
+        fit_logical_fidelity, majority_bit, run as run_qec, run_grid as run_qec_grid,
+        run_injected as run_qec_injected, QecConfig, QecResult,
     };
     pub use crate::ramsey::{run as run_ramsey, RamseyConfig, RamseyResult};
     pub use crate::rb::{

@@ -101,6 +101,14 @@ impl Assembler {
         Self { uops, gates }
     }
 
+    /// An assembler with the default gate names but a custom µ-op table
+    /// (e.g. Table 1 extended with a `CZ` flux µ-op, as the compiler's
+    /// two-qubit gate set registers).
+    pub fn with_uops(uops: UopTable) -> Self {
+        let gates = Self::new().gates;
+        Self { uops, gates }
+    }
+
     /// The µ-op table in use.
     pub fn uops(&self) -> &UopTable {
         &self.uops

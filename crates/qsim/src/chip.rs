@@ -7,13 +7,28 @@
 //! receives heterodyne readout traces in return. All randomness (projection
 //! noise, readout noise) is drawn from a seedable RNG so whole experiments
 //! are reproducible.
+//!
+//! ## Joint registers along the coupling chain
+//!
+//! Qubits start as independent single-qubit density matrices (the product
+//! fast path — uncoupled qubits never pay for joint-state algebra and stay
+//! bit-identical to the pre-QEC pair chip, see
+//! [`crate::pair_reference`]). A CZ flux pulse lazily merges its two
+//! operands into one [`NQubitState`] register; further CZs *extend* the
+//! register along the chain, so a syndrome ancilla can couple to both of
+//! its data neighbours — the multi-qubit feedback scenario the repetition
+//! code needs. A projective measurement factors the measured qubit back
+//! out of its register exactly (the post-measurement state is a tensor
+//! product by construction), which keeps registers small across syndrome
+//! rounds: ancillas re-join the chain next round from the product side.
 
 use crate::complex::C64;
 use crate::gates::{rotation, Axis};
-use crate::noise::{amplitude_damping_kraus, phase_damping_kraus};
+use crate::register::NQubitState;
 use crate::resonator::{synthesize_trace, ReadoutParams, ReadoutTrace};
+use crate::state::DensityMatrix;
 use crate::transmon::{rotation_from_pulse, Transmon, TransmonParams};
-use crate::twoqubit::{Mat4, TwoQubitState};
+use crate::twoqubit::Mat4;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,15 +44,14 @@ pub struct ChipQubit {
     pub readout: ReadoutParams,
 }
 
-/// A coupled pair holding a joint two-qubit state. Formed lazily when a
-/// flux (CZ) pulse first addresses the pair.
+/// A chain-coupled register holding a joint (possibly entangled) state of
+/// several qubits. Formed lazily when flux (CZ) pulses address its
+/// members; shrinks when members are measured out.
 #[derive(Debug, Clone)]
 struct JointRegister {
-    /// Lower-indexed member (first tensor factor).
-    a: QubitId,
-    /// Higher-indexed member (second tensor factor).
-    b: QubitId,
-    state: TwoQubitState,
+    /// Member qubits in slot order (slot `s` = tensor factor `s`).
+    members: Vec<QubitId>,
+    state: NQubitState,
     /// Lab time up to which decoherence has been applied.
     clock: f64,
 }
@@ -128,7 +142,7 @@ impl QuantumChip {
     }
 
     /// Resets every qubit to `|0⟩` at lab time `at`, dissolving any
-    /// coupled pairs.
+    /// coupled registers.
     pub fn reset_all(&mut self, at: f64) {
         for q in &mut self.qubits {
             q.transmon.reset(at);
@@ -143,74 +157,144 @@ impl QuantumChip {
         self.membership[id].is_some()
     }
 
+    /// Width of the joint register `id` belongs to (1 when uncoupled).
+    pub fn coupled_width(&self, id: QubitId) -> usize {
+        match self.membership[id] {
+            Some(j) => self.joints[j].members.len(),
+            None => 1,
+        }
+    }
+
+    /// The other members of `id`'s register, in slot order (empty when
+    /// uncoupled).
+    pub fn coupled_partners(&self, id: QubitId) -> Vec<QubitId> {
+        match self.membership[id] {
+            Some(j) => self.joints[j]
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| m != id)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// `p(|1⟩)` of a qubit, resolving joint membership (use this instead of
     /// `qubit(id).transmon.p1()` when CZ pulses may have run).
     pub fn p1(&self, id: QubitId) -> f64 {
         match self.membership[id] {
-            Some(j) => {
-                let joint = &self.joints[j];
-                joint.state.p1_of(usize::from(id == joint.b))
-            }
+            Some(j) => self.joints[j].state.p1_of(self.slot_of(j, id)),
             None => self.qubits[id].transmon.p1(),
         }
     }
 
-    /// Forms (or finds) the joint register of a pair, merging the two
-    /// current single-qubit states as a product state.
-    fn couple(&mut self, a: QubitId, b: QubitId, at: f64) -> usize {
-        assert!(a != b, "cannot couple a qubit to itself");
-        let (a, b) = (a.min(b), a.max(b));
-        if let (Some(ja), Some(jb)) = (self.membership[a], self.membership[b]) {
-            assert_eq!(
-                ja, jb,
-                "qubits q{a} and q{b} belong to different joint registers"
-            );
-            return ja;
+    /// Reduced single-qubit state of `id`, resolving joint membership
+    /// (test/inspection helper; does not advance the clock).
+    pub fn reduced_state(&self, id: QubitId) -> DensityMatrix {
+        match self.membership[id] {
+            Some(j) => self.joints[j].state.reduced(self.slot_of(j, id)),
+            None => *self.qubits[id].transmon.state(),
         }
-        assert!(
-            self.membership[a].is_none() && self.membership[b].is_none(),
-            "re-pairing a coupled qubit is not supported"
-        );
-        // Bring both qubits to the same lab time, then take the product.
-        self.qubits[a].transmon.idle_until(at);
-        self.qubits[b].transmon.idle_until(at);
-        let state = TwoQubitState::product(
-            self.qubits[a].transmon.state(),
-            self.qubits[b].transmon.state(),
-        );
-        let idx = self.joints.len();
-        self.joints.push(JointRegister {
-            a,
-            b,
-            state,
-            clock: at,
-        });
-        self.membership[a] = Some(idx);
-        self.membership[b] = Some(idx);
-        idx
     }
 
-    /// Evolves a joint register under both members' local decoherence (and
-    /// detuning precession) up to lab time `until`.
+    /// Slot of qubit `id` inside register `j`.
+    fn slot_of(&self, j: usize, id: QubitId) -> usize {
+        self.joints[j]
+            .members
+            .iter()
+            .position(|&m| m == id)
+            .expect("membership table and register agree")
+    }
+
+    /// A fresh one-qubit register factor for `id`, idled to `at`.
+    fn single_factor(&mut self, id: QubitId, at: f64) -> NQubitState {
+        self.qubits[id].transmon.idle_until(at);
+        NQubitState::from_single(self.qubits[id].transmon.state())
+    }
+
+    /// Forms (or finds) the joint register containing the pair, merging
+    /// single-qubit states and/or existing registers along the coupling
+    /// chain as needed.
+    fn couple(&mut self, a: QubitId, b: QubitId, at: f64) -> usize {
+        assert!(a != b, "cannot couple a qubit to itself");
+        match (self.membership[a], self.membership[b]) {
+            (Some(ja), Some(jb)) if ja == jb => ja,
+            (Some(ja), Some(jb)) => {
+                // Merge two registers: bring both to `at`, tensor their
+                // states (ja's members keep the leading slots).
+                self.joint_idle(ja, at);
+                self.joint_idle(jb, at);
+                let absorbed = self.remove_register(jb);
+                let ja = self.membership[a].expect("a still registered");
+                self.joints[ja].state = self.joints[ja].state.tensor(&absorbed.state);
+                for &m in &absorbed.members {
+                    self.membership[m] = Some(ja);
+                }
+                self.joints[ja].members.extend(absorbed.members);
+                ja
+            }
+            (Some(j), None) | (None, Some(j)) => {
+                // Extend a register by one chain neighbour (new qubit
+                // takes the last slot).
+                let newcomer = if self.membership[a].is_some() { b } else { a };
+                self.joint_idle(j, at);
+                let single = self.single_factor(newcomer, at);
+                self.joints[j].state = self.joints[j].state.tensor(&single);
+                self.joints[j].members.push(newcomer);
+                self.membership[newcomer] = Some(j);
+                j
+            }
+            (None, None) => {
+                // Fresh pair: keep the old pair-chip slot order
+                // (lower-indexed qubit first).
+                let (a, b) = (a.min(b), a.max(b));
+                let sa = self.single_factor(a, at);
+                let sb = self.single_factor(b, at);
+                let idx = self.joints.len();
+                self.joints.push(JointRegister {
+                    members: vec![a, b],
+                    state: sa.tensor(&sb),
+                    clock: at,
+                });
+                self.membership[a] = Some(idx);
+                self.membership[b] = Some(idx);
+                idx
+            }
+        }
+    }
+
+    /// Removes register `j` from the pool and fixes up the membership
+    /// indices the swap disturbs. The caller re-homes the members.
+    fn remove_register(&mut self, j: usize) -> JointRegister {
+        let reg = self.joints.swap_remove(j);
+        if j < self.joints.len() {
+            // The register previously at the tail now lives at `j`.
+            for &m in &self.joints[j].members {
+                self.membership[m] = Some(j);
+            }
+        }
+        reg
+    }
+
+    /// Evolves a joint register under every member's local decoherence
+    /// (and detuning precession) up to lab time `until`.
     fn joint_idle(&mut self, j: usize, until: f64) {
         let dt = until - self.joints[j].clock;
         if dt <= 0.0 {
             return;
         }
-        let (qa, qb) = (self.joints[j].a, self.joints[j].b);
-        for (slot, qid) in [(0usize, qa), (1usize, qb)] {
+        for slot in 0..self.joints[j].members.len() {
+            let qid = self.joints[j].members[slot];
             let params = self.qubits[qid].transmon.params().clone();
             let joint = &mut self.joints[j];
             let p_relax = 1.0 - (-dt / params.decoherence.t1).exp();
-            joint
-                .state
-                .apply_local_kraus(&amplitude_damping_kraus(p_relax), slot);
+            if p_relax > 0.0 {
+                joint.state.apply_amplitude_damping(p_relax, slot);
+            }
             let gamma_phi = params.decoherence.pure_dephasing_rate();
             if gamma_phi > 0.0 {
                 let p_phi = 0.5 * (1.0 - (-2.0 * gamma_phi * dt).exp());
-                joint
-                    .state
-                    .apply_local_kraus(&phase_damping_kraus(p_phi), slot);
+                joint.state.apply_phase_damping(p_phi, slot);
             }
             if params.detuning != 0.0 {
                 let phase = 2.0 * std::f64::consts::PI * params.detuning * dt;
@@ -221,11 +305,13 @@ impl QuantumChip {
     }
 
     /// Applies a CZ flux pulse to a pair at lab time `at`, lasting
-    /// `duration` seconds (paper: ~40 ns). Couples the pair on first use.
+    /// `duration` seconds (paper: ~40 ns). Couples the pair on first use,
+    /// extending or merging existing chain registers as needed.
     pub fn apply_cz(&mut self, a: QubitId, b: QubitId, at: f64, duration: f64) {
         let j = self.couple(a, b, at);
         self.joint_idle(j, at);
-        self.joints[j].state.apply_unitary(&Mat4::cz());
+        let (sa, sb) = (self.slot_of(j, a), self.slot_of(j, b));
+        self.joints[j].state.apply_two(&Mat4::cz(), sa, sb);
         self.joint_idle(j, at + duration);
     }
 
@@ -239,9 +325,8 @@ impl QuantumChip {
                 self.joint_idle(j, start);
                 let params = self.qubits[id].transmon.params().clone();
                 let u = rotation_from_pulse(&params, samples, start, dt);
-                let joint = &mut self.joints[j];
-                let slot = usize::from(id == joint.b);
-                joint.state.apply_local(&u, slot);
+                let slot = self.slot_of(j, id);
+                self.joints[j].state.apply_local(&u, slot);
                 let duration = samples.len() as f64 * dt;
                 self.joint_idle(j, start + duration);
             }
@@ -257,6 +342,11 @@ impl QuantumChip {
 
     /// Like [`Self::measure`] but also reports the projected outcome, for
     /// tests that want ground truth alongside the analog trace.
+    ///
+    /// When `id` belongs to a joint register, the projection factors it
+    /// out exactly: the qubit returns to single-qubit evolution (its
+    /// transmon holds the post-measurement state) and the register
+    /// shrinks — dissolving entirely when only one member remains.
     pub fn measure_with_truth(
         &mut self,
         id: QubitId,
@@ -277,11 +367,17 @@ impl QuantumChip {
             }
             Some(j) => {
                 self.joint_idle(j, start);
-                let joint = &mut self.joints[j];
-                let slot = usize::from(id == joint.b);
-                let outcome = u8::from(u < joint.state.p1_of(slot));
-                joint.state.project(slot, outcome);
-                self.joint_idle(j, start + duration);
+                let slot = self.slot_of(j, id);
+                let outcome = u8::from(u < self.joints[j].state.p1_of(slot));
+                self.joints[j].state.project(slot, outcome);
+                self.split_out(j, id, start);
+                self.qubits[id].transmon.idle_until(start + duration);
+                // Everything else — the remnant register included —
+                // idles *lazily* at its next operation: eagerly pushing
+                // other clocks to `start + duration` here would apply
+                // readout-window decoherence before operations that start
+                // inside the window (e.g. the second measurement of a
+                // simultaneous syndrome fanout at this same `start`).
                 outcome
             }
         };
@@ -290,20 +386,41 @@ impl QuantumChip {
         let trace = synthesize_trace(&readout, outcome, duration, || gauss.next());
         (trace, outcome)
     }
+
+    /// Returns the just-projected qubit `id` from register `j` to
+    /// single-qubit evolution at lab time `at`; dissolves the register
+    /// when one member remains. Exact because the post-projection state
+    /// factors.
+    fn split_out(&mut self, j: usize, id: QubitId, at: f64) {
+        let slot = self.slot_of(j, id);
+        if self.joints[j].members.len() == 2 {
+            let reg = self.remove_register(j);
+            for (s, &m) in reg.members.iter().enumerate() {
+                self.qubits[m].transmon.set_state(reg.state.reduced(s), at);
+                self.membership[m] = None;
+            }
+            return;
+        }
+        let dm = self.joints[j].state.extract(slot);
+        self.joints[j].members.remove(slot);
+        self.qubits[id].transmon.set_state(dm, at);
+        self.membership[id] = None;
+    }
 }
 
-/// Box–Muller standard-normal source over a borrowed RNG.
-struct GaussianSource<'a> {
+/// Box–Muller standard-normal source over a borrowed RNG. Shared with
+/// [`crate::pair_reference`] so both chips consume the RNG identically.
+pub(crate) struct GaussianSource<'a> {
     rng: &'a mut StdRng,
     cached: Option<f64>,
 }
 
 impl<'a> GaussianSource<'a> {
-    fn new(rng: &'a mut StdRng) -> Self {
+    pub(crate) fn new(rng: &'a mut StdRng) -> Self {
         Self { rng, cached: None }
     }
 
-    fn next(&mut self) -> f64 {
+    pub(crate) fn next(&mut self) -> f64 {
         if let Some(v) = self.cached.take() {
             return v;
         }
@@ -338,6 +455,25 @@ mod tests {
             chip.qubit_mut(i).transmon.params_mut().rabi_coefficient = PI / 20e-9;
         }
         chip
+    }
+
+    /// A π pulse on qubit `q` of a calibrated chip at time `t0`.
+    fn x180(chip: &mut QuantumChip, q: usize, t0: f64) {
+        let ssb = chip.qubit(q).transmon.params().ssb_frequency;
+        let pulse = ssb_pulse(1.0, ssb, t0, 20, 1e-9);
+        chip.drive(q, &pulse, t0, 1e-9);
+    }
+
+    /// A ±π/2 y pulse on qubit `q` (sign via amplitude phase).
+    fn y90(chip: &mut QuantumChip, q: usize, t0: f64, sign: f64) {
+        let ssb = chip.qubit(q).transmon.params().ssb_frequency;
+        let pulse: Vec<C64> = (0..20)
+            .map(|k| {
+                let t = t0 + (k as f64 + 0.5) * 1e-9;
+                C64::from_polar(0.5, -2.0 * PI * ssb * t + sign * PI / 2.0)
+            })
+            .collect();
+        chip.drive(q, &pulse, t0, 1e-9);
     }
 
     #[test]
@@ -424,5 +560,94 @@ mod tests {
         chip.measure(0, 0.0, 0.3e-6);
         chip.measure(0, 1e-6, 0.3e-6);
         assert_eq!(chip.measurement_count(), 2);
+    }
+
+    #[test]
+    fn cz_chain_extends_the_register() {
+        // CZ(0,1) then CZ(1,2): all three qubits share one register.
+        let mut chip = calibrated_chip(3, 11);
+        chip.apply_cz(0, 1, 0.0, 40e-9);
+        assert_eq!(chip.coupled_width(0), 2);
+        chip.apply_cz(1, 2, 50e-9, 40e-9);
+        assert_eq!(chip.coupled_width(0), 3);
+        assert_eq!(chip.coupled_partners(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn cz_merges_disjoint_registers() {
+        // (0,1) and (2,3) coupled separately, then CZ(1,2) merges them.
+        let mut chip = calibrated_chip(4, 12);
+        chip.apply_cz(0, 1, 0.0, 40e-9);
+        chip.apply_cz(2, 3, 0.0, 40e-9);
+        assert_eq!(chip.coupled_width(0), 2);
+        assert_eq!(chip.coupled_width(3), 2);
+        chip.apply_cz(1, 2, 50e-9, 40e-9);
+        for q in 0..4 {
+            assert_eq!(chip.coupled_width(q), 4, "q{q}");
+        }
+    }
+
+    #[test]
+    fn measurement_splits_the_measured_qubit_out() {
+        let mut chip = calibrated_chip(3, 13);
+        chip.apply_cz(0, 1, 0.0, 40e-9);
+        chip.apply_cz(1, 2, 50e-9, 40e-9);
+        let (_, _) = chip.measure_with_truth(1, 100e-9, 0.3e-6);
+        assert!(!chip.is_coupled(1), "measured qubit left the register");
+        assert_eq!(chip.coupled_width(0), 2, "q0 and q2 remain joined");
+        assert_eq!(chip.coupled_partners(0), vec![2]);
+    }
+
+    #[test]
+    fn measuring_down_to_one_member_dissolves_the_register() {
+        let mut chip = calibrated_chip(2, 14);
+        chip.apply_cz(0, 1, 0.0, 40e-9);
+        chip.measure(0, 50e-9, 0.3e-6);
+        assert!(!chip.is_coupled(0));
+        assert!(!chip.is_coupled(1));
+        // Re-coupling after dissolution works (next syndrome round).
+        chip.apply_cz(0, 1, 1e-6, 40e-9);
+        assert_eq!(chip.coupled_width(0), 2);
+    }
+
+    #[test]
+    fn parity_check_reads_data_parity_and_leaves_data_alone() {
+        // d0 = q0 (|1⟩), ancilla = q1, d1 = q2 (|0⟩): mY90(a),
+        // CZ(d0,a), CZ(d1,a), Y90(a) puts d0⊕d1 = 1 on the ancilla.
+        let mut chip = calibrated_chip(3, 21);
+        x180(&mut chip, 0, 0.0);
+        y90(&mut chip, 1, 30e-9, -1.0);
+        chip.apply_cz(0, 1, 60e-9, 40e-9);
+        chip.apply_cz(2, 1, 110e-9, 40e-9);
+        y90(&mut chip, 1, 160e-9, 1.0);
+        assert!((chip.p1(1) - 1.0).abs() < 1e-9, "ancilla = parity 1");
+        let (_, syndrome) = chip.measure_with_truth(1, 200e-9, 0.3e-6);
+        assert_eq!(syndrome, 1);
+        // Data qubits keep their computational-basis values.
+        assert!((chip.p1(0) - 1.0).abs() < 1e-9);
+        assert!(chip.p1(2) < 1e-9);
+        // And the distant qubit was never in the ancilla's register after
+        // the split.
+        assert!(!chip.is_coupled(1));
+    }
+
+    #[test]
+    fn ghz_three_qubit_correlations() {
+        // Y90(q0); CNOT(q0→q1) and CNOT(q1→q2) via the CZ decomposition:
+        // outcomes of all three qubits must coincide.
+        for seed in [3u64, 5, 8, 13] {
+            let mut chip = calibrated_chip(3, seed);
+            y90(&mut chip, 0, 0.0, 1.0);
+            for (c, t, t0) in [(0usize, 1usize, 30e-9), (1, 2, 180e-9)] {
+                y90(&mut chip, t, t0, -1.0);
+                chip.apply_cz(c, t, t0 + 30e-9, 40e-9);
+                y90(&mut chip, t, t0 + 80e-9, 1.0);
+            }
+            let (_, b0) = chip.measure_with_truth(0, 400e-9, 0.3e-6);
+            let (_, b1) = chip.measure_with_truth(1, 800e-9, 0.3e-6);
+            let (_, b2) = chip.measure_with_truth(2, 1200e-9, 0.3e-6);
+            assert_eq!(b0, b1, "seed {seed}");
+            assert_eq!(b1, b2, "seed {seed}");
+        }
     }
 }

@@ -34,6 +34,8 @@ pub mod complex;
 pub mod gates;
 pub mod mat2;
 pub mod noise;
+pub mod pair_reference;
+pub mod register;
 pub mod resonator;
 pub mod state;
 pub mod transmon;
@@ -49,6 +51,8 @@ pub mod prelude {
     };
     pub use crate::mat2::{Mat2, Vec2};
     pub use crate::noise::{Decoherence, NoiseError};
+    pub use crate::pair_reference::PairReferenceChip;
+    pub use crate::register::{NQubitState, MAX_REGISTER_QUBITS};
     pub use crate::resonator::{synthesize_trace, Discriminator, ReadoutParams, ReadoutTrace};
     pub use crate::state::{equator_state, DensityMatrix, StateError};
     pub use crate::transmon::{calibrate_rabi, rotation_from_pulse, Transmon, TransmonParams};

@@ -1,0 +1,476 @@
+//! Dense N-qubit density matrices: the substrate for chain-coupled
+//! registers on the simulated chip.
+//!
+//! The paper validates single-qubit control and defines CZ between
+//! qubits sharing a resonator (Section 2.2); the repetition-code QEC
+//! workload needs more — an ancilla performs CZs with *two* data
+//! neighbours per syndrome round, so joint states grow along the
+//! coupling chain instead of staying pairwise. This module provides the
+//! general `2^k × 2^k` density-matrix machinery the chip uses for those
+//! registers: tensor products to merge, efficient local one- and
+//! two-qubit operations (O(d²) bit-indexed updates, never a full
+//! `2^k`-dimensional Kronecker product), projective measurement, and the
+//! exact post-measurement factor-out that keeps registers small.
+//!
+//! Slot ordering follows [`crate::twoqubit::TwoQubitState`]: slot 0 is
+//! the *most significant* bit of the basis index, so a two-slot register
+//! indexes `|q₀q₁⟩ = 2·q₀ + q₁`.
+
+use crate::complex::{C64, ONE, ZERO};
+use crate::mat2::Mat2;
+use crate::state::DensityMatrix;
+use crate::twoqubit::Mat4;
+
+/// Hard cap on register width: `2^10 = 1024`-dimensional density
+/// matrices (16 MiB) are the largest a coupling chain may form. The QEC
+/// workloads stay far below this (distance-5 peaks at 9 qubits when all
+/// four ancillas are simultaneously entangled with the data chain).
+pub const MAX_REGISTER_QUBITS: usize = 10;
+
+/// A dense density matrix over `k` qubits (`1 ≤ k ≤ 10`), row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NQubitState {
+    qubits: usize,
+    /// `dim × dim` entries, row-major, `dim = 2^qubits`.
+    rho: Vec<C64>,
+}
+
+impl NQubitState {
+    /// A register of `k` qubits in `|0…0⟩`.
+    pub fn ground(qubits: usize) -> Self {
+        assert!(
+            (1..=MAX_REGISTER_QUBITS).contains(&qubits),
+            "register width {qubits} outside 1..={MAX_REGISTER_QUBITS}"
+        );
+        let dim = 1 << qubits;
+        let mut rho = vec![ZERO; dim * dim];
+        rho[0] = ONE;
+        Self { qubits, rho }
+    }
+
+    /// A one-qubit register holding a copy of `dm`.
+    pub fn from_single(dm: &DensityMatrix) -> Self {
+        let m = dm.matrix();
+        Self {
+            qubits: 1,
+            rho: vec![m.m00, m.m01, m.m10, m.m11],
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// Matrix dimension `2^k`.
+    pub fn dim(&self) -> usize {
+        1 << self.qubits
+    }
+
+    /// Entry `(i, j)` of the density matrix.
+    pub fn entry(&self, i: usize, j: usize) -> C64 {
+        self.rho[i * self.dim() + j]
+    }
+
+    /// The tensor product `self ⊗ other`: `self`'s slots become the most
+    /// significant, `other`'s the least (appended after `self`'s).
+    pub fn tensor(&self, other: &NQubitState) -> Self {
+        let k = self.qubits + other.qubits;
+        assert!(
+            k <= MAX_REGISTER_QUBITS,
+            "merged register of {k} qubits exceeds the {MAX_REGISTER_QUBITS}-qubit cap"
+        );
+        let (da, db) = (self.dim(), other.dim());
+        let dim = da * db;
+        let mut rho = vec![ZERO; dim * dim];
+        for ia in 0..da {
+            for ja in 0..da {
+                let a = self.rho[ia * da + ja];
+                if a == ZERO {
+                    continue;
+                }
+                for ib in 0..db {
+                    for jb in 0..db {
+                        rho[(ia * db + ib) * dim + (ja * db + jb)] = a * other.rho[ib * db + jb];
+                    }
+                }
+            }
+        }
+        Self { qubits: k, rho }
+    }
+
+    /// Bit position (from the LSB of a basis index) of `slot`.
+    fn bit(&self, slot: usize) -> usize {
+        assert!(slot < self.qubits, "slot {slot} out of range");
+        self.qubits - 1 - slot
+    }
+
+    /// Applies a single-qubit unitary to `slot`: `ρ ← (U ρ U†)` with `U`
+    /// acting on that slot only. O(d²) via bit-paired row/column updates.
+    pub fn apply_local(&mut self, u: &Mat2, slot: usize) {
+        let mask = 1usize << self.bit(slot);
+        let dim = self.dim();
+        // Left-multiply by U: mix row pairs (i, i|mask) for i with bit 0.
+        for i in (0..dim).filter(|i| i & mask == 0) {
+            for j in 0..dim {
+                let r0 = self.rho[i * dim + j];
+                let r1 = self.rho[(i | mask) * dim + j];
+                self.rho[i * dim + j] = u.m00 * r0 + u.m01 * r1;
+                self.rho[(i | mask) * dim + j] = u.m10 * r0 + u.m11 * r1;
+            }
+        }
+        // Right-multiply by U†: mix column pairs.
+        let (c00, c01, c10, c11) = (u.m00.conj(), u.m01.conj(), u.m10.conj(), u.m11.conj());
+        for i in 0..dim {
+            for j in (0..dim).filter(|j| j & mask == 0) {
+                let r0 = self.rho[i * dim + j];
+                let r1 = self.rho[i * dim + (j | mask)];
+                self.rho[i * dim + j] = r0 * c00 + r1 * c01;
+                self.rho[i * dim + (j | mask)] = r0 * c10 + r1 * c11;
+            }
+        }
+    }
+
+    /// Applies a two-qubit unitary to the ordered slot pair
+    /// `(slot_a, slot_b)`, with `slot_a` the first (most significant)
+    /// factor of the 4×4 matrix's basis `|q_a q_b⟩`.
+    pub fn apply_two(&mut self, u: &Mat4, slot_a: usize, slot_b: usize) {
+        assert_ne!(slot_a, slot_b, "two-qubit gate needs distinct slots");
+        let (ma, mb) = (1usize << self.bit(slot_a), 1usize << self.bit(slot_b));
+        let dim = self.dim();
+        let sub = |base: usize, s: usize| -> usize {
+            base | if s & 2 != 0 { ma } else { 0 } | if s & 1 != 0 { mb } else { 0 }
+        };
+        // Left-multiply by U over row quadruples sharing the other bits.
+        for base in (0..dim).filter(|i| i & (ma | mb) == 0) {
+            for j in 0..dim {
+                let r: [C64; 4] = std::array::from_fn(|s| self.rho[sub(base, s) * dim + j]);
+                for (s, row) in u.m.iter().enumerate() {
+                    self.rho[sub(base, s) * dim + j] =
+                        row[0] * r[0] + row[1] * r[1] + row[2] * r[2] + row[3] * r[3];
+                }
+            }
+        }
+        // Right-multiply by U†.
+        for i in 0..dim {
+            for base in (0..dim).filter(|j| j & (ma | mb) == 0) {
+                let r: [C64; 4] = std::array::from_fn(|s| self.rho[i * dim + sub(base, s)]);
+                for s in 0..4 {
+                    let mut acc = ZERO;
+                    for (t, item) in r.iter().enumerate() {
+                        acc += *item * u.m[s][t].conj();
+                    }
+                    self.rho[i * dim + sub(base, s)] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies single-qubit Kraus operators to `slot`:
+    /// `ρ ← Σ_k K ρ K†`.
+    pub fn apply_local_kraus(&mut self, kraus: &[Mat2], slot: usize) {
+        let mut out = vec![ZERO; self.rho.len()];
+        for k in kraus {
+            let mut term = self.clone();
+            term.apply_local(k, slot);
+            for (o, t) in out.iter_mut().zip(term.rho.iter()) {
+                *o += *t;
+            }
+        }
+        self.rho = out;
+    }
+
+    /// Amplitude damping with decay probability `p` on `slot` — the
+    /// closed form of `apply_local_kraus(&amplitude_damping_kraus(p))`,
+    /// one O(d²) pass instead of eight (the registers' hot idle path).
+    pub fn apply_amplitude_damping(&mut self, p: f64, slot: usize) {
+        let p = p.clamp(0.0, 1.0);
+        let amp = (1.0 - p).sqrt();
+        let mask = 1usize << self.bit(slot);
+        let dim = self.dim();
+        for i in (0..dim).filter(|i| i & mask == 0) {
+            for j in (0..dim).filter(|j| j & mask == 0) {
+                let r11 = self.rho[(i | mask) * dim + (j | mask)];
+                self.rho[i * dim + j] += r11.scale(p);
+                self.rho[(i | mask) * dim + (j | mask)] = r11.scale(1.0 - p);
+                self.rho[i * dim + (j | mask)] = self.rho[i * dim + (j | mask)].scale(amp);
+                self.rho[(i | mask) * dim + j] = self.rho[(i | mask) * dim + j].scale(amp);
+            }
+        }
+    }
+
+    /// Phase damping (phase-flip channel, flip probability `p`) on
+    /// `slot`: coherences to that qubit shrink by `1 − 2p`.
+    pub fn apply_phase_damping(&mut self, p: f64, slot: usize) {
+        let p = p.clamp(0.0, 0.5);
+        let shrink = 1.0 - 2.0 * p;
+        let mask = 1usize << self.bit(slot);
+        let dim = self.dim();
+        for i in 0..dim {
+            for j in 0..dim {
+                if (i & mask != 0) != (j & mask != 0) {
+                    self.rho[i * dim + j] = self.rho[i * dim + j].scale(shrink);
+                }
+            }
+        }
+    }
+
+    /// Probability of measuring `slot` as `|1⟩`.
+    pub fn p1_of(&self, slot: usize) -> f64 {
+        let mask = 1usize << self.bit(slot);
+        let dim = self.dim();
+        let p: f64 = (0..dim)
+            .filter(|i| i & mask != 0)
+            .map(|i| self.rho[i * dim + i].re)
+            .sum();
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Projects `slot` to `outcome` and renormalizes; returns the
+    /// pre-measurement probability of that outcome. A (numerically)
+    /// impossible outcome collapses to the lowest basis state with the
+    /// right bit, as in [`crate::twoqubit::TwoQubitState::project`].
+    pub fn project(&mut self, slot: usize, outcome: u8) -> f64 {
+        let mask = 1usize << self.bit(slot);
+        let dim = self.dim();
+        let keep = |i: usize| (i & mask != 0) == (outcome == 1);
+        let p: f64 = (0..dim)
+            .filter(|&i| keep(i))
+            .map(|i| self.rho[i * dim + i].re)
+            .sum::<f64>()
+            .clamp(0.0, 1.0);
+        if p <= f64::EPSILON {
+            let idx = (0..dim).find(|&i| keep(i)).expect("half the basis matches");
+            self.rho.fill(ZERO);
+            self.rho[idx * dim + idx] = ONE;
+            return 0.0;
+        }
+        for i in 0..dim {
+            for j in 0..dim {
+                let e = &mut self.rho[i * dim + j];
+                *e = if keep(i) && keep(j) { *e / p } else { ZERO };
+            }
+        }
+        p
+    }
+
+    /// Reduced single-qubit state of `slot` (partial trace over the
+    /// rest).
+    pub fn reduced(&self, slot: usize) -> DensityMatrix {
+        let mask = 1usize << self.bit(slot);
+        let dim = self.dim();
+        let mut m = [[ZERO; 2]; 2];
+        for i in (0..dim).filter(|i| i & mask == 0) {
+            for (a, b) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+                let row = i | if a == 1 { mask } else { 0 };
+                let col = i | if b == 1 { mask } else { 0 };
+                m[a][b] += self.rho[row * dim + col];
+            }
+        }
+        DensityMatrix::from_matrix(Mat2::new(m[0][0], m[0][1], m[1][0], m[1][1]), 1e-6)
+            .expect("partial trace is a valid state")
+    }
+
+    /// Removes `slot` from the register: returns its reduced state and
+    /// shrinks `self` to the partial trace over that slot. Exact when the
+    /// slot factors out — which always holds right after [`Self::project`]
+    /// on it, the chip's split-on-measure path. Panics on a one-qubit
+    /// register (extract the last qubit with [`Self::reduced`] instead).
+    pub fn extract(&mut self, slot: usize) -> DensityMatrix {
+        assert!(self.qubits > 1, "cannot shrink a one-qubit register");
+        let single = self.reduced(slot);
+        let mask = 1usize << self.bit(slot);
+        let low = mask - 1;
+        let dim = self.dim();
+        let rdim = dim / 2;
+        // Remaining index -> full index with the slot bit forced to 0,
+        // then sum the bit-0 and bit-1 diagonal blocks (partial trace).
+        let expand = |r: usize| (r & low) | ((r & !low) << 1);
+        let mut rho = vec![ZERO; rdim * rdim];
+        for (ri, r) in rho.iter_mut().enumerate() {
+            let (i, j) = (expand(ri / rdim), expand(ri % rdim));
+            *r = self.rho[i * dim + j] + self.rho[(i | mask) * dim + (j | mask)];
+        }
+        self.qubits -= 1;
+        self.rho = rho;
+        single
+    }
+
+    /// Trace of ρ (should be 1).
+    pub fn trace(&self) -> f64 {
+        let dim = self.dim();
+        (0..dim).map(|i| self.rho[i * dim + i].re).sum()
+    }
+
+    /// Purity `Tr(ρ²)`; uses hermiticity, so O(d²).
+    pub fn purity(&self) -> f64 {
+        self.rho.iter().map(|e| e.norm_sqr()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::{rx, ry};
+    use crate::noise::amplitude_damping_kraus;
+    use crate::twoqubit::TwoQubitState;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-10;
+
+    fn as_two_qubit(s: &NQubitState) -> Mat4 {
+        assert_eq!(s.num_qubits(), 2);
+        let mut m = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                m.m[i][j] = s.entry(i, j);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn two_slot_register_matches_twoqubit_state() {
+        // The same circuit on TwoQubitState and on a 2-slot NQubitState
+        // must agree entry-for-entry (shared slot convention).
+        let mut pair = TwoQubitState::ground();
+        pair.apply_local(&ry(FRAC_PI_2), 0);
+        pair.apply_local(&rx(0.3), 1);
+        pair.apply_unitary(&Mat4::cz());
+
+        let mut reg = NQubitState::ground(2);
+        reg.apply_local(&ry(FRAC_PI_2), 0);
+        reg.apply_local(&rx(0.3), 1);
+        reg.apply_two(&Mat4::cz(), 0, 1);
+
+        assert!(as_two_qubit(&reg).approx_eq(pair.matrix(), TOL));
+        assert!((reg.p1_of(0) - pair.p1_of(0)).abs() < TOL);
+        assert!((reg.p1_of(1) - pair.p1_of(1)).abs() < TOL);
+    }
+
+    #[test]
+    fn projection_matches_twoqubit_state() {
+        let mut pair = TwoQubitState::ground();
+        pair.apply_local(&rx(1.1), 0);
+        pair.apply_local(&ry(0.6), 1);
+        let mut reg = NQubitState::ground(2);
+        reg.apply_local(&rx(1.1), 0);
+        reg.apply_local(&ry(0.6), 1);
+        let pp = pair.project(0, 1);
+        let rp = reg.project(0, 1);
+        assert!((pp - rp).abs() < TOL);
+        assert!(as_two_qubit(&reg).approx_eq(pair.matrix(), TOL));
+    }
+
+    #[test]
+    fn tensor_then_extract_round_trips() {
+        let mut a = DensityMatrix::ground();
+        a.apply_unitary(&rx(0.7));
+        let b = DensityMatrix::excited();
+        let mut reg = NQubitState::from_single(&a).tensor(&NQubitState::from_single(&b));
+        assert_eq!(reg.num_qubits(), 2);
+        assert!((reg.p1_of(1) - 1.0).abs() < TOL);
+        let got_b = reg.extract(1);
+        assert!(got_b.trace_distance(&b) < TOL);
+        assert_eq!(reg.num_qubits(), 1);
+        assert!(reg.reduced(0).trace_distance(&a) < TOL);
+    }
+
+    #[test]
+    fn extract_middle_slot_preserves_order() {
+        // |q0 q1 q2⟩ = |0 1 +x⟩; removing slot 1 leaves |0, +x⟩ in order.
+        let mut plus = DensityMatrix::ground();
+        plus.apply_unitary(&ry(FRAC_PI_2));
+        let reg0 = NQubitState::from_single(&DensityMatrix::ground());
+        let mut reg = reg0
+            .tensor(&NQubitState::from_single(&DensityMatrix::excited()))
+            .tensor(&NQubitState::from_single(&plus));
+        let mid = reg.extract(1);
+        assert!(mid.trace_distance(&DensityMatrix::excited()) < TOL);
+        assert!(reg.reduced(0).trace_distance(&DensityMatrix::ground()) < TOL);
+        assert!(reg.reduced(1).trace_distance(&plus) < TOL);
+    }
+
+    #[test]
+    fn three_qubit_parity_check_circuit() {
+        // d0 = |1⟩, d1 = |0⟩, ancilla in the middle slot order
+        // (d0, a, d1): mY90(a); CZ(d0,a); CZ(d1,a); Y90(a) leaves the
+        // ancilla holding the parity d0⊕d1 = 1.
+        let mut reg = NQubitState::ground(3);
+        reg.apply_local(&rx(PI), 0); // d0 -> |1>
+        reg.apply_local(&ry(-FRAC_PI_2), 1);
+        reg.apply_two(&Mat4::cz(), 0, 1);
+        reg.apply_two(&Mat4::cz(), 2, 1);
+        reg.apply_local(&ry(FRAC_PI_2), 1);
+        assert!((reg.p1_of(1) - 1.0).abs() < 1e-9, "parity = 1");
+        // Data qubits undisturbed.
+        assert!((reg.p1_of(0) - 1.0).abs() < 1e-9);
+        assert!(reg.p1_of(2) < 1e-9);
+        // Measuring the ancilla factors it out exactly.
+        reg.project(1, 1);
+        let anc = reg.extract(1);
+        assert!((anc.p1() - 1.0).abs() < 1e-9);
+        assert!((reg.p1_of(0) - 1.0).abs() < 1e-9);
+        assert!(reg.p1_of(1) < 1e-9);
+    }
+
+    #[test]
+    fn local_kraus_on_register_matches_pairwise() {
+        let mut pair = TwoQubitState::ground();
+        pair.apply_local(&ry(FRAC_PI_2), 0);
+        pair.apply_unitary(&Mat4::cz());
+        pair.apply_local_kraus(&amplitude_damping_kraus(0.3), 1);
+        let mut reg = NQubitState::ground(2);
+        reg.apply_local(&ry(FRAC_PI_2), 0);
+        reg.apply_two(&Mat4::cz(), 0, 1);
+        reg.apply_local_kraus(&amplitude_damping_kraus(0.3), 1);
+        assert!(as_two_qubit(&reg).approx_eq(pair.matrix(), TOL));
+        assert!((reg.trace() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn closed_form_damping_matches_generic_kraus() {
+        use crate::noise::{amplitude_damping_kraus, phase_damping_kraus};
+        let build = || {
+            let mut reg = NQubitState::ground(3);
+            reg.apply_local(&ry(FRAC_PI_2), 0);
+            reg.apply_local(&rx(1.2), 1);
+            reg.apply_two(&Mat4::cz(), 0, 2);
+            reg
+        };
+        for slot in 0..3 {
+            let mut fast = build();
+            let mut slow = build();
+            fast.apply_amplitude_damping(0.23, slot);
+            slow.apply_local_kraus(&amplitude_damping_kraus(0.23), slot);
+            fast.apply_phase_damping(0.11, slot);
+            slow.apply_local_kraus(&phase_damping_kraus(0.11), slot);
+            let dim = fast.dim();
+            for i in 0..dim {
+                for j in 0..dim {
+                    assert!(
+                        fast.entry(i, j).approx_eq(slow.entry(i, j), 1e-12),
+                        "slot {slot} entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_projection_collapses_to_basis() {
+        let mut reg = NQubitState::ground(2);
+        assert_eq!(reg.project(0, 1), 0.0);
+        assert!((reg.p1_of(0) - 1.0).abs() < TOL);
+        assert!(reg.p1_of(1) < TOL);
+        assert!((reg.trace() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn register_cap_is_enforced() {
+        let a = NQubitState::ground(6);
+        let b = NQubitState::ground(6);
+        let _ = a.tensor(&b);
+    }
+}

@@ -1,0 +1,85 @@
+//! Repetition-code QEC through the feedback path: syndrome extraction,
+//! in-program branch-tree decoding, conditional X corrections, and
+//! active ancilla reset — the paper's conditional-execution capability
+//! (§4.2.1) scaled from one qubit to a five-qubit code chain.
+//!
+//! ```sh
+//! cargo run --release --example repetition_code
+//! ```
+
+use quma::compiler::prelude::{InjectedX, RepetitionCode};
+use quma::experiments::prelude::{run_qec, run_qec_injected, QecConfig};
+
+fn main() {
+    println!("== Distance-3 repetition code with feedback corrections ==\n");
+    let code = RepetitionCode::new(3, 2);
+    let lay = code.layout();
+    println!("qubit layout (linear coupling chain):\n");
+    println!("   d0 ─── a0 ─── d1 ─── a1 ─── d2");
+    println!("   q0     q1     q2     q3     q4\n");
+    println!(
+        "   data {:?} hold the logical bit; ancillas {:?} read the parities",
+        lay.data_qubits(),
+        lay.ancilla_qubits()
+    );
+    println!("   syndromes land in r4/r5, final data readout in r8..r10\n");
+
+    println!("the feedback slice of the emitted QuMIS (round 0):\n");
+    let asm = code.assembly();
+    for line in asm
+        .lines()
+        .skip_while(|l| !l.contains("MD {q1}"))
+        .take_while(|l| !l.contains("qec_r0_done"))
+    {
+        println!("   {line}");
+    }
+    println!("   qec_r0_done:\n");
+
+    let base = QecConfig {
+        shots: 4,
+        ..QecConfig::default()
+    };
+
+    println!("clean run: ");
+    let clean = run_qec(&base);
+    println!(
+        "   {} shots, logical error rate {:.3} (majority bits {:?})\n",
+        clean.shots, clean.logical_error_rate, clean.majority_bits
+    );
+    assert_eq!(clean.logical_errors, 0);
+
+    println!("single injected X errors (every location, every round):");
+    for round in 0..2 {
+        for data in 0..3 {
+            let r = run_qec_injected(&base, &[InjectedX { round, data }]);
+            println!(
+                "   X on d{data} in round {round}: logical error rate {:.3} -> {}",
+                r.logical_error_rate,
+                if r.logical_errors == 0 {
+                    "recovered"
+                } else {
+                    "FAILED"
+                }
+            );
+            assert_eq!(r.logical_errors, 0, "single errors must always decode");
+        }
+    }
+
+    println!("\nsampled error rates (distance 3 vs 5, 2 rounds, 12 shots):");
+    for distance in [3usize, 5] {
+        for rate in [0.05f64, 0.2] {
+            let cfg = QecConfig {
+                distance,
+                shots: 12,
+                error_rate: rate,
+                ..base.clone()
+            };
+            let r = run_qec(&cfg);
+            println!(
+                "   d={distance} p={rate:.2}: injected {:>2} X flips, logical error rate {:.3}",
+                r.injected_flips, r.logical_error_rate
+            );
+        }
+    }
+    println!("\nOK: every single error decoded through beq/bne feedback in-program.");
+}

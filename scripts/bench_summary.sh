@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Folds the JSONL emitted by the vendored criterion harness
+# (QUMA_BENCH_JSON=<file> cargo bench …) into one dated summary the CI
+# bench-smoke job uploads and the perf trajectory tracks.
+#
+# Usage: scripts/bench_summary.sh bench.jsonl > BENCH_$(date -u +%F).json
+#
+# Naming convention (see CONTRIBUTING.md): BENCH_<YYYY-MM-DD>.json at the
+# repository root, UTC date, one file per trajectory point.
+set -euo pipefail
+
+jsonl="${1:?usage: bench_summary.sh <bench.jsonl>}"
+date_utc="$(date -u +%F)"
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+# A summary generated from an uncommitted tree is not reproducible from
+# its HEAD sha alone — say so in the snapshot.
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+  git_sha="${git_sha}-dirty"
+fi
+toolchain="$(rustc --version 2>/dev/null || echo unknown)"
+
+printf '{\n'
+printf '  "date": "%s",\n' "$date_utc"
+printf '  "git_sha": "%s",\n' "$git_sha"
+printf '  "toolchain": "%s",\n' "$toolchain"
+printf '  "budget_ms": %s,\n' "${QUMA_BENCH_BUDGET_MS:-200}"
+printf '  "benches": [\n'
+awk 'NF { if (n++) printf(",\n"); printf("    %s", $0) } END { printf("\n") }' "$jsonl"
+printf '  ]\n}\n'

@@ -1,76 +1,135 @@
 //! Offline, API-compatible subset of the `criterion` benchmark harness.
 //!
 //! The build environment has no registry access, so the workspace vendors
-//! the criterion surface its ten paper-figure benches use:
+//! the criterion surface its paper-figure benches use:
 //! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
 //! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
 //! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
 //! macros.
 //!
-//! Instead of criterion's statistical sampling it times a short fixed run
-//! per benchmark and prints the mean iteration time — enough to eyeball
-//! the paper's relative numbers (`cargo bench`) and, more importantly for
-//! CI, to keep every bench compiling (`cargo bench --no-run`).
+//! Instead of criterion's full statistical machinery it splits a bounded
+//! measurement budget into timed samples and reports the **median**
+//! iteration time — robust to scheduler noise and cheap enough for CI.
+//! Two environment variables tune it for the `bench-smoke` CI job:
+//!
+//! * `QUMA_BENCH_BUDGET_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 200);
+//! * `QUMA_BENCH_JSON` — when set, a path to which one JSON line per
+//!   benchmark is appended:
+//!   `{"id":"group/name","median_ns":…,"iters":…,"samples":…}` —
+//!   the raw material `scripts/bench_summary.sh` folds into the
+//!   committed `BENCH_<date>.json` trajectory artifacts.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Cap on how long one benchmark spends measuring.
-const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Per-benchmark measurement budget (`QUMA_BENCH_BUDGET_MS`, default
+/// 200 ms).
+fn measure_budget() -> Duration {
+    std::env::var("QUMA_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(200))
+}
 
-/// Runs a closure repeatedly and records the mean wall-clock time.
+/// Target number of timed samples per benchmark.
+const TARGET_SAMPLES: usize = 25;
+
+/// Runs a closure repeatedly and records the median iteration time.
 pub struct Bencher {
-    mean_ns: f64,
+    /// Mean ns/iteration of each timed sample.
+    samples: Vec<f64>,
     iters: u64,
 }
 
 impl Bencher {
     fn new() -> Self {
         Bencher {
-            mean_ns: f64::NAN,
+            samples: Vec::new(),
             iters: 0,
         }
     }
 
-    /// Times `routine` over repeated calls.
-    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        black_box(routine()); // warm-up
-        let start = Instant::now();
-        let mut iters = 0u64;
-        while start.elapsed() < MEASURE_BUDGET {
-            black_box(routine());
-            iters += 1;
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
         }
-        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
-        self.iters = iters;
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        }
+    }
+
+    /// Times `routine` over repeated calls: one calibration call sizes
+    /// the per-sample batch, then up to 25 samples run within the
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let budget = measure_budget();
+        // Warm-up doubles as calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = budget / (TARGET_SAMPLES as u32);
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        let start = Instant::now();
+        while self.samples.len() < TARGET_SAMPLES && start.elapsed() < budget {
+            let s0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(s0.elapsed().as_nanos() as f64 / batch as f64);
+            self.iters += batch;
+        }
     }
 
     /// Times `routine` over inputs produced by `setup`; setup time is
-    /// excluded from the measurement.
-    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    /// excluded from the measurement. Each sample pre-generates a batch
+    /// of inputs (sized from a calibration call) and times one
+    /// contiguous run over them, so nanosecond-scale routines aren't
+    /// drowned in per-call timer overhead.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
     where
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        black_box(routine(setup())); // warm-up
+        let budget = measure_budget();
+        let t0 = Instant::now();
+        black_box(routine(setup())); // warm-up doubles as calibration
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = budget / (TARGET_SAMPLES as u32);
+        // BatchSize bounds how many setup outputs are alive at once.
+        let max_batch: u128 = match size {
+            BatchSize::SmallInput => 1 << 16,
+            BatchSize::LargeInput => 64,
+            BatchSize::PerIteration => 1,
+        };
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, max_batch) as u64;
         let mut measured = Duration::ZERO;
-        let mut iters = 0u64;
-        while measured < MEASURE_BUDGET {
-            let input = setup();
-            let start = Instant::now();
-            black_box(routine(input));
-            measured += start.elapsed();
-            iters += 1;
+        while self.samples.len() < TARGET_SAMPLES && measured < budget {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let s0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = s0.elapsed();
+            measured += dt;
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
+            self.iters += batch;
         }
-        self.mean_ns = measured.as_nanos() as f64 / iters.max(1) as f64;
-        self.iters = iters;
     }
 }
 
-/// How batched inputs are grouped; accepted for API compatibility and
-/// otherwise ignored by the vendored harness.
+/// How batched inputs are grouped: bounds how many `setup` outputs
+/// [`Bencher::iter_batched`] keeps alive per timed sample.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BatchSize {
     /// Small inputs: criterion would batch many per allocation.
@@ -115,26 +174,45 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Minimal JSON string escaping for benchmark ids.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 fn report(path: &str, b: &Bencher) {
-    if b.mean_ns.is_nan() {
+    let median = b.median_ns();
+    if median.is_nan() {
         println!("{path:<48} (no measurement)");
-    } else if b.mean_ns >= 1_000_000.0 {
+    } else if median >= 1_000_000.0 {
         println!(
             "{path:<48} time: {:>10.3} ms  ({} iters)",
-            b.mean_ns / 1e6,
+            median / 1e6,
             b.iters
         );
-    } else if b.mean_ns >= 1_000.0 {
+    } else if median >= 1_000.0 {
         println!(
             "{path:<48} time: {:>10.3} µs  ({} iters)",
-            b.mean_ns / 1e3,
+            median / 1e3,
             b.iters
         );
     } else {
-        println!(
-            "{path:<48} time: {:>10.1} ns  ({} iters)",
-            b.mean_ns, b.iters
-        );
+        println!("{path:<48} time: {:>10.1} ns  ({} iters)", median, b.iters);
+    }
+    if let Ok(json_path) = std::env::var("QUMA_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&json_path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"iters\":{},\"samples\":{}}}",
+                json_escape(path),
+                if median.is_nan() { -1.0 } else { median },
+                b.iters,
+                b.samples.len(),
+            );
+        }
     }
 }
 
@@ -170,12 +248,14 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the per-benchmark sample count (accepted, ignored).
+    /// Sets the per-benchmark sample count (accepted, ignored — the
+    /// vendored harness sizes samples from the measurement budget).
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
 
-    /// Sets the measurement time (accepted, ignored).
+    /// Sets the measurement time (accepted, ignored; use
+    /// `QUMA_BENCH_BUDGET_MS` instead).
     pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
         self
     }
