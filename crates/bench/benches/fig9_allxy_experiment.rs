@@ -14,7 +14,7 @@ fn print_figure9() {
         chip: ChipProfile::Paper,
         ..AllxyConfig::default()
     };
-    let result = run_allxy(&cfg);
+    let result = run_allxy(&cfg).expect("AllXY runs");
     println!("\n=== Figure 9: AllXY staircase (N = 128; paper N = 25600) ===");
     println!("{}", allxy_table(&result));
     println!(

@@ -1,0 +1,96 @@
+//! Sweep setup cost: compile-per-point vs compile-once-patch.
+//!
+//! Before the template redesign, a K-point sweep assembled one program
+//! per point (or one kernel per point into a K-kernel program), so setup
+//! cost grew O(K × program size). A [`ProgramTemplate`] compiles once and
+//! rewrites only the named immediate fields per point — O(1) words per
+//! axis. This bench measures both on a 16-point T1 sweep and prints the
+//! ratio (the acceptance bar is ≥ 5×; the differential test
+//! `tests/template_differential.rs` enforces it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quma_compiler::prelude::Bindings;
+use quma_experiments::prelude::{Experiment, T1Config, T1};
+use std::hint::black_box;
+use std::time::Instant;
+
+const POINTS: u32 = 16;
+
+fn delays() -> Vec<u32> {
+    (1..=POINTS).map(|k| k * 800).collect()
+}
+
+fn print_setup_table() {
+    let cfg = T1Config::default();
+    let program = T1.program(&cfg).expect("program");
+    let gates = T1.gates(&cfg);
+    let ccfg = T1.compiler_config(&cfg);
+    const REPS: u32 = 50;
+
+    println!("\n=== sweep setup: compile-per-point vs compile-once-patch ({POINTS}-point T1) ===");
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        for &d in &delays() {
+            let b = Bindings::new().int("tau", i64::from(d));
+            black_box(program.compile_bound(&gates, &ccfg, &b).expect("compiles"));
+        }
+    }
+    let per_point = t0.elapsed().as_secs_f64() / f64::from(REPS);
+
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let template = program.compile_template(&gates, &ccfg).expect("template");
+        let mut working = template.program().clone();
+        for &d in &delays() {
+            working.patch("tau", i64::from(d)).expect("patches");
+            black_box(&working);
+        }
+    }
+    let patched = t0.elapsed().as_secs_f64() / f64::from(REPS);
+    println!("compile_per_point   {:>10.1} µs/sweep", per_point * 1e6);
+    println!("template_patch      {:>10.1} µs/sweep", patched * 1e6);
+    println!(
+        "speedup             {:>10.1}x  (acceptance bar: 5x)\n",
+        per_point / patched.max(f64::MIN_POSITIVE)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_setup_table();
+
+    let cfg = T1Config::default();
+    let program = T1.program(&cfg).expect("program");
+    let gates = T1.gates(&cfg);
+    let ccfg = T1.compiler_config(&cfg);
+
+    let mut g = c.benchmark_group("sweep_setup");
+    g.bench_function("compile_per_point_16", |b| {
+        b.iter(|| {
+            for &d in &delays() {
+                let bind = Bindings::new().int("tau", i64::from(d));
+                black_box(
+                    program
+                        .compile_bound(&gates, &ccfg, &bind)
+                        .expect("compiles"),
+                );
+            }
+        })
+    });
+    g.bench_function("template_patch_16", |b| {
+        let template = program.compile_template(&gates, &ccfg).expect("template");
+        let mut working = template.program().clone();
+        b.iter(|| {
+            for &d in &delays() {
+                working.patch("tau", i64::from(d)).expect("patches");
+            }
+            black_box(&working);
+        })
+    });
+    g.bench_function("compile_template_once", |b| {
+        b.iter(|| black_box(program.compile_template(&gates, &ccfg).expect("template")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,8 +7,9 @@
 //! whole experiment.
 
 use crate::gateset::GateSet;
-use crate::kernel::{Kernel, KernelOp};
+use crate::kernel::{Bindings, Kernel, KernelOp, ParamValue};
 use quma_isa::prelude::{Assembler, Program, Reg};
+use quma_isa::template::{PatchField, ProgramTemplate};
 use std::fmt::Write as _;
 
 /// Compiler settings.
@@ -51,6 +52,26 @@ pub enum CompileError {
         /// What the gate set offers.
         available: Vec<String>,
     },
+    /// A sweep-parameter binding was of the wrong kind or out of range.
+    BadBinding {
+        /// The parameter name.
+        name: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A gate bound (or patched) into a `gate_param` slot has a different
+    /// duration than the slot's default — the emitted `Wait` is fixed at
+    /// compile time, so such a patch would desynchronize the timeline.
+    GateDurationMismatch {
+        /// The parameter name.
+        name: String,
+        /// The offending gate.
+        gate: String,
+        /// The slot's compiled-in duration.
+        expected: u32,
+        /// The bound gate's duration.
+        got: u32,
+    },
     /// The generated assembly failed to assemble (an internal error).
     Internal(String),
 }
@@ -61,6 +82,18 @@ impl std::fmt::Display for CompileError {
             CompileError::UnknownGate { name, available } => {
                 write!(f, "unknown gate '{name}'; gate set has {available:?}")
             }
+            CompileError::BadBinding { name, reason } => {
+                write!(f, "bad binding for parameter '{name}': {reason}")
+            }
+            CompileError::GateDurationMismatch {
+                name,
+                gate,
+                expected,
+                got,
+            } => write!(
+                f,
+                "gate '{gate}' ({got} cycles) cannot fill slot '{name}' compiled for {expected} cycles"
+            ),
             CompileError::Internal(e) => write!(f, "internal codegen error: {e}"),
         }
     }
@@ -96,31 +129,42 @@ impl QuantumProgram {
         &self.kernels
     }
 
-    /// Emits the assembly text.
+    /// Emits the assembly text (parameterized ops emit their defaults).
     pub fn emit(&self, gates: &GateSet, cfg: &CompilerConfig) -> Result<String, CompileError> {
-        let mut out = String::new();
-        let _ = writeln!(out, "# program: {}", self.name);
-        let _ = writeln!(out, "mov {}, {}", cfg.init_reg, cfg.init_cycles);
+        Ok(self.emit_with_slots(gates, cfg)?.0)
+    }
+
+    /// Emits the assembly text plus the patch-slot records — one
+    /// `(name, instruction index, field)` triple per parameterized op —
+    /// that [`QuantumProgram::compile`] registers on the assembled
+    /// program.
+    fn emit_with_slots(
+        &self,
+        gates: &GateSet,
+        cfg: &CompilerConfig,
+    ) -> Result<(String, Vec<SlotRecord>), CompileError> {
+        let mut st = EmitState::default();
+        let _ = writeln!(st.text, "# program: {}", self.name);
+        st.insn(format_args!("mov {}, {}", cfg.init_reg, cfg.init_cycles));
         let looped = cfg.averages > 1;
         if looped {
-            let _ = writeln!(out, "mov {}, 0", cfg.counter_reg);
-            let _ = writeln!(out, "mov {}, {}", cfg.bound_reg, cfg.averages);
-            let _ = writeln!(out, "Outer_Loop:");
+            st.insn(format_args!("mov {}, 0", cfg.counter_reg));
+            st.insn(format_args!("mov {}, {}", cfg.bound_reg, cfg.averages));
+            let _ = writeln!(st.text, "Outer_Loop:");
         }
         for k in &self.kernels {
-            let _ = writeln!(out, "# kernel: {}", k.name);
-            self.emit_kernel(k, gates, cfg, &mut out)?;
+            let _ = writeln!(st.text, "# kernel: {}", k.name);
+            self.emit_kernel(k, gates, cfg, &mut st)?;
         }
         if looped {
-            let _ = writeln!(out, "addi {c}, {c}, 1", c = cfg.counter_reg);
-            let _ = writeln!(
-                out,
+            st.insn(format_args!("addi {c}, {c}, 1", c = cfg.counter_reg));
+            st.insn(format_args!(
                 "bne {}, {}, Outer_Loop",
                 cfg.counter_reg, cfg.bound_reg
-            );
+            ));
         }
-        let _ = writeln!(out, "halt");
-        Ok(out)
+        st.insn(format_args!("halt"));
+        Ok((st.text, st.slots))
     }
 
     fn emit_kernel(
@@ -128,7 +172,7 @@ impl QuantumProgram {
         k: &Kernel,
         gates: &GateSet,
         cfg: &CompilerConfig,
-        out: &mut String,
+        st: &mut EmitState,
     ) -> Result<(), CompileError> {
         let lookup = |name: &str| {
             gates.gate(name).ok_or_else(|| CompileError::UnknownGate {
@@ -143,12 +187,12 @@ impl QuantumProgram {
         for op in k.ops() {
             match op {
                 KernelOp::Init => {
-                    let _ = writeln!(out, "QNopReg {}", cfg.init_reg);
+                    st.insn(format_args!("QNopReg {}", cfg.init_reg));
                 }
                 KernelOp::Gate { name, qubits } => {
                     let spec = lookup(name)?;
-                    let _ = writeln!(out, "Pulse {}, {}", mask(qubits), spec.name);
-                    let _ = writeln!(out, "Wait {}", spec.duration);
+                    st.insn(format_args!("Pulse {}, {}", mask(qubits), spec.name));
+                    st.insn(format_args!("Wait {}", spec.duration));
                 }
                 KernelOp::Simultaneous { gates: pairs } => {
                     let mut parts = Vec::new();
@@ -158,44 +202,78 @@ impl QuantumProgram {
                         longest = longest.max(spec.duration);
                         parts.push(format!("{{q{q}}}, {}", spec.name));
                     }
-                    let _ = writeln!(out, "Pulse {}", parts.join(", "));
-                    let _ = writeln!(out, "Wait {longest}");
+                    st.insn(format_args!("Pulse {}", parts.join(", ")));
+                    st.insn(format_args!("Wait {longest}"));
                 }
                 KernelOp::Wait(cycles) => {
-                    let _ = writeln!(out, "Wait {cycles}");
+                    st.insn(format_args!("Wait {cycles}"));
                 }
-                KernelOp::Measure { qubits, rd } => {
+                KernelOp::Measure {
+                    qubits,
+                    rd,
+                    duration,
+                } => {
                     let m = mask(qubits);
-                    let _ = writeln!(out, "MPG {m}, {}", gates.measure_duration);
+                    st.insn(format_args!(
+                        "MPG {m}, {}",
+                        duration.unwrap_or(gates.measure_duration)
+                    ));
                     match rd {
-                        Some(r) => {
-                            let _ = writeln!(out, "MD {m}, {r}");
-                        }
-                        None => {
-                            let _ = writeln!(out, "MD {m}");
-                        }
+                        Some(r) => st.insn(format_args!("MD {m}, {r}")),
+                        None => st.insn(format_args!("MD {m}")),
                     }
                 }
                 KernelOp::MeasureFanout { qubits, rds } => {
-                    let _ = writeln!(out, "MPG {}, {}", mask(qubits), gates.measure_duration);
+                    st.insn(format_args!(
+                        "MPG {}, {}",
+                        mask(qubits),
+                        gates.measure_duration
+                    ));
                     for (q, r) in qubits.iter().zip(rds.iter()) {
-                        let _ = writeln!(out, "MD {{q{q}}}, {r}");
+                        st.insn(format_args!("MD {{q{q}}}, {r}"));
                     }
                 }
                 KernelOp::Label(name) => {
-                    let _ = writeln!(out, "{name}:");
+                    let _ = writeln!(st.text, "{name}:");
                 }
                 KernelOp::BranchEq { rs, rt, label } => {
-                    let _ = writeln!(out, "beq {rs}, {rt}, {label}");
+                    st.insn(format_args!("beq {rs}, {rt}, {label}"));
                 }
                 KernelOp::BranchNe { rs, rt, label } => {
-                    let _ = writeln!(out, "bne {rs}, {rt}, {label}");
+                    st.insn(format_args!("bne {rs}, {rt}, {label}"));
                 }
                 KernelOp::Jump { label, scratch } => {
-                    let _ = writeln!(out, "beq {scratch}, {scratch}, {label}");
+                    st.insn(format_args!("beq {scratch}, {scratch}, {label}"));
                 }
                 KernelOp::MovImm { rd, imm } => {
-                    let _ = writeln!(out, "mov {rd}, {imm}");
+                    st.insn(format_args!("mov {rd}, {imm}"));
+                }
+                KernelOp::WaitParam { name, default } => {
+                    st.slot(name, PatchField::WaitInterval);
+                    st.insn(format_args!("Wait {default}"));
+                }
+                KernelOp::GateParam {
+                    name,
+                    default,
+                    qubits,
+                } => {
+                    let spec = lookup(default)?;
+                    st.slot(name, PatchField::PulseUop { op: 0 });
+                    st.insn(format_args!("Pulse {}, {}", mask(qubits), spec.name));
+                    st.insn(format_args!("Wait {}", spec.duration));
+                }
+                KernelOp::MeasureParam { name, qubits, rd } => {
+                    let m = mask(qubits);
+                    st.slot(name, PatchField::MpgDuration);
+                    st.insn(format_args!("MPG {m}, {}", gates.measure_duration));
+                    match rd {
+                        Some(r) => st.insn(format_args!("MD {m}, {r}")),
+                        None => st.insn(format_args!("MD {m}")),
+                    }
+                }
+                KernelOp::MovParam { name, rd, default } => {
+                    st.slot(name, PatchField::MovImm);
+                    st.insn(format_args!("mov {rd}, {default}"));
                 }
             }
         }
@@ -205,12 +283,248 @@ impl QuantumProgram {
     /// Compiles to an executable [`Program`]. The assembler uses the gate
     /// set's µ-op table, so extended sets (e.g. the CZ flux µ-op of
     /// [`GateSet::paper_two_qubit`]) assemble without extra registration.
+    /// Parameterized ops compile to their defaults and register named
+    /// patch slots on the returned program.
     pub fn compile(&self, gates: &GateSet, cfg: &CompilerConfig) -> Result<Program, CompileError> {
-        let text = self.emit(gates, cfg)?;
-        Assembler::with_uops(gates.uops.clone())
+        let (text, slots) = self.emit_with_slots(gates, cfg)?;
+        let mut program = Assembler::with_uops(gates.uops.clone())
             .assemble(&text)
-            .map_err(|e| CompileError::Internal(e.to_string()))
+            .map_err(|e| CompileError::Internal(e.to_string()))?;
+        for (name, index, field) in slots {
+            program
+                .add_slot(name, index, field)
+                .map_err(|e| CompileError::Internal(e.to_string()))?;
+        }
+        Ok(program)
     }
+
+    /// Compiles once into a patchable [`ProgramTemplate`]: the program
+    /// (slots registered) plus sweep-axis metadata. This is the
+    /// compile-once half of the "upload once, patch per point" sweep
+    /// discipline — per-point cost drops from a full re-assembly to an
+    /// O(1)-word [`Program::patch`] per axis.
+    pub fn compile_template(
+        &self,
+        gates: &GateSet,
+        cfg: &CompilerConfig,
+    ) -> Result<ProgramTemplate, CompileError> {
+        Ok(ProgramTemplate::new(self.compile(gates, cfg)?))
+    }
+
+    /// A concrete copy of this program with every parameterized op
+    /// substituted from `bindings` (missing parameters keep their
+    /// defaults). A `wait_param` bound to 0 is elided entirely, matching
+    /// the hand-written `if d > 0 { wait(d) }` idiom, so bound programs
+    /// are bit-identical to their historical hand-rolled equivalents.
+    pub fn bound(&self, bindings: &Bindings) -> Result<QuantumProgram, CompileError> {
+        let mut out = QuantumProgram::new(self.name.clone());
+        for k in &self.kernels {
+            out.add_kernel(bind_kernel(k, bindings)?);
+        }
+        Ok(out)
+    }
+
+    /// Compiles one bound instance (see [`QuantumProgram::bound`]).
+    pub fn compile_bound(
+        &self,
+        gates: &GateSet,
+        cfg: &CompilerConfig,
+        bindings: &Bindings,
+    ) -> Result<Program, CompileError> {
+        self.bound(bindings)?.compile(gates, cfg)
+    }
+
+    /// Unrolls the parameterized kernels once per sweep point — the
+    /// collector-style layout the paper's Algorithm 3 experiments use
+    /// (every point's kernel in one program, the whole block looped for
+    /// the averaging rounds) — and compiles the result. Kernel names and
+    /// in-kernel labels (with the branches that target them) get a
+    /// per-point suffix, so feedback kernels unroll without label
+    /// collisions.
+    pub fn compile_unrolled(
+        &self,
+        gates: &GateSet,
+        cfg: &CompilerConfig,
+        points: &[Bindings],
+    ) -> Result<Program, CompileError> {
+        let mut unrolled = QuantumProgram::new(self.name.clone());
+        for (i, bindings) in points.iter().enumerate() {
+            for k in &self.kernels {
+                let mut bound = bind_kernel(k, bindings)?;
+                bound.name = format!("{}-p{i}", k.name);
+                uniquify_labels(&mut bound, i);
+                unrolled.add_kernel(bound);
+            }
+        }
+        unrolled.compile(gates, cfg)
+    }
+
+    /// Resolves one sweep point's bindings into the raw `(slot, value)`
+    /// patches a compiled template accepts: immediates pass through and
+    /// gate names resolve to µ-op ids. A gate whose duration differs from
+    /// its slot's default is rejected ([`CompileError::GateDurationMismatch`])
+    /// because the `Wait` after the pulse is fixed at compile time.
+    pub fn resolve_patches(
+        &self,
+        gates: &GateSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<(String, i64)>, CompileError> {
+        let lookup = |name: &str| {
+            gates.gate(name).ok_or_else(|| CompileError::UnknownGate {
+                name: name.to_string(),
+                available: gates.names().iter().map(|s| s.to_string()).collect(),
+            })
+        };
+        let mut out = Vec::with_capacity(bindings.entries().len());
+        for (name, value) in bindings.entries() {
+            match value {
+                ParamValue::Int(v) => out.push((name.clone(), *v)),
+                ParamValue::Gate(g) => {
+                    let spec = lookup(g)?;
+                    for k in &self.kernels {
+                        for op in k.ops() {
+                            if let KernelOp::GateParam {
+                                name: n, default, ..
+                            } = op
+                            {
+                                if n == name {
+                                    let d = lookup(default)?;
+                                    if d.duration != spec.duration {
+                                        return Err(CompileError::GateDurationMismatch {
+                                            name: name.clone(),
+                                            gate: g.clone(),
+                                            expected: d.duration,
+                                            got: spec.duration,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    out.push((name.clone(), i64::from(spec.uop.raw())));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One recorded patch slot: name, instruction index, field.
+type SlotRecord = (String, u32, PatchField);
+
+/// Emission bookkeeping: the text, the running instruction index, and the
+/// patch slots recorded for parameterized ops.
+#[derive(Default)]
+struct EmitState {
+    text: String,
+    count: u32,
+    slots: Vec<SlotRecord>,
+}
+
+impl EmitState {
+    /// Writes one instruction line and advances the index.
+    fn insn(&mut self, line: std::fmt::Arguments<'_>) {
+        let _ = writeln!(self.text, "{line}");
+        self.count += 1;
+    }
+
+    /// Records a slot at the *next* instruction to be emitted.
+    fn slot(&mut self, name: &str, field: PatchField) {
+        self.slots.push((name.to_string(), self.count, field));
+    }
+}
+
+/// Suffixes every label — and every in-kernel branch target, which by
+/// construction refers to a label of the same sweep point — with the
+/// point index, keeping program-wide label uniqueness across unrolled
+/// kernel copies.
+fn uniquify_labels(k: &mut Kernel, point: usize) {
+    let suffix = |label: &str| format!("{label}__p{point}");
+    for op in k.ops_mut() {
+        match op {
+            KernelOp::Label(name) => *name = suffix(name),
+            KernelOp::BranchEq { label, .. }
+            | KernelOp::BranchNe { label, .. }
+            | KernelOp::Jump { label, .. } => *label = suffix(label),
+            _ => {}
+        }
+    }
+}
+
+/// Substitutes one kernel's parameterized ops from `bindings`.
+fn bind_kernel(k: &Kernel, bindings: &Bindings) -> Result<Kernel, CompileError> {
+    let int_binding = |name: &str, default: i64| -> Result<i64, CompileError> {
+        match bindings.get(name) {
+            Some(ParamValue::Int(v)) => Ok(*v),
+            Some(ParamValue::Gate(g)) => Err(CompileError::BadBinding {
+                name: name.to_string(),
+                reason: format!("expected an immediate, got gate '{g}'"),
+            }),
+            None => Ok(default),
+        }
+    };
+    let mut out = Kernel::new(k.name.clone());
+    for op in k.ops() {
+        match op {
+            KernelOp::WaitParam { name, default } => {
+                let v = int_binding(name, i64::from(*default))?;
+                if !(0..=i64::from(u32::MAX)).contains(&v) {
+                    return Err(CompileError::BadBinding {
+                        name: name.clone(),
+                        reason: format!("wait of {v} cycles out of range"),
+                    });
+                }
+                if v > 0 {
+                    out.wait(v as u32);
+                }
+            }
+            KernelOp::GateParam {
+                name,
+                default,
+                qubits,
+            } => {
+                let gate = match bindings.get(name) {
+                    Some(ParamValue::Gate(g)) => g.clone(),
+                    Some(ParamValue::Int(v)) => {
+                        return Err(CompileError::BadBinding {
+                            name: name.clone(),
+                            reason: format!("expected a gate name, got immediate {v}"),
+                        })
+                    }
+                    None => default.clone(),
+                };
+                out.gate_multi(gate, qubits);
+            }
+            KernelOp::MeasureParam { name, qubits, rd } => {
+                let v = int_binding(name, -1)?;
+                if v < -1 || v > i64::from(u32::MAX) {
+                    return Err(CompileError::BadBinding {
+                        name: name.clone(),
+                        reason: format!("MPG duration {v} out of range"),
+                    });
+                }
+                out.push_op(KernelOp::Measure {
+                    qubits: qubits.clone(),
+                    rd: *rd,
+                    duration: (v >= 0).then_some(v as u32),
+                });
+            }
+            KernelOp::MovParam { name, rd, default } => {
+                let v = int_binding(name, i64::from(*default))?;
+                if i32::try_from(v).is_err() {
+                    return Err(CompileError::BadBinding {
+                        name: name.clone(),
+                        reason: format!("mov immediate {v} out of range"),
+                    });
+                }
+                out.mov_imm(*rd, v as i32);
+            }
+            concrete => {
+                out.push_op(concrete.clone());
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -313,6 +627,208 @@ mod tests {
             .emit(&GateSet::paper_default(), &CompilerConfig::default())
             .unwrap();
         assert!(text.contains("MD {q0}, r7"));
+    }
+
+    fn t1_style_template() -> QuantumProgram {
+        let mut p = QuantumProgram::new("t1-template");
+        let mut k = Kernel::new("point");
+        k.init().gate("X180", 0).wait_param("tau", 0).measure(0);
+        p.add_kernel(k);
+        p
+    }
+
+    #[test]
+    fn compile_template_registers_slots() {
+        let p = t1_style_template();
+        let t = p
+            .compile_template(&GateSet::paper_default(), &CompilerConfig::default())
+            .unwrap();
+        let axis = t.axis("tau").expect("tau axis");
+        assert_eq!(axis.sites, 1);
+        // mov, QNopReg, Pulse, Wait(gate), Wait(tau) → instruction 4.
+        let slot = &t.program().slots()[0];
+        assert_eq!(slot.insn_index, 4);
+        assert_eq!(slot.word_offset, 4);
+    }
+
+    #[test]
+    fn template_patch_equals_per_point_compile() {
+        // The tentpole property at the compiler level: patching the
+        // template to τ yields the same instructions as re-compiling with
+        // the binding (for τ > 0, where no Wait is elided).
+        let p = t1_style_template();
+        let gates = GateSet::paper_default();
+        let cfg = CompilerConfig::default();
+        let template = p.compile_template(&gates, &cfg).unwrap();
+        for tau in [4i64, 800, 40_000] {
+            let patched = template.instantiate(&[("tau", tau)]).unwrap();
+            let bound = p
+                .compile_bound(&gates, &cfg, &Bindings::new().int("tau", tau))
+                .unwrap();
+            assert_eq!(patched.instructions(), bound.instructions(), "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn bound_wait_zero_is_elided() {
+        let p = t1_style_template();
+        let gates = GateSet::paper_default();
+        let cfg = CompilerConfig::default();
+        let bound = p
+            .compile_bound(&gates, &cfg, &Bindings::new().int("tau", 0))
+            .unwrap();
+        // Matches the hand-rolled `if d > 0 { k.wait(d) }` kernel exactly.
+        let mut hand = QuantumProgram::new("hand");
+        let mut k = Kernel::new("point");
+        k.init().gate("X180", 0).measure(0);
+        hand.add_kernel(k);
+        let want = hand.compile(&gates, &cfg).unwrap();
+        assert_eq!(bound.instructions(), want.instructions());
+    }
+
+    #[test]
+    fn unrolled_matches_hand_rolled_sweep() {
+        // compile_unrolled over the τ axis reproduces the legacy
+        // one-kernel-per-point collector program bit for bit.
+        let gates = GateSet::paper_default();
+        let cfg = CompilerConfig {
+            averages: 3,
+            ..CompilerConfig::default()
+        };
+        let delays = [0u32, 400, 800];
+        let points: Vec<Bindings> = delays
+            .iter()
+            .map(|&d| Bindings::new().int("tau", i64::from(d)))
+            .collect();
+        let unrolled = t1_style_template()
+            .compile_unrolled(&gates, &cfg, &points)
+            .unwrap();
+        let mut hand = QuantumProgram::new("hand");
+        for (i, &d) in delays.iter().enumerate() {
+            let mut k = Kernel::new(format!("delay{i}"));
+            k.init().gate("X180", 0);
+            if d > 0 {
+                k.wait(d);
+            }
+            k.measure(0);
+            hand.add_kernel(k);
+        }
+        let want = hand.compile(&gates, &cfg).unwrap();
+        assert_eq!(unrolled.instructions(), want.instructions());
+    }
+
+    #[test]
+    fn unrolling_uniquifies_labels() {
+        // A feedback-style kernel with a label and a branch must unroll
+        // over several points without duplicate-label errors, and each
+        // copy's branch must target its own label.
+        let mut p = QuantumProgram::new("labelled");
+        let mut k = Kernel::new("fb");
+        k.init()
+            .gate("X180", 0)
+            .wait_param("tau", 0)
+            .measure_into(0, Reg::r(7))
+            .branch_eq(Reg::r(7), Reg::r(0), "skip")
+            .gate("X180", 0)
+            .label("skip");
+        p.add_kernel(k);
+        let gates = GateSet::paper_default();
+        let cfg = CompilerConfig {
+            averages: 2,
+            ..CompilerConfig::default()
+        };
+        let points: Vec<Bindings> = [4i64, 8]
+            .iter()
+            .map(|&d| Bindings::new().int("tau", d))
+            .collect();
+        let prog = p.compile_unrolled(&gates, &cfg, &points).expect("unrolls");
+        assert!(prog.label("skip__p0").is_some());
+        assert!(prog.label("skip__p1").is_some());
+    }
+
+    #[test]
+    fn gate_param_patches_the_uop() {
+        let mut p = QuantumProgram::new("allxy-like");
+        let mut k = Kernel::new("pair");
+        k.init()
+            .gate_param("a", "I", 0)
+            .gate_param("b", "I", 0)
+            .measure(0);
+        p.add_kernel(k);
+        let gates = GateSet::paper_default();
+        let cfg = CompilerConfig::default();
+        let template = p.compile_template(&gates, &cfg).unwrap();
+        assert_eq!(template.axes().len(), 2);
+        let patches = p
+            .resolve_patches(&gates, &Bindings::new().gate("a", "X180").gate("b", "Y90"))
+            .unwrap();
+        let patched = template
+            .instantiate(
+                &patches
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), *v))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        let bound = p
+            .compile_bound(
+                &gates,
+                &cfg,
+                &Bindings::new().gate("a", "X180").gate("b", "Y90"),
+            )
+            .unwrap();
+        assert_eq!(patched.instructions(), bound.instructions());
+    }
+
+    #[test]
+    fn gate_param_rejects_duration_mismatch() {
+        let mut p = QuantumProgram::new("mixed");
+        let mut k = Kernel::new("k");
+        k.gate_param("g", "I", 0);
+        p.add_kernel(k);
+        let gates = GateSet::paper_two_qubit();
+        let err = p
+            .resolve_patches(&gates, &Bindings::new().gate("g", "CZ"))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::GateDurationMismatch {
+                expected: 4,
+                got: 8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn measure_param_patches_the_window() {
+        let mut p = QuantumProgram::new("readout-like");
+        let mut k = Kernel::new("k");
+        k.init().measure_param("window", 0);
+        p.add_kernel(k);
+        let gates = GateSet::paper_default();
+        let cfg = CompilerConfig::default();
+        let template = p.compile_template(&gates, &cfg).unwrap();
+        let patched = template.instantiate(&[("window", 40)]).unwrap();
+        let bound = p
+            .compile_bound(&gates, &cfg, &Bindings::new().int("window", 40))
+            .unwrap();
+        assert_eq!(patched.instructions(), bound.instructions());
+    }
+
+    #[test]
+    fn bad_bindings_are_typed_errors() {
+        let p = t1_style_template();
+        let gates = GateSet::paper_default();
+        let cfg = CompilerConfig::default();
+        assert!(matches!(
+            p.compile_bound(&gates, &cfg, &Bindings::new().gate("tau", "X90")),
+            Err(CompileError::BadBinding { .. })
+        ));
+        assert!(matches!(
+            p.compile_bound(&gates, &cfg, &Bindings::new().int("tau", -4)),
+            Err(CompileError::BadBinding { .. })
+        ));
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub enum KernelOp {
         qubits: Vec<usize>,
         /// Destination register.
         rd: Option<Reg>,
+        /// MPG duration override in cycles (`None` uses the gate set's
+        /// `measure_duration`).
+        duration: Option<u32>,
     },
     /// One measurement pulse over all the qubits, then one discrimination
     /// per qubit into its own register (the syndrome-readout shape:
@@ -79,6 +82,94 @@ pub enum KernelOp {
         /// Immediate value.
         imm: i32,
     },
+    /// An idle whose duration is a named sweep parameter: compiled to a
+    /// `Wait` with a registered patch slot (template compilation), or to
+    /// the bound value — eliding the instruction entirely when the bound
+    /// value is 0, matching the hand-written `if d > 0 { wait(d) }` idiom.
+    WaitParam {
+        /// Sweep-parameter name.
+        name: String,
+        /// Duration emitted when the parameter is unbound (templates).
+        default: u32,
+    },
+    /// A single-qubit-mask gate whose identity is a named sweep parameter:
+    /// compiled to a `Pulse` whose µ-op field carries a patch slot. Every
+    /// gate patched into the slot must share the default gate's duration
+    /// (the emitted `Wait` is fixed at compile time).
+    GateParam {
+        /// Sweep-parameter name.
+        name: String,
+        /// Gate emitted when the parameter is unbound (templates).
+        default: String,
+        /// Target qubits.
+        qubits: Vec<usize>,
+    },
+    /// A measurement whose MPG duration is a named sweep parameter.
+    MeasureParam {
+        /// Sweep-parameter name.
+        name: String,
+        /// Target qubits.
+        qubits: Vec<usize>,
+        /// Destination register.
+        rd: Option<Reg>,
+    },
+    /// `mov rd, imm` whose immediate is a named sweep parameter.
+    MovParam {
+        /// Sweep-parameter name.
+        name: String,
+        /// Destination register.
+        rd: Reg,
+        /// Immediate emitted when the parameter is unbound (templates).
+        default: i32,
+    },
+}
+
+/// A value bound to a sweep parameter when instantiating parameterized
+/// kernels for one sweep point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamValue {
+    /// An immediate: wait cycles, MPG duration, or `mov` immediate.
+    Int(i64),
+    /// A gate name, for [`KernelOp::GateParam`] sites.
+    Gate(String),
+}
+
+/// Name → value bindings for one sweep point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bindings(Vec<(String, ParamValue)>);
+
+impl Bindings {
+    /// Empty bindings (every parameter keeps its default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds an immediate parameter (builder style).
+    pub fn int(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.0.push((name.into(), ParamValue::Int(value)));
+        self
+    }
+
+    /// Binds a gate parameter (builder style).
+    pub fn gate(mut self, name: impl Into<String>, gate: impl Into<String>) -> Self {
+        self.0.push((name.into(), ParamValue::Gate(gate.into())));
+        self
+    }
+
+    /// Looks up a binding (last write wins).
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.0.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The bindings, in insertion order.
+    pub fn entries(&self) -> &[(String, ParamValue)] {
+        &self.0
+    }
+
+    /// True when no parameter is bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
 }
 
 /// A kernel: a name plus its operations.
@@ -142,6 +233,7 @@ impl Kernel {
         self.ops.push(KernelOp::Measure {
             qubits: vec![qubit],
             rd: None,
+            duration: None,
         });
         self
     }
@@ -152,6 +244,7 @@ impl Kernel {
         self.ops.push(KernelOp::Measure {
             qubits: qubits.to_vec(),
             rd: None,
+            duration: None,
         });
         self
     }
@@ -161,6 +254,7 @@ impl Kernel {
         self.ops.push(KernelOp::Measure {
             qubits: vec![qubit],
             rd: Some(rd),
+            duration: None,
         });
         self
     }
@@ -227,9 +321,79 @@ impl Kernel {
         self
     }
 
+    /// Appends a parameterized wait (sweep axis `name`, e.g. the T1 τ).
+    pub fn wait_param(&mut self, name: impl Into<String>, default: u32) -> &mut Self {
+        self.ops.push(KernelOp::WaitParam {
+            name: name.into(),
+            default,
+        });
+        self
+    }
+
+    /// Appends a parameterized gate on one qubit (the µ-op is the sweep
+    /// axis, e.g. an AllXY pair slot).
+    pub fn gate_param(
+        &mut self,
+        name: impl Into<String>,
+        default: impl Into<String>,
+        qubit: usize,
+    ) -> &mut Self {
+        self.ops.push(KernelOp::GateParam {
+            name: name.into(),
+            default: default.into(),
+            qubits: vec![qubit],
+        });
+        self
+    }
+
+    /// Appends a measurement whose MPG duration is the sweep axis (e.g.
+    /// the readout integration window).
+    pub fn measure_param(&mut self, name: impl Into<String>, qubit: usize) -> &mut Self {
+        self.ops.push(KernelOp::MeasureParam {
+            name: name.into(),
+            qubits: vec![qubit],
+            rd: None,
+        });
+        self
+    }
+
+    /// Appends a parameterized `mov rd, imm`.
+    pub fn mov_param(&mut self, name: impl Into<String>, rd: Reg, default: i32) -> &mut Self {
+        self.ops.push(KernelOp::MovParam {
+            name: name.into(),
+            rd,
+            default,
+        });
+        self
+    }
+
+    /// Appends an already-built op (used by binding/unrolling machinery).
+    pub fn push_op(&mut self, op: KernelOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// True when any op is parameterized (a sweep axis).
+    pub fn has_params(&self) -> bool {
+        self.ops.iter().any(|op| {
+            matches!(
+                op,
+                KernelOp::WaitParam { .. }
+                    | KernelOp::GateParam { .. }
+                    | KernelOp::MeasureParam { .. }
+                    | KernelOp::MovParam { .. }
+            )
+        })
+    }
+
     /// The operations.
     pub fn ops(&self) -> &[KernelOp] {
         &self.ops
+    }
+
+    /// The operations, mutable (used by the unroller to rewrite labels).
+    pub fn ops_mut(&mut self) -> &mut [KernelOp] {
+        &mut self.ops
     }
 
     /// Number of operations.

@@ -33,7 +33,7 @@ pub mod qec;
 pub mod prelude {
     pub use crate::codegen::{CompileError, CompilerConfig, QuantumProgram};
     pub use crate::gateset::{GateSet, GateSpec};
-    pub use crate::kernel::{Kernel, KernelOp};
+    pub use crate::kernel::{Bindings, Kernel, KernelOp, ParamValue};
     pub use crate::qec::{
         data_reg, decode_lut, syndrome_reg, InjectedX, Layout, RepetitionCode, ZERO_REG,
     };

@@ -120,6 +120,9 @@ pub enum DeviceError {
         /// The latest cycle already committed for that qubit.
         last: u64,
     },
+    /// A template patch failed (unknown slot, field overflow, or field
+    /// mismatch).
+    Patch(quma_isa::template::PatchError),
     /// The run exceeded `max_host_cycles`.
     MaxCyclesExceeded(u64),
     /// No component can make progress but the run is not complete.
@@ -154,6 +157,7 @@ impl std::fmt::Display for DeviceError {
                 f,
                 "chip action on qubit {qubit} at cycle {at} precedes committed cycle {last}"
             ),
+            DeviceError::Patch(e) => write!(f, "template patch failed: {e}"),
             DeviceError::MaxCyclesExceeded(c) => write!(f, "exceeded max host cycles {c}"),
             DeviceError::Deadlock { cycle } => write!(f, "deadlock at host cycle {cycle}"),
         }
@@ -171,6 +175,12 @@ impl From<crate::exec::ExecError> for DeviceError {
 impl From<quma_isa::asm::AsmError> for DeviceError {
     fn from(e: quma_isa::asm::AsmError) -> Self {
         DeviceError::Assemble(e)
+    }
+}
+
+impl From<quma_isa::template::PatchError> for DeviceError {
+    fn from(e: quma_isa::template::PatchError) -> Self {
+        DeviceError::Patch(e)
     }
 }
 

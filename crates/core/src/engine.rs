@@ -14,7 +14,12 @@
 //!   the ordinary run reset) instead of reconstruction;
 //! * [`Session::run_shots_parallel`] shards a batch across per-thread
 //!   device clones with the same derived seeds, producing bit-identical
-//!   results to the sequential batch.
+//!   results to the sequential batch;
+//! * [`Session::load_template`] / [`Session::run_template_sweep`] /
+//!   [`Session::run_template_sweep_parallel`] drive compile-once
+//!   [`ProgramTemplate`]s the way real control stacks drive hardware:
+//!   upload once, rewrite immediate fields per sweep point (O(1) per
+//!   axis) instead of re-assembling a program per point.
 //!
 //! Determinism contract: shot `i` of a batch is bit-identical to a freshly
 //! built device whose config carries the seeds of [`SeedPlan::shot`]`(i)`
@@ -24,6 +29,8 @@ use crate::config::DeviceConfig;
 use crate::device::{Device, DeviceError, RunReport};
 use crossbeam::thread;
 use quma_isa::prelude::Program;
+use quma_isa::template::{PatchError, ProgramTemplate};
+use std::sync::Arc;
 
 /// The two per-shot random seeds: the chip's projection/readout RNG and
 /// the execution controller's instruction-jitter RNG.
@@ -63,6 +70,30 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
     splitmix64(base ^ index.wrapping_mul(0xA076_1D64_78BD_642F))
 }
 
+/// Rejects template sweeps whose points patch different axis sets (see
+/// [`TemplatePoint::patches`]): a skipped axis would inherit
+/// worker-dependent state, breaking sequential == parallel. Exposed so
+/// higher layers that drive template points themselves (e.g. the
+/// experiment harness's hook-aware sequential loop) enforce the same
+/// rule instead of copying it.
+pub fn validate_axis_sets(points: &[TemplatePoint]) -> Result<(), DeviceError> {
+    let Some(first) = points.first() else {
+        return Ok(());
+    };
+    let mut want: Vec<&str> = first.patches.iter().map(|(n, _)| n.as_str()).collect();
+    want.sort_unstable();
+    for (i, p) in points.iter().enumerate().skip(1) {
+        let mut got: Vec<&str> = p.patches.iter().map(|(n, _)| n.as_str()).collect();
+        got.sort_unstable();
+        if got != want {
+            return Err(DeviceError::Config(format!(
+                "template sweep point {i} patches axes {got:?}, expected {want:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl SeedPlan {
     /// A plan whose base seeds come from the device configuration.
     pub fn from_config(cfg: &DeviceConfig) -> Self {
@@ -88,10 +119,16 @@ impl SeedPlan {
 /// (per sweep point, per worker shard) is a pointer copy.
 #[derive(Debug, Clone)]
 pub struct LoadedProgram {
-    program: std::sync::Arc<Program>,
+    program: Arc<Program>,
 }
 
 impl LoadedProgram {
+    /// Wraps an already-shared program without copying it (sweeps that
+    /// deduplicate compiled programs hand the same `Arc` to many points).
+    pub fn from_arc(program: Arc<Program>) -> Self {
+        Self { program }
+    }
+
     /// The underlying instruction sequence.
     pub fn program(&self) -> &Program {
         &self.program
@@ -106,6 +143,55 @@ impl LoadedProgram {
     pub fn is_empty(&self) -> bool {
         self.program.len() == 0
     }
+}
+
+/// A template prepared for patch-per-point sweeps: the pristine program
+/// shared behind an [`Arc`] (cloning a `LoadedTemplate` for a worker
+/// shard copies a pointer plus one working program), and a private
+/// working copy whose slots are rewritten in place — no re-assembly, no
+/// re-encode of anything but the touched immediates.
+#[derive(Debug, Clone)]
+pub struct LoadedTemplate {
+    base: Arc<Program>,
+    working: Program,
+}
+
+impl LoadedTemplate {
+    /// The pristine template program (as compiled; never patched).
+    pub fn base(&self) -> &Program {
+        &self.base
+    }
+
+    /// The working copy in its current patch state.
+    pub fn working(&self) -> &Program {
+        &self.working
+    }
+
+    /// Patches every slot named `name` in the working copy; O(1) per
+    /// site.
+    pub fn patch(&mut self, name: &str, value: i64) -> Result<usize, PatchError> {
+        self.working.patch(name, value)
+    }
+
+    /// Restores the working copy to the pristine template (a full program
+    /// copy — only needed to *undo* patches, never between sweep points).
+    pub fn reset(&mut self) {
+        self.working = (*self.base).clone();
+    }
+}
+
+/// One point of a template sweep: the axis values to patch and the shot
+/// seeds to run with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplatePoint {
+    /// `(axis name, value)` pairs applied before the shot. Every point of
+    /// a sweep must patch the same set of axes (points only write the
+    /// slots they name, so a skipped axis would inherit whatever the
+    /// previous point on the same worker left behind — and sequential and
+    /// parallel sweeps stride points differently).
+    pub patches: Vec<(String, i64)>,
+    /// The shot seeds for this point.
+    pub seeds: ShotSeeds,
 }
 
 /// A batch of completed shots, in shot order.
@@ -208,7 +294,19 @@ impl Session {
     /// [`DeviceError::UnknownGate`] on the first shot).
     pub fn load(&self, program: &Program) -> LoadedProgram {
         LoadedProgram {
-            program: std::sync::Arc::new(program.clone()),
+            program: Arc::new(program.clone()),
+        }
+    }
+
+    /// Prepares a template for patch-per-point sweeps: one program copy
+    /// for the working state, the pristine original shared behind an
+    /// [`Arc`]. After loading, a whole sweep costs O(1)-word patches per
+    /// point — no assembler, no program reconstruction.
+    pub fn load_template(&self, template: &ProgramTemplate) -> LoadedTemplate {
+        let base = Arc::new(template.program().clone());
+        LoadedTemplate {
+            working: (*base).clone(),
+            base,
         }
     }
 
@@ -277,23 +375,32 @@ impl Session {
     /// (returned in point order) are bit-identical to it. Like
     /// [`Session::run_shots_parallel`], only the clones run — the owned
     /// device's RNG streams stay where they were.
+    ///
+    /// The point list is shared across workers behind one [`Arc`] (each
+    /// worker strides it by index) instead of materializing a per-worker
+    /// partition, and every point's program is already `Arc`-shared
+    /// inside its [`LoadedProgram`] — no instruction sequence is copied
+    /// anywhere in the fan-out.
     pub fn run_sweep_parallel(
         &mut self,
         points: &[(LoadedProgram, ShotSeeds)],
         threads: usize,
     ) -> Result<Vec<RunReport>, DeviceError> {
         let workers = threads.clamp(1, points.len().max(1));
+        let shared: Arc<[(LoadedProgram, ShotSeeds)]> = Arc::from(points.to_vec());
         let per_thread: Vec<Result<Vec<(usize, RunReport)>, DeviceError>> = thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|t| {
                     let mut device = self.device.clone();
-                    let points: Vec<(LoadedProgram, ShotSeeds)> =
-                        points.iter().skip(t).step_by(workers).cloned().collect();
+                    let points = Arc::clone(&shared);
                     s.spawn(move |_| {
-                        let mut out = Vec::with_capacity(points.len());
-                        for (k, (program, seeds)) in points.iter().enumerate() {
+                        let mut out = Vec::with_capacity(points.len().div_ceil(workers));
+                        let mut i = t;
+                        while i < points.len() {
+                            let (program, seeds) = &points[i];
                             device.reseed(seeds.chip, seeds.jitter);
-                            out.push((t + k * workers, device.run(program.program())?));
+                            out.push((i, device.run(program.program())?));
+                            i += workers;
                         }
                         Ok(out)
                     })
@@ -302,6 +409,92 @@ impl Session {
             handles
                 .into_iter()
                 .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("thread scope");
+        let mut indexed = Vec::with_capacity(points.len());
+        for r in per_thread {
+            indexed.extend(r?);
+        }
+        indexed.sort_by_key(|&(i, _)| i);
+        Ok(indexed.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// Runs a loaded template once with explicit seeds, in its current
+    /// patch state.
+    pub fn run_template(
+        &mut self,
+        template: &LoadedTemplate,
+        seeds: ShotSeeds,
+    ) -> Result<RunReport, DeviceError> {
+        self.device.reseed(seeds.chip, seeds.jitter);
+        self.device.run(template.working())
+    }
+
+    /// Runs a patch-per-point sweep: for each point, rewrites the named
+    /// slots of the template's working copy in place (O(1) per axis — no
+    /// re-assembly, no program rebuild) and runs one shot with the
+    /// point's seeds. Every point must patch the same set of axes; a
+    /// mismatch against point 0 is rejected before anything runs.
+    pub fn run_template_sweep(
+        &mut self,
+        template: &mut LoadedTemplate,
+        points: &[TemplatePoint],
+    ) -> Result<Vec<RunReport>, DeviceError> {
+        validate_axis_sets(points)?;
+        let mut reports = Vec::with_capacity(points.len());
+        for point in points {
+            for (name, value) in &point.patches {
+                template.patch(name, *value)?;
+            }
+            reports.push(self.run_template(template, point.seeds)?);
+        }
+        Ok(reports)
+    }
+
+    /// Runs a template sweep sharded across `threads` worker threads.
+    /// Workers share the point list behind an [`Arc`] and fork their
+    /// per-worker program from the template's *current working state*
+    /// (one clone per worker, not per point), so patches applied before
+    /// the sweep — e.g. fixing a non-swept axis — are honored exactly as
+    /// in the sequential [`Session::run_template_sweep`]. Point `i` runs
+    /// with the same program state and seeds as in the sequential sweep,
+    /// so the reports (in point order) are bit-identical to it.
+    pub fn run_template_sweep_parallel(
+        &mut self,
+        template: &LoadedTemplate,
+        points: &[TemplatePoint],
+        threads: usize,
+    ) -> Result<Vec<RunReport>, DeviceError> {
+        validate_axis_sets(points)?;
+        let workers = threads.clamp(1, points.len().max(1));
+        let shared: Arc<[TemplatePoint]> = Arc::from(points.to_vec());
+        let start = Arc::new(template.working().clone());
+        let per_thread: Vec<Result<Vec<(usize, RunReport)>, DeviceError>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    let mut device = self.device.clone();
+                    let points = Arc::clone(&shared);
+                    let mut working = (*start).clone();
+                    s.spawn(move |_| {
+                        let mut out = Vec::with_capacity(points.len().div_ceil(workers));
+                        let mut i = t;
+                        while i < points.len() {
+                            let point = &points[i];
+                            for (name, value) in &point.patches {
+                                working.patch(name, *value)?;
+                            }
+                            device.reseed(point.seeds.chip, point.seeds.jitter);
+                            out.push((i, device.run(&working)?));
+                            i += workers;
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("template worker panicked"))
                 .collect()
         })
         .expect("thread scope");
@@ -339,8 +532,9 @@ impl Session {
             let handles: Vec<_> = (0..workers)
                 .map(|t| {
                     // The vendored crossbeam subset requires 'static
-                    // closures, so each worker owns a device clone and a
-                    // program clone outright.
+                    // closures, so each worker owns a device clone; the
+                    // program is shared — a `LoadedProgram` clone is an
+                    // `Arc` pointer copy, never an instruction copy.
                     let mut device = self.device.clone();
                     let program = program.clone();
                     s.spawn(move |_| {
@@ -547,6 +741,179 @@ mod tests {
         let batch = session.run_shots(&loaded, 3).unwrap();
         assert_eq!(batch.total_md_results(), 3);
         assert!((batch.ones_fraction(0) - 1.0).abs() < f64::EPSILON);
+    }
+
+    fn tau_template() -> ProgramTemplate {
+        let src = "\
+            Wait 40000\n\
+            Pulse {q0}, X180\n\
+            Wait 4\n\
+            Wait 4\n\
+            MPG {q0}, 300\n\
+            MD {q0}, r7\n\
+            halt\n";
+        let mut program = quma_isa::asm::Assembler::new().assemble(src).unwrap();
+        program
+            .add_slot("tau", 3, quma_isa::template::PatchField::WaitInterval)
+            .unwrap();
+        ProgramTemplate::new(program)
+    }
+
+    fn tau_source(tau: u32) -> String {
+        format!(
+            "Wait 40000\n\
+             Pulse {{q0}}, X180\n\
+             Wait 4\n\
+             Wait {tau}\n\
+             MPG {{q0}}, 300\n\
+             MD {{q0}}, r7\n\
+             halt\n"
+        )
+    }
+
+    fn tau_points(session: &Session, taus: &[u32]) -> Vec<TemplatePoint> {
+        let plan = session.seed_plan();
+        taus.iter()
+            .enumerate()
+            .map(|(i, &tau)| TemplatePoint {
+                patches: vec![("tau".to_string(), i64::from(tau))],
+                seeds: plan.shot(i as u64),
+            })
+            .collect()
+    }
+
+    const TAUS: [u32; 5] = [4, 400, 1200, 4000, 12000];
+
+    #[test]
+    fn template_sweep_matches_per_point_assembly() {
+        // The tentpole contract: patching the loaded template per point
+        // is bit-identical to assembling a fresh program per point.
+        let mut session = Session::new(config()).unwrap();
+        let mut template = session.load_template(&tau_template());
+        let points = tau_points(&session, &TAUS);
+        let got = session.run_template_sweep(&mut template, &points).unwrap();
+        let per_point: Vec<(LoadedProgram, ShotSeeds)> = TAUS
+            .iter()
+            .zip(points.iter())
+            .map(|(&tau, p)| (session.load_assembly(&tau_source(tau)).unwrap(), p.seeds))
+            .collect();
+        let want = session.run_sweep(&per_point).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (i, (a, b)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(a.registers, b.registers, "point {i}");
+            assert_eq!(a.md_results, b.md_results, "point {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_template_sweep_matches_sequential() {
+        let mut session = Session::new(config()).unwrap();
+        let mut template = session.load_template(&tau_template());
+        let points = tau_points(&session, &TAUS);
+        let sequential = session.run_template_sweep(&mut template, &points).unwrap();
+        let template = session.load_template(&tau_template());
+        let parallel = session
+            .run_template_sweep_parallel(&template, &points, 3)
+            .unwrap();
+        for (i, (a, b)) in sequential.iter().zip(parallel.iter()).enumerate() {
+            assert_eq!(a.registers, b.registers, "point {i}");
+            assert_eq!(a.md_results, b.md_results, "point {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_honors_pre_sweep_patches() {
+        // Patch a second, non-swept axis before the sweep: both paths
+        // must run every point with that value (workers fork from the
+        // working state, not the pristine base).
+        let mut program = quma_isa::asm::Assembler::new()
+            .assemble(
+                "Wait 40000\n\
+                 Pulse {q0}, X180\n\
+                 Wait 4\n\
+                 Wait 4\n\
+                 MPG {q0}, 300\n\
+                 MD {q0}, r7\n\
+                 halt\n",
+            )
+            .unwrap();
+        program
+            .add_slot("tau", 3, quma_isa::template::PatchField::WaitInterval)
+            .unwrap();
+        program
+            .add_slot("window", 4, quma_isa::template::PatchField::MpgDuration)
+            .unwrap();
+        let template = ProgramTemplate::new(program);
+        let mut session = Session::new(config()).unwrap();
+        let points = tau_points(&session, &TAUS);
+        let mut loaded = session.load_template(&template);
+        loaded.patch("window", 24).unwrap();
+        let sequential = session.run_template_sweep(&mut loaded, &points).unwrap();
+        let mut loaded = session.load_template(&template);
+        loaded.patch("window", 24).unwrap();
+        let parallel = session
+            .run_template_sweep_parallel(&loaded, &points, 3)
+            .unwrap();
+        for (i, (a, b)) in sequential.iter().zip(parallel.iter()).enumerate() {
+            assert_eq!(a.md_results, b.md_results, "point {i}");
+        }
+        // And the shortened window really took effect versus the default.
+        let mut loaded = session.load_template(&template);
+        let default_window = session.run_template_sweep(&mut loaded, &points).unwrap();
+        assert_ne!(
+            sequential[0].stats.host_cycles, default_window[0].stats.host_cycles,
+            "the pre-sweep patch must change the run"
+        );
+    }
+
+    #[test]
+    fn template_sweep_rejects_mismatched_axes() {
+        let mut session = Session::new(config()).unwrap();
+        let mut template = session.load_template(&tau_template());
+        let mut points = tau_points(&session, &TAUS);
+        points[2].patches.clear();
+        let err = session
+            .run_template_sweep(&mut template, &points)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::Config(_)));
+        let err = session
+            .run_template_sweep_parallel(&template, &points, 2)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::Config(_)));
+    }
+
+    #[test]
+    fn template_patch_errors_surface_as_device_errors() {
+        let mut session = Session::new(config()).unwrap();
+        let mut template = session.load_template(&tau_template());
+        let seeds = session.seed_plan().shot(0);
+        let points = vec![TemplatePoint {
+            patches: vec![("nope".to_string(), 4)],
+            seeds,
+        }];
+        let err = session
+            .run_template_sweep(&mut template, &points)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::Patch(quma_isa::template::PatchError::UnknownSlot(_))
+        ));
+    }
+
+    #[test]
+    fn loaded_template_reset_restores_the_base() {
+        let session = Session::new(config()).unwrap();
+        let mut template = session.load_template(&tau_template());
+        template.patch("tau", 8000).unwrap();
+        assert_ne!(
+            template.working().instructions(),
+            template.base().instructions()
+        );
+        template.reset();
+        assert_eq!(
+            template.working().instructions(),
+            template.base().instructions()
+        );
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! end-to-end validation of the whole control microarchitecture.
 
 use crate::fit::FitError;
-use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, Device, DeviceConfig, Session, TraceLevel};
+use crate::harness::{self, ExecutionMode, Experiment, ExperimentError, SweepAxes, SweepPoint};
+use quma_compiler::prelude::{Bindings, CompilerConfig, Kernel, QuantumProgram};
+use quma_core::prelude::{ChipProfile, Device, DeviceConfig, RunReport, Session, TraceLevel};
 use quma_qsim::gates::PrimitiveGate;
 use quma_qsim::state::DensityMatrix;
 
@@ -133,46 +134,98 @@ pub struct AllxyResult {
     pub points_per_pair: usize,
 }
 
-/// Builds the Algorithm 3 program for the configuration.
-pub fn build_program(cfg: &AllxyConfig) -> quma_isa::program::Program {
-    let mut program = QuantumProgram::new("AllXY");
-    let reps = if cfg.double_points { 2 } else { 1 };
-    for (i, [a, b]) in pairs().iter().enumerate() {
-        for r in 0..reps {
-            let mut k = Kernel::new(format!("pair{i}-{r}"));
-            k.init();
-            k.gate(a.mnemonic(), 0);
-            if let PulseError::TimingSkewCycles(skew) = cfg.error {
-                if skew > 0 {
-                    k.wait(skew);
-                }
+/// The AllXY experiment: one parameterized kernel whose two gate slots
+/// (`a`, `b`) are the sweep axes, unrolled over the 21 (or 42) pairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Allxy;
+
+impl Allxy {
+    fn bindings(cfg: &AllxyConfig) -> Vec<Bindings> {
+        let reps = if cfg.double_points { 2 } else { 1 };
+        let mut out = Vec::with_capacity(21 * reps);
+        for [a, b] in pairs() {
+            for _ in 0..reps {
+                out.push(
+                    Bindings::new()
+                        .gate("a", a.mnemonic())
+                        .gate("b", b.mnemonic()),
+                );
             }
-            k.gate(b.mnemonic(), 0);
-            k.measure(0);
-            program.add_kernel(k);
         }
+        out
     }
-    let ccfg = CompilerConfig {
-        init_cycles: cfg.init_cycles,
-        averages: cfg.averages,
-        ..CompilerConfig::default()
-    };
-    program
-        .compile(&GateSet::paper_default(), &ccfg)
-        .expect("AllXY program uses only Table 1 gates")
 }
 
-/// Builds the device for the configuration, applying the error injection.
-pub fn build_device(cfg: &AllxyConfig) -> Device {
-    let k = if cfg.double_points { 42 } else { 21 };
-    let dev_cfg = DeviceConfig {
-        chip: cfg.chip,
-        chip_seed: cfg.seed,
-        collector_k: k,
-        trace: TraceLevel::Off,
-        ..DeviceConfig::default()
-    };
-    let mut dev = Device::new(dev_cfg).expect("valid config");
+impl Experiment for Allxy {
+    type Config = AllxyConfig;
+    type Output = AllxyResult;
+
+    fn name(&self) -> &'static str {
+        "allxy"
+    }
+
+    fn device_config(&self, cfg: &AllxyConfig) -> DeviceConfig {
+        let k = if cfg.double_points { 42 } else { 21 };
+        DeviceConfig {
+            chip: cfg.chip,
+            chip_seed: cfg.seed,
+            collector_k: k,
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn prepare(&self, cfg: &AllxyConfig, session: &mut Session) -> Result<(), ExperimentError> {
+        inject_error(cfg, session.device_mut());
+        Ok(())
+    }
+
+    fn program(&self, cfg: &AllxyConfig) -> Result<QuantumProgram, ExperimentError> {
+        let skew = match cfg.error {
+            PulseError::TimingSkewCycles(skew) => skew,
+            _ => 0,
+        };
+        let mut program = QuantumProgram::new("AllXY");
+        let mut k = Kernel::new("pair");
+        k.init()
+            .gate_param("a", "I", 0)
+            .wait_param("skew", skew)
+            .gate_param("b", "I", 0)
+            .measure(0);
+        program.add_kernel(k);
+        Ok(program)
+    }
+
+    fn compiler_config(&self, cfg: &AllxyConfig) -> CompilerConfig {
+        CompilerConfig {
+            init_cycles: cfg.init_cycles,
+            averages: cfg.averages,
+            ..CompilerConfig::default()
+        }
+    }
+
+    fn axes(&self, cfg: &AllxyConfig) -> Result<SweepAxes, ExperimentError> {
+        let ppp = if cfg.double_points { 2 } else { 1 };
+        let points = Self::bindings(cfg)
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| SweepPoint::bound((i / ppp) as f64, b))
+            .collect();
+        Ok(SweepAxes::new(points, ExecutionMode::Collector))
+    }
+
+    fn analyze(
+        &self,
+        cfg: &AllxyConfig,
+        _axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<AllxyResult, ExperimentError> {
+        let raw = reports[0].collector_averages[0].clone();
+        Ok(analyze(&raw, cfg.double_points))
+    }
+}
+
+fn inject_error(cfg: &AllxyConfig, dev: &mut Device) {
     match cfg.error {
         PulseError::None | PulseError::TimingSkewCycles(_) => {}
         PulseError::AmplitudeScale(s) => {
@@ -183,6 +236,25 @@ pub fn build_device(cfg: &AllxyConfig) -> Device {
             dev.chip_mut().qubit_mut(0).transmon.params_mut().detuning = d;
         }
     }
+}
+
+/// Builds the Algorithm 3 program for the configuration.
+pub fn build_program(cfg: &AllxyConfig) -> quma_isa::program::Program {
+    let exp = Allxy;
+    exp.program(cfg)
+        .expect("AllXY program uses only Table 1 gates")
+        .compile_unrolled(
+            &exp.gates(cfg),
+            &exp.compiler_config(cfg),
+            &Allxy::bindings(cfg),
+        )
+        .expect("AllXY program uses only Table 1 gates")
+}
+
+/// Builds the device for the configuration, applying the error injection.
+pub fn build_device(cfg: &AllxyConfig) -> Device {
+    let mut dev = Device::new(Allxy.device_config(cfg)).expect("valid config");
+    inject_error(cfg, &mut dev);
     dev
 }
 
@@ -195,12 +267,8 @@ pub fn build_session(cfg: &AllxyConfig) -> Session {
 
 /// Runs the full experiment: program generation, one session run,
 /// calibration rescaling, and deviation extraction.
-pub fn run(cfg: &AllxyConfig) -> AllxyResult {
-    let mut session = build_session(cfg);
-    let program = session.load(&build_program(cfg));
-    let report = session.run(&program).expect("AllXY runs to completion");
-    let raw = report.collector_averages[0].clone();
-    analyze(&raw, cfg.double_points)
+pub fn run(cfg: &AllxyConfig) -> Result<AllxyResult, ExperimentError> {
+    harness::run(&Allxy, cfg)
 }
 
 /// Rescales raw collector averages using the paper's calibration points
@@ -305,7 +373,7 @@ mod tests {
             averages: 64,
             ..AllxyConfig::default()
         };
-        let result = run(&cfg);
+        let result = run(&cfg).expect("AllXY runs to completion");
         assert_eq!(result.fidelity.len(), 42);
         assert!(
             result.deviation < 0.08,

@@ -7,10 +7,20 @@
 //! `p₁(s) = ½ − ½·cos(π·k·s)` where `k` is the true rotation fraction of
 //! the nominal π pulse. Fitting `k` yields the amplitude correction `1/k`
 //! that re-calibrates the library.
+//!
+//! Rabi is the harness's device-mutating experiment: every sweep point
+//! re-uploads a scaled pulse library through the
+//! [`Experiment::before_point`] hook (which is why it always runs
+//! sequentially — sharded workers could not order the uploads).
 
-use crate::fit::{levenberg_marquardt, FitError};
+use crate::fit::levenberg_marquardt;
+use crate::harness::{self, ExecutionMode, Experiment, ExperimentError, SweepAxes, SweepPoint};
 use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, DeviceConfig, Session, ShotSeeds, TraceLevel};
+use quma_core::prelude::{
+    ChipProfile, DeviceConfig, PulseLibrary, RunReport, Session, ShotSeeds, TraceLevel,
+};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Rabi-calibration configuration.
 #[derive(Debug, Clone)]
@@ -55,6 +65,112 @@ impl RabiResult {
     }
 }
 
+/// The Rabi experiment against a library secretly miscalibrated by
+/// `miscalibration` (1.0 = perfect).
+#[derive(Debug)]
+pub struct Rabi {
+    /// The hidden amplitude miscalibration the sweep should recover.
+    pub miscalibration: f64,
+    /// The pristine calibrated library, captured in
+    /// [`Experiment::prepare`] so every point rescales the original, not
+    /// the previously uploaded copy.
+    base_library: RefCell<Option<PulseLibrary>>,
+}
+
+impl Rabi {
+    /// A Rabi experiment with the given hidden miscalibration.
+    pub fn new(miscalibration: f64) -> Self {
+        Self {
+            miscalibration,
+            base_library: RefCell::new(None),
+        }
+    }
+}
+
+impl Experiment for Rabi {
+    type Config = RabiConfig;
+    type Output = RabiResult;
+
+    fn name(&self) -> &'static str {
+        "rabi"
+    }
+
+    fn device_config(&self, cfg: &RabiConfig) -> DeviceConfig {
+        DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: cfg.seed,
+            collector_k: 1,
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn prepare(&self, _cfg: &RabiConfig, session: &mut Session) -> Result<(), ExperimentError> {
+        *self.base_library.borrow_mut() = Some(session.device().ctpg(0).library().clone());
+        Ok(())
+    }
+
+    fn axes(&self, cfg: &RabiConfig) -> Result<SweepAxes, ExperimentError> {
+        let program = single_x180_program(cfg);
+        let shared = Arc::new(program);
+        let jitter = self.device_config(cfg).jitter_seed;
+        let points = cfg
+            .scales
+            .iter()
+            .enumerate()
+            .map(|(i, &scale)| SweepPoint {
+                x: scale,
+                seeds: Some(ShotSeeds {
+                    chip: cfg.seed.wrapping_add(i as u64),
+                    jitter,
+                }),
+                program: Some(Arc::clone(&shared)),
+                ..SweepPoint::default()
+            })
+            .collect();
+        Ok(SweepAxes::new(points, ExecutionMode::ProgramSweep))
+    }
+
+    fn mutates_per_point(&self) -> bool {
+        true
+    }
+
+    fn before_point(
+        &self,
+        cfg: &RabiConfig,
+        session: &mut Session,
+        index: usize,
+    ) -> Result<(), ExperimentError> {
+        let base = self.base_library.borrow();
+        let base = base.as_ref().ok_or_else(|| {
+            ExperimentError::Config("Rabi base library missing (prepare not run)".into())
+        })?;
+        let scale = cfg.scales[index] * self.miscalibration;
+        session
+            .device_mut()
+            .ctpg_mut(0)
+            .upload(base.with_amplitude_scale(scale));
+        Ok(())
+    }
+
+    fn analyze(
+        &self,
+        cfg: &RabiConfig,
+        _axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<RabiResult, ExperimentError> {
+        let p1: Vec<f64> = reports.iter().map(crate::stats::ones_fraction).collect();
+        // p₁(s) = ½ − ½·cos(π·k·s), one parameter.
+        let model = |s: f64, p: &[f64]| 0.5 - 0.5 * (std::f64::consts::PI * p[0].abs() * s).cos();
+        let fit = levenberg_marquardt(&cfg.scales, &p1, model, &[1.0])?;
+        Ok(RabiResult {
+            scales: cfg.scales.clone(),
+            p1,
+            k: fit.params[0].abs(),
+        })
+    }
+}
+
 fn single_x180_program(cfg: &RabiConfig) -> quma_isa::program::Program {
     let mut program = QuantumProgram::new("rabi");
     let mut k = Kernel::new("x180");
@@ -74,47 +190,22 @@ fn single_x180_program(cfg: &RabiConfig) -> quma_isa::program::Program {
 /// miscalibrated by `miscalibration` (1.0 = perfect), and fits `k`.
 ///
 /// `k ≈ miscalibration` when the sweep covers enough of the fringe.
-pub fn run(cfg: &RabiConfig, miscalibration: f64) -> Result<RabiResult, FitError> {
-    let dev_cfg = DeviceConfig {
-        chip: ChipProfile::Paper,
-        chip_seed: cfg.seed,
-        collector_k: 1,
-        trace: TraceLevel::Off,
-        ..DeviceConfig::default()
-    };
-    let mut session = Session::new(dev_cfg).expect("valid config");
-    let jitter = session.device().config().jitter_seed;
-    // The pristine calibrated library: every sweep point rescales this
-    // copy, never the previously uploaded one.
-    let base_library = session.device().ctpg(0).library().clone();
-    let program = session.load(&single_x180_program(cfg));
-    let mut p1 = Vec::with_capacity(cfg.scales.len());
-    for (i, &scale) in cfg.scales.iter().enumerate() {
-        session
-            .device_mut()
-            .ctpg_mut(0)
-            .upload(base_library.with_amplitude_scale(scale * miscalibration));
-        let seeds = ShotSeeds {
-            chip: cfg.seed.wrapping_add(i as u64),
-            jitter,
-        };
-        let report = session.run_shot(&program, seeds).expect("runs");
-        let ones = report.md_results.iter().filter(|m| m.bit == 1).count();
-        p1.push(ones as f64 / report.md_results.len().max(1) as f64);
-    }
-    // p₁(s) = ½ − ½·cos(π·k·s), one parameter.
-    let model = |s: f64, p: &[f64]| 0.5 - 0.5 * (std::f64::consts::PI * p[0].abs() * s).cos();
-    let fit = levenberg_marquardt(&cfg.scales, &p1, model, &[1.0])?;
-    Ok(RabiResult {
-        scales: cfg.scales.clone(),
-        p1,
-        k: fit.params[0].abs(),
-    })
+pub fn run(cfg: &RabiConfig, miscalibration: f64) -> Result<RabiResult, ExperimentError> {
+    harness::run(&Rabi::new(miscalibration), cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharding_a_device_mutating_experiment_is_rejected() {
+        // Rabi re-uploads the pulse library per point (before_point);
+        // the harness must refuse to shard it rather than silently skip
+        // the uploads and return a flat, meaningless curve.
+        let err = harness::run_parallel(&Rabi::new(0.9), &RabiConfig::default(), 4).unwrap_err();
+        assert!(matches!(err, ExperimentError::Config(_)), "{err}");
+    }
 
     #[test]
     fn calibrated_library_fits_k_near_one() {
@@ -163,11 +254,13 @@ mod tests {
         let broken = run_allxy(&AllxyConfig {
             error: PulseError::AmplitudeScale(miscal),
             ..base.clone()
-        });
+        })
+        .expect("AllXY runs");
         let repaired = run_allxy(&AllxyConfig {
             error: PulseError::AmplitudeScale(miscal * rabi.correction()),
             ..base
-        });
+        })
+        .expect("AllXY runs");
         assert!(
             repaired.deviation < broken.deviation * 0.6,
             "correction must repair the staircase: {} -> {}",

@@ -9,10 +9,11 @@
 //! it — EXPERIMENTS.md discusses the difference from slow-noise-limited
 //! hardware.
 
-use crate::fit::{fit_exponential_decay_fixed, FitError};
-use crate::sweep::bit_averages_cyclic;
-use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, DeviceConfig, Session, TraceLevel};
+use crate::fit::fit_exponential_decay_fixed;
+use crate::harness::{self, ExecutionMode, Experiment, ExperimentError, SweepAxes, SweepPoint};
+use crate::stats::bit_averages_cyclic_checked;
+use quma_compiler::prelude::{Bindings, CompilerConfig, Kernel, QuantumProgram};
+use quma_core::prelude::{ChipProfile, DeviceConfig, RunReport, Session, TraceLevel};
 
 /// Echo experiment configuration.
 #[derive(Debug, Clone)]
@@ -64,81 +65,122 @@ impl EchoResult {
     }
 }
 
-/// Builds the echo sweep program.
-pub fn build_program(cfg: &EchoConfig) -> quma_isa::program::Program {
-    let mut program = QuantumProgram::new("T2-Echo");
-    let n = cfg.refocusing_pulses.max(1);
-    for (i, &d) in cfg.delays_cycles.iter().enumerate() {
-        assert_eq!(
-            d % (8 * n),
-            0,
-            "echo delays must be multiples of 8·n cycles"
-        );
-        // CPMG spacing: τ/2n before the first and after the last π pulse,
-        // τ/n between consecutive π pulses.
-        let edge = d / (2 * n);
-        let inner = d / n;
-        let mut k = Kernel::new(format!("tau{i}"));
-        k.init();
-        k.gate("X90", 0);
+/// The echo experiment: a CPMG train with two wait axes — `edge` (the
+/// τ/2n intervals flanking the train) and `inner` (the τ/n gaps between
+/// π pulses).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Echo;
+
+impl Experiment for Echo {
+    type Config = EchoConfig;
+    type Output = EchoResult;
+
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+
+    fn device_config(&self, cfg: &EchoConfig) -> DeviceConfig {
+        DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: cfg.seed,
+            collector_k: cfg.delays_cycles.len(),
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn prepare(&self, cfg: &EchoConfig, session: &mut Session) -> Result<(), ExperimentError> {
+        session
+            .device_mut()
+            .chip_mut()
+            .qubit_mut(0)
+            .transmon
+            .params_mut()
+            .detuning = cfg.detuning;
+        Ok(())
+    }
+
+    fn program(&self, cfg: &EchoConfig) -> Result<QuantumProgram, ExperimentError> {
+        let n = cfg.refocusing_pulses.max(1);
+        let mut program = QuantumProgram::new("T2-Echo");
+        let mut k = Kernel::new("tau");
+        k.init().gate("X90", 0);
         for p in 0..n {
-            let gap = if p == 0 { edge } else { inner };
-            if gap > 0 {
-                k.wait(gap);
-            }
+            let axis = if p == 0 { "edge" } else { "inner" };
+            k.wait_param(axis, 0);
             k.gate("Y180", 0);
         }
-        if edge > 0 {
-            k.wait(edge);
-        }
-        k.gate("X90", 0);
-        k.measure(0);
+        k.wait_param("edge", 0).gate("X90", 0).measure(0);
         program.add_kernel(k);
+        Ok(program)
     }
-    let ccfg = CompilerConfig {
-        init_cycles: cfg.init_cycles,
-        averages: cfg.averages,
-        ..CompilerConfig::default()
-    };
-    program
-        .compile(&GateSet::paper_default(), &ccfg)
+
+    fn compiler_config(&self, cfg: &EchoConfig) -> CompilerConfig {
+        CompilerConfig {
+            init_cycles: cfg.init_cycles,
+            averages: cfg.averages,
+            ..CompilerConfig::default()
+        }
+    }
+
+    fn axes(&self, cfg: &EchoConfig) -> Result<SweepAxes, ExperimentError> {
+        let n = cfg.refocusing_pulses.max(1);
+        let cycle = self.device_config(cfg).cycle_time;
+        let mut points = Vec::with_capacity(cfg.delays_cycles.len());
+        for &d in &cfg.delays_cycles {
+            if d % (8 * n) != 0 {
+                return Err(ExperimentError::Config(format!(
+                    "echo delay {d} is not a multiple of 8·n = {} cycles",
+                    8 * n
+                )));
+            }
+            // CPMG spacing: τ/2n before the first and after the last π
+            // pulse, τ/n between consecutive π pulses.
+            let edge = d / (2 * n);
+            let inner = d / n;
+            points.push(SweepPoint::bound(
+                f64::from(d) * cycle,
+                Bindings::new()
+                    .int("edge", i64::from(edge))
+                    .int("inner", i64::from(inner)),
+            ));
+        }
+        Ok(SweepAxes::new(points, ExecutionMode::Collector))
+    }
+
+    fn analyze(
+        &self,
+        _cfg: &EchoConfig,
+        axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<EchoResult, ExperimentError> {
+        let p1 = bit_averages_cyclic_checked(&reports[0], axes.points.len())?;
+        let delays = axes.xs();
+        // The echo contrast decays to the maximally mixed 0.5; pinning the
+        // asymptote keeps short sweeps from trading T against B.
+        let (a, t) = fit_exponential_decay_fixed(&delays, &p1, 0.5)?;
+        Ok(EchoResult {
+            delays,
+            p1,
+            fit: (a, t, 0.5),
+        })
+    }
+}
+
+/// Builds the echo sweep program.
+pub fn build_program(cfg: &EchoConfig) -> quma_isa::program::Program {
+    let exp = Echo;
+    let axes = exp.axes(cfg).expect("echo delays must be 8·n-aligned");
+    let bindings: Vec<Bindings> = axes.points.iter().map(|p| p.bindings.clone()).collect();
+    exp.program(cfg)
+        .expect("echo program is well-formed")
+        .compile_unrolled(&exp.gates(cfg), &exp.compiler_config(cfg), &bindings)
         .expect("echo program is well-formed")
 }
 
 /// Runs the echo experiment and fits the exponential contrast decay.
-pub fn run(cfg: &EchoConfig) -> Result<EchoResult, FitError> {
-    let dev_cfg = DeviceConfig {
-        chip: ChipProfile::Paper,
-        chip_seed: cfg.seed,
-        collector_k: cfg.delays_cycles.len(),
-        trace: TraceLevel::Off,
-        ..DeviceConfig::default()
-    };
-    let mut session = Session::new(dev_cfg).expect("valid config");
-    session
-        .device_mut()
-        .chip_mut()
-        .qubit_mut(0)
-        .transmon
-        .params_mut()
-        .detuning = cfg.detuning;
-    let program = session.load(&build_program(cfg));
-    let report = session.run(&program).expect("echo program runs");
-    let p1 = bit_averages_cyclic(&report, cfg.delays_cycles.len());
-    let cycle = session.device().config().cycle_time;
-    let delays: Vec<f64> = cfg
-        .delays_cycles
-        .iter()
-        .map(|&d| f64::from(d) * cycle)
-        .collect();
-    // The echo contrast decays to the maximally mixed 0.5; pinning the
-    // asymptote keeps short sweeps from trading T against B.
-    let (a, t) = fit_exponential_decay_fixed(&delays, &p1, 0.5)?;
-    Ok(EchoResult {
-        delays,
-        p1,
-        fit: (a, t, 0.5),
-    })
+pub fn run(cfg: &EchoConfig) -> Result<EchoResult, ExperimentError> {
+    harness::run(&Echo, cfg)
 }
 
 #[cfg(test)]
@@ -151,6 +193,7 @@ mod tests {
             delays_cycles: vec![4],
             ..EchoConfig::default()
         };
+        assert!(matches!(run(&cfg), Err(ExperimentError::Config(_))));
         let result = std::panic::catch_unwind(|| build_program(&cfg));
         assert!(result.is_err());
     }

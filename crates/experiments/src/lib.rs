@@ -8,6 +8,8 @@
 //! and executed on the full simulated control box, plus the curve-fitting
 //! machinery their analyses need.
 //!
+//! * [`harness`] — the declarative [`harness::Experiment`] trait and the
+//!   generic `run`/`run_parallel` driver every experiment routes through;
 //! * [`allxy`] — the Figure 9 staircase with calibration-point rescaling,
 //!   the deviation metric, and error-signature injection;
 //! * [`t1`], [`ramsey`], [`echo`] — coherence characterization with
@@ -16,7 +18,7 @@
 //! * [`qec`] — the repetition-code QEC workload on the feedback path
 //!   (beyond the paper's single-qubit validation);
 //! * [`fit`] — Levenberg–Marquardt least squares;
-//! * [`stats`] — small statistics helpers.
+//! * [`stats`] — statistics and record-binning helpers.
 
 #![warn(missing_docs)]
 
@@ -24,6 +26,7 @@ pub mod allxy;
 pub mod calibrate;
 pub mod echo;
 pub mod fit;
+pub mod harness;
 pub mod qec;
 pub mod ramsey;
 pub mod rb;
@@ -37,25 +40,34 @@ pub mod prelude {
     pub use crate::allxy::{
         analyze as allxy_analyze, build_program as allxy_program, build_session as allxy_session,
         format_table as allxy_table, ideal_fidelity, labels as allxy_labels, pairs as allxy_pairs,
-        run as run_allxy, AllxyConfig, AllxyResult, PulseError,
+        run as run_allxy, Allxy, AllxyConfig, AllxyResult, PulseError,
     };
-    pub use crate::calibrate::{run as run_rabi, RabiConfig, RabiResult};
-    pub use crate::echo::{run as run_echo, EchoConfig, EchoResult};
+    pub use crate::calibrate::{run as run_rabi, Rabi, RabiConfig, RabiResult};
+    pub use crate::echo::{run as run_echo, Echo, EchoConfig, EchoResult};
     pub use crate::fit::{
         fit_damped_cosine, fit_exponential_decay, fit_exponential_decay_fixed, fit_rb_decay,
         fit_rb_decay_free, levenberg_marquardt, FitError, FitResult,
     };
+    pub use crate::harness::{
+        run as run_experiment, run_parallel as run_experiment_parallel, ExecutionMode, Experiment,
+        ExperimentError, SweepAxes, SweepPoint,
+    };
     pub use crate::qec::{
         fit_logical_fidelity, majority_bit, run as run_qec, run_grid as run_qec_grid,
-        run_injected as run_qec_injected, QecConfig, QecResult,
+        run_injected as run_qec_injected, QecConfig, QecInjected, QecResult, QecSampled,
     };
-    pub use crate::ramsey::{run as run_ramsey, RamseyConfig, RamseyResult};
+    pub use crate::ramsey::{run as run_ramsey, Ramsey, RamseyConfig, RamseyResult};
     pub use crate::rb::{
-        find_single_pulse_clifford, run as run_rb, run_interleaved, InterleavedRbResult, RbConfig,
-        RbResult,
+        find_single_pulse_clifford, run as run_rb, run_interleaved, InterleavedRbResult, Rb,
+        RbConfig, RbResult,
     };
-    pub use crate::readout::{run as run_readout, ReadoutConfig, ReadoutPoint, ReadoutResult};
-    pub use crate::stats::{mean, mean_abs_deviation, sem, std_dev, variance};
+    pub use crate::readout::{
+        run as run_readout, Readout, ReadoutConfig, ReadoutPoint, ReadoutResult,
+    };
+    pub use crate::stats::{
+        bit_averages_cyclic_checked, mean, mean_abs_deviation, ones_fraction_pooled, sem, std_dev,
+        variance, RecordLayoutError,
+    };
     pub use crate::sweep::{bit_averages_cyclic, ones_fraction};
-    pub use crate::t1::{run as run_t1, T1Config, T1Result};
+    pub use crate::t1::{run as run_t1, T1Config, T1Result, T1};
 }

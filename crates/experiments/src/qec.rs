@@ -7,18 +7,20 @@
 //! distance-3/5 bit-flip repetition code whose syndrome decoder and
 //! ancilla resets are branch instructions in the running program — and
 //! reports logical error rates over a distance × rounds × injected-error
-//! sweep, through [`Session::run_shots`] / [`Session::run_shots_parallel`]
-//! for the fixed-program cases and [`Session::run_sweep`] when every shot
-//! carries its own sampled error pattern.
+//! sweep. It runs through the harness as two [`Experiment`]s: a fixed
+//! injection pattern is a derived-seed shot batch
+//! ([`ExecutionMode::Shots`]), while sampled per-shot error patterns are
+//! structurally distinct programs ([`ExecutionMode::ProgramSweep`], each
+//! distinct pattern compiled once and `Arc`-shared across its shots).
 
+use crate::harness::{self, ExecutionMode, Experiment, ExperimentError, SweepAxes, SweepPoint};
 use crate::stats::{mean, sem};
 use quma_compiler::prelude::{data_reg, InjectedX, RepetitionCode};
-use quma_core::prelude::{
-    ChipProfile, DeviceConfig, LoadedProgram, RunReport, Session, ShotSeeds, TraceLevel,
-};
+use quma_core::prelude::{ChipProfile, DeviceConfig, RunReport, TraceLevel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// QEC experiment configuration.
 #[derive(Debug, Clone)]
@@ -44,8 +46,8 @@ pub struct QecConfig {
     /// Host RNG seed for sampling injected errors.
     pub injection_seed: u64,
     /// Worker threads (1 = sequential): shards the fixed-program batch
-    /// via `run_shots_parallel` and the sampled-error sweep via
-    /// `run_sweep_parallel`, bit-identical to sequential either way.
+    /// and the sampled-error sweep across device clones, bit-identical to
+    /// sequential either way.
     pub threads: usize,
     /// Initialization idle in cycles.
     pub init_cycles: u32,
@@ -145,6 +147,121 @@ fn summarize(cfg: &QecConfig, reports: &[RunReport], injected_flips: u64) -> Qec
     }
 }
 
+/// The fixed-injection QEC experiment: one compiled program, `shots`
+/// derived-seed shots.
+#[derive(Debug, Clone, Default)]
+pub struct QecInjected {
+    /// The X180s compiled into every shot.
+    pub injections: Vec<InjectedX>,
+}
+
+impl Experiment for QecInjected {
+    type Config = QecConfig;
+    type Output = QecResult;
+
+    fn name(&self) -> &'static str {
+        "qec-injected"
+    }
+
+    fn device_config(&self, cfg: &QecConfig) -> DeviceConfig {
+        device_config(cfg)
+    }
+
+    fn axes(&self, cfg: &QecConfig) -> Result<SweepAxes, ExperimentError> {
+        let mut code = code_for(cfg);
+        code.injected_x.extend_from_slice(&self.injections);
+        Ok(SweepAxes::new(
+            Vec::new(),
+            ExecutionMode::Shots {
+                program: Arc::new(code.compile()),
+                shots: cfg.shots,
+            },
+        )
+        .with_threads(cfg.threads))
+    }
+
+    fn analyze(
+        &self,
+        cfg: &QecConfig,
+        _axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<QecResult, ExperimentError> {
+        Ok(summarize(
+            cfg,
+            reports,
+            self.injections.len() as u64 * cfg.shots,
+        ))
+    }
+}
+
+/// The sampled-injection QEC experiment: each shot's error pattern is
+/// drawn from `injection_seed` and compiled into its own program (each
+/// distinct pattern once).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QecSampled;
+
+impl Experiment for QecSampled {
+    type Config = QecConfig;
+    type Output = QecResult;
+
+    fn name(&self) -> &'static str {
+        "qec-sampled"
+    }
+
+    fn device_config(&self, cfg: &QecConfig) -> DeviceConfig {
+        device_config(cfg)
+    }
+
+    fn axes(&self, cfg: &QecConfig) -> Result<SweepAxes, ExperimentError> {
+        let mut rng = StdRng::seed_from_u64(cfg.injection_seed);
+        // Most shots at realistic rates sample few distinct injection
+        // patterns (usually the empty one), so compile each pattern once
+        // and share it across its shots.
+        let mut compiled: HashMap<Vec<(usize, usize)>, Arc<quma_isa::program::Program>> =
+            HashMap::new();
+        let mut points = Vec::with_capacity(cfg.shots as usize);
+        for _ in 0..cfg.shots {
+            let mut pattern: Vec<(usize, usize)> = Vec::new();
+            for round in 0..cfg.rounds {
+                for data in 0..cfg.distance {
+                    if rng.random::<f64>() < cfg.error_rate {
+                        pattern.push((round, data));
+                    }
+                }
+            }
+            let flips = pattern.len();
+            let program = compiled
+                .entry(pattern)
+                .or_insert_with_key(|pattern| {
+                    let mut code = code_for(cfg);
+                    code.injected_x.extend(
+                        pattern
+                            .iter()
+                            .map(|&(round, data)| InjectedX { round, data }),
+                    );
+                    Arc::new(code.compile())
+                })
+                .clone();
+            points.push(SweepPoint {
+                x: flips as f64,
+                program: Some(program),
+                ..SweepPoint::default()
+            });
+        }
+        Ok(SweepAxes::new(points, ExecutionMode::ProgramSweep).with_threads(cfg.threads))
+    }
+
+    fn analyze(
+        &self,
+        cfg: &QecConfig,
+        axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<QecResult, ExperimentError> {
+        let injected_flips = axes.points.iter().map(|p| p.x as u64).sum();
+        Ok(summarize(cfg, reports, injected_flips))
+    }
+}
+
 /// Runs one QEC point.
 ///
 /// * `error_rate == 0` (or an explicit injection set via [`run_injected`])
@@ -153,72 +270,26 @@ fn summarize(cfg: &QecConfig, reports: &[RunReport], injected_flips: u64) -> Qec
 ///   seeds when `threads > 1`;
 /// * `error_rate > 0` samples an injection pattern per shot from
 ///   `injection_seed` (compiling each distinct pattern once) and drives
-///   the per-shot programs through [`Session::run_sweep`] /
-///   [`Session::run_sweep_parallel`].
-pub fn run(cfg: &QecConfig) -> QecResult {
+///   the per-shot programs through the engine's sweep path.
+pub fn run(cfg: &QecConfig) -> Result<QecResult, ExperimentError> {
     if cfg.error_rate == 0.0 {
         return run_injected(cfg, &[]);
     }
-    let mut session = Session::new(device_config(cfg)).expect("valid QEC device config");
-    let plan = session.seed_plan();
-    let mut rng = StdRng::seed_from_u64(cfg.injection_seed);
-    let mut injected_flips = 0u64;
-    // Most shots at realistic rates sample few distinct injection
-    // patterns (usually the empty one), so compile each pattern once.
-    let mut compiled: HashMap<Vec<(usize, usize)>, LoadedProgram> = HashMap::new();
-    let mut points: Vec<(LoadedProgram, ShotSeeds)> = Vec::with_capacity(cfg.shots as usize);
-    for i in 0..cfg.shots {
-        let mut pattern: Vec<(usize, usize)> = Vec::new();
-        for round in 0..cfg.rounds {
-            for data in 0..cfg.distance {
-                if rng.random::<f64>() < cfg.error_rate {
-                    pattern.push((round, data));
-                    injected_flips += 1;
-                }
-            }
-        }
-        let program = compiled
-            .entry(pattern)
-            .or_insert_with_key(|pattern| {
-                let mut code = code_for(cfg);
-                code.injected_x.extend(
-                    pattern
-                        .iter()
-                        .map(|&(round, data)| InjectedX { round, data }),
-                );
-                session.load(&code.compile())
-            })
-            .clone();
-        points.push((program, plan.shot(i)));
-    }
-    let reports = if cfg.threads > 1 {
-        session
-            .run_sweep_parallel(&points, cfg.threads)
-            .expect("parallel QEC sweep runs")
-    } else {
-        session.run_sweep(&points).expect("QEC sweep runs")
-    };
-    summarize(cfg, &reports, injected_flips)
+    harness::run(&QecSampled, cfg)
 }
 
 /// Runs one point with a fixed, explicit injection pattern compiled into
 /// every shot (the deterministic recovery harness).
-pub fn run_injected(cfg: &QecConfig, injections: &[InjectedX]) -> QecResult {
-    let mut code = code_for(cfg);
-    code.injected_x.extend_from_slice(injections);
-    let program = code.compile();
-    let mut session = Session::new(device_config(cfg)).expect("valid QEC device config");
-    let loaded = session.load(&program);
-    let batch = if cfg.threads > 1 {
-        session
-            .run_shots_parallel(&loaded, cfg.shots, cfg.threads)
-            .expect("parallel QEC batch runs")
-    } else {
-        session
-            .run_shots(&loaded, cfg.shots)
-            .expect("QEC batch runs")
-    };
-    summarize(cfg, &batch.shots, injections.len() as u64 * cfg.shots)
+pub fn run_injected(
+    cfg: &QecConfig,
+    injections: &[InjectedX],
+) -> Result<QecResult, ExperimentError> {
+    harness::run(
+        &QecInjected {
+            injections: injections.to_vec(),
+        },
+        cfg,
+    )
 }
 
 /// Runs the full distance × rounds × error-rate grid, sharing the base
@@ -228,7 +299,7 @@ pub fn run_grid(
     distances: &[usize],
     rounds: &[usize],
     error_rates: &[f64],
-) -> Vec<QecResult> {
+) -> Result<Vec<QecResult>, ExperimentError> {
     let mut out = Vec::with_capacity(distances.len() * rounds.len() * error_rates.len());
     for &distance in distances {
         for &r in rounds {
@@ -239,11 +310,11 @@ pub fn run_grid(
                     error_rate,
                     ..base.clone()
                 };
-                out.push(run(&cfg));
+                out.push(run(&cfg)?);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Fits `1 − p_L` versus rounds to an exponential decay
@@ -267,7 +338,7 @@ mod tests {
             shots: 6,
             ..QecConfig::default()
         };
-        let result = run(&cfg);
+        let result = run(&cfg).expect("runs");
         assert_eq!(result.logical_errors, 0);
         assert_eq!(result.logical_error_rate, 0.0);
         assert_eq!(result.injected_flips, 0);
@@ -281,7 +352,7 @@ mod tests {
             logical_one: true,
             ..QecConfig::default()
         };
-        let result = run(&cfg);
+        let result = run(&cfg).expect("runs");
         assert_eq!(result.logical_errors, 0);
         assert_eq!(result.majority_bits, vec![1; 4]);
     }
@@ -301,7 +372,8 @@ mod tests {
                 ..QecConfig::default()
             },
             &injections,
-        );
+        )
+        .expect("runs");
         assert_eq!(with.logical_errors, 0, "feedback corrects round by round");
         let without = run_injected(
             &QecConfig {
@@ -310,7 +382,8 @@ mod tests {
                 ..QecConfig::default()
             },
             &injections,
-        );
+        )
+        .expect("runs");
         assert_eq!(
             without.logical_errors, 4,
             "two uncorrected flips defeat the majority vote"
@@ -327,14 +400,14 @@ mod tests {
             error_rate: 0.4,
             ..QecConfig::default()
         };
-        let a = run(&cfg);
-        let b = run(&cfg);
+        let a = run(&cfg).expect("runs");
+        let b = run(&cfg).expect("runs");
         assert_eq!(a.majority_bits, b.majority_bits);
         assert_eq!(a.injected_flips, b.injected_flips);
         assert!(a.injected_flips > 0, "rate 0.4 over 30 draws injects");
         assert_eq!(a.logical_errors, b.logical_errors);
         // The sharded sweep path must reproduce the sequential one.
-        let parallel = run(&QecConfig { threads: 3, ..cfg });
+        let parallel = run(&QecConfig { threads: 3, ..cfg }).expect("runs");
         assert_eq!(a.majority_bits, parallel.majority_bits);
     }
 
@@ -345,7 +418,7 @@ mod tests {
             rounds: 1,
             ..QecConfig::default()
         };
-        let grid = run_grid(&base, &[3], &[1, 2], &[0.0]);
+        let grid = run_grid(&base, &[3], &[1, 2], &[0.0]).expect("runs");
         assert_eq!(grid.len(), 2);
         assert_eq!(grid[0].rounds, 1);
         assert_eq!(grid[1].rounds, 2);

@@ -6,10 +6,11 @@
 //! `p₁(τ) = B + A·e^{−τ/T2*}·cos(2πδτ + φ)`; the fringe frequency reads
 //! back the detuning and the envelope gives T2*.
 
-use crate::fit::{fit_damped_cosine, FitError};
-use crate::sweep::bit_averages_cyclic;
-use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, DeviceConfig, Session, TraceLevel};
+use crate::fit::fit_damped_cosine;
+use crate::harness::{self, ExecutionMode, Experiment, ExperimentError, SweepAxes, SweepPoint};
+use crate::stats::bit_averages_cyclic_checked;
+use quma_compiler::prelude::{Bindings, CompilerConfig, Kernel, QuantumProgram};
+use quma_core::prelude::{ChipProfile, DeviceConfig, RunReport, Session, TraceLevel};
 
 /// Ramsey experiment configuration.
 #[derive(Debug, Clone)]
@@ -62,59 +63,106 @@ impl RamseyResult {
     }
 }
 
+/// The Ramsey experiment: `X90 — τ — X90`, τ as the template axis,
+/// detuning injected into the session before the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ramsey;
+
+impl Experiment for Ramsey {
+    type Config = RamseyConfig;
+    type Output = RamseyResult;
+
+    fn name(&self) -> &'static str {
+        "ramsey"
+    }
+
+    fn device_config(&self, cfg: &RamseyConfig) -> DeviceConfig {
+        DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: cfg.seed,
+            collector_k: cfg.delays_cycles.len(),
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn prepare(&self, cfg: &RamseyConfig, session: &mut Session) -> Result<(), ExperimentError> {
+        session
+            .device_mut()
+            .chip_mut()
+            .qubit_mut(0)
+            .transmon
+            .params_mut()
+            .detuning = cfg.detuning;
+        Ok(())
+    }
+
+    fn program(&self, _cfg: &RamseyConfig) -> Result<QuantumProgram, ExperimentError> {
+        let mut program = QuantumProgram::new("T2-Ramsey");
+        let mut k = Kernel::new("tau");
+        k.init()
+            .gate("X90", 0)
+            .wait_param("tau", 0)
+            .gate("X90", 0)
+            .measure(0);
+        program.add_kernel(k);
+        Ok(program)
+    }
+
+    fn compiler_config(&self, cfg: &RamseyConfig) -> CompilerConfig {
+        CompilerConfig {
+            init_cycles: cfg.init_cycles,
+            averages: cfg.averages,
+            ..CompilerConfig::default()
+        }
+    }
+
+    fn axes(&self, cfg: &RamseyConfig) -> Result<SweepAxes, ExperimentError> {
+        let cycle = self.device_config(cfg).cycle_time;
+        let points = cfg
+            .delays_cycles
+            .iter()
+            .map(|&d| {
+                SweepPoint::bound(
+                    f64::from(d) * cycle,
+                    Bindings::new().int("tau", i64::from(d)),
+                )
+            })
+            .collect();
+        Ok(SweepAxes::new(points, ExecutionMode::Collector))
+    }
+
+    fn analyze(
+        &self,
+        _cfg: &RamseyConfig,
+        axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<RamseyResult, ExperimentError> {
+        let p1 = bit_averages_cyclic_checked(&reports[0], axes.points.len())?;
+        let delays = axes.xs();
+        let fit = fit_damped_cosine(&delays, &p1)?;
+        Ok(RamseyResult { delays, p1, fit })
+    }
+}
+
 /// Builds the Ramsey sweep program.
 pub fn build_program(cfg: &RamseyConfig) -> quma_isa::program::Program {
-    let mut program = QuantumProgram::new("T2-Ramsey");
-    for (i, &d) in cfg.delays_cycles.iter().enumerate() {
-        let mut k = Kernel::new(format!("tau{i}"));
-        k.init();
-        k.gate("X90", 0);
-        if d > 0 {
-            k.wait(d);
-        }
-        k.gate("X90", 0);
-        k.measure(0);
-        program.add_kernel(k);
-    }
-    let ccfg = CompilerConfig {
-        init_cycles: cfg.init_cycles,
-        averages: cfg.averages,
-        ..CompilerConfig::default()
-    };
-    program
-        .compile(&GateSet::paper_default(), &ccfg)
+    let exp = Ramsey;
+    let points: Vec<Bindings> = cfg
+        .delays_cycles
+        .iter()
+        .map(|&d| Bindings::new().int("tau", i64::from(d)))
+        .collect();
+    exp.program(cfg)
+        .expect("Ramsey program is well-formed")
+        .compile_unrolled(&exp.gates(cfg), &exp.compiler_config(cfg), &points)
         .expect("Ramsey program is well-formed")
 }
 
 /// Runs the Ramsey experiment with the configured artificial detuning and
 /// fits the damped fringes.
-pub fn run(cfg: &RamseyConfig) -> Result<RamseyResult, FitError> {
-    let dev_cfg = DeviceConfig {
-        chip: ChipProfile::Paper,
-        chip_seed: cfg.seed,
-        collector_k: cfg.delays_cycles.len(),
-        trace: TraceLevel::Off,
-        ..DeviceConfig::default()
-    };
-    let mut session = Session::new(dev_cfg).expect("valid config");
-    session
-        .device_mut()
-        .chip_mut()
-        .qubit_mut(0)
-        .transmon
-        .params_mut()
-        .detuning = cfg.detuning;
-    let program = session.load(&build_program(cfg));
-    let report = session.run(&program).expect("Ramsey program runs");
-    let p1 = bit_averages_cyclic(&report, cfg.delays_cycles.len());
-    let cycle = session.device().config().cycle_time;
-    let delays: Vec<f64> = cfg
-        .delays_cycles
-        .iter()
-        .map(|&d| f64::from(d) * cycle)
-        .collect();
-    let fit = fit_damped_cosine(&delays, &p1)?;
-    Ok(RamseyResult { delays, p1, fit })
+pub fn run(cfg: &RamseyConfig) -> Result<RamseyResult, ExperimentError> {
+    harness::run(&Ramsey, cfg)
 }
 
 #[cfg(test)]

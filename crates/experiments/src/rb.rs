@@ -6,14 +6,20 @@
 //! primitive pulses, each pulse a codeword trigger); the survival
 //! probability of `|0⟩` decays as `A·p^m + B`, and the average error per
 //! Clifford is `r = (1 − p)/2`.
+//!
+//! RB is the harness's structurally-per-point experiment: every
+//! (length, sequence) point is a different program, so it runs as an
+//! [`ExecutionMode::ProgramSweep`] rather than a patched template.
 
-use crate::fit::{fit_rb_decay, FitError};
-use crate::sweep::ones_fraction;
+use crate::fit::fit_rb_decay;
+use crate::harness::{self, ExecutionMode, Experiment, ExperimentError, SweepAxes, SweepPoint};
+use crate::stats::ones_fraction;
 use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, DeviceConfig, Session, ShotSeeds, TraceLevel};
+use quma_core::prelude::{ChipProfile, DeviceConfig, RunReport, Session, ShotSeeds, TraceLevel};
 use quma_qsim::clifford::CliffordGroup;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// RB experiment configuration.
 #[derive(Debug, Clone)]
@@ -101,74 +107,104 @@ pub fn build_sequence_program(
         .expect("RB program uses only Table 1 gates")
 }
 
-/// Builds the one calibrated session an RB run reuses for every sequence
-/// and length: paper chip, collector off to the side, and the configured
-/// amplitude miscalibration uploaded once.
-fn rb_session(cfg: &RbConfig) -> Session {
-    let dev_cfg = DeviceConfig {
-        chip: ChipProfile::Paper,
-        chip_seed: cfg.chip_seed,
-        collector_k: 1,
-        trace: TraceLevel::Off,
-        ..DeviceConfig::default()
-    };
-    let mut session = Session::new(dev_cfg).expect("valid config");
-    if (cfg.amplitude_scale - 1.0).abs() > f64::EPSILON {
-        let lib = session
-            .device()
-            .ctpg(0)
-            .library()
-            .with_amplitude_scale(cfg.amplitude_scale);
-        session.device_mut().ctpg_mut(0).upload(lib);
-    }
-    session
+/// The RB experiment. `rng_xor` / `seed_offset` keep the standard and
+/// interleaved variants on the historical, decorrelated seed streams;
+/// `interleaved` inserts the given Clifford after every random element.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rb {
+    /// XOR applied to the sequence-sampling RNG seed.
+    pub rng_xor: u64,
+    /// Offset added to every point's chip seed.
+    pub seed_offset: u64,
+    /// Clifford-group element to interleave, if any.
+    pub interleaved: Option<usize>,
 }
 
-/// The per-sweep-point survival loop shared by standard and interleaved
-/// RB: one session, one shot per (length, sequence) with a derived chip
-/// seed — no device reconstruction anywhere in the sweep.
-fn survival_sweep(
-    cfg: &RbConfig,
-    rng: &mut StdRng,
-    seed_offset: u64,
-    build: impl Fn(&[usize]) -> quma_isa::program::Program,
-) -> Vec<f64> {
-    let mut session = rb_session(cfg);
-    let jitter = session.device().config().jitter_seed;
-    let mut survival = Vec::with_capacity(cfg.lengths.len());
-    for (li, &m) in cfg.lengths.iter().enumerate() {
-        let mut acc = 0.0;
-        for s in 0..cfg.sequences_per_length {
-            let sequence: Vec<usize> = (0..m).map(|_| rng.random_range(0..24)).collect();
-            let program = session.load(&build(&sequence));
-            let seeds = ShotSeeds {
-                chip: cfg
-                    .chip_seed
-                    .wrapping_add(seed_offset + li as u64 * 1000 + s as u64),
-                jitter,
-            };
-            let report = session.run_shot(&program, seeds).expect("RB program runs");
-            acc += 1.0 - ones_fraction(&report);
-        }
-        survival.push(acc / cfg.sequences_per_length as f64);
+impl Experiment for Rb {
+    type Config = RbConfig;
+    type Output = RbResult;
+
+    fn name(&self) -> &'static str {
+        "rb"
     }
-    survival
+
+    fn device_config(&self, cfg: &RbConfig) -> DeviceConfig {
+        DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: cfg.chip_seed,
+            collector_k: 1,
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn prepare(&self, cfg: &RbConfig, session: &mut Session) -> Result<(), ExperimentError> {
+        if (cfg.amplitude_scale - 1.0).abs() > f64::EPSILON {
+            let lib = session
+                .device()
+                .ctpg(0)
+                .library()
+                .with_amplitude_scale(cfg.amplitude_scale);
+            session.device_mut().ctpg_mut(0).upload(lib);
+        }
+        Ok(())
+    }
+
+    fn axes(&self, cfg: &RbConfig) -> Result<SweepAxes, ExperimentError> {
+        let group = CliffordGroup::generate();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ self.rng_xor);
+        let jitter = self.device_config(cfg).jitter_seed;
+        let mut points = Vec::with_capacity(cfg.lengths.len() * cfg.sequences_per_length);
+        for (li, &m) in cfg.lengths.iter().enumerate() {
+            for s in 0..cfg.sequences_per_length {
+                let sequence: Vec<usize> = (0..m).map(|_| rng.random_range(0..24)).collect();
+                let full: Vec<usize> = match self.interleaved {
+                    Some(gate) => sequence.iter().flat_map(|&c| [c, gate]).collect(),
+                    None => sequence,
+                };
+                let program = build_sequence_program(&group, &full, cfg.init_cycles, cfg.averages);
+                points.push(SweepPoint {
+                    x: m as f64,
+                    seeds: Some(ShotSeeds {
+                        chip: cfg
+                            .chip_seed
+                            .wrapping_add(self.seed_offset + li as u64 * 1000 + s as u64),
+                        jitter,
+                    }),
+                    program: Some(Arc::new(program)),
+                    ..SweepPoint::default()
+                });
+            }
+        }
+        Ok(SweepAxes::new(points, ExecutionMode::ProgramSweep))
+    }
+
+    fn analyze(
+        &self,
+        cfg: &RbConfig,
+        _axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<RbResult, ExperimentError> {
+        let per_length = cfg.sequences_per_length.max(1);
+        let survival: Vec<f64> = reports
+            .chunks(per_length)
+            .map(|chunk| {
+                chunk.iter().map(|r| 1.0 - ones_fraction(r)).sum::<f64>() / chunk.len() as f64
+            })
+            .collect();
+        let ms: Vec<f64> = cfg.lengths.iter().map(|&m| m as f64).collect();
+        let fit = fit_rb_decay(&ms, &survival)?;
+        Ok(RbResult {
+            lengths: cfg.lengths.clone(),
+            survival,
+            fit,
+        })
+    }
 }
 
 /// Runs randomized benchmarking through the full device pipeline.
-pub fn run(cfg: &RbConfig) -> Result<RbResult, FitError> {
-    let group = CliffordGroup::generate();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let survival = survival_sweep(cfg, &mut rng, 0, |sequence| {
-        build_sequence_program(&group, sequence, cfg.init_cycles, cfg.averages)
-    });
-    let ms: Vec<f64> = cfg.lengths.iter().map(|&m| m as f64).collect();
-    let fit = fit_rb_decay(&ms, &survival)?;
-    Ok(RbResult {
-        lengths: cfg.lengths.clone(),
-        survival,
-        fit,
-    })
+pub fn run(cfg: &RbConfig) -> Result<RbResult, ExperimentError> {
+    harness::run(&Rb::default(), cfg)
 }
 
 /// Interleaved randomized benchmarking: estimates the fidelity of one
@@ -207,22 +243,22 @@ pub fn build_interleaved_program(
 
 /// Runs interleaved RB for the Clifford-group element `gate_index`
 /// (e.g. the index whose decomposition is a single X180).
-pub fn run_interleaved(cfg: &RbConfig, gate_index: usize) -> Result<InterleavedRbResult, FitError> {
+pub fn run_interleaved(
+    cfg: &RbConfig,
+    gate_index: usize,
+) -> Result<InterleavedRbResult, ExperimentError> {
     let reference = run(cfg)?;
-    let group = CliffordGroup::generate();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1217);
-    let survival = survival_sweep(cfg, &mut rng, 0x9000, |sequence| {
-        build_interleaved_program(&group, sequence, gate_index, cfg.init_cycles, cfg.averages)
-    });
-    let ms: Vec<f64> = cfg.lengths.iter().map(|&m| m as f64).collect();
-    let fit = fit_rb_decay(&ms, &survival)?;
+    let interleaved = harness::run(
+        &Rb {
+            rng_xor: 0x1217,
+            seed_offset: 0x9000,
+            interleaved: Some(gate_index),
+        },
+        cfg,
+    )?;
     Ok(InterleavedRbResult {
         reference,
-        interleaved: RbResult {
-            lengths: cfg.lengths.clone(),
-            survival,
-            fit,
-        },
+        interleaved,
     })
 }
 

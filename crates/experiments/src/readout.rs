@@ -8,9 +8,14 @@
 //! (init + X180), measure each with an MPG of `D` cycles, and compare the
 //! MDU's bit against the prepared state. Assignment fidelity is
 //! `1 − (P(1||0⟩) + P(0||1⟩))/2`.
+//!
+//! The sweep only varies the MPG immediates, so it runs as a
+//! compile-once [`ExecutionMode::TemplateSweep`]: the two `window` slots
+//! are patched per point instead of re-assembling the program.
 
-use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, DeviceConfig, Session, ShotSeeds, TraceLevel};
+use crate::harness::{self, ExecutionMode, Experiment, ExperimentError, SweepAxes, SweepPoint};
+use quma_compiler::prelude::{Bindings, CompilerConfig, Kernel, QuantumProgram};
+use quma_core::prelude::{ChipProfile, DeviceConfig, RunReport, Session, ShotSeeds, TraceLevel};
 
 /// Readout-fidelity experiment configuration.
 #[derive(Debug, Clone)]
@@ -78,69 +83,116 @@ impl ReadoutResult {
     }
 }
 
-/// Builds the two-kernel (|0⟩ then |1⟩) program for one duration.
-fn program_for(duration: u32, cfg: &ReadoutConfig) -> quma_isa::program::Program {
-    let mut program = QuantumProgram::new("readout-fidelity");
-    let mut gates = GateSet::paper_default();
-    gates.measure_duration = duration;
-    let mut k0 = Kernel::new("prep0");
-    k0.init().measure(0);
-    program.add_kernel(k0);
-    let mut k1 = Kernel::new("prep1");
-    k1.init().gate("X180", 0).measure(0);
-    program.add_kernel(k1);
-    let ccfg = CompilerConfig {
-        init_cycles: cfg.init_cycles,
-        averages: cfg.shots,
-        ..CompilerConfig::default()
-    };
-    program.compile(&gates, &ccfg).expect("well-formed")
+/// The readout-fidelity experiment: prep-|0⟩ and prep-|1⟩ kernels sharing
+/// one `window` axis over both MPG durations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Readout;
+
+impl Experiment for Readout {
+    type Config = ReadoutConfig;
+    type Output = ReadoutResult;
+
+    fn name(&self) -> &'static str {
+        "readout"
+    }
+
+    fn device_config(&self, cfg: &ReadoutConfig) -> DeviceConfig {
+        DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: cfg.seed,
+            collector_k: 2,
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn prepare(&self, cfg: &ReadoutConfig, session: &mut Session) -> Result<(), ExperimentError> {
+        session
+            .device_mut()
+            .chip_mut()
+            .qubit_mut(0)
+            .readout
+            .noise_sigma = cfg.noise_sigma;
+        Ok(())
+    }
+
+    fn program(&self, _cfg: &ReadoutConfig) -> Result<QuantumProgram, ExperimentError> {
+        let mut program = QuantumProgram::new("readout-fidelity");
+        let mut k0 = Kernel::new("prep0");
+        k0.init().measure_param("window", 0);
+        program.add_kernel(k0);
+        let mut k1 = Kernel::new("prep1");
+        k1.init().gate("X180", 0).measure_param("window", 0);
+        program.add_kernel(k1);
+        Ok(program)
+    }
+
+    fn compiler_config(&self, cfg: &ReadoutConfig) -> CompilerConfig {
+        CompilerConfig {
+            init_cycles: cfg.init_cycles,
+            averages: cfg.shots,
+            ..CompilerConfig::default()
+        }
+    }
+
+    fn axes(&self, cfg: &ReadoutConfig) -> Result<SweepAxes, ExperimentError> {
+        let jitter = self.device_config(cfg).jitter_seed;
+        let points = cfg
+            .durations_cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| SweepPoint {
+                x: f64::from(d),
+                bindings: Bindings::new().int("window", i64::from(d)),
+                seeds: Some(ShotSeeds {
+                    chip: cfg.seed.wrapping_add(i as u64),
+                    jitter,
+                }),
+                program: None,
+            })
+            .collect();
+        Ok(SweepAxes::new(points, ExecutionMode::TemplateSweep))
+    }
+
+    fn analyze(
+        &self,
+        cfg: &ReadoutConfig,
+        _axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<ReadoutResult, ExperimentError> {
+        let points = cfg
+            .durations_cycles
+            .iter()
+            .zip(reports.iter())
+            .map(|(&duration, report)| {
+                // Slot 0 prepared |0⟩, slot 1 prepared |1⟩ (cyclic order).
+                let mut wrong = [0u32; 2];
+                let mut total = [0u32; 2];
+                for (j, md) in report.md_results.iter().enumerate() {
+                    let slot = j % 2;
+                    total[slot] += 1;
+                    let expected = slot as u8;
+                    // The prepared state can have relaxed during the
+                    // measurement window; that T1 tail is part of real
+                    // assignment error too.
+                    wrong[slot] += u32::from(md.bit != expected);
+                }
+                ReadoutPoint {
+                    duration_cycles: duration,
+                    p1_given_0: f64::from(wrong[0]) / f64::from(total[0].max(1)),
+                    p0_given_1: f64::from(wrong[1]) / f64::from(total[1].max(1)),
+                }
+            })
+            .collect();
+        Ok(ReadoutResult { points })
+    }
 }
 
-/// Runs the sweep: one calibrated session, one shot per integration
-/// window, each reseeded exactly as the per-point devices used to be.
-pub fn run(cfg: &ReadoutConfig) -> ReadoutResult {
-    let dev_cfg = DeviceConfig {
-        chip: ChipProfile::Paper,
-        chip_seed: cfg.seed,
-        collector_k: 2,
-        trace: TraceLevel::Off,
-        ..DeviceConfig::default()
-    };
-    let mut session = Session::new(dev_cfg).expect("valid config");
-    session
-        .device_mut()
-        .chip_mut()
-        .qubit_mut(0)
-        .readout
-        .noise_sigma = cfg.noise_sigma;
-    let jitter = session.device().config().jitter_seed;
-    let mut points = Vec::with_capacity(cfg.durations_cycles.len());
-    for (i, &duration) in cfg.durations_cycles.iter().enumerate() {
-        let program = session.load(&program_for(duration, cfg));
-        let seeds = ShotSeeds {
-            chip: cfg.seed.wrapping_add(i as u64),
-            jitter,
-        };
-        let report = session.run_shot(&program, seeds).expect("runs");
-        // Slot 0 prepared |0⟩, slot 1 prepared |1⟩ (cyclic order).
-        let mut wrong = [0u32; 2];
-        let mut total = [0u32; 2];
-        for (j, md) in report.md_results.iter().enumerate() {
-            let slot = j % 2;
-            total[slot] += 1;
-            let expected = slot as u8;
-            // The prepared state can have relaxed during the measurement
-            // window; that T1 tail is part of real assignment error too.
-            wrong[slot] += u32::from(md.bit != expected);
-        }
-        points.push(ReadoutPoint {
-            duration_cycles: duration,
-            p1_given_0: f64::from(wrong[0]) / f64::from(total[0].max(1)),
-            p0_given_1: f64::from(wrong[1]) / f64::from(total[1].max(1)),
-        });
-    }
-    ReadoutResult { points }
+/// Runs the sweep: one calibrated session, one template patched per
+/// integration window, each shot reseeded exactly as the per-point
+/// devices used to be.
+pub fn run(cfg: &ReadoutConfig) -> Result<ReadoutResult, ExperimentError> {
+    harness::run(&Readout, cfg)
 }
 
 #[cfg(test)]
@@ -154,7 +206,7 @@ mod tests {
             shots: 120,
             ..ReadoutConfig::default()
         };
-        let result = run(&cfg);
+        let result = run(&cfg).expect("runs");
         let f: Vec<f64> = result.points.iter().map(ReadoutPoint::fidelity).collect();
         assert!(
             f[2] > f[0] + 0.05,
@@ -175,7 +227,7 @@ mod tests {
             noise_sigma: 0.01,
             ..ReadoutConfig::default()
         };
-        let result = run(&cfg);
+        let result = run(&cfg).expect("runs");
         let p = result.points[0];
         assert!(p.p1_given_0 < 0.02, "ground state is stable: {p:?}");
         assert!(

@@ -1,6 +1,94 @@
 //! Small statistics helpers shared by the Section 8 experiments
 //! (averaging the per-point measurement records the data collection unit
 //! of Section 7.1 returns).
+//!
+//! This module is the single home of the `|1⟩`-fraction and cyclic
+//! binning helpers that used to be duplicated across `sweep` and the
+//! engine's `BatchReport`; `sweep` re-exports them for compatibility.
+
+use quma_core::prelude::RunReport;
+
+/// The run's measurement records cannot be laid out over `k` sweep slots:
+/// the record count is not a multiple of `k`, so cyclic binning would
+/// silently smear points into each other's slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordLayoutError {
+    /// Discrimination records in the run.
+    pub records: usize,
+    /// Sweep slots expected.
+    pub k: usize,
+}
+
+impl std::fmt::Display for RecordLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} measurement records cannot bin cyclically into {} sweep slots",
+            self.records, self.k
+        )
+    }
+}
+
+impl std::error::Error for RecordLayoutError {}
+
+/// Bins a run's discrimination records cyclically into `k` sweep slots
+/// and returns the per-slot `|1⟩` fraction, validating first that the
+/// record count is a multiple of `k` (a partial last cycle means the
+/// program's layout and the analysis disagree — a bug, not data).
+pub fn bit_averages_cyclic_checked(
+    report: &RunReport,
+    k: usize,
+) -> Result<Vec<f64>, RecordLayoutError> {
+    if k == 0 || !report.md_results.len().is_multiple_of(k) {
+        return Err(RecordLayoutError {
+            records: report.md_results.len(),
+            k,
+        });
+    }
+    Ok(bit_averages_cyclic(report, k))
+}
+
+/// Bins a run's discrimination records cyclically into `k` sweep slots and
+/// returns the per-slot `|1⟩` fraction.
+///
+/// The compiler lays sweeps out collector-style: one kernel per sweep
+/// point, the whole block looped for the averaging rounds, so record `i`
+/// in completion order belongs to slot `i % k`. Prefer
+/// [`bit_averages_cyclic_checked`], which rejects record counts that do
+/// not tile the layout instead of silently mis-binning them.
+pub fn bit_averages_cyclic(report: &RunReport, k: usize) -> Vec<f64> {
+    let mut ones = vec![0u64; k];
+    let mut counts = vec![0u64; k];
+    for (i, md) in report.md_results.iter().enumerate() {
+        ones[i % k] += u64::from(md.bit);
+        counts[i % k] += 1;
+    }
+    ones.iter()
+        .zip(counts.iter())
+        .map(|(&o, &n)| o as f64 / n.max(1) as f64)
+        .collect()
+}
+
+/// The pooled `|1⟩` fraction across every record of a run.
+pub fn ones_fraction(report: &RunReport) -> f64 {
+    let ones = report.md_results.iter().filter(|m| m.bit == 1).count();
+    ones as f64 / report.md_results.len().max(1) as f64
+}
+
+/// The `|1⟩` fraction on one qubit, pooled across several reports — the
+/// batch-level pooling `BatchReport::ones_fraction` performs, usable on
+/// any report slice.
+pub fn ones_fraction_pooled<'a>(
+    reports: impl IntoIterator<Item = &'a RunReport>,
+    qubit: usize,
+) -> f64 {
+    let (ones, total) = reports
+        .into_iter()
+        .flat_map(|r| r.md_results.iter())
+        .filter(|m| m.qubit == qubit)
+        .fold((0u64, 0u64), |(o, t), m| (o + u64::from(m.bit), t + 1));
+    ones as f64 / total.max(1) as f64
+}
 
 /// Arithmetic mean; 0 for empty input.
 pub fn mean(xs: &[f64]) -> f64 {

@@ -1,32 +1,14 @@
 //! Shared machinery for sweep-style experiments driven through the batch
 //! engine (`quma_core::engine::Session`).
+//!
+//! The binning helpers themselves live in [`crate::stats`] (one home
+//! instead of three near-copies); this module re-exports them under their
+//! historical paths.
 
-use quma_core::prelude::RunReport;
-
-/// Bins a run's discrimination records cyclically into `k` sweep slots and
-/// returns the per-slot `|1⟩` fraction.
-///
-/// The compiler lays sweeps out collector-style: one kernel per sweep
-/// point, the whole block looped for the averaging rounds, so record `i`
-/// in completion order belongs to slot `i % k`.
-pub fn bit_averages_cyclic(report: &RunReport, k: usize) -> Vec<f64> {
-    let mut ones = vec![0u64; k];
-    let mut counts = vec![0u64; k];
-    for (i, md) in report.md_results.iter().enumerate() {
-        ones[i % k] += u64::from(md.bit);
-        counts[i % k] += 1;
-    }
-    ones.iter()
-        .zip(counts.iter())
-        .map(|(&o, &n)| o as f64 / n.max(1) as f64)
-        .collect()
-}
-
-/// The pooled `|1⟩` fraction across every record of a run.
-pub fn ones_fraction(report: &RunReport) -> f64 {
-    let ones = report.md_results.iter().filter(|m| m.bit == 1).count();
-    ones as f64 / report.md_results.len().max(1) as f64
-}
+pub use crate::stats::{
+    bit_averages_cyclic, bit_averages_cyclic_checked, ones_fraction, ones_fraction_pooled,
+    RecordLayoutError,
+};
 
 #[cfg(test)]
 mod tests {
@@ -67,5 +49,30 @@ mod tests {
         assert_eq!(bit_averages_cyclic(&report, 2).len(), 2);
         let f = ones_fraction(&report);
         assert!((0.0..=1.0).contains(&f));
+        // 6 records tile 2 slots exactly; the checked variant agrees.
+        assert_eq!(
+            bit_averages_cyclic_checked(&report, 2).unwrap(),
+            bit_averages_cyclic(&report, 2)
+        );
+        // …but a 4-slot layout over 6 records is a typed error, not a
+        // silent mis-binning.
+        assert_eq!(
+            bit_averages_cyclic_checked(&report, 4).unwrap_err(),
+            RecordLayoutError { records: 6, k: 4 }
+        );
+        assert!(bit_averages_cyclic_checked(&report, 0).is_err());
+    }
+
+    #[test]
+    fn pooled_fraction_matches_batch_report() {
+        use quma_core::prelude::Session;
+        let src = "Wait 40000\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}\nhalt\n";
+        let mut session = Session::new(DeviceConfig::default()).unwrap();
+        let loaded = session.load_assembly(src).unwrap();
+        let batch = session.run_shots(&loaded, 3).unwrap();
+        assert_eq!(
+            ones_fraction_pooled(batch.shots.iter(), 0),
+            batch.ones_fraction(0)
+        );
     }
 }

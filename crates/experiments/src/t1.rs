@@ -4,10 +4,11 @@
 //! Protocol: excite with `X180`, idle for a variable delay `τ`, measure.
 //! The excited-state population decays as `p₁(τ) = A·e^{−τ/T1} + B`.
 
-use crate::fit::{fit_exponential_decay, FitError};
-use crate::sweep::bit_averages_cyclic;
-use quma_compiler::prelude::{CompilerConfig, GateSet, Kernel, QuantumProgram};
-use quma_core::prelude::{ChipProfile, DeviceConfig, Session, TraceLevel};
+use crate::fit::fit_exponential_decay;
+use crate::harness::{self, ExecutionMode, Experiment, ExperimentError, SweepAxes, SweepPoint};
+use crate::stats::bit_averages_cyclic_checked;
+use quma_compiler::prelude::{Bindings, CompilerConfig, Kernel, QuantumProgram};
+use quma_core::prelude::{ChipProfile, DeviceConfig, RunReport, TraceLevel};
 
 /// T1 experiment configuration.
 #[derive(Debug, Clone)]
@@ -52,53 +53,91 @@ impl T1Result {
     }
 }
 
+/// The T1 experiment: one parameterized kernel (`τ` axis), swept through
+/// the collector layout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct T1;
+
+impl Experiment for T1 {
+    type Config = T1Config;
+    type Output = T1Result;
+
+    fn name(&self) -> &'static str {
+        "t1"
+    }
+
+    fn device_config(&self, cfg: &T1Config) -> DeviceConfig {
+        DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: cfg.seed,
+            collector_k: cfg.delays_cycles.len(),
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn program(&self, _cfg: &T1Config) -> Result<QuantumProgram, ExperimentError> {
+        let mut program = QuantumProgram::new("T1");
+        let mut k = Kernel::new("delay");
+        k.init().gate("X180", 0).wait_param("tau", 0).measure(0);
+        program.add_kernel(k);
+        Ok(program)
+    }
+
+    fn compiler_config(&self, cfg: &T1Config) -> CompilerConfig {
+        CompilerConfig {
+            init_cycles: cfg.init_cycles,
+            averages: cfg.averages,
+            ..CompilerConfig::default()
+        }
+    }
+
+    fn axes(&self, cfg: &T1Config) -> Result<SweepAxes, ExperimentError> {
+        let cycle = self.device_config(cfg).cycle_time;
+        let points = cfg
+            .delays_cycles
+            .iter()
+            .map(|&d| {
+                SweepPoint::bound(
+                    f64::from(d) * cycle,
+                    Bindings::new().int("tau", i64::from(d)),
+                )
+            })
+            .collect();
+        Ok(SweepAxes::new(points, ExecutionMode::Collector))
+    }
+
+    fn analyze(
+        &self,
+        _cfg: &T1Config,
+        axes: &SweepAxes,
+        reports: &[RunReport],
+    ) -> Result<T1Result, ExperimentError> {
+        let p1 = bit_averages_cyclic_checked(&reports[0], axes.points.len())?;
+        let delays = axes.xs();
+        let fit = fit_exponential_decay(&delays, &p1)?;
+        Ok(T1Result { delays, p1, fit })
+    }
+}
+
 /// Builds the sweep program: one kernel per delay, all looped `averages`
 /// times (the collector-style cyclic layout).
 pub fn build_program(cfg: &T1Config) -> quma_isa::program::Program {
-    let mut program = QuantumProgram::new("T1");
-    for (i, &d) in cfg.delays_cycles.iter().enumerate() {
-        let mut k = Kernel::new(format!("delay{i}"));
-        k.init();
-        k.gate("X180", 0);
-        if d > 0 {
-            k.wait(d);
-        }
-        k.measure(0);
-        program.add_kernel(k);
-    }
-    let ccfg = CompilerConfig {
-        init_cycles: cfg.init_cycles,
-        averages: cfg.averages,
-        ..CompilerConfig::default()
-    };
-    program
-        .compile(&GateSet::paper_default(), &ccfg)
+    let exp = T1;
+    let points: Vec<Bindings> = cfg
+        .delays_cycles
+        .iter()
+        .map(|&d| Bindings::new().int("tau", i64::from(d)))
+        .collect();
+    exp.program(cfg)
+        .expect("T1 program is well-formed")
+        .compile_unrolled(&exp.gates(cfg), &exp.compiler_config(cfg), &points)
         .expect("T1 program is well-formed")
 }
 
 /// Runs the T1 experiment on a paper-profile session and fits the decay.
-pub fn run(cfg: &T1Config) -> Result<T1Result, FitError> {
-    let dev_cfg = DeviceConfig {
-        chip: ChipProfile::Paper,
-        chip_seed: cfg.seed,
-        collector_k: cfg.delays_cycles.len(),
-        trace: TraceLevel::Off,
-        ..DeviceConfig::default()
-    };
-    let mut session = Session::new(dev_cfg).expect("valid config");
-    let program = session.load(&build_program(cfg));
-    let report = session.run(&program).expect("T1 program runs");
-    // Bit averages per slot from the MD records (completion order cycles
-    // through the K delays).
-    let p1 = bit_averages_cyclic(&report, cfg.delays_cycles.len());
-    let cycle = session.device().config().cycle_time;
-    let delays: Vec<f64> = cfg
-        .delays_cycles
-        .iter()
-        .map(|&d| f64::from(d) * cycle)
-        .collect();
-    let fit = fit_exponential_decay(&delays, &p1)?;
-    Ok(T1Result { delays, p1, fit })
+pub fn run(cfg: &T1Config) -> Result<T1Result, ExperimentError> {
+    harness::run(&T1, cfg)
 }
 
 #[cfg(test)]
@@ -137,5 +176,11 @@ mod tests {
         // Decay is monotone-ish: first point well above last.
         assert!(result.p1[0] > 0.8);
         assert!(*result.p1.last().unwrap() < 0.3);
+    }
+
+    #[test]
+    fn template_has_the_tau_axis() {
+        let t = T1.template(&T1Config::default()).expect("compiles");
+        assert_eq!(t.axis("tau").expect("tau axis").sites, 1);
     }
 }

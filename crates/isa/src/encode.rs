@@ -33,7 +33,7 @@ use crate::reg::Reg;
 use crate::uop::{QubitMask, UopId};
 
 /// Opcode constants (6-bit).
-mod op {
+pub(crate) mod op {
     pub const MOV: u32 = 0x01;
     pub const ADD: u32 = 0x02;
     pub const ADDI: u32 = 0x03;

@@ -31,6 +31,7 @@ pub mod encode;
 pub mod instruction;
 pub mod program;
 pub mod reg;
+pub mod template;
 pub mod uop;
 pub mod verify;
 
@@ -41,6 +42,7 @@ pub mod prelude {
     pub use crate::instruction::{GateId, Instruction, PulseOp};
     pub use crate::program::Program;
     pub use crate::reg::{Reg, RegisterFile, NUM_REGS};
+    pub use crate::template::{PatchError, PatchField, PatchSlot, ProgramTemplate, SweepAxisInfo};
     pub use crate::uop::{QubitMask, UopId, UopTable, UopTableError, MAX_UOP, TABLE1_NAMES};
     pub use crate::verify::{
         is_loadable, verify, Diagnostic, DiagnosticKind, Severity, VerifyConfig,

@@ -1,7 +1,9 @@
-//! A program: instructions plus label metadata, with disassembly.
+//! A program: instructions plus label and patch-slot metadata, with
+//! disassembly.
 
 use crate::instruction::Instruction;
-use crate::uop::UopTable;
+use crate::template::{PatchError, PatchField, PatchSlot};
+use crate::uop::{UopId, UopTable};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -10,6 +12,7 @@ use std::fmt;
 pub struct Program {
     insns: Vec<Instruction>,
     labels: HashMap<String, u32>,
+    slots: Vec<PatchSlot>,
 }
 
 impl Program {
@@ -18,12 +21,17 @@ impl Program {
         Self {
             insns,
             labels: HashMap::new(),
+            slots: Vec::new(),
         }
     }
 
     /// A program with label metadata (addresses are instruction indices).
     pub fn with_labels(insns: Vec<Instruction>, labels: HashMap<String, u32>) -> Self {
-        Self { insns, labels }
+        Self {
+            insns,
+            labels,
+            slots: Vec::new(),
+        }
     }
 
     /// The instructions.
@@ -58,9 +66,159 @@ impl Program {
         crate::encode::encode_program(&self.insns)
     }
 
-    /// Decodes a binary image (labels are lost).
+    /// Decodes a binary image (labels and patch slots are lost).
     pub fn decode(words: &[u32]) -> Result<Self, crate::encode::DecodeError> {
         Ok(Self::new(crate::encode::decode_program(words)?))
+    }
+
+    /// Number of 32-bit words `insn` occupies in the binary image.
+    fn word_count(insn: &Instruction) -> u32 {
+        match insn {
+            Instruction::Pulse { ops } => ops.len() as u32,
+            _ => 1,
+        }
+    }
+
+    /// Registers a named patch slot over the immediate field of the
+    /// instruction at `insn_index`. The word offset into the encoded
+    /// image is computed here, once, so later patches are O(1).
+    ///
+    /// Names need not be unique: every slot sharing a name is rewritten
+    /// together by [`Program::patch`] (the natural shape for a parameter
+    /// appearing at several sites, e.g. the two edge waits of an echo
+    /// kernel).
+    pub fn add_slot(
+        &mut self,
+        name: impl Into<String>,
+        insn_index: u32,
+        field: PatchField,
+    ) -> Result<(), PatchError> {
+        let name = name.into();
+        let insn = self
+            .insns
+            .get(insn_index as usize)
+            .ok_or(PatchError::OutOfRange {
+                index: insn_index,
+                len: self.insns.len(),
+            })?;
+        if !field.matches_insn(insn) {
+            return Err(PatchError::FieldMismatch { name, insn_index });
+        }
+        let mut word_offset: u32 = self.insns[..insn_index as usize]
+            .iter()
+            .map(Self::word_count)
+            .sum();
+        if let PatchField::PulseUop { op } = field {
+            word_offset += op as u32;
+        }
+        self.slots.push(PatchSlot {
+            name,
+            insn_index,
+            word_offset,
+            field,
+        });
+        Ok(())
+    }
+
+    /// The patch-slot table, in registration order.
+    pub fn slots(&self) -> &[PatchSlot] {
+        &self.slots
+    }
+
+    /// True when a slot with the name exists.
+    pub fn has_slot(&self, name: &str) -> bool {
+        self.slots.iter().any(|s| s.name == name)
+    }
+
+    /// Distinct slot names, in first-appearance order.
+    pub fn slot_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for s in &self.slots {
+            if !names.contains(&s.name.as_str()) {
+                names.push(&s.name);
+            }
+        }
+        names
+    }
+
+    /// Rewrites every slot named `name` to `value`, validating the field
+    /// width first (no site is touched if any site would overflow).
+    /// Returns the number of sites patched; O(1) per site regardless of
+    /// program length.
+    pub fn patch(&mut self, name: &str, value: i64) -> Result<usize, PatchError> {
+        let sites: Vec<(u32, PatchField)> = self
+            .slots
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| (s.insn_index, s.field))
+            .collect();
+        if sites.is_empty() {
+            return Err(PatchError::UnknownSlot(name.to_string()));
+        }
+        for &(_, field) in &sites {
+            field.check_value(name, value)?;
+        }
+        for &(index, field) in &sites {
+            let insn = &mut self.insns[index as usize];
+            match (field, insn) {
+                (PatchField::WaitInterval, Instruction::Wait { interval }) => {
+                    *interval = value as u32;
+                }
+                (PatchField::MovImm, Instruction::Mov { imm, .. }) => {
+                    *imm = value as i32;
+                }
+                (PatchField::MpgDuration, Instruction::Mpg { duration, .. }) => {
+                    *duration = value as u32;
+                }
+                (PatchField::PulseUop { op }, Instruction::Pulse { ops }) => {
+                    ops[op].uop = UopId::new(value as u8).expect("6-bit check passed");
+                }
+                _ => {
+                    return Err(PatchError::FieldMismatch {
+                        name: name.to_string(),
+                        insn_index: index,
+                    })
+                }
+            }
+        }
+        Ok(sites.len())
+    }
+
+    /// Rewrites every slot named `name` directly in an encoded binary
+    /// image, re-encoding only the touched words (bit-splice at the
+    /// slot's recorded `word_offset`). The image must come from
+    /// [`Program::encode`] of this program; the opcode of each touched
+    /// word is verified before any write.
+    pub fn patch_words(
+        &self,
+        words: &mut [u32],
+        name: &str,
+        value: i64,
+    ) -> Result<usize, PatchError> {
+        let sites: Vec<&PatchSlot> = self.slots.iter().filter(|s| s.name == name).collect();
+        if sites.is_empty() {
+            return Err(PatchError::UnknownSlot(name.to_string()));
+        }
+        for s in &sites {
+            s.field.check_value(name, value)?;
+            let w = *words
+                .get(s.word_offset as usize)
+                .ok_or(PatchError::OutOfRange {
+                    index: s.word_offset,
+                    len: words.len(),
+                })?;
+            if w >> 26 != s.field.opcode() {
+                return Err(PatchError::FieldMismatch {
+                    name: name.to_string(),
+                    insn_index: s.insn_index,
+                });
+            }
+        }
+        for s in &sites {
+            let w = &mut words[s.word_offset as usize];
+            *w = s.field.splice_word(*w, value);
+        }
+        Ok(sites.len())
     }
 
     /// Disassembles with µ-op names and label comments.
@@ -138,5 +296,97 @@ mod tests {
         assert!(prog.is_empty());
         assert_eq!(prog.len(), 0);
         assert!(prog.encode().unwrap().is_empty());
+    }
+
+    fn slotted() -> Program {
+        // The Pulse is a two-word horizontal chain, so the Wait after it
+        // sits at word offset 4 while its instruction index is 3.
+        let src = "mov r15, 40000\n\
+                   QNopReg r15\n\
+                   Pulse {q0}, X90, {q1}, Y90\n\
+                   Wait 800\n\
+                   MPG {q0}, 300\n\
+                   MD {q0}\n\
+                   halt\n";
+        let mut prog = Assembler::new().assemble(src).unwrap();
+        prog.add_slot("tau", 3, PatchField::WaitInterval).unwrap();
+        prog.add_slot("window", 4, PatchField::MpgDuration).unwrap();
+        prog.add_slot("b", 2, PatchField::PulseUop { op: 1 })
+            .unwrap();
+        prog
+    }
+
+    #[test]
+    fn patch_rewrites_only_the_named_field() {
+        let mut prog = slotted();
+        assert_eq!(prog.patch("tau", 1600).unwrap(), 1);
+        assert!(matches!(
+            prog.instructions()[3],
+            Instruction::Wait { interval: 1600 }
+        ));
+        assert!(matches!(
+            prog.instructions()[4],
+            Instruction::Mpg { duration: 300, .. }
+        ));
+        assert!(matches!(
+            prog.patch("missing", 1),
+            Err(crate::template::PatchError::UnknownSlot(_))
+        ));
+    }
+
+    #[test]
+    fn word_offsets_account_for_pulse_chains() {
+        let prog = slotted();
+        let tau = prog.slots().iter().find(|s| s.name == "tau").unwrap();
+        assert_eq!(tau.insn_index, 3);
+        assert_eq!(tau.word_offset, 4);
+        let b = prog.slots().iter().find(|s| s.name == "b").unwrap();
+        assert_eq!(b.word_offset, 3);
+    }
+
+    #[test]
+    fn patch_words_matches_patch_then_encode() {
+        let mut a = slotted();
+        let b = a.clone();
+        let mut image = b.encode().unwrap();
+        for (name, value) in [("tau", 12_000i64), ("window", 64), ("b", 2)] {
+            a.patch(name, value).unwrap();
+            b.patch_words(&mut image, name, value).unwrap();
+        }
+        assert_eq!(a.encode().unwrap(), image);
+        // And the spliced image decodes back to the patched program.
+        assert_eq!(
+            Program::decode(&image).unwrap().instructions(),
+            a.instructions()
+        );
+    }
+
+    #[test]
+    fn slot_registration_is_validated() {
+        let mut prog = slotted();
+        assert!(matches!(
+            prog.add_slot("bad", 0, PatchField::WaitInterval),
+            Err(crate::template::PatchError::FieldMismatch { .. })
+        ));
+        assert!(matches!(
+            prog.add_slot("oob", 99, PatchField::WaitInterval),
+            Err(crate::template::PatchError::OutOfRange { .. })
+        ));
+        assert_eq!(prog.slot_names(), vec!["tau", "window", "b"]);
+        assert!(prog.has_slot("tau"));
+        assert!(!prog.has_slot("bad"));
+    }
+
+    #[test]
+    fn patch_overflow_leaves_every_site_untouched() {
+        let mut prog = slotted();
+        prog.add_slot("tau", 3, PatchField::WaitInterval).unwrap();
+        assert!(prog.patch("tau", 1 << 27).is_err());
+        assert!(matches!(
+            prog.instructions()[3],
+            Instruction::Wait { interval: 800 }
+        ));
+        // Two sites share the name: one patch call rewrites both.
+        assert_eq!(prog.patch("tau", 44).unwrap(), 2);
     }
 }

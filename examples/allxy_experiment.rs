@@ -18,7 +18,7 @@ fn run_case(name: &str, error: PulseError, averages: u32) -> AllxyResult {
         chip: ChipProfile::Paper,
         seed: 0xF169,
     };
-    let result = run_allxy(&cfg);
+    let result = run_allxy(&cfg).expect("AllXY runs");
     println!("--- {name} (N = {averages}) ---");
     println!("{}", allxy_table(&result));
     result

@@ -17,7 +17,7 @@ fn main() {
     println!("== QuMA calibration loop ==\n");
 
     // ---- 1. readout window --------------------------------------------
-    let sweep = readout::run(&readout::ReadoutConfig::default());
+    let sweep = readout::run(&readout::ReadoutConfig::default()).expect("readout runs");
     println!("readout assignment fidelity vs integration window:");
     println!(
         "{:>10} {:>10} {:>9} {:>9}",
@@ -64,11 +64,13 @@ fn main() {
     let broken = run_allxy(&AllxyConfig {
         error: PulseError::AmplitudeScale(miscal),
         ..base.clone()
-    });
+    })
+    .expect("AllXY runs");
     let repaired = run_allxy(&AllxyConfig {
         error: PulseError::AmplitudeScale(miscal * rabi.correction()),
         ..base
-    });
+    })
+    .expect("AllXY runs");
     println!("AllXY deviation before correction: {:.4}", broken.deviation);
     println!(
         "AllXY deviation after  correction: {:.4}",

@@ -41,7 +41,7 @@ fn main() {
     };
 
     println!("clean run: ");
-    let clean = run_qec(&base);
+    let clean = run_qec(&base).expect("QEC runs");
     println!(
         "   {} shots, logical error rate {:.3} (majority bits {:?})\n",
         clean.shots, clean.logical_error_rate, clean.majority_bits
@@ -51,7 +51,7 @@ fn main() {
     println!("single injected X errors (every location, every round):");
     for round in 0..2 {
         for data in 0..3 {
-            let r = run_qec_injected(&base, &[InjectedX { round, data }]);
+            let r = run_qec_injected(&base, &[InjectedX { round, data }]).expect("QEC runs");
             println!(
                 "   X on d{data} in round {round}: logical error rate {:.3} -> {}",
                 r.logical_error_rate,
@@ -74,7 +74,7 @@ fn main() {
                 error_rate: rate,
                 ..base.clone()
             };
-            let r = run_qec(&cfg);
+            let r = run_qec(&cfg).expect("QEC runs");
             println!(
                 "   d={distance} p={rate:.2}: injected {:>2} X flips, logical error rate {:.3}",
                 r.injected_flips, r.logical_error_rate

@@ -18,7 +18,7 @@ fn small_cfg() -> AllxyConfig {
 
 #[test]
 fn staircase_emerges_from_the_full_stack() {
-    let result = run_allxy(&small_cfg());
+    let result = run_allxy(&small_cfg()).expect("AllXY runs");
     assert_eq!(result.fidelity.len(), 42);
     // Ground plateau, equator plateau, excited plateau.
     let ground: f64 = result.fidelity[..10].iter().sum::<f64>() / 10.0;
@@ -40,9 +40,9 @@ fn amplitude_error_bends_the_equator_plateau() {
     // intact but tilts the equator points — the classic AllXY signature.
     let mut cfg = small_cfg();
     cfg.error = PulseError::AmplitudeScale(0.90);
-    let bad = run_allxy(&cfg);
+    let bad = run_allxy(&cfg).expect("AllXY runs");
     cfg.error = PulseError::None;
-    let good = run_allxy(&cfg);
+    let good = run_allxy(&cfg).expect("AllXY runs");
     assert!(
         bad.deviation > 2.0 * good.deviation,
         "10% amplitude error must be clearly visible: {} vs {}",
@@ -58,7 +58,7 @@ fn timing_skew_is_catastrophic_under_ssb() {
     // composing to identity and the staircase collapses.
     let mut cfg = small_cfg();
     cfg.error = PulseError::TimingSkewCycles(1);
-    let skewed = run_allxy(&cfg);
+    let skewed = run_allxy(&cfg).expect("AllXY runs");
     assert!(
         skewed.deviation > 0.12,
         "5 ns skew must wreck the staircase, deviation = {}",
@@ -81,9 +81,9 @@ fn detuning_error_is_visible() {
     // the 20 ns between the two pulses — clearly visible on the staircase.
     let mut cfg = small_cfg();
     cfg.error = PulseError::Detuning(5.0e6);
-    let detuned = run_allxy(&cfg);
+    let detuned = run_allxy(&cfg).expect("AllXY runs");
     cfg.error = PulseError::None;
-    let clean = run_allxy(&cfg);
+    let clean = run_allxy(&cfg).expect("AllXY runs");
     assert!(
         detuned.deviation > 1.5 * clean.deviation && detuned.deviation > 0.05,
         "5 MHz detuning must be visible: {} vs clean {}",
@@ -97,9 +97,9 @@ fn four_hundred_rounds_tighten_the_staircase() {
     // More averaging → smaller deviation (statistics, not systematics).
     let mut cfg = small_cfg();
     cfg.averages = 12;
-    let rough = run_allxy(&cfg);
+    let rough = run_allxy(&cfg).expect("AllXY runs");
     cfg.averages = 192;
-    let fine = run_allxy(&cfg);
+    let fine = run_allxy(&cfg).expect("AllXY runs");
     assert!(
         fine.deviation < rough.deviation + 0.01,
         "averaging should not hurt: {} vs {}",

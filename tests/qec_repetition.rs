@@ -20,7 +20,7 @@ fn distance3_recovers_from_every_single_injected_error() {
     // exactly 0.
     for round in 0..2 {
         for data in 0..3 {
-            let result = run_qec_injected(&base(), &[InjectedX { round, data }]);
+            let result = run_qec_injected(&base(), &[InjectedX { round, data }]).expect("QEC runs");
             assert_eq!(
                 result.logical_errors, 0,
                 "X on d{data} in round {round}: majority bits {:?}",
@@ -33,8 +33,8 @@ fn distance3_recovers_from_every_single_injected_error() {
 #[test]
 fn recovery_is_deterministic_under_a_fixed_seed() {
     let injection = [InjectedX { round: 0, data: 1 }];
-    let a = run_qec_injected(&base(), &injection);
-    let b = run_qec_injected(&base(), &injection);
+    let a = run_qec_injected(&base(), &injection).expect("QEC runs");
+    let b = run_qec_injected(&base(), &injection).expect("QEC runs");
     assert_eq!(a.majority_bits, b.majority_bits);
     assert_eq!(a.logical_errors, b.logical_errors);
     assert_eq!(a.logical_errors, 0);
@@ -43,14 +43,15 @@ fn recovery_is_deterministic_under_a_fixed_seed() {
 #[test]
 fn parallel_batch_matches_sequential_shot_for_shot() {
     let injection = [InjectedX { round: 1, data: 0 }];
-    let sequential = run_qec_injected(&base(), &injection);
+    let sequential = run_qec_injected(&base(), &injection).expect("QEC runs");
     let parallel = run_qec_injected(
         &QecConfig {
             threads: 3,
             ..base()
         },
         &injection,
-    );
+    )
+    .expect("QEC runs");
     assert_eq!(sequential.majority_bits, parallel.majority_bits);
     assert_eq!(parallel.logical_errors, 0);
 }
@@ -97,7 +98,8 @@ fn distance5_recovers_from_double_errors_across_rounds() {
             InjectedX { round: 0, data: 3 },
             InjectedX { round: 1, data: 2 },
         ],
-    );
+    )
+    .expect("QEC runs");
     assert_eq!(
         result.logical_errors, 0,
         "majority bits {:?}",
@@ -111,7 +113,7 @@ fn logical_one_is_preserved_through_correction() {
         logical_one: true,
         ..base()
     };
-    let result = run_qec_injected(&cfg, &[InjectedX { round: 0, data: 2 }]);
+    let result = run_qec_injected(&cfg, &[InjectedX { round: 0, data: 2 }]).expect("QEC runs");
     assert_eq!(result.logical_errors, 0);
     assert!(result.majority_bits.iter().all(|&b| b == 1));
 }
@@ -126,8 +128,8 @@ fn noisy_chip_qec_runs_and_reports_a_rate() {
         error_rate: 0.1,
         ..QecConfig::default()
     };
-    let a = run_qec(&cfg);
-    let b = run_qec(&cfg);
+    let a = run_qec(&cfg).expect("QEC runs");
+    let b = run_qec(&cfg).expect("QEC runs");
     assert!(a.logical_error_rate >= 0.0 && a.logical_error_rate <= 1.0);
     assert_eq!(a.majority_bits, b.majority_bits, "noisy runs are seeded");
 }
