@@ -164,7 +164,28 @@ impl std::fmt::Display for DeviceError {
     }
 }
 
-impl std::error::Error for DeviceError {}
+impl std::error::Error for DeviceError {
+    /// Chains to the component fault behind the device-level wrapper, so
+    /// generic error reporters (`anyhow`-style cause walks, the pool's
+    /// job failure logs) can print the full story without matching on
+    /// variants.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Assemble(e) => Some(e),
+            DeviceError::Exec(e) => Some(e),
+            DeviceError::UnknownGate(e) => Some(e),
+            DeviceError::UndefinedUop(e) => Some(e),
+            DeviceError::UnknownCodeword(e) => Some(e),
+            DeviceError::Patch(e) => Some(e),
+            DeviceError::Config(_)
+            | DeviceError::CzArity { .. }
+            | DeviceError::MdWithoutMpg { .. }
+            | DeviceError::ChronologyViolation { .. }
+            | DeviceError::MaxCyclesExceeded(_)
+            | DeviceError::Deadlock { .. } => None,
+        }
+    }
+}
 
 impl From<crate::exec::ExecError> for DeviceError {
     fn from(e: crate::exec::ExecError) -> Self {

@@ -70,6 +70,84 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
     splitmix64(base ^ index.wrapping_mul(0xA076_1D64_78BD_642F))
 }
 
+/// Resolves a requested worker-thread count against the amount of work:
+/// `0` means "use [`std::thread::available_parallelism`]" (falling back
+/// to 1 if the parallelism query fails), and the result is clamped to
+/// `1..=items` so no worker ever starts with nothing to do. Every
+/// parallel entry point on [`Session`] resolves its `threads` argument
+/// through this function, so `threads == 0` is the portable "auto"
+/// spelling everywhere.
+pub fn resolve_threads(threads: usize, items: usize) -> usize {
+    let requested = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    requested.clamp(1, items.max(1))
+}
+
+/// Runs `items` units of work striped across `workers` threads (worker
+/// `t` takes items `t, t + workers, t + 2·workers, …`) and returns the
+/// results in item order. Each worker owns the state `make_worker(t)`
+/// builds for it on the caller's thread (a device clone, a working
+/// program copy, …); the vendored crossbeam scope requires the returned
+/// closures to be `'static`. On failure the *lowest-item-index* error is
+/// returned — the same error the sequential loop's early return would
+/// surface, since every item before it succeeds identically on both
+/// paths (per-item work is deterministic and isolated per worker).
+fn run_striped<R, W>(
+    workers: usize,
+    items: usize,
+    mut make_worker: impl FnMut(usize) -> W,
+) -> Result<Vec<R>, DeviceError>
+where
+    R: Send + 'static,
+    W: FnMut(usize) -> Result<R, DeviceError> + Send + 'static,
+{
+    type Striped<R> = Result<Vec<(usize, R)>, (usize, DeviceError)>;
+    let per_thread: Vec<Striped<R>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                let mut work = make_worker(t);
+                s.spawn(move |_| {
+                    let mut out = Vec::with_capacity(items.div_ceil(workers));
+                    let mut i = t;
+                    while i < items {
+                        match work(i) {
+                            Ok(r) => out.push((i, r)),
+                            Err(e) => return Err((i, e)),
+                        }
+                        i += workers;
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("striped worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+    let mut indexed = Vec::with_capacity(items);
+    let mut first_error: Option<(usize, DeviceError)> = None;
+    for r in per_thread {
+        match r {
+            Ok(chunk) => indexed.extend(chunk),
+            Err((i, e)) => {
+                if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_error = Some((i, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    Ok(indexed.into_iter().map(|(_, r)| r).collect())
+}
+
 /// Rejects template sweeps whose points patch different axis sets (see
 /// [`TemplatePoint::patches`]): a skipped axis would inherit
 /// worker-dependent state, breaking sequential == parallel. Exposed so
@@ -288,6 +366,23 @@ impl Session {
         self.next_shot
     }
 
+    /// Replaces the session's seed plan. Pool workers use this (paired
+    /// with [`Session::reset_shot_counter`]) to make one warm session
+    /// replay a job exactly as a fresh session built from the job's
+    /// seeds would — the device pool's deterministic-replay contract.
+    pub fn set_seed_plan(&mut self, plan: SeedPlan) {
+        self.plan = plan;
+    }
+
+    /// Rewinds the batch shot counter to 0, so the next batch derives
+    /// its seeds from index 0 again — exactly like a freshly built
+    /// session. Together with [`Session::set_seed_plan`] this makes a
+    /// long-lived worker session bit-reproducible per job instead of per
+    /// session lifetime.
+    pub fn reset_shot_counter(&mut self) {
+        self.next_shot = 0;
+    }
+
     /// Prepares a program for batched execution. Loading just captures
     /// the instruction sequence — gate resolution against the Q control
     /// store stays a run-time concern (an unknown gate surfaces as
@@ -369,12 +464,13 @@ impl Session {
             .collect()
     }
 
-    /// Runs a sweep sharded across `threads` worker threads, each on a
-    /// clone of the calibrated device; point `i` runs with exactly the
-    /// seeds of the sequential [`Session::run_sweep`], so the reports
-    /// (returned in point order) are bit-identical to it. Like
-    /// [`Session::run_shots_parallel`], only the clones run — the owned
-    /// device's RNG streams stay where they were.
+    /// Runs a sweep sharded across `threads` worker threads (`0` = one
+    /// per available core), each on a clone of the calibrated device;
+    /// point `i` runs with exactly the seeds of the sequential
+    /// [`Session::run_sweep`], so the reports (returned in point order)
+    /// are bit-identical to it. Like [`Session::run_shots_parallel`],
+    /// only the clones run — the owned device's RNG streams stay where
+    /// they were.
     ///
     /// The point list is shared across workers behind one [`Arc`] (each
     /// worker strides it by index) instead of materializing a per-worker
@@ -386,38 +482,17 @@ impl Session {
         points: &[(LoadedProgram, ShotSeeds)],
         threads: usize,
     ) -> Result<Vec<RunReport>, DeviceError> {
-        let workers = threads.clamp(1, points.len().max(1));
+        let workers = resolve_threads(threads, points.len());
         let shared: Arc<[(LoadedProgram, ShotSeeds)]> = Arc::from(points.to_vec());
-        let per_thread: Vec<Result<Vec<(usize, RunReport)>, DeviceError>> = thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|t| {
-                    let mut device = self.device.clone();
-                    let points = Arc::clone(&shared);
-                    s.spawn(move |_| {
-                        let mut out = Vec::with_capacity(points.len().div_ceil(workers));
-                        let mut i = t;
-                        while i < points.len() {
-                            let (program, seeds) = &points[i];
-                            device.reseed(seeds.chip, seeds.jitter);
-                            out.push((i, device.run(program.program())?));
-                            i += workers;
-                        }
-                        Ok(out)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
+        run_striped(workers, points.len(), |_| {
+            let mut device = self.device.clone();
+            let points = Arc::clone(&shared);
+            move |i| {
+                let (program, seeds) = &points[i];
+                device.reseed(seeds.chip, seeds.jitter);
+                device.run(program.program())
+            }
         })
-        .expect("thread scope");
-        let mut indexed = Vec::with_capacity(points.len());
-        for r in per_thread {
-            indexed.extend(r?);
-        }
-        indexed.sort_by_key(|&(i, _)| i);
-        Ok(indexed.into_iter().map(|(_, r)| r).collect())
     }
 
     /// Runs a loaded template once with explicit seeds, in its current
@@ -452,14 +527,15 @@ impl Session {
         Ok(reports)
     }
 
-    /// Runs a template sweep sharded across `threads` worker threads.
-    /// Workers share the point list behind an [`Arc`] and fork their
-    /// per-worker program from the template's *current working state*
-    /// (one clone per worker, not per point), so patches applied before
-    /// the sweep — e.g. fixing a non-swept axis — are honored exactly as
-    /// in the sequential [`Session::run_template_sweep`]. Point `i` runs
-    /// with the same program state and seeds as in the sequential sweep,
-    /// so the reports (in point order) are bit-identical to it.
+    /// Runs a template sweep sharded across `threads` worker threads
+    /// (`0` = one per available core). Workers share the point list
+    /// behind an [`Arc`] and fork their per-worker program from the
+    /// template's *current working state* (one clone per worker, not per
+    /// point), so patches applied before the sweep — e.g. fixing a
+    /// non-swept axis — are honored exactly as in the sequential
+    /// [`Session::run_template_sweep`]. Point `i` runs with the same
+    /// program state and seeds as in the sequential sweep, so the
+    /// reports (in point order) are bit-identical to it.
     pub fn run_template_sweep_parallel(
         &mut self,
         template: &LoadedTemplate,
@@ -467,51 +543,31 @@ impl Session {
         threads: usize,
     ) -> Result<Vec<RunReport>, DeviceError> {
         validate_axis_sets(points)?;
-        let workers = threads.clamp(1, points.len().max(1));
+        let workers = resolve_threads(threads, points.len());
         let shared: Arc<[TemplatePoint]> = Arc::from(points.to_vec());
         let start = Arc::new(template.working().clone());
-        let per_thread: Vec<Result<Vec<(usize, RunReport)>, DeviceError>> = thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|t| {
-                    let mut device = self.device.clone();
-                    let points = Arc::clone(&shared);
-                    let mut working = (*start).clone();
-                    s.spawn(move |_| {
-                        let mut out = Vec::with_capacity(points.len().div_ceil(workers));
-                        let mut i = t;
-                        while i < points.len() {
-                            let point = &points[i];
-                            for (name, value) in &point.patches {
-                                working.patch(name, *value)?;
-                            }
-                            device.reseed(point.seeds.chip, point.seeds.jitter);
-                            out.push((i, device.run(&working)?));
-                            i += workers;
-                        }
-                        Ok(out)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("template worker panicked"))
-                .collect()
+        run_striped(workers, points.len(), |_| {
+            let mut device = self.device.clone();
+            let points = Arc::clone(&shared);
+            let mut working = (*start).clone();
+            move |i| {
+                let point = &points[i];
+                for (name, value) in &point.patches {
+                    working.patch(name, *value)?;
+                }
+                device.reseed(point.seeds.chip, point.seeds.jitter);
+                device.run(&working)
+            }
         })
-        .expect("thread scope");
-        let mut indexed = Vec::with_capacity(points.len());
-        for r in per_thread {
-            indexed.extend(r?);
-        }
-        indexed.sort_by_key(|&(i, _)| i);
-        Ok(indexed.into_iter().map(|(_, r)| r).collect())
     }
 
-    /// Runs `shots` shots sharded across `threads` worker threads, each
-    /// working on a clone of the calibrated device. Seeds come from the
-    /// same plan and the same continuing shot indices as
-    /// [`Session::run_shots`], so the result is bit-identical to the
-    /// sequential batch (and is returned in shot order). The session's
-    /// shot counter advances only when the whole batch succeeds.
+    /// Runs `shots` shots sharded across `threads` worker threads (`0` =
+    /// one per available core), each working on a clone of the
+    /// calibrated device. Seeds come from the same plan and the same
+    /// continuing shot indices as [`Session::run_shots`], so the result
+    /// is bit-identical to the sequential batch (and is returned in shot
+    /// order). The session's shot counter advances only when the whole
+    /// batch succeeds.
     ///
     /// Only the clones run: the owned device's RNG streams stay where
     /// they were, unlike [`Session::run_shots`] which leaves them at the
@@ -525,46 +581,24 @@ impl Session {
         shots: u64,
         threads: usize,
     ) -> Result<BatchReport, DeviceError> {
-        let workers = threads.clamp(1, shots.max(1) as usize);
+        let workers = resolve_threads(threads, shots as usize);
         let plan = self.seed_plan();
         let first = self.next_shot;
-        let per_thread: Vec<Result<Vec<(u64, RunReport)>, DeviceError>> = thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|t| {
-                    // The vendored crossbeam subset requires 'static
-                    // closures, so each worker owns a device clone; the
-                    // program is shared — a `LoadedProgram` clone is an
-                    // `Arc` pointer copy, never an instruction copy.
-                    let mut device = self.device.clone();
-                    let program = program.clone();
-                    s.spawn(move |_| {
-                        let mut out = Vec::new();
-                        let mut i = t as u64;
-                        while i < shots {
-                            let seeds = plan.shot(first + i);
-                            device.reseed(seeds.chip, seeds.jitter);
-                            out.push((i, device.run(program.program())?));
-                            i += workers as u64;
-                        }
-                        Ok(out)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shot worker panicked"))
-                .collect()
-        })
-        .expect("thread scope");
-        let mut indexed = Vec::with_capacity(shots as usize);
-        for r in per_thread {
-            indexed.extend(r?);
-        }
-        indexed.sort_by_key(|&(i, _)| i);
+        let reports = run_striped(workers, shots as usize, |_| {
+            // Each worker owns a device clone (the vendored crossbeam
+            // scope requires 'static closures); the program is shared — a
+            // `LoadedProgram` clone is an `Arc` pointer copy, never an
+            // instruction copy.
+            let mut device = self.device.clone();
+            let program = program.clone();
+            move |i| {
+                let seeds = plan.shot(first + i as u64);
+                device.reseed(seeds.chip, seeds.jitter);
+                device.run(program.program())
+            }
+        })?;
         self.next_shot = first + shots;
-        Ok(BatchReport {
-            shots: indexed.into_iter().map(|(_, r)| r).collect(),
-        })
+        Ok(BatchReport { shots: reports })
     }
 }
 
@@ -914,6 +948,68 @@ mod tests {
             template.working().instructions(),
             template.base().instructions()
         );
+    }
+
+    #[test]
+    fn resolve_threads_auto_and_clamping() {
+        // 0 = auto: one worker per available core, clamped to the work.
+        let auto = resolve_threads(0, usize::MAX);
+        assert!(auto >= 1);
+        assert_eq!(
+            auto,
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        assert_eq!(resolve_threads(0, 2), auto.min(2));
+        // Explicit counts clamp to 1..=items; zero items still yields one
+        // (idle) worker so empty batches behave like the sequential path.
+        assert_eq!(resolve_threads(8, 3), 3);
+        assert_eq!(resolve_threads(3, 8), 3);
+        assert_eq!(resolve_threads(5, 0), 1);
+        assert_eq!(resolve_threads(0, 0), 1);
+    }
+
+    #[test]
+    fn threads_zero_means_auto_not_sequential_clamp() {
+        // threads == 0 used to silently clamp to one worker; it now means
+        // "auto" and must still be bit-identical to the sequential batch.
+        let mut session = Session::new(config()).unwrap();
+        let loaded = session.load_assembly(SEGMENT).unwrap();
+        let sequential = session.run_shots(&loaded, 6).unwrap();
+        let mut session = Session::new(config()).unwrap();
+        let auto = session.run_shots_parallel(&loaded, 6, 0).unwrap();
+        for (a, b) in sequential.shots.iter().zip(auto.shots.iter()) {
+            assert_eq!(a.registers, b.registers);
+            assert_eq!(a.md_results, b.md_results);
+        }
+        // More workers than shots is fine too.
+        let mut session = Session::new(config()).unwrap();
+        let oversubscribed = session.run_shots_parallel(&loaded, 3, 64).unwrap();
+        assert_eq!(oversubscribed.len(), 3);
+    }
+
+    #[test]
+    fn seed_plan_reset_replays_a_fresh_session() {
+        // A worker session that has already consumed shots, once rewound
+        // and given the job's plan, must replay exactly what a fresh
+        // session with that plan produces.
+        let mut warm = Session::new(config()).unwrap();
+        let loaded = warm.load_assembly(SEGMENT).unwrap();
+        warm.run_shots(&loaded, 5).unwrap(); // drift the counter
+        let job_plan = SeedPlan {
+            chip_base: 0xD0_0D,
+            jitter_base: 0xF00D,
+        };
+        warm.set_seed_plan(job_plan);
+        warm.reset_shot_counter();
+        assert_eq!(warm.shots_run(), 0);
+        let got = warm.run_shots(&loaded, 4).unwrap();
+        let mut fresh = Session::new(config()).unwrap();
+        fresh.set_seed_plan(job_plan);
+        let want = fresh.run_shots(&loaded, 4).unwrap();
+        for (a, b) in got.shots.iter().zip(want.shots.iter()) {
+            assert_eq!(a.registers, b.registers);
+            assert_eq!(a.md_results, b.md_results);
+        }
     }
 
     #[test]

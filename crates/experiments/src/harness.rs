@@ -62,7 +62,21 @@ impl std::fmt::Display for ExperimentError {
     }
 }
 
-impl std::error::Error for ExperimentError {}
+impl std::error::Error for ExperimentError {
+    /// Chains to the layer that actually failed (device, compiler, patch,
+    /// fit, binning), so callers can walk causes generically instead of
+    /// pattern-matching variants to stringify them.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Device(e) => Some(e),
+            ExperimentError::Compile(e) => Some(e),
+            ExperimentError::Patch(e) => Some(e),
+            ExperimentError::Fit(e) => Some(e),
+            ExperimentError::RecordLayout(e) => Some(e),
+            ExperimentError::Config(_) => None,
+        }
+    }
+}
 
 impl From<quma_core::prelude::DeviceError> for ExperimentError {
     fn from(e: quma_core::prelude::DeviceError) -> Self {
@@ -156,14 +170,16 @@ pub enum ExecutionMode {
 }
 
 /// The sweep description: the points, how they execute, and how many
-/// worker threads to use (1 = sequential).
+/// worker threads to use (1 = sequential, 0 = one per available core).
 #[derive(Debug, Clone)]
 pub struct SweepAxes {
     /// The sweep points, in execution order.
     pub points: Vec<SweepPoint>,
     /// Execution mode.
     pub mode: ExecutionMode,
-    /// Worker threads (overridable by [`run_parallel`]).
+    /// Worker threads: `1` is sequential, `0` resolves to
+    /// [`std::thread::available_parallelism`] at run time (overridable
+    /// by [`run_parallel`]).
     pub threads: usize,
 }
 
@@ -177,9 +193,12 @@ impl SweepAxes {
         }
     }
 
-    /// Sets the worker-thread count (builder style).
+    /// Sets the worker-thread count (builder style). `0` means "one
+    /// worker per available core" (resolved by
+    /// [`quma_core::prelude::resolve_threads`] at run time), `1` is
+    /// sequential.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = threads;
         self
     }
 
@@ -282,9 +301,10 @@ pub fn run<E: Experiment>(exp: &E, cfg: &E::Config) -> Result<E::Output, Experim
     run_with_threads(exp, cfg, None)
 }
 
-/// Runs an experiment with an explicit worker-thread count (sweep and
-/// shot modes shard bit-identically to the sequential run; `Collector`
-/// mode is a single run and ignores the override).
+/// Runs an experiment with an explicit worker-thread count (`0` = one
+/// worker per available core; sweep and shot modes shard bit-identically
+/// to the sequential run; `Collector` mode is a single run and ignores
+/// the override).
 pub fn run_parallel<E: Experiment>(
     exp: &E,
     cfg: &E::Config,
@@ -299,9 +319,38 @@ fn run_with_threads<E: Experiment>(
     threads_override: Option<usize>,
 ) -> Result<E::Output, ExperimentError> {
     let mut session = Session::new(exp.device_config(cfg))?;
-    exp.prepare(cfg, &mut session)?;
+    run_on_session(exp, cfg, &mut session, threads_override)
+}
+
+/// Runs an experiment on a caller-provided session instead of building
+/// one — the entry point `quma_pool` workers use to drive experiments on
+/// warm device clones. The session must be *fresh-equivalent*: its
+/// device bit-identical to `Device::new(exp.device_config(cfg))` (a
+/// clone of a pristine device qualifies — construction is deterministic)
+/// with the shot counter at 0. Under that precondition the output is
+/// bit-identical to [`run`] / [`run_parallel`] with the same arguments,
+/// which is what pins pooled execution to direct execution.
+///
+/// `prepare` (error injection, detuning, library uploads) is applied
+/// here, exactly as in [`run`]; the caller should discard the session
+/// afterwards rather than assume it is still pristine.
+pub fn run_on_session<E: Experiment>(
+    exp: &E,
+    cfg: &E::Config,
+    session: &mut Session,
+    threads_override: Option<usize>,
+) -> Result<E::Output, ExperimentError> {
+    exp.prepare(cfg, session)?;
     let axes = exp.axes(cfg)?;
-    let threads = threads_override.unwrap_or(axes.threads).max(1);
+    // Resolve the thread request (0 = auto) against the actual amount of
+    // work, so the mutates_per_point guard below sees the real fan-out.
+    let items = match &axes.mode {
+        ExecutionMode::Collector => 1,
+        ExecutionMode::TemplateSweep | ExecutionMode::ProgramSweep => axes.points.len(),
+        ExecutionMode::Shots { shots, .. } => *shots as usize,
+    };
+    let threads =
+        quma_core::prelude::resolve_threads(threads_override.unwrap_or(axes.threads), items);
     if threads > 1 && exp.mutates_per_point() {
         return Err(ExperimentError::Config(format!(
             "{} mutates the session per point (before_point); it cannot shard \
@@ -354,7 +403,7 @@ fn run_with_threads<E: Experiment>(
                 quma_core::prelude::validate_axis_sets(&points)?;
                 let mut out = Vec::with_capacity(points.len());
                 for (i, point) in points.iter().enumerate() {
-                    exp.before_point(cfg, &mut session, i)?;
+                    exp.before_point(cfg, session, i)?;
                     for (name, value) in &point.patches {
                         loaded.patch(name, *value)?;
                     }
@@ -387,7 +436,7 @@ fn run_with_threads<E: Experiment>(
             } else {
                 let mut out = Vec::with_capacity(points.len());
                 for (i, (program, seeds)) in points.iter().enumerate() {
-                    exp.before_point(cfg, &mut session, i)?;
+                    exp.before_point(cfg, session, i)?;
                     out.push(session.run_shot(program, *seeds)?);
                 }
                 out

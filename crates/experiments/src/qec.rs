@@ -45,9 +45,9 @@ pub struct QecConfig {
     pub chip_seed: u64,
     /// Host RNG seed for sampling injected errors.
     pub injection_seed: u64,
-    /// Worker threads (1 = sequential): shards the fixed-program batch
-    /// and the sampled-error sweep across device clones, bit-identical to
-    /// sequential either way.
+    /// Worker threads (1 = sequential, 0 = one per available core):
+    /// shards the fixed-program batch and the sampled-error sweep across
+    /// device clones, bit-identical to sequential either way.
     pub threads: usize,
     /// Initialization idle in cycles.
     pub init_cycles: u32,

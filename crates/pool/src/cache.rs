@@ -1,0 +1,296 @@
+//! Content-hash cache of assembled programs and slotted templates.
+//!
+//! Serving many clients means seeing the same submission many times: a
+//! calibration fleet re-sends the same AllXY source, a sweep service
+//! re-builds the same slotted T1 template. Assembly is pure — the same
+//! source always yields the same [`Program`] — so the pool keys a cache
+//! on the *content* of the submission (FNV-1a over the source bytes,
+//! with the full key stored beside the entry so a 64-bit collision can
+//! never alias two different programs) and hands every identical
+//! submission the same [`Arc`]. The second client pays a hash lookup,
+//! not an assembler pass, and the instruction memory is shared.
+
+use quma_core::prelude::DeviceError;
+use quma_isa::prelude::{Program, ProgramTemplate};
+use quma_isa::template::PatchField;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over `bytes`: the cache's content hash. Deterministic across
+/// runs and platforms (useful for logging which cached program a job
+/// ran), not cryptographic — collisions are handled by comparing the
+/// stored key, never by trusting the hash.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One patch slot of a cached template: where it writes and what it is
+/// called (the template-cache part of the key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSpec {
+    /// The axis name sweeps patch by.
+    pub name: String,
+    /// Instruction index the slot rewrites.
+    pub insn_index: u32,
+    /// Which immediate field of that instruction.
+    pub field: PatchField,
+}
+
+impl SlotSpec {
+    /// A slot spec (builder-style sugar).
+    pub fn new(name: impl Into<String>, insn_index: u32, field: PatchField) -> Self {
+        Self {
+            name: name.into(),
+            insn_index,
+            field,
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}@{}:{:?}", self.name, self.insn_index, self.field)
+    }
+}
+
+/// One bounded shelf of the cache: hash buckets (entries whose key text
+/// collided on the 64-bit hash — virtually always exactly one — stored
+/// with the full key so a collision can never alias) plus the insertion
+/// order, evicted FIFO at capacity. Bounding matters in a serving
+/// layer: every other pool resource is bounded (queues reject with
+/// `QueueFull`, workers keep `WARM_CAP` devices), and a client looping
+/// distinct sources must not grow the pool without limit.
+type Bucket<T> = Vec<(Box<str>, Arc<T>)>;
+
+#[derive(Debug)]
+struct Shelf<T> {
+    buckets: HashMap<u64, Bucket<T>>,
+    order: std::collections::VecDeque<(u64, Box<str>)>,
+    cap: usize,
+}
+
+impl<T> Shelf<T> {
+    fn new(cap: usize) -> Self {
+        Self {
+            buckets: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            cap,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn get(&mut self, key: u64, text: &str) -> Option<Arc<T>> {
+        self.buckets
+            .get(&key)?
+            .iter()
+            .find(|(k, _)| &**k == text)
+            .map(|(_, v)| Arc::clone(v))
+    }
+
+    fn insert(&mut self, key: u64, text: Box<str>, value: Arc<T>) {
+        while self.order.len() >= self.cap {
+            let (old_key, old_text) = self.order.pop_front().expect("non-empty order");
+            if let Some(bucket) = self.buckets.get_mut(&old_key) {
+                bucket.retain(|(k, _)| **k != *old_text);
+                if bucket.is_empty() {
+                    self.buckets.remove(&old_key);
+                }
+            }
+        }
+        self.order.push_back((key, text.clone()));
+        self.buckets.entry(key).or_default().push((text, value));
+    }
+}
+
+/// Entries each shelf (programs, templates) keeps before evicting the
+/// oldest — far more distinct programs than any real client mix, while
+/// bounding a pathological stream of unique sources.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// The shared cache: source text → assembled [`Program`], and
+/// (source, slots) → slotted [`ProgramTemplate`], both `Arc`-shared so a
+/// hit costs a pointer clone. Bounded (FIFO eviction per shelf); evicted
+/// entries stay alive for whoever still holds their `Arc`.
+#[derive(Debug)]
+pub struct ProgramCache {
+    programs: Mutex<Shelf<Program>>,
+    templates: Mutex<Shelf<ProgramTemplate>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ProgramCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl ProgramCache {
+    /// An empty cache holding up to 1024 programs and 1024 templates.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache bounded at `capacity` entries per shelf.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            programs: Mutex::new(Shelf::new(capacity)),
+            templates: Mutex::new(Shelf::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Assembles `source`, or returns the cached program if the same
+    /// source was assembled before. The bool is true on a hit.
+    pub(crate) fn assemble_keyed(&self, source: &str) -> Result<(Arc<Program>, bool), DeviceError> {
+        let key = content_hash(source.as_bytes());
+        let mut shelf = self.programs.lock().expect("cache poisoned");
+        if let Some(program) = shelf.get(key, source) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((program, true));
+        }
+        let program = Arc::new(quma_isa::asm::Assembler::new().assemble(source)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shelf.insert(key, source.into(), Arc::clone(&program));
+        Ok((program, false))
+    }
+
+    /// Assembles `source` through the cache.
+    pub fn assemble(&self, source: &str) -> Result<Arc<Program>, DeviceError> {
+        self.assemble_keyed(source).map(|(program, _)| program)
+    }
+
+    /// Assembles `source` and attaches `slots` as patch slots, through
+    /// the cache ((source, slots) is the key — the same source with
+    /// different slots is a different template).
+    pub fn assemble_template(
+        &self,
+        source: &str,
+        slots: &[SlotSpec],
+    ) -> Result<Arc<ProgramTemplate>, DeviceError> {
+        let mut keyed = String::with_capacity(source.len() + slots.len() * 16);
+        keyed.push_str(source);
+        for slot in slots {
+            keyed.push('\0');
+            keyed.push_str(&slot.render());
+        }
+        let key = content_hash(keyed.as_bytes());
+        let mut shelf = self.templates.lock().expect("cache poisoned");
+        if let Some(template) = shelf.get(key, &keyed) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(template);
+        }
+        let mut program = quma_isa::asm::Assembler::new().assemble(source)?;
+        for slot in slots {
+            program.add_slot(slot.name.clone(), slot.insn_index, slot.field)?;
+        }
+        let template = Arc::new(ProgramTemplate::new(program));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shelf.insert(key, keyed.into(), Arc::clone(&template));
+        Ok(template)
+    }
+
+    /// Submissions served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Submissions that had to assemble.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct cached entries (programs + templates).
+    pub fn len(&self) -> usize {
+        self.programs.lock().expect("cache poisoned").len()
+            + self.templates.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "Wait 100\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n";
+
+    #[test]
+    fn identical_sources_share_one_program() {
+        let cache = ProgramCache::new();
+        let a = cache.assemble(SRC).unwrap();
+        let b = cache.assemble(SRC).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_sources_do_not_alias() {
+        let cache = ProgramCache::new();
+        let a = cache.assemble(SRC).unwrap();
+        let b = cache.assemble("Wait 10\nhalt\n").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn template_key_includes_slots() {
+        let cache = ProgramCache::new();
+        let slot_a = [SlotSpec::new("tau", 0, PatchField::WaitInterval)];
+        let slot_b = [SlotSpec::new("window", 3, PatchField::MpgDuration)];
+        let a = cache.assemble_template(SRC, &slot_a).unwrap();
+        let b = cache.assemble_template(SRC, &slot_b).unwrap();
+        let a2 = cache.assemble_template(SRC, &slot_a).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn assembly_errors_surface_and_cache_nothing() {
+        let cache = ProgramCache::new();
+        assert!(cache.assemble("not an instruction\n").is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache_with_fifo_eviction() {
+        let cache = ProgramCache::with_capacity(2);
+        let sources = ["Wait 1\nhalt\n", "Wait 2\nhalt\n", "Wait 3\nhalt\n"];
+        for src in sources {
+            cache.assemble(src).unwrap();
+        }
+        assert_eq!(cache.len(), 2, "the shelf never exceeds its bound");
+        // The oldest entry was evicted: re-assembling it is a miss …
+        assert_eq!(cache.misses(), 3);
+        cache.assemble(sources[0]).unwrap();
+        assert_eq!(cache.misses(), 4);
+        // … while the newest survivor is still a hit.
+        cache.assemble(sources[2]).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn content_hash_is_stable() {
+        // FNV-1a test vector: empty input hashes to the offset basis.
+        assert_eq!(content_hash(b""), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(content_hash(b"a"), content_hash(b"b"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-job metrics and the pool-wide stats snapshot.
+
+use crate::job::{JobId, Priority};
+use std::time::Duration;
+
+/// What one job cost, measured by the worker that ran it and delivered
+/// with the terminal event (see `JobHandle::metrics`).
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// The job.
+    pub id: JobId,
+    /// Its scheduling class.
+    pub priority: Priority,
+    /// Index of the worker that ran it.
+    pub worker: usize,
+    /// Global dispatch order: the pool-wide sequence number assigned
+    /// when a worker picked the job up. A high-priority job submitted
+    /// while normal jobs queue behind a busy pool dispatches with a
+    /// smaller sequence than those normal jobs — the observable form of
+    /// the priority guarantee.
+    pub dispatch_seq: u64,
+    /// Time spent queued (submit → dispatch).
+    pub queue_wait: Duration,
+    /// Time spent running on the worker.
+    pub run_time: Duration,
+    /// True when the pool resolved this job's program from the
+    /// content-hash cache *at submission* — i.e. a
+    /// `DevicePool::submit_assembly` call whose source was already
+    /// cached. Jobs built from pre-assembled `Arc`s (including ones a
+    /// separate `pool.assemble` call fetched from the cache) report
+    /// `false` here; pool-wide cache accounting lives in
+    /// [`PoolStats::cache_hits`].
+    pub cache_hit: bool,
+}
+
+/// Mutable pool counters (behind the pool's stats mutex).
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub high_completed: u64,
+    pub warm_device_clones: u64,
+    pub cold_device_builds: u64,
+    pub total_queue_wait: Duration,
+    pub total_run_time: Duration,
+    pub max_queue_depth: usize,
+}
+
+/// A point-in-time snapshot of the pool's counters
+/// (`DevicePool::stats`). Cheap to take; safe to take while jobs run.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Worker threads serving the pool.
+    pub workers: usize,
+    /// Jobs accepted into a queue.
+    pub submitted: u64,
+    /// Submissions bounced with `SubmitError::QueueFull`.
+    pub rejected: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished with an error.
+    pub failed: u64,
+    /// Completed jobs that were high priority.
+    pub high_completed: u64,
+    /// Cache lookups served without assembling.
+    pub cache_hits: u64,
+    /// Cache lookups that had to assemble.
+    pub cache_misses: u64,
+    /// Jobs served by cloning a warm device.
+    pub warm_device_clones: u64,
+    /// Jobs that forced a cold `Device::new` (config not yet warm on
+    /// that worker).
+    pub cold_device_builds: u64,
+    /// Summed queue latency across finished jobs.
+    pub total_queue_wait: Duration,
+    /// Summed run time across finished jobs.
+    pub total_run_time: Duration,
+    /// Deepest any queue got at submit time.
+    pub max_queue_depth: usize,
+}
+
+impl PoolStats {
+    /// Jobs that reached a terminal state.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.failed
+    }
+
+    /// Mean time a finished job spent queued.
+    pub fn mean_queue_wait(&self) -> Duration {
+        match self.finished() {
+            0 => Duration::ZERO,
+            n => self.total_queue_wait / u32::try_from(n.min(u64::from(u32::MAX))).unwrap_or(1),
+        }
+    }
+
+    /// Mean time a finished job spent running.
+    pub fn mean_run_time(&self) -> Duration {
+        match self.finished() {
+            0 => Duration::ZERO,
+            n => self.total_run_time / u32::try_from(n.min(u64::from(u32::MAX))).unwrap_or(1),
+        }
+    }
+}

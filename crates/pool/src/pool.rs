@@ -1,0 +1,320 @@
+//! The [`DevicePool`]: N warm workers, two bounded priority queues, and
+//! the submission surface many concurrent clients share.
+
+use crate::cache::{ProgramCache, SlotSpec};
+use crate::job::{ExperimentHandle, Job, JobHandle, Priority, QueuedJob, SubmitError};
+use crate::metrics::{PoolStats, StatsInner};
+use crate::worker::worker_loop;
+use crossbeam::channel;
+use quma_core::prelude::{resolve_threads, Device, DeviceConfig, DeviceError};
+use quma_experiments::prelude::Experiment;
+use quma_isa::prelude::{Program, ProgramTemplate};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How a pool is built.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Queue bound *per priority class*; the `workers + 1`-th … `depth`-th
+    /// concurrent submissions queue, the `depth + 1`-th gets
+    /// [`SubmitError::QueueFull`].
+    pub queue_depth: usize,
+    /// The base device configuration every worker keeps warm; jobs
+    /// without an override run on it.
+    pub device: DeviceConfig,
+}
+
+impl PoolConfig {
+    /// A pool over `device` with auto worker count and a 64-deep queue
+    /// per priority class.
+    pub fn new(device: DeviceConfig) -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 64,
+            device,
+        }
+    }
+
+    /// Sets the worker count (builder style; `0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-class queue bound (builder style).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::new(DeviceConfig::default())
+    }
+}
+
+/// State shared between the pool handle and its workers.
+pub(crate) struct PoolShared {
+    /// The base device configuration.
+    pub(crate) base: DeviceConfig,
+    /// The content-hash program/template cache.
+    pub(crate) cache: ProgramCache,
+    /// Mutable counters.
+    pub(crate) stats: Mutex<StatsInner>,
+    /// Global dispatch sequence (see `JobMetrics::dispatch_seq`).
+    pub(crate) dispatch_seq: AtomicU64,
+}
+
+/// The sending half of the pool; dropped as one unit to initiate drain.
+struct Submitters {
+    high: channel::Sender<QueuedJob>,
+    normal: channel::Sender<QueuedJob>,
+    tickets: channel::Sender<()>,
+}
+
+/// A pool of warm devices serving jobs from many concurrent clients.
+///
+/// * **Scheduling** — two bounded FIFO queues ([`Priority::High`] drains
+///   before [`Priority::Normal`]); a full queue rejects with typed
+///   backpressure ([`SubmitError::QueueFull`]) instead of blocking.
+/// * **Warmth** — each worker clones jobs' devices from pristine
+///   calibrated originals instead of re-synthesizing pulse libraries.
+/// * **Caching** — identical assembly/template submissions share one
+///   `Arc`'d program via the content-hash [`ProgramCache`].
+/// * **Determinism** — every job result is bit-identical to a direct
+///   single-`Session` run of the same work, independent of worker
+///   count, scheduling order, and interleaving (each job runs on a
+///   fresh session from a pristine clone, with its own seed plan).
+/// * **Drain** — [`DevicePool::shutdown`] (and `Drop`) stops intake,
+///   runs every accepted job to completion, and joins the workers.
+pub struct DevicePool {
+    shared: Arc<PoolShared>,
+    submitters: Option<Submitters>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+    worker_count: usize,
+    queue_depth: usize,
+}
+
+impl std::fmt::Debug for DevicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DevicePool")
+            .field("workers", &self.worker_count)
+            .field("queue_depth", &self.queue_depth)
+            .field("shut_down", &self.submitters.is_none())
+            .finish()
+    }
+}
+
+impl DevicePool {
+    /// Builds the pool: calibrates one pristine device for the base
+    /// configuration and spawns the workers, each warmed with a clone.
+    pub fn new(config: PoolConfig) -> Result<Self, DeviceError> {
+        let PoolConfig {
+            workers,
+            queue_depth,
+            device,
+        } = config;
+        let queue_depth = queue_depth.max(1);
+        let pristine = Device::new(device.clone())?;
+        let worker_count = resolve_threads(workers, usize::MAX);
+        let shared = Arc::new(PoolShared {
+            base: device,
+            cache: ProgramCache::new(),
+            stats: Mutex::new(StatsInner::default()),
+            dispatch_seq: AtomicU64::new(0),
+        });
+        let (high_tx, high_rx) = channel::bounded(queue_depth);
+        let (normal_tx, normal_rx) = channel::bounded(queue_depth);
+        let (tickets_tx, tickets_rx) = channel::unbounded();
+        let handles = (0..worker_count)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let pristine = pristine.clone();
+                let tickets = tickets_rx.clone();
+                let high = high_rx.clone();
+                let normal = normal_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("quma-pool-{index}"))
+                    .spawn(move || worker_loop(index, shared, pristine, tickets, high, normal))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            submitters: Some(Submitters {
+                high: high_tx,
+                normal: normal_tx,
+                tickets: tickets_tx,
+            }),
+            workers: handles,
+            next_id: AtomicU64::new(0),
+            worker_count,
+            queue_depth,
+        })
+    }
+
+    /// Submits a job, returning its handle — or typed backpressure when
+    /// the job's priority queue is at its bound. Inconsistent jobs (a
+    /// seed plan or chunk size on a kind that cannot honor it) are
+    /// rejected here with [`SubmitError::InvalidJob`] instead of being
+    /// silently ignored at run time.
+    pub fn submit(&self, job: Job) -> Result<JobHandle, SubmitError> {
+        job.validate().map_err(SubmitError::InvalidJob)?;
+        let submitters = self.submitters.as_ref().ok_or(SubmitError::ShutDown)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (events_tx, events_rx) = channel::unbounded();
+        let priority = job.priority;
+        let queued = QueuedJob {
+            id,
+            job,
+            events: events_tx,
+            submitted_at: Instant::now(),
+        };
+        let target = match priority {
+            Priority::High => &submitters.high,
+            Priority::Normal => &submitters.normal,
+        };
+        target.try_send(queued).map_err(|err| match err {
+            channel::TrySendError::Full(_) => {
+                self.shared.stats.lock().expect("stats poisoned").rejected += 1;
+                SubmitError::QueueFull {
+                    priority,
+                    depth: self.queue_depth,
+                }
+            }
+            channel::TrySendError::Disconnected(_) => SubmitError::ShutDown,
+        })?;
+        // Job before ticket: a worker that holds a ticket must find a job.
+        submitters
+            .tickets
+            .send(())
+            .map_err(|_| SubmitError::ShutDown)?;
+        {
+            let mut stats = self.shared.stats.lock().expect("stats poisoned");
+            stats.submitted += 1;
+            stats.max_queue_depth = stats.max_queue_depth.max(target.len());
+        }
+        Ok(JobHandle::new(id, events_rx))
+    }
+
+    /// Assembles `source` through the pool cache and submits it as a
+    /// `shots`-shot batch — the one-call path for clients that speak
+    /// assembly. Identical sources share one cached program.
+    pub fn submit_assembly(&self, source: &str, shots: u64) -> Result<JobHandle, SubmitError> {
+        let (program, hit) = self
+            .shared
+            .cache
+            .assemble_keyed(source)
+            .map_err(SubmitError::InvalidJob)?;
+        self.submit(Job::shots(program, shots).mark_cache_hit(hit))
+    }
+
+    /// Submits an experiment and returns a handle typed with its output.
+    pub fn submit_experiment<E>(
+        &self,
+        exp: E,
+        cfg: E::Config,
+    ) -> Result<ExperimentHandle<E::Output>, SubmitError>
+    where
+        E: Experiment + Send + 'static,
+        E::Config: Send + 'static,
+        E::Output: Send + 'static,
+    {
+        self.submit(Job::experiment(exp, cfg))
+            .map(ExperimentHandle::new)
+    }
+
+    /// Assembles `source` through the content-hash cache (no job).
+    pub fn assemble(&self, source: &str) -> Result<Arc<Program>, DeviceError> {
+        self.shared.cache.assemble(source)
+    }
+
+    /// Assembles a slotted template through the content-hash cache.
+    pub fn assemble_template(
+        &self,
+        source: &str,
+        slots: &[SlotSpec],
+    ) -> Result<Arc<ProgramTemplate>, DeviceError> {
+        self.shared.cache.assemble_template(source, slots)
+    }
+
+    /// The shared program/template cache (e.g. for pre-warming).
+    pub fn cache(&self) -> &ProgramCache {
+        &self.shared.cache
+    }
+
+    /// The base device configuration jobs run on by default.
+    pub fn base_config(&self) -> &DeviceConfig {
+        &self.shared.base
+    }
+
+    /// Worker threads serving the pool.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// The per-class queue bound.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Jobs currently queued per class: `(high, normal)`.
+    pub fn queued(&self) -> (usize, usize) {
+        match &self.submitters {
+            Some(s) => (s.high.len(), s.normal.len()),
+            None => (0, 0),
+        }
+    }
+
+    /// A point-in-time snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.shared.stats.lock().expect("stats poisoned");
+        PoolStats {
+            workers: self.worker_count,
+            submitted: inner.submitted,
+            rejected: inner.rejected,
+            completed: inner.completed,
+            failed: inner.failed,
+            high_completed: inner.high_completed,
+            cache_hits: self.shared.cache.hits(),
+            cache_misses: self.shared.cache.misses(),
+            warm_device_clones: inner.warm_device_clones,
+            cold_device_builds: inner.cold_device_builds,
+            total_queue_wait: inner.total_queue_wait,
+            total_run_time: inner.total_run_time,
+            max_queue_depth: inner.max_queue_depth,
+        }
+    }
+
+    /// Graceful drain: stops accepting submissions, runs every already
+    /// accepted job to completion, joins the workers, and returns the
+    /// final stats snapshot.
+    pub fn shutdown(mut self) -> PoolStats {
+        self.drain();
+        self.stats()
+    }
+
+    fn drain(&mut self) {
+        // Dropping the senders disconnects the ticket channel once its
+        // backlog (one ticket per accepted job) is drained; each worker
+        // finishes its backlog share and exits.
+        self.submitters = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DevicePool {
+    /// Dropping the pool is a graceful drain too: accepted jobs finish,
+    /// then workers join. Abandoning queued work requires dropping the
+    /// handles, not the pool.
+    fn drop(&mut self) {
+        self.drain();
+    }
+}

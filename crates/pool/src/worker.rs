@@ -1,0 +1,207 @@
+//! The worker side of the pool: warm devices, job execution, and the
+//! deterministic-replay discipline.
+//!
+//! Each worker owns a small set of *pristine* calibrated devices (the
+//! pool's base configuration is always warm; other configurations are
+//! admitted on first use). A job never runs on a shared device — the
+//! worker clones a pristine one into a fresh [`Session`] per job, so
+//! whatever the job does to its device (error injection in
+//! `Experiment::prepare`, library uploads, noise retuning) is discarded
+//! with the session and can never leak into the next job. Cloning is a
+//! memory copy; it skips the expensive per-qubit pulse-library synthesis
+//! that makes `Device::new` costly, which is the whole point of keeping
+//! the pool warm.
+//!
+//! Determinism: `Device::new` is a pure function of its config, so a
+//! clone of a pristine device is bit-identical to a fresh build, and a
+//! fresh `Session` around it starts at shot index 0 with the plan the
+//! job specifies. Together that makes every pooled result bit-identical
+//! to a direct single-session run — regardless of which worker picks
+//! the job up, in what order, or how many workers exist.
+
+use crate::job::{JobError, JobEvent, JobKind, JobOutput, Priority, QueuedJob, ShotChunk};
+use crate::metrics::JobMetrics;
+use crate::pool::PoolShared;
+use crossbeam::channel;
+use quma_core::prelude::{BatchReport, Device, DeviceConfig, LoadedProgram, Session};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pristine devices a worker can clone per job. Bounded; the pool's base
+/// configuration (slot 0) is never evicted.
+pub(crate) struct WarmSet {
+    devices: Vec<(DeviceConfig, Device)>,
+}
+
+/// How many distinct configurations a worker keeps warm (base + 3).
+const WARM_CAP: usize = 4;
+
+impl WarmSet {
+    pub(crate) fn new(base: Device) -> Self {
+        Self {
+            devices: vec![(base.config().clone(), base)],
+        }
+    }
+
+    /// A fresh session for `config`: a warm clone when the configuration
+    /// is known, a cold build (then kept warm) otherwise.
+    fn session(&mut self, config: &DeviceConfig, shared: &PoolShared) -> Result<Session, JobError> {
+        if let Some((_, device)) = self.devices.iter().find(|(c, _)| c == config) {
+            let session = Session::from_device(device.clone());
+            shared
+                .stats
+                .lock()
+                .expect("stats poisoned")
+                .warm_device_clones += 1;
+            return Ok(session);
+        }
+        let device = Device::new(config.clone()).map_err(JobError::Device)?;
+        shared
+            .stats
+            .lock()
+            .expect("stats poisoned")
+            .cold_device_builds += 1;
+        let session = Session::from_device(device.clone());
+        if self.devices.len() >= WARM_CAP {
+            // Evict the oldest non-base entry.
+            self.devices.remove(1);
+        }
+        self.devices.push((config.clone(), device));
+        Ok(session)
+    }
+}
+
+/// The worker thread body. Tickets gate the loop: one ticket is sent per
+/// queued job (job first, ticket second), so a received ticket
+/// guarantees a job is waiting in one of the two queues; high drains
+/// before normal. When the pool drops its senders the ticket channel
+/// disconnects *after* its backlog is drained — the graceful-drain
+/// property: every accepted job runs before any worker exits.
+pub(crate) fn worker_loop(
+    index: usize,
+    shared: Arc<PoolShared>,
+    pristine: Device,
+    tickets: channel::Receiver<()>,
+    high: channel::Receiver<QueuedJob>,
+    normal: channel::Receiver<QueuedJob>,
+) {
+    let mut warm = WarmSet::new(pristine);
+    while tickets.recv().is_ok() {
+        // The submit-side ordering (job enqueued before its ticket) plus
+        // one-pop-per-ticket accounting guarantees at least one job is
+        // available across the two queues at every instant until this
+        // worker's pop succeeds; the spin resolves the narrow race where
+        // another worker pops "our" job between the two try_recvs.
+        let queued = loop {
+            if let Ok(job) = high.try_recv() {
+                break job;
+            }
+            if let Ok(job) = normal.try_recv() {
+                break job;
+            }
+            std::hint::spin_loop();
+        };
+        run_job(index, &shared, &mut warm, queued);
+    }
+}
+
+fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: QueuedJob) {
+    let QueuedJob {
+        id,
+        job,
+        events,
+        submitted_at,
+    } = queued;
+    let dispatch_seq = shared.dispatch_seq.fetch_add(1, Ordering::SeqCst);
+    let started = Instant::now();
+    let queue_wait = started.duration_since(submitted_at);
+    let priority = job.priority;
+    let cache_hit = job.cache_hit;
+    let result = execute(shared, warm, &events, job);
+    let run_time = started.elapsed();
+    {
+        let mut stats = shared.stats.lock().expect("stats poisoned");
+        if result.is_ok() {
+            stats.completed += 1;
+            if priority == Priority::High {
+                stats.high_completed += 1;
+            }
+        } else {
+            stats.failed += 1;
+        }
+        stats.total_queue_wait += queue_wait;
+        stats.total_run_time += run_time;
+    }
+    let metrics = JobMetrics {
+        id,
+        priority,
+        worker,
+        dispatch_seq,
+        queue_wait,
+        run_time,
+        cache_hit,
+    };
+    // The client may have dropped its handle; an undeliverable result is
+    // not a worker error.
+    let _ = events.send(JobEvent::Done { result, metrics });
+}
+
+fn execute(
+    shared: &Arc<PoolShared>,
+    warm: &mut WarmSet,
+    events: &channel::Sender<JobEvent>,
+    job: crate::job::Job,
+) -> Result<JobOutput, JobError> {
+    let device_cfg = job.device.as_ref().unwrap_or(&shared.base);
+    match job.kind {
+        JobKind::Shots { program, shots } => {
+            let mut session = warm.session(device_cfg, shared)?;
+            if let Some(plan) = job.plan {
+                session.set_seed_plan(plan);
+            }
+            let loaded = LoadedProgram::from_arc(program);
+            let chunk = job.chunk;
+            if chunk == 0 {
+                let batch = session.run_shots(&loaded, shots)?;
+                Ok(JobOutput::Batch(batch))
+            } else {
+                // Any nonzero chunk streams — `chunk >= shots` still
+                // emits the one covering chunk a streaming client waits
+                // for; only 0 means "no events, final batch only".
+                // Chunked batches continue the session's seed sequence,
+                // so the concatenation is bit-identical to one
+                // `run_shots(shots)` call.
+                let mut all = Vec::with_capacity(shots as usize);
+                let mut first = 0u64;
+                while first < shots {
+                    let n = chunk.min(shots - first);
+                    let batch = session.run_shots(&loaded, n)?;
+                    let _ = events.send(JobEvent::Chunk(ShotChunk {
+                        first_shot: first,
+                        reports: batch.shots.clone(),
+                    }));
+                    all.extend(batch.shots);
+                    first += n;
+                }
+                Ok(JobOutput::Batch(BatchReport { shots: all }))
+            }
+        }
+        JobKind::Sweep { points } => {
+            let mut session = warm.session(device_cfg, shared)?;
+            let reports = session.run_sweep(&points)?;
+            Ok(JobOutput::Reports(reports))
+        }
+        JobKind::TemplateSweep { template, points } => {
+            let mut session = warm.session(device_cfg, shared)?;
+            let mut loaded = session.load_template(&template);
+            let reports = session.run_template_sweep(&mut loaded, &points)?;
+            Ok(JobOutput::Reports(reports))
+        }
+        JobKind::Experiment(erased) => {
+            let mut session = warm.session(&erased.device_config(), shared)?;
+            let output = erased.run_erased(&mut session)?;
+            Ok(JobOutput::Experiment(output))
+        }
+    }
+}

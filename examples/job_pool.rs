@@ -1,0 +1,243 @@
+//! Device pool: dozens of concurrent clients sharing a pool of warm
+//! devices through `quma_pool`.
+//!
+//! ```sh
+//! cargo run --release --example job_pool
+//! ```
+//!
+//! Simulates a small serving fleet: characterization clients re-sending
+//! the same assembly source (content-hash cache hits), sweep clients
+//! driving cached templates, experiment clients submitting whole AllXY
+//! and QEC runs, one interactive high-priority probe, and a streaming
+//! client consuming shot chunks as they complete — all racing one
+//! `DevicePool`, with every result pinned bit-identical to a direct
+//! single-session run.
+
+use quma::core::prelude::*;
+use quma::experiments::prelude::*;
+use quma::isa::template::PatchField;
+use quma::pool::prelude::*;
+use std::sync::Arc;
+
+const SHOT_SOURCE: &str = "\
+    Wait 40000\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    MPG {q0}, 300\n\
+    MD {q0}, r7\n\
+    halt\n";
+
+const T1_SOURCE: &str = "\
+    Wait 40000\n\
+    Pulse {q0}, X180\n\
+    Wait 4\n\
+    Wait 4\n\
+    MPG {q0}, 300\n\
+    MD {q0}, r7\n\
+    halt\n";
+
+fn base_config() -> DeviceConfig {
+    DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: 0x9001,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    println!("== quma_pool: many clients, one device pool ==\n");
+    let pool = Arc::new(DevicePool::new(
+        PoolConfig::new(base_config())
+            .with_workers(4)
+            .with_queue_depth(64),
+    )?);
+    println!(
+        "pool: {} workers, queue depth {} per priority class",
+        pool.worker_count(),
+        pool.queue_depth()
+    );
+
+    // --- dozens of concurrent clients -----------------------------------
+    let mut clients = Vec::new();
+    // 12 characterization clients: same source (cache-shared), own seeds.
+    for client in 0..12u64 {
+        let pool = Arc::clone(&pool);
+        clients.push(std::thread::spawn(move || {
+            let plan = SeedPlan {
+                chip_base: 0xC0DE + client,
+                jitter_base: 0xFAB ^ client,
+            };
+            let program = pool.assemble(SHOT_SOURCE)?;
+            let handle = pool.submit(Job::shots(program, 16).with_seed_plan(plan))?;
+            let batch = handle.wait()?.into_batch().expect("shots job");
+            Ok::<String, Box<dyn std::error::Error + Send + Sync>>(format!(
+                "shots client {client:>2}: 16 shots, |1> fraction {:.2}",
+                batch.ones_fraction(0)
+            ))
+        }));
+    }
+    // 8 sweep clients: cached template, patch-per-point tau sweep.
+    for client in 0..8u64 {
+        let pool = Arc::clone(&pool);
+        clients.push(std::thread::spawn(move || {
+            let template = pool.assemble_template(
+                T1_SOURCE,
+                &[SlotSpec::new("tau", 3, PatchField::WaitInterval)],
+            )?;
+            let plan = SeedPlan {
+                chip_base: 0x5EED + client,
+                jitter_base: 0xBEE ^ client,
+            };
+            let points: Vec<TemplatePoint> = [4i64, 400, 1200, 4000, 12000]
+                .iter()
+                .enumerate()
+                .map(|(i, &tau)| TemplatePoint {
+                    patches: vec![("tau".to_string(), tau)],
+                    seeds: plan.shot(i as u64),
+                })
+                .collect();
+            let handle = pool.submit(Job::template_sweep(template, points))?;
+            let reports = handle.wait()?.into_reports().expect("sweep job");
+            Ok(format!("sweep client {client}: {} points", reports.len()))
+        }));
+    }
+    // 4 experiment clients: two AllXY, two QEC, typed handles.
+    for client in 0..2u64 {
+        let pool = Arc::clone(&pool);
+        clients.push(std::thread::spawn(move || {
+            let cfg = AllxyConfig {
+                averages: 16,
+                seed: 0xA11 + client,
+                ..AllxyConfig::default()
+            };
+            let result = pool.submit_experiment(Allxy, cfg)?.wait()?;
+            Ok(format!(
+                "allxy client {client}: deviation {:.4}",
+                result.deviation
+            ))
+        }));
+    }
+    for client in 0..2u64 {
+        let pool = Arc::clone(&pool);
+        clients.push(std::thread::spawn(move || {
+            let cfg = QecConfig {
+                distance: 3,
+                rounds: 2,
+                shots: 8,
+                chip_seed: 0x0EC + client,
+                ..QecConfig::default()
+            };
+            let result = pool
+                .submit_experiment(QecInjected::default(), cfg)?
+                .wait()?;
+            Ok(format!(
+                "qec client {client}: logical error rate {:.3}",
+                result.logical_error_rate
+            ))
+        }));
+    }
+    // One interactive probe that jumps the queue.
+    {
+        let pool = Arc::clone(&pool);
+        clients.push(std::thread::spawn(move || {
+            let program = pool.assemble(SHOT_SOURCE)?;
+            let handle = pool.submit(Job::shots(program, 1).high_priority())?;
+            handle.wait()?;
+            Ok("probe client: high-priority shot served".to_string())
+        }));
+    }
+    for client in clients {
+        let line = client.join().expect("client thread")?;
+        println!("  {line}");
+    }
+
+    // --- streaming: consume a long batch chunk by chunk ------------------
+    let program = pool.assemble(SHOT_SOURCE)?;
+    let mut streaming = pool.submit(Job::shots(program, 32).with_chunk_shots(8))?;
+    print!("\nstreaming client: ");
+    let mut streamed = 0usize;
+    while let Some(chunk) = streaming.next_chunk() {
+        streamed += chunk.reports.len();
+        print!("[{}..{}) ", chunk.first_shot, streamed);
+    }
+    let final_batch = streaming.wait()?.into_batch().expect("shots job");
+    println!("→ {} shots total", final_batch.len());
+    assert_eq!(streamed, final_batch.len());
+
+    // --- determinism: pooled output == direct single-session run ---------
+    let pooled = pool
+        .submit_assembly(SHOT_SOURCE, 8)?
+        .wait()?
+        .into_batch()
+        .expect("shots job");
+    let mut direct = Session::new(base_config())?;
+    let loaded = direct.load_assembly(SHOT_SOURCE)?;
+    let want = direct.run_shots(&loaded, 8)?;
+    for (a, b) in pooled.shots.iter().zip(want.shots.iter()) {
+        assert_eq!(a.md_results, b.md_results, "pooled == direct, bit for bit");
+    }
+    println!("determinism: pooled batch is bit-identical to a direct session run");
+
+    // --- backpressure: a tiny pool sheds load with QueueFull --------------
+    let tiny = DevicePool::new(
+        PoolConfig::new(base_config())
+            .with_workers(1)
+            .with_queue_depth(2),
+    )?;
+    let program = tiny.assemble(SHOT_SOURCE)?;
+    let mut accepted = Vec::new();
+    let mut rejected = 0u32;
+    for _ in 0..200 {
+        match tiny.submit(Job::shots(Arc::clone(&program), 4)) {
+            Ok(handle) => accepted.push(handle),
+            Err(err @ SubmitError::QueueFull { .. }) => {
+                if rejected == 0 {
+                    println!("backpressure: {err}");
+                }
+                rejected += 1;
+            }
+            Err(err) => return Err(err.into()),
+        }
+    }
+    for handle in accepted {
+        handle.wait()?;
+    }
+    let tiny_stats = tiny.shutdown();
+    println!(
+        "backpressure: accepted {} jobs, rejected {} with QueueFull, all accepted jobs completed",
+        tiny_stats.completed, tiny_stats.rejected
+    );
+
+    // --- the pool's own accounting ---------------------------------------
+    let pool = Arc::try_unwrap(pool).expect("all clients joined");
+    let stats = pool.shutdown();
+    println!("\npool stats after drain:");
+    println!(
+        "  jobs: {} submitted, {} completed, {} failed",
+        stats.submitted, stats.completed, stats.failed
+    );
+    println!(
+        "  cache: {} hits / {} misses ({} distinct programs assembled)",
+        stats.cache_hits, stats.cache_misses, stats.cache_misses
+    );
+    println!(
+        "  devices: {} warm clones, {} cold builds",
+        stats.warm_device_clones, stats.cold_device_builds
+    );
+    println!(
+        "  latency: mean queue wait {:?}, mean run time {:?}, max queue depth {}",
+        stats.mean_queue_wait(),
+        stats.mean_run_time(),
+        stats.max_queue_depth
+    );
+    assert_eq!(stats.failed, 0);
+    assert!(
+        stats.cache_hits >= 12,
+        "identical submissions must share cached programs"
+    );
+    println!("\nOK: every client served, every result deterministic.");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Property: `run_shots_parallel` equals `run_shots` bit-for-bit for
+//! *arbitrary* thread counts — including more workers than shots and the
+//! `threads == 0` auto case — with the jitter model on, so both RNG
+//! streams (chip and execution-controller) are exercised.
+
+use proptest::prelude::*;
+use quma::core::prelude::*;
+
+const SEGMENT: &str = "\
+    Wait 4000\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    Pulse {q0}, Y90\n\
+    Wait 4\n\
+    MPG {q0}, 300\n\
+    MD {q0}, r7\n\
+    halt\n";
+
+fn config(seed: u64) -> DeviceConfig {
+    DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: seed,
+        jitter_seed: seed ^ 0x7177,
+        max_jitter_cycles: 3,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    }
+}
+
+/// Every comparable field of a shot: registers plus the full MD record
+/// (deterministic time, bit, and the analog integration value).
+fn signature(report: &RunReport) -> (Vec<(u64, u8, f64)>, [i32; 16]) {
+    (
+        report
+            .md_results
+            .iter()
+            .map(|m| (m.td, m.bit, m.s))
+            .collect(),
+        report.registers,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_batch_equals_sequential_for_any_thread_count(
+        threads in 0usize..13,
+        shots in 0u64..18,
+        seed in 1u64..0xFFFF,
+    ) {
+        let mut sequential = Session::new(config(seed)).expect("session");
+        let loaded = sequential.load_assembly(SEGMENT).expect("assembles");
+        let want = sequential.run_shots(&loaded, shots).expect("sequential batch");
+        let mut parallel = Session::new(config(seed)).expect("session");
+        let got = parallel
+            .run_shots_parallel(&loaded, shots, threads)
+            .expect("parallel batch");
+        prop_assert_eq!(got.len(), want.len());
+        prop_assert_eq!(parallel.shots_run(), shots);
+        for (i, (a, b)) in want.shots.iter().zip(got.shots.iter()).enumerate() {
+            prop_assert_eq!(signature(a), signature(b), "shot {}", i);
+        }
+    }
+}
+
+#[test]
+fn threads_exceeding_shots_and_auto_are_exact() {
+    // The two satellite-named edges, pinned deterministically on top of
+    // the property: threads > shots and threads == 0 (auto).
+    let mut sequential = Session::new(config(0xE27)).expect("session");
+    let loaded = sequential.load_assembly(SEGMENT).expect("assembles");
+    let want = sequential.run_shots(&loaded, 5).expect("sequential");
+    for threads in [0, 7, 64] {
+        let mut parallel = Session::new(config(0xE27)).expect("session");
+        let got = parallel
+            .run_shots_parallel(&loaded, 5, threads)
+            .expect("parallel");
+        for (a, b) in want.shots.iter().zip(got.shots.iter()) {
+            assert_eq!(signature(a), signature(b), "threads = {threads}");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Workspace smoke test: pins the facade crate's re-export surface.
 //!
 //! Every assertion here exercises a path that only resolves when the root
-//! `quma` package and all seven member crates are wired correctly in the
+//! `quma` package and all eight member crates are wired correctly in the
 //! Cargo manifests. If a manifest regression drops a crate (or renames a
 //! re-export), this file fails to compile — the fastest possible signal
 //! that the workspace graph broke.
@@ -11,6 +11,7 @@ use quma::compiler::prelude::{Kernel, QuantumProgram};
 use quma::core::prelude::{Device, DeviceConfig};
 use quma::experiments::prelude::mean;
 use quma::isa::prelude::{Assembler, Program, Reg, NUM_REGS};
+use quma::pool::prelude::{content_hash, DevicePool, PoolConfig};
 use quma::qsim::prelude::{DensityMatrix, C64};
 use quma::signal::prelude::{memory_bytes, Dac, Envelope};
 
@@ -50,6 +51,13 @@ fn facade_reexports_resolve_and_construct() {
 
     // quma::experiments — the stats helpers are callable.
     assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+
+    // quma::pool — a one-worker pool serves a trivial job and drains.
+    let pool =
+        DevicePool::new(PoolConfig::new(DeviceConfig::default()).with_workers(1)).expect("pool");
+    let handle = pool.submit_assembly("Wait 10\nhalt", 1).expect("submits");
+    assert!(handle.wait().is_ok());
+    assert_ne!(content_hash(b"a"), content_hash(b"b"));
 }
 
 /// Compile-time-only check that each facade module path exists as a module
@@ -61,6 +69,7 @@ mod facade_modules {
     use quma::core as _;
     use quma::experiments as _;
     use quma::isa as _;
+    use quma::pool as _;
     use quma::qsim as _;
     use quma::signal as _;
 }

@@ -1,0 +1,500 @@
+//! Multi-producer multi-consumer channels (a miniature of
+//! `crossbeam::channel`, itself a re-export of `crossbeam-channel`).
+//!
+//! Same names, same signatures, same semantics as the real crate for the
+//! surface the workspace uses: [`bounded`] / [`unbounded`] constructors,
+//! cloneable [`Sender`]s *and* [`Receiver`]s (work-stealing consumers),
+//! blocking and non-blocking send/receive, and disconnect detection once
+//! every handle on the other side is dropped. Receivers drain messages
+//! that were queued before the last sender disconnected — the property
+//! the device pool's graceful drain relies on.
+//!
+//! The implementation is a `Mutex<VecDeque>` with two condvars rather
+//! than the real crate's lock-free core; correctness over raw speed, as
+//! everywhere else in `vendor/`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sending on a channel whose receivers are all gone; returns the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Non-blocking send failure: the channel is full or disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the value is returned.
+    Full(T),
+    /// All receivers are gone; the value is returned.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// True when the failure was a full queue (backpressure, not death).
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    /// True when the failure was a disconnected channel.
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TrySendError::Disconnected(_))
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// Receiving on a channel that is empty with every sender gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Non-blocking receive failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now (senders still alive).
+    Empty,
+    /// Nothing queued and every sender is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Timed receive failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with nothing queued.
+    Timeout,
+    /// Every sender is gone and the queue is empty.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn new(cap: Option<usize>) -> Arc<Self> {
+        Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        })
+    }
+}
+
+/// The sending half of a channel. Cloning adds a producer; the channel
+/// disconnects for receivers once every clone is dropped *and* the queue
+/// has drained.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloning adds a consumer (messages go
+/// to whichever clone pops first — work stealing, not broadcast).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel with a queue bound of `cap` messages; sends beyond
+/// the bound block ([`Sender::send`]) or fail fast
+/// ([`Sender::try_send`] → [`TrySendError::Full`]).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Shared::new(Some(cap));
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates a channel with no queue bound; sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Shared::new(None);
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the channel is full. Fails only when
+    /// every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.cap.is_none_or(|c| state.queue.len() < c) {
+                state.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Sends without blocking: a full queue is an immediate
+    /// [`TrySendError::Full`] — the typed backpressure signal.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if state.cap.is_some_and(|c| state.queue.len() >= c) {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queue bound (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.state.lock().expect("channel poisoned").cap
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives, blocking while the channel is empty. Fails only when the
+    /// queue is empty *and* every sender is gone — queued messages are
+    /// always drained first.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        if let Some(value) = state.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Receives, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("channel poisoned");
+            state = guard;
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queue bound (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.state.lock().expect("channel poisoned").cap
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake every blocked receiver so it can observe the
+            // disconnect (after draining what is queued).
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_disconnected() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(tx.capacity(), Some(2));
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn receivers_drain_queued_messages_after_sender_drops() {
+        let (tx, rx) = unbounded();
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_receivers_steal_work() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = [a, b];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+    }
+
+    #[test]
+    fn blocked_send_resumes_when_space_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let t = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        let (tx, rx) = bounded(4);
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    tx.send(p * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..25u64).map(move |i| p * 100 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+}

@@ -1,10 +1,13 @@
 //! Offline, API-compatible subset of the `crossbeam` crate.
 //!
 //! The build environment has no registry access, so the workspace vendors
-//! the one crossbeam API its tests use: [`thread::scope`] with
-//! [`thread::Scope::spawn`]. The vendored version is backed by plain
-//! `std::thread::spawn`, so spawned closures must be `'static` — which
-//! every use in this workspace is (they capture only `Copy` seeds).
+//! the two crossbeam APIs it uses: [`thread::scope`] with
+//! [`thread::Scope::spawn`] (backed by plain `std::thread::spawn`, so
+//! spawned closures must be `'static` — which every use in this
+//! workspace is), and [`channel`], the MPMC channels the `quma_pool`
+//! device-pool scheduler dispatches jobs over.
+
+pub mod channel;
 
 pub mod thread {
     //! Scoped-thread API (a miniature of `crossbeam::thread`).
