@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use quma_compiler::prelude::{InjectedX, RepetitionCode};
-use quma_core::prelude::{DeviceConfig, Session, TraceLevel};
+use quma_core::prelude::{ChipProfile, DeviceConfig, Session, TraceLevel};
 use std::hint::black_box;
 
 fn device_config(distance: usize) -> DeviceConfig {
@@ -16,6 +16,13 @@ fn device_config(distance: usize) -> DeviceConfig {
         num_qubits: 2 * distance - 1,
         trace: TraceLevel::Off,
         ..DeviceConfig::default()
+    }
+}
+
+fn stabilizer_config(distance: usize) -> DeviceConfig {
+    DeviceConfig {
+        chip: ChipProfile::Stabilizer,
+        ..device_config(distance)
     }
 }
 
@@ -78,5 +85,46 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// The stabilizer fast path at distances the exact chip cannot touch
+/// (`2d − 1 > 10` qubits past d = 5): per-shot latency across the
+/// extended distance grid, plus the thousand-round point that motivates
+/// a polynomial-time backend in the first place.
+fn bench_stabilizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qec_cycle_stabilizer");
+
+    for distance in [7usize, 11, 15, 25] {
+        let program = code(distance, 1).compile();
+        let mut session = Session::new(stabilizer_config(distance)).expect("session");
+        let loaded = session.load(&program);
+        let plan = session.seed_plan();
+        let mut i = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new(format!("shot_d{distance}"), "r1"),
+            &distance,
+            |b, _| {
+                b.iter(|| {
+                    let seeds = plan.shot(i);
+                    i += 1;
+                    black_box(session.run_shot(&loaded, seeds).expect("shot runs"))
+                })
+            },
+        );
+    }
+
+    let program = code(7, 1000).compile();
+    let mut session = Session::new(stabilizer_config(7)).expect("session");
+    let loaded = session.load(&program);
+    let plan = session.seed_plan();
+    let mut i = 0u64;
+    g.bench_function("long_d7_r1000", |b| {
+        b.iter(|| {
+            let seeds = plan.shot(i);
+            i += 1;
+            black_box(session.run_shot(&loaded, seeds).expect("shot runs"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_stabilizer);
 criterion_main!(benches);

@@ -33,6 +33,20 @@ pub fn syndrome_reg(i: usize) -> Reg {
     Reg::r(4 + i as u8)
 }
 
+/// Ancillas measured per bank in the large-distance decoder.
+const BANK: usize = 7;
+
+/// Register holding ancilla `i`'s syndrome bit in the banked convention
+/// used above distance 5: ancillas are measured in banks of `BANK` (7), even
+/// banks landing in `r1..r7` and odd banks in `r8..r14`, so a bank's
+/// registers stay live while the next bank is measured (pairwise
+/// corrections at a bank boundary read one bit from each side).
+pub fn banked_syndrome_reg(i: usize) -> Reg {
+    let bank = i / BANK;
+    let slot = i % BANK;
+    Reg::r(1 + (BANK * (bank % 2) + slot) as u8)
+}
+
 /// Register holding data qubit `j`'s final readout.
 pub fn data_reg(j: usize) -> Reg {
     assert!(j < 5, "at most 5 data qubits (distance ≤ 5)");
@@ -90,7 +104,10 @@ pub struct InjectedX {
 /// The repetition-code program builder.
 #[derive(Debug, Clone)]
 pub struct RepetitionCode {
-    /// Code distance: odd, 3 or 5 (register-file bound).
+    /// Code distance: odd, in `3..=25`. Up to 5 the decoder is a full
+    /// minimum-weight branch tree over dedicated syndrome registers; above
+    /// 5 the register file cannot hold every syndrome at once, so the
+    /// banked pairwise decoder takes over (see [`banked_syndrome_reg`]).
     pub distance: usize,
     /// Number of syndrome-extraction rounds (≥ 1).
     pub rounds: usize,
@@ -139,8 +156,8 @@ impl RepetitionCode {
 
     fn validate(&self) {
         assert!(
-            self.distance % 2 == 1 && (3..=5).contains(&self.distance),
-            "distance must be 3 or 5 (register-file bound), got {}",
+            self.distance % 2 == 1 && (3..=25).contains(&self.distance),
+            "distance must be odd and in 3..=25, got {}",
             self.distance
         );
         assert!(self.rounds >= 1, "at least one syndrome round");
@@ -157,6 +174,9 @@ impl RepetitionCode {
     /// Builds the kernel-level program.
     pub fn build(&self) -> QuantumProgram {
         self.validate();
+        if self.distance > 5 {
+            return self.build_banked();
+        }
         let lay = self.layout();
         let lut = decode_lut(self.distance);
         let mut program = QuantumProgram::new(format!(
@@ -218,6 +238,104 @@ impl RepetitionCode {
         }
         let data_regs: Vec<Reg> = (0..self.distance).map(data_reg).collect();
         k.measure_fanout(&lay.data_qubits(), &data_regs);
+        program.add_kernel(k);
+        program
+    }
+
+    /// Builds the large-distance variant (distance 7..=25). The extraction
+    /// round is identical to the small-distance path, but the decoder
+    /// cannot be a branch tree over `2^(d−1)` syndrome patterns living in
+    /// dedicated registers: ancillas are measured in banks of `BANK` (7)
+    /// whose syndrome bits land in alternating register windows, and each
+    /// bank is decoded *pairwise* — a single X on data `j` fires exactly
+    /// the adjacent ancillas, so `s_{j−1} ∧ s_j` (with one-sided tests at
+    /// the chain edges) decides every weight-1 correction from two
+    /// consecutive syndrome bits. The final data readout is a bare
+    /// `MPG`/`MD` with no register write-back (`2d − 1` qubits no longer
+    /// fit the file); the logical value is majority-voted host-side from
+    /// the discrimination records.
+    fn build_banked(&self) -> QuantumProgram {
+        let lay = self.layout();
+        let n_synd = self.distance - 1;
+        let mut program = QuantumProgram::new(format!(
+            "repetition_d{}_r{}{}",
+            self.distance,
+            self.rounds,
+            if self.feedback { "" } else { "_nofb" }
+        ));
+        let mut k = Kernel::new("qec_cycle");
+        k.init();
+        k.mov_imm(ZERO_REG, 0);
+        if self.logical_one {
+            k.gate_multi("X180", &lay.data_qubits());
+        }
+        for round in 0..self.rounds {
+            let injected: Vec<usize> = self
+                .injected_x
+                .iter()
+                .filter(|inj| inj.round == round)
+                .map(|inj| lay.data(inj.data))
+                .collect();
+            if !injected.is_empty() {
+                k.gate_multi("X180", &injected);
+            }
+            k.gate_multi("mY90", &lay.ancilla_qubits());
+            for i in 0..n_synd {
+                k.cz(lay.data(i), lay.ancilla(i));
+            }
+            for i in 0..n_synd {
+                k.cz(lay.data(i + 1), lay.ancilla(i));
+            }
+            k.gate_multi("Y90", &lay.ancilla_qubits());
+            if !self.feedback {
+                k.measure_multi(&lay.ancilla_qubits());
+                k.wait(self.readout_drain_cycles);
+                continue;
+            }
+            let banks = n_synd.div_ceil(BANK);
+            for b in 0..banks {
+                let lo = BANK * b;
+                let hi = (lo + BANK).min(n_synd);
+                let qubits: Vec<usize> = (lo..hi).map(|i| lay.ancilla(i)).collect();
+                let regs: Vec<Reg> = (lo..hi).map(banked_syndrome_reg).collect();
+                k.measure_fanout(&qubits, &regs);
+                if b == 0 {
+                    // Left edge: X on data 0 fires only ancilla 0.
+                    let skip = format!("qecL_r{round}_e0");
+                    k.branch_eq(banked_syndrome_reg(0), ZERO_REG, &skip);
+                    k.branch_ne(banked_syndrome_reg(1), ZERO_REG, &skip);
+                    k.gate("X180", lay.data(0));
+                    k.label(skip);
+                }
+                // Interior data j needs s_{j−1} (previous bank's window is
+                // still live at a boundary) and s_j, both measured by now.
+                for j in lo.max(1)..hi {
+                    let skip = format!("qecL_r{round}_i{j}");
+                    k.branch_eq(banked_syndrome_reg(j - 1), ZERO_REG, &skip);
+                    k.branch_eq(banked_syndrome_reg(j), ZERO_REG, &skip);
+                    k.gate("X180", lay.data(j));
+                    k.label(skip);
+                }
+                if b == banks - 1 {
+                    // Right edge: X on the last data qubit fires only the
+                    // last ancilla.
+                    let skip = format!("qecL_r{round}_e1");
+                    k.branch_eq(banked_syndrome_reg(n_synd - 1), ZERO_REG, &skip);
+                    k.branch_ne(banked_syndrome_reg(n_synd - 2), ZERO_REG, &skip);
+                    k.gate("X180", lay.data(self.distance - 1));
+                    k.label(skip);
+                }
+                // Active reset of this bank's ancillas before their
+                // registers are recycled two banks later.
+                for i in lo..hi {
+                    let skip = format!("qecL_r{round}_a{i}");
+                    k.branch_eq(banked_syndrome_reg(i), ZERO_REG, &skip);
+                    k.gate("X180", lay.ancilla(i));
+                    k.label(skip);
+                }
+            }
+        }
+        k.measure_multi(&lay.data_qubits());
         program.add_kernel(k);
         program
     }
@@ -412,8 +530,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "distance must be 3 or 5")]
+    #[should_panic(expected = "distance must be odd and in 3..=25")]
     fn even_distance_rejected() {
         RepetitionCode::new(4, 1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be odd and in 3..=25")]
+    fn oversized_distance_rejected() {
+        RepetitionCode::new(27, 1).build();
+    }
+
+    #[test]
+    fn banked_registers_alternate_windows() {
+        assert_eq!(banked_syndrome_reg(0), Reg::r(1));
+        assert_eq!(banked_syndrome_reg(6), Reg::r(7));
+        assert_eq!(banked_syndrome_reg(7), Reg::r(8));
+        assert_eq!(banked_syndrome_reg(13), Reg::r(14));
+        assert_eq!(banked_syndrome_reg(14), Reg::r(1));
+        assert_eq!(banked_syndrome_reg(20), Reg::r(7));
+        assert_eq!(banked_syndrome_reg(23), Reg::r(10));
+    }
+
+    #[test]
+    fn banked_assembly_has_the_pairwise_feedback_shape() {
+        let code = RepetitionCode::new(7, 2);
+        let text = code.assembly();
+        // Extraction addresses all six ancillas at once.
+        assert!(
+            text.contains("Pulse {q1, q3, q5, q7, q9, q11}, mY90"),
+            "{text}"
+        );
+        // Syndromes land in the banked window r1..r7.
+        assert!(text.contains("MD {q1}, r1"), "{text}");
+        assert!(text.contains("MD {q11}, r6"), "{text}");
+        // Edge and interior pairwise tests, both rounds.
+        assert!(text.contains("beq r1, r0, qecL_r0_e0"));
+        assert!(text.contains("bne r2, r0, qecL_r0_e0"));
+        assert!(text.contains("beq r1, r0, qecL_r0_i1"));
+        assert!(text.contains("bne r5, r0, qecL_r1_e1"));
+        // Per-ancilla active reset.
+        assert!(text.contains("beq r3, r0, qecL_r1_a2"));
+        // Final data readout has no register write-back.
+        assert!(
+            text.contains("MD {q0, q2, q4, q6, q8, q10, q12}\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn banked_bank_boundary_reads_both_windows() {
+        // d = 11 has 10 ancillas: bank 0 → r1..r7, bank 1 → r8..r10.
+        let code = RepetitionCode::new(11, 1);
+        let text = code.assembly();
+        assert!(
+            text.contains("MD {q13}, r1") || text.contains("MD {q15}, r8"),
+            "{text}"
+        );
+        // Data 7's correction pairs bank 0's last bit (r7) with bank 1's
+        // first (r8).
+        assert!(text.contains("beq r7, r0, qecL_r0_i7"), "{text}");
+        assert!(text.contains("beq r8, r0, qecL_r0_i7"), "{text}");
+    }
+
+    #[test]
+    fn banked_no_feedback_measures_without_registers() {
+        let mut code = RepetitionCode::new(7, 1);
+        code.feedback = false;
+        let text = code.assembly();
+        assert!(!text.contains("beq"));
+        assert!(text.contains("MD {q1, q3, q5, q7, q9, q11}\n"), "{text}");
+    }
+
+    #[test]
+    fn banked_distances_compile() {
+        for d in [7usize, 11, 25] {
+            let prog = RepetitionCode::new(d, 1).compile();
+            assert!(prog.len() > 40, "d={d}");
+        }
     }
 }

@@ -11,6 +11,11 @@ pub enum ChipProfile {
     /// The paper's validation device: qubit-2 coherence figures and noisy
     /// dispersive readout.
     Paper,
+    /// Stabilizer-tableau chip: noise-free Clifford-only simulation that
+    /// scales to 64 qubits (the exact register chip stops at 10). Drives
+    /// must demodulate to Clifford rotations; measurement RNG streams are
+    /// bit-compatible with [`Ideal`](ChipProfile::Ideal) under shared seeds.
+    Stabilizer,
 }
 
 /// Full device configuration. Defaults reproduce the paper's prototype:
@@ -108,10 +113,14 @@ impl DeviceConfig {
 
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
-        if self.num_qubits == 0 || self.num_qubits > 16 {
+        let max_qubits = match self.chip {
+            ChipProfile::Stabilizer => 64,
+            _ => 16,
+        };
+        if self.num_qubits == 0 || self.num_qubits > max_qubits {
             return Err(format!(
-                "num_qubits = {} outside supported 1..=16",
-                self.num_qubits
+                "num_qubits = {} outside supported 1..={max_qubits} for {:?}",
+                self.num_qubits, self.chip
             ));
         }
         if self.cycle_time <= 0.0 || self.sample_rate <= 0.0 {
@@ -169,6 +178,29 @@ mod tests {
         for c in broken {
             assert!(c.validate().is_err(), "{c:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn stabilizer_profile_raises_the_qubit_ceiling() {
+        let ok = DeviceConfig {
+            num_qubits: 64,
+            chip: ChipProfile::Stabilizer,
+            ..DeviceConfig::default()
+        };
+        assert!(ok.validate().is_ok());
+        let too_many = DeviceConfig {
+            num_qubits: 65,
+            chip: ChipProfile::Stabilizer,
+            ..DeviceConfig::default()
+        };
+        assert!(too_many.validate().is_err());
+        // Exact-register profiles keep the old bound.
+        let exact = DeviceConfig {
+            num_qubits: 17,
+            chip: ChipProfile::Ideal,
+            ..DeviceConfig::default()
+        };
+        assert!(exact.validate().is_err());
     }
 
     #[test]

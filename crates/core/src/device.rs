@@ -27,7 +27,7 @@ use crate::pipeline::{Backend, Frontend};
 use crate::trace::Trace;
 use crate::uop_unit::MicroOpUnit;
 use quma_isa::prelude::{Program, Reg};
-use quma_qsim::chip::QuantumChip;
+use quma_qsim::chip::ChipBackend;
 
 /// A completed measurement-discrimination record.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -239,12 +239,12 @@ impl Device {
     }
 
     /// The simulated chip (for error injection and inspection).
-    pub fn chip_mut(&mut self) -> &mut QuantumChip {
+    pub fn chip_mut(&mut self) -> &mut dyn ChipBackend {
         self.backend.chip_mut()
     }
 
     /// The simulated chip, immutable.
-    pub fn chip(&self) -> &QuantumChip {
+    pub fn chip(&self) -> &dyn ChipBackend {
         self.backend.chip()
     }
 

@@ -18,8 +18,9 @@ use crate::timing::{TimingControlUnit, TimingStats};
 use crate::trace::{Trace, TraceKind, TraceLevel};
 use crate::uop_unit::{seq_z, MicroOpUnit};
 use quma_isa::prelude::Reg;
-use quma_qsim::chip::QuantumChip;
+use quma_qsim::chip::{ChipBackend, QuantumChip};
 use quma_qsim::resonator::{ReadoutParams, ReadoutTrace};
+use quma_qsim::stabilizer::StabilizerChip;
 use std::collections::{BTreeMap, HashMap};
 
 /// A chip-facing action with its effect cycle, ordered before execution.
@@ -68,7 +69,7 @@ pub struct Backend {
     tcu: TimingControlUnit,
     uop_units: Vec<MicroOpUnit>,
     ctpgs: Vec<Ctpg>,
-    chip: QuantumChip,
+    chip: Box<dyn ChipBackend>,
     /// Per-qubit MDU calibration cache, keyed by integration duration and
     /// tagged with the readout parameters it was calibrated against (a
     /// parameter change between batches invalidates the entry).
@@ -92,9 +93,19 @@ impl Backend {
     /// every µ-op unit). This is the expensive construction step the
     /// engine layer amortizes across shots.
     pub fn new(config: &DeviceConfig) -> Self {
-        let chip = match config.chip {
-            ChipProfile::Ideal => QuantumChip::ideal_device(config.num_qubits, config.chip_seed),
-            ChipProfile::Paper => QuantumChip::paper_device(config.num_qubits, config.chip_seed),
+        let chip: Box<dyn ChipBackend> = match config.chip {
+            ChipProfile::Ideal => Box::new(QuantumChip::ideal_device(
+                config.num_qubits,
+                config.chip_seed,
+            )),
+            ChipProfile::Paper => Box::new(QuantumChip::paper_device(
+                config.num_qubits,
+                config.chip_seed,
+            )),
+            ChipProfile::Stabilizer => Box::new(StabilizerChip::ideal_device(
+                config.num_qubits,
+                config.chip_seed,
+            )),
         };
         let mut backend = Self {
             tcu: TimingControlUnit::new(config.queue_capacity),
@@ -164,13 +175,13 @@ impl Backend {
     }
 
     /// The simulated chip (for error injection and inspection).
-    pub fn chip_mut(&mut self) -> &mut QuantumChip {
-        &mut self.chip
+    pub fn chip_mut(&mut self) -> &mut dyn ChipBackend {
+        self.chip.as_mut()
     }
 
     /// The simulated chip, immutable.
-    pub fn chip(&self) -> &QuantumChip {
-        &self.chip
+    pub fn chip(&self) -> &dyn ChipBackend {
+        self.chip.as_ref()
     }
 
     /// A qubit's CTPG (to re-upload pulse libraries).

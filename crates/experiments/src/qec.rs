@@ -25,7 +25,9 @@ use std::sync::Arc;
 /// QEC experiment configuration.
 #[derive(Debug, Clone)]
 pub struct QecConfig {
-    /// Code distance (3 or 5).
+    /// Code distance: odd, in `3..=25`. Distances above 5 exceed the
+    /// exact register chip (`2d − 1 > 10` qubits) and require
+    /// [`ChipProfile::Stabilizer`].
     pub distance: usize,
     /// Syndrome rounds per shot.
     pub rounds: usize,
@@ -96,7 +98,20 @@ pub struct QecResult {
 }
 
 /// The device configuration a QEC point runs on.
+///
+/// # Panics
+///
+/// Above distance 5 the layout needs `2d − 1 > 10` qubits, more than the
+/// exact register chip simulates; such points must select
+/// [`ChipProfile::Stabilizer`].
 pub fn device_config(cfg: &QecConfig) -> DeviceConfig {
+    assert!(
+        cfg.distance <= 5 || cfg.profile == ChipProfile::Stabilizer,
+        "distance {} needs {} qubits: beyond the exact register chip, \
+         select ChipProfile::Stabilizer",
+        cfg.distance,
+        2 * cfg.distance - 1
+    );
     DeviceConfig {
         num_qubits: 2 * cfg.distance - 1,
         chip: cfg.profile,
@@ -115,11 +130,26 @@ pub fn code_for(cfg: &QecConfig) -> RepetitionCode {
     code
 }
 
-/// Majority vote over the final data-qubit readout registers.
+/// Majority vote over the final data-qubit readout. Up to distance 5 the
+/// readout fans out into the `r8..` data registers; above that the
+/// program ends with a bare `MPG`/`MD` over all data qubits, so the vote
+/// reads the last `distance` discrimination records instead.
 pub fn majority_bit(report: &RunReport, distance: usize) -> u8 {
-    let ones: usize = (0..distance)
-        .map(|j| report.registers[data_reg(j).index() as usize] as usize)
-        .sum();
+    let ones: usize = if distance <= 5 {
+        (0..distance)
+            .map(|j| report.registers[data_reg(j).index() as usize] as usize)
+            .sum()
+    } else {
+        let records = &report.md_results;
+        assert!(
+            records.len() >= distance,
+            "final data readout missing from discrimination records"
+        );
+        records[records.len() - distance..]
+            .iter()
+            .map(|r| r.bit as usize)
+            .sum()
+    };
     u8::from(ones * 2 > distance)
 }
 
@@ -409,6 +439,64 @@ mod tests {
         // The sharded sweep path must reproduce the sequential one.
         let parallel = run(&QecConfig { threads: 3, ..cfg }).expect("runs");
         assert_eq!(a.majority_bits, parallel.majority_bits);
+    }
+
+    #[test]
+    fn stabilizer_profile_matches_ideal_at_distance_3() {
+        let cfg = QecConfig {
+            shots: 4,
+            ..QecConfig::default()
+        };
+        let ideal = run(&cfg).expect("runs");
+        let stab = run(&QecConfig {
+            profile: ChipProfile::Stabilizer,
+            ..cfg
+        })
+        .expect("runs");
+        assert_eq!(ideal.majority_bits, stab.majority_bits);
+        assert_eq!(ideal.logical_errors, stab.logical_errors);
+    }
+
+    #[test]
+    fn distance7_single_errors_recover_on_the_stabilizer_chip() {
+        let cfg = QecConfig {
+            distance: 7,
+            rounds: 2,
+            shots: 2,
+            profile: ChipProfile::Stabilizer,
+            ..QecConfig::default()
+        };
+        for round in 0..2 {
+            for data in [0usize, 3, 6] {
+                let result = run_injected(&cfg, &[InjectedX { round, data }]).expect("runs");
+                assert_eq!(
+                    result.logical_errors, 0,
+                    "single X at round {round} data {data} must decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_distance_grid_runs_on_the_stabilizer_chip() {
+        let base = QecConfig {
+            shots: 1,
+            rounds: 1,
+            profile: ChipProfile::Stabilizer,
+            ..QecConfig::default()
+        };
+        let grid = run_grid(&base, &[7, 11], &[1], &[0.0]).expect("runs");
+        assert_eq!(grid.len(), 2);
+        assert!(grid.iter().all(|p| p.logical_errors == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "select ChipProfile::Stabilizer")]
+    fn large_distance_rejects_the_exact_chip() {
+        device_config(&QecConfig {
+            distance: 7,
+            ..QecConfig::default()
+        });
     }
 
     #[test]

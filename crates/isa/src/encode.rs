@@ -27,6 +27,20 @@
 //! | `Pulse` | 0x19 | cont(1), mask(16), uop(6) |
 //! | `MPG`   | 0x1A | mask(16), duration(10) |
 //! | `MD`    | 0x1B | mask(16), has_rd(1), rd(4) |
+//! | `MASKX` | 0x1C | seq(2), chunk(24) |
+//!
+//! ## Wide qubit masks
+//!
+//! [`QubitMask`] addresses up to 64 qubits but the mask fields above are
+//! 16 bits (the paper's device scale). Masks with bits ≥ 16 set are
+//! carried by `MASKX` *extension words* emitted immediately **before**
+//! the instruction word they extend: extension `seq` carries mask bits
+//! `[16 + 24·seq, 16 + 24·(seq+1))` in its 24-bit chunk (`seq` 0 covers
+//! bits 16..40, `seq` 1 bits 40..64). Programs whose masks all fit in
+//! 16 bits encode to bit-identical images as before this extension
+//! existed. Inside a horizontal `Pulse` chain each operation's extension
+//! words precede that operation's own word. A `MASKX` not followed by a
+//! mask-carrying instruction is a decode error.
 
 use crate::instruction::{GateId, Instruction, PulseOp};
 use crate::reg::Reg;
@@ -54,6 +68,7 @@ pub(crate) mod op {
     pub const PULSE: u32 = 0x19;
     pub const MPG: u32 = 0x1A;
     pub const MD: u32 = 0x1B;
+    pub const MASKX: u32 = 0x1C;
 }
 
 /// Errors from encoding an instruction.
@@ -89,6 +104,9 @@ pub enum DecodeError {
     /// A register field decoded out of range (cannot happen with 4-bit
     /// fields, kept for forward compatibility).
     BadRegister(u8),
+    /// A `MASKX` mask-extension word with an out-of-range sequence
+    /// number, or one not followed by a mask-carrying instruction.
+    BadMaskExtension,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -97,6 +115,11 @@ impl std::fmt::Display for DecodeError {
             DecodeError::UnknownOpcode(w) => write!(f, "unknown opcode in word {w:#010x}"),
             DecodeError::TruncatedPulseChain => write!(f, "Pulse continuation chain truncated"),
             DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            DecodeError::BadMaskExtension => write!(
+                f,
+                "MASKX extension word is malformed or not followed by a \
+                 mask-carrying instruction"
+            ),
         }
     }
 }
@@ -123,6 +146,36 @@ fn check_signed(v: i32, bits: u8) -> Result<u32, EncodeError> {
 fn sign_extend(v: u32, bits: u8) -> i32 {
     let shift = 32 - bits as u32;
     ((v << shift) as i32) >> shift
+}
+
+/// Number of `MASKX` extension words a mask requires: 0 when it fits the
+/// 16-bit instruction field, 1 for bits in 16..40, 2 for bits in 40..64.
+/// [`crate::program::Program`] mirrors this arithmetic when computing
+/// patch-slot word offsets.
+pub fn mask_extension_words(mask: u64) -> u32 {
+    if mask < 1 << 16 {
+        0
+    } else if mask < 1 << 40 {
+        1
+    } else {
+        2
+    }
+}
+
+/// The low 16 mask bits that ride in the instruction word itself.
+fn mask_low(mask: u64) -> u32 {
+    (mask & 0xFFFF) as u32
+}
+
+/// Appends the `MASKX` extension words for `mask` (none when the mask
+/// fits 16 bits). Sequence `seq` carries bits `16 + 24·seq` upward.
+fn push_mask_ext(words: &mut Vec<u32>, mask: u64) {
+    for seq in 0..2u32 {
+        if mask >> (16 + 24 * seq) != 0 {
+            let chunk = ((mask >> (16 + 24 * seq)) & 0xFF_FFFF) as u32;
+            words.push((op::MASKX << 26) | (seq << 24) | chunk);
+        }
+    }
 }
 
 /// Encodes one instruction into one or more 32-bit words (only `Pulse` may
@@ -181,10 +234,16 @@ pub fn encode(insn: &Instruction) -> Result<Vec<u32>, EncodeError> {
         }
         Instruction::Halt => one(opc(op::HALT)),
         Instruction::Apply { gate, qubits } => {
-            one(opc(op::APPLY) | u32::from(gate.0) << 18 | u32::from(qubits.0) << 2)
+            let mut words = Vec::new();
+            push_mask_ext(&mut words, qubits.0);
+            words.push(opc(op::APPLY) | u32::from(gate.0) << 18 | mask_low(qubits.0) << 2);
+            Ok(words)
         }
         Instruction::Measure { qubits, rd } => {
-            one(opc(op::MEASURE) | u32::from(qubits.0) << 10 | u32::from(rd.index()) << 6)
+            let mut words = Vec::new();
+            push_mask_ext(&mut words, qubits.0);
+            words.push(opc(op::MEASURE) | mask_low(qubits.0) << 10 | u32::from(rd.index()) << 6);
+            Ok(words)
         }
         Instruction::QNopReg { rs } => one(opc(op::QNOPREG) | u32::from(rs.index()) << 22),
         Instruction::Wait { interval } => {
@@ -198,10 +257,11 @@ pub fn encode(insn: &Instruction) -> Result<Vec<u32>, EncodeError> {
             let mut words = Vec::with_capacity(ops.len());
             for (k, p) in ops.iter().enumerate() {
                 let cont = u32::from(k + 1 < ops.len());
+                push_mask_ext(&mut words, p.qubits.0);
                 words.push(
                     opc(op::PULSE)
                         | cont << 25
-                        | u32::from(p.qubits.0) << 9
+                        | mask_low(p.qubits.0) << 9
                         | u32::from(p.uop.raw()) << 3,
                 );
             }
@@ -209,14 +269,20 @@ pub fn encode(insn: &Instruction) -> Result<Vec<u32>, EncodeError> {
         }
         Instruction::Mpg { qubits, duration } => {
             let d = check_unsigned(*duration, 10)?;
-            one(opc(op::MPG) | u32::from(qubits.0) << 10 | d)
+            let mut words = Vec::new();
+            push_mask_ext(&mut words, qubits.0);
+            words.push(opc(op::MPG) | mask_low(qubits.0) << 10 | d);
+            Ok(words)
         }
         Instruction::Md { qubits, rd } => {
             let (has, idx) = match rd {
                 Some(r) => (1u32, u32::from(r.index())),
                 None => (0, 0),
             };
-            one(opc(op::MD) | u32::from(qubits.0) << 10 | has << 9 | idx << 5)
+            let mut words = Vec::new();
+            push_mask_ext(&mut words, qubits.0);
+            words.push(opc(op::MD) | mask_low(qubits.0) << 10 | has << 9 | idx << 5);
+            Ok(words)
         }
     }
 }
@@ -238,9 +304,32 @@ fn reg4(w: u32, shift: u32) -> Reg {
 pub fn decode_program(words: &[u32]) -> Result<Vec<Instruction>, DecodeError> {
     let mut out = Vec::new();
     let mut i = 0usize;
+    // Upper mask bits accumulated from MASKX prefix words, waiting for the
+    // mask-carrying instruction they extend.
+    let mut pending: u64 = 0;
+    let mut pending_set = false;
     while i < words.len() {
         let w = words[i];
         let opcode = w >> 26;
+        if opcode == op::MASKX {
+            let seq = (w >> 24) & 0x3;
+            if seq > 1 {
+                return Err(DecodeError::BadMaskExtension);
+            }
+            pending |= u64::from(w & 0xFF_FFFF) << (16 + 24 * seq);
+            pending_set = true;
+            i += 1;
+            continue;
+        }
+        let maskful = matches!(
+            opcode,
+            op::APPLY | op::MEASURE | op::PULSE | op::MPG | op::MD
+        );
+        if pending_set && !maskful {
+            return Err(DecodeError::BadMaskExtension);
+        }
+        let upper = std::mem::take(&mut pending);
+        pending_set = false;
         let insn = match opcode {
             op::MOV => Instruction::Mov {
                 rd: reg4(w, 22),
@@ -302,10 +391,10 @@ pub fn decode_program(words: &[u32]) -> Result<Vec<Instruction>, DecodeError> {
             op::HALT => Instruction::Halt,
             op::APPLY => Instruction::Apply {
                 gate: GateId(((w >> 18) & 0xFF) as u8),
-                qubits: QubitMask(((w >> 2) & 0xFFFF) as u16),
+                qubits: QubitMask(u64::from((w >> 2) & 0xFFFF) | upper),
             },
             op::MEASURE => Instruction::Measure {
-                qubits: QubitMask(((w >> 10) & 0xFFFF) as u16),
+                qubits: QubitMask(u64::from((w >> 10) & 0xFFFF) | upper),
                 rd: reg4(w, 6),
             },
             op::QNOPREG => Instruction::QNopReg { rs: reg4(w, 22) },
@@ -314,16 +403,29 @@ pub fn decode_program(words: &[u32]) -> Result<Vec<Instruction>, DecodeError> {
             },
             op::PULSE => {
                 let mut ops = Vec::new();
+                // Upper bits for the first chained word were gathered by the
+                // outer loop; later words carry their own MASKX prefixes.
+                let mut upper = upper;
                 loop {
-                    let w = *words.get(i).ok_or(DecodeError::TruncatedPulseChain)?;
+                    let mut w = *words.get(i).ok_or(DecodeError::TruncatedPulseChain)?;
+                    while w >> 26 == op::MASKX {
+                        let seq = (w >> 24) & 0x3;
+                        if seq > 1 {
+                            return Err(DecodeError::BadMaskExtension);
+                        }
+                        upper |= u64::from(w & 0xFF_FFFF) << (16 + 24 * seq);
+                        i += 1;
+                        w = *words.get(i).ok_or(DecodeError::BadMaskExtension)?;
+                    }
                     if w >> 26 != op::PULSE {
                         return Err(DecodeError::TruncatedPulseChain);
                     }
                     ops.push(PulseOp {
-                        qubits: QubitMask(((w >> 9) & 0xFFFF) as u16),
+                        qubits: QubitMask(u64::from((w >> 9) & 0xFFFF) | upper),
                         uop: UopId::new(((w >> 3) & 0x3F) as u8)
                             .expect("6-bit field is always in range"),
                     });
+                    upper = 0;
                     let cont = (w >> 25) & 1 == 1;
                     if !cont {
                         break;
@@ -333,13 +435,13 @@ pub fn decode_program(words: &[u32]) -> Result<Vec<Instruction>, DecodeError> {
                 Instruction::Pulse { ops }
             }
             op::MPG => Instruction::Mpg {
-                qubits: QubitMask(((w >> 10) & 0xFFFF) as u16),
+                qubits: QubitMask(u64::from((w >> 10) & 0xFFFF) | upper),
                 duration: w & 0x3FF,
             },
             op::MD => {
                 let has = (w >> 9) & 1 == 1;
                 Instruction::Md {
-                    qubits: QubitMask(((w >> 10) & 0xFFFF) as u16),
+                    qubits: QubitMask(u64::from((w >> 10) & 0xFFFF) | upper),
                     rd: has.then(|| reg4(w, 5)),
                 }
             }
@@ -347,6 +449,9 @@ pub fn decode_program(words: &[u32]) -> Result<Vec<Instruction>, DecodeError> {
         };
         out.push(insn);
         i += 1;
+    }
+    if pending_set {
+        return Err(DecodeError::BadMaskExtension);
     }
     Ok(out)
 }
@@ -505,6 +610,114 @@ mod tests {
             Err(EncodeError::ImmediateOverflow(1024, 10))
         ));
         assert!(encode(&Instruction::Pulse { ops: vec![] }).is_err());
+    }
+
+    #[test]
+    fn wide_masks_round_trip_with_extension_words() {
+        let wide = QubitMask::of(&[0, 17, 40, 63]);
+        let mid = QubitMask::of(&[3, 20]);
+        for insn in [
+            Instruction::Apply {
+                gate: GateId(7),
+                qubits: wide,
+            },
+            Instruction::Measure {
+                qubits: wide,
+                rd: Reg::r(3),
+            },
+            Instruction::Mpg {
+                qubits: mid,
+                duration: 300,
+            },
+            Instruction::Md {
+                qubits: wide,
+                rd: Some(Reg::r(7)),
+            },
+            Instruction::Md {
+                qubits: mid,
+                rd: None,
+            },
+        ] {
+            let words = encode(&insn).expect("encodes");
+            let expect_ext = match &insn {
+                Instruction::Apply { qubits, .. }
+                | Instruction::Measure { qubits, .. }
+                | Instruction::Mpg { qubits, .. }
+                | Instruction::Md { qubits, .. } => mask_extension_words(qubits.0),
+                _ => unreachable!(),
+            };
+            assert_eq!(words.len() as u32, 1 + expect_ext, "{insn:?}");
+            roundtrip(insn);
+        }
+    }
+
+    #[test]
+    fn wide_pulse_chain_round_trips_with_per_op_extensions() {
+        let insn = Instruction::Pulse {
+            ops: vec![
+                PulseOp {
+                    qubits: QubitMask::of(&[0, 48]),
+                    uop: UopId(5),
+                },
+                PulseOp {
+                    qubits: QubitMask::single(1),
+                    uop: UopId(7),
+                },
+                PulseOp {
+                    qubits: QubitMask::of(&[2, 17]),
+                    uop: UopId(63),
+                },
+            ],
+        };
+        // 2 ext + word, bare word, 1 ext + word.
+        assert_eq!(encode(&insn).unwrap().len(), 6);
+        roundtrip(insn);
+    }
+
+    #[test]
+    fn low_mask_binary_image_is_unchanged() {
+        // Programs that fit 16-bit masks must keep the pre-MASKX image.
+        let words = encode(&Instruction::Apply {
+            gate: GateId(200),
+            qubits: QubitMask(0b101),
+        })
+        .unwrap();
+        assert_eq!(words, vec![(op::APPLY << 26) | (200 << 18) | (0b101 << 2)]);
+        let words = encode(&Instruction::Mpg {
+            qubits: QubitMask::single(2),
+            duration: 300,
+        })
+        .unwrap();
+        assert_eq!(words, vec![(op::MPG << 26) | (0b100 << 10) | 300]);
+    }
+
+    #[test]
+    fn dangling_maskx_is_rejected() {
+        // Extension followed by nothing.
+        let ext = (op::MASKX << 26) | 0x1234;
+        assert_eq!(decode_program(&[ext]), Err(DecodeError::BadMaskExtension));
+        // Extension followed by a non-mask-carrying instruction.
+        let halt = op::HALT << 26;
+        assert_eq!(
+            decode_program(&[ext, halt]),
+            Err(DecodeError::BadMaskExtension)
+        );
+        // Out-of-range sequence number.
+        let bad_seq = (op::MASKX << 26) | (2 << 24) | 1;
+        assert_eq!(
+            decode_program(&[bad_seq]),
+            Err(DecodeError::BadMaskExtension)
+        );
+    }
+
+    #[test]
+    fn extension_word_count_tracks_mask_width() {
+        assert_eq!(mask_extension_words(0), 0);
+        assert_eq!(mask_extension_words(0xFFFF), 0);
+        assert_eq!(mask_extension_words(1 << 16), 1);
+        assert_eq!(mask_extension_words((1 << 40) - 1), 1);
+        assert_eq!(mask_extension_words(1 << 40), 2);
+        assert_eq!(mask_extension_words(u64::MAX), 2);
     }
 
     #[test]

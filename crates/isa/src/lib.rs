@@ -38,7 +38,9 @@ pub mod verify;
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::asm::{AsmError, AsmErrorKind, Assembler};
-    pub use crate::encode::{decode_program, encode, encode_program, DecodeError, EncodeError};
+    pub use crate::encode::{
+        decode_program, encode, encode_program, mask_extension_words, DecodeError, EncodeError,
+    };
     pub use crate::instruction::{GateId, Instruction, PulseOp};
     pub use crate::program::Program;
     pub use crate::reg::{Reg, RegisterFile, NUM_REGS};

@@ -71,11 +71,31 @@ impl Program {
         Ok(Self::new(crate::encode::decode_program(words)?))
     }
 
-    /// Number of 32-bit words `insn` occupies in the binary image.
+    /// Number of 32-bit words `insn` occupies in the binary image,
+    /// including any `MASKX` extension words for wide qubit masks
+    /// (mirrors [`crate::encode::mask_extension_words`]).
     fn word_count(insn: &Instruction) -> u32 {
+        use crate::encode::mask_extension_words as ext;
         match insn {
-            Instruction::Pulse { ops } => ops.len() as u32,
+            Instruction::Pulse { ops } => ops.iter().map(|p| 1 + ext(p.qubits.0)).sum(),
+            Instruction::Apply { qubits, .. }
+            | Instruction::Measure { qubits, .. }
+            | Instruction::Mpg { qubits, .. }
+            | Instruction::Md { qubits, .. } => 1 + ext(qubits.0),
             _ => 1,
+        }
+    }
+
+    /// Word offset of an instruction's *primary* word past any of its own
+    /// `MASKX` prefix words (0 when the instruction carries no wide mask).
+    fn ext_prefix(insn: &Instruction, field: PatchField) -> u32 {
+        use crate::encode::mask_extension_words as ext;
+        match (insn, field) {
+            (Instruction::Pulse { ops }, PatchField::PulseUop { op }) => {
+                ops[..op].iter().map(|p| 1 + ext(p.qubits.0)).sum::<u32>() + ext(ops[op].qubits.0)
+            }
+            (Instruction::Mpg { qubits, .. }, _) => ext(qubits.0),
+            _ => 0,
         }
     }
 
@@ -108,9 +128,7 @@ impl Program {
             .iter()
             .map(Self::word_count)
             .sum();
-        if let PatchField::PulseUop { op } = field {
-            word_offset += op as u32;
-        }
+        word_offset += Self::ext_prefix(insn, field);
         self.slots.push(PatchSlot {
             name,
             insn_index,
@@ -342,6 +360,53 @@ mod tests {
         assert_eq!(tau.word_offset, 4);
         let b = prog.slots().iter().find(|s| s.name == "b").unwrap();
         assert_eq!(b.word_offset, 3);
+    }
+
+    #[test]
+    fn word_offsets_skip_mask_extension_words() {
+        use crate::instruction::{GateId, PulseOp};
+        use crate::uop::QubitMask;
+        let mut prog = Program::new(vec![
+            // 1 ext word + primary.
+            Instruction::Apply {
+                gate: GateId(1),
+                qubits: QubitMask::of(&[0, 20]),
+            },
+            // Chain: (2 ext + word) then a bare word.
+            Instruction::Pulse {
+                ops: vec![
+                    PulseOp {
+                        qubits: QubitMask::of(&[0, 48]),
+                        uop: UopId(1),
+                    },
+                    PulseOp {
+                        qubits: QubitMask::single(1),
+                        uop: UopId(2),
+                    },
+                ],
+            },
+            // 1 ext word + primary.
+            Instruction::Mpg {
+                qubits: QubitMask::single(17),
+                duration: 300,
+            },
+            Instruction::Wait { interval: 800 },
+        ]);
+        prog.add_slot("b", 1, PatchField::PulseUop { op: 1 })
+            .unwrap();
+        prog.add_slot("window", 2, PatchField::MpgDuration).unwrap();
+        prog.add_slot("tau", 3, PatchField::WaitInterval).unwrap();
+        let offsets: Vec<u32> = prog.slots().iter().map(|s| s.word_offset).collect();
+        assert_eq!(offsets, vec![5, 7, 8]);
+        // Splice-patching the encoded image agrees with patch-then-encode.
+        let mut image = prog.encode().unwrap();
+        assert_eq!(image.len(), 9);
+        let reference = prog.clone();
+        for (name, value) in [("b", 3i64), ("window", 64), ("tau", 1600)] {
+            prog.patch(name, value).unwrap();
+            reference.patch_words(&mut image, name, value).unwrap();
+        }
+        assert_eq!(prog.encode().unwrap(), image);
     }
 
     #[test]

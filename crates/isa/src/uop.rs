@@ -39,11 +39,16 @@ impl fmt::Display for UopId {
     }
 }
 
-/// A qubit address: a bitmask over up to 16 qubits, as used by the
+/// A qubit address: a bitmask over up to 64 qubits, as used by the
 /// horizontal `Pulse`/`MPG`/`MD` instructions (`{q0}`, `{q2}`,
-/// `{q0, q1}`, …).
+/// `{q0, q1}`, …). Bits 0..16 ride in the instruction word itself;
+/// higher bits travel in `MASKX` extension words (see [`crate::encode`]),
+/// so programs addressing ≤ 16 qubits keep their original binary image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct QubitMask(pub u16);
+pub struct QubitMask(pub u64);
+
+/// Maximum number of addressable qubits in a [`QubitMask`].
+pub const MAX_MASK_QUBITS: usize = 64;
 
 impl QubitMask {
     /// The empty mask.
@@ -51,15 +56,15 @@ impl QubitMask {
 
     /// Mask selecting a single qubit.
     pub fn single(q: usize) -> Self {
-        assert!(q < 16, "qubit index out of range");
+        assert!(q < MAX_MASK_QUBITS, "qubit index out of range");
         Self(1 << q)
     }
 
     /// Mask selecting several qubits.
     pub fn of(qs: &[usize]) -> Self {
-        let mut m = 0u16;
+        let mut m = 0u64;
         for &q in qs {
-            assert!(q < 16, "qubit index out of range");
+            assert!(q < MAX_MASK_QUBITS, "qubit index out of range");
             m |= 1 << q;
         }
         Self(m)
@@ -67,12 +72,12 @@ impl QubitMask {
 
     /// True when qubit `q` is selected.
     pub fn contains(self, q: usize) -> bool {
-        q < 16 && self.0 & (1 << q) != 0
+        q < MAX_MASK_QUBITS && self.0 & (1 << q) != 0
     }
 
     /// Iterates over selected qubit indices, ascending.
     pub fn iter(self) -> impl Iterator<Item = usize> {
-        (0..16).filter(move |&q| self.contains(q))
+        (0..MAX_MASK_QUBITS).filter(move |&q| self.contains(q))
     }
 
     /// Number of selected qubits.
@@ -93,18 +98,18 @@ impl QubitMask {
         } else {
             inner
         };
-        let mut mask = 0u16;
+        let mut mask = 0u64;
         for part in inner.split(',') {
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
-            let idx: u16 = part
+            let idx: u64 = part
                 .strip_prefix('q')
                 .or_else(|| part.strip_prefix('Q'))?
                 .parse()
                 .ok()?;
-            if idx >= 16 {
+            if idx >= MAX_MASK_QUBITS as u64 {
                 return None;
             }
             mask |= 1 << idx;
@@ -269,8 +274,20 @@ mod tests {
         assert_eq!(QubitMask::parse("{q0, q2}"), Some(QubitMask(5)));
         assert_eq!(QubitMask::parse("{q0,q2}"), Some(QubitMask(5)));
         assert_eq!(QubitMask::parse("q3"), Some(QubitMask(8)));
-        assert_eq!(QubitMask::parse("{q16}"), None);
+        assert_eq!(QubitMask::parse("{q16}"), Some(QubitMask(1 << 16)));
+        assert_eq!(QubitMask::parse("{q63}"), Some(QubitMask(1 << 63)));
+        assert_eq!(QubitMask::parse("{q64}"), None);
         assert_eq!(QubitMask::parse("{banana}"), None);
+    }
+
+    #[test]
+    fn wide_mask_round_trips_through_display() {
+        let m = QubitMask::of(&[0, 17, 48, 63]);
+        assert_eq!(m.to_string(), "{q0, q17, q48, q63}");
+        assert_eq!(QubitMask::parse(&m.to_string()), Some(m));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 17, 48, 63]);
+        assert!(m.contains(48));
+        assert!(!m.contains(47));
     }
 
     #[test]

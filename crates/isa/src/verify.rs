@@ -129,8 +129,8 @@ pub fn verify(program: &Program, cfg: &VerifyConfig) -> Vec<Diagnostic> {
         return out;
     }
     let len = insns.len();
-    let mut mpg_per_qubit = [0usize; 16];
-    let mut md_per_qubit = [0usize; 16];
+    let mut mpg_per_qubit = [0usize; crate::uop::MAX_MASK_QUBITS];
+    let mut md_per_qubit = [0usize; crate::uop::MAX_MASK_QUBITS];
     let mut has_halt = false;
     for (i, insn) in insns.iter().enumerate() {
         match insn {
@@ -182,7 +182,7 @@ pub fn verify(program: &Program, cfg: &VerifyConfig) -> Vec<Diagnostic> {
             kind: DiagnosticKind::MissingHalt,
         });
     }
-    for q in 0..16 {
+    for q in 0..crate::uop::MAX_MASK_QUBITS {
         if md_per_qubit[q] > mpg_per_qubit[q] {
             out.push(Diagnostic {
                 index: None,

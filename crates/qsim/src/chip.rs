@@ -408,6 +408,121 @@ impl QuantumChip {
     }
 }
 
+/// The chip-simulation boundary the control pipeline drives: DAC sample
+/// streams and measurement triggers in, heterodyne readout traces out.
+///
+/// `quma-core`'s deterministic backend holds a `Box<dyn ChipBackend>` so
+/// the device profile can select the physics engine: the exact
+/// state-vector [`QuantumChip`] (any circuit, `O(4^k)` per coupled
+/// register) or the polynomial-time
+/// [`crate::stabilizer::StabilizerChip`] (Clifford circuits only). Every
+/// implementation must consume its seeded RNG in the same order — one
+/// uniform draw per projection, then one Gaussian per trace sample — so
+/// seeded shots replay bit-identically across backends; new backends are
+/// pinned to that contract by a differential test suite against the
+/// exact chip (see `CONTRIBUTING.md`).
+pub trait ChipBackend: Send + std::fmt::Debug {
+    /// Number of qubits on the device.
+    fn num_qubits(&self) -> usize;
+
+    /// Immutable access to a qubit's transmon and readout parameters.
+    fn qubit(&self, id: QubitId) -> &ChipQubit;
+
+    /// Mutable access to a qubit (parameter retuning, noise injection).
+    fn qubit_mut(&mut self, id: QubitId) -> &mut ChipQubit;
+
+    /// Total number of measurement pulses played since the last reseed.
+    fn measurement_count(&self) -> u64;
+
+    /// Replaces the RNG with a freshly seeded one and zeroes the
+    /// measurement counter (per-shot replay; combine with
+    /// [`Self::reset_all`]).
+    fn reseed(&mut self, seed: u64);
+
+    /// Resets every qubit to `|0⟩` at lab time `at`.
+    fn reset_all(&mut self, at: f64);
+
+    /// `p(|1⟩)` of a qubit right now (inspection; must not consume RNG).
+    fn p1(&self, id: QubitId) -> f64;
+
+    /// Applies a CZ flux pulse to a pair at lab time `at`, lasting
+    /// `duration` seconds.
+    fn apply_cz(&mut self, a: QubitId, b: QubitId, at: f64, duration: f64);
+
+    /// Drives qubit `id` with a complex baseband sample stream starting
+    /// at absolute lab time `start` with sample period `dt`.
+    fn drive(&mut self, id: QubitId, samples: &[C64], start: f64, dt: f64);
+
+    /// Plays a measurement pulse: projects the qubit and returns the
+    /// heterodyne trace the ADCs would digitize.
+    fn measure(&mut self, id: QubitId, start: f64, duration: f64) -> ReadoutTrace {
+        self.measure_with_truth(id, start, duration).0
+    }
+
+    /// Like [`Self::measure`] but also reports the projected outcome.
+    fn measure_with_truth(&mut self, id: QubitId, start: f64, duration: f64) -> (ReadoutTrace, u8);
+
+    /// Clones the backend behind the trait object (shot sharding clones
+    /// whole devices).
+    fn clone_box(&self) -> Box<dyn ChipBackend>;
+}
+
+impl Clone for Box<dyn ChipBackend> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl ChipBackend for QuantumChip {
+    fn num_qubits(&self) -> usize {
+        QuantumChip::num_qubits(self)
+    }
+
+    fn qubit(&self, id: QubitId) -> &ChipQubit {
+        QuantumChip::qubit(self, id)
+    }
+
+    fn qubit_mut(&mut self, id: QubitId) -> &mut ChipQubit {
+        QuantumChip::qubit_mut(self, id)
+    }
+
+    fn measurement_count(&self) -> u64 {
+        QuantumChip::measurement_count(self)
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        QuantumChip::reseed(self, seed);
+    }
+
+    fn reset_all(&mut self, at: f64) {
+        QuantumChip::reset_all(self, at);
+    }
+
+    fn p1(&self, id: QubitId) -> f64 {
+        QuantumChip::p1(self, id)
+    }
+
+    fn apply_cz(&mut self, a: QubitId, b: QubitId, at: f64, duration: f64) {
+        QuantumChip::apply_cz(self, a, b, at, duration);
+    }
+
+    fn drive(&mut self, id: QubitId, samples: &[C64], start: f64, dt: f64) {
+        QuantumChip::drive(self, id, samples, start, dt);
+    }
+
+    fn measure(&mut self, id: QubitId, start: f64, duration: f64) -> ReadoutTrace {
+        QuantumChip::measure(self, id, start, duration)
+    }
+
+    fn measure_with_truth(&mut self, id: QubitId, start: f64, duration: f64) -> (ReadoutTrace, u8) {
+        QuantumChip::measure_with_truth(self, id, start, duration)
+    }
+
+    fn clone_box(&self) -> Box<dyn ChipBackend> {
+        Box::new(self.clone())
+    }
+}
+
 /// Box–Muller standard-normal source over a borrowed RNG. Shared with
 /// [`crate::pair_reference`] so both chips consume the RNG identically.
 pub(crate) struct GaussianSource<'a> {

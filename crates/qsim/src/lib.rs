@@ -37,13 +37,14 @@ pub mod noise;
 pub mod pair_reference;
 pub mod register;
 pub mod resonator;
+pub mod stabilizer;
 pub mod state;
 pub mod transmon;
 pub mod twoqubit;
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
-    pub use crate::chip::{ChipQubit, QuantumChip, QubitId};
+    pub use crate::chip::{ChipBackend, ChipQubit, QuantumChip, QubitId};
     pub use crate::clifford::{Clifford, CliffordGroup};
     pub use crate::complex::C64;
     pub use crate::gates::{
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::pair_reference::PairReferenceChip;
     pub use crate::register::{NQubitState, MAX_REGISTER_QUBITS};
     pub use crate::resonator::{synthesize_trace, Discriminator, ReadoutParams, ReadoutTrace};
+    pub use crate::stabilizer::{StabilizerChip, Tableau, MAX_STABILIZER_QUBITS};
     pub use crate::state::{equator_state, DensityMatrix, StateError};
     pub use crate::transmon::{calibrate_rabi, rotation_from_pulse, Transmon, TransmonParams};
     pub use crate::twoqubit::{Mat4, TwoQubitState};

@@ -9,7 +9,13 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 }
 
 fn arb_mask() -> impl Strategy<Value = QubitMask> {
-    (1u16..=0xFFFF).prop_map(QubitMask)
+    // Bias toward the 16-bit masks real programs use, but cover the MASKX
+    // extension ranges (bits 16..40 and 40..64) too.
+    prop_oneof![
+        3 => (1u64..=0xFFFF).prop_map(QubitMask),
+        1 => (1u64..(1 << 40)).prop_map(QubitMask),
+        1 => (1u64..=u64::MAX).prop_map(QubitMask),
+    ]
 }
 
 fn arb_uop() -> impl Strategy<Value = UopId> {
@@ -87,12 +93,19 @@ proptest! {
     }
 
     #[test]
-    fn single_word_per_non_pulse_instruction(insn in arb_instruction()) {
+    fn word_counts_match_mask_extension_arithmetic(insn in arb_instruction()) {
         let words = encode(&insn).expect("encodes");
-        match &insn {
-            Instruction::Pulse { ops } => prop_assert_eq!(words.len(), ops.len()),
-            _ => prop_assert_eq!(words.len(), 1),
-        }
+        let expect: u32 = match &insn {
+            Instruction::Pulse { ops } => {
+                ops.iter().map(|p| 1 + mask_extension_words(p.qubits.0)).sum()
+            }
+            Instruction::Apply { qubits, .. }
+            | Instruction::Measure { qubits, .. }
+            | Instruction::Mpg { qubits, .. }
+            | Instruction::Md { qubits, .. } => 1 + mask_extension_words(qubits.0),
+            _ => 1,
+        };
+        prop_assert_eq!(words.len() as u32, expect);
     }
 }
 

@@ -19,6 +19,12 @@
 //!   `{"id":"group/name","median_ns":…,"iters":…,"samples":…}` —
 //!   the raw material `scripts/bench_summary.sh` folds into the
 //!   committed `BENCH_<date>.json` trajectory artifacts.
+//!
+//! Heavy benchmarks whose single iteration approaches the budget would
+//! otherwise report a 1-sample "median"; the harness instead keeps
+//! sampling past the budget (up to 3× it) until it has
+//! [`MIN_SAMPLES`] samples, and any benchmark still short of that floor
+//! gets `"low_confidence":true` appended to its JSON line.
 
 use std::fmt::Display;
 use std::io::Write as _;
@@ -39,6 +45,18 @@ fn measure_budget() -> Duration {
 /// Target number of timed samples per benchmark.
 const TARGET_SAMPLES: usize = 25;
 
+/// Minimum samples for a median worth the name. Benchmarks run past the
+/// budget (up to 3× it) to reach this floor; those still short of it are
+/// flagged `low_confidence` in the JSON report.
+pub const MIN_SAMPLES: usize = 3;
+
+/// Absolute ceiling on measurement time: the budget buys the target
+/// sample count, the cap bounds the overrun spent chasing the
+/// [`MIN_SAMPLES`] floor on heavy benchmarks.
+fn hard_cap(budget: Duration) -> Duration {
+    budget * 3
+}
+
 /// Runs a closure repeatedly and records the median iteration time.
 pub struct Bencher {
     /// Mean ns/iteration of each timed sample.
@@ -52,6 +70,12 @@ impl Bencher {
             samples: Vec::new(),
             iters: 0,
         }
+    }
+
+    /// True when even the 3× budget overrun could not collect
+    /// [`MIN_SAMPLES`] samples — the median is a rough point estimate.
+    fn low_confidence(&self) -> bool {
+        self.samples.len() < MIN_SAMPLES
     }
 
     fn median_ns(&self) -> f64 {
@@ -80,7 +104,13 @@ impl Bencher {
         let per_sample = budget / (TARGET_SAMPLES as u32);
         let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
         let start = Instant::now();
-        while self.samples.len() < TARGET_SAMPLES && start.elapsed() < budget {
+        while self.samples.len() < TARGET_SAMPLES {
+            let elapsed = start.elapsed();
+            if elapsed >= hard_cap(budget)
+                || (elapsed >= budget && self.samples.len() >= MIN_SAMPLES)
+            {
+                break;
+            }
             let s0 = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
@@ -114,7 +144,12 @@ impl Bencher {
         };
         let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, max_batch) as u64;
         let mut measured = Duration::ZERO;
-        while self.samples.len() < TARGET_SAMPLES && measured < budget {
+        while self.samples.len() < TARGET_SAMPLES {
+            if measured >= hard_cap(budget)
+                || (measured >= budget && self.samples.len() >= MIN_SAMPLES)
+            {
+                break;
+            }
             let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
             let s0 = Instant::now();
             for input in inputs {
@@ -204,9 +239,14 @@ fn report(path: &str, b: &Bencher) {
             .append(true)
             .open(&json_path)
         {
+            let confidence = if b.low_confidence() {
+                ",\"low_confidence\":true"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 f,
-                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"iters\":{},\"samples\":{}}}",
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"iters\":{},\"samples\":{}{confidence}}}",
                 json_escape(path),
                 if median.is_nan() { -1.0 } else { median },
                 b.iters,
