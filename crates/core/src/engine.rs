@@ -12,9 +12,15 @@
 //! * [`Session::run_shot`] / [`Session::run_shots`] / [`Session::run_sweep`]
 //!   execute batches with a cheap per-shot reset ([`Device::reseed`] plus
 //!   the ordinary run reset) instead of reconstruction;
-//! * [`Session::run_shots_parallel`] shards a batch across per-thread
-//!   device clones with the same derived seeds, producing bit-identical
-//!   results to the sequential batch;
+//! * [`Session::run_shots_parallel`] shards a batch across a
+//!   **persistent worker pool** owned by the session: workers are
+//!   spawned lazily on the first parallel call and reused across
+//!   batches, each keeping its device clone warm (re-cloned only after
+//!   [`Session::device_mut`] touches the owned device). Items are
+//!   dealt in contiguous blocks and every worker fills its own result
+//!   vector, so batches pay neither per-call thread spawns, per-call
+//!   device clones, nor false sharing — while per-item seeds keep the
+//!   results bit-identical to the sequential batch;
 //! * [`Session::load_template`] / [`Session::run_template_sweep`] /
 //!   [`Session::run_template_sweep_parallel`] drive compile-once
 //!   [`ProgramTemplate`]s the way real control stacks drive hardware:
@@ -27,7 +33,7 @@
 
 use crate::config::DeviceConfig;
 use crate::device::{Device, DeviceError, RunReport};
-use crossbeam::thread;
+use crossbeam::channel;
 use quma_isa::prelude::Program;
 use quma_isa::template::{PatchError, ProgramTemplate};
 use std::sync::Arc;
@@ -86,66 +92,158 @@ pub fn resolve_threads(threads: usize, items: usize) -> usize {
     requested.clamp(1, items.max(1))
 }
 
-/// Runs `items` units of work striped across `workers` threads (worker
-/// `t` takes items `t, t + workers, t + 2·workers, …`) and returns the
-/// results in item order. Each worker owns the state `make_worker(t)`
-/// builds for it on the caller's thread (a device clone, a working
-/// program copy, …); the vendored crossbeam scope requires the returned
-/// closures to be `'static`. On failure the *lowest-item-index* error is
-/// returned — the same error the sequential loop's early return would
-/// surface, since every item before it succeeds identically on both
-/// paths (per-item work is deterministic and isolated per worker).
-fn run_striped<R, W>(
-    workers: usize,
-    items: usize,
-    mut make_worker: impl FnMut(usize) -> W,
-) -> Result<Vec<R>, DeviceError>
-where
-    R: Send + 'static,
-    W: FnMut(usize) -> Result<R, DeviceError> + Send + 'static,
-{
-    type Striped<R> = Result<Vec<(usize, R)>, (usize, DeviceError)>;
-    let per_thread: Vec<Striped<R>> = thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|t| {
-                let mut work = make_worker(t);
-                s.spawn(move |_| {
-                    let mut out = Vec::with_capacity(items.div_ceil(workers));
-                    let mut i = t;
-                    while i < items {
-                        match work(i) {
-                            Ok(r) => out.push((i, r)),
-                            Err(e) => return Err((i, e)),
-                        }
-                        i += workers;
+/// What one persistent worker returns for its contiguous item block:
+/// the reports in item order, or the first failing item's index and
+/// error.
+type BlockResult = Result<Vec<RunReport>, (usize, DeviceError)>;
+
+/// A unit of work shipped to a persistent engine worker. The worker
+/// hands the task its long-lived device slot; the task installs a fresh
+/// clone when the caller marked it stale.
+type EngineTask = Box<dyn FnOnce(&mut Option<Device>) -> BlockResult + Send>;
+
+/// One persistent worker thread plus the caller-side view of the warm
+/// device clone it holds.
+struct EngineWorker {
+    tasks: channel::Sender<EngineTask>,
+    results: channel::Receiver<BlockResult>,
+    /// Generation of the device clone the worker keeps warm (`None`
+    /// before its first task). When this lags the session's generation,
+    /// the next task carries a fresh clone.
+    generation: Option<u64>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+fn spawn_engine_worker() -> EngineWorker {
+    let (task_tx, task_rx) = channel::unbounded::<EngineTask>();
+    let (result_tx, result_rx) = channel::unbounded::<BlockResult>();
+    let thread = std::thread::spawn(move || {
+        // The warm device clone, owned by the thread across batches.
+        let mut device: Option<Device> = None;
+        while let Ok(task) = task_rx.recv() {
+            if result_tx.send(task(&mut device)).is_err() {
+                break;
+            }
+        }
+    });
+    EngineWorker {
+        tasks: task_tx,
+        results: result_rx,
+        generation: None,
+        thread,
+    }
+}
+
+/// Persistent parallel shot workers, owned by a [`Session`].
+///
+/// The previous engine spawned fresh threads *and cloned the full
+/// device per worker* on every parallel call — with a per-core worker
+/// count that fixed overhead dwarfed small batches and never amortized.
+/// This pool spawns each worker once (lazily, on the first call that
+/// needs it) and keeps it alive across batches; workers keep their
+/// device clones warm and only re-clone when [`Session::device_mut`]
+/// has bumped the session's generation (per-shot reseeds make any
+/// run-to-run device state irrelevant — only parameter mutations
+/// matter, and those all flow through `device_mut`).
+///
+/// Items are dealt in contiguous blocks (worker `t` of `w` takes
+/// `[t·n/w, (t+1)·n/w)`) instead of stride-1 interleave, and every
+/// worker appends into its own result vector — no shared result
+/// cache lines, and block concatenation preserves item order for free.
+/// On failure the *lowest-item-index* error is returned — the same
+/// error the sequential loop's early return would surface, since every
+/// item before it succeeds identically on both paths.
+#[derive(Default)]
+struct WorkerPool {
+    workers: Vec<EngineWorker>,
+}
+
+impl WorkerPool {
+    /// Spawns workers up to `n` (never shrinks — a later smaller batch
+    /// just leaves the extras idle on their channel).
+    fn ensure(&mut self, n: usize) {
+        while self.workers.len() < n {
+            self.workers.push(spawn_engine_worker());
+        }
+    }
+
+    /// Runs `items` units across `workers` threads and returns the
+    /// reports in item order. `make_worker(t)` builds worker `t`'s item
+    /// closure on the caller's thread (capturing `Arc`-shared points, a
+    /// working program copy, …); the closure receives the worker's warm
+    /// device and the item index.
+    fn run<W>(
+        &mut self,
+        workers: usize,
+        items: usize,
+        device: &Device,
+        generation: u64,
+        mut make_worker: impl FnMut(usize) -> W,
+    ) -> Result<Vec<RunReport>, DeviceError>
+    where
+        W: FnMut(&mut Device, usize) -> Result<RunReport, DeviceError> + Send + 'static,
+    {
+        self.ensure(workers);
+        for (t, worker) in self.workers.iter_mut().enumerate().take(workers) {
+            let lo = t * items / workers;
+            let hi = (t + 1) * items / workers;
+            // A stale worker gets a fresh clone of the owned device; a
+            // current one reuses the clone it already holds.
+            let refresh = if worker.generation == Some(generation) {
+                None
+            } else {
+                Some(device.clone())
+            };
+            worker.generation = Some(generation);
+            let mut work = make_worker(t);
+            let task: EngineTask = Box::new(move |slot| {
+                if let Some(fresh) = refresh {
+                    *slot = Some(fresh);
+                }
+                let device = slot.as_mut().expect("warm device installed");
+                let mut out = Vec::with_capacity(hi - lo);
+                for i in lo..hi {
+                    match work(device, i) {
+                        Ok(r) => out.push(r),
+                        Err(e) => return Err((i, e)),
                     }
-                    Ok(out)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("striped worker panicked"))
-            .collect()
-    })
-    .expect("thread scope");
-    let mut indexed = Vec::with_capacity(items);
-    let mut first_error: Option<(usize, DeviceError)> = None;
-    for r in per_thread {
-        match r {
-            Ok(chunk) => indexed.extend(chunk),
-            Err((i, e)) => {
-                if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
-                    first_error = Some((i, e));
+                }
+                Ok(out)
+            });
+            assert!(
+                worker.tasks.send(task).is_ok(),
+                "engine worker disconnected"
+            );
+        }
+        let mut reports = Vec::with_capacity(items);
+        let mut first_error: Option<(usize, DeviceError)> = None;
+        for worker in self.workers.iter_mut().take(workers) {
+            match worker.results.recv().expect("engine worker panicked") {
+                Ok(mut block) => reports.append(&mut block),
+                Err((i, e)) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
                 }
             }
         }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        Ok(reports)
     }
-    if let Some((_, e)) = first_error {
-        return Err(e);
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for EngineWorker { tasks, thread, .. } in self.workers.drain(..) {
+            // Disconnecting the task channel ends the worker loop.
+            drop(tasks);
+            // A worker that panicked already surfaced it on recv; don't
+            // double-panic during drop.
+            let _ = thread.join();
+        }
     }
-    indexed.sort_by_key(|&(i, _)| i);
-    Ok(indexed.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Rejects template sweeps whose points patch different axis sets (see
@@ -310,7 +408,6 @@ impl BatchReport {
 
 /// A long-lived execution context: one calibrated device, many programs,
 /// many shots.
-#[derive(Debug, Clone)]
 pub struct Session {
     device: Device,
     /// Base seed plan, captured from the device config at construction.
@@ -319,6 +416,38 @@ pub struct Session {
     /// sequence instead of replaying it, so pooling two batches never
     /// double-counts the same noise realizations.
     next_shot: u64,
+    /// Bumped by every [`Session::device_mut`] access; workers whose
+    /// warm clone lags this re-clone on their next task.
+    generation: u64,
+    /// Persistent parallel workers: spawned lazily by the first parallel
+    /// call, reused (devices kept warm) across batches.
+    pool: WorkerPool,
+}
+
+impl Clone for Session {
+    /// Clones the device and seed state. The worker pool is *not*
+    /// cloned — the copy starts with no workers and spawns its own on
+    /// its first parallel call.
+    fn clone(&self) -> Self {
+        Self {
+            device: self.device.clone(),
+            plan: self.plan,
+            next_shot: self.next_shot,
+            generation: 0,
+            pool: WorkerPool::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("device", &self.device)
+            .field("plan", &self.plan)
+            .field("next_shot", &self.next_shot)
+            .field("workers", &self.pool.workers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Session {
@@ -335,6 +464,8 @@ impl Session {
             device,
             plan,
             next_shot: 0,
+            generation: 0,
+            pool: WorkerPool::default(),
         }
     }
 
@@ -345,7 +476,14 @@ impl Session {
 
     /// The owned device, mutable — for calibration uploads and error
     /// injection between batches.
+    ///
+    /// Any mutable access may change parameters the persistent parallel
+    /// workers' warm device clones carry (pulse libraries, noise,
+    /// readout tuning — things a per-shot reseed does *not* restore), so
+    /// it conservatively marks those clones stale; the next parallel
+    /// call re-clones.
     pub fn device_mut(&mut self) -> &mut Device {
+        self.generation += 1;
         &mut self.device
     }
 
@@ -464,17 +602,38 @@ impl Session {
             .collect()
     }
 
-    /// Runs a sweep sharded across `threads` worker threads (`0` = one
-    /// per available core), each on a clone of the calibrated device;
-    /// point `i` runs with exactly the seeds of the sequential
-    /// [`Session::run_sweep`], so the reports (returned in point order)
-    /// are bit-identical to it. Like [`Session::run_shots_parallel`],
-    /// only the clones run — the owned device's RNG streams stay where
-    /// they were.
+    /// Dispatches `items` units onto the session's persistent worker
+    /// pool: resolves the thread count, hands stale workers a fresh
+    /// device clone, and deals contiguous item blocks. All parallel
+    /// entry points funnel through here.
+    fn run_pooled<W>(
+        &mut self,
+        threads: usize,
+        items: usize,
+        make_worker: impl FnMut(usize) -> W,
+    ) -> Result<Vec<RunReport>, DeviceError>
+    where
+        W: FnMut(&mut Device, usize) -> Result<RunReport, DeviceError> + Send + 'static,
+    {
+        if items == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = resolve_threads(threads, items);
+        self.pool
+            .run(workers, items, &self.device, self.generation, make_worker)
+    }
+
+    /// Runs a sweep sharded across `threads` persistent worker threads
+    /// (`0` = one per available core), each on its warm clone of the
+    /// calibrated device; point `i` runs with exactly the seeds of the
+    /// sequential [`Session::run_sweep`], so the reports (returned in
+    /// point order) are bit-identical to it. Like
+    /// [`Session::run_shots_parallel`], only the clones run — the owned
+    /// device's RNG streams stay where they were.
     ///
-    /// The point list is shared across workers behind one [`Arc`] (each
-    /// worker strides it by index) instead of materializing a per-worker
-    /// partition, and every point's program is already `Arc`-shared
+    /// Copies the slice once into a shared `Arc<[_]>`; callers that
+    /// already hold one use [`Session::run_sweep_parallel_shared`] and
+    /// copy nothing. Every point's program is already `Arc`-shared
     /// inside its [`LoadedProgram`] — no instruction sequence is copied
     /// anywhere in the fan-out.
     pub fn run_sweep_parallel(
@@ -482,12 +641,21 @@ impl Session {
         points: &[(LoadedProgram, ShotSeeds)],
         threads: usize,
     ) -> Result<Vec<RunReport>, DeviceError> {
-        let workers = resolve_threads(threads, points.len());
-        let shared: Arc<[(LoadedProgram, ShotSeeds)]> = Arc::from(points.to_vec());
-        run_striped(workers, points.len(), |_| {
-            let mut device = self.device.clone();
-            let points = Arc::clone(&shared);
-            move |i| {
+        self.run_sweep_parallel_shared(Arc::from(points.to_vec()), threads)
+    }
+
+    /// [`Session::run_sweep_parallel`] over an already-shared point
+    /// list: the workers borrow `points` through the one `Arc`, so the
+    /// fan-out copies no point data at all (the pool's program cache and
+    /// the experiment harness hold their sweeps this way).
+    pub fn run_sweep_parallel_shared(
+        &mut self,
+        points: Arc<[(LoadedProgram, ShotSeeds)]>,
+        threads: usize,
+    ) -> Result<Vec<RunReport>, DeviceError> {
+        self.run_pooled(threads, points.len(), |_| {
+            let points = Arc::clone(&points);
+            move |device: &mut Device, i: usize| {
                 let (program, seeds) = &points[i];
                 device.reseed(seeds.chip, seeds.jitter);
                 device.run(program.program())
@@ -527,30 +695,42 @@ impl Session {
         Ok(reports)
     }
 
-    /// Runs a template sweep sharded across `threads` worker threads
-    /// (`0` = one per available core). Workers share the point list
-    /// behind an [`Arc`] and fork their per-worker program from the
+    /// Runs a template sweep sharded across `threads` persistent worker
+    /// threads (`0` = one per available core). Workers share the point
+    /// list behind an [`Arc`] and fork their per-worker program from the
     /// template's *current working state* (one clone per worker, not per
     /// point), so patches applied before the sweep — e.g. fixing a
     /// non-swept axis — are honored exactly as in the sequential
     /// [`Session::run_template_sweep`]. Point `i` runs with the same
     /// program state and seeds as in the sequential sweep, so the
     /// reports (in point order) are bit-identical to it.
+    ///
+    /// Copies the slice once into a shared `Arc<[_]>`; callers that
+    /// already hold one use
+    /// [`Session::run_template_sweep_parallel_shared`] and copy nothing.
     pub fn run_template_sweep_parallel(
         &mut self,
         template: &LoadedTemplate,
         points: &[TemplatePoint],
         threads: usize,
     ) -> Result<Vec<RunReport>, DeviceError> {
-        validate_axis_sets(points)?;
-        let workers = resolve_threads(threads, points.len());
-        let shared: Arc<[TemplatePoint]> = Arc::from(points.to_vec());
+        self.run_template_sweep_parallel_shared(template, Arc::from(points.to_vec()), threads)
+    }
+
+    /// [`Session::run_template_sweep_parallel`] over an already-shared
+    /// point list — no per-call copy of the points.
+    pub fn run_template_sweep_parallel_shared(
+        &mut self,
+        template: &LoadedTemplate,
+        points: Arc<[TemplatePoint]>,
+        threads: usize,
+    ) -> Result<Vec<RunReport>, DeviceError> {
+        validate_axis_sets(&points)?;
         let start = Arc::new(template.working().clone());
-        run_striped(workers, points.len(), |_| {
-            let mut device = self.device.clone();
-            let points = Arc::clone(&shared);
+        self.run_pooled(threads, points.len(), |_| {
+            let points = Arc::clone(&points);
             let mut working = (*start).clone();
-            move |i| {
+            move |device: &mut Device, i: usize| {
                 let point = &points[i];
                 for (name, value) in &point.patches {
                     working.patch(name, *value)?;
@@ -561,13 +741,13 @@ impl Session {
         })
     }
 
-    /// Runs `shots` shots sharded across `threads` worker threads (`0` =
-    /// one per available core), each working on a clone of the
-    /// calibrated device. Seeds come from the same plan and the same
-    /// continuing shot indices as [`Session::run_shots`], so the result
-    /// is bit-identical to the sequential batch (and is returned in shot
-    /// order). The session's shot counter advances only when the whole
-    /// batch succeeds.
+    /// Runs `shots` shots sharded across `threads` persistent worker
+    /// threads (`0` = one per available core), each working on its warm
+    /// clone of the calibrated device. Seeds come from the same plan and
+    /// the same continuing shot indices as [`Session::run_shots`], so
+    /// the result is bit-identical to the sequential batch (and is
+    /// returned in shot order). The session's shot counter advances only
+    /// when the whole batch succeeds.
     ///
     /// Only the clones run: the owned device's RNG streams stay where
     /// they were, unlike [`Session::run_shots`] which leaves them at the
@@ -581,17 +761,13 @@ impl Session {
         shots: u64,
         threads: usize,
     ) -> Result<BatchReport, DeviceError> {
-        let workers = resolve_threads(threads, shots as usize);
         let plan = self.seed_plan();
         let first = self.next_shot;
-        let reports = run_striped(workers, shots as usize, |_| {
-            // Each worker owns a device clone (the vendored crossbeam
-            // scope requires 'static closures); the program is shared — a
-            // `LoadedProgram` clone is an `Arc` pointer copy, never an
-            // instruction copy.
-            let mut device = self.device.clone();
+        let reports = self.run_pooled(threads, shots as usize, |_| {
+            // The program is shared — a `LoadedProgram` clone is an `Arc`
+            // pointer copy, never an instruction copy.
             let program = program.clone();
-            move |i| {
+            move |device: &mut Device, i: usize| {
                 let seeds = plan.shot(first + i as u64);
                 device.reseed(seeds.chip, seeds.jitter);
                 device.run(program.program())

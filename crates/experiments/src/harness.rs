@@ -394,7 +394,9 @@ pub fn run_on_session<E: Experiment>(
                 })
                 .collect::<Result<Vec<_>, ExperimentError>>()?;
             if threads > 1 {
-                session.run_template_sweep_parallel(&loaded, &points, threads)?
+                // `Arc::from(points)` moves the Vec's buffer — the
+                // engine's `_shared` entry point copies no point data.
+                session.run_template_sweep_parallel_shared(&loaded, Arc::from(points), threads)?
             } else {
                 // The hook-aware sequential loop below bypasses the
                 // engine's sweep entry point, so apply the same axis-set
@@ -432,7 +434,7 @@ pub fn run_on_session<E: Experiment>(
                 })
                 .collect::<Result<Vec<_>, ExperimentError>>()?;
             if threads > 1 {
-                session.run_sweep_parallel(&points, threads)?
+                session.run_sweep_parallel_shared(Arc::from(points), threads)?
             } else {
                 let mut out = Vec::with_capacity(points.len());
                 for (i, (program, seeds)) in points.iter().enumerate() {

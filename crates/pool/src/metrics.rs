@@ -43,6 +43,7 @@ pub(crate) struct StatsInner {
     pub high_completed: u64,
     pub warm_device_clones: u64,
     pub cold_device_builds: u64,
+    pub warm_session_reuses: u64,
     pub total_queue_wait: Duration,
     pub total_run_time: Duration,
     pub max_queue_depth: usize,
@@ -73,6 +74,9 @@ pub struct PoolStats {
     /// Jobs that forced a cold `Device::new` (config not yet warm on
     /// that worker).
     pub cold_device_builds: u64,
+    /// Pure jobs (shots/sweeps) served by rewinding an already-warm
+    /// session — no device clone at all.
+    pub warm_session_reuses: u64,
     /// Summed queue latency across finished jobs.
     pub total_queue_wait: Duration,
     /// Summed run time across finished jobs.

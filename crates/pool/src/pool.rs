@@ -285,6 +285,7 @@ impl DevicePool {
             cache_misses: self.shared.cache.misses(),
             warm_device_clones: inner.warm_device_clones,
             cold_device_builds: inner.cold_device_builds,
+            warm_session_reuses: inner.warm_session_reuses,
             total_queue_wait: inner.total_queue_wait,
             total_run_time: inner.total_run_time,
             max_queue_depth: inner.max_queue_depth,

@@ -3,35 +3,49 @@
 //!
 //! Each worker owns a small set of *pristine* calibrated devices (the
 //! pool's base configuration is always warm; other configurations are
-//! admitted on first use). A job never runs on a shared device — the
-//! worker clones a pristine one into a fresh [`Session`] per job, so
-//! whatever the job does to its device (error injection in
-//! `Experiment::prepare`, library uploads, noise retuning) is discarded
-//! with the session and can never leak into the next job. Cloning is a
-//! memory copy; it skips the expensive per-qubit pulse-library synthesis
-//! that makes `Device::new` costly, which is the whole point of keeping
-//! the pool warm.
+//! admitted on first use) plus long-lived warm [`Session`]s built from
+//! them. Jobs split by what they may touch:
+//!
+//! * **Shots / Sweep / TemplateSweep** jobs never mutate device
+//!   parameters — every shot reseeds and every run starts with the
+//!   architectural reset — so they run on a *reused* warm session whose
+//!   seed plan and shot counter are rewound per job. That skips even the
+//!   per-job device clone, which is what lets `multi_client` throughput
+//!   stop paying per-job setup.
+//! * **Experiment** jobs may mutate their device (error injection in
+//!   `Experiment::prepare`, library uploads, noise retuning), so each
+//!   gets a fresh session around a clone of a pristine device; whatever
+//!   it does is discarded with the session and can never leak into the
+//!   next job.
 //!
 //! Determinism: `Device::new` is a pure function of its config, so a
-//! clone of a pristine device is bit-identical to a fresh build, and a
-//! fresh `Session` around it starts at shot index 0 with the plan the
-//! job specifies. Together that makes every pooled result bit-identical
-//! to a direct single-session run — regardless of which worker picks
-//! the job up, in what order, or how many workers exist.
+//! clone of a pristine device is bit-identical to a fresh build; a
+//! session rewound with [`Session::set_seed_plan`] +
+//! [`Session::reset_shot_counter`] replays exactly like a fresh session
+//! because every shot of the pure job kinds derives its seeds from
+//! `(plan, index)` and reseeds before running. Together that makes every
+//! pooled result bit-identical to a direct single-session run —
+//! regardless of which worker picks the job up, in what order, or how
+//! many workers exist.
 
 use crate::job::{JobError, JobEvent, JobKind, JobOutput, Priority, QueuedJob, ShotChunk};
 use crate::metrics::JobMetrics;
 use crate::pool::PoolShared;
 use crossbeam::channel;
-use quma_core::prelude::{BatchReport, Device, DeviceConfig, LoadedProgram, Session};
+use quma_core::prelude::{BatchReport, Device, DeviceConfig, LoadedProgram, SeedPlan, Session};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Pristine devices a worker can clone per job. Bounded; the pool's base
-/// configuration (slot 0) is never evicted.
+/// Pristine devices a worker can clone per job, plus long-lived warm
+/// sessions for the job kinds that never mutate device parameters.
+/// Bounded; the pool's base configuration (device slot 0) is never
+/// evicted.
 pub(crate) struct WarmSet {
     devices: Vec<(DeviceConfig, Device)>,
+    /// Reused across Shots/Sweep/TemplateSweep jobs (seed plan and shot
+    /// counter rewound per job). Experiment jobs never touch these.
+    sessions: Vec<(DeviceConfig, Session)>,
 }
 
 /// How many distinct configurations a worker keeps warm (base + 3).
@@ -41,12 +55,19 @@ impl WarmSet {
     pub(crate) fn new(base: Device) -> Self {
         Self {
             devices: vec![(base.config().clone(), base)],
+            sessions: Vec::new(),
         }
     }
 
     /// A fresh session for `config`: a warm clone when the configuration
-    /// is known, a cold build (then kept warm) otherwise.
-    fn session(&mut self, config: &DeviceConfig, shared: &PoolShared) -> Result<Session, JobError> {
+    /// is known, a cold build (then kept warm) otherwise. Experiment
+    /// jobs use this path — they may mutate the device, so they must not
+    /// share one.
+    fn fresh_session(
+        &mut self,
+        config: &DeviceConfig,
+        shared: &PoolShared,
+    ) -> Result<Session, JobError> {
         if let Some((_, device)) = self.devices.iter().find(|(c, _)| c == config) {
             let session = Session::from_device(device.clone());
             shared
@@ -69,6 +90,40 @@ impl WarmSet {
         }
         self.devices.push((config.clone(), device));
         Ok(session)
+    }
+
+    /// A warm session for `config`, rewound to fresh-session semantics
+    /// (config-default seed plan, shot counter 0). Only for job kinds
+    /// that never mutate device parameters: every shot reseeds and every
+    /// run starts with the architectural reset, so the reused device is
+    /// bit-indistinguishable from a fresh clone.
+    fn warm_session(
+        &mut self,
+        config: &DeviceConfig,
+        shared: &PoolShared,
+    ) -> Result<&mut Session, JobError> {
+        if let Some(pos) = self.sessions.iter().position(|(c, _)| c == config) {
+            shared
+                .stats
+                .lock()
+                .expect("stats poisoned")
+                .warm_session_reuses += 1;
+            let session = &mut self.sessions[pos].1;
+            session.set_seed_plan(SeedPlan::from_config(config));
+            session.reset_shot_counter();
+            return Ok(session);
+        }
+        let session = self.fresh_session(config, shared)?;
+        if self.sessions.len() >= WARM_CAP {
+            // Evict the oldest session not serving the base config.
+            if let Some(pos) = self.sessions.iter().position(|(c, _)| *c != shared.base) {
+                self.sessions.remove(pos);
+            } else {
+                self.sessions.remove(0);
+            }
+        }
+        self.sessions.push((config.clone(), session));
+        Ok(&mut self.sessions.last_mut().expect("just pushed").1)
     }
 }
 
@@ -156,7 +211,7 @@ fn execute(
     let device_cfg = job.device.as_ref().unwrap_or(&shared.base);
     match job.kind {
         JobKind::Shots { program, shots } => {
-            let mut session = warm.session(device_cfg, shared)?;
+            let session = warm.warm_session(device_cfg, shared)?;
             if let Some(plan) = job.plan {
                 session.set_seed_plan(plan);
             }
@@ -188,18 +243,18 @@ fn execute(
             }
         }
         JobKind::Sweep { points } => {
-            let mut session = warm.session(device_cfg, shared)?;
+            let session = warm.warm_session(device_cfg, shared)?;
             let reports = session.run_sweep(&points)?;
             Ok(JobOutput::Reports(reports))
         }
         JobKind::TemplateSweep { template, points } => {
-            let mut session = warm.session(device_cfg, shared)?;
+            let session = warm.warm_session(device_cfg, shared)?;
             let mut loaded = session.load_template(&template);
             let reports = session.run_template_sweep(&mut loaded, &points)?;
             Ok(JobOutput::Reports(reports))
         }
         JobKind::Experiment(erased) => {
-            let mut session = warm.session(&erased.device_config(), shared)?;
+            let mut session = warm.fresh_session(&erased.device_config(), shared)?;
             let output = erased.run_erased(&mut session)?;
             Ok(JobOutput::Experiment(output))
         }

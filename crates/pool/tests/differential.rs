@@ -257,7 +257,8 @@ fn device_config_override_runs_cold_and_still_matches_direct() {
     let want = direct.run_shots(&loaded, 5).expect("direct batch");
     assert_reports_eq(&batch.shots, &want.shots, "override config");
     // The worker kept the override warm: a second job with the same
-    // config clones instead of rebuilding, as does a base-config job.
+    // config rewinds the cached session instead of rebuilding, and a
+    // base-config job clones the always-warm base device.
     pool.submit(Job::shots(pool.assemble(SEGMENT).unwrap(), 1).with_device_config(other))
         .expect("submits")
         .wait()
@@ -268,7 +269,8 @@ fn device_config_override_runs_cold_and_still_matches_direct() {
         .expect("runs");
     let stats = pool.shutdown();
     assert_eq!(stats.cold_device_builds, 1, "the override built cold once");
-    assert_eq!(stats.warm_device_clones, 2, "subsequent jobs ran warm");
+    assert_eq!(stats.warm_session_reuses, 1, "same-config job reran warm");
+    assert_eq!(stats.warm_device_clones, 1, "base-config job cloned warm");
 }
 
 #[test]

@@ -24,7 +24,7 @@
 
 use crate::complex::C64;
 use crate::gates::{rotation, Axis};
-use crate::register::NQubitState;
+use crate::register::{NQubitState, Scratch};
 use crate::resonator::{synthesize_trace, ReadoutParams, ReadoutTrace};
 use crate::state::DensityMatrix;
 use crate::transmon::{rotation_from_pulse, Transmon, TransmonParams};
@@ -65,6 +65,10 @@ pub struct QuantumChip {
     membership: Vec<Option<usize>>,
     rng: StdRng,
     measurements: u64,
+    /// Reusable kernel buffers threaded through every register
+    /// merge/split, so the hot QEC loop (couple on CZ, factor-out on
+    /// measure) never allocates. Clones as empty.
+    scratch: Scratch,
 }
 
 impl QuantumChip {
@@ -76,6 +80,7 @@ impl QuantumChip {
             membership: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             measurements: 0,
+            scratch: Scratch::new(),
         }
     }
 
@@ -226,7 +231,9 @@ impl QuantumChip {
                 self.joint_idle(jb, at);
                 let absorbed = self.remove_register(jb);
                 let ja = self.membership[a].expect("a still registered");
-                self.joints[ja].state = self.joints[ja].state.tensor(&absorbed.state);
+                self.joints[ja]
+                    .state
+                    .tensor_with(&absorbed.state, &mut self.scratch);
                 for &m in &absorbed.members {
                     self.membership[m] = Some(ja);
                 }
@@ -239,7 +246,7 @@ impl QuantumChip {
                 let newcomer = if self.membership[a].is_some() { b } else { a };
                 self.joint_idle(j, at);
                 let single = self.single_factor(newcomer, at);
-                self.joints[j].state = self.joints[j].state.tensor(&single);
+                self.joints[j].state.tensor_with(&single, &mut self.scratch);
                 self.joints[j].members.push(newcomer);
                 self.membership[newcomer] = Some(j);
                 j
@@ -248,12 +255,13 @@ impl QuantumChip {
                 // Fresh pair: keep the old pair-chip slot order
                 // (lower-indexed qubit first).
                 let (a, b) = (a.min(b), a.max(b));
-                let sa = self.single_factor(a, at);
+                let mut sa = self.single_factor(a, at);
                 let sb = self.single_factor(b, at);
+                sa.tensor_with(&sb, &mut self.scratch);
                 let idx = self.joints.len();
                 self.joints.push(JointRegister {
                     members: vec![a, b],
-                    state: sa.tensor(&sb),
+                    state: sa,
                     clock: at,
                 });
                 self.membership[a] = Some(idx);
@@ -401,7 +409,7 @@ impl QuantumChip {
             }
             return;
         }
-        let dm = self.joints[j].state.extract(slot);
+        let dm = self.joints[j].state.extract_with(slot, &mut self.scratch);
         self.joints[j].members.remove(slot);
         self.qubits[id].transmon.set_state(dm, at);
         self.membership[id] = None;

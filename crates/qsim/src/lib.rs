@@ -53,7 +53,7 @@ pub mod prelude {
     pub use crate::mat2::{Mat2, Vec2};
     pub use crate::noise::{Decoherence, NoiseError};
     pub use crate::pair_reference::PairReferenceChip;
-    pub use crate::register::{NQubitState, MAX_REGISTER_QUBITS};
+    pub use crate::register::{NQubitState, Scratch, MAX_REGISTER_QUBITS};
     pub use crate::resonator::{synthesize_trace, Discriminator, ReadoutParams, ReadoutTrace};
     pub use crate::stabilizer::{StabilizerChip, Tableau, MAX_STABILIZER_QUBITS};
     pub use crate::state::{equator_state, DensityMatrix, StateError};

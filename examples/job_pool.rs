@@ -224,8 +224,8 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         stats.cache_hits, stats.cache_misses, stats.cache_misses
     );
     println!(
-        "  devices: {} warm clones, {} cold builds",
-        stats.warm_device_clones, stats.cold_device_builds
+        "  devices: {} warm session reuses, {} warm clones, {} cold builds",
+        stats.warm_session_reuses, stats.warm_device_clones, stats.cold_device_builds
     );
     println!(
         "  latency: mean queue wait {:?}, mean run time {:?}, max queue depth {}",

@@ -18,11 +18,15 @@ if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
   git_sha="${git_sha}-dirty"
 fi
 toolchain="$(rustc --version 2>/dev/null || echo unknown)"
+# Cores the runner exposed to the benches — without it the parallel
+# bench points in the trajectory can't be compared across runners.
+parallelism="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 printf '{\n'
 printf '  "date": "%s",\n' "$date_utc"
 printf '  "git_sha": "%s",\n' "$git_sha"
 printf '  "toolchain": "%s",\n' "$toolchain"
+printf '  "parallelism": %s,\n' "$parallelism"
 printf '  "budget_ms": %s,\n' "${QUMA_BENCH_BUDGET_MS:-200}"
 printf '  "benches": [\n'
 awk 'NF { if (n++) printf(",\n"); printf("    %s", $0) } END { printf("\n") }' "$jsonl"

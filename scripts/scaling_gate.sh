@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Thread-scaling gate over the JSONL emitted by the vendored criterion
+# harness (QUMA_BENCH_JSON=<file> cargo bench …). Fails the bench-smoke
+# job when parallelism stops paying:
+#
+#   * qec_cycle/batch16_parallel_d/{3,5} must not be slower than the
+#     sequential batch16_d counterpart (medians);
+#   * pool_throughput/multi_client must beat single_client by at least
+#     MIN_POOL_SPEEDUP (the serving-layer amortization gate);
+#   * every gated point must carry real confidence (no
+#     "low_confidence":true) — give heavy groups a bigger budget via
+#     QUMA_BENCH_BUDGET_MS__<group> instead of gating on noise.
+#
+# On a single-core runner the engine clamps workers to 1, so "parallel
+# beats sequential" degenerates to "parallel dispatch costs nothing";
+# the allowance widens to a tie-plus-noise band there.
+#
+# Usage: scripts/scaling_gate.sh <bench.jsonl>
+set -euo pipefail
+
+jsonl="${1:?usage: scaling_gate.sh <bench.jsonl>}"
+
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$cores" -ge 2 ]; then
+  # Real parallelism available: sharding must actually win (or tie),
+  # and the pool overlaps jobs across workers on top of amortizing
+  # per-client calibration.
+  PAR_ALLOWANCE="1.00"
+  MIN_POOL_SPEEDUP="1.3"
+else
+  # Nothing to shard across: require a tie, modulo scheduler noise; the
+  # pool's only edge is calibration amortization, so just require a win.
+  PAR_ALLOWANCE="1.15"
+  MIN_POOL_SPEEDUP="1.05"
+fi
+
+fail=0
+
+# Median (ns) of a bench id (empty when the point is missing; the
+# `|| true` keeps pipefail from turning an absent id into a silent exit).
+median_ns() {
+  { grep -F "\"id\":\"$1\"" "$jsonl" || true; } | tail -n 1 \
+    | sed -n 's/.*"median_ns":\([0-9.eE+-]*\).*/\1/p'
+}
+
+# Validates a gated point in the parent shell (a subshelled fail=1 would
+# be lost): it must exist and must not be low-confidence.
+check_point() {
+  local id="$1" line
+  line="$(grep -F "\"id\":\"$id\"" "$jsonl" | tail -n 1 || true)"
+  if [ -z "$line" ]; then
+    echo "scaling gate: missing bench point '$id' in $jsonl" >&2
+    fail=1
+  elif printf '%s' "$line" | grep -q '"low_confidence":true'; then
+    echo "scaling gate: '$id' is low-confidence — raise QUMA_BENCH_BUDGET_MS__<group>" >&2
+    fail=1
+  fi
+}
+
+# check_ratio <label> <numerator_ns> <denominator_ns> <max_ratio>:
+# fails when numerator/denominator > max_ratio.
+check_ratio() {
+  local label="$1" num="$2" den="$3" max="$4"
+  if [ -z "$num" ] || [ -z "$den" ]; then
+    return
+  fi
+  awk -v n="$num" -v d="$den" -v m="$max" -v l="$label" 'BEGIN {
+    r = n / d
+    printf("scaling gate: %-40s ratio %.3f (max %s)\n", l, r, m)
+    exit !(r <= m)
+  }' || fail=1
+}
+
+echo "scaling gate: $cores core(s), parallel allowance ${PAR_ALLOWANCE}x, pool speedup >= ${MIN_POOL_SPEEDUP}x"
+
+for d in 3 5; do
+  check_point "qec_cycle/batch16_d/$d"
+  check_point "qec_cycle/batch16_parallel_d/$d"
+  seq_ns="$(median_ns "qec_cycle/batch16_d/$d")"
+  par_ns="$(median_ns "qec_cycle/batch16_parallel_d/$d")"
+  check_ratio "batch16_parallel_d/$d vs batch16_d/$d" "$par_ns" "$seq_ns" "$PAR_ALLOWANCE"
+done
+
+check_point "pool_throughput/single_client"
+check_point "pool_throughput/multi_client"
+single_ns="$(median_ns "pool_throughput/single_client")"
+multi_ns="$(median_ns "pool_throughput/multi_client")"
+# multi must be faster: multi * speedup <= single, i.e.
+# multi/single <= 1/speedup.
+if [ -n "$single_ns" ] && [ -n "$multi_ns" ]; then
+  max="$(awk -v s="$MIN_POOL_SPEEDUP" 'BEGIN { printf("%.6f", 1.0 / s) }')"
+  check_ratio "multi_client vs single_client" "$multi_ns" "$single_ns" "$max"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "scaling gate: FAILED" >&2
+  exit 1
+fi
+echo "scaling gate: OK"

@@ -62,6 +62,46 @@ proptest! {
             prop_assert_eq!(signature(a), signature(b), "shot {}", i);
         }
     }
+
+    /// The persistent worker pool must be invisible: batches run through
+    /// one session's reused workers (second/third call hit warm workers,
+    /// possibly at a different thread count) equal both a fresh session
+    /// per batch and the sequential engine, shot for shot.
+    #[test]
+    fn reused_worker_pool_equals_fresh_sessions_and_sequential(
+        threads_a in 0usize..13,
+        threads_b in 0usize..13,
+        shots in 0u64..14,
+        seed in 1u64..0xFFFF,
+    ) {
+        let mut sequential = Session::new(config(seed)).expect("session");
+        let loaded = sequential.load_assembly(SEGMENT).expect("assembles");
+        let first = sequential.run_shots(&loaded, shots).expect("batch 1");
+        let second = sequential.run_shots(&loaded, shots).expect("batch 2");
+
+        // One session, three parallel batches over reused workers, the
+        // middle one at a different thread count (forcing re-blocking
+        // without re-cloning warm devices).
+        let mut pooled = Session::new(config(seed)).expect("session");
+        let got_a = pooled.run_shots_parallel(&loaded, shots, threads_a).expect("pooled 1");
+        let got_b = pooled.run_shots_parallel(&loaded, shots, threads_b).expect("pooled 2");
+
+        // Fresh session per batch: the no-reuse baseline.
+        let mut fresh = Session::new(config(seed)).expect("session");
+        let fresh_a = fresh.run_shots_parallel(&loaded, shots, threads_a).expect("fresh 1");
+
+        for (i, (want, gots)) in [(first, [&got_a, &fresh_a]), (second, [&got_b, &got_b])]
+            .iter()
+            .enumerate()
+        {
+            for got in gots {
+                prop_assert_eq!(want.len(), got.len());
+                for (j, (a, b)) in want.shots.iter().zip(got.shots.iter()).enumerate() {
+                    prop_assert_eq!(signature(a), signature(b), "batch {} shot {}", i, j);
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -14,6 +14,13 @@
 //!
 //! * `QUMA_BENCH_BUDGET_MS` — per-benchmark measurement budget in
 //!   milliseconds (default 200);
+//! * `QUMA_BENCH_BUDGET_MS__<group>` — per-group override of the same
+//!   budget, where `<group>` is the group name with every
+//!   non-alphanumeric character replaced by `_` (e.g.
+//!   `QUMA_BENCH_BUDGET_MS__qec_cycle`). Lets CI grant a heavy group
+//!   enough budget for ≥ [`MIN_SAMPLES`] real samples without slowing
+//!   every other group down. Benches can also set it in code via
+//!   [`BenchmarkGroup::measurement_budget_ms`];
 //! * `QUMA_BENCH_JSON` — when set, a path to which one JSON line per
 //!   benchmark is appended:
 //!   `{"id":"group/name","median_ns":…,"iters":…,"samples":…}` —
@@ -42,6 +49,26 @@ fn measure_budget() -> Duration {
         .unwrap_or(Duration::from_millis(200))
 }
 
+/// The `QUMA_BENCH_BUDGET_MS__<group>` override for a group, if set
+/// (group name sanitized to `[A-Za-z0-9_]` by replacing everything else
+/// with `_`).
+fn group_budget_override(group: &str) -> Option<Duration> {
+    let sanitized: String = group
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    std::env::var(format!("QUMA_BENCH_BUDGET_MS__{sanitized}"))
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+/// Per-group budget: the `QUMA_BENCH_BUDGET_MS__<group>` override wins
+/// over the global `QUMA_BENCH_BUDGET_MS`.
+fn group_budget(group: &str) -> Duration {
+    group_budget_override(group).unwrap_or_else(measure_budget)
+}
+
 /// Target number of timed samples per benchmark.
 const TARGET_SAMPLES: usize = 25;
 
@@ -62,13 +89,17 @@ pub struct Bencher {
     /// Mean ns/iteration of each timed sample.
     samples: Vec<f64>,
     iters: u64,
+    /// Measurement budget this bencher runs under (the group's resolved
+    /// budget, or the global one for ungrouped benchmarks).
+    budget: Duration,
 }
 
 impl Bencher {
-    fn new() -> Self {
+    fn with_budget(budget: Duration) -> Self {
         Bencher {
             samples: Vec::new(),
             iters: 0,
+            budget,
         }
     }
 
@@ -96,7 +127,7 @@ impl Bencher {
     /// the per-sample batch, then up to 25 samples run within the
     /// measurement budget.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        let budget = measure_budget();
+        let budget = self.budget;
         // Warm-up doubles as calibration.
         let t0 = Instant::now();
         black_box(routine());
@@ -131,7 +162,7 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        let budget = measure_budget();
+        let budget = self.budget;
         let t0 = Instant::now();
         black_box(routine(setup())); // warm-up doubles as calibration
         let once = t0.elapsed().max(Duration::from_nanos(1));
@@ -261,30 +292,39 @@ fn report(path: &str, b: &Bencher) {
 pub struct Criterion {}
 
 impl Criterion {
-    /// Runs one named benchmark.
+    /// Runs one named benchmark (under its own per-"group" budget
+    /// override keyed on the benchmark name, or the global budget).
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new();
+        let mut b = Bencher::with_budget(group_budget(id));
         f(&mut b);
         report(id, &b);
         self
     }
 
-    /// Opens a named group of related benchmarks.
+    /// Opens a named group of related benchmarks. The group resolves its
+    /// measurement budget once at creation: the
+    /// `QUMA_BENCH_BUDGET_MS__<group>` override when set, otherwise the
+    /// global budget.
     pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = group_name.into();
+        let budget = group_budget(&name);
         BenchmarkGroup {
             _parent: self,
-            name: group_name.into(),
+            name,
+            budget,
         }
     }
 }
 
-/// A group of related benchmarks sharing a name prefix.
+/// A group of related benchmarks sharing a name prefix and a
+/// measurement budget.
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
+    budget: Duration,
 }
 
 impl BenchmarkGroup<'_> {
@@ -300,12 +340,23 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Overrides this group's measurement budget in code. The
+    /// environment still wins: a `QUMA_BENCH_BUDGET_MS__<group>`
+    /// override set when the group was opened is kept over this value,
+    /// so CI can always retune a heavy group without a rebuild.
+    pub fn measurement_budget_ms(&mut self, ms: u64) -> &mut Self {
+        if group_budget_override(&self.name).is_none() {
+            self.budget = Duration::from_millis(ms);
+        }
+        self
+    }
+
     /// Runs one benchmark within the group.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new();
+        let mut b = Bencher::with_budget(self.budget);
         f(&mut b);
         report(&format!("{}/{}", self.name, id.into().id), &b);
         self
@@ -321,7 +372,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher::new();
+        let mut b = Bencher::with_budget(self.budget);
         f(&mut b, input);
         report(&format!("{}/{}", self.name, id.into().id), &b);
         self
