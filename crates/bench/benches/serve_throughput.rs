@@ -1,0 +1,129 @@
+//! Served-throughput bench: the `pool_throughput` multi-client workload
+//! pushed through the full HTTP serving stack.
+//!
+//! Same shape as `pool_throughput/multi_client` — C clients × N shots,
+//! identical device config and per-client seed plans — but every job
+//! crosses the wire: loopback TCP, HTTP framing, JSON encode/decode,
+//! quota admission, registry bookkeeping, and result polling. The gap
+//! between `serve_throughput/served_multi_client` and
+//! `pool_throughput/multi_client` *is* the serving tax, and
+//! `scripts/scaling_gate.sh` bounds it with a core-count-aware factor so
+//! a regression in the HTTP layer (per-request allocation storms, lost
+//! keep-alive, accidental serialization) fails the bench-smoke job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quma_core::prelude::*;
+use quma_pool::prelude::*;
+use quma_serve::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SHOT: &str = "\
+    mov r15, 40000\nQNopReg r15\nPulse {q0}, X180\nWait 4\nPulse {q0}, I\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n";
+
+/// Identical to `pool_throughput`: many clients, small jobs.
+const CLIENTS: u64 = 16;
+const SHOTS_PER_JOB: u64 = 8;
+
+fn config() -> DeviceConfig {
+    DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: 0x7001,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    }
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
+}
+
+fn job_doc(client: u64) -> Json {
+    Json::obj([
+        ("kind", Json::str("shots")),
+        ("source", Json::str(SHOT)),
+        ("shots", Json::Int(SHOTS_PER_JOB as i64)),
+        (
+            "seed_plan",
+            Json::obj([
+                ("chip_base", Json::Int((0xC11E_4700 + client) as i64)),
+                ("jitter_base", Json::Int((0x0DD5 ^ client) as i64)),
+            ]),
+        ),
+    ])
+}
+
+/// One client's served job end-to-end: submit over HTTP, poll to
+/// completion, fetch and parse the result document.
+fn served_job(http: &mut MiniClient, client: u64) {
+    let response = http.post_json("/jobs", &job_doc(client)).expect("submit");
+    assert_eq!(response.status, 201, "{}", response.text());
+    let id = response
+        .json()
+        .expect("submit json")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    // Exponential backoff on the poll: each 409 round trip costs a full
+    // HTTP exchange, and on a busy single-core box a fixed short
+    // interval turns the bench into a measurement of polling traffic
+    // instead of the serving path.
+    let mut backoff = Duration::from_micros(100);
+    loop {
+        let result = http.get(&format!("/jobs/{id}/result")).expect("result");
+        match result.status {
+            200 => {
+                let doc = result.json().expect("result json");
+                let shots = doc.get("shots").and_then(Json::as_arr).expect("shots");
+                assert_eq!(shots.len(), SHOTS_PER_JOB as usize);
+                black_box(doc);
+                return;
+            }
+            409 => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(2));
+            }
+            other => panic!("unexpected result status {other}: {}", result.text()),
+        }
+    }
+}
+
+/// The full C-client workload, each client on its own connection and
+/// thread — the served twin of `pool_throughput::pooled_workload`.
+fn served_workload(addr: std::net::SocketAddr) {
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut http = MiniClient::connect(addr, format!("bench-{client}"));
+                served_job(&mut http, client);
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let workers = threads();
+    let pool = DevicePool::new(
+        PoolConfig::new(config())
+            .with_workers(workers)
+            .with_queue_depth(4 * CLIENTS as usize),
+    )
+    .expect("pool");
+    // No quota: this measures the serving path, not admission policy
+    // (the quota's cost is one hash-map probe; the lifecycle tests cover
+    // its behavior).
+    let server = Server::start(pool, ServerConfig::new().without_quota()).expect("server");
+    let addr = server.local_addr();
+
+    let mut g = c.benchmark_group("serve_throughput");
+    g.sample_size(10);
+    g.bench_function("served_multi_client", |b| b.iter(|| served_workload(addr)));
+    g.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

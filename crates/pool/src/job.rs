@@ -18,6 +18,7 @@ use quma_experiments::prelude::{Experiment, ExperimentError};
 use quma_isa::prelude::{Program, ProgramTemplate};
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +43,68 @@ impl std::fmt::Display for Priority {
         match self {
             Priority::High => write!(f, "high"),
             Priority::Normal => write!(f, "normal"),
+        }
+    }
+}
+
+/// The lifecycle phase of a submitted job, shared between the handle,
+/// the queue, and the worker that eventually runs it.
+///
+/// A job moves `Queued → Running → Finished`, or jumps `Queued →
+/// Cancelled` when [`JobHandle::cancel`] wins the race against worker
+/// pickup. `Cancelled` is terminal: the worker that later drains the
+/// ticket observes the phase and delivers [`JobError::Cancelled`]
+/// without ever executing the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Accepted into a queue; no worker has picked it up yet.
+    Queued,
+    /// A worker is executing it (cancellation can no longer stop it).
+    Running,
+    /// It reached a terminal result (success or failure).
+    Finished,
+    /// It was cancelled while still queued and will never run.
+    Cancelled,
+}
+
+/// The raw atomic encoding of [`JobPhase`].
+pub(crate) const PHASE_QUEUED: u8 = 0;
+pub(crate) const PHASE_RUNNING: u8 = 1;
+pub(crate) const PHASE_FINISHED: u8 = 2;
+pub(crate) const PHASE_CANCELLED: u8 = 3;
+
+fn decode_phase(raw: u8) -> JobPhase {
+    match raw {
+        PHASE_QUEUED => JobPhase::Queued,
+        PHASE_RUNNING => JobPhase::Running,
+        PHASE_CANCELLED => JobPhase::Cancelled,
+        _ => JobPhase::Finished,
+    }
+}
+
+/// The typed outcome of a [`JobHandle::cancel`] request, so callers (the
+/// serving layer's `DELETE /jobs/{id}` above all) can report what
+/// actually happened instead of conflating "cancelled" with "it had
+/// already finished".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued and will never run; the handle resolves
+    /// with [`JobError::Cancelled`]. Cancelling an already-cancelled job
+    /// returns this again (cancellation is idempotent).
+    Cancelled,
+    /// Too late: a worker is executing the job. It runs to completion
+    /// and its result stays available on the handle.
+    Running,
+    /// Too late: the job already reached a terminal result.
+    Finished,
+}
+
+impl std::fmt::Display for CancelOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelOutcome::Cancelled => write!(f, "cancelled"),
+            CancelOutcome::Running => write!(f, "already running"),
+            CancelOutcome::Finished => write!(f, "already finished"),
         }
     }
 }
@@ -96,6 +159,9 @@ pub enum JobError {
     /// The worker disappeared without delivering a result (the pool was
     /// dropped with the handle still live, or a worker panicked).
     WorkerLost,
+    /// The job was cancelled via [`JobHandle::cancel`] while still
+    /// queued; it never ran.
+    Cancelled,
 }
 
 impl std::fmt::Display for JobError {
@@ -104,6 +170,7 @@ impl std::fmt::Display for JobError {
             JobError::Device(e) => write!(f, "job failed on device: {e}"),
             JobError::Experiment(e) => write!(f, "experiment job failed: {e}"),
             JobError::WorkerLost => write!(f, "worker lost before delivering a result"),
+            JobError::Cancelled => write!(f, "job cancelled while queued; it never ran"),
         }
     }
 }
@@ -113,7 +180,7 @@ impl std::error::Error for JobError {
         match self {
             JobError::Device(e) => Some(e),
             JobError::Experiment(e) => Some(e),
-            JobError::WorkerLost => None,
+            JobError::WorkerLost | JobError::Cancelled => None,
         }
     }
 }
@@ -428,6 +495,8 @@ pub(crate) struct QueuedJob {
     pub(crate) job: Job,
     pub(crate) events: channel::Sender<JobEvent>,
     pub(crate) submitted_at: Instant,
+    /// Lifecycle phase shared with the handle (see [`JobPhase`]).
+    pub(crate) phase: Arc<AtomicU8>,
 }
 
 /// The client's receipt for a submitted job: poll it, block on it, or
@@ -439,21 +508,56 @@ pub struct JobHandle {
     events: channel::Receiver<JobEvent>,
     chunks: VecDeque<ShotChunk>,
     outcome: Option<(Result<JobOutput, JobError>, Option<JobMetrics>)>,
+    /// Lifecycle phase shared with the queue and the worker.
+    phase: Arc<AtomicU8>,
 }
 
 impl JobHandle {
-    pub(crate) fn new(id: JobId, events: channel::Receiver<JobEvent>) -> Self {
+    pub(crate) fn new(
+        id: JobId,
+        events: channel::Receiver<JobEvent>,
+        phase: Arc<AtomicU8>,
+    ) -> Self {
         Self {
             id,
             events,
             chunks: VecDeque::new(),
             outcome: None,
+            phase,
         }
     }
 
     /// The pool-assigned job id.
     pub fn id(&self) -> JobId {
         self.id
+    }
+
+    /// The job's current lifecycle phase. Queued jobs can still be
+    /// cancelled; running jobs cannot. This is a point-in-time read —
+    /// a `Queued` answer may be stale by the time the caller acts on
+    /// it, but [`JobHandle::cancel`] resolves the race atomically.
+    pub fn phase(&self) -> JobPhase {
+        decode_phase(self.phase.load(Ordering::SeqCst))
+    }
+
+    /// Requests cancellation and reports what actually happened, as a
+    /// typed [`CancelOutcome`]: `Cancelled` only when the job was still
+    /// queued (it will never run; the handle resolves with
+    /// [`JobError::Cancelled`]), `Running` / `Finished` when the request
+    /// came too late. Cancellation never blocks and is idempotent —
+    /// cancelling an already-cancelled job reports `Cancelled` again.
+    pub fn cancel(&mut self) -> CancelOutcome {
+        match self.phase.compare_exchange(
+            PHASE_QUEUED,
+            PHASE_CANCELLED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => CancelOutcome::Cancelled,
+            Err(PHASE_CANCELLED) => CancelOutcome::Cancelled,
+            Err(PHASE_RUNNING) => CancelOutcome::Running,
+            Err(_) => CancelOutcome::Finished,
+        }
     }
 
     fn absorb(&mut self, event: JobEvent) {
@@ -561,6 +665,18 @@ impl<T: 'static> ExperimentHandle<T> {
     /// Polling result access (see [`JobHandle::is_finished`]).
     pub fn is_finished(&mut self) -> bool {
         self.inner.is_finished()
+    }
+
+    /// The job's current lifecycle phase (see [`JobHandle::phase`]).
+    pub fn phase(&self) -> JobPhase {
+        self.inner.phase()
+    }
+
+    /// Requests cancellation (see [`JobHandle::cancel`]). A cancelled
+    /// experiment's [`ExperimentHandle::wait`] resolves with
+    /// [`JobError::Cancelled`].
+    pub fn cancel(&mut self) -> CancelOutcome {
+        self.inner.cancel()
     }
 
     /// The job's metrics, once finished (see [`JobHandle::metrics`]).

@@ -50,7 +50,8 @@ mod worker;
 
 pub use cache::{content_hash, ProgramCache, SlotSpec};
 pub use job::{
-    ExperimentHandle, Job, JobError, JobHandle, JobId, JobOutput, Priority, ShotChunk, SubmitError,
+    CancelOutcome, ExperimentHandle, Job, JobError, JobHandle, JobId, JobOutput, JobPhase,
+    Priority, ShotChunk, SubmitError,
 };
 pub use metrics::{JobMetrics, PoolStats};
 pub use pool::{DevicePool, PoolConfig};
@@ -59,8 +60,8 @@ pub use pool::{DevicePool, PoolConfig};
 pub mod prelude {
     pub use crate::cache::{content_hash, ProgramCache, SlotSpec};
     pub use crate::job::{
-        ExperimentHandle, Job, JobError, JobHandle, JobId, JobOutput, Priority, ShotChunk,
-        SubmitError,
+        CancelOutcome, ExperimentHandle, Job, JobError, JobHandle, JobId, JobOutput, JobPhase,
+        Priority, ShotChunk, SubmitError,
     };
     pub use crate::metrics::{JobMetrics, PoolStats};
     pub use crate::pool::{DevicePool, PoolConfig};
@@ -175,6 +176,39 @@ mod tests {
         let pool = DevicePool::new(PoolConfig::new(config()).with_workers(1)).unwrap();
         let handle = pool.submit_assembly(SEGMENT, 1).unwrap();
         drop(pool);
+        assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn cancel_of_a_queued_job_is_typed_and_terminal() {
+        // One worker, one long blocker: the second job is reliably still
+        // queued when we cancel it.
+        let pool = DevicePool::new(PoolConfig::new(config()).with_workers(1)).unwrap();
+        let blocker = pool.submit_assembly(SEGMENT, 8).unwrap();
+        let mut queued = pool.submit_assembly(SEGMENT, 1).unwrap();
+        assert_eq!(queued.cancel(), CancelOutcome::Cancelled);
+        // Idempotent: a second cancel reports Cancelled again.
+        assert_eq!(queued.cancel(), CancelOutcome::Cancelled);
+        assert_eq!(queued.phase(), JobPhase::Cancelled);
+        let err = queued.wait().unwrap_err();
+        assert!(matches!(err, JobError::Cancelled), "{err}");
+        let batch = blocker.wait().unwrap().into_batch().unwrap();
+        assert_eq!(batch.len(), 8);
+        let stats = pool.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn cancel_of_a_finished_job_reports_finished() {
+        let pool = DevicePool::new(PoolConfig::new(config()).with_workers(1)).unwrap();
+        let mut handle = pool.submit_assembly(SEGMENT, 1).unwrap();
+        while !handle.is_finished() {
+            std::thread::yield_now();
+        }
+        assert_eq!(handle.cancel(), CancelOutcome::Finished);
+        assert_eq!(handle.phase(), JobPhase::Finished);
         assert!(handle.wait().is_ok());
     }
 

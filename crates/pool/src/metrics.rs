@@ -40,6 +40,7 @@ pub(crate) struct StatsInner {
     pub rejected: u64,
     pub completed: u64,
     pub failed: u64,
+    pub cancelled: u64,
     pub high_completed: u64,
     pub warm_device_clones: u64,
     pub cold_device_builds: u64,
@@ -63,6 +64,9 @@ pub struct PoolStats {
     pub completed: u64,
     /// Jobs finished with an error.
     pub failed: u64,
+    /// Jobs cancelled while queued (they never ran; see
+    /// `JobHandle::cancel`).
+    pub cancelled: u64,
     /// Completed jobs that were high priority.
     pub high_completed: u64,
     /// Cache lookups served without assembling.

@@ -9,7 +9,7 @@ use crossbeam::channel;
 use quma_core::prelude::{resolve_threads, Device, DeviceConfig, DeviceError};
 use quma_experiments::prelude::Experiment;
 use quma_isa::prelude::{Program, ProgramTemplate};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -169,11 +169,13 @@ impl DevicePool {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (events_tx, events_rx) = channel::unbounded();
         let priority = job.priority;
+        let phase = Arc::new(AtomicU8::new(crate::job::PHASE_QUEUED));
         let queued = QueuedJob {
             id,
             job,
             events: events_tx,
             submitted_at: Instant::now(),
+            phase: Arc::clone(&phase),
         };
         let target = match priority {
             Priority::High => &submitters.high,
@@ -199,7 +201,7 @@ impl DevicePool {
             stats.submitted += 1;
             stats.max_queue_depth = stats.max_queue_depth.max(target.len());
         }
-        Ok(JobHandle::new(id, events_rx))
+        Ok(JobHandle::new(id, events_rx, phase))
     }
 
     /// Assembles `source` through the pool cache and submits it as a
@@ -280,6 +282,7 @@ impl DevicePool {
             rejected: inner.rejected,
             completed: inner.completed,
             failed: inner.failed,
+            cancelled: inner.cancelled,
             high_completed: inner.high_completed,
             cache_hits: self.shared.cache.hits(),
             cache_misses: self.shared.cache.misses(),

@@ -167,14 +167,45 @@ fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: 
         job,
         events,
         submitted_at,
+        phase,
     } = queued;
     let dispatch_seq = shared.dispatch_seq.fetch_add(1, Ordering::SeqCst);
     let started = Instant::now();
     let queue_wait = started.duration_since(submitted_at);
     let priority = job.priority;
     let cache_hit = job.cache_hit;
+    // Claim the job: only a still-queued job may transition to running.
+    // Losing the race to `JobHandle::cancel` means the job is dropped
+    // without executing — the handle still gets a terminal event so
+    // `wait` resolves (with `JobError::Cancelled`) instead of hanging.
+    if phase
+        .compare_exchange(
+            crate::job::PHASE_QUEUED,
+            crate::job::PHASE_RUNNING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_err()
+    {
+        shared.stats.lock().expect("stats poisoned").cancelled += 1;
+        let metrics = JobMetrics {
+            id,
+            priority,
+            worker,
+            dispatch_seq,
+            queue_wait,
+            run_time: std::time::Duration::ZERO,
+            cache_hit,
+        };
+        let _ = events.send(JobEvent::Done {
+            result: Err(JobError::Cancelled),
+            metrics,
+        });
+        return;
+    }
     let result = execute(shared, warm, &events, job);
     let run_time = started.elapsed();
+    phase.store(crate::job::PHASE_FINISHED, Ordering::SeqCst);
     {
         let mut stats = shared.stats.lock().expect("stats poisoned");
         if result.is_ok() {

@@ -1,0 +1,193 @@
+//! A minimal blocking HTTP/1.1 client — just enough to exercise the
+//! server from tests, the load-generator example, and the serving
+//! benchmark without pulling in an HTTP dependency.
+//!
+//! One [`MiniClient`] holds one keep-alive connection; requests are
+//! issued sequentially on it (exactly how the serving benchmark's
+//! simulated clients behave).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A parsed response from the server.
+#[derive(Debug)]
+pub struct MiniResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lower-cased `(name, value)` header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl MiniResponse {
+    /// The first value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.text()).map_err(|e| e.to_string())
+    }
+}
+
+/// A blocking keep-alive HTTP/1.1 client for one server address.
+pub struct MiniClient {
+    addr: SocketAddr,
+    /// Client identity sent as `x-quma-client` (drives quotas).
+    client_id: String,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl MiniClient {
+    /// A client for `addr`, identifying as `client_id`.
+    pub fn connect(addr: SocketAddr, client_id: impl Into<String>) -> Self {
+        Self {
+            addr,
+            client_id: client_id.into(),
+            stream: None,
+        }
+    }
+
+    /// Issues `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<MiniResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Issues `DELETE path`.
+    pub fn delete(&mut self, path: &str) -> std::io::Result<MiniResponse> {
+        self.request("DELETE", path, None)
+    }
+
+    /// Issues `POST path` with a JSON document as the body.
+    pub fn post_json(&mut self, path: &str, body: &Json) -> std::io::Result<MiniResponse> {
+        self.request("POST", path, Some(body.encode().into_bytes()))
+    }
+
+    /// Polls `GET /jobs/{id}` until the phase is terminal, then returns
+    /// the final status document. Sleeps `poll` between polls.
+    pub fn wait_for(&mut self, id: u64, poll: Duration) -> std::io::Result<Json> {
+        loop {
+            let status = self.get(&format!("/jobs/{id}"))?;
+            let doc = status
+                .json()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            match doc.get("phase").and_then(Json::as_str) {
+                Some("finished") | Some("failed") | Some("cancelled") => return Ok(doc),
+                _ => std::thread::sleep(poll),
+            }
+        }
+    }
+
+    /// Issues one request, reconnecting once if the pooled connection
+    /// went stale (the server closes idle connections on shutdown).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<Vec<u8>>,
+    ) -> std::io::Result<MiniResponse> {
+        match self.request_once(method, path, body.as_deref()) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                self.stream = None;
+                self.request_once(method, path, body.as_deref())
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<MiniResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        let reader = self.stream.as_mut().expect("connected");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: quma\r\n");
+        head.push_str(&format!("x-quma-client: {}\r\n", self.client_id));
+        if let Some(body) = body {
+            head.push_str("content-type: application/json\r\n");
+            head.push_str(&format!("content-length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        {
+            let stream = reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            if let Some(body) = body {
+                stream.write_all(body)?;
+            }
+            stream.flush()?;
+        }
+        let response = read_response(reader);
+        if response.is_err() {
+            self.stream = None;
+        }
+        response
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<MiniResponse> {
+    let status_line = read_line(reader)?;
+    let mut parts = status_line.split_whitespace();
+    let _version = parts.next();
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data(format!("bad status line: {status_line}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(MiniResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_line(reader: &mut impl BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(bad_data("connection closed mid-response"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn bad_data(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}

@@ -1,0 +1,161 @@
+//! The route table and path matcher.
+//!
+//! Routes live in one flat [`ROUTES`] table so the API surface is
+//! enumerable: `docs/API.md` documents exactly these `(method, pattern)`
+//! pairs, and `tests/api_docs.rs` fails the build when either side
+//! drifts. `{id}`-style segments match any single path segment and are
+//! captured in order.
+
+/// One routable endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Upper-case HTTP method.
+    pub method: &'static str,
+    /// The path pattern; `{name}` segments are wildcards.
+    pub pattern: &'static str,
+    /// Stable handler name (used in logs and the API reference).
+    pub name: &'static str,
+}
+
+/// Every endpoint the server exposes — the single source of truth the
+/// dispatcher, the API reference, and the docs test all read.
+pub const ROUTES: &[Route] = &[
+    Route {
+        method: "POST",
+        pattern: "/jobs",
+        name: "submit_job",
+    },
+    Route {
+        method: "GET",
+        pattern: "/jobs",
+        name: "list_jobs",
+    },
+    Route {
+        method: "GET",
+        pattern: "/jobs/{id}",
+        name: "job_status",
+    },
+    Route {
+        method: "DELETE",
+        pattern: "/jobs/{id}",
+        name: "cancel_job",
+    },
+    Route {
+        method: "GET",
+        pattern: "/jobs/{id}/result",
+        name: "job_result",
+    },
+    Route {
+        method: "GET",
+        pattern: "/jobs/{id}/chunks",
+        name: "job_chunks",
+    },
+    Route {
+        method: "GET",
+        pattern: "/metrics",
+        name: "metrics",
+    },
+];
+
+/// The result of routing a `(method, path)` pair.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RouteMatch<'p> {
+    /// A route matched; `params` holds the `{…}` captures in pattern
+    /// order.
+    Matched {
+        /// The matched route.
+        route: &'static Route,
+        /// Captured wildcard segments, in order.
+        params: Vec<&'p str>,
+    },
+    /// The path matches at least one pattern, but not with this method;
+    /// the payload is the comma-separated allowed methods (for the
+    /// `Allow` header of the 405).
+    WrongMethod(String),
+    /// No pattern matches the path at all (404).
+    Unknown,
+}
+
+/// Matches `path` against `pattern`, returning wildcard captures.
+fn match_pattern<'p>(pattern: &str, path: &'p str) -> Option<Vec<&'p str>> {
+    let mut params = Vec::new();
+    let mut pat = pattern.split('/').filter(|s| !s.is_empty());
+    let mut got = path.split('/').filter(|s| !s.is_empty());
+    loop {
+        match (pat.next(), got.next()) {
+            (None, None) => return Some(params),
+            (Some(p), Some(g)) => {
+                if p.starts_with('{') && p.ends_with('}') {
+                    params.push(g);
+                } else if p != g {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Routes a request line to a handler, a 405, or a 404.
+pub fn route<'p>(method: &str, path: &'p str) -> RouteMatch<'p> {
+    let mut allowed: Vec<&'static str> = Vec::new();
+    for r in ROUTES {
+        if let Some(params) = match_pattern(r.pattern, path) {
+            if r.method == method {
+                return RouteMatch::Matched { route: r, params };
+            }
+            if !allowed.contains(&r.method) {
+                allowed.push(r.method);
+            }
+        }
+    }
+    if allowed.is_empty() {
+        RouteMatch::Unknown
+    } else {
+        RouteMatch::WrongMethod(allowed.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_wildcard_routes_match() {
+        match route("GET", "/jobs/42/result") {
+            RouteMatch::Matched { route, params } => {
+                assert_eq!(route.name, "job_result");
+                assert_eq!(params, vec!["42"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            route("GET", "/metrics"),
+            RouteMatch::Matched { route, .. } if route.name == "metrics"
+        ));
+    }
+
+    #[test]
+    fn trailing_slash_is_tolerated() {
+        assert!(matches!(
+            route("GET", "/jobs/"),
+            RouteMatch::Matched { route, .. } if route.name == "list_jobs"
+        ));
+    }
+
+    #[test]
+    fn wrong_method_reports_allowed_set() {
+        match route("PUT", "/jobs/7") {
+            RouteMatch::WrongMethod(allow) => {
+                assert!(allow.contains("GET") && allow.contains("DELETE"), "{allow}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_paths_are_unknown() {
+        assert_eq!(route("GET", "/nope"), RouteMatch::Unknown);
+        assert_eq!(route("GET", "/jobs/1/2/3/4"), RouteMatch::Unknown);
+    }
+}

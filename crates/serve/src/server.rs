@@ -1,0 +1,455 @@
+//! The server: a thread-per-connection HTTP front end over a
+//! [`DevicePool`].
+//!
+//! One acceptor thread hands each connection to its own handler thread;
+//! handlers speak keep-alive HTTP/1.1 with short read timeouts so a
+//! shutdown request drains promptly. All state a handler touches — the
+//! pool, the job registry, the quota ledger, the
+//! serve counters — is shared behind one `Arc`, so the dispatch function
+//! is a pure `Request -> Response` map plus those shared effects.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::json::Json;
+use crate::problem::ProblemJson;
+use crate::quota::{Quota, QuotaLedger};
+use crate::registry::Registry;
+use crate::router::{route, RouteMatch};
+use crate::wire;
+use quma_pool::prelude::{JobId, SubmitError};
+use quma_pool::DevicePool;
+
+/// The API version every response announces in `x-quma-api-version`.
+pub const API_VERSION: u32 = 1;
+
+/// Server tuning knobs, built builder-style.
+///
+/// ```
+/// use quma_serve::server::ServerConfig;
+/// use quma_serve::quota::Quota;
+///
+/// let config = ServerConfig::new()
+///     .with_max_body_bytes(64 * 1024)
+///     .with_quota(Quota::new().with_burst(16).with_per_second(8.0));
+/// assert_eq!(config.max_body_bytes, 64 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Per-client submission quota; `None` disables quota enforcement.
+    pub quota: Option<Quota>,
+    /// Seconds a client should wait after a `queue_full` rejection.
+    pub queue_retry_after: u64,
+}
+
+impl ServerConfig {
+    /// Defaults: 1 MiB bodies, the default [`Quota`], retry after 1 s.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            max_body_bytes: 1024 * 1024,
+            quota: Some(Quota::new()),
+            queue_retry_after: 1,
+        }
+    }
+
+    /// Sets the request-body size limit (builder style).
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> Self {
+        self.max_body_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets the per-client quota (builder style).
+    pub fn with_quota(mut self, quota: Quota) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+
+    /// Disables per-client quotas (builder style).
+    pub fn without_quota(mut self) -> Self {
+        self.quota = None;
+        self
+    }
+}
+
+/// Request counters the `/metrics` endpoint reports alongside pool
+/// statistics.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    requests: AtomicU64,
+    submitted: AtomicU64,
+    problems_4xx: AtomicU64,
+    problems_5xx: AtomicU64,
+    quota_rejections: AtomicU64,
+}
+
+struct Shared {
+    pool: DevicePool,
+    registry: Registry,
+    ledger: Option<QuotaLedger>,
+    counters: ServeCounters,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// the acceptor, drains handler threads, and lets the pool drain its
+/// queues.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:0` (an OS-chosen port) and starts serving `pool`.
+    pub fn start(pool: DevicePool, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            pool,
+            registry: Registry::new(),
+            ledger: config.quota.map(Quota::ledger),
+            counters: ServeCounters::default(),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+        let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            thread::Builder::new()
+                .name("quma-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        let handle = thread::Builder::new()
+                            .name("quma-serve-conn".into())
+                            .spawn(move || handle_connection(&shared, stream));
+                        if let Ok(handle) = handle {
+                            let mut live = handlers.lock().expect("handlers poisoned");
+                            // Opportunistically reap finished handlers so
+                            // long-lived servers do not accumulate joins.
+                            live.retain(|h| !h.is_finished());
+                            live.push(handle);
+                        }
+                    }
+                })?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The bound address (connect and speak HTTP/1.1 to it).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A `http://…` base URL for the bound address.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stops accepting, drains connection handlers, and returns.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor's blocking `accept` with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles = std::mem::take(&mut *self.handlers.lock().expect("handlers poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves one connection until close, error, or shutdown.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let problem = ProblemJson::shutting_down();
+            let _ = write_response(&mut writer, &problem.into_response(), true);
+            return;
+        }
+        let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpError::Eof) => return,
+            Err(HttpError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                let problem = ProblemJson::payload_too_large(format!(
+                    "declared body of {declared} bytes exceeds the {limit}-byte limit"
+                ));
+                let _ = write_response(&mut writer, &problem.into_response(), true);
+                return;
+            }
+            Err(e) => {
+                let problem = ProblemJson::bad_request(e.to_string());
+                let _ = write_response(&mut writer, &problem.into_response(), true);
+                return;
+            }
+        };
+        let close = request.close;
+        let response =
+            dispatch(shared, &request).with_header("x-quma-api-version", API_VERSION.to_string());
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match response.status {
+            400..=499 => {
+                shared.counters.problems_4xx.fetch_add(1, Ordering::Relaxed);
+            }
+            500..=599 => {
+                shared.counters.problems_5xx.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if write_response(&mut writer, &response, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Maps one request to its response — the routing table made executable.
+fn dispatch(shared: &Shared, request: &Request) -> Response {
+    let (route, params) = match route(&request.method, &request.path) {
+        RouteMatch::Matched { route, params } => (route, params),
+        RouteMatch::WrongMethod(allowed) => {
+            return ProblemJson::method_not_allowed(&allowed).into_response()
+        }
+        RouteMatch::Unknown => {
+            return ProblemJson::not_found(format!("no route for {}", request.path)).into_response()
+        }
+    };
+    match route.name {
+        "submit_job" => submit_job(shared, request),
+        "list_jobs" => list_jobs(shared, request),
+        "job_status" => with_id(&params, |id| {
+            shared
+                .registry
+                .status(id)
+                .map(|doc| Response::json(200, &doc))
+        }),
+        "cancel_job" => with_id(&params, |id| {
+            shared
+                .registry
+                .cancel(id)
+                .map(|doc| Response::json(200, &doc))
+        }),
+        "job_result" => with_id(&params, |id| {
+            shared
+                .registry
+                .result(id)
+                .map(|doc| Response::json(200, &doc))
+        }),
+        "job_chunks" => {
+            let from = match request.query_param("from") {
+                None => 0,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(from) => from,
+                    Err(_) => {
+                        return ProblemJson::validation(format!(
+                            "'from' must be a non-negative integer, got '{raw}'"
+                        ))
+                        .into_response()
+                    }
+                },
+            };
+            with_id(&params, |id| {
+                shared
+                    .registry
+                    .chunks(id, from)
+                    .map(|doc| Response::json(200, &doc))
+            })
+        }
+        "metrics" => Response::text(200, metrics_text(shared)),
+        other => ProblemJson::internal(format!("unrouted handler '{other}'")).into_response(),
+    }
+}
+
+/// Parses the `{id}` capture and runs `f`, mapping problems to responses.
+fn with_id(params: &[&str], f: impl FnOnce(JobId) -> Result<Response, ProblemJson>) -> Response {
+    let raw = params.first().copied().unwrap_or("");
+    match raw.parse::<JobId>() {
+        Ok(id) => f(id).unwrap_or_else(ProblemJson::into_response),
+        Err(_) => {
+            ProblemJson::bad_request(format!("job ids are integers, got '{raw}'")).into_response()
+        }
+    }
+}
+
+/// `POST /jobs`: quota check, body parse, validation, pool submit.
+fn submit_job(shared: &Shared, request: &Request) -> Response {
+    let client = request
+        .header("x-quma-client")
+        .unwrap_or("anonymous")
+        .to_string();
+    if let Some(ledger) = &shared.ledger {
+        if let Err(retry_after) = ledger.admit(&client) {
+            shared
+                .counters
+                .quota_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return ProblemJson::quota_exhausted(
+                format!("client '{client}' has spent its submission quota"),
+                retry_after,
+            )
+            .with_context("client", Json::str(client))
+            .into_response();
+        }
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return ProblemJson::bad_request("request body is not UTF-8").into_response(),
+    };
+    let doc = match Json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return ProblemJson::bad_request(format!("body is not valid JSON: {e}")).into_response()
+        }
+    };
+    let submission = match wire::parse_submission(&doc, &shared.pool) {
+        Ok(submission) => submission,
+        Err(problem) => return problem.into_response(),
+    };
+    let handle = match shared.pool.submit(submission.job) {
+        Ok(handle) => handle,
+        Err(SubmitError::QueueFull { priority, depth }) => {
+            return ProblemJson::queue_full(
+                format!("the {priority:?}-priority queue is at its bound of {depth}"),
+                shared.config.queue_retry_after,
+            )
+            .with_context("depth", Json::Int(depth.min(i64::MAX as usize) as i64))
+            .into_response()
+        }
+        Err(SubmitError::ShutDown) => return ProblemJson::shutting_down().into_response(),
+        Err(SubmitError::InvalidJob(e)) => {
+            return ProblemJson::validation(format!("job rejected at submit: {e}")).into_response()
+        }
+    };
+    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    let id = handle.id();
+    let status = shared.registry.insert(
+        handle,
+        submission.kind,
+        submission.experiment,
+        client,
+        submission.render,
+    );
+    Response::json(201, &status).with_header("location", format!("/jobs/{id}"))
+}
+
+/// `GET /jobs?limit=&offset=`.
+fn list_jobs(shared: &Shared, request: &Request) -> Response {
+    let parse_bound = |name: &str, default: usize| -> Result<usize, ProblemJson> {
+        match request.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<usize>().map_err(|_| {
+                ProblemJson::validation(format!(
+                    "'{name}' must be a non-negative integer, got '{raw}'"
+                ))
+            }),
+        }
+    };
+    let limit = match parse_bound("limit", 50) {
+        Ok(limit) => limit.min(1000),
+        Err(problem) => return problem.into_response(),
+    };
+    let offset = match parse_bound("offset", 0) {
+        Ok(offset) => offset,
+        Err(problem) => return problem.into_response(),
+    };
+    Response::json(200, &shared.registry.list(limit, offset))
+}
+
+/// The `/metrics` plain-text report: pool statistics plus serve
+/// counters, one `name value` pair per line.
+fn metrics_text(shared: &Shared) -> String {
+    let stats = shared.pool.stats();
+    let c = &shared.counters;
+    let mut out = String::new();
+    let mut line = |name: &str, value: u64| {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    };
+    line("quma_pool_workers", stats.workers as u64);
+    line("quma_pool_submitted", stats.submitted);
+    line("quma_pool_rejected", stats.rejected);
+    line("quma_pool_completed", stats.completed);
+    line("quma_pool_failed", stats.failed);
+    line("quma_pool_cancelled", stats.cancelled);
+    line("quma_pool_high_completed", stats.high_completed);
+    line("quma_pool_cache_hits", stats.cache_hits);
+    line("quma_pool_cache_misses", stats.cache_misses);
+    line("quma_pool_warm_device_clones", stats.warm_device_clones);
+    line("quma_pool_cold_device_builds", stats.cold_device_builds);
+    line("quma_pool_warm_session_reuses", stats.warm_session_reuses);
+    line(
+        "quma_pool_queue_wait_us_total",
+        stats.total_queue_wait.as_micros().min(u64::MAX as u128) as u64,
+    );
+    line(
+        "quma_pool_run_time_us_total",
+        stats.total_run_time.as_micros().min(u64::MAX as u128) as u64,
+    );
+    line("quma_pool_max_queue_depth", stats.max_queue_depth as u64);
+    line("quma_serve_requests", c.requests.load(Ordering::Relaxed));
+    line("quma_serve_submitted", c.submitted.load(Ordering::Relaxed));
+    line(
+        "quma_serve_problems_4xx",
+        c.problems_4xx.load(Ordering::Relaxed),
+    );
+    line(
+        "quma_serve_problems_5xx",
+        c.problems_5xx.load(Ordering::Relaxed),
+    );
+    line(
+        "quma_serve_quota_rejections",
+        c.quota_rejections.load(Ordering::Relaxed),
+    );
+    line("quma_serve_jobs_tracked", shared.registry.len() as u64);
+    out
+}

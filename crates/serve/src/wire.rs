@@ -1,0 +1,537 @@
+//! Wire schemas: translating domain objects (shot reports, metrics,
+//! submissions) to and from the JSON documents the HTTP API speaks.
+//!
+//! Encoding is lossless where determinism is observable: registers and
+//! discrimination bits are integers, and every `f64` (integration
+//! values, collector averages, fitted rates) crosses the wire in Rust's
+//! shortest-round-trip decimal form, so a client that parses a served
+//! shot record holds **bit-identical** values to a direct
+//! [`Session`](quma_core::engine::Session) run —
+//! `tests/http_lifecycle.rs` pins exactly that.
+
+use crate::json::Json;
+use crate::problem::ProblemJson;
+use quma_core::prelude::ChipProfile;
+use quma_core::prelude::{BatchReport, RunReport, SeedPlan, ShotSeeds, TemplatePoint};
+use quma_experiments::prelude::{
+    Allxy, AllxyConfig, AllxyResult, QecConfig, QecInjected, QecResult,
+};
+use quma_isa::template::PatchField;
+use quma_pool::prelude::{Job, JobMetrics, JobOutput, Priority, ShotChunk, SlotSpec};
+use quma_pool::DevicePool;
+
+/// What one validated `POST /jobs` body builds: the pool job plus the
+/// serving-side description of it.
+pub(crate) struct Submission {
+    /// The pool job, ready to submit.
+    pub job: Job,
+    /// The wire name of the kind (`shots` / `sweep` / `template_sweep`
+    /// / `experiment`).
+    pub kind: &'static str,
+    /// The experiment name for experiment jobs.
+    pub experiment: Option<&'static str>,
+    /// Converts the finished output to its response document.
+    pub render: Box<dyn FnOnce(JobOutput) -> Json + Send>,
+}
+
+fn field_problem(detail: impl Into<String>, path: &str) -> ProblemJson {
+    ProblemJson::validation(detail).with_context("path", Json::str(path.to_string()))
+}
+
+fn want_u64(doc: &Json, key: &str, default: Option<u64>) -> Result<u64, ProblemJson> {
+    match doc.get(key) {
+        None => default.ok_or_else(|| field_problem(format!("missing field '{key}'"), key)),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| field_problem(format!("'{key}' must be a non-negative integer"), key)),
+    }
+}
+
+fn want_f64(doc: &Json, key: &str, default: f64) -> Result<f64, ProblemJson> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| field_problem(format!("'{key}' must be a number"), key)),
+    }
+}
+
+fn want_bool(doc: &Json, key: &str, default: bool) -> Result<bool, ProblemJson> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| field_problem(format!("'{key}' must be a boolean"), key)),
+    }
+}
+
+fn want_str<'d>(doc: &'d Json, key: &str) -> Result<&'d str, ProblemJson> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| field_problem(format!("missing string field '{key}'"), key))
+}
+
+fn seeds_from(doc: &Json, key: &str) -> Result<ShotSeeds, ProblemJson> {
+    let obj = doc
+        .get(key)
+        .ok_or_else(|| field_problem(format!("missing field '{key}'"), key))?;
+    Ok(ShotSeeds {
+        chip: want_u64(obj, "chip", None)?,
+        jitter: want_u64(obj, "jitter", None)?,
+    })
+}
+
+fn plan_from(obj: &Json) -> Result<SeedPlan, ProblemJson> {
+    Ok(SeedPlan {
+        chip_base: want_u64(obj, "chip_base", None)?,
+        jitter_base: want_u64(obj, "jitter_base", None)?,
+    })
+}
+
+fn profile_from(doc: &Json, key: &str, default: ChipProfile) -> Result<ChipProfile, ProblemJson> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_str() {
+            Some("ideal") => Ok(ChipProfile::Ideal),
+            Some("paper") => Ok(ChipProfile::Paper),
+            Some("stabilizer") => Ok(ChipProfile::Stabilizer),
+            _ => Err(field_problem(
+                format!("'{key}' must be one of \"ideal\", \"paper\", \"stabilizer\""),
+                key,
+            )),
+        },
+    }
+}
+
+/// Parses and validates a `POST /jobs` body into a [`Submission`].
+/// Every rejection is a 422 `validation_error` problem naming the bad
+/// field.
+pub(crate) fn parse_submission(doc: &Json, pool: &DevicePool) -> Result<Submission, ProblemJson> {
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(ProblemJson::validation(
+            "the job document must be an object",
+        ));
+    }
+    let high = match doc.get("priority") {
+        None => false,
+        Some(v) => match v.as_str() {
+            Some("normal") => false,
+            Some("high") => true,
+            _ => {
+                return Err(field_problem(
+                    "'priority' must be \"normal\" or \"high\"",
+                    "priority",
+                ))
+            }
+        },
+    };
+    let kind = want_str(doc, "kind")?;
+    let Submission {
+        job,
+        kind,
+        experiment,
+        render,
+    } = match kind {
+        "shots" => parse_shots(doc, pool)?,
+        "sweep" => parse_sweep(doc, pool)?,
+        "template_sweep" => parse_template_sweep(doc, pool)?,
+        "experiment" => parse_experiment(doc)?,
+        other => {
+            return Err(field_problem(
+                format!(
+                    "unknown job kind '{other}' \
+                     (expected shots | sweep | template_sweep | experiment)"
+                ),
+                "kind",
+            ))
+        }
+    };
+    let job = if high { job.high_priority() } else { job };
+    Ok(Submission {
+        job,
+        kind,
+        experiment,
+        render,
+    })
+}
+
+fn assemble_or_422(
+    pool: &DevicePool,
+    source: &str,
+) -> Result<std::sync::Arc<quma_isa::prelude::Program>, ProblemJson> {
+    pool.assemble(source).map_err(|e| {
+        ProblemJson::validation(format!("assembly rejected: {e}"))
+            .with_context("path", Json::str("source"))
+    })
+}
+
+fn parse_shots(doc: &Json, pool: &DevicePool) -> Result<Submission, ProblemJson> {
+    let source = want_str(doc, "source")?;
+    let shots = want_u64(doc, "shots", None)?;
+    if shots == 0 || shots > 1_000_000 {
+        return Err(field_problem("'shots' must be in 1..=1000000", "shots"));
+    }
+    let program = assemble_or_422(pool, source)?;
+    let mut job = Job::shots(program, shots);
+    if let Some(plan) = doc.get("seed_plan") {
+        job = job.with_seed_plan(plan_from(plan)?);
+    }
+    let chunk = want_u64(doc, "chunk_shots", Some(0))?;
+    if chunk > 0 {
+        job = job.with_chunk_shots(chunk);
+    }
+    Ok(Submission {
+        job,
+        kind: "shots",
+        experiment: None,
+        render: Box::new(|out| match out {
+            JobOutput::Batch(batch) => encode_batch(&batch),
+            other => render_mismatch("batch", &other),
+        }),
+    })
+}
+
+fn parse_sweep(doc: &Json, pool: &DevicePool) -> Result<Submission, ProblemJson> {
+    let points = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| field_problem("'points' must be an array", "points"))?;
+    if points.is_empty() || points.len() > 100_000 {
+        return Err(field_problem(
+            "'points' must hold 1..=100000 points",
+            "points",
+        ));
+    }
+    let mut prepared = Vec::with_capacity(points.len());
+    for (i, point) in points.iter().enumerate() {
+        let source =
+            want_str(point, "source").map_err(|p| p.with_context("point", Json::Int(i as i64)))?;
+        let seeds =
+            seeds_from(point, "seeds").map_err(|p| p.with_context("point", Json::Int(i as i64)))?;
+        let program = assemble_or_422(pool, source)
+            .map_err(|p| p.with_context("point", Json::Int(i as i64)))?;
+        prepared.push((quma_core::prelude::LoadedProgram::from_arc(program), seeds));
+    }
+    Ok(Submission {
+        job: Job::sweep(prepared),
+        kind: "sweep",
+        experiment: None,
+        render: Box::new(|out| match out {
+            JobOutput::Reports(reports) => encode_reports(&reports),
+            other => render_mismatch("reports", &other),
+        }),
+    })
+}
+
+fn parse_template_sweep(doc: &Json, pool: &DevicePool) -> Result<Submission, ProblemJson> {
+    let source = want_str(doc, "source")?;
+    let slots_doc = doc
+        .get("slots")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| field_problem("'slots' must be an array", "slots"))?;
+    let mut slots = Vec::with_capacity(slots_doc.len());
+    for (i, slot) in slots_doc.iter().enumerate() {
+        let name =
+            want_str(slot, "name").map_err(|p| p.with_context("slot", Json::Int(i as i64)))?;
+        let insn = want_u64(slot, "instruction", None)
+            .map_err(|p| p.with_context("slot", Json::Int(i as i64)))?;
+        let field = match slot.get("field").and_then(Json::as_str) {
+            Some("wait_interval") => PatchField::WaitInterval,
+            Some("mov_imm") => PatchField::MovImm,
+            Some("mpg_duration") => PatchField::MpgDuration,
+            Some("pulse_uop") => PatchField::PulseUop {
+                op: want_u64(slot, "op", Some(0))? as usize,
+            },
+            _ => {
+                return Err(field_problem(
+                    "'field' must be one of \"wait_interval\", \"mov_imm\", \
+                     \"mpg_duration\", \"pulse_uop\"",
+                    "field",
+                )
+                .with_context("slot", Json::Int(i as i64)))
+            }
+        };
+        slots.push(SlotSpec::new(name, insn as u32, field));
+    }
+    let template = pool.assemble_template(source, &slots).map_err(|e| {
+        ProblemJson::validation(format!("template rejected: {e}"))
+            .with_context("path", Json::str("source"))
+    })?;
+    let points_doc = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| field_problem("'points' must be an array", "points"))?;
+    if points_doc.is_empty() || points_doc.len() > 100_000 {
+        return Err(field_problem(
+            "'points' must hold 1..=100000 points",
+            "points",
+        ));
+    }
+    let mut points = Vec::with_capacity(points_doc.len());
+    for (i, point) in points_doc.iter().enumerate() {
+        let seeds =
+            seeds_from(point, "seeds").map_err(|p| p.with_context("point", Json::Int(i as i64)))?;
+        let patches = match point.get("patches") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(axis, v)| {
+                    v.as_i64().map(|n| (axis.clone(), n)).ok_or_else(|| {
+                        field_problem("patch values must be integers", "patches")
+                            .with_context("point", Json::Int(i as i64))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => {
+                return Err(field_problem("'patches' must be an object", "patches")
+                    .with_context("point", Json::Int(i as i64)))
+            }
+        };
+        points.push(TemplatePoint { patches, seeds });
+    }
+    Ok(Submission {
+        job: Job::template_sweep(template, points),
+        kind: "template_sweep",
+        experiment: None,
+        render: Box::new(|out| match out {
+            JobOutput::Reports(reports) => encode_reports(&reports),
+            other => render_mismatch("reports", &other),
+        }),
+    })
+}
+
+fn parse_experiment(doc: &Json) -> Result<Submission, ProblemJson> {
+    let name = want_str(doc, "experiment")?;
+    let cfg = doc.get("config").cloned().unwrap_or(Json::Obj(Vec::new()));
+    match name {
+        "allxy" => {
+            let defaults = AllxyConfig::default();
+            let config = AllxyConfig {
+                averages: want_u64(&cfg, "averages", Some(u64::from(defaults.averages)))? as u32,
+                init_cycles: want_u64(&cfg, "init_cycles", Some(u64::from(defaults.init_cycles)))?
+                    as u32,
+                double_points: want_bool(&cfg, "double_points", defaults.double_points)?,
+                chip: profile_from(&cfg, "profile", defaults.chip)?,
+                seed: want_u64(&cfg, "seed", Some(defaults.seed))?,
+                ..defaults
+            };
+            Ok(Submission {
+                job: Job::experiment(Allxy, config),
+                kind: "experiment",
+                experiment: Some("allxy"),
+                render: Box::new(|out| match out.downcast::<AllxyResult>() {
+                    Some(result) => encode_allxy(&result),
+                    None => Json::Null,
+                }),
+            })
+        }
+        "qec" => {
+            let defaults = QecConfig::default();
+            let distance = want_u64(&cfg, "distance", Some(defaults.distance as u64))? as usize;
+            if distance.is_multiple_of(2) || !(3..=25).contains(&distance) {
+                return Err(field_problem(
+                    "'distance' must be odd and in 3..=25",
+                    "distance",
+                ));
+            }
+            let profile = profile_from(&cfg, "profile", defaults.profile)?;
+            if distance > 5 && profile != ChipProfile::Stabilizer {
+                return Err(field_problem(
+                    "distances above 5 need \"stabilizer\" as the profile",
+                    "profile",
+                ));
+            }
+            let config = QecConfig {
+                distance,
+                rounds: want_u64(&cfg, "rounds", Some(defaults.rounds as u64))? as usize,
+                shots: want_u64(&cfg, "shots", Some(defaults.shots))?,
+                error_rate: want_f64(&cfg, "error_rate", defaults.error_rate)?,
+                logical_one: want_bool(&cfg, "logical_one", defaults.logical_one)?,
+                feedback: want_bool(&cfg, "feedback", defaults.feedback)?,
+                profile,
+                chip_seed: want_u64(&cfg, "chip_seed", Some(defaults.chip_seed))?,
+                injection_seed: want_u64(&cfg, "injection_seed", Some(defaults.injection_seed))?,
+                threads: 1,
+                init_cycles: want_u64(&cfg, "init_cycles", Some(u64::from(defaults.init_cycles)))?
+                    as u32,
+            };
+            Ok(Submission {
+                job: Job::experiment(QecInjected::default(), config),
+                kind: "experiment",
+                experiment: Some("qec"),
+                render: Box::new(|out| match out.downcast::<QecResult>() {
+                    Some(result) => encode_qec(&result),
+                    None => Json::Null,
+                }),
+            })
+        }
+        other => Err(field_problem(
+            format!("unknown experiment '{other}' (expected allxy | qec)"),
+            "experiment",
+        )),
+    }
+}
+
+fn render_mismatch(expected: &str, got: &JobOutput) -> Json {
+    Json::obj([
+        ("error", Json::str("output kind mismatch")),
+        ("expected", Json::str(expected.to_string())),
+        ("got", Json::str(format!("{got:?}"))),
+    ])
+}
+
+/// Encodes one shot record. The triple (`registers`, `md_results`,
+/// `collector_averages`) is the deterministic payload the bit-identity
+/// contract covers; run statistics ride along informationally.
+pub(crate) fn encode_run_report(report: &RunReport) -> Json {
+    Json::obj([
+        (
+            "registers",
+            Json::Arr(
+                report
+                    .registers
+                    .iter()
+                    .map(|&r| Json::Int(i64::from(r)))
+                    .collect(),
+            ),
+        ),
+        (
+            "md_results",
+            Json::Arr(
+                report
+                    .md_results
+                    .iter()
+                    .map(|md| {
+                        Json::obj([
+                            ("td", Json::Int(md.td.min(i64::MAX as u64) as i64)),
+                            ("qubit", Json::Int(md.qubit as i64)),
+                            ("bit", Json::Int(i64::from(md.bit))),
+                            ("s", Json::Float(md.s)),
+                            (
+                                "rd",
+                                md.rd
+                                    .map_or(Json::Null, |r| Json::Int(i64::from(r.index()))),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "collector_averages",
+            Json::Arr(
+                report
+                    .collector_averages
+                    .iter()
+                    .map(|per_qubit| Json::Arr(per_qubit.iter().map(|&v| Json::Float(v)).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes a `Shots` batch as `{"type":"batch","shots":[…]}`.
+pub(crate) fn encode_batch(batch: &BatchReport) -> Json {
+    Json::obj([
+        ("type", Json::str("batch")),
+        (
+            "shots",
+            Json::Arr(batch.shots.iter().map(encode_run_report).collect()),
+        ),
+    ])
+}
+
+/// Encodes sweep reports as `{"type":"reports","points":[…]}`.
+pub(crate) fn encode_reports(reports: &[RunReport]) -> Json {
+    Json::obj([
+        ("type", Json::str("reports")),
+        (
+            "points",
+            Json::Arr(reports.iter().map(encode_run_report).collect()),
+        ),
+    ])
+}
+
+fn encode_allxy(result: &AllxyResult) -> Json {
+    let floats = |xs: &[f64]| Json::Arr(xs.iter().map(|&v| Json::Float(v)).collect());
+    Json::obj([
+        ("type", Json::str("experiment")),
+        ("experiment", Json::str("allxy")),
+        ("raw", floats(&result.raw)),
+        ("fidelity", floats(&result.fidelity)),
+        ("ideal", floats(&result.ideal)),
+        ("deviation", Json::Float(result.deviation)),
+        ("points_per_pair", Json::Int(result.points_per_pair as i64)),
+    ])
+}
+
+fn encode_qec(result: &QecResult) -> Json {
+    Json::obj([
+        ("type", Json::str("experiment")),
+        ("experiment", Json::str("qec")),
+        ("distance", Json::Int(result.distance as i64)),
+        ("rounds", Json::Int(result.rounds as i64)),
+        ("shots", Json::Int(result.shots.min(i64::MAX as u64) as i64)),
+        ("error_rate", Json::Float(result.error_rate)),
+        (
+            "logical_errors",
+            Json::Int(result.logical_errors.min(i64::MAX as u64) as i64),
+        ),
+        ("logical_error_rate", Json::Float(result.logical_error_rate)),
+        ("error_sem", Json::Float(result.error_sem)),
+        (
+            "injected_flips",
+            Json::Int(result.injected_flips.min(i64::MAX as u64) as i64),
+        ),
+        (
+            "majority_bits",
+            Json::Arr(
+                result
+                    .majority_bits
+                    .iter()
+                    .map(|&b| Json::Int(i64::from(b)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes a finished job's metrics.
+pub(crate) fn encode_metrics(metrics: &JobMetrics) -> Json {
+    Json::obj([
+        (
+            "priority",
+            Json::str(match metrics.priority {
+                Priority::High => "high",
+                Priority::Normal => "normal",
+            }),
+        ),
+        ("worker", Json::Int(metrics.worker as i64)),
+        (
+            "dispatch_seq",
+            Json::Int(metrics.dispatch_seq.min(i64::MAX as u64) as i64),
+        ),
+        (
+            "queue_wait_us",
+            Json::Int(metrics.queue_wait.as_micros().min(i64::MAX as u128) as i64),
+        ),
+        (
+            "run_time_us",
+            Json::Int(metrics.run_time.as_micros().min(i64::MAX as u128) as i64),
+        ),
+        ("cache_hit", Json::Bool(metrics.cache_hit)),
+    ])
+}
+
+/// Encodes one streamed chunk.
+pub(crate) fn encode_chunk(chunk: &ShotChunk) -> Json {
+    Json::obj([
+        (
+            "first_shot",
+            Json::Int(chunk.first_shot.min(i64::MAX as u64) as i64),
+        ),
+        (
+            "shots",
+            Json::Arr(chunk.reports.iter().map(encode_run_report).collect()),
+        ),
+    ])
+}

@@ -1,0 +1,453 @@
+//! End-to-end lifecycle tests over a real loopback socket: every status
+//! code the API documents, pagination edges, quota behavior, streamed
+//! chunks, typed cancellation, and — the contract the crate exists for —
+//! bit-identity of served results against direct `Session` runs.
+
+use std::time::Duration;
+
+use quma_core::prelude::*;
+use quma_experiments::prelude::*;
+use quma_pool::prelude::{DevicePool, PoolConfig};
+use quma_serve::prelude::*;
+
+const SEGMENT: &str = "\
+    Wait 40000\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    MPG {q0}, 300\n\
+    MD {q0}, r7\n\
+    halt\n";
+
+fn device() -> DeviceConfig {
+    DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: 0x5EE7,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    }
+}
+
+fn pool(workers: usize) -> DevicePool {
+    DevicePool::new(PoolConfig::new(device()).with_workers(workers)).unwrap()
+}
+
+fn serve(workers: usize, config: ServerConfig) -> Server {
+    Server::start(pool(workers), config).unwrap()
+}
+
+fn shots_doc(shots: i64) -> Json {
+    Json::obj([
+        ("kind", Json::str("shots")),
+        ("source", Json::str(SEGMENT)),
+        ("shots", Json::Int(shots)),
+    ])
+}
+
+fn submit_ok(client: &mut MiniClient, doc: &Json) -> u64 {
+    let response = client.post_json("/jobs", doc).unwrap();
+    assert_eq!(response.status, 201, "{}", response.text());
+    let body = response.json().unwrap();
+    assert!(body.get("phase").and_then(Json::as_str).is_some());
+    let id = body.get("id").and_then(Json::as_u64).unwrap();
+    let location = response.header("location").unwrap().to_string();
+    assert_eq!(location, format!("/jobs/{id}"));
+    id
+}
+
+fn problem_code(response: &quma_serve::MiniResponse) -> String {
+    response
+        .json()
+        .unwrap()
+        .get("code")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn served_shots_are_bit_identical_to_a_direct_session() {
+    let server = serve(1, ServerConfig::new());
+    let mut client = MiniClient::connect(server.local_addr(), "identity");
+    let id = submit_ok(&mut client, &shots_doc(5));
+    let status = client.wait_for(id, Duration::from_millis(5)).unwrap();
+    assert_eq!(status.get("phase").and_then(Json::as_str), Some("finished"));
+
+    let result = client.get(&format!("/jobs/{id}/result")).unwrap();
+    assert_eq!(result.status, 200, "{}", result.text());
+    let doc = result.json().unwrap();
+    assert_eq!(doc.get("type").and_then(Json::as_str), Some("batch"));
+    let served = doc.get("shots").and_then(Json::as_arr).unwrap();
+
+    let mut direct = Session::new(device()).unwrap();
+    let loaded = direct.load_assembly(SEGMENT).unwrap();
+    let want = direct.run_shots(&loaded, 5).unwrap();
+    assert_eq!(served.len(), want.shots.len());
+    for (shot, want) in served.iter().zip(want.shots.iter()) {
+        let registers: Vec<i64> = shot
+            .get("registers")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|r| r.as_i64().unwrap())
+            .collect();
+        let want_regs: Vec<i64> = want.registers.iter().map(|&r| i64::from(r)).collect();
+        assert_eq!(registers, want_regs);
+
+        let md = shot.get("md_results").and_then(Json::as_arr).unwrap();
+        assert_eq!(md.len(), want.md_results.len());
+        for (rec, want_rec) in md.iter().zip(want.md_results.iter()) {
+            assert_eq!(rec.get("td").and_then(Json::as_u64), Some(want_rec.td));
+            assert_eq!(
+                rec.get("qubit").and_then(Json::as_u64),
+                Some(want_rec.qubit as u64)
+            );
+            assert_eq!(
+                rec.get("bit").and_then(Json::as_u64),
+                Some(u64::from(want_rec.bit))
+            );
+            // The integration value is a float: bit-identical through
+            // the shortest-round-trip encoding or the contract is void.
+            let s = rec.get("s").and_then(Json::as_f64).unwrap();
+            assert_eq!(s.to_bits(), want_rec.s.to_bits());
+            match want_rec.rd {
+                Some(reg) => assert_eq!(
+                    rec.get("rd").and_then(Json::as_u64),
+                    Some(u64::from(reg.index()))
+                ),
+                None => assert!(matches!(rec.get("rd"), Some(Json::Null))),
+            }
+        }
+
+        let averages = shot
+            .get("collector_averages")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(averages.len(), want.collector_averages.len());
+        for (qubit, want_qubit) in averages.iter().zip(want.collector_averages.iter()) {
+            let got: Vec<u64> = qubit
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap().to_bits())
+                .collect();
+            let wanted: Vec<u64> = want_qubit.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, wanted);
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn served_qec_experiment_matches_direct_harness() {
+    let server = serve(1, ServerConfig::new());
+    let mut client = MiniClient::connect(server.local_addr(), "qec");
+    let doc = Json::obj([
+        ("kind", Json::str("experiment")),
+        ("experiment", Json::str("qec")),
+        (
+            "config",
+            Json::obj([
+                ("distance", Json::Int(3)),
+                ("rounds", Json::Int(2)),
+                ("shots", Json::Int(8)),
+                ("profile", Json::str("ideal")),
+                ("chip_seed", Json::Int(0x0EC)),
+                ("injection_seed", Json::Int(0x1517)),
+            ]),
+        ),
+    ]);
+    let id = submit_ok(&mut client, &doc);
+    client.wait_for(id, Duration::from_millis(10)).unwrap();
+    let result = client.get(&format!("/jobs/{id}/result")).unwrap();
+    assert_eq!(result.status, 200, "{}", result.text());
+    let served = result.json().unwrap();
+
+    let cfg = QecConfig {
+        distance: 3,
+        rounds: 2,
+        shots: 8,
+        profile: ChipProfile::Ideal,
+        chip_seed: 0x0EC,
+        injection_seed: 0x1517,
+        threads: 1,
+        ..QecConfig::default()
+    };
+    let want = run_experiment(&QecInjected::default(), &cfg).unwrap();
+    assert_eq!(
+        served.get("logical_errors").and_then(Json::as_u64),
+        Some(want.logical_errors)
+    );
+    assert_eq!(
+        served
+            .get("logical_error_rate")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .to_bits(),
+        want.logical_error_rate.to_bits()
+    );
+    let bits: Vec<u64> = served
+        .get("majority_bits")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|b| b.as_u64().unwrap())
+        .collect();
+    let want_bits: Vec<u64> = want.majority_bits.iter().map(|&b| u64::from(b)).collect();
+    assert_eq!(bits, want_bits);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_ids_and_routes_are_404_problems() {
+    let server = serve(1, ServerConfig::new());
+    let mut client = MiniClient::connect(server.local_addr(), "missing");
+    let status = client.get("/jobs/424242").unwrap();
+    assert_eq!(status.status, 404);
+    assert_eq!(problem_code(&status), "not_found");
+    assert_eq!(
+        status.header("content-type"),
+        Some("application/problem+json")
+    );
+    let nowhere = client.get("/definitely/not/a/route").unwrap();
+    assert_eq!(nowhere.status, 404);
+    assert_eq!(problem_code(&nowhere), "not_found");
+    server.shutdown();
+}
+
+#[test]
+fn lifecycle_conflicts_are_409_and_cancel_is_typed() {
+    // One worker: the blocker occupies it, the victim stays queued.
+    let server = serve(1, ServerConfig::new());
+    let mut client = MiniClient::connect(server.local_addr(), "conflict");
+    let blocker = submit_ok(&mut client, &shots_doc(16));
+    let victim = submit_ok(&mut client, &shots_doc(1));
+
+    // A queued job has no result yet: 409 state_conflict.
+    let early = client.get(&format!("/jobs/{victim}/result")).unwrap();
+    assert_eq!(early.status, 409, "{}", early.text());
+    assert_eq!(problem_code(&early), "state_conflict");
+
+    // Cancel the queued victim: 200, and idempotently 200 again.
+    let cancelled = client.delete(&format!("/jobs/{victim}")).unwrap();
+    assert_eq!(cancelled.status, 200, "{}", cancelled.text());
+    assert_eq!(
+        cancelled
+            .json()
+            .unwrap()
+            .get("cancelled")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    let again = client.delete(&format!("/jobs/{victim}")).unwrap();
+    assert_eq!(again.status, 200, "{}", again.text());
+
+    // A cancelled job never produces a result.
+    client.wait_for(victim, Duration::from_millis(5)).unwrap();
+    let gone = client.get(&format!("/jobs/{victim}/result")).unwrap();
+    assert_eq!(gone.status, 409);
+    assert_eq!(problem_code(&gone), "state_conflict");
+
+    // The blocker finishes; cancelling a finished job is a 409.
+    client.wait_for(blocker, Duration::from_millis(5)).unwrap();
+    let too_late = client.delete(&format!("/jobs/{blocker}")).unwrap();
+    assert_eq!(too_late.status, 409, "{}", too_late.text());
+    assert_eq!(problem_code(&too_late), "state_conflict");
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_maps_to_429_with_retry_after() {
+    let pool = DevicePool::new(
+        PoolConfig::new(device())
+            .with_workers(1)
+            .with_queue_depth(1),
+    )
+    .unwrap();
+    let server = Server::start(pool, ServerConfig::new().without_quota()).unwrap();
+    let mut client = MiniClient::connect(server.local_addr(), "flood");
+    // The first job occupies the worker, the next fills the depth-1
+    // queue; keep submitting until the bound bites.
+    let mut saw_queue_full = false;
+    for _ in 0..16 {
+        let response = client.post_json("/jobs", &shots_doc(32)).unwrap();
+        if response.status == 429 {
+            assert_eq!(problem_code(&response), "queue_full");
+            let retry = response.header("retry-after").unwrap();
+            assert!(retry.parse::<u64>().unwrap() >= 1);
+            saw_queue_full = true;
+            break;
+        }
+        assert_eq!(response.status, 201, "{}", response.text());
+    }
+    assert!(saw_queue_full, "queue bound never produced a 429");
+    server.shutdown();
+}
+
+#[test]
+fn quota_exhaustion_rejects_then_refills() {
+    let quota = Quota::new().with_burst(2).with_per_second(20.0);
+    let server = serve(1, ServerConfig::new().with_quota(quota));
+    let mut client = MiniClient::connect(server.local_addr(), "greedy");
+    submit_ok(&mut client, &shots_doc(1));
+    submit_ok(&mut client, &shots_doc(1));
+    let rejected = client.post_json("/jobs", &shots_doc(1)).unwrap();
+    assert_eq!(rejected.status, 429, "{}", rejected.text());
+    assert_eq!(problem_code(&rejected), "quota_exhausted");
+    assert!(rejected.header("retry-after").is_some());
+    // Another client is untouched by this one's spend.
+    let mut other = MiniClient::connect(server.local_addr(), "frugal");
+    submit_ok(&mut other, &shots_doc(1));
+    // At 20 tokens/s the bucket refills within 150 ms.
+    std::thread::sleep(Duration::from_millis(150));
+    submit_ok(&mut client, &shots_doc(1));
+    server.shutdown();
+}
+
+#[test]
+fn pagination_has_stable_edges() {
+    let server = serve(1, ServerConfig::new());
+    let mut client = MiniClient::connect(server.local_addr(), "pages");
+    for _ in 0..3 {
+        submit_ok(&mut client, &shots_doc(1));
+    }
+    let all = client.get("/jobs").unwrap().json().unwrap();
+    assert_eq!(all.get("total").and_then(Json::as_u64), Some(3));
+    assert_eq!(all.get("jobs").and_then(Json::as_arr).unwrap().len(), 3);
+
+    // limit=0 is a valid, empty page — not an error.
+    let empty = client.get("/jobs?limit=0").unwrap().json().unwrap();
+    assert_eq!(empty.get("jobs").and_then(Json::as_arr).unwrap().len(), 0);
+    assert_eq!(empty.get("total").and_then(Json::as_u64), Some(3));
+
+    // An offset past the end is an empty page, same shape.
+    let past = client.get("/jobs?offset=50").unwrap().json().unwrap();
+    assert_eq!(past.get("jobs").and_then(Json::as_arr).unwrap().len(), 0);
+
+    let middle = client
+        .get("/jobs?limit=2&offset=2")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(middle.get("jobs").and_then(Json::as_arr).unwrap().len(), 1);
+
+    // Non-numeric bounds are a validation problem, not a 500.
+    let bad = client.get("/jobs?limit=lots").unwrap();
+    assert_eq!(bad.status, 422);
+    assert_eq!(problem_code(&bad), "validation_error");
+    server.shutdown();
+}
+
+#[test]
+fn chunks_stream_in_order_and_complete() {
+    let server = serve(1, ServerConfig::new());
+    let mut client = MiniClient::connect(server.local_addr(), "stream");
+    let doc = Json::obj([
+        ("kind", Json::str("shots")),
+        ("source", Json::str(SEGMENT)),
+        ("shots", Json::Int(6)),
+        ("chunk_shots", Json::Int(2)),
+    ]);
+    let id = submit_ok(&mut client, &doc);
+    client.wait_for(id, Duration::from_millis(5)).unwrap();
+    let all = client
+        .get(&format!("/jobs/{id}/chunks"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(all.get("complete").and_then(Json::as_bool), Some(true));
+    assert_eq!(all.get("total").and_then(Json::as_u64), Some(3));
+    let chunks = all.get("chunks").and_then(Json::as_arr).unwrap();
+    assert_eq!(chunks.len(), 3);
+    let firsts: Vec<u64> = chunks
+        .iter()
+        .map(|c| c.get("first_shot").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert_eq!(firsts, vec![0, 2, 4]);
+
+    // `from` resumes mid-stream; past the end it is an empty page.
+    let tail = client
+        .get(&format!("/jobs/{id}/chunks?from=2"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(tail.get("chunks").and_then(Json::as_arr).unwrap().len(), 1);
+    let beyond = client
+        .get(&format!("/jobs/{id}/chunks?from=9"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(
+        beyond.get("chunks").and_then(Json::as_arr).unwrap().len(),
+        0
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_problems() {
+    let server = serve(1, ServerConfig::new());
+    let mut client = MiniClient::connect(server.local_addr(), "fuzz");
+
+    // Wrong method on a known path: 405 with an Allow header.
+    let put = client.request("PUT", "/jobs/1", None).unwrap();
+    assert_eq!(put.status, 405);
+    assert!(put.header("allow").unwrap().contains("GET"));
+
+    // Non-numeric id: 400.
+    let bad_id = client.get("/jobs/not-a-number").unwrap();
+    assert_eq!(bad_id.status, 400);
+    assert_eq!(problem_code(&bad_id), "bad_request");
+
+    // Unparseable JSON body: 400.
+    let garbage = client
+        .request("POST", "/jobs", Some(b"{not json".to_vec()))
+        .unwrap();
+    assert_eq!(garbage.status, 400);
+
+    // Valid JSON, invalid content: 422 naming the field.
+    let invalid = client
+        .post_json("/jobs", &Json::obj([("kind", Json::str("teleport"))]))
+        .unwrap();
+    assert_eq!(invalid.status, 422);
+    assert_eq!(problem_code(&invalid), "validation_error");
+
+    // Unassemblable source: 422, not a pool crash.
+    let bad_source = client
+        .post_json(
+            "/jobs",
+            &Json::obj([
+                ("kind", Json::str("shots")),
+                ("source", Json::str("Frobnicate q0\n")),
+                ("shots", Json::Int(1)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(bad_source.status, 422, "{}", bad_source.text());
+    server.shutdown();
+}
+
+#[test]
+fn metrics_and_version_headers_are_served() {
+    let server = serve(1, ServerConfig::new());
+    let mut client = MiniClient::connect(server.local_addr(), "meters");
+    let id = submit_ok(&mut client, &shots_doc(1));
+    client.wait_for(id, Duration::from_millis(5)).unwrap();
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("x-quma-api-version"),
+        Some(API_VERSION.to_string().as_str())
+    );
+    let text = metrics.text();
+    for needle in [
+        "quma_pool_workers 1",
+        "quma_pool_completed",
+        "quma_serve_requests",
+        "quma_serve_jobs_tracked 1",
+    ] {
+        assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+    }
+    server.shutdown();
+}

