@@ -1,0 +1,135 @@
+//! Journal append-path microbenchmarks: what durability costs per
+//! record, isolated from the pool that pays it.
+//!
+//! Two bench points land in the trajectory (via `QUMA_BENCH_JSON`):
+//!
+//! * `journal_append/wal_record` — one `Submitted` record (a realistic
+//!   shots spec with source text) framed and appended to the WAL;
+//! * `journal_append/report_frame` — an 8-shot report block encoded and
+//!   appended to the binary result log.
+//!
+//! Both run under `FsyncPolicy::Never` so they measure the encode +
+//! frame + buffered-write path the pool sits on for every non-terminal
+//! record; terminal-record fsyncs are a policy knob, not a fixed cost,
+//! and the table below prints the `Always` variant for contrast. The
+//! summary table also reports records/s and bytes/record straight from
+//! the journal's own counters — the same numbers `/metrics` exports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quma_core::prelude::*;
+use quma_journal::prelude::*;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SHOT: &str = "\
+    Wait 40000\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    MPG {q0}, 300\n\
+    MD {q0}, r7\n\
+    halt\n";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("quma-bench-journal-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn open(dir: &PathBuf, fsync: FsyncPolicy) -> Journal {
+    Journal::open(&JournalConfig::new(dir).with_fsync(fsync)).expect("journal opens")
+}
+
+fn submitted(id: u64) -> WalRecord {
+    WalRecord::Submitted {
+        id,
+        priority: 0,
+        client: "bench-client".to_string(),
+        spec: JobSpec::Shots {
+            source: SHOT.to_string(),
+            shots: 8,
+            plan: Some((0xC11E_4700 + id, 0x0DD5 ^ id)),
+            chunk: 0,
+        },
+    }
+}
+
+/// Eight real shot reports (a paper-profile session run, not mocks), so
+/// the encoded frame carries genuine register / MD / collector payloads.
+fn reports() -> Vec<RunReport> {
+    let mut session = Session::new(DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: 0x70AD,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    })
+    .expect("session");
+    let loaded = session.load_assembly(SHOT).expect("assembles");
+    session.run_shots(&loaded, 8).expect("runs").shots
+}
+
+fn print_append_table(reports: &[RunReport]) {
+    println!("\n=== journal append path (records/s, bytes/record) ===");
+    for (label, fsync) in [
+        ("buffered (Never)", FsyncPolicy::Never),
+        ("fsync-per-append (Always)", FsyncPolicy::Always),
+    ] {
+        let rounds: u64 = match fsync {
+            FsyncPolicy::Always => 200,
+            _ => 5_000,
+        };
+        let dir = temp_dir("table");
+        let journal = open(&dir, fsync);
+        let t0 = Instant::now();
+        for id in 0..rounds {
+            journal.append(&submitted(id)).expect("wal append");
+            black_box(journal.append_reports(reports).expect("report append"));
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let stats = journal.stats();
+        println!(
+            "{label:<28} {:>9.0} records/s  {:>6.1} bytes/record  ({} fsyncs)",
+            stats.records_written as f64 / dt,
+            stats.bytes_written as f64 / stats.records_written as f64,
+            stats.fsyncs
+        );
+        drop(journal);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let reports = reports();
+    print_append_table(&reports);
+
+    let mut g = c.benchmark_group("journal_append");
+    g.sample_size(10);
+
+    g.bench_function("wal_record", |b| {
+        let dir = temp_dir("wal");
+        let journal = open(&dir, FsyncPolicy::Never);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            journal.append(black_box(&submitted(id))).expect("append")
+        });
+        drop(journal);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    g.bench_function("report_frame", |b| {
+        let dir = temp_dir("reports");
+        let journal = open(&dir, FsyncPolicy::Never);
+        b.iter(|| black_box(journal.append_reports(&reports).expect("append")));
+        drop(journal);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

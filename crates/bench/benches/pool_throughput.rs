@@ -102,6 +102,33 @@ fn pooled_workload(pool: &DevicePool, program: &Arc<Program>) {
     }
 }
 
+/// The same workload with every job carrying a journalable spec — what
+/// the serving layer submits when a journal is configured. On an
+/// un-journaled pool the spec is dead weight the pool ignores; on a
+/// journaled one it buys a WAL record per submission and a result-log
+/// frame per completion.
+fn journaled_workload(pool: &DevicePool, program: &Arc<Program>) {
+    let handles: Vec<JobHandle> = (0..CLIENTS)
+        .map(|client| {
+            let plan = client_plan(client);
+            pool.submit(
+                Job::shots(Arc::clone(program), SHOTS_PER_JOB)
+                    .with_seed_plan(plan)
+                    .with_spec(JobSpec::Shots {
+                        source: SHOT.to_string(),
+                        shots: SHOTS_PER_JOB,
+                        plan: Some((plan.chip_base, plan.jitter_base)),
+                        chunk: 0,
+                    }),
+            )
+            .expect("submits")
+        })
+        .collect();
+    for handle in handles {
+        black_box(handle.wait().expect("job runs"));
+    }
+}
+
 fn print_throughput_table() {
     let workers = threads();
     let total = CLIENTS * SHOTS_PER_JOB;
@@ -210,6 +237,27 @@ fn bench(c: &mut Criterion) {
         let pool = DevicePool::new(PoolConfig::new(config()).with_workers(workers)).expect("pool");
         let program = pool.assemble(SHOT).expect("assembles");
         b.iter(|| pooled_workload(&pool, &program))
+    });
+
+    // The same pooled workload with a write-ahead journal underneath:
+    // a WAL record per submission, a result frame + terminal record per
+    // completion. `scripts/scaling_gate.sh` holds this within
+    // JOURNAL_ALLOWANCE of the un-journaled `multi_client` point — the
+    // durability tax is bounded, not free-growing.
+    g.bench_function("multi_client_journaled", |b| {
+        let dir =
+            std::env::temp_dir().join(format!("quma-bench-pool-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let pool = DevicePool::new(
+            PoolConfig::new(config())
+                .with_workers(workers)
+                .with_journal(JournalConfig::new(&dir)),
+        )
+        .expect("pool");
+        let program = pool.assemble(SHOT).expect("assembles");
+        b.iter(|| journaled_workload(&pool, &program));
+        drop(pool);
+        std::fs::remove_dir_all(&dir).ok();
     });
 
     // Reference bound: one warm session, sequential jobs, no serving

@@ -1,0 +1,36 @@
+//! Content hashing for program sources and templates.
+//!
+//! One hash function, used by every layer that keys on *what a program
+//! says* rather than where it came from: the pool's assembly cache keys
+//! its shelves on it, and the journal records it so a recovered job can
+//! be matched to the source it was submitted with. FNV-1a is chosen for
+//! being deterministic across runs and platforms (the value is logged
+//! and persisted), tiny, and allocation-free — not for collision
+//! resistance: every consumer stores the full key text beside the hash
+//! and compares it on lookup.
+
+/// FNV-1a over `bytes`. Deterministic across runs and platforms, not
+/// cryptographic — collisions are handled by comparing the stored key,
+/// never by trusting the hash.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::content_hash;
+
+    #[test]
+    fn content_hash_is_stable() {
+        // FNV-1a test vectors: the empty input hashes to the offset
+        // basis, and the published single-byte vector holds.
+        assert_eq!(content_hash(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_ne!(content_hash(b"a"), content_hash(b"b"));
+    }
+}

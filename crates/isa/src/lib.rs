@@ -28,6 +28,7 @@
 
 pub mod asm;
 pub mod encode;
+pub mod hash;
 pub mod instruction;
 pub mod program;
 pub mod reg;
@@ -41,10 +42,13 @@ pub mod prelude {
     pub use crate::encode::{
         decode_program, encode, encode_program, mask_extension_words, DecodeError, EncodeError,
     };
+    pub use crate::hash::content_hash;
     pub use crate::instruction::{GateId, Instruction, PulseOp};
     pub use crate::program::Program;
     pub use crate::reg::{Reg, RegisterFile, NUM_REGS};
-    pub use crate::template::{PatchError, PatchField, PatchSlot, ProgramTemplate, SweepAxisInfo};
+    pub use crate::template::{
+        PatchError, PatchField, PatchSlot, ProgramTemplate, SlotSpec, SweepAxisInfo,
+    };
     pub use crate::uop::{QubitMask, UopId, UopTable, UopTableError, MAX_UOP, TABLE1_NAMES};
     pub use crate::verify::{
         is_loadable, verify, Diagnostic, DiagnosticKind, Severity, VerifyConfig,

@@ -117,6 +117,40 @@ impl fmt::Display for PatchField {
     }
 }
 
+/// A patch slot *request*: where a slot should be attached and what it
+/// is called, before any program has validated it. This is the portable
+/// form — the pool's template cache keys on it and the journal persists
+/// it — whereas [`PatchSlot`] is the validated, offset-resolved site a
+/// [`Program`] actually carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSpec {
+    /// The axis name sweeps patch by.
+    pub name: String,
+    /// Instruction index the slot rewrites.
+    pub insn_index: u32,
+    /// Which immediate field of that instruction.
+    pub field: PatchField,
+}
+
+impl SlotSpec {
+    /// A slot spec (builder-style sugar).
+    pub fn new(name: impl Into<String>, insn_index: u32, field: PatchField) -> Self {
+        Self {
+            name: name.into(),
+            insn_index,
+            field,
+        }
+    }
+}
+
+impl fmt::Display for SlotSpec {
+    /// The canonical rendering — stable because cache keys and journal
+    /// records embed it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}:{:?}", self.name, self.insn_index, self.field)
+    }
+}
+
 /// One named patch site: an immediate field of one instruction,
 /// addressable both by instruction index and by word offset into the
 /// encoded binary image. Several slots may share a name — patching the

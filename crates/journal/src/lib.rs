@@ -1,0 +1,45 @@
+//! `quma_journal`: write-ahead job journal and binary result log.
+//!
+//! The pool's determinism story — per-job seed plans replayed
+//! bit-identically across workers and across the HTTP wire — lives only
+//! in memory until something writes it down. This crate writes it down:
+//!
+//! * a **write-ahead log** (`wal.qj`) of [`record::WalRecord`]s — job
+//!   submissions (source text with content hashes, seed plans,
+//!   priorities, client ids), sweep checkpoints, completions, failures,
+//!   cancellations;
+//! * a **binary result log** (`results.qrl`) of CRC-framed
+//!   [`reports`]-encoded shot reports, referenced from WAL records by
+//!   `(offset, len)`;
+//! * **torn-tail truncation** on open and **ledger replay**
+//!   ([`recover::replay_ledger`]) turning the record stream back into
+//!   per-job state.
+//!
+//! The design leans on the engine's replay contract: because re-running
+//! a [`record::JobSpec`] reproduces its results bit-for-bit, the journal
+//! never needs to make *running* state durable — losing anything after
+//! the last checkpoint merely means re-executing it. Durable completed
+//! work is *skipped* on recovery; everything else is *re-derived*.
+//! `DevicePool::recover` in `quma_pool` does the re-deriving.
+//!
+//! Framing is built on the vendored [`bytes`] crate ([`bytes::Buf`] /
+//! [`bytes::BufMut`]): every frame is `[len][crc32][payload]`, floats
+//! travel as IEEE-754 bit patterns, and every length field is verified
+//! before allocation.
+
+pub mod codec;
+pub mod record;
+pub mod recover;
+pub mod reports;
+pub mod wal;
+
+pub use record::{CodecError, JobSpec, SweepPointSpec, TemplatePointSpec, WalRecord};
+pub use recover::{replay_ledger, ReplayedJob, ReplayedOutcome};
+pub use wal::{FsyncPolicy, Journal, JournalConfig, JournalStats};
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::record::{CodecError, JobSpec, SweepPointSpec, TemplatePointSpec, WalRecord};
+    pub use crate::recover::{replay_ledger, ReplayedJob, ReplayedOutcome};
+    pub use crate::wal::{FsyncPolicy, Journal, JournalConfig, JournalStats};
+}

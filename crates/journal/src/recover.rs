@@ -1,0 +1,365 @@
+//! Ledger replay: folding a WAL record stream into per-job state.
+//!
+//! This is the journal-side half of recovery — pure bookkeeping, no
+//! pool types. [`replay_ledger`] walks the records in append order and
+//! produces one [`ReplayedJob`] per `Submitted` record: its spec, how
+//! many sweep points were durably checkpointed (`done`, with their
+//! decoded reports in `prefix`), and its terminal outcome if it reached
+//! one. The pool's `DevicePool::recover` then decides what each state
+//! means operationally (serve the result / re-enqueue the remainder /
+//! hold the cancellation).
+//!
+//! Checkpoints are validated as they fold: a block whose reports cannot
+//! be read back, or whose cumulative count disagrees with the record's
+//! `done` field, poisons the *rest* of that job's checkpoint chain —
+//! the job keeps its last consistent prefix and re-runs from there.
+//! Losing a checkpoint is always safe (re-execution is bit-identical);
+//! trusting a wrong one never is.
+
+use crate::record::{JobSpec, WalRecord};
+use quma_core::device::RunReport;
+use std::collections::BTreeMap;
+
+/// Terminal state a job reached in the journal, if any.
+#[derive(Debug, Clone)]
+pub enum ReplayedOutcome {
+    /// No terminal record: the job was queued or running at the kill.
+    Unfinished,
+    /// A `Completed` record was applied. `reports` holds the decoded
+    /// full payload when the record named one (`len > 0`); `None` means
+    /// a marker-only completion — for sweeps the results are the
+    /// checkpoint `prefix`, for opaque jobs they were never durable.
+    Completed {
+        /// The full durable result payload, if the record named one.
+        reports: Option<Vec<RunReport>>,
+    },
+    /// A `Failed` record was applied.
+    Failed {
+        /// The journaled error text.
+        detail: String,
+    },
+    /// A `Cancelled` record was applied: recovery must not re-run this.
+    Cancelled,
+}
+
+/// Everything the ledger knows about one journaled job.
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// Pool job id.
+    pub id: u64,
+    /// Priority lane: 0 = normal, 1 = high.
+    pub priority: u8,
+    /// Submitting client id.
+    pub client: String,
+    /// How to re-run the job.
+    pub spec: JobSpec,
+    /// Sweep points covered by consistent, readable checkpoints.
+    pub done: u64,
+    /// Those points' reports, in point order.
+    pub prefix: Vec<RunReport>,
+    /// Terminal outcome, if one was journaled.
+    pub outcome: ReplayedOutcome,
+    /// Whether a checkpoint failed to validate (diagnostic only; the
+    /// job already holds its last consistent prefix).
+    pub checkpoint_poisoned: bool,
+}
+
+/// Folds `records` into per-job state, reading referenced result
+/// frames through `read` (which returns `None` when a frame cannot be
+/// read back — truncated away, CRC-corrupt, or undecodable). Jobs come
+/// back sorted by id.
+pub fn replay_ledger(
+    records: &[WalRecord],
+    mut read: impl FnMut(u64, u32) -> Option<Vec<RunReport>>,
+) -> Vec<ReplayedJob> {
+    let mut jobs: BTreeMap<u64, ReplayedJob> = BTreeMap::new();
+    for record in records {
+        match record {
+            WalRecord::Submitted {
+                id,
+                priority,
+                client,
+                spec,
+            } => {
+                // A duplicate Submitted for a live id would be a writer
+                // bug; first wins so replay stays deterministic.
+                jobs.entry(*id).or_insert_with(|| ReplayedJob {
+                    id: *id,
+                    priority: *priority,
+                    client: client.clone(),
+                    spec: spec.clone(),
+                    done: 0,
+                    prefix: Vec::new(),
+                    outcome: ReplayedOutcome::Unfinished,
+                    checkpoint_poisoned: false,
+                });
+            }
+            WalRecord::Checkpoint {
+                id,
+                done,
+                offset,
+                len,
+            } => {
+                let Some(job) = jobs.get_mut(id) else {
+                    continue;
+                };
+                if !matches!(job.outcome, ReplayedOutcome::Unfinished) || job.checkpoint_poisoned {
+                    continue;
+                }
+                match read(*offset, *len) {
+                    Some(block)
+                        if job.prefix.len() as u64 + block.len() as u64 == *done
+                            && *done > job.done =>
+                    {
+                        job.prefix.extend(block);
+                        job.done = *done;
+                    }
+                    _ => job.checkpoint_poisoned = true,
+                }
+            }
+            WalRecord::Completed { id, offset, len } => {
+                let Some(job) = jobs.get_mut(id) else {
+                    continue;
+                };
+                if matches!(
+                    job.outcome,
+                    ReplayedOutcome::Failed { .. } | ReplayedOutcome::Cancelled
+                ) {
+                    continue;
+                }
+                if *len == 0 {
+                    job.outcome = ReplayedOutcome::Completed { reports: None };
+                } else {
+                    match read(*offset, *len) {
+                        Some(reports) => {
+                            job.outcome = ReplayedOutcome::Completed {
+                                reports: Some(reports),
+                            };
+                        }
+                        // The completion's payload did not survive:
+                        // the job is effectively unfinished and will
+                        // re-run (bit-identically) from its prefix.
+                        None => job.checkpoint_poisoned = true,
+                    }
+                }
+            }
+            WalRecord::Failed { id, detail } => {
+                if let Some(job) = jobs.get_mut(id) {
+                    if matches!(job.outcome, ReplayedOutcome::Unfinished) {
+                        job.outcome = ReplayedOutcome::Failed {
+                            detail: detail.clone(),
+                        };
+                    }
+                }
+            }
+            WalRecord::Cancelled { id } => {
+                if let Some(job) = jobs.get_mut(id) {
+                    if matches!(job.outcome, ReplayedOutcome::Unfinished) {
+                        job.outcome = ReplayedOutcome::Cancelled;
+                    }
+                }
+            }
+        }
+    }
+    jobs.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quma_isa::reg::NUM_REGS;
+
+    fn report(mark: i32) -> RunReport {
+        let mut registers = [0i32; NUM_REGS];
+        registers[0] = mark;
+        RunReport {
+            registers,
+            memory: vec![],
+            collector_averages: vec![],
+            md_results: vec![],
+            stats: Default::default(),
+            trace: Default::default(),
+        }
+    }
+
+    fn sweep_spec(n: usize) -> JobSpec {
+        JobSpec::Sweep {
+            points: (0..n)
+                .map(|i| crate::record::SweepPointSpec {
+                    source: "Wait 4\nhalt\n".into(),
+                    chip: i as u64,
+                    jitter: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn submitted(id: u64, spec: JobSpec) -> WalRecord {
+        WalRecord::Submitted {
+            id,
+            priority: 0,
+            client: String::new(),
+            spec,
+        }
+    }
+
+    #[test]
+    fn checkpoints_accumulate_into_the_prefix() {
+        let records = [
+            submitted(1, sweep_spec(4)),
+            WalRecord::Checkpoint {
+                id: 1,
+                done: 2,
+                offset: 100,
+                len: 10,
+            },
+            WalRecord::Checkpoint {
+                id: 1,
+                done: 4,
+                offset: 200,
+                len: 10,
+            },
+        ];
+        let jobs = replay_ledger(&records, |offset, _| match offset {
+            100 => Some(vec![report(1), report(2)]),
+            200 => Some(vec![report(3), report(4)]),
+            _ => None,
+        });
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].done, 4);
+        let marks: Vec<i32> = jobs[0].prefix.iter().map(|r| r.registers[0]).collect();
+        assert_eq!(marks, [1, 2, 3, 4]);
+        assert!(matches!(jobs[0].outcome, ReplayedOutcome::Unfinished));
+        assert!(!jobs[0].checkpoint_poisoned);
+    }
+
+    #[test]
+    fn an_unreadable_checkpoint_poisons_the_rest_of_the_chain() {
+        let records = [
+            submitted(1, sweep_spec(6)),
+            WalRecord::Checkpoint {
+                id: 1,
+                done: 2,
+                offset: 100,
+                len: 10,
+            },
+            WalRecord::Checkpoint {
+                id: 1,
+                done: 4,
+                offset: 666,
+                len: 10,
+            },
+            WalRecord::Checkpoint {
+                id: 1,
+                done: 6,
+                offset: 300,
+                len: 10,
+            },
+        ];
+        let jobs = replay_ledger(&records, |offset, _| match offset {
+            100 => Some(vec![report(1), report(2)]),
+            300 => Some(vec![report(5), report(6)]),
+            _ => None,
+        });
+        // The readable later block must NOT apply over the hole.
+        assert_eq!(jobs[0].done, 2);
+        assert_eq!(jobs[0].prefix.len(), 2);
+        assert!(jobs[0].checkpoint_poisoned);
+    }
+
+    #[test]
+    fn inconsistent_done_count_is_rejected() {
+        let records = [
+            submitted(1, sweep_spec(4)),
+            WalRecord::Checkpoint {
+                id: 1,
+                done: 3,
+                offset: 100,
+                len: 10,
+            },
+        ];
+        // Two reports claiming done=3 from a zero prefix: inconsistent.
+        let jobs = replay_ledger(&records, |_, _| Some(vec![report(1), report(2)]));
+        assert_eq!(jobs[0].done, 0);
+        assert!(jobs[0].checkpoint_poisoned);
+    }
+
+    #[test]
+    fn terminal_records_stick() {
+        let records = [
+            submitted(1, sweep_spec(2)),
+            WalRecord::Cancelled { id: 1 },
+            WalRecord::Completed {
+                id: 1,
+                offset: 0,
+                len: 0,
+            },
+            submitted(2, sweep_spec(2)),
+            WalRecord::Failed {
+                id: 2,
+                detail: "boom".into(),
+            },
+            submitted(3, sweep_spec(2)),
+            WalRecord::Completed {
+                id: 3,
+                offset: 0,
+                len: 0,
+            },
+            // A duplicate completion marker (an opaque job re-ran after
+            // a previous recovery) is idempotent.
+            WalRecord::Completed {
+                id: 3,
+                offset: 0,
+                len: 0,
+            },
+        ];
+        let jobs = replay_ledger(&records, |_, _| None);
+        assert!(matches!(jobs[0].outcome, ReplayedOutcome::Cancelled));
+        assert!(matches!(
+            &jobs[1].outcome,
+            ReplayedOutcome::Failed { detail } if detail == "boom"
+        ));
+        assert!(matches!(
+            jobs[2].outcome,
+            ReplayedOutcome::Completed { reports: None }
+        ));
+    }
+
+    #[test]
+    fn records_for_unknown_ids_are_ignored() {
+        let records = [
+            WalRecord::Checkpoint {
+                id: 99,
+                done: 1,
+                offset: 0,
+                len: 1,
+            },
+            WalRecord::Cancelled { id: 98 },
+        ];
+        assert!(replay_ledger(&records, |_, _| None).is_empty());
+    }
+
+    #[test]
+    fn unreadable_completion_payload_leaves_the_job_resumable() {
+        let records = [
+            submitted(1, sweep_spec(2)),
+            WalRecord::Checkpoint {
+                id: 1,
+                done: 2,
+                offset: 100,
+                len: 10,
+            },
+            WalRecord::Completed {
+                id: 1,
+                offset: 999,
+                len: 10,
+            },
+        ];
+        let jobs = replay_ledger(&records, |offset, _| match offset {
+            100 => Some(vec![report(1), report(2)]),
+            _ => None,
+        });
+        assert!(matches!(jobs[0].outcome, ReplayedOutcome::Unfinished));
+        assert_eq!(jobs[0].done, 2, "the consistent prefix is kept");
+    }
+}

@@ -12,50 +12,15 @@
 
 use quma_core::prelude::DeviceError;
 use quma_isa::prelude::{Program, ProgramTemplate};
-use quma_isa::template::PatchField;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// FNV-1a over `bytes`: the cache's content hash. Deterministic across
-/// runs and platforms (useful for logging which cached program a job
-/// ran), not cryptographic — collisions are handled by comparing the
-/// stored key, never by trusting the hash.
-pub fn content_hash(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-/// One patch slot of a cached template: where it writes and what it is
-/// called (the template-cache part of the key).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SlotSpec {
-    /// The axis name sweeps patch by.
-    pub name: String,
-    /// Instruction index the slot rewrites.
-    pub insn_index: u32,
-    /// Which immediate field of that instruction.
-    pub field: PatchField,
-}
-
-impl SlotSpec {
-    /// A slot spec (builder-style sugar).
-    pub fn new(name: impl Into<String>, insn_index: u32, field: PatchField) -> Self {
-        Self {
-            name: name.into(),
-            insn_index,
-            field,
-        }
-    }
-
-    fn render(&self) -> String {
-        format!("{}@{}:{:?}", self.name, self.insn_index, self.field)
-    }
-}
+// The content hash and the slot-spec key fragment now live in
+// `quma_isa` (the journal persists them too); re-exported here so
+// existing `quma_pool::cache` paths keep working.
+pub use quma_isa::hash::content_hash;
+pub use quma_isa::template::SlotSpec;
 
 /// One bounded shelf of the cache: hash buckets (entries whose key text
 /// collided on the 64-bit hash — virtually always exactly one — stored
@@ -179,9 +144,10 @@ impl ProgramCache {
     ) -> Result<Arc<ProgramTemplate>, DeviceError> {
         let mut keyed = String::with_capacity(source.len() + slots.len() * 16);
         keyed.push_str(source);
+        use std::fmt::Write as _;
         for slot in slots {
             keyed.push('\0');
-            keyed.push_str(&slot.render());
+            let _ = write!(keyed, "{slot}");
         }
         let key = content_hash(keyed.as_bytes());
         let mut shelf = self.templates.lock().expect("cache poisoned");
@@ -224,6 +190,7 @@ impl ProgramCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quma_isa::template::PatchField;
 
     const SRC: &str = "Wait 100\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n";
 
@@ -285,12 +252,5 @@ mod tests {
         cache.assemble(sources[2]).unwrap();
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 2);
-    }
-
-    #[test]
-    fn content_hash_is_stable() {
-        // FNV-1a test vector: empty input hashes to the offset basis.
-        assert_eq!(content_hash(b""), 0xCBF2_9CE4_8422_2325);
-        assert_ne!(content_hash(b"a"), content_hash(b"b"));
     }
 }

@@ -16,6 +16,7 @@ use quma_core::prelude::{
 };
 use quma_experiments::prelude::{Experiment, ExperimentError};
 use quma_isa::prelude::{Program, ProgramTemplate};
+use quma_journal::{JobSpec, Journal, WalRecord};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -299,6 +300,26 @@ pub struct Job {
     /// True when the job's program came out of the pool's content-hash
     /// cache (recorded into [`JobMetrics`]).
     pub(crate) cache_hit: bool,
+    /// Portable re-run description. When the pool has a journal *and*
+    /// the job carries a spec, the job is journaled (submission record
+    /// before enqueue, results/cancellation on completion) and survives
+    /// a crash; spec-less jobs run exactly as before, un-journaled.
+    pub(crate) spec: Option<JobSpec>,
+    /// Submitting client id, journaled with the submission record.
+    pub(crate) client: String,
+    /// Recovery resume state: sweep points `[0, done)` were durably
+    /// checkpointed before the crash; the worker skips them and prepends
+    /// their journaled reports. Only `DevicePool::recover` sets this.
+    pub(crate) resume: Option<Resume>,
+}
+
+/// The already-completed prefix of a recovered sweep job.
+#[derive(Debug)]
+pub(crate) struct Resume {
+    /// Points finished before the crash.
+    pub(crate) done: u64,
+    /// Their reports, decoded from the result log.
+    pub(crate) prefix: Vec<RunReport>,
 }
 
 impl Job {
@@ -310,6 +331,9 @@ impl Job {
             plan: None,
             chunk: 0,
             cache_hit: false,
+            spec: None,
+            client: String::new(),
+            resume: None,
         }
     }
 
@@ -381,6 +405,24 @@ impl Job {
     /// `SubmitError::InvalidJob`.
     pub fn with_chunk_shots(mut self, chunk: u64) -> Self {
         self.chunk = chunk;
+        self
+    }
+
+    /// Attaches the portable re-run description that makes this job
+    /// durable on a journaled pool: the submission is journaled before
+    /// enqueue and the result on completion, so `DevicePool::recover`
+    /// can serve or re-run it after a crash. The spec must describe the
+    /// same work as the job (the serving layer builds both from one
+    /// submission); the pool trusts, and journals, what it is given.
+    pub fn with_spec(mut self, spec: JobSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Tags the job with the submitting client's id (journaled, and
+    /// surfaced again by recovery).
+    pub fn with_client(mut self, client: impl Into<String>) -> Self {
+        self.client = client.into();
         self
     }
 
@@ -510,6 +552,11 @@ pub struct JobHandle {
     outcome: Option<(Result<JobOutput, JobError>, Option<JobMetrics>)>,
     /// Lifecycle phase shared with the queue and the worker.
     phase: Arc<AtomicU8>,
+    /// Present for journaled jobs: a won cancellation race is a durable
+    /// fact (recovery must not re-run the job), so the handle writes the
+    /// `Cancelled` record itself — the worker only learns of the
+    /// cancellation later, when it drains the ticket.
+    journal: Option<Arc<Journal>>,
 }
 
 impl JobHandle {
@@ -517,6 +564,7 @@ impl JobHandle {
         id: JobId,
         events: channel::Receiver<JobEvent>,
         phase: Arc<AtomicU8>,
+        journal: Option<Arc<Journal>>,
     ) -> Self {
         Self {
             id,
@@ -524,6 +572,7 @@ impl JobHandle {
             chunks: VecDeque::new(),
             outcome: None,
             phase,
+            journal,
         }
     }
 
@@ -553,7 +602,16 @@ impl JobHandle {
             Ordering::SeqCst,
             Ordering::SeqCst,
         ) {
-            Ok(_) => CancelOutcome::Cancelled,
+            Ok(_) => {
+                // First cancel of a journaled job: make it durable so a
+                // recovered pool holds the cancellation instead of
+                // re-running the work. Best-effort — the in-memory
+                // cancellation already won either way.
+                if let Some(journal) = &self.journal {
+                    let _ = journal.append(&WalRecord::Cancelled { id: self.id });
+                }
+                CancelOutcome::Cancelled
+            }
             Err(PHASE_CANCELLED) => CancelOutcome::Cancelled,
             Err(PHASE_RUNNING) => CancelOutcome::Running,
             Err(_) => CancelOutcome::Finished,

@@ -54,7 +54,8 @@ pub use job::{
     Priority, ShotChunk, SubmitError,
 };
 pub use metrics::{JobMetrics, PoolStats};
-pub use pool::{DevicePool, PoolConfig};
+pub use pool::{DevicePool, PoolConfig, RecoveredJob, RecoveredPool, RecoveredState};
+pub use quma_journal::{FsyncPolicy, JobSpec, JournalConfig, JournalStats};
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
@@ -64,7 +65,8 @@ pub mod prelude {
         Priority, ShotChunk, SubmitError,
     };
     pub use crate::metrics::{JobMetrics, PoolStats};
-    pub use crate::pool::{DevicePool, PoolConfig};
+    pub use crate::pool::{DevicePool, PoolConfig, RecoveredJob, RecoveredPool, RecoveredState};
+    pub use quma_journal::{FsyncPolicy, JobSpec, JournalConfig, JournalStats};
 }
 
 #[cfg(test)]

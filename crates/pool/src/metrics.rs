@@ -45,6 +45,8 @@ pub(crate) struct StatsInner {
     pub warm_device_clones: u64,
     pub cold_device_builds: u64,
     pub warm_session_reuses: u64,
+    pub executed_shots: u64,
+    pub recovered_jobs: u64,
     pub total_queue_wait: Duration,
     pub total_run_time: Duration,
     pub max_queue_depth: usize,
@@ -81,6 +83,22 @@ pub struct PoolStats {
     /// Pure jobs (shots/sweeps) served by rewinding an already-warm
     /// session — no device clone at all.
     pub warm_session_reuses: u64,
+    /// Shots (and sweep points — each point is one shot) actually
+    /// executed by workers. After a journal recovery this is *less*
+    /// than the submitted work implies: durably checkpointed points are
+    /// served from the result log and never re-run, and the difference
+    /// is exactly how much execution the journal saved.
+    pub executed_shots: u64,
+    /// Jobs reconstructed from the journal by `DevicePool::recover`
+    /// (every journaled job, whatever its recovered state).
+    pub recovered_jobs: u64,
+    /// Frames the journal has appended across both of its files
+    /// (0 when the pool runs without a journal).
+    pub journal_records_written: u64,
+    /// Bytes the journal has appended, frame headers included.
+    pub journal_bytes_written: u64,
+    /// Explicit `fsync` calls the journal has issued.
+    pub journal_fsyncs: u64,
     /// Summed queue latency across finished jobs.
     pub total_queue_wait: Duration,
     /// Summed run time across finished jobs.

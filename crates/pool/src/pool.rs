@@ -2,13 +2,21 @@
 //! the submission surface many concurrent clients share.
 
 use crate::cache::{ProgramCache, SlotSpec};
-use crate::job::{ExperimentHandle, Job, JobHandle, Priority, QueuedJob, SubmitError};
+use crate::job::{
+    ExperimentHandle, Job, JobHandle, JobId, JobOutput, Priority, QueuedJob, Resume, SubmitError,
+};
 use crate::metrics::{PoolStats, StatsInner};
 use crate::worker::worker_loop;
 use crossbeam::channel;
-use quma_core::prelude::{resolve_threads, Device, DeviceConfig, DeviceError};
+use quma_core::prelude::{
+    resolve_threads, BatchReport, Device, DeviceConfig, DeviceError, LoadedProgram, SeedPlan,
+    ShotSeeds, TemplatePoint,
+};
 use quma_experiments::prelude::Experiment;
 use quma_isa::prelude::{Program, ProgramTemplate};
+use quma_journal::{
+    replay_ledger, JobSpec, Journal, JournalConfig, ReplayedJob, ReplayedOutcome, WalRecord,
+};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -25,6 +33,12 @@ pub struct PoolConfig {
     /// The base device configuration every worker keeps warm; jobs
     /// without an override run on it.
     pub device: DeviceConfig,
+    /// Durability: when set, jobs that carry a [`JobSpec`] are journaled
+    /// (submission before enqueue, checkpoints per sweep block, result
+    /// or cancellation on completion) and [`DevicePool::recover`] can
+    /// rebuild them after a crash. `None` (the default) journals
+    /// nothing and costs nothing.
+    pub journal: Option<JournalConfig>,
 }
 
 impl PoolConfig {
@@ -35,6 +49,7 @@ impl PoolConfig {
             workers: 0,
             queue_depth: 64,
             device,
+            journal: None,
         }
     }
 
@@ -47,6 +62,12 @@ impl PoolConfig {
     /// Sets the per-class queue bound (builder style).
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Journals spec-carrying jobs under `journal.dir` (builder style).
+    pub fn with_journal(mut self, journal: JournalConfig) -> Self {
+        self.journal = Some(journal);
         self
     }
 }
@@ -67,6 +88,8 @@ pub(crate) struct PoolShared {
     pub(crate) stats: Mutex<StatsInner>,
     /// Global dispatch sequence (see `JobMetrics::dispatch_seq`).
     pub(crate) dispatch_seq: AtomicU64,
+    /// The write-ahead journal, when the pool is durable.
+    pub(crate) journal: Option<Arc<Journal>>,
 }
 
 /// The sending half of the pool; dropped as one unit to initiate drain.
@@ -118,15 +141,25 @@ impl DevicePool {
             workers,
             queue_depth,
             device,
+            journal,
         } = config;
         let queue_depth = queue_depth.max(1);
         let pristine = Device::new(device.clone())?;
         let worker_count = resolve_threads(workers, usize::MAX);
+        let journal = match journal {
+            Some(config) => {
+                Some(Arc::new(Journal::open(&config).map_err(|e| {
+                    DeviceError::Config(format!("journal open failed: {e}"))
+                })?))
+            }
+            None => None,
+        };
         let shared = Arc::new(PoolShared {
             base: device,
             cache: ProgramCache::new(),
             stats: Mutex::new(StatsInner::default()),
             dispatch_seq: AtomicU64::new(0),
+            journal,
         });
         let (high_tx, high_rx) = channel::bounded(queue_depth);
         let (normal_tx, normal_rx) = channel::bounded(queue_depth);
@@ -164,9 +197,67 @@ impl DevicePool {
     /// rejected here with [`SubmitError::InvalidJob`] instead of being
     /// silently ignored at run time.
     pub fn submit(&self, job: Job) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(job, None, false)
+    }
+
+    /// Re-enqueues a job recovery rebuilt, *preserving its journaled id*
+    /// so handles, journal records, and any serving-layer registry keep
+    /// naming the same job across the crash. For jobs the pool cannot
+    /// rebuild itself — [`RecoveredState::NeedsResubmit`] — the layer
+    /// that understands the opaque payload reconstructs the job and
+    /// re-enters it here. No new submission record is written (the
+    /// original one is already durable), and the send blocks instead of
+    /// bouncing: recovery re-enqueues a backlog the queue bound was
+    /// never sized for, and rejecting durable work would silently lose
+    /// it.
+    pub fn resubmit_recovered(&self, id: JobId, job: Job) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(job, Some(id), true)
+    }
+
+    /// Whether this pool journals spec-carrying jobs.
+    pub fn journaled(&self) -> bool {
+        self.shared.journal.is_some()
+    }
+
+    fn submit_inner(
+        &self,
+        job: Job,
+        fixed_id: Option<JobId>,
+        blocking: bool,
+    ) -> Result<JobHandle, SubmitError> {
         job.validate().map_err(SubmitError::InvalidJob)?;
         let submitters = self.submitters.as_ref().ok_or(SubmitError::ShutDown)?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = match fixed_id {
+            Some(id) => id,
+            None => self.next_id.fetch_add(1, Ordering::Relaxed),
+        };
+        // A journaled job writes its submission record *before* it can
+        // possibly run: recovery must never see a result it has no
+        // submission for. Only spec-carrying jobs on a journaled pool pay
+        // this; everything else takes the allocation-free path unchanged.
+        let journal = match (&self.shared.journal, &job.spec) {
+            (Some(journal), Some(spec)) => {
+                if fixed_id.is_none() {
+                    journal
+                        .append(&WalRecord::Submitted {
+                            id,
+                            priority: match job.priority {
+                                Priority::High => 1,
+                                Priority::Normal => 0,
+                            },
+                            client: job.client.clone(),
+                            spec: spec.clone(),
+                        })
+                        .map_err(|e| {
+                            SubmitError::InvalidJob(DeviceError::Config(format!(
+                                "journal append failed: {e}"
+                            )))
+                        })?;
+                }
+                Some(Arc::clone(journal))
+            }
+            _ => None,
+        };
         let (events_tx, events_rx) = channel::unbounded();
         let priority = job.priority;
         let phase = Arc::new(AtomicU8::new(crate::job::PHASE_QUEUED));
@@ -181,16 +272,26 @@ impl DevicePool {
             Priority::High => &submitters.high,
             Priority::Normal => &submitters.normal,
         };
-        target.try_send(queued).map_err(|err| match err {
-            channel::TrySendError::Full(_) => {
-                self.shared.stats.lock().expect("stats poisoned").rejected += 1;
-                SubmitError::QueueFull {
-                    priority,
-                    depth: self.queue_depth,
+        if blocking {
+            target.send(queued).map_err(|_| SubmitError::ShutDown)?;
+        } else {
+            target.try_send(queued).map_err(|err| match err {
+                channel::TrySendError::Full(_) => {
+                    self.shared.stats.lock().expect("stats poisoned").rejected += 1;
+                    // The submission is already durable; neutralize it so
+                    // recovery does not resurrect a job the client was
+                    // told never entered the queue.
+                    if let Some(journal) = &journal {
+                        let _ = journal.append(&WalRecord::Cancelled { id });
+                    }
+                    SubmitError::QueueFull {
+                        priority,
+                        depth: self.queue_depth,
+                    }
                 }
-            }
-            channel::TrySendError::Disconnected(_) => SubmitError::ShutDown,
-        })?;
+                channel::TrySendError::Disconnected(_) => SubmitError::ShutDown,
+            })?;
+        }
         // Job before ticket: a worker that holds a ticket must find a job.
         submitters
             .tickets
@@ -201,19 +302,30 @@ impl DevicePool {
             stats.submitted += 1;
             stats.max_queue_depth = stats.max_queue_depth.max(target.len());
         }
-        Ok(JobHandle::new(id, events_rx, phase))
+        Ok(JobHandle::new(id, events_rx, phase, journal))
     }
 
     /// Assembles `source` through the pool cache and submits it as a
     /// `shots`-shot batch — the one-call path for clients that speak
-    /// assembly. Identical sources share one cached program.
+    /// assembly. Identical sources share one cached program. On a
+    /// journaled pool the submission is durable: the source itself is
+    /// the job's re-run description.
     pub fn submit_assembly(&self, source: &str, shots: u64) -> Result<JobHandle, SubmitError> {
         let (program, hit) = self
             .shared
             .cache
             .assemble_keyed(source)
             .map_err(SubmitError::InvalidJob)?;
-        self.submit(Job::shots(program, shots).mark_cache_hit(hit))
+        let mut job = Job::shots(program, shots).mark_cache_hit(hit);
+        if self.shared.journal.is_some() {
+            job = job.with_spec(JobSpec::Shots {
+                source: source.to_string(),
+                shots,
+                plan: None,
+                chunk: 0,
+            });
+        }
+        self.submit(job)
     }
 
     /// Submits an experiment and returns a handle typed with its output.
@@ -275,6 +387,12 @@ impl DevicePool {
 
     /// A point-in-time snapshot of the pool's counters.
     pub fn stats(&self) -> PoolStats {
+        let journal = self
+            .shared
+            .journal
+            .as_ref()
+            .map(|j| j.stats())
+            .unwrap_or_default();
         let inner = self.shared.stats.lock().expect("stats poisoned");
         PoolStats {
             workers: self.worker_count,
@@ -289,10 +407,188 @@ impl DevicePool {
             warm_device_clones: inner.warm_device_clones,
             cold_device_builds: inner.cold_device_builds,
             warm_session_reuses: inner.warm_session_reuses,
+            executed_shots: inner.executed_shots,
+            recovered_jobs: inner.recovered_jobs,
+            journal_records_written: journal.records_written,
+            journal_bytes_written: journal.bytes_written,
+            journal_fsyncs: journal.fsyncs,
             total_queue_wait: inner.total_queue_wait,
             total_run_time: inner.total_run_time,
             max_queue_depth: inner.max_queue_depth,
         }
+    }
+
+    /// Rebuilds a pool from its journal after a crash (or a plain
+    /// restart): replays the write-ahead log, reconstructs every
+    /// journaled job, serves finished results straight from the result
+    /// log, and re-enqueues unfinished work — sweeps resume *after*
+    /// their last durable checkpoint, so completed points are never
+    /// re-executed.
+    ///
+    /// `config` must carry the journal configuration pointing at the
+    /// directory of the previous run (same device/base configuration
+    /// too: specs re-assemble against it). The rebuilt pool journals
+    /// into the same files, so a recovered pool is itself recoverable.
+    pub fn recover(config: PoolConfig) -> Result<RecoveredPool, DeviceError> {
+        if config.journal.is_none() {
+            return Err(DeviceError::Config(
+                "DevicePool::recover needs a journal configuration".to_string(),
+            ));
+        }
+        let pool = Self::new(config)?;
+        let journal = Arc::clone(pool.shared.journal.as_ref().expect("journal configured"));
+        let records = journal
+            .replay()
+            .map_err(|e| DeviceError::Config(format!("journal replay failed: {e}")))?;
+        let replayed = replay_ledger(&records, |offset, len| {
+            journal.read_reports(offset, len).ok()
+        });
+        // Fresh ids must never collide with journaled ones.
+        let max_id = replayed.iter().map(|j| j.id).max();
+        if let Some(max_id) = max_id {
+            pool.next_id.store(max_id + 1, Ordering::Relaxed);
+        }
+        let mut jobs = Vec::with_capacity(replayed.len());
+        for entry in replayed {
+            let state = pool.recover_one(&entry)?;
+            pool.shared
+                .stats
+                .lock()
+                .expect("stats poisoned")
+                .recovered_jobs += 1;
+            jobs.push(RecoveredJob {
+                id: entry.id,
+                client: entry.client,
+                priority: if entry.priority == 1 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                },
+                spec: entry.spec,
+                state,
+            });
+        }
+        Ok(RecoveredPool { pool, jobs })
+    }
+
+    /// Maps one replayed ledger entry to its recovered disposition,
+    /// re-enqueuing when there is work left to run.
+    fn recover_one(&self, entry: &ReplayedJob) -> Result<RecoveredState, DeviceError> {
+        match &entry.outcome {
+            ReplayedOutcome::Cancelled => Ok(RecoveredState::Cancelled),
+            ReplayedOutcome::Failed { detail } => Ok(RecoveredState::Failed(detail.clone())),
+            ReplayedOutcome::Completed {
+                reports: Some(reports),
+            } => Ok(match &entry.spec {
+                // Shots results journal as one full payload.
+                JobSpec::Shots { .. } => RecoveredState::Done(JobOutput::Batch(BatchReport {
+                    shots: reports.clone(),
+                })),
+                _ => RecoveredState::Done(JobOutput::Reports(reports.clone())),
+            }),
+            ReplayedOutcome::Completed { reports: None } => match &entry.spec {
+                // Sweep completions are marker-only: the checkpoints
+                // carry every point, so a full prefix *is* the result.
+                JobSpec::Sweep { .. } | JobSpec::TemplateSweep { .. }
+                    if Some(entry.prefix.len() as u64) == entry.spec.total_points() =>
+                {
+                    Ok(RecoveredState::Done(JobOutput::Reports(
+                        entry.prefix.clone(),
+                    )))
+                }
+                // Opaque outputs were never durable; the layer that
+                // understands the tag decides whether to re-run.
+                JobSpec::Opaque { tag, payload } => Ok(RecoveredState::NeedsResubmit {
+                    tag: tag.clone(),
+                    payload: payload.clone(),
+                }),
+                // A marker without its checkpoints (torn tail ate them,
+                // or the completion payload failed to read): the work is
+                // deterministic, so re-running is always bit-safe.
+                _ => self.requeue(entry),
+            },
+            ReplayedOutcome::Unfinished => match &entry.spec {
+                JobSpec::Opaque { tag, payload } => Ok(RecoveredState::NeedsResubmit {
+                    tag: tag.clone(),
+                    payload: payload.clone(),
+                }),
+                _ => self.requeue(entry),
+            },
+        }
+    }
+
+    /// Rebuilds a runnable [`Job`] from a journaled spec and re-enqueues
+    /// it under its original id, resuming past checkpointed points.
+    fn requeue(&self, entry: &ReplayedJob) -> Result<RecoveredState, DeviceError> {
+        let mut job = match &entry.spec {
+            JobSpec::Shots {
+                source,
+                shots,
+                plan,
+                chunk,
+            } => {
+                let (program, hit) = self.shared.cache.assemble_keyed(source)?;
+                let mut job = Job::shots(program, *shots).mark_cache_hit(hit);
+                if let Some((chip_base, jitter_base)) = plan {
+                    job = job.with_seed_plan(SeedPlan {
+                        chip_base: *chip_base,
+                        jitter_base: *jitter_base,
+                    });
+                }
+                job.with_chunk_shots(*chunk)
+            }
+            JobSpec::Sweep { points } => {
+                let mut rebuilt = Vec::with_capacity(points.len());
+                for point in points {
+                    let program = self.shared.cache.assemble(&point.source)?;
+                    rebuilt.push((
+                        LoadedProgram::from_arc(program),
+                        ShotSeeds {
+                            chip: point.chip,
+                            jitter: point.jitter,
+                        },
+                    ));
+                }
+                Job::sweep(rebuilt)
+            }
+            JobSpec::TemplateSweep {
+                source,
+                slots,
+                points,
+            } => {
+                let template = self.shared.cache.assemble_template(source, slots)?;
+                let rebuilt = points
+                    .iter()
+                    .map(|point| TemplatePoint {
+                        patches: point.patches.clone(),
+                        seeds: ShotSeeds {
+                            chip: point.chip,
+                            jitter: point.jitter,
+                        },
+                    })
+                    .collect();
+                Job::template_sweep(template, rebuilt)
+            }
+            JobSpec::Opaque { .. } => unreachable!("opaque specs map to NeedsResubmit"),
+        };
+        job = job
+            .with_spec(entry.spec.clone())
+            .with_client(entry.client.clone())
+            .with_priority(if entry.priority == 1 {
+                Priority::High
+            } else {
+                Priority::Normal
+            });
+        if entry.done > 0 {
+            job.resume = Some(Resume {
+                done: entry.done,
+                prefix: entry.prefix.clone(),
+            });
+        }
+        let handle = self
+            .resubmit_recovered(entry.id, job)
+            .map_err(|e| DeviceError::Config(format!("recovered job re-enqueue failed: {e}")))?;
+        Ok(RecoveredState::Resumed(handle))
     }
 
     /// Graceful drain: stops accepting submissions, runs every already
@@ -321,4 +617,55 @@ impl Drop for DevicePool {
     fn drop(&mut self) {
         self.drain();
     }
+}
+
+/// What [`DevicePool::recover`] returns: the rebuilt pool plus every
+/// journaled job's recovered disposition, sorted by id.
+#[derive(Debug)]
+pub struct RecoveredPool {
+    /// The rebuilt pool, journaling into the same directory.
+    pub pool: DevicePool,
+    /// Every journaled job, in id (= submission) order.
+    pub jobs: Vec<RecoveredJob>,
+}
+
+/// One journaled job as recovery reconstructed it.
+#[derive(Debug)]
+pub struct RecoveredJob {
+    /// The job's original (and still current) pool id.
+    pub id: JobId,
+    /// The client id journaled at submission.
+    pub client: String,
+    /// The journaled scheduling class.
+    pub priority: Priority,
+    /// The portable re-run description journaled at submission.
+    pub spec: JobSpec,
+    /// What recovery could make of the job.
+    pub state: RecoveredState,
+}
+
+/// The disposition of one recovered job.
+#[derive(Debug)]
+pub enum RecoveredState {
+    /// The job finished before the crash and its full result was
+    /// durable; served from the result log without re-running anything.
+    Done(JobOutput),
+    /// The job had work left; it is re-enqueued (under its original id)
+    /// and this handle tracks it. Checkpointed sweep points are skipped
+    /// — the worker prepends their journaled reports.
+    Resumed(JobHandle),
+    /// An opaque (experiment) job whose submission only the serving
+    /// layer can reconstruct; it must decide whether to resubmit the
+    /// journaled payload.
+    NeedsResubmit {
+        /// The tag the submitting layer journaled (e.g. the experiment
+        /// kind).
+        tag: String,
+        /// The opaque re-submission payload it journaled.
+        payload: Vec<u8>,
+    },
+    /// The job was durably cancelled; it stays cancelled.
+    Cancelled,
+    /// The job durably failed with this error text.
+    Failed(String),
 }

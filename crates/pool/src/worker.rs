@@ -28,11 +28,16 @@
 //! regardless of which worker picks the job up, in what order, or how
 //! many workers exist.
 
-use crate::job::{JobError, JobEvent, JobKind, JobOutput, Priority, QueuedJob, ShotChunk};
+use crate::job::{
+    JobError, JobEvent, JobId, JobKind, JobOutput, Priority, QueuedJob, Resume, ShotChunk,
+};
 use crate::metrics::JobMetrics;
 use crate::pool::PoolShared;
 use crossbeam::channel;
-use quma_core::prelude::{BatchReport, Device, DeviceConfig, LoadedProgram, SeedPlan, Session};
+use quma_core::prelude::{
+    BatchReport, Device, DeviceConfig, DeviceError, LoadedProgram, RunReport, SeedPlan, Session,
+};
+use quma_journal::{Journal, WalRecord};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -203,7 +208,38 @@ fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: 
         });
         return;
     }
-    let result = execute(shared, warm, &events, job);
+    let journal = match (&shared.journal, &job.spec) {
+        (Some(journal), Some(_)) => Some(Arc::clone(journal)),
+        _ => None,
+    };
+    let result = execute(shared, warm, &events, id, job);
+    // Journal the terminal state before the handle can observe it, so a
+    // client that saw a result can rely on recovery re-serving it. Batch
+    // payloads go to the result log in full; sweep completions are
+    // marker-only (their checkpoints already carry every point);
+    // experiment outputs are not durable (marker-only too). A journal IO
+    // failure here is not a job failure — the in-memory result is intact
+    // and recovery simply re-runs deterministic work.
+    if let Some(journal) = &journal {
+        let record = match &result {
+            Ok(JobOutput::Batch(batch)) => journal
+                .append_reports(&batch.shots)
+                .ok()
+                .map(|(offset, len)| WalRecord::Completed { id, offset, len }),
+            Ok(_) => Some(WalRecord::Completed {
+                id,
+                offset: 0,
+                len: 0,
+            }),
+            Err(e) => Some(WalRecord::Failed {
+                id,
+                detail: e.to_string(),
+            }),
+        };
+        if let Some(record) = record {
+            let _ = journal.append(&record);
+        }
+    }
     let run_time = started.elapsed();
     phase.store(crate::job::PHASE_FINISHED, Ordering::SeqCst);
     {
@@ -233,12 +269,73 @@ fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: 
     let _ = events.send(JobEvent::Done { result, metrics });
 }
 
+/// Wraps a journal IO failure mid-job. The device did nothing wrong, but
+/// a durable job whose checkpoints cannot be written must fail loudly
+/// rather than silently degrade to un-journaled execution.
+fn journal_err(e: std::io::Error) -> JobError {
+    JobError::Device(DeviceError::Config(format!("journal write failed: {e}")))
+}
+
+fn count_executed(shared: &PoolShared, shots: u64) {
+    shared.stats.lock().expect("stats poisoned").executed_shots += shots;
+}
+
+/// Runs a sweep's remaining points in checkpoint-sized blocks, making
+/// each block durable (result-log frame + WAL checkpoint) before the
+/// next starts. Per-point reseeding makes block-chunked execution
+/// bit-identical to one whole-sweep call, so resuming at `resume.done`
+/// with the journaled prefix prepended reproduces the uninterrupted
+/// result exactly.
+fn run_checkpointed(
+    shared: &PoolShared,
+    journal: &Journal,
+    id: JobId,
+    total: usize,
+    resume: Option<Resume>,
+    mut run: impl FnMut(std::ops::Range<usize>) -> Result<Vec<RunReport>, JobError>,
+) -> Result<Vec<RunReport>, JobError> {
+    let (skip, mut all) = match resume {
+        Some(r) => ((r.done as usize).min(total), r.prefix),
+        None => (0, Vec::new()),
+    };
+    let block = match journal.checkpoint_every {
+        0 => total.max(1),
+        n => usize::try_from(n).unwrap_or(usize::MAX).max(1),
+    };
+    let mut at = skip;
+    while at < total {
+        let n = block.min(total - at);
+        let reports = run(at..at + n)?;
+        let (offset, len) = journal.append_reports(&reports).map_err(journal_err)?;
+        all.extend(reports);
+        at += n;
+        journal
+            .append(&WalRecord::Checkpoint {
+                id,
+                done: at as u64,
+                offset,
+                len,
+            })
+            .map_err(journal_err)?;
+        count_executed(shared, n as u64);
+    }
+    Ok(all)
+}
+
 fn execute(
     shared: &Arc<PoolShared>,
     warm: &mut WarmSet,
     events: &channel::Sender<JobEvent>,
-    job: crate::job::Job,
+    id: JobId,
+    mut job: crate::job::Job,
 ) -> Result<JobOutput, JobError> {
+    // Sweeps on a journaled pool checkpoint per block; everything else
+    // (and every job on an un-journaled pool) runs exactly as before.
+    let journal = match (&shared.journal, &job.spec) {
+        (Some(journal), Some(_)) => Some(Arc::clone(journal)),
+        _ => None,
+    };
+    let resume = job.resume.take();
     let device_cfg = job.device.as_ref().unwrap_or(&shared.base);
     match job.kind {
         JobKind::Shots { program, shots } => {
@@ -250,6 +347,7 @@ fn execute(
             let chunk = job.chunk;
             if chunk == 0 {
                 let batch = session.run_shots(&loaded, shots)?;
+                count_executed(shared, shots);
                 Ok(JobOutput::Batch(batch))
             } else {
                 // Any nonzero chunk streams — `chunk >= shots` still
@@ -270,19 +368,48 @@ fn execute(
                     all.extend(batch.shots);
                     first += n;
                 }
+                count_executed(shared, shots);
                 Ok(JobOutput::Batch(BatchReport { shots: all }))
             }
         }
         JobKind::Sweep { points } => {
             let session = warm.warm_session(device_cfg, shared)?;
-            let reports = session.run_sweep(&points)?;
-            Ok(JobOutput::Reports(reports))
+            match &journal {
+                Some(journal) => {
+                    let reports =
+                        run_checkpointed(shared, journal, id, points.len(), resume, |range| {
+                            session.run_sweep(&points[range]).map_err(JobError::Device)
+                        })?;
+                    Ok(JobOutput::Reports(reports))
+                }
+                None => {
+                    let total = points.len() as u64;
+                    let reports = session.run_sweep(&points)?;
+                    count_executed(shared, total);
+                    Ok(JobOutput::Reports(reports))
+                }
+            }
         }
         JobKind::TemplateSweep { template, points } => {
             let session = warm.warm_session(device_cfg, shared)?;
             let mut loaded = session.load_template(&template);
-            let reports = session.run_template_sweep(&mut loaded, &points)?;
-            Ok(JobOutput::Reports(reports))
+            match &journal {
+                Some(journal) => {
+                    let reports =
+                        run_checkpointed(shared, journal, id, points.len(), resume, |range| {
+                            session
+                                .run_template_sweep(&mut loaded, &points[range])
+                                .map_err(JobError::Device)
+                        })?;
+                    Ok(JobOutput::Reports(reports))
+                }
+                None => {
+                    let total = points.len() as u64;
+                    let reports = session.run_template_sweep(&mut loaded, &points)?;
+                    count_executed(shared, total);
+                    Ok(JobOutput::Reports(reports))
+                }
+            }
         }
         JobKind::Experiment(erased) => {
             let mut session = warm.fresh_session(&erased.device_config(), shared)?;

@@ -30,6 +30,30 @@ enum Outcome {
     Cancelled,
 }
 
+/// How a journal-recovered job enters the registry (see
+/// [`Registry::insert_recovered`]).
+pub(crate) enum RecoveredSeed {
+    /// Finished before the crash; served from the result log.
+    Done {
+        /// The rendered result document.
+        result: Json,
+        /// Re-rendered chunk documents (chunked shot batches only).
+        chunks: Vec<Json>,
+    },
+    /// Durably failed with this detail.
+    Failed(String),
+    /// Durably cancelled; `DELETE` now answers 409.
+    Cancelled,
+    /// Still has work: the resumed handle plus its render closure.
+    Live {
+        /// The handle `DevicePool::recover` (or an opaque resubmission)
+        /// returned, carrying the job's original id.
+        handle: JobHandle,
+        /// Converts the finished output to its response document.
+        render: Render,
+    },
+}
+
 /// One served job.
 struct Record {
     kind: &'static str,
@@ -161,6 +185,45 @@ impl Registry {
         status
     }
 
+    /// Registers a job recovered from the journal under its *original*
+    /// id, so clients polling `/jobs/{id}` across the restart keep
+    /// hitting the same job. Terminal seeds carry their already-rendered
+    /// documents; live seeds carry the resumed handle.
+    pub(crate) fn insert_recovered(
+        &self,
+        id: JobId,
+        kind: &'static str,
+        experiment: Option<&'static str>,
+        client: String,
+        seed: RecoveredSeed,
+    ) {
+        let mut record = Record {
+            kind,
+            experiment,
+            client,
+            handle: None,
+            render: None,
+            chunks: Vec::new(),
+            outcome: None,
+            metrics: None,
+        };
+        match seed {
+            RecoveredSeed::Done { result, chunks } => {
+                record.chunks = chunks;
+                record.outcome = Some(Outcome::Done(result));
+            }
+            RecoveredSeed::Failed(detail) => record.outcome = Some(Outcome::Failed(detail)),
+            RecoveredSeed::Cancelled => record.outcome = Some(Outcome::Cancelled),
+            RecoveredSeed::Live { handle, render } => {
+                record.handle = Some(handle);
+                record.render = Some(render);
+            }
+        }
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.order.push(id);
+        inner.records.insert(id, record);
+    }
+
     /// `GET /jobs/{id}`.
     pub(crate) fn status(&self, id: JobId) -> Result<Json, ProblemJson> {
         let mut inner = self.inner.lock().expect("registry poisoned");
@@ -212,14 +275,27 @@ impl Registry {
         ]))
     }
 
-    /// `DELETE /jobs/{id}`: typed cancel. `Ok` when the job was (or had
-    /// already been) cancelled while queued; 409 otherwise.
+    /// `DELETE /jobs/{id}`: typed cancel. `Ok` only for the request that
+    /// actually cancels the queued job; a repeat `DELETE` — or one
+    /// against a job recovered as cancelled — answers 409
+    /// `state_conflict`, because a durable cancellation is a terminal
+    /// state, not a repeatable action.
     pub(crate) fn cancel(&self, id: JobId) -> Result<Json, ProblemJson> {
         let mut inner = self.inner.lock().expect("registry poisoned");
         let record = known(&mut inner, id)?;
         record.pump();
+        let already_cancelled = matches!(record.outcome, Some(Outcome::Cancelled))
+            || record
+                .handle
+                .as_ref()
+                .is_some_and(|h| h.phase() == JobPhase::Cancelled);
+        if already_cancelled {
+            return Err(ProblemJson::state_conflict(format!(
+                "job {id} is already cancelled; nothing left to cancel"
+            ))
+            .with_context("phase", Json::str("cancelled")));
+        }
         let outcome = match (&record.outcome, record.handle.as_mut()) {
-            (Some(Outcome::Cancelled), _) => CancelOutcome::Cancelled,
             (Some(_), _) | (None, None) => CancelOutcome::Finished,
             (None, Some(handle)) => handle.cancel(),
         };

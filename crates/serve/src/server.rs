@@ -19,11 +19,11 @@ use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::json::Json;
 use crate::problem::ProblemJson;
 use crate::quota::{Quota, QuotaLedger};
-use crate::registry::Registry;
+use crate::registry::{RecoveredSeed, Registry};
 use crate::router::{route, RouteMatch};
 use crate::wire;
-use quma_pool::prelude::{JobId, SubmitError};
-use quma_pool::DevicePool;
+use quma_pool::prelude::{JobId, JobOutput, ShotChunk, SubmitError};
+use quma_pool::{DevicePool, JobSpec, RecoveredPool, RecoveredState};
 
 /// The API version every response announces in `x-quma-api-version`.
 pub const API_VERSION: u32 = 1;
@@ -88,6 +88,8 @@ struct ServeCounters {
     problems_4xx: AtomicU64,
     problems_5xx: AtomicU64,
     quota_rejections: AtomicU64,
+    /// Jobs restored from the journal at startup (`Server::start_recovered`).
+    recovered_jobs: AtomicU64,
 }
 
 struct Shared {
@@ -112,13 +114,69 @@ pub struct Server {
 impl Server {
     /// Binds `127.0.0.1:0` (an OS-chosen port) and starts serving `pool`.
     pub fn start(pool: DevicePool, config: ServerConfig) -> std::io::Result<Server> {
+        Self::start_inner(pool, Registry::new(), 0, config)
+    }
+
+    /// Starts a server over a pool rebuilt by
+    /// [`DevicePool::recover`], pre-populating the job registry so the
+    /// lifecycle routes survive the restart: `GET /jobs/{id}` answers
+    /// for every journaled job under its *original* id, finished results
+    /// are served from the result log byte-identically to the
+    /// pre-restart responses, cancelled jobs stay cancelled (their
+    /// `DELETE` answers 409), and unfinished work resumes past its last
+    /// durable checkpoint. Opaque (experiment) jobs are re-submitted
+    /// through the same wire parser that built them originally.
+    pub fn start_recovered(
+        recovered: RecoveredPool,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let RecoveredPool { pool, jobs } = recovered;
+        let registry = Registry::new();
+        let count = jobs.len() as u64;
+        for job in jobs {
+            let kind = recovered_kind(&job.spec);
+            let experiment = recovered_experiment(&job.spec);
+            let seed = match job.state {
+                RecoveredState::Done(output) => RecoveredSeed::Done {
+                    chunks: recovered_chunks(&job.spec, &output),
+                    result: wire::render_for_kind(kind)(output),
+                },
+                RecoveredState::Resumed(handle) => RecoveredSeed::Live {
+                    handle,
+                    render: wire::render_for_kind(kind),
+                },
+                RecoveredState::Cancelled => RecoveredSeed::Cancelled,
+                RecoveredState::Failed(detail) => RecoveredSeed::Failed(detail),
+                RecoveredState::NeedsResubmit { payload, .. } => {
+                    match resubmit_opaque(&pool, job.id, &payload, &job.client) {
+                        Ok(seed) => seed,
+                        Err(detail) => RecoveredSeed::Failed(detail),
+                    }
+                }
+            };
+            registry.insert_recovered(job.id, kind, experiment, job.client, seed);
+        }
+        let server = Self::start_inner(pool, registry, count, config)?;
+        Ok(server)
+    }
+
+    fn start_inner(
+        pool: DevicePool,
+        registry: Registry,
+        recovered_jobs: u64,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
+        let counters = ServeCounters::default();
+        counters
+            .recovered_jobs
+            .store(recovered_jobs, Ordering::Relaxed);
         let shared = Arc::new(Shared {
             pool,
-            registry: Registry::new(),
+            registry,
             ledger: config.quota.map(Quota::ledger),
-            counters: ServeCounters::default(),
+            counters,
             config,
             shutdown: AtomicBool::new(false),
         });
@@ -191,6 +249,76 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// The registry kind string for a recovered job's spec.
+fn recovered_kind(spec: &JobSpec) -> &'static str {
+    match spec.kind() {
+        "shots" => "shots",
+        "sweep" => "sweep",
+        "template_sweep" => "template_sweep",
+        _ => "experiment",
+    }
+}
+
+/// The experiment name a recovered opaque job was journaled under.
+fn recovered_experiment(spec: &JobSpec) -> Option<&'static str> {
+    match spec {
+        JobSpec::Opaque { tag, .. } => match tag.as_str() {
+            "allxy" => Some("allxy"),
+            "qec" => Some("qec"),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Re-renders the chunk documents of a recovered chunked shot batch, so
+/// `GET /jobs/{id}/chunks` answers across the restart exactly as it did
+/// before it (chunk boundaries come from the journaled spec; contents
+/// come from the result log).
+fn recovered_chunks(spec: &JobSpec, output: &JobOutput) -> Vec<Json> {
+    let (JobSpec::Shots { chunk, .. }, JobOutput::Batch(batch)) = (spec, output) else {
+        return Vec::new();
+    };
+    if *chunk == 0 {
+        return Vec::new();
+    }
+    let size = usize::try_from(*chunk).unwrap_or(usize::MAX).max(1);
+    batch
+        .shots
+        .chunks(size)
+        .enumerate()
+        .map(|(i, reports)| {
+            wire::encode_chunk(&ShotChunk {
+                first_shot: (i * size) as u64,
+                reports: reports.to_vec(),
+            })
+        })
+        .collect()
+}
+
+/// Rebuilds an opaque (experiment) job from its journaled submission
+/// document and re-enters it into the pool under its original id.
+fn resubmit_opaque(
+    pool: &DevicePool,
+    id: JobId,
+    payload: &[u8],
+    client: &str,
+) -> Result<RecoveredSeed, String> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| "journaled submission payload is not UTF-8".to_string())?;
+    let doc =
+        Json::parse(text).map_err(|e| format!("journaled submission failed to parse: {e}"))?;
+    let submission = wire::parse_submission(&doc, pool)
+        .map_err(|p| format!("journaled submission failed to validate: {}", p.detail))?;
+    let handle = pool
+        .resubmit_recovered(id, submission.job.with_client(client))
+        .map_err(|e| format!("recovered job re-enqueue failed: {e}"))?;
+    Ok(RecoveredSeed::Live {
+        handle,
+        render: submission.render,
+    })
 }
 
 /// Serves one connection until close, error, or shutdown.
@@ -353,7 +481,12 @@ fn submit_job(shared: &Shared, request: &Request) -> Response {
         Ok(submission) => submission,
         Err(problem) => return problem.into_response(),
     };
-    let handle = match shared.pool.submit(submission.job) {
+    // Tag the job with its client so a journaled submission record (and
+    // any recovery of it) carries the same attribution the registry does.
+    let handle = match shared
+        .pool
+        .submit(submission.job.with_client(client.clone()))
+    {
         Ok(handle) => handle,
         Err(SubmitError::QueueFull { priority, depth }) => {
             return ProblemJson::queue_full(
@@ -427,6 +560,14 @@ fn metrics_text(shared: &Shared) -> String {
     line("quma_pool_warm_device_clones", stats.warm_device_clones);
     line("quma_pool_cold_device_builds", stats.cold_device_builds);
     line("quma_pool_warm_session_reuses", stats.warm_session_reuses);
+    line("quma_pool_executed_shots", stats.executed_shots);
+    line("quma_pool_recovered_jobs", stats.recovered_jobs);
+    line(
+        "quma_journal_records_written",
+        stats.journal_records_written,
+    );
+    line("quma_journal_bytes_written", stats.journal_bytes_written);
+    line("quma_journal_fsyncs", stats.journal_fsyncs);
     line(
         "quma_pool_queue_wait_us_total",
         stats.total_queue_wait.as_micros().min(u64::MAX as u128) as u64,
@@ -449,6 +590,10 @@ fn metrics_text(shared: &Shared) -> String {
     line(
         "quma_serve_quota_rejections",
         c.quota_rejections.load(Ordering::Relaxed),
+    );
+    line(
+        "quma_serve_recovered_jobs",
+        c.recovered_jobs.load(Ordering::Relaxed),
     );
     line("quma_serve_jobs_tracked", shared.registry.len() as u64);
     out

@@ -17,6 +17,7 @@ use quma_experiments::prelude::{
     Allxy, AllxyConfig, AllxyResult, QecConfig, QecInjected, QecResult,
 };
 use quma_isa::template::PatchField;
+use quma_journal::{JobSpec, SweepPointSpec, TemplatePointSpec};
 use quma_pool::prelude::{Job, JobMetrics, JobOutput, Priority, ShotChunk, SlotSpec};
 use quma_pool::DevicePool;
 
@@ -135,7 +136,7 @@ pub(crate) fn parse_submission(doc: &Json, pool: &DevicePool) -> Result<Submissi
         "shots" => parse_shots(doc, pool)?,
         "sweep" => parse_sweep(doc, pool)?,
         "template_sweep" => parse_template_sweep(doc, pool)?,
-        "experiment" => parse_experiment(doc)?,
+        "experiment" => parse_experiment(doc, pool.journaled())?,
         other => {
             return Err(field_problem(
                 format!(
@@ -173,12 +174,23 @@ fn parse_shots(doc: &Json, pool: &DevicePool) -> Result<Submission, ProblemJson>
     }
     let program = assemble_or_422(pool, source)?;
     let mut job = Job::shots(program, shots);
+    let mut spec_plan = None;
     if let Some(plan) = doc.get("seed_plan") {
-        job = job.with_seed_plan(plan_from(plan)?);
+        let plan = plan_from(plan)?;
+        spec_plan = Some((plan.chip_base, plan.jitter_base));
+        job = job.with_seed_plan(plan);
     }
     let chunk = want_u64(doc, "chunk_shots", Some(0))?;
     if chunk > 0 {
         job = job.with_chunk_shots(chunk);
+    }
+    if pool.journaled() {
+        job = job.with_spec(JobSpec::Shots {
+            source: source.to_string(),
+            shots,
+            plan: spec_plan,
+            chunk,
+        });
     }
     Ok(Submission {
         job,
@@ -203,6 +215,7 @@ fn parse_sweep(doc: &Json, pool: &DevicePool) -> Result<Submission, ProblemJson>
         ));
     }
     let mut prepared = Vec::with_capacity(points.len());
+    let mut spec_points = Vec::new();
     for (i, point) in points.iter().enumerate() {
         let source =
             want_str(point, "source").map_err(|p| p.with_context("point", Json::Int(i as i64)))?;
@@ -210,10 +223,23 @@ fn parse_sweep(doc: &Json, pool: &DevicePool) -> Result<Submission, ProblemJson>
             seeds_from(point, "seeds").map_err(|p| p.with_context("point", Json::Int(i as i64)))?;
         let program = assemble_or_422(pool, source)
             .map_err(|p| p.with_context("point", Json::Int(i as i64)))?;
+        if pool.journaled() {
+            spec_points.push(SweepPointSpec {
+                source: source.to_string(),
+                chip: seeds.chip,
+                jitter: seeds.jitter,
+            });
+        }
         prepared.push((quma_core::prelude::LoadedProgram::from_arc(program), seeds));
     }
+    let mut job = Job::sweep(prepared);
+    if pool.journaled() {
+        job = job.with_spec(JobSpec::Sweep {
+            points: spec_points,
+        });
+    }
     Ok(Submission {
-        job: Job::sweep(prepared),
+        job,
         kind: "sweep",
         experiment: None,
         render: Box::new(|out| match out {
@@ -288,8 +314,25 @@ fn parse_template_sweep(doc: &Json, pool: &DevicePool) -> Result<Submission, Pro
         };
         points.push(TemplatePoint { patches, seeds });
     }
+    let job = if pool.journaled() {
+        let spec = JobSpec::TemplateSweep {
+            source: source.to_string(),
+            slots,
+            points: points
+                .iter()
+                .map(|p| TemplatePointSpec {
+                    patches: p.patches.clone(),
+                    chip: p.seeds.chip,
+                    jitter: p.seeds.jitter,
+                })
+                .collect(),
+        };
+        Job::template_sweep(template, points).with_spec(spec)
+    } else {
+        Job::template_sweep(template, points)
+    };
     Ok(Submission {
-        job: Job::template_sweep(template, points),
+        job,
         kind: "template_sweep",
         experiment: None,
         render: Box::new(|out| match out {
@@ -299,8 +342,21 @@ fn parse_template_sweep(doc: &Json, pool: &DevicePool) -> Result<Submission, Pro
     })
 }
 
-fn parse_experiment(doc: &Json) -> Result<Submission, ProblemJson> {
+fn parse_experiment(doc: &Json, journaled: bool) -> Result<Submission, ProblemJson> {
     let name = want_str(doc, "experiment")?;
+    // Experiment configs are typed per experiment, so the journal gets
+    // the whole submission document as an opaque payload; recovery hands
+    // it back to `parse_submission` to rebuild the job.
+    let spec = |tag: &str| {
+        journaled.then(|| JobSpec::Opaque {
+            tag: tag.to_string(),
+            payload: doc.encode().into_bytes(),
+        })
+    };
+    let with_spec = |job: Job, tag: &str| match spec(tag) {
+        Some(spec) => job.with_spec(spec),
+        None => job,
+    };
     let cfg = doc.get("config").cloned().unwrap_or(Json::Obj(Vec::new()));
     match name {
         "allxy" => {
@@ -315,7 +371,7 @@ fn parse_experiment(doc: &Json) -> Result<Submission, ProblemJson> {
                 ..defaults
             };
             Ok(Submission {
-                job: Job::experiment(Allxy, config),
+                job: with_spec(Job::experiment(Allxy, config), "allxy"),
                 kind: "experiment",
                 experiment: Some("allxy"),
                 render: Box::new(|out| match out.downcast::<AllxyResult>() {
@@ -355,7 +411,7 @@ fn parse_experiment(doc: &Json) -> Result<Submission, ProblemJson> {
                     as u32,
             };
             Ok(Submission {
-                job: Job::experiment(QecInjected::default(), config),
+                job: with_spec(Job::experiment(QecInjected::default(), config), "qec"),
                 kind: "experiment",
                 experiment: Some("qec"),
                 render: Box::new(|out| match out.downcast::<QecResult>() {
@@ -368,6 +424,23 @@ fn parse_experiment(doc: &Json) -> Result<Submission, ProblemJson> {
             format!("unknown experiment '{other}' (expected allxy | qec)"),
             "experiment",
         )),
+    }
+}
+
+/// The render closure recovery installs for a resumed (or
+/// journal-served) job of `kind` — the same encodings
+/// [`parse_submission`] installs at first submission, so a result served
+/// after a restart is byte-identical to the one served before it.
+pub(crate) fn render_for_kind(kind: &str) -> Box<dyn FnOnce(JobOutput) -> Json + Send> {
+    match kind {
+        "shots" => Box::new(|out| match out {
+            JobOutput::Batch(batch) => encode_batch(&batch),
+            other => render_mismatch("batch", &other),
+        }),
+        _ => Box::new(|out| match out {
+            JobOutput::Reports(reports) => encode_reports(&reports),
+            other => render_mismatch("reports", &other),
+        }),
     }
 }
 

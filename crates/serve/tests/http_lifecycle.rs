@@ -229,7 +229,10 @@ fn lifecycle_conflicts_are_409_and_cancel_is_typed() {
     assert_eq!(early.status, 409, "{}", early.text());
     assert_eq!(problem_code(&early), "state_conflict");
 
-    // Cancel the queued victim: 200, and idempotently 200 again.
+    // Cancel the queued victim: 200 for the request that cancels it; a
+    // repeat DELETE hits a terminal state and conflicts with 409
+    // (cancellation is durable on journaled pools, so "already
+    // cancelled" is a state, not a repeatable action).
     let cancelled = client.delete(&format!("/jobs/{victim}")).unwrap();
     assert_eq!(cancelled.status, 200, "{}", cancelled.text());
     assert_eq!(
@@ -241,7 +244,8 @@ fn lifecycle_conflicts_are_409_and_cancel_is_typed() {
         Some(true)
     );
     let again = client.delete(&format!("/jobs/{victim}")).unwrap();
-    assert_eq!(again.status, 200, "{}", again.text());
+    assert_eq!(again.status, 409, "{}", again.text());
+    assert_eq!(problem_code(&again), "state_conflict");
 
     // A cancelled job never produces a result.
     client.wait_for(victim, Duration::from_millis(5)).unwrap();

@@ -1,0 +1,248 @@
+//! The serving layer's restart contract: a server torn down and
+//! restarted over the same journal directory keeps answering its
+//! lifecycle routes for every job it ever acknowledged — finished
+//! results and chunk streams byte-for-byte identical to the pre-restart
+//! responses, cancelled jobs terminally cancelled (repeat `DELETE` is a
+//! 409), and opaque experiment jobs transparently re-submitted under
+//! their original ids.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use quma_core::prelude::*;
+use quma_pool::prelude::{DevicePool, JournalConfig, PoolConfig};
+use quma_serve::prelude::*;
+
+const SEGMENT: &str = "\
+    Wait 40000\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    Pulse {q0}, X90\n\
+    Wait 4\n\
+    MPG {q0}, 300\n\
+    MD {q0}, r7\n\
+    halt\n";
+
+fn device() -> DeviceConfig {
+    DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: 0x5EE7,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "quma-serve-restart-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn journaled_config(dir: &Path) -> PoolConfig {
+    PoolConfig::new(device())
+        .with_workers(1)
+        .with_journal(JournalConfig::new(dir))
+}
+
+fn submit_ok(client: &mut MiniClient, doc: &Json) -> u64 {
+    let response = client.post_json("/jobs", doc).unwrap();
+    assert_eq!(response.status, 201, "{}", response.text());
+    response
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap()
+}
+
+fn problem_code(response: &MiniResponse) -> String {
+    response
+        .json()
+        .unwrap()
+        .get("code")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string()
+}
+
+fn result_text(client: &mut MiniClient, id: u64) -> String {
+    let response = client.get(&format!("/jobs/{id}/result")).unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    response.text().to_string()
+}
+
+fn phase_of(client: &mut MiniClient, id: u64) -> String {
+    let status = client.get(&format!("/jobs/{id}")).unwrap();
+    assert_eq!(status.status, 200, "{}", status.text());
+    status
+        .json()
+        .unwrap()
+        .get("phase")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn restarted_server_serves_bit_identical_results_over_the_same_journal() {
+    let dir = temp_dir("lifecycle");
+
+    // --- First life: submit one of everything, including a cancel. ---
+    let server = Server::start(
+        DevicePool::new(journaled_config(&dir)).unwrap(),
+        ServerConfig::new(),
+    )
+    .unwrap();
+    let mut client = MiniClient::connect(server.local_addr(), "restart");
+
+    // One worker: the blocker occupies it so the victim is still queued
+    // when the DELETE lands.
+    let blocker = submit_ok(
+        &mut client,
+        &Json::obj([
+            ("kind", Json::str("shots")),
+            ("source", Json::str(SEGMENT)),
+            ("shots", Json::Int(16)),
+        ]),
+    );
+    let victim = submit_ok(
+        &mut client,
+        &Json::obj([
+            ("kind", Json::str("shots")),
+            ("source", Json::str(SEGMENT)),
+            ("shots", Json::Int(1)),
+        ]),
+    );
+    let cancelled = client.delete(&format!("/jobs/{victim}")).unwrap();
+    assert_eq!(cancelled.status, 200, "{}", cancelled.text());
+
+    let chunked = submit_ok(
+        &mut client,
+        &Json::obj([
+            ("kind", Json::str("shots")),
+            ("source", Json::str(SEGMENT)),
+            ("shots", Json::Int(5)),
+            ("chunk_shots", Json::Int(2)),
+        ]),
+    );
+    let point = |i: i64| {
+        Json::obj([
+            ("source", Json::str(SEGMENT)),
+            (
+                "seeds",
+                Json::obj([
+                    ("chip", Json::Int(0x1000 + i)),
+                    ("jitter", Json::Int(0x2000 + i)),
+                ]),
+            ),
+        ])
+    };
+    let sweep = submit_ok(
+        &mut client,
+        &Json::obj([
+            ("kind", Json::str("sweep")),
+            ("points", Json::Arr(vec![point(0), point(1), point(2)])),
+        ]),
+    );
+    let allxy = submit_ok(
+        &mut client,
+        &Json::obj([
+            ("kind", Json::str("experiment")),
+            ("experiment", Json::str("allxy")),
+            (
+                "config",
+                Json::obj([("averages", Json::Int(2)), ("seed", Json::Int(0xA11))]),
+            ),
+        ]),
+    );
+
+    for id in [blocker, chunked, sweep, allxy] {
+        let status = client.wait_for(id, Duration::from_millis(5)).unwrap();
+        assert_eq!(
+            status.get("phase").and_then(Json::as_str),
+            Some("finished"),
+            "job {id}"
+        );
+    }
+
+    let blocker_result = result_text(&mut client, blocker);
+    let chunked_result = result_text(&mut client, chunked);
+    let sweep_result = result_text(&mut client, sweep);
+    let allxy_result = result_text(&mut client, allxy);
+    let chunks = client.get(&format!("/jobs/{chunked}/chunks")).unwrap();
+    assert_eq!(chunks.status, 200, "{}", chunks.text());
+    let chunked_chunks = chunks.text().to_string();
+
+    server.shutdown();
+
+    // --- Second life: recover the pool, restart the server. ---
+    let recovered = DevicePool::recover(journaled_config(&dir)).expect("recovers");
+    let server = Server::start_recovered(recovered, ServerConfig::new()).unwrap();
+    let mut client = MiniClient::connect(server.local_addr(), "restart");
+
+    // Journaled completions are served from the result log without
+    // waiting: the status is terminal the moment the server is up.
+    for id in [blocker, chunked, sweep] {
+        assert_eq!(phase_of(&mut client, id), "finished", "job {id}");
+    }
+    assert_eq!(result_text(&mut client, blocker), blocker_result);
+    assert_eq!(result_text(&mut client, chunked), chunked_result);
+    assert_eq!(result_text(&mut client, sweep), sweep_result);
+    let chunks = client.get(&format!("/jobs/{chunked}/chunks")).unwrap();
+    assert_eq!(chunks.status, 200, "{}", chunks.text());
+    assert_eq!(chunks.text(), chunked_chunks);
+
+    // The experiment job is opaque to the result log, so recovery
+    // re-submits its original wire payload under the original id; the
+    // deterministic seed makes the re-run byte-identical.
+    client.wait_for(allxy, Duration::from_millis(5)).unwrap();
+    assert_eq!(result_text(&mut client, allxy), allxy_result);
+
+    // Cancellation is terminal across the restart: the status says so
+    // and a repeat DELETE conflicts.
+    assert_eq!(phase_of(&mut client, victim), "cancelled");
+    let again = client.delete(&format!("/jobs/{victim}")).unwrap();
+    assert_eq!(again.status, 409, "{}", again.text());
+    assert_eq!(problem_code(&again), "state_conflict");
+
+    // Recovery never re-executed a journaled shot or sweep point, and
+    // the metrics surface says how much was recovered.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text().to_string();
+    assert!(
+        text.contains("quma_pool_executed_shots 0"),
+        "completed work must be served from the log, not re-run:\n{text}"
+    );
+    assert!(text.contains("quma_serve_recovered_jobs 5"), "{text}");
+    assert!(text.contains("quma_pool_recovered_jobs 5"), "{text}");
+    assert!(text.contains("quma_journal_records_written"), "{text}");
+    assert!(text.contains("quma_journal_bytes_written"), "{text}");
+    assert!(text.contains("quma_journal_fsyncs"), "{text}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unjournaled_servers_report_empty_journal_metrics() {
+    // The metrics names are stable whether or not a journal is
+    // configured, so scrapers never see fields appear and vanish.
+    let server = Server::start(
+        DevicePool::new(PoolConfig::new(device()).with_workers(1)).unwrap(),
+        ServerConfig::new(),
+    )
+    .unwrap();
+    let mut client = MiniClient::connect(server.local_addr(), "plain");
+    let metrics = client.get("/metrics").unwrap();
+    let text = metrics.text().to_string();
+    assert!(text.contains("quma_journal_records_written 0"), "{text}");
+    assert!(text.contains("quma_serve_recovered_jobs 0"), "{text}");
+    server.shutdown();
+}

@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run --release --example load_gen
 //! LOAD_GEN_CLIENTS=200 LOAD_GEN_JOBS=3 cargo run --release --example load_gen
+//! cargo run --release --example load_gen -- --journal /tmp/quma-journal
 //! ```
 //!
 //! Each client owns one keep-alive connection and drives the full job
@@ -13,10 +14,18 @@
 //! quota, and a paginator walking `GET /jobs`. The run ends with the
 //! server's own `/metrics` report and asserts that every completed
 //! job's registers came back intact.
+//!
+//! With `--journal <dir>` the pool journals every submission and result
+//! to `<dir>`, and the run gains a restart phase: after the first wave
+//! the server is torn down mid-load, the pool is recovered from the
+//! journal, and a second wave runs against the restarted server — which
+//! must keep serving the first wave's results byte-for-byte.
 
 use quma::core::prelude::{ChipProfile, DeviceConfig, TraceLevel};
-use quma::pool::prelude::{DevicePool, PoolConfig};
+use quma::pool::prelude::{DevicePool, JournalConfig, PoolConfig};
 use quma::serve::prelude::*;
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -53,42 +62,38 @@ fn shots_doc(client: u64, job: u64) -> Json {
     ])
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let clients = env_usize("LOAD_GEN_CLIENTS", 100);
-    let jobs_per_client = env_usize("LOAD_GEN_JOBS", 2);
-    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+/// `--journal <dir>` (or `--journal=<dir>`) from the command line.
+fn journal_dir_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--journal" {
+            return Some(PathBuf::from(
+                args.next().expect("--journal needs a directory"),
+            ));
+        }
+        if let Some(dir) = arg.strip_prefix("--journal=") {
+            return Some(PathBuf::from(dir));
+        }
+    }
+    None
+}
 
-    println!("== quma_serve load generator ==");
-    println!("{clients} clients x {jobs_per_client} jobs, {workers} pool workers\n");
-
-    let pool = DevicePool::new(
-        PoolConfig::new(DeviceConfig {
-            chip: ChipProfile::Paper,
-            chip_seed: 0x5E4E,
-            trace: TraceLevel::Off,
-            ..DeviceConfig::default()
-        })
-        .with_workers(workers)
-        .with_queue_depth(2 * clients.max(32)),
-    )?;
-    // A quota generous enough that honest clients never hit it; the
-    // dedicated greedy client below exhausts its own bucket on purpose.
-    let server = Server::start(
-        pool,
-        ServerConfig::new().with_quota(Quota::new().with_burst(64).with_per_second(256.0)),
-    )?;
-    let addr = server.local_addr();
-    println!("serving on http://{addr}\n");
-
-    let completed = Arc::new(AtomicU64::new(0));
-    let throttled = Arc::new(AtomicU64::new(0));
-    let t0 = Instant::now();
-
+/// One wave of honest clients driving the full lifecycle; returns the
+/// ids and result bodies of every job this wave completed.
+fn run_wave(
+    addr: SocketAddr,
+    clients: usize,
+    jobs_per_client: usize,
+    base: u64,
+    completed: &Arc<AtomicU64>,
+    throttled: &Arc<AtomicU64>,
+) -> Vec<(u64, String)> {
     let mut handles = Vec::new();
-    for client in 0..clients as u64 {
-        let completed = Arc::clone(&completed);
-        let throttled = Arc::clone(&throttled);
+    for client in base..base + clients as u64 {
+        let completed = Arc::clone(completed);
+        let throttled = Arc::clone(throttled);
         handles.push(std::thread::spawn(move || {
+            let mut served = Vec::new();
             let mut http = MiniClient::connect(addr, format!("client-{client}"));
             for job in 0..jobs_per_client as u64 {
                 let response = http
@@ -118,10 +123,71 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                 let doc = result.json().expect("result json");
                 let shots = doc.get("shots").and_then(Json::as_arr).expect("shots");
                 assert_eq!(shots.len(), 2);
+                served.push((id, result.text().to_string()));
                 completed.fetch_add(1, Ordering::Relaxed);
             }
+            served
         }));
     }
+    let mut served = Vec::new();
+    for handle in handles {
+        served.extend(handle.join().expect("client thread"));
+    }
+    served
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let clients = env_usize("LOAD_GEN_CLIENTS", 100);
+    let jobs_per_client = env_usize("LOAD_GEN_JOBS", 2);
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let journal = journal_dir_arg();
+
+    println!("== quma_serve load generator ==");
+    println!(
+        "{clients} clients x {jobs_per_client} jobs, {workers} pool workers{}\n",
+        match &journal {
+            Some(dir) => format!(", journaled to {}", dir.display()),
+            None => String::new(),
+        }
+    );
+
+    let make_config = {
+        let journal = journal.clone();
+        move || {
+            let mut config = PoolConfig::new(DeviceConfig {
+                chip: ChipProfile::Paper,
+                chip_seed: 0x5E4E,
+                trace: TraceLevel::Off,
+                ..DeviceConfig::default()
+            })
+            .with_workers(workers)
+            .with_queue_depth(2 * clients.max(32));
+            if let Some(dir) = &journal {
+                config = config.with_journal(JournalConfig::new(dir));
+            }
+            config
+        }
+    };
+    // A quota generous enough that honest clients never hit it; the
+    // dedicated greedy client below exhausts its own bucket on purpose.
+    let server_config =
+        || ServerConfig::new().with_quota(Quota::new().with_burst(64).with_per_second(256.0));
+    let server = Server::start(DevicePool::new(make_config())?, server_config())?;
+    let addr = server.local_addr();
+    println!("serving on http://{addr}\n");
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let throttled = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+
+    let wave = {
+        let completed = Arc::clone(&completed);
+        let throttled = Arc::clone(&throttled);
+        std::thread::spawn(move || {
+            run_wave(addr, clients, jobs_per_client, 0, &completed, &throttled)
+        })
+    };
+    let mut handles = Vec::new();
 
     // The canceller: floods the queue, then cancels what it can.
     {
@@ -178,6 +244,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     for handle in handles {
         handle.join().expect("client thread");
     }
+    let first_wave = wave.join().expect("wave");
     let dt = t0.elapsed().as_secs_f64();
     let done = completed.load(Ordering::Relaxed);
     println!(
@@ -186,6 +253,51 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         done as f64 / dt,
         throttled.load(Ordering::Relaxed)
     );
+
+    // With a journal, tear the server down mid-load and bring it back
+    // from disk: every already-served result must come back
+    // byte-for-byte from the result log, and a second wave must land on
+    // the recovered pool.
+    let mut server = server;
+    let mut addr = addr;
+    if journal.is_some() {
+        println!("\n-- restart phase: killing the server and recovering from the journal --");
+        server.shutdown();
+        let recovered = DevicePool::recover(make_config())?;
+        server = Server::start_recovered(recovered, server_config())?;
+        addr = server.local_addr();
+        println!("recovered server on http://{addr}");
+
+        let mut http = MiniClient::connect(addr, "verifier");
+        let mut verified = 0usize;
+        for (id, before) in &first_wave {
+            let after = http
+                .get(&format!("/jobs/{id}/result"))
+                .expect("recovered result");
+            assert_eq!(after.status, 200, "{}", after.text());
+            assert_eq!(
+                after.text(),
+                before.as_str(),
+                "result for job {id} changed across restart"
+            );
+            verified += 1;
+        }
+        println!("verifier: {verified} recovered results byte-identical across the restart");
+
+        let second = clients.div_ceil(4).max(1);
+        let wave2 = run_wave(
+            addr,
+            second,
+            jobs_per_client,
+            20_000,
+            &completed,
+            &throttled,
+        );
+        println!(
+            "second wave: {} jobs served by the recovered server",
+            wave2.len()
+        );
+    }
 
     // The paginator: walk the full job list in pages.
     let mut http = MiniClient::connect(addr, "paginator");

@@ -11,6 +11,11 @@
 #     the HTTP front end) must stay within SERVE_ALLOWANCE of
 #     pool_throughput/multi_client — the serving tax (TCP, framing,
 #     JSON, polling) is bounded, not free-growing;
+#   * pool_throughput/multi_client_journaled (the same workload on a
+#     pool with a write-ahead journal) must stay within
+#     JOURNAL_ALLOWANCE of the un-journaled multi_client point — the
+#     durability tax (WAL records, result frames, group-committed
+#     fsyncs) is bounded too;
 #   * every gated point must carry real confidence (no
 #     "low_confidence":true) — give heavy groups a bigger budget via
 #     QUMA_BENCH_BUDGET_MS__<group> instead of gating on noise.
@@ -34,6 +39,9 @@ if [ "$cores" -ge 2 ]; then
   # With cores to overlap on, client threads and pool workers hide most
   # of the wire cost: the serving tax must stay under this factor.
   SERVE_ALLOWANCE="2.5"
+  # Journal encode/CRC and the flusher's fsyncs overlap with other
+  # workers' compute, so the durability tax stays tight.
+  JOURNAL_ALLOWANCE="1.50"
 else
   # Nothing to shard across: require a tie, modulo scheduler noise; the
   # pool's only edge is calibration amortization, so just require a win.
@@ -42,6 +50,10 @@ else
   # Single core: HTTP framing, JSON, and result polling serialize with
   # the simulation itself (measured ~1.9x locally), so the band widens.
   SERVE_ALLOWANCE="2.75"
+  # Single core: frame encode + CRC serialize with the lone worker and
+  # the flusher's fsyncs steal the only CPU's writeback bandwidth
+  # (measured ~1.75x locally), so this band widens too.
+  JOURNAL_ALLOWANCE="2.10"
 fi
 
 fail=0
@@ -81,7 +93,7 @@ check_ratio() {
   }' || fail=1
 }
 
-echo "scaling gate: $cores core(s), parallel allowance ${PAR_ALLOWANCE}x, pool speedup >= ${MIN_POOL_SPEEDUP}x, serve allowance ${SERVE_ALLOWANCE}x"
+echo "scaling gate: $cores core(s), parallel allowance ${PAR_ALLOWANCE}x, pool speedup >= ${MIN_POOL_SPEEDUP}x, serve allowance ${SERVE_ALLOWANCE}x, journal allowance ${JOURNAL_ALLOWANCE}x"
 
 for d in 3 5; do
   check_point "qec_cycle/batch16_d/$d"
@@ -105,6 +117,10 @@ fi
 check_point "serve_throughput/served_multi_client"
 served_ns="$(median_ns "serve_throughput/served_multi_client")"
 check_ratio "served_multi_client vs multi_client" "$served_ns" "$multi_ns" "$SERVE_ALLOWANCE"
+
+check_point "pool_throughput/multi_client_journaled"
+journaled_ns="$(median_ns "pool_throughput/multi_client_journaled")"
+check_ratio "multi_client_journaled vs multi_client" "$journaled_ns" "$multi_ns" "$JOURNAL_ALLOWANCE"
 
 if [ "$fail" -ne 0 ]; then
   echo "scaling gate: FAILED" >&2

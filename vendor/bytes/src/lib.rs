@@ -1,9 +1,10 @@
 //! Offline, API-compatible subset of the `bytes` crate.
 //!
 //! The build environment has no registry access, so the workspace vendors
-//! the small surface its waveform-memory packing uses: [`BytesMut`] with
-//! [`BufMut`] put-methods, [`BytesMut::freeze`], and the cheaply clonable
-//! immutable [`Bytes`] (backed here by `Arc<[u8]>`).
+//! the small surface its waveform-memory packing and the journal codec
+//! use: [`BytesMut`] with [`BufMut`] put-methods, [`BytesMut::freeze`],
+//! the cheaply clonable immutable [`Bytes`] (backed here by `Arc<[u8]>`),
+//! and the [`Buf`] read cursor implemented for `&[u8]`.
 
 use std::ops::Deref;
 use std::sync::Arc;
@@ -127,8 +128,101 @@ pub trait BufMut {
         self.put_slice(&n.to_be_bytes());
     }
 
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, n: i32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends an `f64` as its big-endian IEEE-754 bit pattern.
+    fn put_f64(&mut self, n: f64) {
+        self.put_slice(&n.to_bits().to_be_bytes());
+    }
+
     /// Appends a slice.
     fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Read access to a byte cursor (a miniature of `bytes::Buf`).
+///
+/// Like the real crate, the `get_*` methods panic when fewer than the
+/// requested bytes remain — framing layers bound-check frame lengths
+/// before decoding, so an underrun is a codec bug, not an I/O condition.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes, starting at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "Buf underrun");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_be_bytes(b)
+    }
+
+    /// Reads an `f64` from its big-endian IEEE-754 bit pattern.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "Buf underrun");
+        *self = &self[cnt..];
+    }
 }
 
 impl BufMut for BytesMut {
@@ -153,7 +247,7 @@ impl BufMut for Vec<u8> {
 
 #[cfg(test)]
 mod tests {
-    use super::{BufMut, Bytes, BytesMut};
+    use super::{Buf, BufMut, Bytes, BytesMut};
 
     #[test]
     fn pack_freeze_roundtrip() {
@@ -164,5 +258,49 @@ mod tests {
         let frozen: Bytes = buf.freeze();
         assert_eq!(&frozen[..], &[0xAB, 0x01, 0x02]);
         assert_eq!(frozen.clone().len(), 3);
+    }
+
+    #[test]
+    fn put_then_get_roundtrips_every_width() {
+        let mut buf = Vec::new();
+        buf.put_u8(0x7F);
+        buf.put_u16(0xBEEF);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_i32(-40_000);
+        buf.put_f64(-0.0);
+        buf.put_f64(std::f64::consts::PI);
+
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.remaining(), buf.len());
+        assert_eq!(cur.get_u8(), 0x7F);
+        assert_eq!(cur.get_u16(), 0xBEEF);
+        assert_eq!(cur.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cur.get_i32(), -40_000);
+        // Bit-exact float transport: -0.0 survives (a value comparison
+        // would conflate it with +0.0).
+        assert_eq!(cur.get_f64().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(cur.get_f64().to_bits(), std::f64::consts::PI.to_bits());
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn advance_and_chunk_track_the_cursor() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut cur: &[u8] = &data;
+        cur.advance(2);
+        assert_eq!(cur.chunk(), &[3, 4, 5]);
+        let mut out = [0u8; 2];
+        cur.copy_to_slice(&mut out);
+        assert_eq!(out, [3, 4]);
+        assert_eq!(cur.remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Buf underrun")]
+    fn underrun_panics_like_the_real_crate() {
+        let mut cur: &[u8] = &[1, 2];
+        let _ = cur.get_u32();
     }
 }
