@@ -260,6 +260,23 @@ fn bench(c: &mut Criterion) {
         std::fs::remove_dir_all(&dir).ok();
     });
 
+    // The same pooled workload on a fully observed pool: metric
+    // registry wired (always on) *plus* span tracing into a 64Ki-slot
+    // ring, so every submit/queued/run/shot-batch span is recorded.
+    // `scripts/scaling_gate.sh` holds this within OBS_ALLOWANCE of the
+    // bare `multi_client` point — observability is paid only when
+    // looked at, and recording must stay in the noise.
+    g.bench_function("obs_overhead", |b| {
+        let pool = DevicePool::new(
+            PoolConfig::new(config())
+                .with_workers(workers)
+                .with_trace(1 << 16),
+        )
+        .expect("pool");
+        let program = pool.assemble(SHOT).expect("assembles");
+        b.iter(|| pooled_workload(&pool, &program))
+    });
+
     // Reference bound: one warm session, sequential jobs, no serving
     // layer (unreachable by concurrent clients — `Session` is `&mut`).
     g.bench_function("shared_session", |b| {

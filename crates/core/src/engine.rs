@@ -36,6 +36,7 @@ use crate::device::{Device, DeviceError, RunReport};
 use crossbeam::channel;
 use quma_isa::prelude::Program;
 use quma_isa::template::{PatchError, ProgramTemplate};
+use quma_obs::trace::{now_ns, SpanEvent, SpanKind, TraceBuffer, TraceId};
 use std::sync::Arc;
 
 /// The two per-shot random seeds: the chip's projection/readout RNG and
@@ -406,6 +407,20 @@ impl BatchReport {
     }
 }
 
+/// Observability attachment for a [`Session`]: a shared span ring plus
+/// the trace id and thread lane every batch span should carry. The
+/// device pool installs one per job on its warm worker sessions so
+/// engine-level `shot_batch` spans join the job's end-to-end trace.
+#[derive(Clone, Debug)]
+pub struct SessionTracer {
+    /// Ring buffer the spans are recorded into.
+    pub buf: TraceBuffer,
+    /// Correlation id (the pool job id) stamped on every span.
+    pub trace_id: TraceId,
+    /// Thread lane for trace viewers (the pool worker index).
+    pub tid: u32,
+}
+
 /// A long-lived execution context: one calibrated device, many programs,
 /// many shots.
 pub struct Session {
@@ -422,12 +437,17 @@ pub struct Session {
     /// Persistent parallel workers: spawned lazily by the first parallel
     /// call, reused (devices kept warm) across batches.
     pool: WorkerPool,
+    /// Optional span sink; batches record `shot_batch` spans when set.
+    /// Pure observation — never consulted on the execution path, so the
+    /// determinism contract is unaffected.
+    tracer: Option<SessionTracer>,
 }
 
 impl Clone for Session {
     /// Clones the device and seed state. The worker pool is *not*
     /// cloned — the copy starts with no workers and spawns its own on
-    /// its first parallel call.
+    /// its first parallel call. The tracer attachment (if any) is
+    /// shared: both sessions record into the same ring.
     fn clone(&self) -> Self {
         Self {
             device: self.device.clone(),
@@ -435,6 +455,7 @@ impl Clone for Session {
             next_shot: self.next_shot,
             generation: 0,
             pool: WorkerPool::default(),
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -446,6 +467,7 @@ impl std::fmt::Debug for Session {
             .field("plan", &self.plan)
             .field("next_shot", &self.next_shot)
             .field("workers", &self.pool.workers.len())
+            .field("traced", &self.tracer.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -466,6 +488,36 @@ impl Session {
             next_shot: 0,
             generation: 0,
             pool: WorkerPool::default(),
+            tracer: None,
+        }
+    }
+
+    /// Attaches (or replaces) the span sink for this session's batches.
+    /// The pool re-targets a warm worker session per job this way.
+    pub fn set_tracer(&mut self, tracer: Option<SessionTracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The current span sink, if any.
+    pub fn tracer(&self) -> Option<&SessionTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Records a `shot_batch` span covering `start_ns..now` when a
+    /// tracer is attached; `a` carries the item count, `b` the worker
+    /// fan-out (0 for sequential batches).
+    fn span_batch(&self, start_ns: u64, items: u64, fanout: u64) {
+        if let Some(t) = &self.tracer {
+            t.buf.record(SpanEvent {
+                kind: SpanKind::ShotBatch,
+                label: 0,
+                trace: t.trace_id,
+                tid: t.tid,
+                start_ns,
+                end_ns: now_ns(),
+                a: items,
+                b: fanout,
+            });
         }
     }
 
@@ -582,11 +634,13 @@ impl Session {
     ) -> Result<BatchReport, DeviceError> {
         let plan = self.seed_plan();
         let first = self.next_shot;
+        let t0 = now_ns();
         let mut reports = Vec::with_capacity(shots as usize);
         for i in first..first + shots {
             reports.push(self.run_shot(program, plan.shot(i))?);
         }
         self.next_shot = first + shots;
+        self.span_batch(t0, shots, 0);
         Ok(BatchReport { shots: reports })
     }
 
@@ -596,10 +650,13 @@ impl Session {
         &mut self,
         points: &[(LoadedProgram, ShotSeeds)],
     ) -> Result<Vec<RunReport>, DeviceError> {
-        points
+        let t0 = now_ns();
+        let reports = points
             .iter()
             .map(|(program, seeds)| self.run_shot(program, *seeds))
-            .collect()
+            .collect();
+        self.span_batch(t0, points.len() as u64, 0);
+        reports
     }
 
     /// Dispatches `items` units onto the session's persistent worker
@@ -619,8 +676,12 @@ impl Session {
             return Ok(Vec::new());
         }
         let workers = resolve_threads(threads, items);
-        self.pool
-            .run(workers, items, &self.device, self.generation, make_worker)
+        let t0 = now_ns();
+        let reports = self
+            .pool
+            .run(workers, items, &self.device, self.generation, make_worker);
+        self.span_batch(t0, items as u64, workers as u64);
+        reports
     }
 
     /// Runs a sweep sharded across `threads` persistent worker threads
@@ -685,6 +746,7 @@ impl Session {
         points: &[TemplatePoint],
     ) -> Result<Vec<RunReport>, DeviceError> {
         validate_axis_sets(points)?;
+        let t0 = now_ns();
         let mut reports = Vec::with_capacity(points.len());
         for point in points {
             for (name, value) in &point.patches {
@@ -692,6 +754,7 @@ impl Session {
             }
             reports.push(self.run_template(template, point.seeds)?);
         }
+        self.span_batch(t0, points.len() as u64, 0);
         Ok(reports)
     }
 

@@ -46,11 +46,12 @@ use crate::codec::{self, decode_frame, encode_frame_with, scan_frames, FRAME_HEA
 use crate::record::WalRecord;
 use crate::reports::{decode_reports, encode_reports};
 use quma_core::device::RunReport;
+use quma_obs::trace::{now_ns, SpanEvent, SpanKind, TraceBuffer, TraceId};
+use quma_obs::{Counter, Histogram, Registry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
 /// WAL file name inside a journal directory.
@@ -120,11 +121,63 @@ pub struct JournalStats {
     pub fsyncs: u64,
 }
 
+/// Shared observability cells: lifetime counters plus latency
+/// histograms and an optionally attached span ring. Arc-shared with
+/// the background flusher so its fsyncs are timed and counted too.
 #[derive(Debug, Default)]
 struct StatCells {
-    records_written: AtomicU64,
-    bytes_written: AtomicU64,
-    fsyncs: AtomicU64,
+    records_written: Counter,
+    bytes_written: Counter,
+    fsyncs: Counter,
+    /// Append latency (WAL and result frames alike), nanoseconds.
+    append_ns: Histogram,
+    /// `fsync` latency per file pair sync, nanoseconds.
+    fsync_ns: Histogram,
+    /// Span sink, attached once by [`Journal::attach_obs`].
+    trace: OnceLock<TraceBuffer>,
+}
+
+impl StatCells {
+    /// Records a `journal_fsync` span and its latency; `files` is how
+    /// many `sync_data` calls the cycle issued.
+    fn note_fsync(&self, start_ns: u64, files: u64) {
+        let end = now_ns();
+        self.fsync_ns.record(end.saturating_sub(start_ns));
+        self.fsyncs.add(files);
+        if let Some(buf) = self.trace.get() {
+            buf.record(SpanEvent {
+                kind: SpanKind::JournalFsync,
+                label: 0,
+                trace: 0,
+                tid: 0,
+                start_ns,
+                end_ns: end,
+                a: files,
+                b: 0,
+            });
+        }
+    }
+
+    /// Records a `journal_append` span and its latency; `bytes` is the
+    /// frame size landed.
+    fn note_append(&self, start_ns: u64, trace_id: TraceId, bytes: u64) {
+        let end = now_ns();
+        self.append_ns.record(end.saturating_sub(start_ns));
+        self.records_written.inc();
+        self.bytes_written.add(bytes);
+        if let Some(buf) = self.trace.get() {
+            buf.record(SpanEvent {
+                kind: SpanKind::JournalAppend,
+                label: 0,
+                trace: trace_id,
+                tid: 0,
+                start_ns,
+                end_ns: end,
+                a: bytes,
+                b: 0,
+            });
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -194,9 +247,10 @@ impl Flusher {
                         // policies. A sync that fails only widens the
                         // re-run window recovery already tolerates, so
                         // errors are not fatal here.
+                        let t0 = now_ns();
                         let _ = results.sync_data();
                         let _ = wal.sync_data();
-                        stats.fsyncs.fetch_add(2, Ordering::Relaxed);
+                        stats.note_fsync(t0, 2);
                     }
                     if done {
                         return;
@@ -305,18 +359,27 @@ impl Journal {
     /// [`FsyncPolicy::Always`], via the background flusher under
     /// [`FsyncPolicy::OnCompletion`].
     pub fn append(&self, record: &WalRecord) -> io::Result<()> {
+        self.append_traced(record, 0)
+    }
+
+    /// [`Journal::append`] attributed to a job trace: when a span ring
+    /// is attached ([`Journal::attach_obs`]) the append records a
+    /// `journal_append` span carrying `trace_id`.
+    pub fn append_traced(&self, record: &WalRecord, trace_id: TraceId) -> io::Result<()> {
         let mut frame = Vec::with_capacity(64 + FRAME_HEADER);
         encode_frame_with(&mut frame, |out| record.encode(out));
 
+        let t0 = now_ns();
         let mut inner = self.inner.lock().expect("journal poisoned");
         inner.wal.write_all(&frame)?;
         inner.wal.flush()?;
         if self.fsync == FsyncPolicy::Always {
             // Results first: a synced WAL record must never be more
             // durable than the result bytes it references.
+            let s0 = now_ns();
             inner.results.sync_data()?;
             inner.wal.sync_data()?;
-            self.stats.fsyncs.fetch_add(2, Ordering::Relaxed);
+            self.stats.note_fsync(s0, 2);
         }
         drop(inner);
         if record.is_terminal() {
@@ -324,10 +387,7 @@ impl Journal {
                 flusher.kick();
             }
         }
-        self.stats.records_written.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_written
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.stats.note_append(t0, trace_id, frame.len() as u64);
         Ok(())
     }
 
@@ -335,22 +395,31 @@ impl Journal {
     /// `(offset, len)` a WAL record should reference. Flushed before
     /// returning; synced only under [`FsyncPolicy::Always`].
     pub fn append_reports(&self, reports: &[RunReport]) -> io::Result<(u64, u32)> {
+        self.append_reports_traced(reports, 0)
+    }
+
+    /// [`Journal::append_reports`] attributed to a job trace.
+    pub fn append_reports_traced(
+        &self,
+        reports: &[RunReport],
+        trace_id: TraceId,
+    ) -> io::Result<(u64, u32)> {
         let mut frame = Vec::with_capacity(4096);
         encode_frame_with(&mut frame, |out| encode_reports(out, reports));
 
+        let t0 = now_ns();
         let mut inner = self.inner.lock().expect("journal poisoned");
         let offset = inner.results_len;
         inner.results.write_all(&frame)?;
         inner.results.flush()?;
         inner.results_len += frame.len() as u64;
         if self.fsync == FsyncPolicy::Always {
+            let s0 = now_ns();
             inner.results.sync_data()?;
-            self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.stats.note_fsync(s0, 1);
         }
-        self.stats.records_written.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_written
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        drop(inner);
+        self.stats.note_append(t0, trace_id, frame.len() as u64);
         Ok((offset, frame.len() as u32))
     }
 
@@ -391,19 +460,71 @@ impl Journal {
     /// bounded crash window is not acceptable.
     pub fn sync(&self) -> io::Result<()> {
         let inner = self.inner.lock().expect("journal poisoned");
+        let t0 = now_ns();
         inner.results.sync_data()?;
         inner.wal.sync_data()?;
-        self.stats.fsyncs.fetch_add(2, Ordering::Relaxed);
+        self.stats.note_fsync(t0, 2);
         Ok(())
     }
 
     /// A snapshot of the lifetime counters.
     pub fn stats(&self) -> JournalStats {
         JournalStats {
-            records_written: self.stats.records_written.load(Ordering::Relaxed),
-            bytes_written: self.stats.bytes_written.load(Ordering::Relaxed),
-            fsyncs: self.stats.fsyncs.load(Ordering::Relaxed),
+            records_written: self.stats.records_written.get(),
+            bytes_written: self.stats.bytes_written.get(),
+            fsyncs: self.stats.fsyncs.get(),
         }
+    }
+
+    /// Registers the journal's counters and latency histograms under
+    /// `quma_journal_*` family names and (optionally) attaches a span
+    /// ring so appends and fsyncs emit `journal_append` /
+    /// `journal_fsync` spans. Idempotent on the trace attachment — the
+    /// first ring wins. The pool calls this once before sharing the
+    /// journal.
+    pub fn attach_obs(&self, registry: &Registry, trace: Option<&TraceBuffer>) {
+        registry.register_counter(
+            "quma_journal_records_written_total",
+            "Frames appended across the WAL and result log",
+            &[],
+            &self.stats.records_written,
+        );
+        registry.register_counter(
+            "quma_journal_bytes_written_total",
+            "Bytes appended across both journal files, headers included",
+            &[],
+            &self.stats.bytes_written,
+        );
+        registry.register_counter(
+            "quma_journal_fsyncs_total",
+            "Explicit fsync calls issued by any journal path",
+            &[],
+            &self.stats.fsyncs,
+        );
+        registry.register_histogram(
+            "quma_journal_append_seconds",
+            "Journal append latency (WAL records and result frames)",
+            &[],
+            &self.stats.append_ns,
+        );
+        registry.register_histogram(
+            "quma_journal_fsync_seconds",
+            "Journal fsync cycle latency (all sync paths)",
+            &[],
+            &self.stats.fsync_ns,
+        );
+        if let Some(buf) = trace {
+            let _ = self.stats.trace.set(buf.clone());
+        }
+    }
+
+    /// Histogram snapshots for the JSON metrics document:
+    /// `(append_ns, fsync_ns)`.
+    pub fn latency_snapshots(&self) -> (quma_obs::HistogramSnapshot, quma_obs::HistogramSnapshot) {
+        (
+            self.stats.append_ns.snapshot(),
+            self.stats.fsync_ns.snapshot(),
+        )
     }
 }
 

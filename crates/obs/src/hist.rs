@@ -1,0 +1,376 @@
+//! Log-linear latency histograms: fixed-size, allocation-free record
+//! path, sharded against contention, mergeable snapshots.
+//!
+//! Values are nanoseconds. Buckets are exact for `v < 8` and log-linear
+//! above: each power-of-two range `[2^e, 2^(e+1))` is split into four
+//! equal sub-buckets, bounding the relative error of any reconstructed
+//! value at 25 %. The full `u64` range fits in [`NUM_BUCKETS`] buckets,
+//! so a histogram is a flat array of atomics — recording is two
+//! `fetch_add`s, a `fetch_max`, and an add to the bucket slot.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of buckets covering the full `u64` range.
+///
+/// Buckets `0..8` hold exact values `0..8`; above that each exponent
+/// `e` in `3..=63` contributes four sub-buckets, for `8 + 4*61 = 252`.
+pub const NUM_BUCKETS: usize = 252;
+
+/// Bucket index for a value (the documented bucket formula).
+///
+/// `v < 8` maps to bucket `v`. Otherwise with `e = floor(log2 v)` the
+/// bucket is `4*(e-2) + ((v >> (e-2)) & 3) + 4`: the two bits below
+/// the leading bit select one of four sub-buckets within `[2^e,
+/// 2^(e+1))`.
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as usize;
+    4 * (e - 2) + ((v >> (e - 2)) & 3) as usize + 4
+}
+
+/// Smallest value that lands in bucket `b` (inverse of
+/// [`bucket_index`]).
+#[must_use]
+pub fn bucket_lower(b: usize) -> u64 {
+    assert!(b < NUM_BUCKETS, "bucket index out of range");
+    if b < 8 {
+        return b as u64;
+    }
+    let e = (b - 4) / 4 + 2;
+    let s = ((b - 4) % 4) as u64;
+    (4 + s) << (e - 2)
+}
+
+/// Largest value that lands in bucket `b`.
+#[must_use]
+pub fn bucket_upper(b: usize) -> u64 {
+    assert!(b < NUM_BUCKETS, "bucket index out of range");
+    if b < 8 {
+        return b as u64;
+    }
+    let e = (b - 4) / 4 + 2;
+    bucket_lower(b) + ((1u64 << (e - 2)) - 1)
+}
+
+/// One shard of bucket counters. All-atomic so the record path never
+/// locks; snapshots read with relaxed loads and merge by addition.
+struct Shard {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct HistInner {
+    shards: Vec<Shard>,
+}
+
+/// Round-robin assignment of threads to shards: each thread picks a
+/// shard once and keeps it for life, so the record path is a
+/// thread-local read plus atomics on an uncontended-in-practice shard.
+static NEXT_SHARD_HINT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD_HINT: usize = NEXT_SHARD_HINT.fetch_add(1, Ordering::Relaxed);
+}
+
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .clamp(1, 8)
+        .next_power_of_two()
+}
+
+/// A sharded log-linear histogram handle. Cloning shares the
+/// underlying shards; recording is lock-free on every path.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("shards", &self.inner.shards.len())
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A histogram sharded for the machine's parallelism (clamped to a
+    /// power of two in `1..=8`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_shards(default_shards())
+    }
+
+    /// A histogram with exactly `shards` shards (rounded up to a power
+    /// of two; minimum 1). Single-shard histograms are deterministic,
+    /// which the property tests rely on.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            inner: Arc::new(HistInner {
+                shards: (0..n).map(|_| Shard::new()).collect(),
+            }),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Record one value on the calling thread's shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let mask = self.inner.shards.len() - 1;
+        let shard = SHARD_HINT.with(|h| *h) & mask;
+        self.inner.shards[shard].record(v);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record into a specific shard (tests use this for deterministic
+    /// shard placement).
+    pub fn record_in(&self, shard: usize, v: u64) {
+        let mask = self.inner.shards.len() - 1;
+        self.inner.shards[shard & mask].record(v);
+    }
+
+    /// Snapshot of one shard, unmerged.
+    #[must_use]
+    pub fn shard_snapshot(&self, shard: usize) -> HistogramSnapshot {
+        self.inner.shards[shard].snapshot()
+    }
+
+    /// Merged snapshot across all shards.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut merged = self.inner.shards[0].snapshot();
+        for shard in &self.inner.shards[1..] {
+            merged.merge(&shard.snapshot());
+        }
+        merged
+    }
+}
+
+/// An immutable copy of a histogram's buckets, mergeable and
+/// queryable for quantiles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, `NUM_BUCKETS` long.
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (nanoseconds, wrapping on overflow).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Fold another snapshot into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the `ceil(q * count)`-th value, clamped to the
+    /// observed max. Returns 0 for an empty snapshot.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of recorded values; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn documented_examples() {
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_lower(8), 8);
+        assert_eq!(bucket_upper(8), 9);
+        assert_eq!(bucket_index(15), 11);
+        assert_eq!(bucket_lower(11), 14);
+        assert_eq!(bucket_upper(11), 15);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn buckets_tile_the_range() {
+        for b in 1..NUM_BUCKETS {
+            assert_eq!(
+                bucket_lower(b),
+                bucket_upper(b - 1).wrapping_add(1),
+                "gap or overlap at bucket {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [8u64, 100, 1_000, 123_456, 1 << 40, u64::MAX / 3] {
+            let b = bucket_index(v);
+            let width = bucket_upper(b) - bucket_lower(b);
+            assert!(
+                width <= bucket_lower(b) / 4,
+                "bucket {b} too wide for {v}: {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = Histogram::with_shards(1);
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.max, 1_000_000);
+        let p50 = snap.p50();
+        assert!((450_000..=600_000).contains(&p50), "p50 = {p50}");
+        let p99 = snap.p99();
+        assert!((900_000..=1_000_000).contains(&p99), "p99 = {p99}");
+        assert_eq!(snap.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.mean(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let h = Histogram::with_shards(2);
+        h.record_in(0, 10);
+        h.record_in(1, 20);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 30);
+        assert_eq!(snap.max, 20);
+    }
+}

@@ -1,0 +1,41 @@
+//! `quma_obs`: dependency-free observability for the QuMA serving
+//! stack.
+//!
+//! Three pieces, all paid for only when looked at:
+//!
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`], [`Registry`]):
+//!   cloneable atomic handles registered under Prometheus-style family
+//!   names. The record path is a few relaxed atomics — no locks, no
+//!   allocation. [`Registry::render_prometheus`] produces text
+//!   exposition 0.0.4 at scrape time.
+//! - **Tracing** ([`TraceBuffer`], [`SpanEvent`], [`SpanKind`]): spans
+//!   keyed by a per-job [`TraceId`] recorded into a bounded lock-free
+//!   ring (seqlock slots, drop-oldest on overflow), exportable as
+//!   Chrome trace-event JSON.
+//! - **Validation** ([`promtext`]): a small parser for the exposition
+//!   format, used by CI to prove the scrape output is well-formed.
+//!
+//! Histogram values are nanoseconds; see [`hist`] for the log-linear
+//! bucket formula (≤ 25 % relative error, 252 buckets covering all of
+//! `u64`).
+
+pub mod hist;
+pub mod metrics;
+pub mod promtext;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{
+    bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, NUM_BUCKETS,
+};
+pub use metrics::{Counter, Gauge};
+pub use registry::{Labels, Registry, EXPORT_BOUNDS_NS, EXPORT_BOUNDS_SECONDS};
+pub use trace::{instant_ns, now_ns, SpanEvent, SpanKind, TraceBuffer, TraceId};
+
+/// Everything most callers need.
+pub mod prelude {
+    pub use crate::hist::{Histogram, HistogramSnapshot};
+    pub use crate::metrics::{Counter, Gauge};
+    pub use crate::registry::Registry;
+    pub use crate::trace::{SpanEvent, SpanKind, TraceBuffer, TraceId};
+}

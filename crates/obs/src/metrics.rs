@@ -1,0 +1,97 @@
+//! Counter and gauge handles: a shared `AtomicU64` behind a cheap
+//! `Clone`, so producers keep their own handle and the registry keeps
+//! another for exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in either direction (or only up via
+/// [`Gauge::fetch_max`], for high-water marks).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if it is below it (high-water mark).
+    #[inline]
+    pub fn fetch_max(&self, v: u64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn gauge_high_water() {
+        let g = Gauge::new();
+        g.fetch_max(7);
+        g.fetch_max(3);
+        assert_eq!(g.get(), 7);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+}

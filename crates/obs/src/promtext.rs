@@ -1,0 +1,232 @@
+//! A small validating parser for Prometheus text exposition 0.0.4.
+//!
+//! Used by the CI scrape step: every line must parse as a `# HELP`,
+//! `# TYPE`, or `name{labels} value` sample, `TYPE` kinds must be
+//! known, and sample names must agree with their declared family. This
+//! is a validator, not a full client — timestamps and exemplars are
+//! out of scope (the server never emits them).
+
+/// One parsed metric family: its declared type and how many samples
+/// carried its name (including `_bucket`/`_sum`/`_count` suffixes for
+/// histograms).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedFamily {
+    /// Family name from the `# TYPE` line.
+    pub name: String,
+    /// Declared kind: `counter`, `gauge`, `histogram`, `summary`, or
+    /// `untyped`.
+    pub kind: String,
+    /// Number of sample lines attributed to this family.
+    pub samples: usize,
+}
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validate the label block of a sample line (the text between `{`
+/// and `}`), returning an error description on malformed input.
+fn validate_labels(block: &str) -> Result<(), String> {
+    let mut rest = block;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let name = &rest[..eq];
+        if !is_label_name(name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value not quoted: {rest:?}"));
+        }
+        rest = &rest[1..];
+        // Walk the escaped string body.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("bad escape \\{c} in label value"));
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value: {rest:?}"))?;
+        rest = &rest[end + 1..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| format!("expected ',' between labels, got {rest:?}"))?;
+    }
+}
+
+fn is_sample_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Strip histogram sample suffixes so `_bucket`/`_sum`/`_count` lines
+/// attribute to their family.
+fn family_of<'a>(sample_name: &'a str, families: &[ParsedFamily]) -> Option<&'a str> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if families
+                .iter()
+                .any(|f| f.name == base && f.kind == "histogram")
+            {
+                return Some(base);
+            }
+        }
+    }
+    families
+        .iter()
+        .any(|f| f.name == sample_name)
+        .then_some(sample_name)
+}
+
+/// Parse and validate a full exposition body.
+///
+/// # Errors
+/// Returns `Err` with a line-numbered description of the first
+/// malformed line: unknown `TYPE` kind, bad metric/label name, bad
+/// escape, sample not attributable to a declared family, or
+/// unparseable value.
+pub fn parse(text: &str) -> Result<Vec<ParsedFamily>, String> {
+    let mut families: Vec<ParsedFamily> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let err = |what: String| format!("line {lineno}: {what} in {line:?}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return Err(err(format!("bad HELP metric name {name:?}")));
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return Err(err(format!("bad TYPE metric name {name:?}")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(format!("unknown TYPE kind {kind:?}")));
+                }
+                if families.iter().any(|f| f.name == name) {
+                    return Err(err(format!("duplicate TYPE for {name:?}")));
+                }
+                families.push(ParsedFamily {
+                    name: name.to_string(),
+                    kind: kind.to_string(),
+                    samples: 0,
+                });
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = if let Some(brace) = line.find('{') {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| err("unterminated label block".to_string()))?;
+            validate_labels(&line[brace + 1..close]).map_err(err)?;
+            (&line[..brace], line[close + 1..].trim_start())
+        } else {
+            let space = line
+                .find(' ')
+                .ok_or_else(|| err("sample without value".to_string()))?;
+            (&line[..space], line[space + 1..].trim_start())
+        };
+        if !is_metric_name(name_part) {
+            return Err(err(format!("bad sample name {name_part:?}")));
+        }
+        if !is_sample_value(value_part) {
+            return Err(err(format!("bad sample value {value_part:?}")));
+        }
+        let family = family_of(name_part, &families)
+            .ok_or_else(|| err(format!("sample {name_part:?} has no TYPE declaration")))?
+            .to_string();
+        let entry = families
+            .iter_mut()
+            .find(|f| f.name == family)
+            .expect("family_of only returns declared families");
+        entry.samples += 1;
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn accepts_our_own_rendering() {
+        let registry = Registry::new();
+        registry.counter("quma_jobs_total", "jobs").add(3);
+        registry.gauge("quma_workers", "workers").set(4);
+        let h = registry.histogram_with("quma_wait_seconds", "queue wait", &[("queue", "high")]);
+        h.record(1_234_567);
+        let text = registry.render_prometheus();
+        let families = parse(&text).expect("our own exposition must parse");
+        assert_eq!(families.len(), 3);
+        let hist = families
+            .iter()
+            .find(|f| f.name == "quma_wait_seconds")
+            .unwrap();
+        assert_eq!(hist.kind, "histogram");
+        // 18 bounds + +Inf + _sum + _count
+        assert_eq!(hist.samples, 21);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(parse("# TYPE quma_x frobnicator\n").is_err());
+        assert!(parse("# TYPE quma_x counter\nquma_x notanumber\n").is_err());
+        assert!(parse("quma_undeclared 3\n").is_err());
+        assert!(parse("# TYPE quma_x counter\nquma_x{bad-label=\"v\"} 1\n").is_err());
+        assert!(parse("# TYPE quma_x counter\nquma_x{l=\"unterminated} 1\n").is_err());
+    }
+
+    #[test]
+    fn accepts_inf_and_escapes() {
+        let text = "# TYPE quma_h histogram\n\
+                    quma_h_bucket{le=\"+Inf\"} 5\n\
+                    quma_h_sum 0.000001234\n\
+                    quma_h_count 5\n\
+                    # TYPE quma_g gauge\n\
+                    quma_g{path=\"a\\\"b\\\\c\\nd\"} 1\n";
+        let families = parse(text).unwrap();
+        assert_eq!(families[0].samples, 3);
+        assert_eq!(families[1].samples, 1);
+    }
+}

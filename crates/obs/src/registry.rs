@@ -1,0 +1,421 @@
+//! Metric registry: named families of counters, gauges, and
+//! histograms, rendered as Prometheus text exposition (version 0.0.4).
+//!
+//! The registry is only touched at setup and scrape time — the hot
+//! path holds cloned [`Counter`]/[`Gauge`]/[`Histogram`] handles and
+//! never takes the registry lock. Producers that predate the registry
+//! (the journal's stat cells, the program cache) keep their own
+//! handles and attach them later via the `register_*` methods.
+
+use crate::hist::{bucket_upper, Histogram};
+use crate::metrics::{Counter, Gauge};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Export bounds for histogram rendering, in seconds (paired with the
+/// nanosecond cumulative cut points below). Histograms record
+/// nanoseconds internally; Prometheus convention wants seconds, so the
+/// fine log-linear buckets are re-binned onto this fixed ladder at
+/// scrape time.
+pub const EXPORT_BOUNDS_SECONDS: [&str; 18] = [
+    "0.000001", "0.00001", "0.0001", "0.00025", "0.0005", "0.001", "0.0025", "0.005", "0.01",
+    "0.025", "0.05", "0.1", "0.25", "0.5", "1", "2.5", "5", "10",
+];
+
+/// The same bounds in nanoseconds.
+pub const EXPORT_BOUNDS_NS: [u64; 18] = [
+    1_000,
+    10_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One label set: `(name, value)` pairs, rendered in insertion order.
+pub type Labels = Vec<(String, String)>;
+
+struct Family {
+    name: String,
+    help: String,
+    series: Vec<(Labels, Handle)>,
+}
+
+struct RegistryInner {
+    families: Mutex<Vec<Family>>,
+}
+
+/// A shareable registry of metric families. Cloning shares the
+/// underlying store.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.inner.families.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("families", &families.len())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn labels_to_vec(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(RegistryInner {
+                families: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn get_or_register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut families = self.inner.families.lock().expect("registry poisoned");
+        let labels = labels_to_vec(labels);
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            if let Some((_, handle)) = family.series.iter().find(|(l, _)| *l == labels) {
+                let handle = handle.clone();
+                let wanted = make();
+                assert_eq!(
+                    handle.kind(),
+                    wanted.kind(),
+                    "metric {name} already registered as a {}",
+                    handle.kind()
+                );
+                return handle;
+            }
+            let handle = make();
+            assert_eq!(
+                handle.kind(),
+                family.series[0].1.kind(),
+                "metric {name} already registered as a {}",
+                family.series[0].1.kind()
+            );
+            family.series.push((labels, handle.clone()));
+            return handle;
+        }
+        let handle = make();
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            series: vec![(labels, handle.clone())],
+        });
+        handle
+    }
+
+    /// Create or fetch an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Create or fetch a labelled counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_register(name, help, labels, || Handle::Counter(Counter::new())) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked in get_or_register"),
+        }
+    }
+
+    /// Create or fetch an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Create or fetch a labelled gauge.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_register(name, help, labels, || Handle::Gauge(Gauge::new())) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked in get_or_register"),
+        }
+    }
+
+    /// Create or fetch an unlabelled histogram (nanosecond-valued,
+    /// rendered in seconds — name it `*_seconds`).
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Create or fetch a labelled histogram.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_register(name, help, labels, || Handle::Histogram(Histogram::new())) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked in get_or_register"),
+        }
+    }
+
+    /// Attach an existing counter handle under `name`.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &Counter,
+    ) {
+        self.get_or_register(name, help, labels, || Handle::Counter(counter.clone()));
+    }
+
+    /// Attach an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], gauge: &Gauge) {
+        self.get_or_register(name, help, labels, || Handle::Gauge(gauge.clone()));
+    }
+
+    /// Attach an existing histogram handle under `name`.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+    ) {
+        self.get_or_register(name, help, labels, || Handle::Histogram(hist.clone()));
+    }
+
+    /// Names of all registered families, in registration order.
+    #[must_use]
+    pub fn family_names(&self) -> Vec<String> {
+        let families = self.inner.families.lock().expect("registry poisoned");
+        families.iter().map(|f| f.name.clone()).collect()
+    }
+
+    /// Render every family as Prometheus text exposition 0.0.4.
+    ///
+    /// Histograms are re-binned from nanoseconds onto
+    /// [`EXPORT_BOUNDS_SECONDS`]; the re-binning is exact (each fine
+    /// bucket falls wholly inside one export bin) so `_bucket` series
+    /// are monotone and `+Inf` equals `_count`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let families = self.inner.families.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for family in families.iter() {
+            let kind = family.series[0].1.kind();
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {} {}", family.name, kind);
+            for (labels, handle) in &family.series {
+                match handle {
+                    Handle::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            render_labels(labels, None),
+                            c.get()
+                        );
+                    }
+                    Handle::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            render_labels(labels, None),
+                            g.get()
+                        );
+                    }
+                    Handle::Histogram(h) => {
+                        render_histogram(&mut out, &family.name, labels, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &Labels, hist: &Histogram) {
+    let snap = hist.snapshot();
+    let mut cumulative = vec![0u64; EXPORT_BOUNDS_NS.len()];
+    for (b, &n) in snap.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let upper = bucket_upper(b);
+        for (i, &bound) in EXPORT_BOUNDS_NS.iter().enumerate() {
+            if upper <= bound {
+                cumulative[i] += n;
+            }
+        }
+    }
+    for (i, le) in EXPORT_BOUNDS_SECONDS.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            name,
+            render_labels(labels, Some(le)),
+            cumulative[i]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        name,
+        render_labels(labels, Some("+Inf")),
+        snap.count
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let sum_seconds = snap.sum as f64 / 1e9;
+    let _ = writeln!(
+        out,
+        "{}_sum{} {:.9}",
+        name,
+        render_labels(labels, None),
+        sum_seconds
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        name,
+        render_labels(labels, None),
+        snap.count
+    );
+}
+
+fn render_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_round_trips_through_registry() {
+        let registry = Registry::new();
+        let a = registry.counter("quma_test_total", "test counter");
+        a.add(3);
+        let b = registry.counter("quma_test_total", "test counter");
+        assert_eq!(b.get(), 3, "same name must return the same handle");
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE quma_test_total counter"));
+        assert!(text.contains("quma_test_total 3"));
+    }
+
+    #[test]
+    fn labelled_series_share_one_family_header() {
+        let registry = Registry::new();
+        registry
+            .counter_with("quma_route_total", "per-route", &[("route", "a")])
+            .inc();
+        registry
+            .counter_with("quma_route_total", "per-route", &[("route", "b")])
+            .add(2);
+        let text = registry.render_prometheus();
+        assert_eq!(text.matches("# TYPE quma_route_total").count(), 1);
+        assert!(text.contains("quma_route_total{route=\"a\"} 1"));
+        assert!(text.contains("quma_route_total{route=\"b\"} 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_inf_equals_count() {
+        let registry = Registry::new();
+        let h = registry.histogram("quma_lat_seconds", "latency");
+        for v in [500, 5_000, 2_000_000, 80_000_000, 30_000_000_000] {
+            h.record(v);
+        }
+        let text = registry.render_prometheus();
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "non-monotone: {line}");
+            last = value;
+        }
+        assert!(text.contains("quma_lat_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("quma_lat_seconds_count 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let registry = Registry::new();
+        registry.counter("quma_conflict", "as counter");
+        registry.gauge("quma_conflict", "as gauge");
+    }
+}

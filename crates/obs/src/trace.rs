@@ -1,0 +1,462 @@
+//! Span tracing into a bounded lock-free ring buffer, exportable as
+//! Chrome trace-event JSON (`chrome://tracing` / Perfetto loadable).
+//!
+//! Every span carries a [`TraceId`] — for pooled jobs this is the job
+//! id, so one HTTP submission threads a single id through submit →
+//! queue → worker dispatch → shot execution → journal append → HTTP
+//! response. Recording is wait-free: a ticket from one `fetch_add`
+//! picks a slot, a per-slot seqlock (odd = mid-write) lets readers
+//! detect torn slots, and overflow overwrites the oldest span while
+//! [`TraceBuffer::dropped_events`] counts what was lost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Identifier threading one job's spans together (the pool job id for
+/// pooled work; 0 when unattributed).
+pub type TraceId = u64;
+
+/// What a span measured. Each kind maps to a stable Chrome trace name
+/// and category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Full HTTP request handling, serve layer.
+    HttpRequest = 0,
+    /// Job validation + WAL append + enqueue, pool submit path.
+    Submit = 1,
+    /// Time spent queued before a worker claimed the job.
+    Queued = 2,
+    /// Worker executing the job body.
+    Run = 3,
+    /// One batch of shots inside the engine.
+    ShotBatch = 4,
+    /// Journal record append (WAL or result log).
+    JournalAppend = 5,
+    /// Journal fsync (group-commit flusher or synchronous policy).
+    JournalFsync = 6,
+}
+
+impl SpanKind {
+    /// Chrome trace event name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::HttpRequest => "http_request",
+            SpanKind::Submit => "submit",
+            SpanKind::Queued => "queued",
+            SpanKind::Run => "run",
+            SpanKind::ShotBatch => "shot_batch",
+            SpanKind::JournalAppend => "journal_append",
+            SpanKind::JournalFsync => "journal_fsync",
+        }
+    }
+
+    /// Chrome trace category.
+    #[must_use]
+    pub fn cat(self) -> &'static str {
+        match self {
+            SpanKind::HttpRequest => "serve",
+            SpanKind::Submit | SpanKind::Queued | SpanKind::Run => "pool",
+            SpanKind::ShotBatch => "engine",
+            SpanKind::JournalAppend | SpanKind::JournalFsync => "journal",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => SpanKind::HttpRequest,
+            1 => SpanKind::Submit,
+            2 => SpanKind::Queued,
+            3 => SpanKind::Run,
+            4 => SpanKind::ShotBatch,
+            5 => SpanKind::JournalAppend,
+            6 => SpanKind::JournalFsync,
+            _ => return None,
+        })
+    }
+}
+
+/// One completed span, ready to record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Interned label (route or site name) from [`TraceBuffer::intern`];
+    /// 0 for none — export then falls back to the kind's name.
+    pub label: u16,
+    /// Job/trace correlation id.
+    pub trace: TraceId,
+    /// Thread lane for the Chrome view (worker index, connection id).
+    pub tid: u32,
+    /// Span start, nanoseconds on the [`now_ns`] clock.
+    pub start_ns: u64,
+    /// Span end, same clock.
+    pub end_ns: u64,
+    /// Kind-specific payload (shots, bytes, status...).
+    pub a: u64,
+    /// Second kind-specific payload.
+    pub b: u64,
+}
+
+/// One ring slot: a seqlock version plus the span fields, all atomics
+/// so concurrent overwrite can tear data but never invoke UB. Version
+/// scheme: writer stores `2*ticket + 1` (odd, mid-write), fills the
+/// fields, then stores `2*ticket + 2`. A reader accepts a slot only if
+/// it sees the same even, nonzero version before and after reading.
+struct Slot {
+    version: AtomicU64,
+    packed: AtomicU64,
+    trace: AtomicU64,
+    start: AtomicU64,
+    end: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            packed: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            start: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+
+    fn read(&self) -> Option<SpanEvent> {
+        for _ in 0..4 {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 % 2 == 1 {
+                return None;
+            }
+            let packed = self.packed.load(Ordering::Relaxed);
+            let event = SpanEvent {
+                kind: SpanKind::from_u8((packed >> 48) as u8)?,
+                label: (packed >> 32) as u16,
+                trace: self.trace.load(Ordering::Relaxed),
+                tid: packed as u32,
+                start_ns: self.start.load(Ordering::Relaxed),
+                end_ns: self.end.load(Ordering::Relaxed),
+                a: self.a.load(Ordering::Relaxed),
+                b: self.b.load(Ordering::Relaxed),
+            };
+            if self.version.load(Ordering::Acquire) == v1 {
+                return Some(event);
+            }
+        }
+        None
+    }
+}
+
+struct TraceInner {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+    labels: Mutex<Vec<String>>,
+}
+
+/// A bounded, lock-free ring of spans. Cloning shares the ring.
+#[derive(Clone)]
+pub struct TraceBuffer {
+    inner: Arc<TraceInner>,
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.inner.head.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped_events())
+            .finish()
+    }
+}
+
+impl TraceBuffer {
+    /// A ring holding up to `capacity` spans (rounded up to a power of
+    /// two, minimum 16). Oldest spans are overwritten on overflow.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(16).next_power_of_two();
+        Self {
+            inner: Arc::new(TraceInner {
+                slots: (0..cap).map(|_| Slot::new()).collect(),
+                head: AtomicU64::new(0),
+                labels: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Slot capacity of the ring.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Spans lost to ring overflow so far.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .head
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.capacity() as u64)
+    }
+
+    /// Intern a label string (route name, site name) for use in
+    /// [`SpanEvent::label`]. Setup-time only — takes a lock. Returns a
+    /// nonzero id; interning the same string twice returns the same id.
+    pub fn intern(&self, label: &str) -> u16 {
+        let mut labels = self.inner.labels.lock().expect("trace labels poisoned");
+        if let Some(i) = labels.iter().position(|l| l == label) {
+            return u16::try_from(i + 1).expect("label table bounded");
+        }
+        assert!(labels.len() < usize::from(u16::MAX), "label table full");
+        labels.push(label.to_string());
+        u16::try_from(labels.len()).expect("label table bounded")
+    }
+
+    fn label_name(&self, id: u16) -> Option<String> {
+        if id == 0 {
+            return None;
+        }
+        let labels = self.inner.labels.lock().expect("trace labels poisoned");
+        labels.get(usize::from(id) - 1).cloned()
+    }
+
+    /// Record one span. Wait-free: one `fetch_add` for the ticket and
+    /// seven atomic stores into the slot.
+    #[inline]
+    pub fn record(&self, event: SpanEvent) {
+        let ticket = self.inner.head.fetch_add(1, Ordering::Relaxed);
+        let mask = self.capacity() as u64 - 1;
+        let slot = &self.inner.slots[(ticket & mask) as usize];
+        slot.version.store(2 * ticket + 1, Ordering::Release);
+        let packed = (u64::from(event.kind as u8) << 48)
+            | (u64::from(event.label) << 32)
+            | u64::from(event.tid);
+        slot.packed.store(packed, Ordering::Relaxed);
+        slot.trace.store(event.trace, Ordering::Relaxed);
+        slot.start.store(event.start_ns, Ordering::Relaxed);
+        slot.end.store(event.end_ns, Ordering::Relaxed);
+        slot.a.store(event.a, Ordering::Relaxed);
+        slot.b.store(event.b, Ordering::Relaxed);
+        slot.version.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// All stable spans currently in the ring, sorted by start time.
+    /// Slots being overwritten mid-read are skipped.
+    #[must_use]
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut events: Vec<SpanEvent> = self.inner.slots.iter().filter_map(Slot::read).collect();
+        events.sort_by_key(|e| (e.start_ns, e.end_ns, e.trace));
+        events
+    }
+
+    /// Export the ring as Chrome trace-event JSON: an object with a
+    /// `traceEvents` array of complete (`"ph":"X"`) events whose
+    /// `args` carry the trace id and payloads, loadable in
+    /// `chrome://tracing` or Perfetto.
+    #[must_use]
+    pub fn export_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 160 + 128);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let name = self
+                .label_name(e.label)
+                .unwrap_or_else(|| e.kind.name().to_string());
+            #[allow(clippy::cast_precision_loss)]
+            let ts_us = e.start_ns as f64 / 1000.0;
+            #[allow(clippy::cast_precision_loss)]
+            let dur_us = e.end_ns.saturating_sub(e.start_ns) as f64 / 1000.0;
+            use std::fmt::Write as _;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
+                 \"dur\":{dur_us:.3},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"trace_id\":{},\"a\":{},\"b\":{}}}}}",
+                escape_json(&name),
+                e.kind.cat(),
+                e.tid,
+                e.trace,
+                e.a,
+                e.b
+            );
+        }
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":{}}}}}",
+            self.dropped_events()
+        );
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Process-wide monotonic clock anchor for span timestamps.
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+fn anchor() -> Instant {
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace clock anchor (first call
+/// wins the zero point). All spans in one process share this clock, so
+/// spans from different layers line up in the exported trace.
+#[must_use]
+pub fn now_ns() -> u64 {
+    u64::try_from(anchor().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Convert an [`Instant`] to the trace clock; instants before the
+/// anchor clamp to 0.
+#[must_use]
+pub fn instant_ns(instant: Instant) -> u64 {
+    instant
+        .checked_duration_since(anchor())
+        .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: TraceId, start: u64, end: u64) -> SpanEvent {
+        SpanEvent {
+            kind: SpanKind::Run,
+            label: 0,
+            trace,
+            tid: 1,
+            start_ns: start,
+            end_ns: end,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn records_and_reads_back() {
+        let buf = TraceBuffer::new(16);
+        buf.record(span(7, 100, 250));
+        let events = buf.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace, 7);
+        assert_eq!(events[0].start_ns, 100);
+        assert_eq!(events[0].end_ns, 250);
+        assert_eq!(buf.dropped_events(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let buf = TraceBuffer::new(16);
+        for i in 0..20u64 {
+            buf.record(span(i, i * 10, i * 10 + 5));
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 16);
+        assert_eq!(buf.dropped_events(), 4);
+        // The four oldest tickets (traces 0..4) were overwritten.
+        assert!(events.iter().all(|e| e.trace >= 4));
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let buf = TraceBuffer::new(16);
+        let a = buf.intern("submit_job");
+        let b = buf.intern("metrics");
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(buf.intern("submit_job"), a);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape() {
+        let buf = TraceBuffer::new(16);
+        let label = buf.intern("submit_job");
+        buf.record(SpanEvent {
+            kind: SpanKind::HttpRequest,
+            label,
+            trace: 42,
+            tid: 3,
+            start_ns: 1_500,
+            end_ns: 4_500,
+            a: 201,
+            b: 0,
+        });
+        let json = buf.export_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"submit_job\""));
+        assert!(json.contains("\"cat\":\"serve\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":3.000"));
+        assert!(json.contains("\"trace_id\":42"));
+        assert!(json.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn concurrent_recording_never_tears() {
+        let buf = TraceBuffer::new(64);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let buf = buf.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    // Encode the writer in every field so a torn read
+                    // would produce a mismatched event.
+                    let v = t * 1_000_000 + i;
+                    buf.record(SpanEvent {
+                        kind: SpanKind::ShotBatch,
+                        label: 0,
+                        trace: v,
+                        tid: u32::try_from(t).unwrap(),
+                        start_ns: v,
+                        end_ns: v,
+                        a: v,
+                        b: v,
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for e in buf.events() {
+            assert_eq!(e.trace, e.start_ns);
+            assert_eq!(e.trace, e.a);
+            assert_eq!(e.trace, e.b);
+            assert_eq!(e.trace / 1_000_000, u64::from(e.tid));
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        assert!(instant_ns(Instant::now()).max(1) >= a.min(1));
+    }
+}

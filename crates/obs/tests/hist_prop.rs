@@ -1,0 +1,65 @@
+//! Property tests for the histogram: merged shard snapshots must
+//! equal a single-shard reference recorder bit-for-bit, and bucket
+//! boundaries must round-trip the documented bucket formula.
+
+use proptest::prelude::*;
+use quma_obs::hist::{bucket_index, bucket_lower, bucket_upper, Histogram, NUM_BUCKETS};
+
+proptest! {
+    /// Recording the same values across many shards and merging must
+    /// produce exactly the snapshot of a single-shard reference
+    /// recorder: identical bucket vector, count, sum, and max.
+    #[test]
+    fn merged_shards_equal_single_shard_reference(
+        values in proptest::collection::vec(any::<u64>(), 0..400),
+        shards in 1usize..=8,
+    ) {
+        let sharded = Histogram::with_shards(shards);
+        let reference = Histogram::with_shards(1);
+        for (i, &v) in values.iter().enumerate() {
+            // Deterministic spread across shards.
+            sharded.record_in(i % shards.next_power_of_two(), v);
+            reference.record_in(0, v);
+        }
+        prop_assert_eq!(sharded.snapshot(), reference.snapshot());
+    }
+
+    /// Every value lands in a bucket whose [lower, upper] range
+    /// contains it, and the bucket index round-trips from either
+    /// boundary.
+    #[test]
+    fn bucket_boundaries_round_trip(v in any::<u64>()) {
+        let b = bucket_index(v);
+        prop_assert!(b < NUM_BUCKETS);
+        prop_assert!(bucket_lower(b) <= v, "lower {} > {}", bucket_lower(b), v);
+        prop_assert!(bucket_upper(b) >= v, "upper {} < {}", bucket_upper(b), v);
+        prop_assert_eq!(bucket_index(bucket_lower(b)), b);
+        prop_assert_eq!(bucket_index(bucket_upper(b)), b);
+    }
+
+    /// Bucket widths obey the documented ≤ 25 % relative-error bound
+    /// for values ≥ 8 (below 8 buckets are exact).
+    #[test]
+    fn bucket_relative_error_bounded(v in 8u64..=u64::MAX) {
+        let b = bucket_index(v);
+        let width = bucket_upper(b) - bucket_lower(b);
+        prop_assert!(width <= bucket_lower(b) / 4);
+    }
+
+    /// Quantiles are bracketed by the recorded extremes.
+    #[test]
+    fn quantiles_within_observed_range(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::with_shards(1);
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let max = *values.iter().max().unwrap();
+        prop_assert!(snap.quantile(q) <= max);
+        prop_assert_eq!(snap.max, max);
+        prop_assert_eq!(snap.count, values.len() as u64);
+    }
+}

@@ -12,8 +12,8 @@
 
 use quma_core::prelude::DeviceError;
 use quma_isa::prelude::{Program, ProgramTemplate};
+use quma_obs::Counter;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 // The content hash and the slot-spec key fragment now live in
@@ -87,8 +87,8 @@ const DEFAULT_CAPACITY: usize = 1024;
 pub struct ProgramCache {
     programs: Mutex<Shelf<Program>>,
     templates: Mutex<Shelf<ProgramTemplate>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl Default for ProgramCache {
@@ -109,9 +109,15 @@ impl ProgramCache {
         Self {
             programs: Mutex::new(Shelf::new(capacity)),
             templates: Mutex::new(Shelf::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
+    }
+
+    /// The hit/miss counter handles, for registration in a metric
+    /// registry (the handles share state with this cache).
+    pub(crate) fn hit_miss_counters(&self) -> (&Counter, &Counter) {
+        (&self.hits, &self.misses)
     }
 
     /// Assembles `source`, or returns the cached program if the same
@@ -120,11 +126,11 @@ impl ProgramCache {
         let key = content_hash(source.as_bytes());
         let mut shelf = self.programs.lock().expect("cache poisoned");
         if let Some(program) = shelf.get(key, source) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok((program, true));
         }
         let program = Arc::new(quma_isa::asm::Assembler::new().assemble(source)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         shelf.insert(key, source.into(), Arc::clone(&program));
         Ok((program, false))
     }
@@ -152,7 +158,7 @@ impl ProgramCache {
         let key = content_hash(keyed.as_bytes());
         let mut shelf = self.templates.lock().expect("cache poisoned");
         if let Some(template) = shelf.get(key, &keyed) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(template);
         }
         let mut program = quma_isa::asm::Assembler::new().assemble(source)?;
@@ -160,19 +166,19 @@ impl ProgramCache {
             program.add_slot(slot.name.clone(), slot.insn_index, slot.field)?;
         }
         let template = Arc::new(ProgramTemplate::new(program));
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         shelf.insert(key, keyed.into(), Arc::clone(&template));
         Ok(template)
     }
 
     /// Submissions served from cache so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Submissions that had to assemble.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Distinct cached entries (programs + templates).

@@ -1,6 +1,7 @@
 //! Per-job metrics and the pool-wide stats snapshot.
 
 use crate::job::{JobId, Priority};
+use quma_obs::{Counter, Gauge, Histogram, Registry};
 use std::time::Duration;
 
 /// What one job cost, measured by the worker that ran it and delivered
@@ -33,23 +34,96 @@ pub struct JobMetrics {
     pub cache_hit: bool,
 }
 
-/// Mutable pool counters (behind the pool's stats mutex).
-#[derive(Debug, Default)]
-pub(crate) struct StatsInner {
-    pub submitted: u64,
-    pub rejected: u64,
-    pub completed: u64,
-    pub failed: u64,
-    pub cancelled: u64,
-    pub high_completed: u64,
-    pub warm_device_clones: u64,
-    pub cold_device_builds: u64,
-    pub warm_session_reuses: u64,
-    pub executed_shots: u64,
-    pub recovered_jobs: u64,
-    pub total_queue_wait: Duration,
-    pub total_run_time: Duration,
-    pub max_queue_depth: usize,
+/// The pool's live counters, gauges, and latency histograms — all
+/// lock-free atomic handles, registered under `quma_pool_*` family
+/// names at construction. This replaced the old `Mutex<StatsInner>`:
+/// workers bump counters and record histograms without ever contending
+/// on a stats lock, and [`PoolStats`] is assembled from snapshots at
+/// read time.
+#[derive(Debug)]
+pub(crate) struct PoolMetrics {
+    pub submitted: Counter,
+    pub rejected: Counter,
+    pub completed: Counter,
+    pub failed: Counter,
+    pub cancelled: Counter,
+    pub high_completed: Counter,
+    pub warm_device_clones: Counter,
+    pub cold_device_builds: Counter,
+    pub warm_session_reuses: Counter,
+    pub executed_shots: Counter,
+    pub recovered_jobs: Counter,
+    /// Worker threads serving the pool (constant per pool).
+    pub workers: Gauge,
+    /// High-water mark of queue depth at submit time.
+    pub max_queue_depth: Gauge,
+    /// Submit → dispatch latency of finished jobs, nanoseconds.
+    pub queue_wait: Histogram,
+    /// Dispatch → terminal-state latency of finished jobs, nanoseconds.
+    pub run_time: Histogram,
+}
+
+impl PoolMetrics {
+    /// Creates every handle and registers it in `registry`.
+    pub(crate) fn new(registry: &Registry) -> Self {
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        Self {
+            submitted: c(
+                "quma_pool_jobs_submitted_total",
+                "Jobs accepted into a queue",
+            ),
+            rejected: c(
+                "quma_pool_jobs_rejected_total",
+                "Submissions bounced with QueueFull backpressure",
+            ),
+            completed: c(
+                "quma_pool_jobs_completed_total",
+                "Jobs finished successfully",
+            ),
+            failed: c("quma_pool_jobs_failed_total", "Jobs finished with an error"),
+            cancelled: c(
+                "quma_pool_jobs_cancelled_total",
+                "Jobs cancelled while queued (never ran)",
+            ),
+            high_completed: c(
+                "quma_pool_jobs_high_completed_total",
+                "Completed jobs that were high priority",
+            ),
+            warm_device_clones: c(
+                "quma_pool_warm_device_clones_total",
+                "Jobs served by cloning a warm device",
+            ),
+            cold_device_builds: c(
+                "quma_pool_cold_device_builds_total",
+                "Jobs that forced a cold Device::new",
+            ),
+            warm_session_reuses: c(
+                "quma_pool_warm_session_reuses_total",
+                "Pure jobs served by rewinding an already-warm session",
+            ),
+            executed_shots: c(
+                "quma_pool_executed_shots_total",
+                "Shots and sweep points actually executed by workers",
+            ),
+            recovered_jobs: c(
+                "quma_pool_recovered_jobs_total",
+                "Jobs reconstructed from the journal by recovery",
+            ),
+            workers: registry.gauge("quma_pool_workers", "Worker threads serving the pool"),
+            max_queue_depth: registry.gauge(
+                "quma_pool_max_queue_depth",
+                "Deepest any queue got at submit time",
+            ),
+            queue_wait: registry.histogram(
+                "quma_pool_queue_wait_seconds",
+                "Submit-to-dispatch latency of finished jobs",
+            ),
+            run_time: registry.histogram(
+                "quma_pool_run_seconds",
+                "Dispatch-to-terminal latency of finished jobs",
+            ),
+        }
+    }
 }
 
 /// A point-in-time snapshot of the pool's counters
@@ -113,19 +187,92 @@ impl PoolStats {
         self.completed + self.failed
     }
 
-    /// Mean time a finished job spent queued.
+    /// Mean time a finished job spent queued. Computed in u64
+    /// nanoseconds — `Duration`'s `Div<u32>` would silently clamp the
+    /// divisor at `u32::MAX` finished jobs and report inflated means
+    /// past that point.
     pub fn mean_queue_wait(&self) -> Duration {
-        match self.finished() {
-            0 => Duration::ZERO,
-            n => self.total_queue_wait / u32::try_from(n.min(u64::from(u32::MAX))).unwrap_or(1),
+        mean_duration(self.total_queue_wait, self.finished())
+    }
+
+    /// Mean time a finished job spent running (u64 nanosecond math;
+    /// see [`PoolStats::mean_queue_wait`]).
+    pub fn mean_run_time(&self) -> Duration {
+        mean_duration(self.total_run_time, self.finished())
+    }
+}
+
+/// `total / n` in u64 nanoseconds. Totals above `u64::MAX` ns (~584
+/// years) saturate before dividing; `n == 0` yields zero.
+fn mean_duration(total: Duration, n: u64) -> Duration {
+    if n == 0 {
+        return Duration::ZERO;
+    }
+    let total_ns = u64::try_from(total.as_nanos()).unwrap_or(u64::MAX);
+    Duration::from_nanos(total_ns / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(
+        finished: u64,
+        total_queue_wait: Duration,
+        total_run_time: Duration,
+    ) -> PoolStats {
+        PoolStats {
+            workers: 1,
+            submitted: finished,
+            rejected: 0,
+            completed: finished,
+            failed: 0,
+            cancelled: 0,
+            high_completed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            warm_device_clones: 0,
+            cold_device_builds: 0,
+            warm_session_reuses: 0,
+            executed_shots: 0,
+            recovered_jobs: 0,
+            journal_records_written: 0,
+            journal_bytes_written: 0,
+            journal_fsyncs: 0,
+            total_queue_wait,
+            total_run_time,
+            max_queue_depth: 0,
         }
     }
 
-    /// Mean time a finished job spent running.
-    pub fn mean_run_time(&self) -> Duration {
-        match self.finished() {
-            0 => Duration::ZERO,
-            n => self.total_run_time / u32::try_from(n.min(u64::from(u32::MAX))).unwrap_or(1),
-        }
+    #[test]
+    fn mean_is_exact_past_the_u32_saturation_boundary() {
+        // More finished jobs than a u32 can hold: the old
+        // `Duration / u32` implementation clamped the divisor at
+        // u32::MAX, so a pool that finished 10 * u32::MAX jobs at
+        // 1 µs each reported a ~10 µs mean. u64 nanosecond math stays
+        // exact.
+        let n = u64::from(u32::MAX) * 10;
+        let stats = stats_with(
+            n,
+            Duration::from_nanos(n * 2_000),
+            Duration::from_nanos(n * 1_000),
+        );
+        assert_eq!(stats.mean_queue_wait(), Duration::from_nanos(2_000));
+        assert_eq!(stats.mean_run_time(), Duration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn mean_of_zero_finished_is_zero() {
+        let stats = stats_with(0, Duration::from_secs(5), Duration::from_secs(5));
+        assert_eq!(stats.mean_queue_wait(), Duration::ZERO);
+        assert_eq!(stats.mean_run_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_matches_small_counts() {
+        let stats = stats_with(4, Duration::from_micros(10), Duration::from_micros(100));
+        assert_eq!(stats.mean_queue_wait(), Duration::from_nanos(2_500));
+        assert_eq!(stats.mean_run_time(), Duration::from_micros(25));
     }
 }

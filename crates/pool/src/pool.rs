@@ -5,7 +5,7 @@ use crate::cache::{ProgramCache, SlotSpec};
 use crate::job::{
     ExperimentHandle, Job, JobHandle, JobId, JobOutput, Priority, QueuedJob, Resume, SubmitError,
 };
-use crate::metrics::{PoolStats, StatsInner};
+use crate::metrics::{PoolMetrics, PoolStats};
 use crate::worker::worker_loop;
 use crossbeam::channel;
 use quma_core::prelude::{
@@ -17,9 +17,11 @@ use quma_isa::prelude::{Program, ProgramTemplate};
 use quma_journal::{
     replay_ledger, JobSpec, Journal, JournalConfig, ReplayedJob, ReplayedOutcome, WalRecord,
 };
+use quma_obs::trace::{now_ns, SpanEvent, SpanKind, TraceBuffer};
+use quma_obs::{HistogramSnapshot, Registry};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How a pool is built.
 #[derive(Debug, Clone)]
@@ -39,6 +41,12 @@ pub struct PoolConfig {
     /// rebuild them after a crash. `None` (the default) journals
     /// nothing and costs nothing.
     pub journal: Option<JournalConfig>,
+    /// Span-trace ring-buffer capacity in events; `0` (the default)
+    /// disables tracing entirely — no buffer is allocated and the
+    /// record path in workers is a single `Option` check. Rounded up to
+    /// a power of two, minimum 16. When full, the buffer drops the
+    /// *oldest* events and counts them (`dropped_events`).
+    pub trace_capacity: usize,
 }
 
 impl PoolConfig {
@@ -50,6 +58,7 @@ impl PoolConfig {
             queue_depth: 64,
             device,
             journal: None,
+            trace_capacity: 0,
         }
     }
 
@@ -70,6 +79,13 @@ impl PoolConfig {
         self.journal = Some(journal);
         self
     }
+
+    /// Enables span tracing with a ring buffer of `capacity` events
+    /// (builder style; `0` disables).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
 }
 
 impl Default for PoolConfig {
@@ -84,8 +100,13 @@ pub(crate) struct PoolShared {
     pub(crate) base: DeviceConfig,
     /// The content-hash program/template cache.
     pub(crate) cache: ProgramCache,
-    /// Mutable counters.
-    pub(crate) stats: Mutex<StatsInner>,
+    /// Lock-free counters, gauges, and latency histograms.
+    pub(crate) metrics: PoolMetrics,
+    /// The registry every pool metric (and the journal's, when
+    /// journaled) is registered in — the serving layer renders it.
+    pub(crate) registry: Registry,
+    /// The span-trace ring buffer, when tracing is enabled.
+    pub(crate) trace: Option<TraceBuffer>,
     /// Global dispatch sequence (see `JobMetrics::dispatch_seq`).
     pub(crate) dispatch_seq: AtomicU64,
     /// The write-ahead journal, when the pool is durable.
@@ -142,6 +163,7 @@ impl DevicePool {
             queue_depth,
             device,
             journal,
+            trace_capacity,
         } = config;
         let queue_depth = queue_depth.max(1);
         let pristine = Device::new(device.clone())?;
@@ -154,10 +176,35 @@ impl DevicePool {
             }
             None => None,
         };
+        let registry = Registry::new();
+        let trace = (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity));
+        let metrics = PoolMetrics::new(&registry);
+        metrics.workers.set(worker_count as u64);
+        let cache = ProgramCache::new();
+        {
+            let (hits, misses) = cache.hit_miss_counters();
+            registry.register_counter(
+                "quma_pool_cache_hits_total",
+                "Cache lookups served without assembling",
+                &[],
+                hits,
+            );
+            registry.register_counter(
+                "quma_pool_cache_misses_total",
+                "Cache lookups that had to assemble",
+                &[],
+                misses,
+            );
+        }
+        if let Some(journal) = &journal {
+            journal.attach_obs(&registry, trace.as_ref());
+        }
         let shared = Arc::new(PoolShared {
             base: device,
-            cache: ProgramCache::new(),
-            stats: Mutex::new(StatsInner::default()),
+            cache,
+            metrics,
+            registry,
+            trace,
             dispatch_seq: AtomicU64::new(0),
             journal,
         });
@@ -225,6 +272,7 @@ impl DevicePool {
         fixed_id: Option<JobId>,
         blocking: bool,
     ) -> Result<JobHandle, SubmitError> {
+        let submit_start_ns = self.shared.trace.as_ref().map(|_| now_ns());
         job.validate().map_err(SubmitError::InvalidJob)?;
         let submitters = self.submitters.as_ref().ok_or(SubmitError::ShutDown)?;
         let id = match fixed_id {
@@ -239,15 +287,18 @@ impl DevicePool {
             (Some(journal), Some(spec)) => {
                 if fixed_id.is_none() {
                     journal
-                        .append(&WalRecord::Submitted {
-                            id,
-                            priority: match job.priority {
-                                Priority::High => 1,
-                                Priority::Normal => 0,
+                        .append_traced(
+                            &WalRecord::Submitted {
+                                id,
+                                priority: match job.priority {
+                                    Priority::High => 1,
+                                    Priority::Normal => 0,
+                                },
+                                client: job.client.clone(),
+                                spec: spec.clone(),
                             },
-                            client: job.client.clone(),
-                            spec: spec.clone(),
-                        })
+                            id,
+                        )
                         .map_err(|e| {
                             SubmitError::InvalidJob(DeviceError::Config(format!(
                                 "journal append failed: {e}"
@@ -277,12 +328,12 @@ impl DevicePool {
         } else {
             target.try_send(queued).map_err(|err| match err {
                 channel::TrySendError::Full(_) => {
-                    self.shared.stats.lock().expect("stats poisoned").rejected += 1;
+                    self.shared.metrics.rejected.inc();
                     // The submission is already durable; neutralize it so
                     // recovery does not resurrect a job the client was
                     // told never entered the queue.
                     if let Some(journal) = &journal {
-                        let _ = journal.append(&WalRecord::Cancelled { id });
+                        let _ = journal.append_traced(&WalRecord::Cancelled { id }, id);
                     }
                     SubmitError::QueueFull {
                         priority,
@@ -297,10 +348,25 @@ impl DevicePool {
             .tickets
             .send(())
             .map_err(|_| SubmitError::ShutDown)?;
-        {
-            let mut stats = self.shared.stats.lock().expect("stats poisoned");
-            stats.submitted += 1;
-            stats.max_queue_depth = stats.max_queue_depth.max(target.len());
+        self.shared.metrics.submitted.inc();
+        self.shared
+            .metrics
+            .max_queue_depth
+            .fetch_max(target.len() as u64);
+        if let (Some(trace), Some(start_ns)) = (&self.shared.trace, submit_start_ns) {
+            trace.record(SpanEvent {
+                kind: SpanKind::Submit,
+                label: 0,
+                trace: id,
+                tid: 0,
+                start_ns,
+                end_ns: now_ns(),
+                a: match priority {
+                    Priority::High => 1,
+                    Priority::Normal => 0,
+                },
+                b: 0,
+            });
         }
         Ok(JobHandle::new(id, events_rx, phase, journal))
     }
@@ -385,7 +451,9 @@ impl DevicePool {
         }
     }
 
-    /// A point-in-time snapshot of the pool's counters.
+    /// A point-in-time snapshot of the pool's counters — a
+    /// compatibility view assembled from the live metric handles (the
+    /// histograms' sums reconstruct the old `total_*` durations).
     pub fn stats(&self) -> PoolStats {
         let journal = self
             .shared
@@ -393,29 +461,59 @@ impl DevicePool {
             .as_ref()
             .map(|j| j.stats())
             .unwrap_or_default();
-        let inner = self.shared.stats.lock().expect("stats poisoned");
+        let m = &self.shared.metrics;
         PoolStats {
             workers: self.worker_count,
-            submitted: inner.submitted,
-            rejected: inner.rejected,
-            completed: inner.completed,
-            failed: inner.failed,
-            cancelled: inner.cancelled,
-            high_completed: inner.high_completed,
+            submitted: m.submitted.get(),
+            rejected: m.rejected.get(),
+            completed: m.completed.get(),
+            failed: m.failed.get(),
+            cancelled: m.cancelled.get(),
+            high_completed: m.high_completed.get(),
             cache_hits: self.shared.cache.hits(),
             cache_misses: self.shared.cache.misses(),
-            warm_device_clones: inner.warm_device_clones,
-            cold_device_builds: inner.cold_device_builds,
-            warm_session_reuses: inner.warm_session_reuses,
-            executed_shots: inner.executed_shots,
-            recovered_jobs: inner.recovered_jobs,
+            warm_device_clones: m.warm_device_clones.get(),
+            cold_device_builds: m.cold_device_builds.get(),
+            warm_session_reuses: m.warm_session_reuses.get(),
+            executed_shots: m.executed_shots.get(),
+            recovered_jobs: m.recovered_jobs.get(),
             journal_records_written: journal.records_written,
             journal_bytes_written: journal.bytes_written,
             journal_fsyncs: journal.fsyncs,
-            total_queue_wait: inner.total_queue_wait,
-            total_run_time: inner.total_run_time,
-            max_queue_depth: inner.max_queue_depth,
+            total_queue_wait: Duration::from_nanos(m.queue_wait.snapshot().sum),
+            total_run_time: Duration::from_nanos(m.run_time.snapshot().sum),
+            max_queue_depth: usize::try_from(m.max_queue_depth.get()).unwrap_or(usize::MAX),
         }
+    }
+
+    /// The metric registry every pool (and journal) handle is
+    /// registered in; render it with
+    /// [`Registry::render_prometheus`] or walk it for JSON.
+    pub fn obs_registry(&self) -> Registry {
+        self.shared.registry.clone()
+    }
+
+    /// The span-trace ring buffer, when the pool was built
+    /// [`PoolConfig::with_trace`]; `None` on an untraced pool.
+    pub fn trace_buffer(&self) -> Option<TraceBuffer> {
+        self.shared.trace.clone()
+    }
+
+    /// Exports the trace ring buffer as Chrome trace-event JSON
+    /// (load it in `chrome://tracing` or Perfetto); `None` on an
+    /// untraced pool.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        self.shared.trace.as_ref().map(|t| t.export_chrome_json())
+    }
+
+    /// Merged snapshot of the submit-to-dispatch latency histogram.
+    pub fn queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.shared.metrics.queue_wait.snapshot()
+    }
+
+    /// Merged snapshot of the dispatch-to-terminal latency histogram.
+    pub fn run_time_snapshot(&self) -> HistogramSnapshot {
+        self.shared.metrics.run_time.snapshot()
     }
 
     /// Rebuilds a pool from its journal after a crash (or a plain
@@ -451,11 +549,7 @@ impl DevicePool {
         let mut jobs = Vec::with_capacity(replayed.len());
         for entry in replayed {
             let state = pool.recover_one(&entry)?;
-            pool.shared
-                .stats
-                .lock()
-                .expect("stats poisoned")
-                .recovered_jobs += 1;
+            pool.shared.metrics.recovered_jobs.inc();
             jobs.push(RecoveredJob {
                 id: entry.id,
                 client: entry.client,

@@ -36,8 +36,10 @@ use crate::pool::PoolShared;
 use crossbeam::channel;
 use quma_core::prelude::{
     BatchReport, Device, DeviceConfig, DeviceError, LoadedProgram, RunReport, SeedPlan, Session,
+    SessionTracer,
 };
 use quma_journal::{Journal, WalRecord};
+use quma_obs::trace::{now_ns, SpanEvent, SpanKind};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -75,19 +77,11 @@ impl WarmSet {
     ) -> Result<Session, JobError> {
         if let Some((_, device)) = self.devices.iter().find(|(c, _)| c == config) {
             let session = Session::from_device(device.clone());
-            shared
-                .stats
-                .lock()
-                .expect("stats poisoned")
-                .warm_device_clones += 1;
+            shared.metrics.warm_device_clones.inc();
             return Ok(session);
         }
         let device = Device::new(config.clone()).map_err(JobError::Device)?;
-        shared
-            .stats
-            .lock()
-            .expect("stats poisoned")
-            .cold_device_builds += 1;
+        shared.metrics.cold_device_builds.inc();
         let session = Session::from_device(device.clone());
         if self.devices.len() >= WARM_CAP {
             // Evict the oldest non-base entry.
@@ -108,11 +102,7 @@ impl WarmSet {
         shared: &PoolShared,
     ) -> Result<&mut Session, JobError> {
         if let Some(pos) = self.sessions.iter().position(|(c, _)| c == config) {
-            shared
-                .stats
-                .lock()
-                .expect("stats poisoned")
-                .warm_session_reuses += 1;
+            shared.metrics.warm_session_reuses.inc();
             let session = &mut self.sessions[pos].1;
             session.set_seed_plan(SeedPlan::from_config(config));
             session.reset_shot_counter();
@@ -177,6 +167,7 @@ fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: 
     let dispatch_seq = shared.dispatch_seq.fetch_add(1, Ordering::SeqCst);
     let started = Instant::now();
     let queue_wait = started.duration_since(submitted_at);
+    let trace_dispatch_ns = shared.trace.as_ref().map(|_| now_ns());
     let priority = job.priority;
     let cache_hit = job.cache_hit;
     // Claim the job: only a still-queued job may transition to running.
@@ -192,7 +183,7 @@ fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: 
         )
         .is_err()
     {
-        shared.stats.lock().expect("stats poisoned").cancelled += 1;
+        shared.metrics.cancelled.inc();
         let metrics = JobMetrics {
             id,
             priority,
@@ -212,7 +203,7 @@ fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: 
         (Some(journal), Some(_)) => Some(Arc::clone(journal)),
         _ => None,
     };
-    let result = execute(shared, warm, &events, id, job);
+    let result = execute(worker, shared, warm, &events, id, job);
     // Journal the terminal state before the handle can observe it, so a
     // client that saw a result can rely on recovery re-serving it. Batch
     // payloads go to the result log in full; sweep completions are
@@ -223,7 +214,7 @@ fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: 
     if let Some(journal) = &journal {
         let record = match &result {
             Ok(JobOutput::Batch(batch)) => journal
-                .append_reports(&batch.shots)
+                .append_reports_traced(&batch.shots, id)
                 .ok()
                 .map(|(offset, len)| WalRecord::Completed { id, offset, len }),
             Ok(_) => Some(WalRecord::Completed {
@@ -237,23 +228,51 @@ fn run_job(worker: usize, shared: &Arc<PoolShared>, warm: &mut WarmSet, queued: 
             }),
         };
         if let Some(record) = record {
-            let _ = journal.append(&record);
+            let _ = journal.append_traced(&record, id);
         }
     }
     let run_time = started.elapsed();
     phase.store(crate::job::PHASE_FINISHED, Ordering::SeqCst);
-    {
-        let mut stats = shared.stats.lock().expect("stats poisoned");
-        if result.is_ok() {
-            stats.completed += 1;
-            if priority == Priority::High {
-                stats.high_completed += 1;
-            }
-        } else {
-            stats.failed += 1;
+    if result.is_ok() {
+        shared.metrics.completed.inc();
+        if priority == Priority::High {
+            shared.metrics.high_completed.inc();
         }
-        stats.total_queue_wait += queue_wait;
-        stats.total_run_time += run_time;
+    } else {
+        shared.metrics.failed.inc();
+    }
+    shared.metrics.queue_wait.record_duration(queue_wait);
+    shared.metrics.run_time.record_duration(run_time);
+    if let (Some(trace), Some(dispatch_ns)) = (&shared.trace, trace_dispatch_ns) {
+        // The queued span is reconstructed arithmetically from the
+        // measured wait rather than stamped at submit time: the submit
+        // thread already emits its own span, and subtracting the wait
+        // from the dispatch stamp keeps the two spans adjacent even
+        // when clocks are read on different threads.
+        let wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+        trace.record(SpanEvent {
+            kind: SpanKind::Queued,
+            label: 0,
+            trace: id,
+            tid: worker as u32,
+            start_ns: dispatch_ns.saturating_sub(wait_ns),
+            end_ns: dispatch_ns,
+            a: match priority {
+                Priority::High => 1,
+                Priority::Normal => 0,
+            },
+            b: 0,
+        });
+        trace.record(SpanEvent {
+            kind: SpanKind::Run,
+            label: 0,
+            trace: id,
+            tid: worker as u32,
+            start_ns: dispatch_ns,
+            end_ns: now_ns(),
+            a: worker as u64,
+            b: dispatch_seq,
+        });
     }
     let metrics = JobMetrics {
         id,
@@ -277,7 +296,7 @@ fn journal_err(e: std::io::Error) -> JobError {
 }
 
 fn count_executed(shared: &PoolShared, shots: u64) {
-    shared.stats.lock().expect("stats poisoned").executed_shots += shots;
+    shared.metrics.executed_shots.add(shots);
 }
 
 /// Runs a sweep's remaining points in checkpoint-sized blocks, making
@@ -306,23 +325,42 @@ fn run_checkpointed(
     while at < total {
         let n = block.min(total - at);
         let reports = run(at..at + n)?;
-        let (offset, len) = journal.append_reports(&reports).map_err(journal_err)?;
+        let (offset, len) = journal
+            .append_reports_traced(&reports, id)
+            .map_err(journal_err)?;
         all.extend(reports);
         at += n;
         journal
-            .append(&WalRecord::Checkpoint {
+            .append_traced(
+                &WalRecord::Checkpoint {
+                    id,
+                    done: at as u64,
+                    offset,
+                    len,
+                },
                 id,
-                done: at as u64,
-                offset,
-                len,
-            })
+            )
             .map_err(journal_err)?;
         count_executed(shared, n as u64);
     }
     Ok(all)
 }
 
+/// The per-job [`SessionTracer`] (shot-batch spans tagged with the
+/// job's trace id and the worker's lane), or `None` on an untraced
+/// pool. Set on *every* session a job runs on — warm sessions are
+/// reused across jobs, so each job must overwrite the previous one's
+/// tracer (or clear it when tracing is off).
+fn session_tracer(shared: &PoolShared, id: JobId, worker: usize) -> Option<SessionTracer> {
+    shared.trace.as_ref().map(|buf| SessionTracer {
+        buf: buf.clone(),
+        trace_id: id,
+        tid: worker as u32,
+    })
+}
+
 fn execute(
+    worker: usize,
     shared: &Arc<PoolShared>,
     warm: &mut WarmSet,
     events: &channel::Sender<JobEvent>,
@@ -340,6 +378,7 @@ fn execute(
     match job.kind {
         JobKind::Shots { program, shots } => {
             let session = warm.warm_session(device_cfg, shared)?;
+            session.set_tracer(session_tracer(shared, id, worker));
             if let Some(plan) = job.plan {
                 session.set_seed_plan(plan);
             }
@@ -374,6 +413,7 @@ fn execute(
         }
         JobKind::Sweep { points } => {
             let session = warm.warm_session(device_cfg, shared)?;
+            session.set_tracer(session_tracer(shared, id, worker));
             match &journal {
                 Some(journal) => {
                     let reports =
@@ -392,6 +432,7 @@ fn execute(
         }
         JobKind::TemplateSweep { template, points } => {
             let session = warm.warm_session(device_cfg, shared)?;
+            session.set_tracer(session_tracer(shared, id, worker));
             let mut loaded = session.load_template(&template);
             match &journal {
                 Some(journal) => {
@@ -413,6 +454,7 @@ fn execute(
         }
         JobKind::Experiment(erased) => {
             let mut session = warm.fresh_session(&erased.device_config(), shared)?;
+            session.set_tracer(session_tracer(shared, id, worker));
             let output = erased.run_erased(&mut session)?;
             Ok(JobOutput::Experiment(output))
         }

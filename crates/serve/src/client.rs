@@ -66,6 +66,12 @@ impl MiniClient {
         self.request("GET", path, None)
     }
 
+    /// Issues `GET path` with an `Accept` header (the `/metrics` route
+    /// content-negotiates between JSON and Prometheus text on it).
+    pub fn get_accept(&mut self, path: &str, accept: &str) -> std::io::Result<MiniResponse> {
+        self.request_with("GET", path, None, &[("accept", accept)])
+    }
+
     /// Issues `DELETE path`.
     pub fn delete(&mut self, path: &str) -> std::io::Result<MiniResponse> {
         self.request("DELETE", path, None)
@@ -99,11 +105,22 @@ impl MiniClient {
         path: &str,
         body: Option<Vec<u8>>,
     ) -> std::io::Result<MiniResponse> {
-        match self.request_once(method, path, body.as_deref()) {
+        self.request_with(method, path, body, &[])
+    }
+
+    /// [`MiniClient::request`] plus extra `(name, value)` headers.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<Vec<u8>>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<MiniResponse> {
+        match self.request_once(method, path, body.as_deref(), headers) {
             Ok(response) => Ok(response),
             Err(_) => {
                 self.stream = None;
-                self.request_once(method, path, body.as_deref())
+                self.request_once(method, path, body.as_deref(), headers)
             }
         }
     }
@@ -113,6 +130,7 @@ impl MiniClient {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<MiniResponse> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(self.addr)?;
@@ -123,6 +141,9 @@ impl MiniClient {
         let reader = self.stream.as_mut().expect("connected");
         let mut head = format!("{method} {path} HTTP/1.1\r\nhost: quma\r\n");
         head.push_str(&format!("x-quma-client: {}\r\n", self.client_id));
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str("content-type: application/json\r\n");
             head.push_str(&format!("content-length: {}\r\n", body.len()));

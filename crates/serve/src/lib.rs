@@ -14,7 +14,8 @@
 //! | `DELETE` | `/jobs/{id}` | typed cancel of queued jobs |
 //! | `GET` | `/jobs/{id}/result` | the finished result document |
 //! | `GET` | `/jobs/{id}/chunks` | streamed shot chunks (`from`) |
-//! | `GET` | `/metrics` | pool + serve counters as text |
+//! | `GET` | `/metrics` | pool/journal/serve metrics (JSON or Prometheus text) |
+//! | `GET` | `/trace` | trace ring export as Chrome trace-event JSON |
 //!
 //! Errors are RFC-7807-style problem documents
 //! ([`problem::ProblemJson`]): stable `code` strings, 409 for lifecycle

@@ -55,6 +55,11 @@ pub const ROUTES: &[Route] = &[
         pattern: "/metrics",
         name: "metrics",
     },
+    Route {
+        method: "GET",
+        pattern: "/trace",
+        name: "trace",
+    },
 ];
 
 /// The result of routing a `(method, path)` pair.

@@ -13,15 +13,17 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::json::Json;
 use crate::problem::ProblemJson;
 use crate::quota::{Quota, QuotaLedger};
 use crate::registry::{RecoveredSeed, Registry};
-use crate::router::{route, RouteMatch};
+use crate::router::{route, RouteMatch, ROUTES};
 use crate::wire;
+use quma_obs::trace::{now_ns, SpanEvent, SpanKind, TraceBuffer};
+use quma_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry as MetricRegistry};
 use quma_pool::prelude::{JobId, JobOutput, ShotChunk, SubmitError};
 use quma_pool::{DevicePool, JobSpec, RecoveredPool, RecoveredState};
 
@@ -79,26 +81,109 @@ impl ServerConfig {
     }
 }
 
-/// Request counters the `/metrics` endpoint reports alongside pool
-/// statistics.
-#[derive(Debug, Default)]
-struct ServeCounters {
-    requests: AtomicU64,
-    submitted: AtomicU64,
-    problems_4xx: AtomicU64,
-    problems_5xx: AtomicU64,
-    quota_rejections: AtomicU64,
-    /// Jobs restored from the journal at startup (`Server::start_recovered`).
-    recovered_jobs: AtomicU64,
+/// The serve layer's metric handles, registered in the pool's metric
+/// registry under `quma_serve_*` family names — so one
+/// [`MetricRegistry::render_prometheus`] pass covers pool, journal, and
+/// HTTP front end alike. All handles are pre-registered at startup; the
+/// per-request path touches only atomics.
+struct ServeMetrics {
+    /// Every request that got a response, whatever its status.
+    requests: Counter,
+    /// Jobs accepted through `POST /jobs`.
+    submitted: Counter,
+    /// Submissions bounced by the per-client quota.
+    quota_rejections: Counter,
+    /// Jobs restored from the journal at startup
+    /// (`Server::start_recovered`).
+    recovered_jobs: Counter,
+    /// Jobs currently tracked by the registry (set at scrape time).
+    jobs_tracked: Gauge,
+    /// Responses by status class, indexed `[2xx, 3xx, 4xx, 5xx]`.
+    responses: [Counter; 4],
+    /// Request-handling latency per route, plus the interned trace
+    /// label of the route name (0 when tracing is off).
+    routes: Vec<(&'static str, Histogram, u16)>,
+    /// The latency/label pair for requests no route matched.
+    unmatched: (Histogram, u16),
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricRegistry, trace: Option<&TraceBuffer>) -> Self {
+        let route_hist = |name: &str| {
+            registry.histogram_with(
+                "quma_serve_request_seconds",
+                "Wall-clock request handling latency by route",
+                &[("route", name)],
+            )
+        };
+        let label = |name: &str| trace.map_or(0, |t| t.intern(name));
+        Self {
+            requests: registry.counter(
+                "quma_serve_requests_total",
+                "HTTP requests answered, any status",
+            ),
+            submitted: registry.counter(
+                "quma_serve_submitted_total",
+                "Jobs accepted through POST /jobs",
+            ),
+            quota_rejections: registry.counter(
+                "quma_serve_quota_rejections_total",
+                "Submissions bounced by the per-client quota",
+            ),
+            recovered_jobs: registry.counter(
+                "quma_serve_recovered_jobs_total",
+                "Jobs restored from the journal at startup",
+            ),
+            jobs_tracked: registry.gauge(
+                "quma_serve_jobs_tracked",
+                "Jobs currently tracked by the serving registry",
+            ),
+            responses: ["2xx", "3xx", "4xx", "5xx"].map(|class| {
+                registry.counter_with(
+                    "quma_serve_responses_total",
+                    "Responses by status class",
+                    &[("class", class)],
+                )
+            }),
+            routes: ROUTES
+                .iter()
+                .map(|r| (r.name, route_hist(r.name), label(r.name)))
+                .collect(),
+            unmatched: (route_hist("unmatched"), label("unmatched")),
+        }
+    }
+
+    /// The latency histogram and trace label for a dispatched route
+    /// name ("unmatched" for 404/405s).
+    fn route(&self, name: &str) -> (&Histogram, u16) {
+        self.routes
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, h, l)| (h, *l))
+            .unwrap_or((&self.unmatched.0, self.unmatched.1))
+    }
 }
 
 struct Shared {
     pool: DevicePool,
     registry: Registry,
+    /// The unified metric registry (pool + journal + serve families).
+    obs: MetricRegistry,
+    /// The span-trace ring buffer, when the pool was built with
+    /// `PoolConfig::with_trace`.
+    trace: Option<TraceBuffer>,
+    metrics: ServeMetrics,
     ledger: Option<QuotaLedger>,
-    counters: ServeCounters,
     config: ServerConfig,
     shutdown: AtomicBool,
+    /// When the server started (drives `uptime_ms`).
+    started: Instant,
+    /// Monotonic `/metrics` snapshot counter — pollers watch it reset
+    /// to detect a restarted server behind a stable address.
+    snapshot_seq: AtomicU64,
+    /// Connection counter; each connection's requests trace under a
+    /// distinct lane id.
+    conn_seq: AtomicU64,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops
@@ -168,17 +253,22 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let counters = ServeCounters::default();
-        counters
-            .recovered_jobs
-            .store(recovered_jobs, Ordering::Relaxed);
+        let obs = pool.obs_registry();
+        let trace = pool.trace_buffer();
+        let metrics = ServeMetrics::new(&obs, trace.as_ref());
+        metrics.recovered_jobs.add(recovered_jobs);
         let shared = Arc::new(Shared {
             pool,
             registry,
+            obs,
+            trace,
+            metrics,
             ledger: config.quota.map(Quota::ledger),
-            counters,
             config,
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            snapshot_seq: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
         });
         let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -329,6 +419,9 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         Ok(w) => w,
         Err(_) => return,
     };
+    // HTTP spans trace in per-connection lanes, offset past the worker
+    // lane ids so the two tiers never share a row in a trace viewer.
+    let conn_tid = 10_000 + (shared.conn_seq.fetch_add(1, Ordering::Relaxed) % 40_000) as u32;
     let mut reader = BufReader::new(stream);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -361,17 +454,30 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
         };
         let close = request.close;
-        let response =
-            dispatch(shared, &request).with_header("x-quma-api-version", API_VERSION.to_string());
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-        match response.status {
-            400..=499 => {
-                shared.counters.problems_4xx.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let trace_start_ns = shared.trace.as_ref().map(|_| now_ns());
+        let (response, route_name) = dispatch(shared, &request);
+        let response = response.with_header("x-quma-api-version", API_VERSION.to_string());
+        let m = &shared.metrics;
+        m.requests.inc();
+        if let Some(class) = (response.status / 100).checked_sub(2) {
+            if let Some(counter) = m.responses.get(class as usize) {
+                counter.inc();
             }
-            500..=599 => {
-                shared.counters.problems_5xx.fetch_add(1, Ordering::Relaxed);
-            }
-            _ => {}
+        }
+        let (hist, label) = m.route(route_name);
+        hist.record_duration(started.elapsed());
+        if let (Some(trace), Some(start_ns)) = (&shared.trace, trace_start_ns) {
+            trace.record(SpanEvent {
+                kind: SpanKind::HttpRequest,
+                label,
+                trace: http_trace_id(&request, &response),
+                tid: conn_tid,
+                start_ns,
+                end_ns: now_ns(),
+                a: u64::from(response.status),
+                b: 0,
+            });
         }
         if write_response(&mut writer, &response, close).is_err() || close {
             return;
@@ -379,18 +485,45 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// The job trace id an HTTP request span should join: the `{id}` path
+/// capture for the lifecycle routes, or — for `POST /jobs` — the id the
+/// `Location` header of the 201 announces. `0` (no job) otherwise.
+fn http_trace_id(request: &Request, response: &Response) -> u64 {
+    if let Some(rest) = request.path.strip_prefix("/jobs/") {
+        let id = rest.split('/').next().unwrap_or("");
+        if let Ok(id) = id.parse::<u64>() {
+            return id;
+        }
+    }
+    response
+        .headers
+        .iter()
+        .find(|(name, _)| name == "location")
+        .and_then(|(_, value)| value.strip_prefix("/jobs/"))
+        .and_then(|id| id.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
 /// Maps one request to its response — the routing table made executable.
-fn dispatch(shared: &Shared, request: &Request) -> Response {
+/// The second element is the matched route's stable name (`"unmatched"`
+/// for 404/405s), keying the per-route latency histogram.
+fn dispatch(shared: &Shared, request: &Request) -> (Response, &'static str) {
     let (route, params) = match route(&request.method, &request.path) {
         RouteMatch::Matched { route, params } => (route, params),
         RouteMatch::WrongMethod(allowed) => {
-            return ProblemJson::method_not_allowed(&allowed).into_response()
+            return (
+                ProblemJson::method_not_allowed(&allowed).into_response(),
+                "unmatched",
+            )
         }
         RouteMatch::Unknown => {
-            return ProblemJson::not_found(format!("no route for {}", request.path)).into_response()
+            return (
+                ProblemJson::not_found(format!("no route for {}", request.path)).into_response(),
+                "unmatched",
+            )
         }
     };
-    match route.name {
+    let response = match route.name {
         "submit_job" => submit_job(shared, request),
         "list_jobs" => list_jobs(shared, request),
         "job_status" => with_id(&params, |id| {
@@ -417,10 +550,13 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
                 Some(raw) => match raw.parse::<usize>() {
                     Ok(from) => from,
                     Err(_) => {
-                        return ProblemJson::validation(format!(
-                            "'from' must be a non-negative integer, got '{raw}'"
-                        ))
-                        .into_response()
+                        return (
+                            ProblemJson::validation(format!(
+                                "'from' must be a non-negative integer, got '{raw}'"
+                            ))
+                            .into_response(),
+                            route.name,
+                        )
                     }
                 },
             };
@@ -431,9 +567,11 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
                     .map(|doc| Response::json(200, &doc))
             })
         }
-        "metrics" => Response::text(200, metrics_text(shared)),
+        "metrics" => metrics_response(shared, request),
+        "trace" => trace_response(shared),
         other => ProblemJson::internal(format!("unrouted handler '{other}'")).into_response(),
-    }
+    };
+    (response, route.name)
 }
 
 /// Parses the `{id}` capture and runs `f`, mapping problems to responses.
@@ -455,10 +593,7 @@ fn submit_job(shared: &Shared, request: &Request) -> Response {
         .to_string();
     if let Some(ledger) = &shared.ledger {
         if let Err(retry_after) = ledger.admit(&client) {
-            shared
-                .counters
-                .quota_rejections
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.quota_rejections.inc();
             return ProblemJson::quota_exhausted(
                 format!("client '{client}' has spent its submission quota"),
                 retry_after,
@@ -501,7 +636,7 @@ fn submit_job(shared: &Shared, request: &Request) -> Response {
             return ProblemJson::validation(format!("job rejected at submit: {e}")).into_response()
         }
     };
-    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.submitted.inc();
     let id = handle.id();
     let status = shared.registry.insert(
         handle,
@@ -536,65 +671,152 @@ fn list_jobs(shared: &Shared, request: &Request) -> Response {
     Response::json(200, &shared.registry.list(limit, offset))
 }
 
-/// The `/metrics` plain-text report: pool statistics plus serve
-/// counters, one `name value` pair per line.
-fn metrics_text(shared: &Shared) -> String {
+/// `GET /metrics`, content-negotiated: Prometheus text exposition when
+/// the client asks for it (`?format=prometheus`, or an `Accept` that
+/// names `text/plain` without `application/json`), the JSON snapshot
+/// otherwise. Both views read the same registry handles.
+fn metrics_response(shared: &Shared, request: &Request) -> Response {
+    shared
+        .metrics
+        .jobs_tracked
+        .set(shared.registry.len() as u64);
+    let seq = shared.snapshot_seq.fetch_add(1, Ordering::Relaxed);
+    if wants_prometheus(request) {
+        Response::new(200)
+            .with_header("content-type", "text/plain; version=0.0.4; charset=utf-8")
+            .with_body(shared.obs.render_prometheus().into_bytes())
+    } else {
+        Response::json(200, &metrics_json(shared, seq))
+    }
+}
+
+/// Whether a `/metrics` request asked for the Prometheus exposition.
+fn wants_prometheus(request: &Request) -> bool {
+    if let Some(format) = request.query_param("format") {
+        return matches!(format, "prometheus" | "text");
+    }
+    match request.header("accept") {
+        Some(accept) => {
+            (accept.contains("text/plain") || accept.contains("openmetrics"))
+                && !accept.contains("application/json")
+        }
+        None => false,
+    }
+}
+
+/// A saturating `u64 → i64` cast for JSON integers.
+fn int(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// A latency summary document from a histogram snapshot (nanoseconds).
+fn hist_json(snap: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", int(snap.count)),
+        ("p50_ns", int(snap.p50())),
+        ("p90_ns", int(snap.p90())),
+        ("p99_ns", int(snap.p99())),
+        ("max_ns", int(snap.max)),
+        ("mean_ns", int(snap.mean())),
+    ])
+}
+
+/// The `/metrics` JSON document: pool statistics, serve counters, and
+/// latency summaries, plus `uptime_ms` and the monotonic
+/// `snapshot_seq` pollers use to detect restarts.
+fn metrics_json(shared: &Shared, seq: u64) -> Json {
     let stats = shared.pool.stats();
-    let c = &shared.counters;
-    let mut out = String::new();
-    let mut line = |name: &str, value: u64| {
-        out.push_str(name);
-        out.push(' ');
-        out.push_str(&value.to_string());
-        out.push('\n');
-    };
-    line("quma_pool_workers", stats.workers as u64);
-    line("quma_pool_submitted", stats.submitted);
-    line("quma_pool_rejected", stats.rejected);
-    line("quma_pool_completed", stats.completed);
-    line("quma_pool_failed", stats.failed);
-    line("quma_pool_cancelled", stats.cancelled);
-    line("quma_pool_high_completed", stats.high_completed);
-    line("quma_pool_cache_hits", stats.cache_hits);
-    line("quma_pool_cache_misses", stats.cache_misses);
-    line("quma_pool_warm_device_clones", stats.warm_device_clones);
-    line("quma_pool_cold_device_builds", stats.cold_device_builds);
-    line("quma_pool_warm_session_reuses", stats.warm_session_reuses);
-    line("quma_pool_executed_shots", stats.executed_shots);
-    line("quma_pool_recovered_jobs", stats.recovered_jobs);
-    line(
-        "quma_journal_records_written",
-        stats.journal_records_written,
-    );
-    line("quma_journal_bytes_written", stats.journal_bytes_written);
-    line("quma_journal_fsyncs", stats.journal_fsyncs);
-    line(
-        "quma_pool_queue_wait_us_total",
-        stats.total_queue_wait.as_micros().min(u64::MAX as u128) as u64,
-    );
-    line(
-        "quma_pool_run_time_us_total",
-        stats.total_run_time.as_micros().min(u64::MAX as u128) as u64,
-    );
-    line("quma_pool_max_queue_depth", stats.max_queue_depth as u64);
-    line("quma_serve_requests", c.requests.load(Ordering::Relaxed));
-    line("quma_serve_submitted", c.submitted.load(Ordering::Relaxed));
-    line(
-        "quma_serve_problems_4xx",
-        c.problems_4xx.load(Ordering::Relaxed),
-    );
-    line(
-        "quma_serve_problems_5xx",
-        c.problems_5xx.load(Ordering::Relaxed),
-    );
-    line(
-        "quma_serve_quota_rejections",
-        c.quota_rejections.load(Ordering::Relaxed),
-    );
-    line(
-        "quma_serve_recovered_jobs",
-        c.recovered_jobs.load(Ordering::Relaxed),
-    );
-    line("quma_serve_jobs_tracked", shared.registry.len() as u64);
-    out
+    let m = &shared.metrics;
+    let routes = m
+        .routes
+        .iter()
+        .map(|(name, hist, _)| {
+            let Json::Obj(mut fields) = hist_json(&hist.snapshot()) else {
+                unreachable!("hist_json builds an object");
+            };
+            fields.insert(0, ("route".to_string(), Json::str(*name)));
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("uptime_ms", {
+            let ms = shared.started.elapsed().as_millis();
+            Json::Int(i64::try_from(ms).unwrap_or(i64::MAX))
+        }),
+        ("snapshot_seq", int(seq)),
+        (
+            "pool",
+            Json::obj([
+                ("workers", int(stats.workers as u64)),
+                ("submitted", int(stats.submitted)),
+                ("rejected", int(stats.rejected)),
+                ("completed", int(stats.completed)),
+                ("failed", int(stats.failed)),
+                ("cancelled", int(stats.cancelled)),
+                ("high_completed", int(stats.high_completed)),
+                ("cache_hits", int(stats.cache_hits)),
+                ("cache_misses", int(stats.cache_misses)),
+                ("warm_device_clones", int(stats.warm_device_clones)),
+                ("cold_device_builds", int(stats.cold_device_builds)),
+                ("warm_session_reuses", int(stats.warm_session_reuses)),
+                ("executed_shots", int(stats.executed_shots)),
+                ("recovered_jobs", int(stats.recovered_jobs)),
+                ("max_queue_depth", int(stats.max_queue_depth as u64)),
+            ]),
+        ),
+        (
+            "journal",
+            Json::obj([
+                ("records_written", int(stats.journal_records_written)),
+                ("bytes_written", int(stats.journal_bytes_written)),
+                ("fsyncs", int(stats.journal_fsyncs)),
+            ]),
+        ),
+        (
+            "serve",
+            Json::obj([
+                ("requests", int(m.requests.get())),
+                ("submitted", int(m.submitted.get())),
+                ("responses_2xx", int(m.responses[0].get())),
+                ("responses_3xx", int(m.responses[1].get())),
+                ("responses_4xx", int(m.responses[2].get())),
+                ("responses_5xx", int(m.responses[3].get())),
+                ("quota_rejections", int(m.quota_rejections.get())),
+                ("recovered_jobs", int(m.recovered_jobs.get())),
+                ("jobs_tracked", int(shared.registry.len() as u64)),
+            ]),
+        ),
+        (
+            "latency",
+            Json::obj([
+                ("queue_wait", hist_json(&shared.pool.queue_wait_snapshot())),
+                ("run", hist_json(&shared.pool.run_time_snapshot())),
+                ("routes", Json::Arr(routes)),
+            ]),
+        ),
+        (
+            "trace",
+            Json::obj([
+                ("enabled", Json::Bool(shared.trace.is_some())),
+                (
+                    "dropped_events",
+                    int(shared.trace.as_ref().map_or(0, TraceBuffer::dropped_events)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// `GET /trace`: the span ring buffer as Chrome trace-event JSON, or a
+/// 404 problem when the pool was built without tracing.
+fn trace_response(shared: &Shared) -> Response {
+    match &shared.trace {
+        Some(trace) => Response::new(200)
+            .with_header("content-type", "application/json")
+            .with_body(trace.export_chrome_json().into_bytes()),
+        None => ProblemJson::not_found(
+            "tracing is not enabled; build the pool with PoolConfig::with_trace",
+        )
+        .into_response(),
+    }
 }

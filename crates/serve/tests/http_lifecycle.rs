@@ -444,14 +444,66 @@ fn metrics_and_version_headers_are_served() {
         metrics.header("x-quma-api-version"),
         Some(API_VERSION.to_string().as_str())
     );
-    let text = metrics.text();
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("application/json"),
+        "the default /metrics view is JSON"
+    );
+    let doc = metrics.json().unwrap();
+    let pool = doc.get("pool").expect("pool section");
+    assert_eq!(pool.get("workers").and_then(Json::as_u64), Some(1));
+    assert_eq!(pool.get("completed").and_then(Json::as_u64), Some(1));
+    let serve_section = doc.get("serve").expect("serve section");
+    assert!(
+        serve_section
+            .get("requests")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert_eq!(
+        serve_section.get("jobs_tracked").and_then(Json::as_u64),
+        Some(1)
+    );
+    // Restart detection: uptime plus a snapshot sequence that ticks on
+    // every scrape.
+    assert!(doc.get("uptime_ms").and_then(Json::as_u64).is_some());
+    let first = doc.get("snapshot_seq").and_then(Json::as_u64).unwrap();
+    let second = client.get("/metrics").unwrap().json().unwrap();
+    assert_eq!(
+        second.get("snapshot_seq").and_then(Json::as_u64),
+        Some(first + 1),
+        "snapshot_seq is monotonic per scrape"
+    );
+    // Latency summaries come from real histograms now.
+    let latency = doc.get("latency").expect("latency section");
+    let run = latency.get("run").expect("run histogram");
+    assert_eq!(run.get("count").and_then(Json::as_u64), Some(1));
+    assert!(run.get("p99_ns").and_then(Json::as_u64).unwrap() > 0);
+
+    // The same endpoint serves Prometheus text when asked.
+    let prom = client.get_accept("/metrics", "text/plain").unwrap();
+    assert_eq!(prom.status, 200);
+    assert!(prom
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain; version=0.0.4"));
+    let text = prom.text();
     for needle in [
+        "# TYPE quma_pool_jobs_submitted_total counter",
         "quma_pool_workers 1",
-        "quma_pool_completed",
-        "quma_serve_requests",
-        "quma_serve_jobs_tracked 1",
+        "# TYPE quma_serve_request_seconds histogram",
+        "quma_serve_responses_total{class=\"2xx\"}",
     ] {
         assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
     }
+    // The ?format= override wins over Accept.
+    let forced = client
+        .get_accept("/metrics?format=prometheus", "application/json")
+        .unwrap();
+    assert!(forced
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain"));
     server.shutdown();
 }

@@ -1,0 +1,95 @@
+//! `GET /metrics` in Prometheus text form must be *parseable* — every
+//! line passes the exposition-format grammar — and carry the metric
+//! families a dashboard would scrape. CI runs this test as its
+//! metrics-scrape step.
+
+use std::time::Duration;
+
+use quma_core::prelude::*;
+use quma_obs::promtext;
+use quma_pool::prelude::{DevicePool, PoolConfig};
+use quma_serve::prelude::*;
+
+fn device() -> DeviceConfig {
+    DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: 0x3C4A,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    }
+}
+
+#[test]
+fn prometheus_exposition_parses_and_has_required_families() {
+    let pool = DevicePool::new(PoolConfig::new(device()).with_workers(1)).unwrap();
+    let server = Server::start(pool, ServerConfig::new()).unwrap();
+    let mut client = MiniClient::connect(server.local_addr(), "scraper");
+
+    // Run one job first so counters and histograms carry real samples.
+    let submit = client
+        .post_json(
+            "/jobs",
+            &Json::obj([
+                ("kind", Json::str("shots")),
+                ("source", Json::str("Wait 100\nhalt\n")),
+                ("shots", Json::Int(2)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(submit.status, 201, "{}", submit.text());
+    let id = submit
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    client.wait_for(id, Duration::from_millis(5)).unwrap();
+
+    let response = client.get("/metrics?format=prometheus").unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain; version=0.0.4"));
+    let text = response.text();
+
+    // Every line must parse under the exposition-format grammar.
+    let families = promtext::parse(&text)
+        .unwrap_or_else(|e| panic!("exposition failed to parse: {e}\n---\n{text}"));
+
+    let family = |name: &str| {
+        families
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("family '{name}' missing from:\n{text}"))
+    };
+    for (name, kind) in [
+        ("quma_pool_jobs_submitted_total", "counter"),
+        ("quma_pool_jobs_completed_total", "counter"),
+        ("quma_pool_executed_shots_total", "counter"),
+        ("quma_pool_cache_hits_total", "counter"),
+        ("quma_pool_workers", "gauge"),
+        ("quma_pool_max_queue_depth", "gauge"),
+        ("quma_pool_queue_wait_seconds", "histogram"),
+        ("quma_pool_run_seconds", "histogram"),
+        ("quma_serve_requests_total", "counter"),
+        ("quma_serve_responses_total", "counter"),
+        ("quma_serve_jobs_tracked", "gauge"),
+        ("quma_serve_request_seconds", "histogram"),
+    ] {
+        assert_eq!(family(name).kind, kind, "family '{name}'");
+    }
+
+    // Histogram families render the full fixed bucket ladder:
+    // 18 bounds + +Inf + _sum + _count per series.
+    assert_eq!(family("quma_pool_run_seconds").samples, 21);
+    // One request_seconds series per route plus the unmatched lane.
+    assert_eq!(
+        family("quma_serve_request_seconds").samples,
+        (ROUTES.len() + 1) * 21
+    );
+
+    // The scrape itself is consistent: the completed job is visible.
+    assert!(text.contains("quma_pool_jobs_completed_total 1"), "{text}");
+    server.shutdown();
+}

@@ -215,16 +215,37 @@ fn restarted_server_serves_bit_identical_results_over_the_same_journal() {
     // the metrics surface says how much was recovered.
     let metrics = client.get("/metrics").unwrap();
     assert_eq!(metrics.status, 200);
-    let text = metrics.text().to_string();
-    assert!(
-        text.contains("quma_pool_executed_shots 0"),
-        "completed work must be served from the log, not re-run:\n{text}"
+    let doc = metrics.json().unwrap();
+    let pool = doc.get("pool").expect("pool section");
+    assert_eq!(
+        pool.get("executed_shots").and_then(Json::as_u64),
+        Some(0),
+        "completed work must be served from the log, not re-run:\n{doc:?}"
     );
-    assert!(text.contains("quma_serve_recovered_jobs 5"), "{text}");
-    assert!(text.contains("quma_pool_recovered_jobs 5"), "{text}");
-    assert!(text.contains("quma_journal_records_written"), "{text}");
-    assert!(text.contains("quma_journal_bytes_written"), "{text}");
-    assert!(text.contains("quma_journal_fsyncs"), "{text}");
+    let serve_section = doc.get("serve").expect("serve section");
+    assert_eq!(
+        serve_section.get("recovered_jobs").and_then(Json::as_u64),
+        Some(5)
+    );
+    assert_eq!(pool.get("recovered_jobs").and_then(Json::as_u64), Some(5));
+    let journal = doc.get("journal").expect("journal section");
+    assert!(
+        journal
+            .get("records_written")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(journal.get("bytes_written").and_then(Json::as_u64).unwrap() > 0);
+    assert!(journal.get("fsyncs").and_then(Json::as_u64).is_some());
+    // The journaled families surface in the Prometheus exposition too.
+    let prom = client.get_accept("/metrics", "text/plain").unwrap();
+    let text = prom.text();
+    assert!(
+        text.contains("quma_journal_records_written_total"),
+        "{text}"
+    );
+    assert!(text.contains("quma_journal_fsync_seconds_count"), "{text}");
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
@@ -241,8 +262,20 @@ fn unjournaled_servers_report_empty_journal_metrics() {
     .unwrap();
     let mut client = MiniClient::connect(server.local_addr(), "plain");
     let metrics = client.get("/metrics").unwrap();
-    let text = metrics.text().to_string();
-    assert!(text.contains("quma_journal_records_written 0"), "{text}");
-    assert!(text.contains("quma_serve_recovered_jobs 0"), "{text}");
+    let doc = metrics.json().unwrap();
+    assert_eq!(
+        doc.get("journal")
+            .and_then(|j| j.get("records_written"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "{doc:?}"
+    );
+    assert_eq!(
+        doc.get("serve")
+            .and_then(|s| s.get("recovered_jobs"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "{doc:?}"
+    );
     server.shutdown();
 }

@@ -1,0 +1,172 @@
+//! The end-to-end tracing contract (the observability acceptance
+//! test): one job submitted over HTTP yields one *connected* trace in
+//! `GET /trace` — submit, queue, run, shot execution, journal append,
+//! and the HTTP request spans all share the job's id as their
+//! `trace_id`, and their timestamps nest the way the lifecycle says
+//! they must.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use quma_core::prelude::*;
+use quma_pool::prelude::{DevicePool, JournalConfig, PoolConfig};
+use quma_serve::prelude::*;
+
+const SOURCE: &str = "\
+    Wait 100\n\
+    Pulse {q0}, X180\n\
+    Wait 4\n\
+    MPG {q0}, 300\n\
+    MD {q0}, r7\n\
+    halt\n";
+
+fn device() -> DeviceConfig {
+    DeviceConfig {
+        chip: ChipProfile::Paper,
+        chip_seed: 0x7ACE,
+        trace: TraceLevel::Off,
+        ..DeviceConfig::default()
+    }
+}
+
+fn temp_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "quma-serve-trace-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// One exported Chrome trace event, decoded just far enough to assert
+/// on: `(name, cat, trace_id, start_us, end_us)`.
+fn decode_events(doc: &Json) -> Vec<(String, String, u64, f64, f64)> {
+    doc.get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .iter()
+        .map(|e| {
+            let field = |k: &str| e.get(k).cloned().unwrap_or(Json::Null);
+            let num = |j: &Json| j.as_f64().or_else(|| j.as_u64().map(|v| v as f64));
+            let ts = num(&field("ts")).expect("ts");
+            let dur = num(&field("dur")).expect("dur");
+            (
+                field("name").as_str().expect("name").to_string(),
+                field("cat").as_str().expect("cat").to_string(),
+                e.get("args")
+                    .and_then(|a| a.get("trace_id"))
+                    .and_then(Json::as_u64)
+                    .expect("args.trace_id"),
+                ts,
+                ts + dur,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn one_http_job_yields_one_connected_trace() {
+    let dir = temp_dir();
+    let pool = DevicePool::new(
+        PoolConfig::new(device())
+            .with_workers(1)
+            .with_journal(JournalConfig::new(&dir))
+            .with_trace(4096),
+    )
+    .unwrap();
+    let server = Server::start(pool, ServerConfig::new()).unwrap();
+    let mut client = MiniClient::connect(server.local_addr(), "tracer");
+
+    let submit = client
+        .post_json(
+            "/jobs",
+            &Json::obj([
+                ("kind", Json::str("shots")),
+                ("source", Json::str(SOURCE)),
+                ("shots", Json::Int(3)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(submit.status, 201, "{}", submit.text());
+    let id = submit
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    client.wait_for(id, Duration::from_millis(5)).unwrap();
+
+    let trace = client.get("/trace").unwrap();
+    assert_eq!(trace.status, 200, "{}", trace.text());
+    assert_eq!(trace.header("content-type"), Some("application/json"));
+    let doc = trace.json().unwrap();
+    let events = decode_events(&doc);
+    assert!(
+        doc.get("otherData")
+            .and_then(|o| o.get("dropped_events"))
+            .and_then(Json::as_u64)
+            == Some(0),
+        "a 4096-slot buffer must not drop events for one job"
+    );
+
+    // Every lifecycle stage of THIS job shares its id as the trace id —
+    // that is what makes the trace connected rather than a soup of
+    // per-layer spans.
+    let span = |name: &str| {
+        events
+            .iter()
+            .find(|(n, _, t, _, _)| n == name && *t == id)
+            .unwrap_or_else(|| panic!("no '{name}' span with trace_id {id} in {events:?}"))
+    };
+    let submit_span = span("submit");
+    let queued = span("queued");
+    let run = span("run");
+    let shot_batch = span("shot_batch");
+    let journal_append = span("journal_append");
+    // The HTTP spans are named after their route and joined to the job:
+    // the POST via its Location header, the status polls via the path.
+    let post = span("submit_job");
+    let status_poll = span("job_status");
+    assert_eq!(post.1, "serve");
+    assert_eq!(status_poll.1, "serve");
+    assert_eq!(submit_span.1, "pool");
+    assert_eq!(shot_batch.1, "engine");
+    assert_eq!(journal_append.1, "journal");
+
+    // Lifecycle nesting: submission precedes dispatch, the run brackets
+    // the shot batch, and the POST request covers the submission.
+    assert!(submit_span.3 <= queued.4, "submit starts before queue ends");
+    assert!(queued.4 <= run.4, "dispatch precedes run end");
+    assert!(
+        run.3 <= shot_batch.3 && shot_batch.4 <= run.4 + 0.001,
+        "the shot batch runs inside the run span: run={run:?} batch={shot_batch:?}"
+    );
+    assert!(
+        post.3 <= submit_span.3 + 0.001,
+        "the POST covers the submission"
+    );
+
+    // The journal's fsync cycles are background work, not part of any
+    // job's trace.
+    assert!(events
+        .iter()
+        .all(|(n, _, t, _, _)| n != "journal_fsync" || *t == 0));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn untraced_pools_answer_trace_with_a_problem() {
+    let pool = DevicePool::new(PoolConfig::new(device()).with_workers(1)).unwrap();
+    let server = Server::start(pool, ServerConfig::new()).unwrap();
+    let mut client = MiniClient::connect(server.local_addr(), "untraced");
+    let response = client.get("/trace").unwrap();
+    assert_eq!(response.status, 404, "{}", response.text());
+    let doc = response.json().unwrap();
+    assert_eq!(doc.get("code").and_then(Json::as_str), Some("not_found"));
+    server.shutdown();
+}

@@ -5,6 +5,7 @@
 //! cargo run --release --example load_gen
 //! LOAD_GEN_CLIENTS=200 LOAD_GEN_JOBS=3 cargo run --release --example load_gen
 //! cargo run --release --example load_gen -- --journal /tmp/quma-journal
+//! cargo run --release --example load_gen -- --trace /tmp/quma-trace.json
 //! ```
 //!
 //! Each client owns one keep-alive connection and drives the full job
@@ -20,8 +21,16 @@
 //! the server is torn down mid-load, the pool is recovered from the
 //! journal, and a second wave runs against the restarted server — which
 //! must keep serving the first wave's results byte-for-byte.
+//!
+//! Every run ends with a client-side latency table: each HTTP route
+//! the clients exercised, with the observed p50/p90/p99/max, measured
+//! by the callers rather than trusted from the server. With
+//! `--trace <file>` the pool runs with tracing enabled and the final
+//! `GET /trace` export — one connected span tree per job — is written
+//! to `<file>`, loadable in `chrome://tracing` or Perfetto.
 
 use quma::core::prelude::{ChipProfile, DeviceConfig, TraceLevel};
+use quma::obs::Histogram;
 use quma::pool::prelude::{DevicePool, JournalConfig, PoolConfig};
 use quma::serve::prelude::*;
 use std::net::SocketAddr;
@@ -62,20 +71,86 @@ fn shots_doc(client: u64, job: u64) -> Json {
     ])
 }
 
-/// `--journal <dir>` (or `--journal=<dir>`) from the command line.
-fn journal_dir_arg() -> Option<PathBuf> {
+/// `--<name> <value>` (or `--<name>=<value>`) from the command line.
+fn path_arg(name: &str) -> Option<PathBuf> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--journal" {
+        if arg == flag {
             return Some(PathBuf::from(
-                args.next().expect("--journal needs a directory"),
+                args.next().unwrap_or_else(|| panic!("{flag} needs a path")),
             ));
         }
-        if let Some(dir) = arg.strip_prefix("--journal=") {
-            return Some(PathBuf::from(dir));
+        if let Some(path) = arg.strip_prefix(&prefix) {
+            return Some(PathBuf::from(path));
         }
     }
     None
+}
+
+/// Client-side latency histograms, one per route shape the load
+/// generator exercises. Shared by every client thread; the summary
+/// table at the end of the run reads the merged snapshots.
+struct RouteLatency {
+    routes: Vec<(&'static str, Histogram)>,
+}
+
+impl RouteLatency {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            routes: [
+                "POST /jobs",
+                "GET /jobs/{id}",
+                "GET /jobs/{id}/result",
+                "DELETE /jobs/{id}",
+                "GET /jobs",
+                "GET /metrics",
+            ]
+            .into_iter()
+            .map(|name| (name, Histogram::new()))
+            .collect(),
+        })
+    }
+
+    fn record(&self, route: &str, elapsed: Duration) {
+        if let Some((_, hist)) = self.routes.iter().find(|(name, _)| *name == route) {
+            hist.record_duration(elapsed);
+        }
+    }
+
+    fn print_table(&self) {
+        println!("\n--- client-observed latency by route ---");
+        println!(
+            "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "route", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, hist) in &self.routes {
+            let snap = hist.snapshot();
+            if snap.count == 0 {
+                continue;
+            }
+            println!(
+                "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                snap.count,
+                fmt_ns(snap.p50()),
+                fmt_ns(snap.p90()),
+                fmt_ns(snap.p99()),
+                fmt_ns(snap.max),
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
 }
 
 /// One wave of honest clients driving the full lifecycle; returns the
@@ -87,18 +162,22 @@ fn run_wave(
     base: u64,
     completed: &Arc<AtomicU64>,
     throttled: &Arc<AtomicU64>,
+    lat: &Arc<RouteLatency>,
 ) -> Vec<(u64, String)> {
     let mut handles = Vec::new();
     for client in base..base + clients as u64 {
         let completed = Arc::clone(completed);
         let throttled = Arc::clone(throttled);
+        let lat = Arc::clone(lat);
         handles.push(std::thread::spawn(move || {
             let mut served = Vec::new();
             let mut http = MiniClient::connect(addr, format!("client-{client}"));
             for job in 0..jobs_per_client as u64 {
+                let t = Instant::now();
                 let response = http
                     .post_json("/jobs", &shots_doc(client, job))
                     .expect("submit");
+                lat.record("POST /jobs", t.elapsed());
                 match response.status {
                     201 => {}
                     429 => {
@@ -116,9 +195,23 @@ fn run_wave(
                     .get("id")
                     .and_then(Json::as_u64)
                     .expect("id");
-                let status = http.wait_for(id, Duration::from_millis(2)).expect("poll");
+                let status = loop {
+                    let t = Instant::now();
+                    let poll = http.get(&format!("/jobs/{id}")).expect("poll");
+                    lat.record("GET /jobs/{id}", t.elapsed());
+                    assert_eq!(poll.status, 200, "{}", poll.text());
+                    let doc = poll.json().expect("status json");
+                    match doc.get("phase").and_then(Json::as_str) {
+                        Some("queued") | Some("running") => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        _ => break doc,
+                    }
+                };
                 assert_eq!(status.get("phase").and_then(Json::as_str), Some("finished"));
+                let t = Instant::now();
                 let result = http.get(&format!("/jobs/{id}/result")).expect("result");
+                lat.record("GET /jobs/{id}/result", t.elapsed());
                 assert_eq!(result.status, 200);
                 let doc = result.json().expect("result json");
                 let shots = doc.get("shots").and_then(Json::as_arr).expect("shots");
@@ -140,19 +233,25 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let clients = env_usize("LOAD_GEN_CLIENTS", 100);
     let jobs_per_client = env_usize("LOAD_GEN_JOBS", 2);
     let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
-    let journal = journal_dir_arg();
+    let journal = path_arg("journal");
+    let trace_file = path_arg("trace");
 
     println!("== quma_serve load generator ==");
     println!(
-        "{clients} clients x {jobs_per_client} jobs, {workers} pool workers{}\n",
+        "{clients} clients x {jobs_per_client} jobs, {workers} pool workers{}{}\n",
         match &journal {
             Some(dir) => format!(", journaled to {}", dir.display()),
+            None => String::new(),
+        },
+        match &trace_file {
+            Some(path) => format!(", tracing to {}", path.display()),
             None => String::new(),
         }
     );
 
     let make_config = {
         let journal = journal.clone();
+        let traced = trace_file.is_some();
         move || {
             let mut config = PoolConfig::new(DeviceConfig {
                 chip: ChipProfile::Paper,
@@ -164,6 +263,9 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             .with_queue_depth(2 * clients.max(32));
             if let Some(dir) = &journal {
                 config = config.with_journal(JournalConfig::new(dir));
+            }
+            if traced {
+                config = config.with_trace(1 << 16);
             }
             config
         }
@@ -178,19 +280,30 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     let completed = Arc::new(AtomicU64::new(0));
     let throttled = Arc::new(AtomicU64::new(0));
+    let lat = RouteLatency::new();
     let t0 = Instant::now();
 
     let wave = {
         let completed = Arc::clone(&completed);
         let throttled = Arc::clone(&throttled);
+        let lat = Arc::clone(&lat);
         std::thread::spawn(move || {
-            run_wave(addr, clients, jobs_per_client, 0, &completed, &throttled)
+            run_wave(
+                addr,
+                clients,
+                jobs_per_client,
+                0,
+                &completed,
+                &throttled,
+                &lat,
+            )
         })
     };
     let mut handles = Vec::new();
 
     // The canceller: floods the queue, then cancels what it can.
     {
+        let lat = Arc::clone(&lat);
         handles.push(std::thread::spawn(move || {
             let mut http = MiniClient::connect(addr, "canceller");
             let mut ids = Vec::new();
@@ -211,7 +324,9 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             }
             let mut cancelled = 0;
             for id in ids {
+                let t = Instant::now();
                 let response = http.delete(&format!("/jobs/{id}")).expect("cancel");
+                lat.record("DELETE /jobs/{id}", t.elapsed());
                 // 200 when it was still queued, 409 when the pool beat us
                 // to it — both are correct protocol.
                 match response.status {
@@ -292,6 +407,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             20_000,
             &completed,
             &throttled,
+            &lat,
         );
         println!(
             "second wave: {} jobs served by the recovered server",
@@ -304,10 +420,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let mut seen = 0usize;
     let mut offset = 0usize;
     loop {
-        let page = http
-            .get(&format!("/jobs?limit=64&offset={offset}"))?
-            .json()
-            .expect("page json");
+        let t = Instant::now();
+        let response = http.get(&format!("/jobs?limit=64&offset={offset}"))?;
+        lat.record("GET /jobs", t.elapsed());
+        let page = response.json().expect("page json");
         let jobs = page.get("jobs").and_then(Json::as_arr).unwrap().len();
         if jobs == 0 {
             break;
@@ -317,8 +433,24 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     }
     println!("paginator: walked {seen} jobs in pages of 64");
 
+    let t = Instant::now();
     let metrics = http.get("/metrics")?;
+    lat.record("GET /metrics", t.elapsed());
     println!("\n--- /metrics ---\n{}", metrics.text());
+
+    lat.print_table();
+
+    // With --trace, dump the server's span ring as Chrome trace JSON.
+    if let Some(path) = &trace_file {
+        let trace = http.get("/trace")?;
+        assert_eq!(trace.status, 200, "{}", trace.text());
+        std::fs::write(path, trace.text())?;
+        println!(
+            "\ntrace: wrote {} bytes of Chrome trace-event JSON to {}",
+            trace.text().len(),
+            path.display()
+        );
+    }
     server.shutdown();
     Ok(())
 }

@@ -8,6 +8,7 @@ pub use quma_core as core;
 pub use quma_experiments as experiments;
 pub use quma_isa as isa;
 pub use quma_journal as journal;
+pub use quma_obs as obs;
 pub use quma_pool as pool;
 pub use quma_qsim as qsim;
 pub use quma_serve as serve;
